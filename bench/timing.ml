@@ -1,0 +1,33 @@
+(** Measurement helpers for the benchmark harness: Bechamel for
+    micro-benchmarks (per-cycle simulation costs) and a plain wall clock
+    for single-shot workload runs. *)
+
+open Bechamel
+
+(** [ns_per_run name fn] estimates the execution time of [fn ()] in
+    nanoseconds with Bechamel's OLS analysis over a monotonic clock. *)
+let ns_per_run ?(quota = 0.5) name (fn : unit -> unit) : float =
+  let test = Test.make ~name (Staged.stage fn) in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second quota) ~kde:None () in
+  let results = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+  Hashtbl.fold
+    (fun _ v acc ->
+      match Analyze.OLS.estimates v with Some (e :: _) -> e | Some [] | None -> acc)
+    analyzed nan
+
+(** Wall-clock seconds of a single run (for long workloads). *)
+let wall (fn : unit -> 'a) : 'a * float =
+  let t0 = Unix.gettimeofday () in
+  let r = fn () in
+  (r, Unix.gettimeofday () -. t0)
+
+let header title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==============================================================\n%!"
+
+let row fmt = Printf.printf fmt

@@ -1,0 +1,176 @@
+(** Workload stimulus for the evaluation designs, recorded once as replay
+    traces (the §5.1 methodology: measure raw simulation, not stimulus
+    generation). Each function returns a deterministic input trace of the
+    requested length for its design. *)
+
+module Bv = Sic_bv.Bv
+module Rng = Sic_fuzz.Rng
+open Sic_sim
+
+(* record a trace by driving a scratch backend *)
+let record_trace (low : Sic_ir.Circuit.t) ~cycles drive : Replay.trace =
+  let b = Compiled.create low in
+  Replay.record b ~cycles (fun b cycle ->
+      b.Backend.poke "reset" (Bv.of_bool (cycle < 1));
+      drive b cycle)
+
+(* --- riscv-mini: run a benchmark program in a loop -------------------- *)
+
+(* A program touching most of the ISA: arithmetic, logic, branches, memory
+   traffic, jumps. Computes Fibonacci-ish values in a loop, stores and
+   reloads them. *)
+let riscv_program =
+  let open Sic_designs.Riscv_mini in
+  [
+    addi 1 0 1;            (* x1 = 1 *)
+    addi 2 0 1;            (* x2 = 1 *)
+    addi 5 0 0;            (* x5 = i = 0 *)
+    addi 6 0 10;           (* x6 = limit *)
+    (* loop: *)
+    add 3 1 2;             (* x3 = x1 + x2 *)
+    add 1 0 2;             (* x1 = x2 — note add x1, x0, x2 *)
+    add 2 0 3;             (* x2 = x3 *)
+    and_ 7 3 1;            (* exercise logic ops *)
+    or_ 8 3 1;
+    xor_ 9 3 1;
+    sw 3 0 32;             (* dmem[8] = x3 *)
+    lw 4 0 32;             (* x4 = dmem[8] *)
+    addi 5 5 1;            (* i++ *)
+    blt 5 6 (-36);         (* loop while i < limit *)
+    lui 10 0xfff;          (* touch lui *)
+    beq 0 0 8;             (* skip next *)
+    addi 11 0 99;          (* (skipped) *)
+    jal 0 (-68);           (* restart everything *)
+  ]
+
+let riscv_mini ~cycles : Sic_ir.Circuit.t * Replay.trace =
+  let c = Sic_designs.Riscv_mini.circuit () in
+  let low = Sic_passes.Compile.lower c in
+  let trace =
+    record_trace low ~cycles (fun b cycle ->
+        (* loader is active during the first |program| cycles, then run *)
+        let n = List.length riscv_program in
+        if cycle < n then begin
+          b.Backend.poke "iload_en" (Bv.one 1);
+          b.Backend.poke "iload_addr" (Bv.of_int ~width:6 cycle);
+          b.Backend.poke "iload_data" (Bv.of_int ~width:32 (List.nth riscv_program cycle));
+          b.Backend.poke "run" (Bv.zero 1)
+        end
+        else begin
+          b.Backend.poke "iload_en" (Bv.zero 1);
+          b.Backend.poke "run" (Bv.one 1)
+        end)
+  in
+  (c, trace)
+
+(* --- TLRAM: random get/put traffic ------------------------------------ *)
+
+let tlram ~cycles : Sic_ir.Circuit.t * Replay.trace =
+  let c = Sic_designs.Tlram.circuit ~addr_bits:8 () in
+  let low = Sic_passes.Compile.lower c in
+  let rng = Rng.create 11 in
+  let trace =
+    record_trace low ~cycles (fun b _ ->
+        b.Backend.poke "io_d_ready" (Bv.one 1);
+        b.Backend.poke "io_a_valid" (Bv.of_bool (Rng.int rng 4 > 0));
+        let put = Rng.bool rng in
+        let addr = Rng.int rng 256 and data = Rng.int rng 0xFFFF in
+        b.Backend.poke "io_a_bits"
+          (Bv.of_int ~width:41 ((data lsl 9) lor (addr lsl 1) lor if put then 1 else 0)))
+  in
+  (c, trace)
+
+(* --- serv: a stream of serial ALU operations --------------------------- *)
+
+let serv ~cycles : Sic_ir.Circuit.t * Replay.trace =
+  let c = Sic_designs.Serv.circuit () in
+  let low = Sic_passes.Compile.lower c in
+  let rng = Rng.create 17 in
+  let trace =
+    record_trace low ~cycles (fun b _ ->
+        b.Backend.poke "io_resp_ready" (Bv.one 1);
+        b.Backend.poke "io_req_valid" (Bv.one 1);
+        let op = Rng.int rng 5 in
+        let a = Rng.int rng 0x3FFFFFFF and v = Rng.int rng 0x3FFFFFFF in
+        b.Backend.poke "io_req_bits"
+          (Bv.logor ~width:67
+             (Bv.shift_left ~width:67 (Bv.of_int ~width:67 v) 35)
+             (Bv.logor ~width:67
+                (Bv.shift_left ~width:67 (Bv.of_int ~width:67 a) 3)
+                (Bv.of_int ~width:67 op))))
+  in
+  (c, trace)
+
+(* --- neuroproc: sparse spike trains ------------------------------------ *)
+
+let neuroproc_neurons = 128
+
+let neuroproc ~cycles : Sic_ir.Circuit.t * Replay.trace =
+  let c = Sic_designs.Neuroproc.circuit ~neurons:neuroproc_neurons () in
+  let low = Sic_passes.Compile.lower c in
+  let rng = Rng.create 23 in
+  let trace =
+    record_trace low ~cycles (fun b _ ->
+        b.Backend.poke "enable" (Bv.one 1);
+        (* sparse activity: a couple of random neurons stimulated *)
+        let spikes =
+          Bv.logor ~width:neuroproc_neurons
+            (Bv.shift_left ~width:neuroproc_neurons (Bv.one neuroproc_neurons)
+               (Rng.int rng neuroproc_neurons))
+            (if Rng.int rng 4 = 0 then
+               Bv.shift_left ~width:neuroproc_neurons (Bv.one neuroproc_neurons)
+                 (Rng.int rng neuroproc_neurons)
+             else Bv.zero neuroproc_neurons)
+        in
+        b.Backend.poke "in_spikes" spikes)
+  in
+  (c, trace)
+
+(* --- I2C: decoupled command stream (for the fuzzing comparison) ------- *)
+
+let i2c ~cycles : Sic_ir.Circuit.t * Replay.trace =
+  let c = Sic_designs.I2c.circuit () in
+  let low = Sic_passes.Compile.lower c in
+  let rng = Rng.create 31 in
+  let trace =
+    record_trace low ~cycles (fun b _ ->
+        b.Backend.poke "io_resp_ready" (Bv.one 1);
+        b.Backend.poke "sda_in" (Bv.of_bool (Rng.bool rng));
+        b.Backend.poke "io_cmd_valid" (Bv.of_bool (Rng.int rng 4 = 0));
+        b.Backend.poke "io_cmd_bits" (Bv.of_int ~width:16 (Rng.int rng 65536)))
+  in
+  (c, trace)
+
+(** The Table 2 benchmark set: name, paper cycle count, our (scaled) cycle
+    count, and the builder. NeuroProc's 53 M cycles are scaled down; the
+    scale factor is printed with the table. *)
+let table2_set =
+  [
+    ("riscv-mini", 126_550, 126_550, riscv_mini);
+    ("TLRAM", 816_473, 200_000, tlram);
+    ("serv-chisel", 828_931, 200_000, serv);
+    ("NeuroProc", 53_455_204, 50_000, neuroproc);
+  ]
+
+(* --- SoC workload: load a program into every core and run -------------- *)
+
+let soc_drive ?(spikes = 0) (b : Backend.t) ~(cores : int) ~(run_cycles : int) =
+  Backend.reset_sequence b;
+  b.Backend.poke "run" (Bv.zero 1);
+  let n = List.length riscv_program in
+  for core = 0 to cores - 1 do
+    List.iteri
+      (fun i inst ->
+        b.Backend.poke "load_en" (Bv.one 1);
+        b.Backend.poke "load_core" (Bv.of_int ~width:4 core);
+        b.Backend.poke "load_side" (Bv.zero 1);
+        b.Backend.poke "load_addr" (Bv.of_int ~width:7 i);
+        b.Backend.poke "load_data" (Bv.of_int ~width:32 inst);
+        b.Backend.step 1)
+      riscv_program;
+    ignore n
+  done;
+  b.Backend.poke "load_en" (Bv.zero 1);
+  b.Backend.poke "run" (Bv.one 1);
+  b.Backend.poke "spike_in" (Bv.of_int ~width:8 spikes);
+  b.Backend.step run_cycles

@@ -1,0 +1,408 @@
+(** [sic] — simulator-independent coverage for RTL, as a command-line tool.
+
+    Circuits come from a [.fir] file (the FIRRTL-style concrete syntax) or
+    from a built-in design by name. Subcommands:
+
+    - [emit]    parse, check, and pretty-print a circuit (or a design)
+    - [lower]   run the standard pass pipeline to the flat low form
+    - [cover]   instrument with selected metrics, run a workload on a
+                backend, print reports, optionally save the counts map
+    - [merge]   merge counts files (trivially, §5.3)
+    - [bmc]     formal cover-trace generation (reachability per cover)
+    - [fuzz]    coverage-directed fuzzing with a selectable feedback metric
+    - [scan]    insert the FPGA scan chain and report modelled resources *)
+
+open Cmdliner
+module Bv = Sic_bv.Bv
+module Counts = Sic_coverage.Counts
+open Sic_sim
+
+(* ------------------------------------------------------------------ *)
+(* Inputs                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let designs : (string * (unit -> Sic_ir.Circuit.t)) list =
+  [
+    ("counter", fun () -> Sic_designs.Counter.circuit ());
+    ("gcd", fun () -> Sic_designs.Gcd.circuit ());
+    ("fifo", fun () -> Sic_designs.Fifo.circuit ());
+    ("uart", fun () -> Sic_designs.Uart.circuit ());
+    ("i2c", fun () -> Sic_designs.I2c.circuit ());
+    ("tlram", fun () -> Sic_designs.Tlram.circuit ());
+    ("arbiter", fun () -> Sic_designs.Arbiter.circuit ());
+    ("matmul", fun () -> Sic_designs.Matmul.circuit ());
+    ("memsys", fun () -> Sic_designs.Memsys.circuit ());
+    ("serv", fun () -> Sic_designs.Serv.circuit ());
+    ("neuroproc", fun () -> Sic_designs.Neuroproc.circuit ());
+    ("riscv-mini", fun () -> Sic_designs.Riscv_mini.circuit ());
+    ("riscv-mini-formal",
+     fun () -> Sic_designs.Riscv_mini.circuit ~params:Sic_designs.Riscv_mini.formal_params ());
+    ("rocket-soc", fun () -> Sic_designs.Soc.circuit Sic_designs.Soc.rocket_sim_config);
+    ("boom-soc", fun () -> Sic_designs.Soc.circuit Sic_designs.Soc.boom_sim_config);
+  ]
+
+let load_circuit ~file ~design =
+  match (file, design) with
+  | Some path, None ->
+      let ic = open_in path in
+      let src =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Sic_ir.Parser.parse_circuit src
+  | None, Some name -> (
+      match List.assoc_opt name designs with
+      | Some build -> build ()
+      | None ->
+          Printf.eprintf "unknown design %s; available: %s\n" name
+            (String.concat ", " (List.map fst designs));
+          exit 2)
+  | Some _, Some _ ->
+      prerr_endline "pass either a file or --design, not both";
+      exit 2
+  | None, None ->
+      prerr_endline "pass a .fir file or --design NAME";
+      exit 2
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.fir" ~doc:"Input circuit file.")
+
+let design_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "design" ] ~docv:"NAME" ~doc:"Use a built-in design instead of a file.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Write output here instead of stdout.")
+
+let write_out ~output text =
+  match output with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type dbs = {
+  mutable line : Sic_coverage.Line_coverage.db;
+  mutable toggle : Sic_coverage.Toggle_coverage.db option;
+  mutable fsm : Sic_coverage.Fsm_coverage.db;
+  mutable rv : Sic_coverage.Ready_valid_coverage.db;
+  mutable mux : Sic_coverage.Mux_coverage.db;
+}
+
+let metric_conv =
+  Arg.enum
+    [ ("line", `Line); ("toggle", `Toggle); ("fsm", `Fsm); ("ready-valid", `Rv); ("mux", `Mux) ]
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt_all metric_conv [ `Line ]
+    & info [ "m"; "metric" ] ~docv:"METRIC"
+        ~doc:"Coverage metric (repeatable): line, toggle, fsm, ready-valid, mux.")
+
+(* instrument per metric at the right pipeline stage (§4) *)
+let instrument metrics circuit =
+  let dbs = { line = []; toggle = None; fsm = []; rv = []; mux = [] } in
+  let c = ref circuit in
+  if List.mem `Line metrics then begin
+    let c', db = Sic_coverage.Line_coverage.instrument !c in
+    c := c';
+    dbs.line <- db
+  end;
+  c := Sic_passes.Compile.lower !c;
+  if List.mem `Toggle metrics then begin
+    let c', db = Sic_coverage.Toggle_coverage.instrument !c in
+    c := c';
+    dbs.toggle <- Some db
+  end;
+  if List.mem `Fsm metrics then begin
+    let c', db = Sic_coverage.Fsm_coverage.instrument !c in
+    c := c';
+    dbs.fsm <- db
+  end;
+  if List.mem `Rv metrics then begin
+    let c', db = Sic_coverage.Ready_valid_coverage.instrument !c in
+    c := c';
+    dbs.rv <- db
+  end;
+  if List.mem `Mux metrics then begin
+    let c', db = Sic_coverage.Mux_coverage.instrument !c in
+    c := c';
+    dbs.mux <- db
+  end;
+  (!c, dbs)
+
+let reports metrics dbs counts =
+  let buf = Buffer.create 1024 in
+  if List.mem `Line metrics then
+    Buffer.add_string buf (Sic_coverage.Line_coverage.render ~with_sources:true dbs.line counts);
+  (match (List.mem `Toggle metrics, dbs.toggle) with
+  | true, Some db -> Buffer.add_string buf (Sic_coverage.Toggle_coverage.render db counts)
+  | _ -> ());
+  if List.mem `Fsm metrics then
+    Buffer.add_string buf (Sic_coverage.Fsm_coverage.render dbs.fsm counts);
+  if List.mem `Rv metrics then
+    Buffer.add_string buf (Sic_coverage.Ready_valid_coverage.render dbs.rv counts);
+  if List.mem `Mux metrics then
+    Buffer.add_string buf (Sic_coverage.Mux_coverage.render dbs.mux counts);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Backends                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let backend_conv =
+  Arg.enum [ ("interp", `Interp); ("compiled", `Compiled); ("essent", `Essent) ]
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv `Compiled
+    & info [ "backend" ] ~docv:"NAME" ~doc:"Simulator backend: interp, compiled, essent.")
+
+let create_backend = function
+  | `Interp -> Interp.create
+  | `Compiled -> fun c -> Compiled.create c
+  | `Essent -> Essent.create
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let handle_errors f =
+  try f () with
+  | Sic_ir.Parser.Parse_error { line; message } ->
+      Printf.eprintf "parse error at line %d: %s\n" line message;
+      exit 1
+  | Sic_passes.Pass.Pass_error { pass; message } ->
+      Printf.eprintf "pass %s failed: %s\n" pass message;
+      exit 1
+  | Sic_ir.Circuit.Elaboration_error m | Backend.Sim_error m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 1
+
+let emit_cmd =
+  let run file design output =
+    handle_errors (fun () ->
+        let c = Sic_passes.Check.run (load_circuit ~file ~design) in
+        write_out ~output (Sic_ir.Printer.circuit_to_string c))
+  in
+  Cmd.v (Cmd.info "emit" ~doc:"Parse, check and pretty-print a circuit.")
+    Term.(const run $ file_arg $ design_arg $ output_arg)
+
+let lower_cmd =
+  let run file design output =
+    handle_errors (fun () ->
+        let c = Sic_passes.Compile.lower (load_circuit ~file ~design) in
+        write_out ~output (Sic_ir.Printer.circuit_to_string c))
+  in
+  Cmd.v (Cmd.info "lower" ~doc:"Lower a circuit to the flat low form.")
+    Term.(const run $ file_arg $ design_arg $ output_arg)
+
+let cycles_arg =
+  Arg.(value & opt int 1000 & info [ "cycles" ] ~docv:"N" ~doc:"Cycles to simulate.")
+
+let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Stimulus seed.")
+
+let counts_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-counts" ] ~docv:"PATH" ~doc:"Save the raw counts map here.")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "replay" ] ~docv:"TRACE.vcd" ~doc:"Replay a recorded input trace instead of random stimulus.")
+
+let html_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "html" ] ~docv:"PATH" ~doc:"Also write a self-contained HTML report here.")
+
+let vcd_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "vcd" ] ~docv:"PATH" ~doc:"Dump a waveform of the run to this VCD file.")
+
+let waivers_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "waivers" ] ~docv:"FILE"
+        ~doc:"Coverage exclusion file: one name pattern per line, * wildcards, # comments.")
+
+let cover_cmd =
+  let run file design metrics backend cycles seed counts_out replay html vcd waivers =
+    handle_errors (fun () ->
+        let c = load_circuit ~file ~design in
+        let low, dbs = instrument metrics c in
+        let low =
+          match waivers with
+          | None -> low
+          | Some path ->
+              let patterns = Sic_coverage.Removal.load_waivers path in
+              let r = Sic_coverage.Removal.remove_matching ~patterns low in
+              Printf.printf "# %d cover points waived by %s\n" (List.length r.Sic_coverage.Removal.removed) path;
+              r.Sic_coverage.Removal.circuit
+        in
+        let b, close_trace =
+          let b = create_backend backend low in
+          match vcd with
+          | None -> (b, fun () -> ())
+          | Some path -> Tracer.attach ~regs:true ~path b
+        in
+        (match replay with
+        | Some path -> Replay.replay b (Replay.load_vcd path)
+        | None ->
+            Backend.reset_sequence b;
+            let rng = Sic_fuzz.Rng.create seed in
+            let inputs = Backend.data_inputs b in
+            for _ = 1 to cycles do
+              List.iter
+                (fun (n, ty) ->
+                  b.Backend.poke n
+                    (Bv.random ~width:(Sic_ir.Ty.width ty) (Sic_fuzz.Rng.bits30 rng)))
+                inputs;
+              b.Backend.step 1
+            done);
+        close_trace ();
+        let counts = b.Backend.counts () in
+        print_string (reports metrics dbs counts);
+        (match counts_out with None -> () | Some path -> Counts.save path counts);
+        match html with
+        | None -> ()
+        | Some path ->
+            Sic_coverage.Html_report.save path
+              ?line:(if List.mem `Line metrics then Some dbs.line else None)
+              ?toggle:dbs.toggle
+              ?fsm:(if List.mem `Fsm metrics then Some dbs.fsm else None)
+              ?rv:(if List.mem `Rv metrics then Some dbs.rv else None)
+              counts)
+  in
+  Cmd.v
+    (Cmd.info "cover"
+       ~doc:"Instrument, simulate, and print coverage reports (random stimulus or a VCD replay).")
+    Term.(
+      const run $ file_arg $ design_arg $ metrics_arg $ backend_arg $ cycles_arg $ seed_arg
+      $ counts_out_arg $ replay_arg $ html_arg $ vcd_arg $ waivers_arg)
+
+let merge_cmd =
+  let inputs =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"COUNTS..." ~doc:"Counts files.")
+  in
+  let run inputs output =
+    handle_errors (fun () ->
+        let merged = Counts.merge (List.map Counts.load inputs) in
+        match output with
+        | None -> print_string (Counts.to_string merged)
+        | Some path -> Counts.save path merged)
+  in
+  Cmd.v (Cmd.info "merge" ~doc:"Merge coverage counts files (pointwise saturating sum).")
+    Term.(const run $ inputs $ output_arg)
+
+let bound_arg =
+  Arg.(value & opt int 20 & info [ "bound" ] ~docv:"K" ~doc:"BMC unrolling bound.")
+
+let bmc_cmd =
+  let run file design metrics bound =
+    handle_errors (fun () ->
+        let c = load_circuit ~file ~design in
+        let low, _dbs = instrument metrics c in
+        let report = Sic_formal.Bmc.check_covers ~bound low in
+        print_string (Sic_formal.Bmc.render report))
+  in
+  Cmd.v
+    (Cmd.info "bmc"
+       ~doc:"Formal cover-trace generation: find reaching inputs or prove unreachability within the bound.")
+    Term.(const run $ file_arg $ design_arg $ metrics_arg $ bound_arg)
+
+let execs_arg =
+  Arg.(value & opt int 500 & info [ "execs" ] ~docv:"N" ~doc:"Fuzzer executions.")
+
+let fuzz_cmd =
+  let run file design metrics execs seed =
+    handle_errors (fun () ->
+        let c = load_circuit ~file ~design in
+        let low, dbs = instrument metrics c in
+        let h = Sic_fuzz.Fuzzer.make_harness low in
+        let r = Sic_fuzz.Fuzzer.run ~seed ~execs ~seed_cycles:32 ~max_cycles:128 h in
+        Printf.printf "execs %d, corpus %d, feedback pairs %d\n" r.Sic_fuzz.Fuzzer.final.execs
+          r.Sic_fuzz.Fuzzer.final.corpus_size r.Sic_fuzz.Fuzzer.final.seen_pairs;
+        print_string (reports metrics dbs r.Sic_fuzz.Fuzzer.final.cumulative))
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Coverage-directed fuzzing; prints cumulative coverage reports.")
+    Term.(const run $ file_arg $ design_arg $ metrics_arg $ execs_arg $ seed_arg)
+
+let width_arg =
+  Arg.(value & opt int 16 & info [ "width" ] ~docv:"W" ~doc:"Coverage counter width in bits.")
+
+let scan_cmd =
+  let run file design metrics width =
+    handle_errors (fun () ->
+        let c = load_circuit ~file ~design in
+        let low, _ = instrument metrics c in
+        let chained, chain = Sic_firesim.Scan_chain.insert ~width low in
+        let n = List.length chain.Sic_firesim.Scan_chain.order in
+        let base = Sic_firesim.Resource_model.baseline low in
+        let u = Sic_firesim.Resource_model.with_coverage base ~n_covers:n ~width in
+        Printf.printf "cover counters : %d x %d bits\n" n width;
+        Printf.printf "scan-out cost  : %d cycles\n" (n * width);
+        Format.printf "resources      : %a@."
+          Sic_firesim.Resource_model.pp_utilization u;
+        ignore chained)
+  in
+  Cmd.v
+    (Cmd.info "scan"
+       ~doc:"Insert the FPGA coverage scan chain and report modelled resources.")
+    Term.(const run $ file_arg $ design_arg $ metrics_arg $ width_arg)
+
+let diff_cmd =
+  let before = Arg.(required & pos 0 (some file) None & info [] ~docv:"BEFORE.cnt") in
+  let after = Arg.(required & pos 1 (some file) None & info [] ~docv:"AFTER.cnt") in
+  let run before after =
+    handle_errors (fun () ->
+        print_string
+          (Counts.render_diff
+             (Counts.diff ~before:(Counts.load before) ~after:(Counts.load after))))
+  in
+  Cmd.v (Cmd.info "diff" ~doc:"Compare two coverage counts files.")
+    Term.(const run $ before $ after)
+
+let stats_cmd =
+  let lowered =
+    Arg.(value & flag & info [ "lowered" ] ~doc:"Show statistics of the lowered circuit.")
+  in
+  let run file design lowered =
+    handle_errors (fun () ->
+        let c = load_circuit ~file ~design in
+        let c = if lowered then Sic_passes.Compile.lower c else Sic_passes.Check.run c in
+        print_string (Sic_passes.Stats.render c))
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Circuit statistics per module.")
+    Term.(const run $ file_arg $ design_arg $ lowered)
+
+let main =
+  Cmd.group
+    (Cmd.info "sic" ~version:"1.0.0"
+       ~doc:"Simulator-independent coverage for RTL hardware languages.")
+    [
+      emit_cmd; lower_cmd; cover_cmd; merge_cmd; diff_cmd; bmc_cmd; fuzz_cmd; scan_cmd;
+      stats_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

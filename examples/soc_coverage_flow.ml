@@ -1,0 +1,88 @@
+(** The full FPGA coverage flow of §5.2/§5.3 on a small SoC:
+
+    1. instrument the SoC with line coverage;
+    2. run a cheap software simulation of a test program;
+    3. remove the cover points it already hit (>= 10 times);
+    4. insert the coverage scan chain into what remains;
+    5. run the "FPGA" (a software backend standing in for FireSim),
+       pause, scan the counts out;
+    6. merge FPGA counts with the software counts into one report.
+
+    Run with: [dune exec examples/soc_coverage_flow.exe] *)
+
+module Bv = Sic_bv.Bv
+module Counts = Sic_coverage.Counts
+module Scan = Sic_firesim.Scan_chain
+module Driver = Sic_firesim.Driver
+module Rm = Sic_firesim.Resource_model
+open Sic_sim
+
+let cores = Sic_designs.Soc.rocket_sim_config.Sic_designs.Soc.cores
+
+(* the boot program: every core runs a small arithmetic loop *)
+let software_test (b : Backend.t) =
+  Backend.reset_sequence b;
+  b.Backend.poke "run" (Bv.zero 1);
+  let program = [ 0x00100093; 0x00108133; 0x002081b3; 0x0000006f ] in
+  (* addi x1,x0,1; add x2,x1,x1; add x3,x1,x2; spin *)
+  for core = 0 to cores - 1 do
+    List.iteri
+      (fun i inst ->
+        b.Backend.poke "load_en" (Bv.one 1);
+        b.Backend.poke "load_core" (Bv.of_int ~width:4 core);
+        b.Backend.poke "load_side" (Bv.zero 1);
+        b.Backend.poke "load_addr" (Bv.of_int ~width:6 i);
+        b.Backend.poke "load_data" (Bv.of_int ~width:32 inst);
+        b.Backend.step 1)
+      program
+  done;
+  b.Backend.poke "load_en" (Bv.zero 1);
+  b.Backend.poke "run" (Bv.one 1);
+  b.Backend.step 2_000
+
+let () =
+  (* 1. instrument *)
+  let soc = Sic_designs.Soc.circuit Sic_designs.Soc.rocket_sim_config in
+  let soc, _db = Sic_coverage.Line_coverage.instrument soc in
+  let low = Sic_passes.Compile.lower soc in
+  let total = List.length (Sic_ir.Circuit.covers_of (Sic_ir.Circuit.main low)) in
+  Printf.printf "instrumented SoC: %d cover points\n" total;
+
+  (* 2. software simulation *)
+  let sw = Compiled.create low in
+  software_test sw;
+  let sw_counts = sw.Backend.counts () in
+  Printf.printf "software run covered %d points\n" (Counts.covered_points sw_counts);
+
+  (* 3. removal before the (expensive) FPGA build *)
+  let { Sic_coverage.Removal.circuit = stripped; removed; kept } =
+    Sic_coverage.Removal.remove_covered ~threshold:10 sw_counts low
+  in
+  Printf.printf "removed %d already-covered counters, %d remain\n" (List.length removed)
+    (List.length kept);
+  let base = Rm.baseline low in
+  let before = Rm.with_coverage base ~n_covers:total ~width:32 in
+  let after = Rm.with_coverage base ~n_covers:(List.length kept) ~width:32 in
+  Printf.printf "modelled 32-bit coverage LUTs: %d -> %d\n" before.Rm.counter_luts
+    after.Rm.counter_luts;
+
+  (* 4.-5. scan chain + FPGA-style run *)
+  let chained, chain = Scan.insert ~width:16 stripped in
+  let fpga = Compiled.create chained in
+  let result =
+    Driver.run_and_scan fpga chain ~workload:(fun b ->
+        software_test b;
+        (* also feed the accelerators, something the sw test didn't do *)
+        b.Backend.poke "spike_in" (Bv.of_int ~width:8 0xFF);
+        b.Backend.step 2_000)
+  in
+  Printf.printf "scanned %d counters out in %d cycles (%.2f ms at 65 MHz)\n"
+    (List.length chain.Scan.order) result.Driver.scan_cycles
+    (Driver.scan_millis ~scan_cycles:result.Driver.scan_cycles ~mhz:65.0);
+
+  (* 6. merge software + FPGA counts: same format, trivial merge *)
+  let merged = Counts.merge [ sw_counts; result.Driver.counts ] in
+  Printf.printf "merged coverage: %d/%d points covered (sw %d + fpga %d)\n"
+    (Counts.covered_points merged) total
+    (Counts.covered_points sw_counts)
+    (Counts.covered_points result.Driver.counts)

@@ -1,0 +1,524 @@
+(* Arbitrary-width bitvectors over 31-bit limbs, little-endian limb order.
+   Invariant: [Array.length data = limbs_for width] and all bits of the top
+   limb above [width mod 31] are zero. *)
+
+let limb_bits = 31
+let limb_mask = (1 lsl limb_bits) - 1
+
+type t = { width : int; data : int array }
+
+let limbs_for w = if w = 0 then 0 else ((w - 1) / limb_bits) + 1
+
+let top_mask w =
+  let r = w mod limb_bits in
+  if r = 0 then limb_mask else (1 lsl r) - 1
+
+(* Mask the top limb in place so the invariant holds. *)
+let normalize v =
+  let n = Array.length v.data in
+  if n > 0 then v.data.(n - 1) <- v.data.(n - 1) land top_mask v.width;
+  v
+
+let zero w = { width = w; data = Array.make (limbs_for w) 0 }
+
+let width v = v.width
+
+let of_int ~width:w n =
+  if n < 0 then invalid_arg "Bv.of_int: negative";
+  let v = zero w in
+  let rec fill i n = if n <> 0 && i < Array.length v.data then begin
+      v.data.(i) <- n land limb_mask;
+      fill (i + 1) (n lsr limb_bits)
+    end in
+  fill 0 n;
+  normalize v
+
+let one w = of_int ~width:w 1
+
+let ones w =
+  let v = zero w in
+  Array.fill v.data 0 (Array.length v.data) limb_mask;
+  normalize v
+
+let is_zero v = Array.for_all (fun x -> x = 0) v.data
+
+let bit v i =
+  if i < 0 || i >= v.width then false
+  else (v.data.(i / limb_bits) lsr (i mod limb_bits)) land 1 = 1
+
+let msb v = v.width > 0 && bit v (v.width - 1)
+
+let is_ones v =
+  let n = Array.length v.data in
+  n > 0
+  && (let rec go i = i >= n - 1 || (v.data.(i) = limb_mask && go (i + 1)) in
+      go 0)
+  && v.data.(n - 1) = top_mask v.width
+
+let popcount v =
+  let count_limb x =
+    let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+    go x 0
+  in
+  Array.fold_left (fun acc x -> acc + count_limb x) 0 v.data
+
+let to_int v =
+  (* Fits iff all bits above 62 are zero. *)
+  let rec value i acc shift =
+    if i >= Array.length v.data then Some acc
+    else if v.data.(i) = 0 then value (i + 1) acc (shift + limb_bits)
+    else if shift >= 62 then None
+    else
+      let contrib = v.data.(i) lsl shift in
+      (* detect overflow: shifting must be reversible *)
+      if shift > 0 && contrib asr shift <> v.data.(i) then None
+      else if contrib < 0 then None
+      else value (i + 1) (acc lor contrib) (shift + limb_bits)
+  in
+  value 0 0 0
+
+let to_int_trunc v =
+  let n = Array.length v.data in
+  let l0 = if n > 0 then v.data.(0) else 0 in
+  let l1 = if n > 1 then v.data.(1) else 0 in
+  (l0 lor (l1 lsl limb_bits)) land max_int
+
+let equal a b = a.width = b.width && a.data = b.data
+
+let equal_value a b =
+  let na = Array.length a.data and nb = Array.length b.data in
+  let n = max na nb in
+  let get d i = if i < Array.length d then d.(i) else 0 in
+  let rec go i = i >= n || (get a.data i = get b.data i && go (i + 1)) in
+  go 0
+
+let compare_u a b =
+  let na = Array.length a.data and nb = Array.length b.data in
+  let n = max na nb in
+  let get d i = if i < Array.length d then d.(i) else 0 in
+  let rec go i =
+    if i < 0 then 0
+    else
+      let x = get a.data i and y = get b.data i in
+      if x <> y then compare x y else go (i - 1)
+  in
+  go (n - 1)
+
+let hash v = Hashtbl.hash (v.width, v.data)
+
+let extend_u v w =
+  if w = v.width then v
+  else begin
+    let r = zero w in
+    let n = min (Array.length v.data) (Array.length r.data) in
+    Array.blit v.data 0 r.data 0 n;
+    normalize r
+  end
+
+let extend_s v w =
+  if w <= v.width then extend_u v w
+  else if not (msb v) then extend_u v w
+  else begin
+    let r = ones w in
+    (* copy low limbs, then restore the original top limb's low bits *)
+    let n = Array.length v.data in
+    Array.blit v.data 0 r.data 0 n;
+    if n > 0 then begin
+      (* set sign-extension bits within the top source limb *)
+      let hi_bits = v.width mod limb_bits in
+      if hi_bits <> 0 then
+        r.data.(n - 1) <- v.data.(n - 1) lor (limb_mask land lnot ((1 lsl hi_bits) - 1))
+    end;
+    normalize r
+  end
+
+let of_signed_int ~width:w n =
+  if n >= 0 then of_int ~width:w n
+  else begin
+    let v = zero w in
+    let rec fill i n =
+      if i < Array.length v.data then begin
+        v.data.(i) <- n land limb_mask;
+        fill (i + 1) (n asr limb_bits)
+      end
+    in
+    fill 0 n;
+    normalize v
+  end
+
+let to_signed_int v =
+  if not (msb v) then to_int v
+  else
+    (* value - 2^width must fit *)
+    let ext = extend_s v 63 in
+    (* now interpret the 63-bit pattern as a signed int *)
+    let n = Array.length ext.data in
+    let rec value i acc shift =
+      if i >= n || shift >= 63 then acc
+      else value (i + 1) (acc lor (ext.data.(i) lsl shift)) (shift + limb_bits)
+    in
+    let raw = value 0 0 0 in
+    (* sign bit of the 63-bit pattern is bit 62 *)
+    let signed = if (raw lsr 62) land 1 = 1 then raw lor (min_int lor (1 lsl 62)) else raw in
+    (* confirm round trip at the original width *)
+    let check = of_signed_int ~width:v.width signed in
+    if equal check v then Some signed else None
+
+let add ~width:w a b =
+  let r = zero w in
+  let n = Array.length r.data in
+  let get d i = if i < Array.length d then d.(i) else 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = get a.data i + get b.data i + !carry in
+    r.data.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  normalize r
+
+let sub ~width:w a b =
+  let r = zero w in
+  let n = Array.length r.data in
+  let get d i = if i < Array.length d then d.(i) else 0 in
+  let borrow = ref 0 in
+  for i = 0 to n - 1 do
+    let s = get a.data i - get b.data i - !borrow in
+    if s < 0 then begin
+      r.data.(i) <- s + (1 lsl limb_bits);
+      borrow := 1
+    end else begin
+      r.data.(i) <- s;
+      borrow := 0
+    end
+  done;
+  normalize r
+
+let neg ~width:w a = sub ~width:w (zero w) a
+
+let mul ~width:w a b =
+  let r = zero w in
+  let n = Array.length r.data in
+  let na = min (Array.length a.data) n and nb = min (Array.length b.data) n in
+  for i = 0 to na - 1 do
+    if a.data.(i) <> 0 then begin
+      let carry = ref 0 in
+      for j = 0 to nb - 1 do
+        if i + j < n then begin
+          let p = (a.data.(i) * b.data.(j)) + r.data.(i + j) + !carry in
+          r.data.(i + j) <- p land limb_mask;
+          carry := p lsr limb_bits
+        end
+      done;
+      (* propagate remaining carry *)
+      let k = ref (i + nb) in
+      while !carry <> 0 && !k < n do
+        let s = r.data.(!k) + !carry in
+        r.data.(!k) <- s land limb_mask;
+        carry := s lsr limb_bits;
+        incr k
+      done
+    end
+  done;
+  normalize r
+
+let shift_left ~width:w v n =
+  if n < 0 then invalid_arg "Bv.shift_left";
+  let r = zero w in
+  let limb_shift = n / limb_bits and bit_shift = n mod limb_bits in
+  let nr = Array.length r.data and nv = Array.length v.data in
+  for i = 0 to nv - 1 do
+    let lo_dst = i + limb_shift in
+    let x = v.data.(i) in
+    if x <> 0 then begin
+      if lo_dst < nr then r.data.(lo_dst) <- r.data.(lo_dst) lor ((x lsl bit_shift) land limb_mask);
+      if bit_shift > 0 && lo_dst + 1 < nr then
+        r.data.(lo_dst + 1) <- r.data.(lo_dst + 1) lor (x lsr (limb_bits - bit_shift))
+    end
+  done;
+  normalize r
+
+let shift_right_logical v n =
+  if n < 0 then invalid_arg "Bv.shift_right_logical";
+  let w = max 1 (v.width - n) in
+  let r = zero w in
+  let limb_shift = n / limb_bits and bit_shift = n mod limb_bits in
+  let nr = Array.length r.data and nv = Array.length v.data in
+  for i = 0 to nr - 1 do
+    let src = i + limb_shift in
+    let lo = if src < nv then v.data.(src) lsr bit_shift else 0 in
+    let hi =
+      if bit_shift > 0 && src + 1 < nv then (v.data.(src + 1) lsl (limb_bits - bit_shift)) land limb_mask
+      else 0
+    in
+    r.data.(i) <- lo lor hi
+  done;
+  normalize r
+
+(* Arithmetic shift right at constant width: the vacated top bits are
+   filled with copies of the sign bit. (FIRRTL's static [shr] on SInt
+   instead *narrows* to width w-n, which is exactly
+   [shift_right_logical] — the retained top bit is the original sign.) *)
+let shift_right_arith v n =
+  let n = max n 0 in
+  if n = 0 || v.width = 0 then v
+  else begin
+    let sign = msb v in
+    let r = zero v.width in
+    for i = 0 to v.width - 1 do
+      let b = if i + n < v.width then bit v (i + n) else sign in
+      if b then r.data.(i / limb_bits) <- r.data.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+    done;
+    normalize r
+  end
+
+let concat hi lo =
+  let w = hi.width + lo.width in
+  let r = zero w in
+  Array.blit lo.data 0 r.data 0 (Array.length lo.data);
+  let shifted = shift_left ~width:w hi lo.width in
+  for i = 0 to Array.length r.data - 1 do
+    r.data.(i) <- r.data.(i) lor shifted.data.(i)
+  done;
+  normalize r
+
+let extract ~hi ~lo v =
+  if hi < lo || lo < 0 then invalid_arg "Bv.extract";
+  let shifted = if lo = 0 then v else shift_right_logical v lo in
+  extend_u shifted (hi - lo + 1)
+
+let head v n =
+  if n < 0 || n > v.width then invalid_arg "Bv.head";
+  if n = 0 then zero 0 else extract ~hi:(v.width - 1) ~lo:(v.width - n) v
+
+let tail v n =
+  if n < 0 || n > v.width then invalid_arg "Bv.tail";
+  if n = v.width then zero 0 else extract ~hi:(v.width - n - 1) ~lo:0 v
+
+let select_bit v i = if bit v i then one 1 else zero 1
+
+let logand ~width:w a b =
+  let r = zero w in
+  let get d i = if i < Array.length d then d.(i) else 0 in
+  for i = 0 to Array.length r.data - 1 do
+    r.data.(i) <- get a.data i land get b.data i
+  done;
+  normalize r
+
+let logor ~width:w a b =
+  let r = zero w in
+  let get d i = if i < Array.length d then d.(i) else 0 in
+  for i = 0 to Array.length r.data - 1 do
+    r.data.(i) <- get a.data i lor get b.data i
+  done;
+  normalize r
+
+let logxor ~width:w a b =
+  let r = zero w in
+  let get d i = if i < Array.length d then d.(i) else 0 in
+  for i = 0 to Array.length r.data - 1 do
+    r.data.(i) <- get a.data i lxor get b.data i
+  done;
+  normalize r
+
+let lognot ~width:w a =
+  let r = zero w in
+  let get d i = if i < Array.length d then d.(i) else 0 in
+  for i = 0 to Array.length r.data - 1 do
+    r.data.(i) <- lnot (get a.data i) land limb_mask
+  done;
+  normalize r
+
+let andr v = v.width > 0 && is_ones v
+let orr v = not (is_zero v)
+let xorr v = popcount v land 1 = 1
+
+let of_bool b = if b then one 1 else zero 1
+let to_bool v = not (is_zero v)
+
+let eq a b = of_bool (equal_value a b)
+let neq a b = of_bool (not (equal_value a b))
+let lt_u a b = of_bool (compare_u a b < 0)
+let leq_u a b = of_bool (compare_u a b <= 0)
+let gt_u a b = of_bool (compare_u a b > 0)
+let geq_u a b = of_bool (compare_u a b >= 0)
+
+let compare_s a b =
+  match (msb a, msb b) with
+  | true, false -> -1
+  | false, true -> 1
+  | false, false -> compare_u a b
+  | true, true ->
+      (* both negative: compare magnitudes via sign extension to a common
+         width, then unsigned compare still orders correctly because two's
+         complement is monotone on equal widths. *)
+      let w = max a.width b.width in
+      compare_u (extend_s a w) (extend_s b w)
+
+let lt_s a b = of_bool (compare_s a b < 0)
+let leq_s a b = of_bool (compare_s a b <= 0)
+let gt_s a b = of_bool (compare_s a b > 0)
+let geq_s a b = of_bool (compare_s a b >= 0)
+
+let mux sel a b =
+  if a.width <> b.width then invalid_arg "Bv.mux: width mismatch";
+  if to_bool sel then a else b
+
+(* Unsigned long division: restoring, bit at a time, with an int fast path. *)
+let divmod_u a b =
+  let w = max a.width b.width in
+  if is_zero b then (zero w, extend_u a w)
+  else
+    match (to_int a, to_int b) with
+    | Some x, Some y -> (of_int ~width:w (x / y), of_int ~width:w (x mod y))
+    | _ ->
+        let q = zero w and r = ref (zero w) in
+        let b' = extend_u b w in
+        for i = w - 1 downto 0 do
+          r := shift_left ~width:w !r 1;
+          if bit a i then r := logor ~width:w !r (one w);
+          if compare_u !r b' >= 0 then begin
+            r := sub ~width:w !r b';
+            q.data.(i / limb_bits) <- q.data.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+          end
+        done;
+        (normalize q, !r)
+
+let div_u ~width:w a b = extend_u (fst (divmod_u a b)) w
+let rem_u ~width:w a b = extend_u (snd (divmod_u a b)) w
+
+let abs_value v =
+  (* magnitude of the signed interpretation, at width v.width + 1 so that
+     the most negative value does not overflow *)
+  let w = v.width + 1 in
+  if msb v then neg ~width:w (extend_s v w) else extend_u v w
+
+let div_s ~width:w a b =
+  if is_zero b then zero w
+  else begin
+    let qa = abs_value a and qb = abs_value b in
+    let q, _ = divmod_u qa qb in
+    let negative = msb a <> msb b in
+    if negative then neg ~width:w (extend_u q w) else extend_u q w
+  end
+
+let rem_s ~width:w a b =
+  if is_zero b then extend_s a w
+  else begin
+    let qa = abs_value a and qb = abs_value b in
+    let _, r = divmod_u qa qb in
+    if msb a then neg ~width:w (extend_u r w) else extend_u r w
+  end
+
+let dshl ~width:w a b =
+  match to_int b with
+  | Some n when n < w -> shift_left ~width:w a n
+  | Some _ | None -> zero w
+
+let dshr a b =
+  match to_int b with
+  | Some n when n < a.width -> extend_u (shift_right_logical a n) a.width
+  | Some _ | None -> zero a.width
+
+let succ_saturating v = if is_ones v then v else add ~width:v.width v (one v.width)
+
+(* String conversions *)
+
+let of_binary_string s =
+  let w = String.length s in
+  if w = 0 then zero 0
+  else begin
+    let v = zero w in
+    String.iteri
+      (fun i c ->
+        let b = w - 1 - i in
+        match c with
+        | '0' -> ()
+        | '1' -> v.data.(b / limb_bits) <- v.data.(b / limb_bits) lor (1 lsl (b mod limb_bits))
+        | _ -> invalid_arg "Bv.of_binary_string")
+      s;
+    normalize v
+  end
+
+let to_binary_string v =
+  if v.width = 0 then ""
+  else String.init v.width (fun i -> if bit v (v.width - 1 - i) then '1' else '0')
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Bv.of_hex_string"
+
+let of_hex_string ~width:w s =
+  let full = String.length s * 4 in
+  let v = zero (max w full) in
+  String.iteri
+    (fun i c ->
+      let d = hex_digit c in
+      let lo = (String.length s - 1 - i) * 4 in
+      for b = 0 to 3 do
+        if (d lsr b) land 1 = 1 then begin
+          let pos = lo + b in
+          if pos < v.width then
+            v.data.(pos / limb_bits) <- v.data.(pos / limb_bits) lor (1 lsl (pos mod limb_bits))
+        end
+      done)
+    s;
+  extend_u (normalize v) w
+
+let to_hex_string v =
+  if v.width = 0 then "0"
+  else begin
+    let digits = ((v.width - 1) / 4) + 1 in
+    let buf = Buffer.create digits in
+    for i = digits - 1 downto 0 do
+      let d =
+        (if bit v ((i * 4) + 3) then 8 else 0)
+        lor (if bit v ((i * 4) + 2) then 4 else 0)
+        lor (if bit v ((i * 4) + 1) then 2 else 0)
+        lor if bit v (i * 4) then 1 else 0
+      in
+      Buffer.add_char buf "0123456789abcdef".[d]
+    done;
+    Buffer.contents buf
+  end
+
+let of_decimal_string ~width:w s =
+  let v = ref (zero (max w (String.length s * 4))) in
+  let wv = (!v).width in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' ->
+          let d = Char.code c - Char.code '0' in
+          v := add ~width:wv (mul ~width:wv !v (of_int ~width:wv 10)) (of_int ~width:wv d)
+      | _ -> invalid_arg "Bv.of_decimal_string")
+    s;
+  extend_u !v w
+
+let to_decimal_string v =
+  match to_int v with
+  | Some n -> string_of_int n
+  | None ->
+      (* repeated division by 10^9 *)
+      let base = 1_000_000_000 in
+      let bbase = of_int ~width:v.width base in
+      let rec go v acc =
+        match to_int v with
+        | Some n -> string_of_int n :: acc
+        | None ->
+            let q, r = divmod_u v bbase in
+            let rs = to_int_trunc r in
+            go (extend_u q v.width) (Printf.sprintf "%09d" rs :: acc)
+      in
+      String.concat "" (go v [])
+
+let pp fmt v = Format.fprintf fmt "%d'h%s" v.width (to_hex_string v)
+
+let random ~width:w rng =
+  let v = zero w in
+  for i = 0 to Array.length v.data - 1 do
+    v.data.(i) <- rng () land limb_mask
+  done;
+  normalize v

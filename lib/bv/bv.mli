@@ -1,0 +1,180 @@
+(** Arbitrary-width bitvectors.
+
+    Values are unsigned two's-complement bit patterns of a fixed [width]
+    (>= 1 except for the special zero-width vector used by empty
+    concatenations). All operations take an explicit result width where the
+    FIRRTL width rules require one; results are truncated modulo [2^width].
+
+    The representation uses 31-bit limbs so that limb products fit in a
+    native OCaml [int]. *)
+
+type t
+
+(** {1 Construction} *)
+
+val zero : int -> t
+(** [zero w] is the all-zeros vector of width [w]. *)
+
+val one : int -> t
+(** [one w] is the value 1 at width [w]. Requires [w >= 1]. *)
+
+val ones : int -> t
+(** [ones w] is the all-ones vector of width [w]. *)
+
+val of_int : width:int -> int -> t
+(** [of_int ~width n] is [n] truncated to [width] bits. [n] must be
+    non-negative. *)
+
+val of_signed_int : width:int -> int -> t
+(** [of_signed_int ~width n] is the two's-complement encoding of [n]. *)
+
+val of_binary_string : string -> t
+(** [of_binary_string "1010"] has width 4. Raises [Invalid_argument] on
+    characters other than ['0']/['1']. *)
+
+val of_hex_string : width:int -> string -> t
+(** Parse a hexadecimal string (no prefix) and truncate to [width]. *)
+
+val of_decimal_string : width:int -> string -> t
+(** Parse a decimal string and truncate to [width]. *)
+
+val random : width:int -> (unit -> int) -> t
+(** [random ~width rng] builds a vector from a source of random
+    non-negative ints ([rng ()] must return at least 30 fresh bits). *)
+
+(** {1 Observation} *)
+
+val width : t -> int
+
+val to_int : t -> int option
+(** [to_int v] is [Some n] if the value fits in a non-negative OCaml int. *)
+
+val to_int_trunc : t -> int
+(** Low 62 bits of the value as a non-negative int (truncating). *)
+
+val to_signed_int : t -> int option
+(** Two's-complement interpretation if it fits in an OCaml int. *)
+
+val to_binary_string : t -> string
+val to_hex_string : t -> string
+val to_decimal_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val bit : t -> int -> bool
+(** [bit v i] is bit [i] (LSB = 0). Out-of-range bits read as [false]. *)
+
+val is_zero : t -> bool
+val is_ones : t -> bool
+val msb : t -> bool
+
+val popcount : t -> int
+
+(** {1 Comparison} *)
+
+val equal : t -> t -> bool
+(** Width and value equality. *)
+
+val equal_value : t -> t -> bool
+(** Value equality ignoring width (zero-extended comparison). *)
+
+val compare_u : t -> t -> int
+(** Unsigned comparison (widths may differ). *)
+
+val compare_s : t -> t -> int
+(** Signed (two's-complement at each vector's own width) comparison. *)
+
+val hash : t -> int
+
+(** {1 Width adjustment} *)
+
+val extend_u : t -> int -> t
+(** [extend_u v w] zero-extends or truncates to width [w]. *)
+
+val extend_s : t -> int -> t
+(** [extend_s v w] sign-extends (from [v]'s own width) or truncates. *)
+
+(** {1 Arithmetic} *)
+
+val add : width:int -> t -> t -> t
+val sub : width:int -> t -> t -> t
+val mul : width:int -> t -> t -> t
+val div_u : width:int -> t -> t -> t
+(** Unsigned division; division by zero yields zero (FIRRTL leaves it
+    undefined; we pick a total definition shared by all backends). *)
+
+val rem_u : width:int -> t -> t -> t
+(** Unsigned remainder; remainder by zero yields the dividend. *)
+
+val div_s : width:int -> t -> t -> t
+(** Signed division truncating toward zero, operands read at their own
+    widths. *)
+
+val rem_s : width:int -> t -> t -> t
+val neg : width:int -> t -> t
+
+(** {1 Bitwise} *)
+
+val logand : width:int -> t -> t -> t
+val logor : width:int -> t -> t -> t
+val logxor : width:int -> t -> t -> t
+val lognot : width:int -> t -> t
+
+val andr : t -> bool
+val orr : t -> bool
+val xorr : t -> bool
+
+(** {1 Shifts, slices, concatenation} *)
+
+val shift_left : width:int -> t -> int -> t
+val shift_right_logical : t -> int -> t
+(** Result width is [max 1 (width - n)] per the FIRRTL [shr] rule. *)
+
+val shift_right_arith : t -> int -> t
+val dshl : width:int -> t -> t -> t
+(** Dynamic shift left; the shift amount is read as unsigned. *)
+
+val dshr : t -> t -> t
+(** Dynamic logical shift right at the operand's width. *)
+
+val concat : t -> t -> t
+(** [concat hi lo]: [hi] occupies the most-significant bits. *)
+
+val extract : hi:int -> lo:int -> t -> t
+(** [extract ~hi ~lo v] is bits [hi..lo] inclusive; width [hi - lo + 1]. *)
+
+val head : t -> int -> t
+(** [head v n] is the [n] most significant bits. *)
+
+val tail : t -> int -> t
+(** [tail v n] removes the [n] most significant bits. *)
+
+val select_bit : t -> int -> t
+(** 1-bit vector holding bit [i]. *)
+
+(** {1 Predicates as 1-bit vectors} *)
+
+val eq : t -> t -> t
+val neq : t -> t -> t
+val lt_u : t -> t -> t
+val leq_u : t -> t -> t
+val gt_u : t -> t -> t
+val geq_u : t -> t -> t
+val lt_s : t -> t -> t
+val leq_s : t -> t -> t
+val gt_s : t -> t -> t
+val geq_s : t -> t -> t
+
+val of_bool : bool -> t
+val to_bool : t -> bool
+(** [to_bool v] is [true] iff [v] is non-zero. *)
+
+(** {1 Mux} *)
+
+val mux : t -> t -> t -> t
+(** [mux sel a b] is [a] when [sel] is non-zero else [b]. Operands must
+    have equal widths. *)
+
+(** {1 Saturating counter support (cover primitive)} *)
+
+val succ_saturating : t -> t
+(** Increment, holding at all-ones. *)

@@ -1,0 +1,58 @@
+(** The simulator-independent coverage interface (§3): a map from cover
+    statement name (including instance path) to a saturating count, one
+    common on-disk format, and the trivial pointwise merge of §5.3. *)
+
+type t = (string, int) Hashtbl.t
+
+val create : unit -> t
+val get : t -> string -> int
+(** 0 for unknown names. *)
+
+val set : t -> string -> int -> unit
+val add : t -> string -> int -> unit
+(** Saturating accumulate. *)
+
+val incr : t -> string -> unit
+val sat_add : int -> int -> int
+(** Saturating integer addition (the counter semantics of §3). *)
+
+val names : t -> string list
+(** Sorted. *)
+
+val to_sorted_list : t -> (string * int) list
+val of_list : (string * int) list -> t
+val total_points : t -> int
+val covered_points : ?threshold:int -> t -> int
+val covered : ?threshold:int -> t -> string list
+(** Names covered at least [threshold] times (default 1) — the removal
+    set of §5.3. *)
+
+val merge : t list -> t
+(** Pointwise saturating sum; missing keys count as zero, so partial
+    instrumentations merge cleanly. *)
+
+val equal : t -> t -> bool
+
+(** {1 Run-to-run comparison} *)
+
+type diff = {
+  newly_covered : string list;
+  lost : string list;
+  only_before : string list;
+  only_after : string list;
+}
+
+val diff : before:t -> after:t -> diff
+val render_diff : diff -> string
+
+(** {1 Interchange format}
+
+    One line per point: [<count> <name>]; [#] starts a comment. *)
+
+exception Bad_format of string
+
+val output : out_channel -> t -> unit
+val save : string -> t -> unit
+val to_string : t -> string
+val of_string : string -> t
+val load : string -> t

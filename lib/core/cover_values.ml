@@ -1,0 +1,51 @@
+(** The [cover-values] extension primitive (§6).
+
+    Covering every value of a w-bit signal with ordinary cover statements
+    needs 2^w of them — the exponential blowup of Figure 12. Backends in
+    this repo implement [cover-values] natively with an array of counters;
+    this module provides the naive lowering (for the Figure 12 comparison
+    and for backends without native support) and the shared key format
+    that makes native and lowered counts comparable. *)
+
+open Sic_ir
+module Pass = Sic_passes.Pass
+module Bv = Sic_bv.Bv
+
+let pass_name = "expand-cover-values"
+
+(** Counts key for value [v] of cover-values statement [name]. Backends
+    with native support report the same keys, so reports and merging are
+    oblivious to which implementation ran. (Plain identifier characters
+    only, so expanded circuits still round-trip through the printer and
+    parser.) *)
+let value_key name v = Printf.sprintf "%s__v%d" name v
+
+(** Replace every [cover-values] with [2^w] plain covers. *)
+let expand (c : Circuit.t) : Circuit.t =
+  let expand_module (m : Circuit.modul) =
+    let env = Circuit.build_env m in
+    let ty_of = Circuit.lookup_of env in
+    let body =
+      Stmt.map_concat
+        (fun s ->
+          match s with
+          | Stmt.CoverValues { name; signal; en; info } ->
+              let w = Ty.width (Expr.type_of ty_of signal) in
+              if w > 20 then
+                Pass.error ~pass:pass_name
+                  "cover-values %s on a %d-bit signal would expand to 2^%d covers" name w w;
+              List.init (1 lsl w) (fun v ->
+                  Stmt.Cover
+                    {
+                      name = value_key name v;
+                      pred = Expr.and_ en (Expr.eq_ signal (Expr.u_lit ~width:w v));
+                      info;
+                    })
+          | s -> [ s ])
+        m.Circuit.body
+    in
+    { m with Circuit.body }
+  in
+  { c with Circuit.modules = List.map expand_module c.Circuit.modules }
+
+let pass = Pass.make pass_name expand

@@ -1,0 +1,14 @@
+(** The [cover-values] extension primitive (§6): one counter per possible
+    value of a signal. Backends implement it natively with an array of
+    counters; [expand] provides the naive exponential lowering of
+    Figure 12 for comparison and for backends without native support. *)
+
+val value_key : string -> int -> string
+(** Counts key for value [v] of statement [name]; shared by native and
+    expanded implementations so their counts are comparable. *)
+
+val expand : Sic_ir.Circuit.t -> Sic_ir.Circuit.t
+(** Replace every [cover-values] over a w-bit signal with [2^w] plain
+    covers. Rejects signals wider than 20 bits. *)
+
+val pass : Sic_passes.Pass.t

@@ -1,0 +1,319 @@
+(** Finite state machine coverage (§4.3).
+
+    Uses the [Enum_reg] annotations produced by the DSL's ChiselEnum
+    analogue to find state registers. For each possible current state the
+    next-state expression is simplified by constant propagation (the
+    current-state symbol replaced by its constant), and the set of
+    reachable constants is collected from the resulting mux tree. When the
+    simplified expression is neither a constant nor a mux the analysis
+    over-approximates with *all* states — conservative, as in the paper:
+    transitions may be over-reported but are never missed (§5.5 shows the
+    formal backend finding exactly such over-approximations).
+
+    A cover statement is then added for every state and every inferred
+    transition, plus one for the reset entry. *)
+
+open Sic_ir
+module Pass = Sic_passes.Pass
+module Bv = Sic_bv.Bv
+
+let pass_name = "fsm-coverage"
+
+type transition = { from_state : string; to_state : string }
+
+type fsm = {
+  reg_name : string;
+  enum : Annotation.enum_def;
+  state_covers : (string * string) list;  (** state -> cover name *)
+  transition_covers : (transition * string) list;
+  reset_cover : (string * string) option;  (** initial state, cover name *)
+  over_approximated : bool;  (** true when some case fell back to "all" *)
+}
+
+type db = fsm list
+
+(* ------------------------------------------------------------------ *)
+(* Next-state analysis                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type next_states = States of int list | All
+
+let union a b =
+  match (a, b) with
+  | All, _ | _, All -> All
+  | States x, States y -> States (List.sort_uniq compare (x @ y))
+
+(* Collect the constants reachable from the mux/constant spine of an
+   expression. References to nodes and wires are resolved lazily through
+   [defs], but only when they sit on the spine — anything below another
+   primop would be [All] regardless, so the analysis never blows up on
+   large datapath cones. Each resolution step re-substitutes the current
+   state and re-simplifies, which folds [eq(state, k)] selectors to
+   constants and prunes dead branches, exactly the procedure of Figure 7. *)
+let collect ~ty_of ~defs ~subst_state (e : Expr.t) : next_states =
+  (* Mux selectors are usually node references ([_WHEN] conditions); try to
+     fold them to a constant by iteratively inlining definitions and
+     re-simplifying under the current-state substitution. Selector cones
+     (path predicates, [eq(state, k)] tests) are small, so a bounded number
+     of rounds suffices; anything unresolved stays symbolic and the caller
+     unions both arms. *)
+  let rec size (e : Expr.t) =
+    match e with
+    | Expr.Ref _ | Expr.UIntLit _ | Expr.SIntLit _ -> 1
+    | Expr.Mux (a, b, c) -> 1 + size a + size b + size c
+    | Expr.Unop (_, a) | Expr.Intop (_, _, a) | Expr.Bits (a, _, _) -> 1 + size a
+    | Expr.Binop (_, a, b) -> 1 + size a + size b
+  in
+  let resolve_cond c =
+    let rec rounds n c =
+      let c' =
+        Sic_passes.Const_prop.simplify ty_of
+          (subst_state (Expr.subst (fun r -> Hashtbl.find_opt defs r) c))
+      in
+      match c' with
+      | Expr.UIntLit v -> Some (Bv.to_bool v)
+      | _ ->
+          if n = 0 || size c' > 4096 || Expr.equal c c' then None else rounds (n - 1) c'
+    in
+    match Sic_passes.Const_prop.simplify ty_of (subst_state c) with
+    | Expr.UIntLit v -> Some (Bv.to_bool v)
+    | c -> rounds 16 c
+  in
+  let rec go depth e =
+    if depth = 0 then All
+    else
+      let e = Sic_passes.Const_prop.simplify ty_of (subst_state e) in
+      match e with
+      | Expr.UIntLit v -> (
+          match Bv.to_int v with Some n -> States [ n ] | None -> All)
+      | Expr.Mux (c, a, b) -> (
+          match resolve_cond c with
+          | Some true -> go (depth - 1) a
+          | Some false -> go (depth - 1) b
+          | None -> union (go (depth - 1) a) (go (depth - 1) b))
+      | Expr.Ref n -> (
+          match Hashtbl.find_opt defs n with
+          | Some d -> go (depth - 1) d
+          | None -> All)
+      | Expr.SIntLit _ | Expr.Unop _ | Expr.Binop _ | Expr.Intop _ | Expr.Bits _ -> All
+  in
+  go 4096 e
+
+let analyze_reg ~ty_of ~defs ~driver ~(enum : Annotation.enum_def) ~reg_name :
+    (int * next_states) list * bool =
+  let w = Ty.width (ty_of reg_name) in
+  let results =
+    List.map
+      (fun (_, code) ->
+        let subst_state e =
+          Expr.subst
+            (fun n ->
+              if String.equal n reg_name then Some (Expr.u_lit ~width:w code) else None)
+            e
+        in
+        (code, collect ~ty_of ~defs ~subst_state driver))
+      enum.Annotation.variants
+  in
+  let over = List.exists (fun (_, ns) -> ns = All) results in
+  (results, over)
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let variant_name (enum : Annotation.enum_def) code =
+  match List.find_opt (fun (_, c) -> c = code) enum.Annotation.variants with
+  | Some (n, _) -> Some n
+  | None -> None
+
+let instrument (c : Circuit.t) : Circuit.t * db =
+  if not (Sic_passes.Compile.is_low_form c) then
+    Pass.error ~pass:pass_name "fsm coverage requires a flat, lowered circuit";
+  let m = Circuit.main c in
+  let annos = c.Circuit.annotations in
+  let enum_regs = Annotation.enum_regs_of ~module_name:m.Circuit.module_name annos in
+  let env = Circuit.build_env m in
+  let ty_of = Circuit.lookup_of env in
+  let ns = Namespace.of_module m in
+  (* definition maps for expansion and the driver of each register *)
+  let defs = Hashtbl.create 64 in
+  let drivers = Hashtbl.create 16 in
+  let reg_resets = Hashtbl.create 16 in
+  let regs = Hashtbl.create 16 in
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Reg { name; reset; _ } ->
+          Hashtbl.replace regs name ();
+          Hashtbl.replace reg_resets name reset
+      | _ -> ())
+    m.Circuit.body;
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Node { name; expr; _ } -> Hashtbl.replace defs name expr
+      | Stmt.Connect { loc; expr; _ } ->
+          if Hashtbl.mem regs loc then Hashtbl.replace drivers loc expr
+          else Hashtbl.replace defs loc expr
+      | _ -> ())
+    m.Circuit.body;
+  let stmts = ref [] in
+  let emit s = stmts := s :: !stmts in
+  let fsms =
+    List.filter_map
+      (fun (reg_name, enum_name) ->
+        match (Annotation.find_enum annos enum_name, Hashtbl.mem regs reg_name) with
+        | None, _ | _, false -> None (* register optimized away: drop *)
+        | Some enum, true ->
+            let w = Ty.width (ty_of reg_name) in
+            let driver =
+              Option.value ~default:(Expr.Ref reg_name) (Hashtbl.find_opt drivers reg_name)
+            in
+            let cases, over = analyze_reg ~ty_of ~defs ~driver ~enum ~reg_name in
+            let next_name = Namespace.fresh ns (Printf.sprintf "_fsm_next_%s" reg_name) in
+            emit (Stmt.Node { name = next_name; expr = driver; info = Info.unknown });
+            let not_reset = Expr.Unop (Expr.Not, Expr.Ref "reset") in
+            (* state covers *)
+            let state_covers =
+              List.map
+                (fun (vname, code) ->
+                  let cover_name =
+                    Namespace.fresh ns (Printf.sprintf "fsm_%s_state_%s" reg_name vname)
+                  in
+                  emit
+                    (Stmt.Cover
+                       {
+                         name = cover_name;
+                         pred = Expr.eq_ (Expr.Ref reg_name) (Expr.u_lit ~width:w code);
+                         info = Info.unknown;
+                       });
+                  (vname, cover_name))
+                enum.Annotation.variants
+            in
+            (* transition covers *)
+            let transition_covers =
+              List.concat_map
+                (fun (code, nexts) ->
+                  let targets =
+                    match nexts with
+                    | States l -> List.filter_map (variant_name enum) l
+                    | All -> List.map fst enum.Annotation.variants
+                  in
+                  let from_state =
+                    Option.value ~default:(string_of_int code) (variant_name enum code)
+                  in
+                  List.map
+                    (fun to_state ->
+                      let to_code = List.assoc to_state enum.Annotation.variants in
+                      let cover_name =
+                        Namespace.fresh ns
+                          (Printf.sprintf "fsm_%s_%s_to_%s" reg_name from_state to_state)
+                      in
+                      emit
+                        (Stmt.Cover
+                           {
+                             name = cover_name;
+                             pred =
+                               Expr.and_ not_reset
+                                 (Expr.and_
+                                    (Expr.eq_ (Expr.Ref reg_name) (Expr.u_lit ~width:w code))
+                                    (Expr.eq_ (Expr.Ref next_name)
+                                       (Expr.u_lit ~width:w to_code)));
+                             info = Info.unknown;
+                           });
+                      ({ from_state; to_state }, cover_name))
+                    targets)
+                cases
+            in
+            (* reset entry *)
+            let reset_cover =
+              match Hashtbl.find_opt reg_resets reg_name with
+              | Some (Some (rst, init)) -> (
+                  match Sic_passes.Const_prop.simplify ty_of init with
+                  | Expr.UIntLit v when Bv.to_int v <> None ->
+                      let code = Option.get (Bv.to_int v) in
+                      let init_state =
+                        Option.value ~default:(string_of_int code) (variant_name enum code)
+                      in
+                      let cover_name =
+                        Namespace.fresh ns (Printf.sprintf "fsm_%s_reset_to_%s" reg_name init_state)
+                      in
+                      emit (Stmt.Cover { name = cover_name; pred = rst; info = Info.unknown });
+                      Some (init_state, cover_name)
+                  | _ -> None)
+              | Some None | None -> None
+            in
+            Some
+              {
+                reg_name;
+                enum;
+                state_covers;
+                transition_covers;
+                reset_cover;
+                over_approximated = over;
+              })
+      enum_regs
+  in
+  let m' = { m with Circuit.body = m.Circuit.body @ List.rev !stmts } in
+  ({ c with Circuit.modules = [ m' ] }, fsms)
+
+let pass (db_out : db ref) =
+  Pass.make pass_name (fun c ->
+      let c, db = instrument c in
+      db_out := db;
+      c)
+
+(** {1 Report generation} *)
+
+type fsm_report = {
+  states_total : int;
+  states_covered : int;
+  transitions_total : int;
+  transitions_covered : int;
+  missing : string list;  (** uncovered state/transition cover names *)
+}
+
+let report (db : db) (counts : Counts.t) : fsm_report =
+  let covered name = Counts.get counts name > 0 in
+  let all_states = List.concat_map (fun f -> List.map snd f.state_covers) db in
+  let all_transitions = List.concat_map (fun f -> List.map snd f.transition_covers) db in
+  {
+    states_total = List.length all_states;
+    states_covered = List.length (List.filter covered all_states);
+    transitions_total = List.length all_transitions;
+    transitions_covered = List.length (List.filter covered all_transitions);
+    missing =
+      List.filter (fun n -> not (covered n)) (all_states @ all_transitions)
+      |> List.sort String.compare;
+  }
+
+let render (db : db) (counts : Counts.t) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "=== fsm coverage ===\n";
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "fsm %s (enum %s)%s\n" f.reg_name f.enum.Annotation.enum_name
+           (if f.over_approximated then " [over-approximated]" else ""));
+      List.iter
+        (fun (state, cover) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  state %-12s %d\n" state (Counts.get counts cover)))
+        f.state_covers;
+      List.iter
+        (fun (t, cover) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-12s -> %-12s %d\n" t.from_state t.to_state
+               (Counts.get counts cover)))
+        f.transition_covers;
+      match f.reset_cover with
+      | Some (init, cover) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  reset        -> %-12s %d\n" init (Counts.get counts cover))
+      | None -> ())
+    db;
+  let r = report db counts in
+  Buffer.add_string buf
+    (Printf.sprintf "states: %d/%d  transitions: %d/%d\n" r.states_covered r.states_total
+       r.transitions_covered r.transitions_total);
+  Buffer.contents buf

@@ -1,0 +1,55 @@
+(** Finite state machine coverage (§4.3).
+
+    Finds state registers through the DSL's ChiselEnum-style [Enum_reg]
+    annotations, infers the possible next states per current state by
+    constant propagation through the lowered next-state logic (Figure 7),
+    over-approximating conservatively when the expression is opaque, and
+    adds a cover for every state, every inferred transition, and the
+    reset entry. *)
+
+open Sic_ir
+
+type transition = { from_state : string; to_state : string }
+
+type fsm = {
+  reg_name : string;
+  enum : Annotation.enum_def;
+  state_covers : (string * string) list;  (** state name -> cover name *)
+  transition_covers : (transition * string) list;
+  reset_cover : (string * string) option;  (** initial state, cover name *)
+  over_approximated : bool;
+      (** true when some case fell back to "all states are possible" —
+          the formal backend can then prove which transitions are dead
+          (§5.5) *)
+}
+
+type db = fsm list
+
+(** Next-state analysis result for one current state. *)
+type next_states = States of int list | All
+
+val analyze_reg :
+  ty_of:(string -> Ty.t) ->
+  defs:(string, Expr.t) Hashtbl.t ->
+  driver:Expr.t ->
+  enum:Annotation.enum_def ->
+  reg_name:string ->
+  (int * next_states) list * bool
+(** Exposed for testing: per-state reachable constants and whether any
+    case over-approximated. *)
+
+val instrument : Circuit.t -> Circuit.t * db
+(** Requires a flat, lowered circuit. *)
+
+val pass : db ref -> Sic_passes.Pass.t
+
+type fsm_report = {
+  states_total : int;
+  states_covered : int;
+  transitions_total : int;
+  transitions_covered : int;
+  missing : string list;
+}
+
+val report : db -> Counts.t -> fsm_report
+val render : db -> Counts.t -> string

@@ -1,0 +1,152 @@
+(** HTML report generation — the "interactive HTML reports" the paper
+    names as the natural report-generator extension (§4, Table 1
+    discussion). One self-contained page per run: summary tiles, a line
+    coverage table with per-source-file annotated listings, and sections
+    for whichever other metrics were collected. Still entirely
+    simulator-independent: the input is the same metadata + counts map. *)
+
+let esc s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let style =
+  {|<style>
+body { font-family: ui-monospace, monospace; margin: 2em; background: #fafafa; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+.tiles { display: flex; gap: 1em; flex-wrap: wrap; }
+.tile { background: #fff; border: 1px solid #ddd; border-radius: 6px; padding: 0.8em 1.2em; }
+.tile b { display: block; font-size: 1.4em; }
+table { border-collapse: collapse; background: #fff; }
+td, th { border: 1px solid #ddd; padding: 0.2em 0.6em; text-align: left; }
+tr.hit td { background: #e8f6e8; } tr.miss td { background: #fbe9e9; }
+.count { text-align: right; color: #555; }
+pre { background: #fff; border: 1px solid #ddd; padding: 0.6em; }
+</style>|}
+
+let pct covered total =
+  if total = 0 then 100.0 else 100.0 *. float_of_int covered /. float_of_int total
+
+let tile label covered total =
+  Printf.sprintf "<div class=\"tile\"><b>%.1f%%</b>%s (%d/%d)</div>" (pct covered total)
+    (esc label) covered total
+
+(* annotated source listing for one file *)
+let source_section buf file (lines : (int * int) list) =
+  Buffer.add_string buf (Printf.sprintf "<h2>%s</h2>\n<table>\n" (esc file));
+  Buffer.add_string buf "<tr><th>line</th><th class=\"count\">count</th><th>source</th></tr>\n";
+  let source =
+    if Sys.file_exists file then begin
+      let ic = open_in file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | l -> go (l :: acc)
+            | exception End_of_file -> Array.of_list (List.rev acc)
+          in
+          Some (go []))
+    end
+    else None
+  in
+  List.iter
+    (fun (line, count) ->
+      let text =
+        match source with
+        | Some arr when line - 1 >= 0 && line - 1 < Array.length arr -> arr.(line - 1)
+        | Some _ | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "<tr class=\"%s\"><td>%d</td><td class=\"count\">%d</td><td><code>%s</code></td></tr>\n"
+           (if count > 0 then "hit" else "miss")
+           line count (esc text)))
+    lines;
+  Buffer.add_string buf "</table>\n"
+
+(** Render one self-contained HTML page. Only the metrics whose metadata
+    is passed appear. *)
+let render ?(title = "SIC coverage report") ?(line : Line_coverage.db option)
+    ?(toggle : Toggle_coverage.db option) ?(fsm : Fsm_coverage.db option)
+    ?(rv : Ready_valid_coverage.db option) (counts : Counts.t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "<!doctype html>\n<html><head><meta charset=\"utf-8\"><title>%s</title>%s</head><body>\n<h1>%s</h1>\n"
+       (esc title) style (esc title));
+  (* summary tiles *)
+  Buffer.add_string buf "<div class=\"tiles\">\n";
+  (match line with
+  | Some db ->
+      let r = Line_coverage.report db counts in
+      Buffer.add_string buf
+        (tile " branches" r.Line_coverage.branches_covered r.Line_coverage.branches_total);
+      Buffer.add_string buf
+        (tile " lines" r.Line_coverage.lines_covered r.Line_coverage.lines_total)
+  | None -> ());
+  (match toggle with
+  | Some db ->
+      let r = Toggle_coverage.report db counts in
+      Buffer.add_string buf
+        (tile " toggle bits" r.Toggle_coverage.bits_toggled r.Toggle_coverage.bits_total)
+  | None -> ());
+  (match fsm with
+  | Some db ->
+      let r = Fsm_coverage.report db counts in
+      Buffer.add_string buf
+        (tile " fsm states" r.Fsm_coverage.states_covered r.Fsm_coverage.states_total);
+      Buffer.add_string buf
+        (tile " fsm transitions" r.Fsm_coverage.transitions_covered
+           r.Fsm_coverage.transitions_total)
+  | None -> ());
+  Buffer.add_string buf "</div>\n";
+  (* line coverage: per-file listings *)
+  (match line with
+  | Some db ->
+      let r = Line_coverage.report db counts in
+      let files =
+        List.sort_uniq String.compare (List.map (fun ((f, _), _) -> f) r.Line_coverage.per_line)
+      in
+      List.iter
+        (fun file ->
+          let lines =
+            List.filter_map
+              (fun ((f, l), c) -> if String.equal f file then Some (l, c) else None)
+              r.Line_coverage.per_line
+          in
+          source_section buf file lines)
+        files
+  | None -> ());
+  (* other metric details reuse the ASCII renderers inside <pre> *)
+  (match toggle with
+  | Some db ->
+      Buffer.add_string buf
+        (Printf.sprintf "<h2>toggle detail</h2><pre>%s</pre>\n"
+           (esc (Toggle_coverage.render db counts)))
+  | None -> ());
+  (match fsm with
+  | Some db ->
+      Buffer.add_string buf
+        (Printf.sprintf "<h2>fsm detail</h2><pre>%s</pre>\n" (esc (Fsm_coverage.render db counts)))
+  | None -> ());
+  (match rv with
+  | Some db ->
+      Buffer.add_string buf
+        (Printf.sprintf "<h2>ready/valid detail</h2><pre>%s</pre>\n"
+           (esc (Ready_valid_coverage.render db counts)))
+  | None -> ());
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf
+
+let save path ?title ?line ?toggle ?fsm ?rv counts =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?title ?line ?toggle ?fsm ?rv counts))

@@ -1,0 +1,61 @@
+(** Branch and line coverage (§4.1).
+
+    The instrumentation pass runs on the high-form IR (before
+    when-lowering): every branch arm gets a [cover] with predicate 1,
+    which lowering conjoins with the arm's path predicate. Metadata maps
+    each cover to the source lines its arm dominates; the report
+    generator joins that with any backend's counts map. *)
+
+open Sic_ir
+
+type arm = Then | Else | Root
+
+type branch = {
+  cover_name : string;  (** module-unique name ([l_<Module>_<n>]) *)
+  module_name : string;
+  arm : arm;
+  branch_info : Info.t;  (** locator of the branch itself *)
+  lines : (string * int) list;  (** (file, line) of the arm's statements *)
+}
+
+type db = branch list
+
+val instrument : Circuit.t -> Circuit.t * db
+(** Instrument every module of a high-form circuit. *)
+
+val pass : db ref -> Sic_passes.Pass.t
+(** Pass-shaped wrapper; stores the metadata in the ref. *)
+
+val local_name : string -> string
+(** Strip the instance path from a flattened cover name. *)
+
+type line_report = {
+  per_line : ((string * int) * int) list;  (** (file, line) -> count *)
+  lines_total : int;
+  lines_covered : int;
+  branches_total : int;
+  branches_covered : int;
+  never_covered : branch list;
+}
+
+val report : db -> Counts.t -> line_report
+(** Counts from multiple instances of a module are summed per source
+    line. *)
+
+val arm_name : arm -> string
+
+val render : ?with_sources:bool -> db -> Counts.t -> string
+(** ASCII report; with [~with_sources:true], annotates the original
+    source lines when the files are readable. *)
+
+(** {1 Per-module / per-instance rollup} *)
+
+type module_summary = {
+  summary_module : string;
+  instances : (string * int * int) list;  (** path, covered, total *)
+  module_covered : int;
+  module_total : int;
+}
+
+val module_summaries : db -> Counts.t -> module_summary list
+val render_module_summary : db -> Counts.t -> string

@@ -1,0 +1,12 @@
+(** Mux toggle coverage — the rfuzz feedback metric reimplemented for the
+    fuzzing comparison of §5.4: two covers per structurally distinct mux
+    select, one per polarity. *)
+
+type point = { base : string; cover_true : string; cover_false : string }
+type db = point list
+
+val instrument : Sic_ir.Circuit.t -> Sic_ir.Circuit.t * db
+(** Requires a flat, lowered circuit. *)
+
+val pass : db ref -> Sic_passes.Pass.t
+val render : db -> Counts.t -> string

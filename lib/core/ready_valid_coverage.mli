@@ -1,0 +1,12 @@
+(** Ready/valid coverage (§4.4): one cover per DecoupledIO-style bundle,
+    counting fired transfers. Bundles come from the DSL's [Decoupled]
+    annotations plus a structural [<p>_ready]/[<p>_valid] scan. *)
+
+type point = { cover_name : string; prefix : string; from_annotation : bool }
+type db = point list
+
+val instrument : Sic_ir.Circuit.t -> Sic_ir.Circuit.t * db
+(** Requires a flat, lowered circuit. *)
+
+val pass : db ref -> Sic_passes.Pass.t
+val render : db -> Counts.t -> string

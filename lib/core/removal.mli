@@ -1,0 +1,28 @@
+(** Coverage removal (§5.3): drop cover statements already exercised by
+    cheaper (software) runs before building the expensive FPGA image. *)
+
+open Sic_ir
+
+type result = {
+  circuit : Circuit.t;
+  removed : string list;
+  kept : string list;
+}
+
+val remove_covered : ?threshold:int -> Counts.t -> Circuit.t -> result
+(** Remove covers whose count reaches [threshold] (default 10, as in the
+    paper). *)
+
+val restrict : Circuit.t -> Counts.t -> Counts.t
+(** Keep only the counts of covers the circuit still contains. *)
+
+(** {1 Waivers (coverage exclusions)} *)
+
+val matches : pattern:string -> string -> bool
+(** Glob with [*] as the only metacharacter. *)
+
+val remove_matching : patterns:string list -> Circuit.t -> result
+val parse_waivers : string -> string list
+(** One pattern per line; [#] comments. *)
+
+val load_waivers : string -> string list

@@ -1,0 +1,210 @@
+(** Toggle coverage (§4.2).
+
+    Runs on the optimized low-form (flat, when-free) circuit. For every
+    selected signal the pass adds a register holding the previous value, an
+    xor detecting per-bit changes, a first-cycle disable register, and one
+    cover statement per bit. Signals that the global alias analysis proves
+    always-equal are instrumented once, through their representative — the
+    optimization the paper calls out as necessary for performance (e.g. a
+    global reset fanned out to every module). *)
+
+open Sic_ir
+module Pass = Sic_passes.Pass
+
+let pass_name = "toggle-coverage"
+
+type category = Io | Register | Wire | Mem_port
+
+type sel = { sig_name : string; category : category; width : int }
+
+type edge = Any | Rising | Falling
+
+type point = {
+  cover_name : string;
+  signal : string;  (** representative actually instrumented *)
+  bit : int;
+  edge : edge;
+  aliases : string list;  (** other signals covered via this one *)
+}
+
+type db = {
+  points : point list;
+  selected : sel list;
+  alias_groups : Sic_passes.Alias.groups;
+}
+
+let default_categories = [ Io; Register; Wire; Mem_port ]
+
+let category_name = function
+  | Io -> "io"
+  | Register -> "reg"
+  | Wire -> "wire"
+  | Mem_port -> "mem"
+
+(* Collect instrumentable signals of the main module by category. *)
+let select (categories : category list) (m : Circuit.modul) : sel list =
+  let want c = List.mem c categories in
+  let out = ref [] in
+  let add sig_name category ty =
+    match ty with
+    | Ty.Clock -> ()
+    | Ty.UInt w | Ty.SInt w ->
+        if w > 0 then out := { sig_name; category; width = w } :: !out
+  in
+  if want Io then
+    List.iter
+      (fun (p : Circuit.port) ->
+        if p.Circuit.port_name <> "clock" then add p.Circuit.port_name Io p.Circuit.port_ty)
+      m.Circuit.ports;
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Reg { name; ty; _ } when want Register -> add name Register ty
+      | Stmt.Wire { name; ty; _ } when want Wire -> add name Wire ty
+      | Stmt.Mem { mem; _ } when want Mem_port ->
+          List.iter
+            (fun { Stmt.rp_name } ->
+              add (mem.Stmt.mem_name ^ "." ^ rp_name ^ ".data") Mem_port mem.Stmt.mem_data)
+            mem.Stmt.mem_readers
+      | Stmt.Reg _ | Stmt.Wire _ | Stmt.Mem _ | Stmt.Node _ | Stmt.Inst _
+      | Stmt.Connect _ | Stmt.When _ | Stmt.Cover _ | Stmt.CoverValues _
+      | Stmt.Stop _ | Stmt.Print _ -> ())
+    m.Circuit.body;
+  List.rev !out
+
+(** Instrument toggle coverage. With [~edges:true], rising (0→1) and
+    falling (1→0) transitions are counted separately — the "simple
+    extension" of §4.2 using two cover statements per bit instead of
+    one. [~use_alias:false] disables the alias-group deduplication
+    (instrumenting every selected signal), exposing the cost the paper's
+    global alias analysis exists to avoid — used by the ablation bench. *)
+let instrument ?(categories = default_categories) ?(edges = false) ?(use_alias = true)
+    (c : Circuit.t) : Circuit.t * db =
+  if not (Sic_passes.Compile.is_low_form c) then
+    Pass.error ~pass:pass_name "toggle coverage requires a flat, lowered circuit";
+  let m = Circuit.main c in
+  let groups = if use_alias then Sic_passes.Alias.analyze c else [] in
+  let rep = Sic_passes.Alias.representative groups in
+  let selected = select categories m in
+  (* map representative -> all selected aliases; instrument the rep only.
+     The rep may itself be an un-selected node — instrumenting it still
+     covers the selected signals, since they always carry the same value. *)
+  let by_rep : (string, sel list) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      let r = rep s.sig_name in
+      (match Hashtbl.find_opt by_rep r with
+      | None ->
+          order := r :: !order;
+          Hashtbl.replace by_rep r [ s ]
+      | Some l -> Hashtbl.replace by_rep r (s :: l)))
+    selected;
+  let ns = Namespace.of_module m in
+  let env = Circuit.build_env m in
+  let ty_of = Circuit.lookup_of env in
+  let stmts = ref [] in
+  let emit s = stmts := s :: !stmts in
+  let points = ref [] in
+  (* enable register: 0 in the first cycle, 1 afterwards *)
+  let en = Namespace.fresh ns "_t_en" in
+  emit (Stmt.Reg { name = en; ty = Ty.UInt 1; reset = None; info = Info.unknown });
+  emit (Stmt.Connect { loc = en; expr = Expr.true_; info = Info.unknown });
+  List.iter
+    (fun r ->
+      let sels = Hashtbl.find by_rep r in
+      let ty = ty_of r in
+      let w = Ty.width ty in
+      let prev = Namespace.fresh ns ("_t_prev_" ^ r) in
+      emit (Stmt.Reg { name = prev; ty; reset = None; info = Info.unknown });
+      emit (Stmt.Connect { loc = prev; expr = Expr.Ref r; info = Info.unknown });
+      let changed = Namespace.fresh ns ("_t_chg_" ^ r) in
+      emit
+        (Stmt.Node
+           { name = changed; expr = Expr.Binop (Expr.Xor, Expr.Ref r, Expr.Ref prev); info = Info.unknown });
+      let aliases =
+        List.filter_map
+          (fun s -> if String.equal s.sig_name r then None else Some s.sig_name)
+          sels
+      in
+      let chg_bit bit = Expr.Bits (Expr.Ref changed, bit, bit) in
+      let cur_bit bit = Expr.Bits (Expr.Ref r, bit, bit) in
+      let add_point ~suffix ~edge ~pred bit =
+        let cover_name = Namespace.fresh ns (Printf.sprintf "t_%s_%d%s" r bit suffix) in
+        points := { cover_name; signal = r; bit; edge; aliases } :: !points;
+        emit
+          (Stmt.Cover
+             { name = cover_name; pred = Expr.Binop (Expr.And, Expr.Ref en, pred); info = Info.unknown })
+      in
+      for bit = 0 to w - 1 do
+        if edges then begin
+          (* rising: changed and now 1; falling: changed and now 0 *)
+          add_point ~suffix:"_rise" ~edge:Rising
+            ~pred:(Expr.Binop (Expr.And, chg_bit bit, cur_bit bit))
+            bit;
+          add_point ~suffix:"_fall" ~edge:Falling
+            ~pred:
+              (Expr.Binop
+                 (Expr.And, chg_bit bit, Expr.Unop (Expr.Not, cur_bit bit)))
+            bit
+        end
+        else add_point ~suffix:"" ~edge:Any ~pred:(chg_bit bit) bit
+      done)
+    (List.rev !order);
+  let m' = { m with Circuit.body = m.Circuit.body @ List.rev !stmts } in
+  ( { c with Circuit.modules = [ m' ] },
+    { points = List.rev !points; selected; alias_groups = groups } )
+
+let pass ?categories ?edges (db_out : db ref) =
+  Pass.make pass_name (fun c ->
+      let c, db = instrument ?categories ?edges c in
+      db_out := db;
+      c)
+
+(** {1 Report generation} *)
+
+type toggle_report = {
+  bits_total : int;
+  bits_toggled : int;
+  stuck : (string * int) list;  (** signal, bit — never toggled *)
+  per_signal : (string * int * int) list;  (** signal, toggled, width *)
+}
+
+let report (db : db) (counts : Counts.t) : toggle_report =
+  let toggled p = Counts.get counts p.cover_name > 0 in
+  let bits_total = List.length db.points in
+  let bits_toggled = List.length (List.filter toggled db.points) in
+  let stuck =
+    List.filter_map (fun p -> if toggled p then None else Some (p.signal, p.bit)) db.points
+  in
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun p ->
+      let t, w = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl p.signal) in
+      Hashtbl.replace tbl p.signal ((if toggled p then t + 1 else t), w + 1))
+    db.points;
+  let per_signal =
+    Hashtbl.fold (fun s (t, w) acc -> (s, t, w) :: acc) tbl []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  { bits_total; bits_toggled; stuck; per_signal }
+
+let render (db : db) (counts : Counts.t) : string =
+  let r = report db counts in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "=== toggle coverage ===\n";
+  Buffer.add_string buf
+    (Printf.sprintf "bits toggled: %d/%d (%.1f%%)\n" r.bits_toggled r.bits_total
+       (if r.bits_total = 0 then 100.0
+        else 100.0 *. float_of_int r.bits_toggled /. float_of_int r.bits_total));
+  List.iter
+    (fun (s, t, w) ->
+      Buffer.add_string buf (Printf.sprintf "  %-40s %d/%d\n" s t w))
+    r.per_signal;
+  if r.stuck <> [] then begin
+    Buffer.add_string buf "stuck bits:\n";
+    List.iter
+      (fun (s, b) -> Buffer.add_string buf (Printf.sprintf "  %s[%d]\n" s b))
+      r.stuck
+  end;
+  Buffer.contents buf

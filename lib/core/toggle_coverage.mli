@@ -1,0 +1,48 @@
+(** Toggle coverage (§4.2): previous-value register + xor + first-cycle
+    disable, one cover per bit, instrumenting one representative per
+    global alias group. Runs on the optimized low-form circuit. *)
+
+open Sic_ir
+
+type category = Io | Register | Wire | Mem_port
+type edge = Any | Rising | Falling
+
+type sel = { sig_name : string; category : category; width : int }
+
+type point = {
+  cover_name : string;
+  signal : string;  (** representative actually instrumented *)
+  bit : int;
+  edge : edge;
+  aliases : string list;  (** signals covered through this representative *)
+}
+
+type db = {
+  points : point list;
+  selected : sel list;
+  alias_groups : Sic_passes.Alias.groups;
+}
+
+val default_categories : category list
+val category_name : category -> string
+
+val select : category list -> Circuit.modul -> sel list
+(** The signals the pass would instrument, before alias dedup. *)
+
+val instrument :
+  ?categories:category list -> ?edges:bool -> ?use_alias:bool -> Circuit.t -> Circuit.t * db
+(** With [~edges:true], rising and falling transitions get separate
+    covers (two per bit) — the extension mentioned in §4.2. With
+    [~use_alias:false], alias deduplication is disabled (ablation). *)
+
+val pass : ?categories:category list -> ?edges:bool -> db ref -> Sic_passes.Pass.t
+
+type toggle_report = {
+  bits_total : int;
+  bits_toggled : int;
+  stuck : (string * int) list;  (** never-toggled (signal, bit) *)
+  per_signal : (string * int * int) list;  (** signal, toggled, width *)
+}
+
+val report : db -> Counts.t -> toggle_report
+val render : db -> Counts.t -> string

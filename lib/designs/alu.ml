@@ -1,0 +1,46 @@
+(** A RISC-V style ALU module, instantiated by the cores. Operation codes
+    follow the RV32I funct encodings. *)
+
+open Sic_ir
+
+let op_add = 0
+let op_sub = 1
+let op_and = 2
+let op_or = 3
+let op_xor = 4
+let op_slt = 5
+let op_sltu = 6
+let op_sll = 7
+let op_srl = 8
+let op_sra = 9
+let op_copy_b = 10
+
+(** Adds an [Alu] module (width [w]) to [cb]; returns nothing — instantiate
+    it by name. Ports: [a], [b], [op], [out], [zero]. *)
+let define ?(width = 32) (cb : Dsl.circuit_builder) =
+  Dsl.module_ cb "Alu" (fun m ->
+      let open Dsl in
+      let a = input ~loc:__POS__ m "a" (Ty.UInt width) in
+      let b = input ~loc:__POS__ m "b" (Ty.UInt width) in
+      let op = input ~loc:__POS__ m "op" (Ty.UInt 4) in
+      let out = output ~loc:__POS__ m "out" (Ty.UInt width) in
+      let zero = output ~loc:__POS__ m "zero" (Ty.UInt 1) in
+      let shamt = node m "shamt" (bits_s b ~hi:4 ~lo:0) in
+      let result = wire ~loc:__POS__ m "result" (Ty.UInt width) in
+      connect m result (a +: b);
+      switch ~loc:__POS__ m op
+        [
+          (lit 4 op_sub, fun () -> connect m result (a -: b));
+          (lit 4 op_and, fun () -> connect m result (a &: b));
+          (lit 4 op_or, fun () -> connect m result (a |: b));
+          (lit 4 op_xor, fun () -> connect m result (a ^: b));
+          (lit 4 op_slt, fun () -> connect m result (resize (as_sint a <: as_sint b) width));
+          (lit 4 op_sltu, fun () -> connect m result (resize (a <: b) width));
+          (lit 4 op_sll, fun () -> connect m result (resize (dshl_s a shamt) width));
+          (lit 4 op_srl, fun () -> connect m result (dshr_s a shamt));
+          ( lit 4 op_sra,
+            fun () -> connect m result (as_uint (dshr_s (as_sint a) shamt)) );
+          (lit 4 op_copy_b, fun () -> connect m result b);
+        ];
+      connect m out result;
+      connect m zero (result ==: lit width 0))

@@ -1,0 +1,16 @@
+(** A RISC-V style ALU module definition, instantiated by the cores. *)
+
+val op_add : int
+val op_sub : int
+val op_and : int
+val op_or : int
+val op_xor : int
+val op_slt : int
+val op_sltu : int
+val op_sll : int
+val op_srl : int
+val op_sra : int
+val op_copy_b : int
+
+val define : ?width:int -> Sic_ir.Dsl.circuit_builder -> unit
+(** Adds an [Alu] module (ports [a], [b], [op], [out], [zero]). *)

@@ -1,0 +1,61 @@
+(** A round-robin arbiter over N decoupled requesters — an interconnect
+    building block with many ready/valid bundles and data-dependent
+    control, useful for the ready/valid and mux-toggle metrics. *)
+
+open Sic_ir
+
+(** [circuit ~ports ~width ()]: decoupled inputs [io_in<i>], one decoupled
+    output [io_out] carrying the granted payload, and [io_chosen] with the
+    winning index. Priority rotates: the requester right after the last
+    winner is served first. [ports] must be a power of two. *)
+let circuit ?(ports = 4) ?(width = 8) () : Circuit.t =
+  assert (ports >= 2 && ports land (ports - 1) = 0);
+  let iw = Ty.clog2 ports in
+  let cb = Dsl.create_circuit "Arbiter" in
+  Dsl.module_ cb "Arbiter" (fun m ->
+      let open Dsl in
+      let ins =
+        List.init ports (fun i ->
+            decoupled_input ~loc:__POS__ m (Printf.sprintf "io_in%d" i) (Ty.UInt width))
+      in
+      let out = decoupled_output ~loc:__POS__ m "io_out" (Ty.UInt width) in
+      let chosen = output ~loc:__POS__ m "io_chosen" (Ty.UInt iw) in
+      let last = reg_init ~loc:__POS__ m "last" (lit iw (ports - 1)) in
+      (* rotating distance of requester i from the slot after the last
+         winner: dist_i = (i - last - 1) mod ports *)
+      let dists =
+        List.init ports (fun i ->
+            node m
+              (Printf.sprintf "dist%d" i)
+              (bits_s
+                 (lit (iw + 1) ((i + (2 * ports)) - 1) -: resize last (iw + 1))
+                 ~hi:(iw - 1) ~lo:0))
+      in
+      let winner = wire ~loc:__POS__ m "winner" (Ty.UInt iw) in
+      let any = wire ~loc:__POS__ m "any_valid" (Ty.UInt 1) in
+      connect m winner (lit iw 0);
+      connect m any false_;
+      (* scan distances from farthest to nearest; the nearest valid
+         requester's connect lands last and wins *)
+      for d = ports - 1 downto 0 do
+        List.iteri
+          (fun i input ->
+            when_ ~loc:__POS__ m
+              (input.valid &: (List.nth dists i ==: lit iw d))
+              (fun () ->
+                connect m winner (lit iw i);
+                connect m any true_))
+          ins
+      done;
+      connect m chosen winner;
+      connect m out.valid any;
+      connect m out.bits (lit width 0);
+      List.iteri
+        (fun i input ->
+          connect m input.ready false_;
+          when_ ~loc:__POS__ m (any &: (winner ==: lit iw i)) (fun () ->
+              connect m out.bits input.bits;
+              connect m input.ready out.ready))
+        ins;
+      when_ ~loc:__POS__ m (fire out) (fun () -> connect m last winner));
+  Dsl.finalize cb

@@ -1,0 +1,5 @@
+(** A round-robin arbiter over N decoupled requesters. *)
+
+val circuit : ?ports:int -> ?width:int -> unit -> Sic_ir.Circuit.t
+(** [ports] must be a power of two >= 2. Ports: [io_in<i>] (decoupled
+    in), [io_out] (decoupled out, granted payload), [io_chosen]. *)

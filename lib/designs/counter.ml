@@ -1,0 +1,24 @@
+(** A bounded counter with enable and wrap — the quickstart design. *)
+
+open Sic_ir
+
+(** [circuit ~width ~limit ()] counts up to [limit], then wraps; [en]
+    gates counting, [tick] pulses on wrap. *)
+let circuit ?(width = 8) ?(limit = 199) () : Circuit.t =
+  let cb = Dsl.create_circuit "Counter" in
+  Dsl.module_ cb "Counter" (fun m ->
+      let open Dsl in
+      let en = input ~loc:__POS__ m "en" (Ty.UInt 1) in
+      let value = output ~loc:__POS__ m "value" (Ty.UInt width) in
+      let tick = output ~loc:__POS__ m "tick" (Ty.UInt 1) in
+      let count = reg_init ~loc:__POS__ m "count" (lit width 0) in
+      connect m value count;
+      connect m tick false_;
+      when_ ~loc:__POS__ m en (fun () ->
+          when_else ~loc:__POS__ m
+            (count ==: lit width limit)
+            (fun () ->
+              connect m count (lit width 0);
+              connect m tick true_)
+            (fun () -> connect m count (count +: lit width 1))));
+  Dsl.finalize cb

@@ -1,0 +1,4 @@
+(** A bounded counter with enable and wrap — the quickstart design. *)
+
+val circuit : ?width:int -> ?limit:int -> unit -> Sic_ir.Circuit.t
+(** Ports: [en] in, [value] out, [tick] out (pulses on wrap). *)

@@ -1,0 +1,41 @@
+(** A circular-buffer queue with decoupled enqueue/dequeue ends, like
+    Chisel's [Queue]. *)
+
+open Sic_ir
+
+(** [circuit ~width ~depth ()]; [depth] must be a power of two. *)
+let circuit ?(width = 8) ?(depth = 4) () : Circuit.t =
+  assert (depth land (depth - 1) = 0 && depth >= 2);
+  let aw = Ty.clog2 depth in
+  let cb = Dsl.create_circuit "Fifo" in
+  Dsl.module_ cb "Fifo" (fun m ->
+      let open Dsl in
+      let enq = decoupled_input ~loc:__POS__ m "io_enq" (Ty.UInt width) in
+      let deq = decoupled_output ~loc:__POS__ m "io_deq" (Ty.UInt width) in
+      let count_out = output ~loc:__POS__ m "io_count" (Ty.UInt (aw + 1)) in
+      let ram =
+        mem ~loc:__POS__ m "ram" (Ty.UInt width) ~depth ~readers:[ "r" ] ~writers:[ "w" ]
+      in
+      let head = reg_init ~loc:__POS__ m "head" (lit aw 0) in
+      let tail = reg_init ~loc:__POS__ m "tail" (lit aw 0) in
+      let maybe_full = reg_init ~loc:__POS__ m "maybe_full" false_ in
+      let empty = node m "empty" ((head ==: tail) &: not_s maybe_full) in
+      let full = node m "full" ((head ==: tail) &: maybe_full) in
+      connect m enq.ready (not_s full);
+      connect m deq.valid (not_s empty);
+      connect m deq.bits (mem_read ram "r" head);
+      let do_enq = node m "do_enq" (fire enq) in
+      let do_deq = node m "do_deq" (fire deq) in
+      when_ ~loc:__POS__ m do_enq (fun () ->
+          mem_write ram "w" ~addr:tail ~data:enq.bits;
+          connect m tail (tail +: lit aw 1));
+      when_ ~loc:__POS__ m do_deq (fun () -> connect m head (head +: lit aw 1));
+      when_ ~loc:__POS__ m (do_enq <>: do_deq) (fun () -> connect m maybe_full do_enq);
+      let count =
+        (* pointer difference modulo depth, widened for the full case *)
+        mux_s full
+          (lit (aw + 1) depth)
+          (resize (bits_s (tail -: head) ~hi:(aw - 1) ~lo:0) (aw + 1))
+      in
+      connect m count_out count);
+  Dsl.finalize cb

@@ -1,0 +1,5 @@
+(** A circular-buffer queue with decoupled ends (Chisel's [Queue]). *)
+
+val circuit : ?width:int -> ?depth:int -> unit -> Sic_ir.Circuit.t
+(** [depth] must be a power of two >= 2. Ports: [io_enq] (decoupled in),
+    [io_deq] (decoupled out), [io_count]. *)

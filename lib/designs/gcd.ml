@@ -1,0 +1,30 @@
+(** The canonical decoupled GCD unit: accepts an operand pair over a
+    DecoupledIO-style input, iterates by subtraction, and produces the
+    result over a decoupled output. *)
+
+open Sic_ir
+
+let circuit ?(width = 16) () : Circuit.t =
+  let cb = Dsl.create_circuit "GCD" in
+  Dsl.module_ cb "GCD" (fun m ->
+      let open Dsl in
+      let in_ = decoupled_input ~loc:__POS__ m "io_in" (Ty.UInt (2 * width)) in
+      let out = decoupled_output ~loc:__POS__ m "io_out" (Ty.UInt width) in
+      let x = reg_ ~loc:__POS__ m "x" (Ty.UInt width) in
+      let y = reg_ ~loc:__POS__ m "y" (Ty.UInt width) in
+      let busy = reg_init ~loc:__POS__ m "busy" false_ in
+      connect m in_.ready (not_s busy);
+      connect m out.valid (busy &: (y ==: lit width 0));
+      connect m out.bits x;
+      when_ ~loc:__POS__ m (fire in_) (fun () ->
+          connect m x (bits_s in_.bits ~hi:((2 * width) - 1) ~lo:width);
+          connect m y (bits_s in_.bits ~hi:(width - 1) ~lo:0);
+          connect m busy true_);
+      when_ ~loc:__POS__ m
+        (busy &: (y <>: lit width 0))
+        (fun () ->
+          when_else ~loc:__POS__ m (x >: y)
+            (fun () -> connect m x (x -: y))
+            (fun () -> connect m y (y -: x)));
+      when_ ~loc:__POS__ m (fire out) (fun () -> connect m busy false_));
+  Dsl.finalize cb

@@ -1,0 +1,5 @@
+(** The canonical decoupled GCD unit (quickstart-grade example design). *)
+
+val circuit : ?width:int -> unit -> Sic_ir.Circuit.t
+(** Ports: [io_in] (decoupled, [2*width] bits packing the operand pair as
+    [a << width | b]), [io_out] (decoupled, [width] bits). *)

@@ -1,0 +1,114 @@
+(** An I2C master peripheral — the fuzzing target of §5.4 (Figure 11).
+
+    A command word (7-bit address, R/W flag, data byte) arrives over a
+    decoupled interface; the controller serialises it onto SCL/SDA through
+    a deep FSM (start condition, address bits, ack window, data bits,
+    stop), making it a good coverage-feedback benchmark: most branches are
+    only reachable through long, specific input sequences. *)
+
+open Sic_ir
+
+let enum_name = "I2cState"
+
+let circuit ?(div = 2) () : Circuit.t =
+  let cb = Dsl.create_circuit "I2c" in
+  let st =
+    Dsl.enum cb enum_name
+      [ "Idle"; "Start"; "AddrBit"; "AddrAck"; "DataBit"; "DataAck"; "Stop" ]
+  in
+  let divw = Ty.clog2 (max 2 div) in
+  Dsl.module_ cb "I2c" (fun m ->
+      let open Dsl in
+      (* command: [15:9] address, [8] read flag, [7:0] write data *)
+      let cmd = decoupled_input ~loc:__POS__ m "io_cmd" (Ty.UInt 16) in
+      let resp = decoupled_output ~loc:__POS__ m "io_resp" (Ty.UInt 8) in
+      let sda_in = input ~loc:__POS__ m "sda_in" (Ty.UInt 1) in
+      let scl = output ~loc:__POS__ m "scl" (Ty.UInt 1) in
+      let sda_out = output ~loc:__POS__ m "sda_out" (Ty.UInt 1) in
+      let busy_out = output ~loc:__POS__ m "busy" (Ty.UInt 1) in
+      let nack = output ~loc:__POS__ m "nack_seen" (Ty.UInt 1) in
+      let state = reg_enum ~loc:__POS__ m "state" st "Idle" in
+      let addr = reg_ ~loc:__POS__ m "addr" (Ty.UInt 8) in
+      let data = reg_ ~loc:__POS__ m "data" (Ty.UInt 8) in
+      let is_read = reg_init ~loc:__POS__ m "is_read" false_ in
+      let bit_count = reg_init ~loc:__POS__ m "bit_count" (lit 3 0) in
+      let nack_r = reg_init ~loc:__POS__ m "nack_r" false_ in
+      let resp_valid = reg_init ~loc:__POS__ m "resp_valid" false_ in
+      let tick_r = reg_init ~loc:__POS__ m "tick_count" (lit divw 0) in
+      let tick = node m "tick" (tick_r ==: lit divw (div - 1)) in
+      connect m tick_r (mux_s tick (lit divw 0) (tick_r +: lit divw 1));
+      let scl_phase = reg_init ~loc:__POS__ m "scl_phase" false_ in
+      when_ ~loc:__POS__ m tick (fun () -> connect m scl_phase (not_s scl_phase));
+      connect m scl (mux_s (is st "Idle" state) true_ scl_phase);
+      connect m sda_out true_;
+      connect m busy_out (not_s (is st "Idle" state));
+      connect m nack nack_r;
+      connect m cmd.ready (is st "Idle" state);
+      connect m resp.valid resp_valid;
+      connect m resp.bits data;
+      when_ ~loc:__POS__ m (fire resp) (fun () -> connect m resp_valid false_);
+      let rising = node m "rising" (tick &: not_s scl_phase) in
+      let falling = node m "falling" (tick &: scl_phase) in
+      switch ~loc:__POS__ m state
+        [
+          ( enum_value st "Idle",
+            fun () ->
+              when_ ~loc:__POS__ m (fire cmd) (fun () ->
+                  connect m addr (cat_s (bits_s cmd.bits ~hi:15 ~lo:9) (bits_s cmd.bits ~hi:8 ~lo:8));
+                  connect m is_read (bits_s cmd.bits ~hi:8 ~lo:8);
+                  connect m data (bits_s cmd.bits ~hi:7 ~lo:0);
+                  connect m nack_r false_;
+                  connect m state (enum_value st "Start")) );
+          ( enum_value st "Start",
+            fun () ->
+              (* start condition: SDA falls while SCL high *)
+              connect m sda_out false_;
+              when_ ~loc:__POS__ m falling (fun () ->
+                  connect m bit_count (lit 3 7);
+                  connect m state (enum_value st "AddrBit")) );
+          ( enum_value st "AddrBit",
+            fun () ->
+              connect m sda_out (dshr_s addr (resize bit_count 3));
+              when_ ~loc:__POS__ m falling (fun () ->
+                  when_else ~loc:__POS__ m
+                    (bit_count ==: lit 3 0)
+                    (fun () -> connect m state (enum_value st "AddrAck"))
+                    (fun () -> connect m bit_count (bit_count -: lit 3 1))) );
+          ( enum_value st "AddrAck",
+            fun () ->
+              when_ ~loc:__POS__ m rising (fun () ->
+                  when_ ~loc:__POS__ m sda_in (fun () -> connect m nack_r true_));
+              when_ ~loc:__POS__ m falling (fun () ->
+                  connect m bit_count (lit 3 7);
+                  when_else ~loc:__POS__ m nack_r
+                    (fun () -> connect m state (enum_value st "Stop"))
+                    (fun () -> connect m state (enum_value st "DataBit"))) );
+          ( enum_value st "DataBit",
+            fun () ->
+              when_else ~loc:__POS__ m is_read
+                (fun () ->
+                  (* sample the bus into the data register *)
+                  when_ ~loc:__POS__ m rising (fun () ->
+                      connect m data (cat_s (bits_s data ~hi:6 ~lo:0) sda_in)))
+                (fun () -> connect m sda_out (dshr_s data (resize bit_count 3)));
+              when_ ~loc:__POS__ m falling (fun () ->
+                  when_else ~loc:__POS__ m
+                    (bit_count ==: lit 3 0)
+                    (fun () -> connect m state (enum_value st "DataAck"))
+                    (fun () -> connect m bit_count (bit_count -: lit 3 1))) );
+          ( enum_value st "DataAck",
+            fun () ->
+              connect m sda_out (not_s is_read);
+              when_ ~loc:__POS__ m rising (fun () ->
+                  when_ ~loc:__POS__ m (sda_in &: not_s is_read) (fun () ->
+                      connect m nack_r true_));
+              when_ ~loc:__POS__ m falling (fun () ->
+                  connect m state (enum_value st "Stop")) );
+          ( enum_value st "Stop",
+            fun () ->
+              connect m sda_out false_;
+              when_ ~loc:__POS__ m rising (fun () ->
+                  when_ ~loc:__POS__ m is_read (fun () -> connect m resp_valid true_);
+                  connect m state (enum_value st "Idle")) );
+        ]);
+  Dsl.finalize cb

@@ -1,0 +1,9 @@
+(** An I2C master peripheral — the fuzzing target of §5.4: a deep FSM
+    whose branches need long, structured input sequences. *)
+
+val enum_name : string
+
+val circuit : ?div:int -> unit -> Sic_ir.Circuit.t
+(** Ports: [io_cmd] (decoupled 16-bit command: [15:9] address, [8] read
+    flag, [7:0] data), [io_resp] (decoupled read data), [sda_in], [scl],
+    [sda_out], [busy], [nack_seen]. *)

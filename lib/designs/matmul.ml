@@ -1,0 +1,107 @@
+(** A small matrix-multiply accelerator in the Gemmini spirit: an n x n
+    grid of multiply-accumulate units elaborated by a generator loop, fed
+    and drained through decoupled channels, sequenced by an enum FSM.
+    Exercises every metric at once: lots of generated branches (line),
+    wide accumulators (toggle), a four-state controller (FSM), and two
+    decoupled bundles (ready/valid). *)
+
+open Sic_ir
+
+let enum_name = "MmState"
+
+(** [circuit ~n ~width ()] computes C = A x B for n x n matrices of
+    [width]-bit unsigned elements. Protocol: stream A row-major then B
+    row-major over [io_load] (2n² transfers), wait for [Compute], then
+    read C row-major from [io_result] (n² transfers). *)
+let circuit ?(n = 3) ?(width = 8) () : Circuit.t =
+  let acc_w = (2 * width) + (2 * Ty.clog2 n) in
+  let cnt_w = Ty.clog2 ((2 * n * n) + 1) in
+  let cb = Dsl.create_circuit "MatMul" in
+  let st = Dsl.enum cb enum_name [ "Idle"; "Load"; "Compute"; "Drain" ] in
+  Dsl.module_ cb "MatMul" (fun m ->
+      let open Dsl in
+      let load = decoupled_input ~loc:__POS__ m "io_load" (Ty.UInt width) in
+      let result = decoupled_output ~loc:__POS__ m "io_result" (Ty.UInt acc_w) in
+      let busy = output ~loc:__POS__ m "busy" (Ty.UInt 1) in
+      let state = reg_enum ~loc:__POS__ m "state" st "Idle" in
+      let count = reg_init ~loc:__POS__ m "count" (lit cnt_w 0) in
+      let a = Array.init (n * n) (fun i -> reg_ ~loc:__POS__ m (Printf.sprintf "a_%d" i) (Ty.UInt width)) in
+      let b = Array.init (n * n) (fun i -> reg_ ~loc:__POS__ m (Printf.sprintf "b_%d" i) (Ty.UInt width)) in
+      let c =
+        Array.init (n * n) (fun i -> reg_ ~loc:__POS__ m (Printf.sprintf "c_%d" i) (Ty.UInt acc_w))
+      in
+      connect m busy (not_s (is st "Idle" state));
+      connect m load.ready (is st "Idle" state |: is st "Load" state);
+      connect m result.valid (is st "Drain" state);
+      (* result mux: select accumulator [count] during drain *)
+      let selected = wire ~loc:__POS__ m "selected" (Ty.UInt acc_w) in
+      connect m selected (lit acc_w 0);
+      Array.iteri
+        (fun i ci ->
+          when_ ~loc:__POS__ m (count ==: lit cnt_w i) (fun () -> connect m selected ci))
+        c;
+      connect m result.bits selected;
+      switch ~loc:__POS__ m state
+        [
+          ( enum_value st "Idle",
+            fun () ->
+              when_ ~loc:__POS__ m (fire load) (fun () ->
+                  (* first element of A arrives with the transition *)
+                  connect m a.(0) load.bits;
+                  Array.iter (fun ci -> connect m ci (lit acc_w 0)) c;
+                  connect m count (lit cnt_w 1);
+                  connect m state (enum_value st "Load")) );
+          ( enum_value st "Load",
+            fun () ->
+              when_ ~loc:__POS__ m (fire load) (fun () ->
+                  (* element [count]: A for count < n², else B *)
+                  Array.iteri
+                    (fun i ai ->
+                      when_ ~loc:__POS__ m (count ==: lit cnt_w i) (fun () ->
+                          connect m ai load.bits))
+                    a;
+                  Array.iteri
+                    (fun i bi ->
+                      when_ ~loc:__POS__ m
+                        (count ==: lit cnt_w (i + (n * n)))
+                        (fun () -> connect m bi load.bits))
+                    b;
+                  when_else ~loc:__POS__ m
+                    (count ==: lit cnt_w ((2 * n * n) - 1))
+                    (fun () ->
+                      connect m count (lit cnt_w 0);
+                      connect m state (enum_value st "Compute"))
+                    (fun () -> connect m count (count +: lit cnt_w 1))) );
+          ( enum_value st "Compute",
+            fun () ->
+              (* one reduction step k = count: every MAC in the grid fires *)
+              for i = 0 to n - 1 do
+                for j = 0 to n - 1 do
+                  let ci = c.((i * n) + j) in
+                  (* C[i][j] += A[i][k] * B[k][j] with k selected by count *)
+                  Array.iteri
+                    (fun k _ ->
+                      if k < n then
+                        when_ ~loc:__POS__ m (count ==: lit cnt_w k) (fun () ->
+                            connect m ci
+                              (resize (ci +: (a.((i * n) + k) *: b.((k * n) + j))) acc_w)))
+                    (Array.make n ())
+                done
+              done;
+              when_else ~loc:__POS__ m
+                (count ==: lit cnt_w (n - 1))
+                (fun () ->
+                  connect m count (lit cnt_w 0);
+                  connect m state (enum_value st "Drain"))
+                (fun () -> connect m count (count +: lit cnt_w 1)) );
+          ( enum_value st "Drain",
+            fun () ->
+              when_ ~loc:__POS__ m (fire result) (fun () ->
+                  when_else ~loc:__POS__ m
+                    (count ==: lit cnt_w ((n * n) - 1))
+                    (fun () ->
+                      connect m count (lit cnt_w 0);
+                      connect m state (enum_value st "Idle"))
+                    (fun () -> connect m count (count +: lit cnt_w 1))) );
+        ]);
+  Dsl.finalize cb

@@ -1,0 +1,8 @@
+(** A matrix-multiply accelerator: an n x n MAC grid from a generator
+    loop, decoupled load/drain channels, an enum-FSM sequencer. *)
+
+val enum_name : string
+
+val circuit : ?n:int -> ?width:int -> unit -> Sic_ir.Circuit.t
+(** Stream A then B row-major over [io_load] (2n² transfers), read C
+    row-major from [io_result] (n² transfers). *)

@@ -1,0 +1,203 @@
+(** A two-level memory system: a direct-mapped cache with tags and valid
+    bits in front of a fixed-latency DRAM model — the "DRAM models with
+    realistic access latencies" FireSim composes simulations from (§3.3),
+    as a standalone design. Misses stall for the DRAM latency and refill;
+    hits respond in two cycles; writes are write-through.
+
+    Request interface (decoupled): [15:0] = address, [16] = rw (1 write),
+    [48:17] = write data. Response (decoupled): read data. Outputs
+    [hit_count]/[miss_count] expose the performance counters. *)
+
+open Sic_ir
+
+let dram_enum = "DramState"
+let cache2_enum = "Cache2State"
+
+type params = {
+  index_bits : int;  (** cache lines = 2^index_bits *)
+  tag_bits : int;
+  dram_latency : int;
+}
+
+let default_params = { index_bits = 3; tag_bits = 5; dram_latency = 6 }
+
+let define_dram (p : params) st (cb : Dsl.circuit_builder) =
+  let aw = p.index_bits + p.tag_bits in
+  let lat_w = Ty.clog2 (p.dram_latency + 1) in
+  Dsl.module_ cb "Dram" (fun m ->
+      let open Dsl in
+      let req_valid = input ~loc:__POS__ m "req_valid" (Ty.UInt 1) in
+      let req_rw = input ~loc:__POS__ m "req_rw" (Ty.UInt 1) in
+      let req_addr = input ~loc:__POS__ m "req_addr" (Ty.UInt aw) in
+      let req_wdata = input ~loc:__POS__ m "req_wdata" (Ty.UInt 32) in
+      let req_ready = output ~loc:__POS__ m "req_ready" (Ty.UInt 1) in
+      let resp_valid = output ~loc:__POS__ m "resp_valid" (Ty.UInt 1) in
+      let resp_rdata = output ~loc:__POS__ m "resp_rdata" (Ty.UInt 32) in
+      let store =
+        mem ~loc:__POS__ m "store" (Ty.UInt 32) ~depth:(1 lsl aw) ~readers:[ "r" ]
+          ~writers:[ "w" ]
+      in
+      let state = reg_enum ~loc:__POS__ m "state" st "Ready" in
+      let timer = reg_init ~loc:__POS__ m "timer" (lit lat_w 0) in
+      let addr_r = reg_ ~loc:__POS__ m "addr_r" (Ty.UInt aw) in
+      let rw_r = reg_init ~loc:__POS__ m "rw_r" false_ in
+      let wdata_r = reg_ ~loc:__POS__ m "wdata_r" (Ty.UInt 32) in
+      connect m req_ready (is st "Ready" state);
+      connect m resp_valid false_;
+      connect m resp_rdata (mem_read store "r" addr_r);
+      switch ~loc:__POS__ m state
+        [
+          ( enum_value st "Ready",
+            fun () ->
+              when_ ~loc:__POS__ m req_valid (fun () ->
+                  connect m addr_r req_addr;
+                  connect m rw_r req_rw;
+                  connect m wdata_r req_wdata;
+                  connect m timer (lit lat_w 0);
+                  connect m state (enum_value st "Busy")) );
+          ( enum_value st "Busy",
+            fun () ->
+              (* model the access latency *)
+              when_else ~loc:__POS__ m
+                (timer ==: lit lat_w (p.dram_latency - 1))
+                (fun () ->
+                  when_ ~loc:__POS__ m rw_r (fun () ->
+                      mem_write store "w" ~addr:addr_r ~data:wdata_r);
+                  connect m state (enum_value st "Respond"))
+                (fun () -> connect m timer (timer +: lit lat_w 1)) );
+          ( enum_value st "Respond",
+            fun () ->
+              connect m resp_valid true_;
+              connect m state (enum_value st "Ready") );
+        ])
+
+let define_cache2 (p : params) st (cb : Dsl.circuit_builder) =
+  let aw = p.index_bits + p.tag_bits in
+  Dsl.module_ cb "Cache2" (fun m ->
+      let open Dsl in
+      let req = decoupled_input ~loc:__POS__ m "io_req" (Ty.UInt (1 + aw + 32)) in
+      let resp = decoupled_output ~loc:__POS__ m "io_resp" (Ty.UInt 32) in
+      (* memory-side interface, wired to the DRAM by the top *)
+      let m_req_valid = output ~loc:__POS__ m "m_req_valid" (Ty.UInt 1) in
+      let m_req_rw = output ~loc:__POS__ m "m_req_rw" (Ty.UInt 1) in
+      let m_req_addr = output ~loc:__POS__ m "m_req_addr" (Ty.UInt aw) in
+      let m_req_wdata = output ~loc:__POS__ m "m_req_wdata" (Ty.UInt 32) in
+      let m_req_ready = input ~loc:__POS__ m "m_req_ready" (Ty.UInt 1) in
+      let m_resp_valid = input ~loc:__POS__ m "m_resp_valid" (Ty.UInt 1) in
+      let m_resp_rdata = input ~loc:__POS__ m "m_resp_rdata" (Ty.UInt 32) in
+      let hit_count = output ~loc:__POS__ m "hit_count" (Ty.UInt 16) in
+      let miss_count = output ~loc:__POS__ m "miss_count" (Ty.UInt 16) in
+      let lines = 1 lsl p.index_bits in
+      let data =
+        mem ~loc:__POS__ m "data" (Ty.UInt 32) ~depth:lines ~readers:[ "r" ] ~writers:[ "w" ]
+      in
+      let tags =
+        mem ~loc:__POS__ m "tags" (Ty.UInt p.tag_bits) ~depth:lines ~readers:[ "r" ]
+          ~writers:[ "w" ]
+      in
+      let valids = reg_init ~loc:__POS__ m "valids" (lit lines 0) in
+      let state = reg_enum ~loc:__POS__ m "state" st "Idle" in
+      let addr_r = reg_ ~loc:__POS__ m "addr_r" (Ty.UInt aw) in
+      let rw_r = reg_init ~loc:__POS__ m "rw_r" false_ in
+      let wdata_r = reg_ ~loc:__POS__ m "wdata_r" (Ty.UInt 32) in
+      let hits = reg_init ~loc:__POS__ m "hits" (lit 16 0) in
+      let misses = reg_init ~loc:__POS__ m "misses" (lit 16 0) in
+      let index s = bits_s s ~hi:(p.index_bits - 1) ~lo:0 in
+      let tag s = bits_s s ~hi:(aw - 1) ~lo:p.index_bits in
+      connect m hit_count hits;
+      connect m miss_count misses;
+      connect m req.ready (is st "Idle" state);
+      connect m resp.valid false_;
+      connect m resp.bits (mem_read data "r" (index addr_r));
+      connect m m_req_valid false_;
+      connect m m_req_rw false_;
+      connect m m_req_addr addr_r;
+      connect m m_req_wdata wdata_r;
+      let line_valid =
+        node m "line_valid" (orr_s (dshr_s valids (index addr_r) &: lit 1 1))
+      in
+      let line_tag = node m "line_tag" (mem_read tags "r" (index addr_r)) in
+      switch ~loc:__POS__ m state
+        [
+          ( enum_value st "Idle",
+            fun () ->
+              when_ ~loc:__POS__ m (fire req) (fun () ->
+                  connect m addr_r (bits_s req.bits ~hi:(aw - 1) ~lo:0);
+                  connect m rw_r (bits_s req.bits ~hi:aw ~lo:aw);
+                  connect m wdata_r (bits_s req.bits ~hi:(aw + 32) ~lo:(aw + 1));
+                  connect m state (enum_value st "Lookup")) );
+          ( enum_value st "Lookup",
+            fun () ->
+              when_else ~loc:__POS__ m rw_r
+                (fun () ->
+                  (* write-through: update the line if present, always go
+                     to DRAM *)
+                  when_ ~loc:__POS__ m (line_valid &: (line_tag ==: tag addr_r))
+                    (fun () -> mem_write data "w" ~addr:(index addr_r) ~data:wdata_r);
+                  connect m misses (misses +: lit 16 1);
+                  connect m state (enum_value st "MemReq"))
+                (fun () ->
+                  when_else ~loc:__POS__ m
+                    (line_valid &: (line_tag ==: tag addr_r))
+                    (fun () ->
+                      connect m hits (hits +: lit 16 1);
+                      connect m state (enum_value st "Respond"))
+                    (fun () ->
+                      connect m misses (misses +: lit 16 1);
+                      connect m state (enum_value st "MemReq"))) );
+          ( enum_value st "MemReq",
+            fun () ->
+              connect m m_req_valid true_;
+              connect m m_req_rw rw_r;
+              when_ ~loc:__POS__ m m_req_ready (fun () ->
+                  connect m state (enum_value st "MemWait")) );
+          ( enum_value st "MemWait",
+            fun () ->
+              when_ ~loc:__POS__ m m_resp_valid (fun () ->
+                  when_ ~loc:__POS__ m (not_s rw_r) (fun () ->
+                      (* refill the line *)
+                      mem_write data "w" ~addr:(index addr_r) ~data:m_resp_rdata;
+                      mem_write tags "w" ~addr:(index addr_r) ~data:(tag addr_r);
+                      connect m valids
+                        (valids |: resize (dshl_s (lit 1 1) (index addr_r)) lines));
+                  connect m state (enum_value st "Respond")) );
+          ( enum_value st "Respond",
+            fun () ->
+              connect m resp.valid true_;
+              when_ ~loc:__POS__ m (fire resp) (fun () ->
+                  connect m state (enum_value st "Idle")) );
+        ])
+
+(** The composed two-level system. *)
+let circuit ?(params = default_params) () : Circuit.t =
+  let p = params in
+  let aw = p.index_bits + p.tag_bits in
+  let cb = Dsl.create_circuit "MemSys" in
+  let dram_st = Dsl.enum cb dram_enum [ "Ready"; "Busy"; "Respond" ] in
+  let cache_st =
+    Dsl.enum cb cache2_enum [ "Idle"; "Lookup"; "MemReq"; "MemWait"; "Respond" ]
+  in
+  define_dram p dram_st cb;
+  define_cache2 p cache_st cb;
+  Dsl.module_ cb "MemSys" (fun m ->
+      let open Dsl in
+      let req = decoupled_input ~loc:__POS__ m "io_req" (Ty.UInt (1 + aw + 32)) in
+      let resp = decoupled_output ~loc:__POS__ m "io_resp" (Ty.UInt 32) in
+      let hit_count = output ~loc:__POS__ m "hit_count" (Ty.UInt 16) in
+      let miss_count = output ~loc:__POS__ m "miss_count" (Ty.UInt 16) in
+      connect m (instance m "cache" "Cache2" "io_req_valid") req.valid;
+      connect m (instance m "cache" "Cache2" "io_req_bits") req.bits;
+      connect m req.ready (instance m "cache" "Cache2" "io_req_ready");
+      connect m resp.valid (instance m "cache" "Cache2" "io_resp_valid");
+      connect m resp.bits (instance m "cache" "Cache2" "io_resp_bits");
+      connect m (instance m "cache" "Cache2" "io_resp_ready") resp.ready;
+      connect m (instance m "dram" "Dram" "req_valid") (instance m "cache" "Cache2" "m_req_valid");
+      connect m (instance m "dram" "Dram" "req_rw") (instance m "cache" "Cache2" "m_req_rw");
+      connect m (instance m "dram" "Dram" "req_addr") (instance m "cache" "Cache2" "m_req_addr");
+      connect m (instance m "dram" "Dram" "req_wdata") (instance m "cache" "Cache2" "m_req_wdata");
+      connect m (instance m "cache" "Cache2" "m_req_ready") (instance m "dram" "Dram" "req_ready");
+      connect m (instance m "cache" "Cache2" "m_resp_valid") (instance m "dram" "Dram" "resp_valid");
+      connect m (instance m "cache" "Cache2" "m_resp_rdata") (instance m "dram" "Dram" "resp_rdata");
+      connect m hit_count (instance m "cache" "Cache2" "hit_count");
+      connect m miss_count (instance m "cache" "Cache2" "miss_count"));
+  Dsl.finalize cb

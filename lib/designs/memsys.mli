@@ -1,0 +1,22 @@
+(** A two-level memory system: direct-mapped cache (tags + valid bits,
+    write-through) over a fixed-latency DRAM model — the composition style
+    FireSim builds simulations from (§3.3). *)
+
+val dram_enum : string
+val cache2_enum : string
+
+type params = {
+  index_bits : int;  (** cache lines = 2^index_bits *)
+  tag_bits : int;
+  dram_latency : int;
+}
+
+val default_params : params
+
+val define_dram : params -> Sic_ir.Dsl.enum -> Sic_ir.Dsl.circuit_builder -> unit
+val define_cache2 : params -> Sic_ir.Dsl.enum -> Sic_ir.Dsl.circuit_builder -> unit
+
+val circuit : ?params:params -> unit -> Sic_ir.Circuit.t
+(** Ports: [io_req] (decoupled: [addr_bits-1:0] address, next bit rw,
+    then 32-bit write data), [io_resp] (decoupled read data), and the
+    [hit_count]/[miss_count] performance counters. *)

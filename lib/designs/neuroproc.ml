@@ -1,0 +1,51 @@
+(** A spiking neuromorphic processor in the spirit of NeuroProc (Table 2):
+    a fully parallel bank of leaky integrate-and-fire neurons, one LIF
+    update unit per neuron, elaborated by a generator loop — so the number
+    of branches (and thus line cover points) scales with the neuron count,
+    like the original generator. Long-running and activity-sparse. *)
+
+open Sic_ir
+
+(** [circuit ~neurons ()]: input spikes arrive as a bit vector, output
+    spikes leave as a bit vector ([out_spikes] holds last cycle's
+    firings). *)
+let circuit ?(neurons = 8) ?(threshold = 200) ?(leak = 1) ?(weight = 24) () : Circuit.t =
+  let cb = Dsl.create_circuit "NeuroProc" in
+  Dsl.module_ cb "NeuroProc" (fun m ->
+      let open Dsl in
+      let in_spikes = input ~loc:__POS__ m "in_spikes" (Ty.UInt neurons) in
+      let enable = input ~loc:__POS__ m "enable" (Ty.UInt 1) in
+      let out_spikes = output ~loc:__POS__ m "out_spikes" (Ty.UInt neurons) in
+      let spiked_any = output ~loc:__POS__ m "spiked_any" (Ty.UInt 1) in
+      let fires =
+        List.init neurons (fun i ->
+            let pot = reg_init ~loc:__POS__ m (Printf.sprintf "pot_%d" i) (lit 10 0) in
+            let fired = reg_init ~loc:__POS__ m (Printf.sprintf "fired_%d" i) false_ in
+            connect m fired false_;
+            when_ ~loc:__POS__ m enable (fun () ->
+                let integrated = wire ~loc:__POS__ m (Printf.sprintf "int_%d" i) (Ty.UInt 11) in
+                connect m integrated (resize pot 11);
+                when_ ~loc:__POS__ m (bit_s in_spikes i) (fun () ->
+                    connect m integrated (pot +: lit 10 weight));
+                let leaked = wire ~loc:__POS__ m (Printf.sprintf "leak_%d" i) (Ty.UInt 11) in
+                when_else ~loc:__POS__ m
+                  (integrated >: lit 11 leak)
+                  (fun () -> connect m leaked (integrated -: lit 11 leak))
+                  (fun () -> connect m leaked (lit 11 0));
+                when_else ~loc:__POS__ m
+                  (leaked >: lit 11 threshold)
+                  (fun () ->
+                    connect m pot (lit 10 0);
+                    connect m fired true_)
+                  (fun () -> connect m pot (resize leaked 10)));
+            fired)
+      in
+      let spikes_vec =
+        List.fold_left
+          (fun acc f -> cat_s f acc)
+          (List.hd fires)
+          (List.tl fires)
+      in
+      connect m out_spikes spikes_vec;
+      connect m spiked_any (orr_s spikes_vec));
+  Dsl.finalize cb

@@ -1,0 +1,8 @@
+(** A spiking neuromorphic processor (Table 2's NeuroProc): a fully
+    parallel bank of leaky integrate-and-fire neurons from a generator
+    loop, so branch counts scale with the neuron count. *)
+
+val circuit :
+  ?neurons:int -> ?threshold:int -> ?leak:int -> ?weight:int -> unit -> Sic_ir.Circuit.t
+(** Ports: [in_spikes] ([neurons] wide), [enable], [out_spikes] (last
+    cycle's firings), [spiked_any]. *)

@@ -1,0 +1,431 @@
+(** A compact RV32I processor in the spirit of riscv-mini [14].
+
+    A multicycle core (fetch / execute / memory / write-back FSM) with a
+    register file and two instances of one shared [Cache] module — the
+    instruction cache and the data cache use *the same RTL*, but the
+    I-side's write request input is tied off. The paper's §5.5 used formal
+    cover-trace generation on riscv-mini to discover exactly this: the
+    code blocks for cache write accesses can never be exercised on the
+    instruction cache. The same experiment reproduces here.
+
+    Programs are loaded through a dedicated loader port (a debug backdoor
+    into both caches), so all backends — including BMC — drive the design
+    purely through its ports. *)
+
+open Sic_ir
+
+let core_enum = "CoreState"
+let cache_enum = "CacheState"
+
+type params = { addr_bits : int (* word-address width of each cache *) }
+
+let default_params = { addr_bits = 6 }
+
+(* small configuration for bit-blasting (§5.5) *)
+let formal_params = { addr_bits = 3 }
+
+(* opcodes *)
+let op_lui = 0x37
+let op_imm = 0x13
+let op_op = 0x33
+let op_branch = 0x63
+let op_load = 0x03
+let op_store = 0x23
+let op_jal = 0x6f
+let op_jalr = 0x67
+
+let define_cache (p : params) st (cb : Dsl.circuit_builder) =
+  Dsl.module_ cb "Cache" (fun m ->
+      let open Dsl in
+      let aw = p.addr_bits in
+      let req_valid = input ~loc:__POS__ m "req_valid" (Ty.UInt 1) in
+      let req_rw = input ~loc:__POS__ m "req_rw" (Ty.UInt 1) in
+      let req_addr = input ~loc:__POS__ m "req_addr" (Ty.UInt aw) in
+      let req_wdata = input ~loc:__POS__ m "req_wdata" (Ty.UInt 32) in
+      let req_ready = output ~loc:__POS__ m "req_ready" (Ty.UInt 1) in
+      let resp_valid = output ~loc:__POS__ m "resp_valid" (Ty.UInt 1) in
+      let resp_rdata = output ~loc:__POS__ m "resp_rdata" (Ty.UInt 32) in
+      let load_en = input ~loc:__POS__ m "load_en" (Ty.UInt 1) in
+      let load_addr = input ~loc:__POS__ m "load_addr" (Ty.UInt aw) in
+      let load_data = input ~loc:__POS__ m "load_data" (Ty.UInt 32) in
+      let dbg_addr = input ~loc:__POS__ m "dbg_addr" (Ty.UInt aw) in
+      let dbg_data = output ~loc:__POS__ m "dbg_data" (Ty.UInt 32) in
+      let data =
+        mem ~loc:__POS__ m "data" (Ty.UInt 32) ~depth:(1 lsl aw) ~readers:[ "r"; "dbg" ]
+          ~writers:[ "w"; "loader" ]
+      in
+      connect m dbg_data (mem_read data "dbg" dbg_addr);
+      let state = reg_enum ~loc:__POS__ m "state" st "Idle" in
+      let valids = reg_init ~loc:__POS__ m "valids" (lit (1 lsl aw) 0) in
+      let addr_r = reg_ ~loc:__POS__ m "addr_r" (Ty.UInt aw) in
+      let wdata_r = reg_ ~loc:__POS__ m "wdata_r" (Ty.UInt 32) in
+      let refill_count = reg_init ~loc:__POS__ m "refill_count" (lit 2 0) in
+      let one_hot a = resize (dshl_s (lit 1 1) a) (1 lsl aw) in
+      connect m req_ready (is st "Idle" state);
+      connect m resp_valid false_;
+      connect m resp_rdata (mem_read data "r" addr_r);
+      (* backdoor loader, active in any state *)
+      when_ ~loc:__POS__ m load_en (fun () ->
+          mem_write data "loader" ~addr:load_addr ~data:load_data;
+          connect m valids (valids |: one_hot load_addr));
+      let hit = node m "hit" (orr_s (dshr_s valids req_addr &: lit 1 1)) in
+      switch ~loc:__POS__ m state
+        [
+          ( enum_value st "Idle",
+            fun () ->
+              when_ ~loc:__POS__ m req_valid (fun () ->
+                  connect m addr_r req_addr;
+                  connect m wdata_r req_wdata;
+                  when_else ~loc:__POS__ m req_rw
+                    (fun () ->
+                      (* write path: never exercised by the I-side *)
+                      connect m state (enum_value st "WriteThrough"))
+                    (fun () ->
+                      when_else ~loc:__POS__ m hit
+                        (fun () -> connect m state (enum_value st "Respond"))
+                        (fun () ->
+                          connect m refill_count (lit 2 0);
+                          connect m state (enum_value st "Refill")))) );
+          ( enum_value st "Refill",
+            fun () ->
+              (* model a miss penalty; the refill itself is a no-op since
+                 the loader is the only source of real data *)
+              when_else ~loc:__POS__ m
+                (refill_count ==: lit 2 2)
+                (fun () ->
+                  connect m valids (valids |: one_hot addr_r);
+                  connect m state (enum_value st "Respond"))
+                (fun () -> connect m refill_count (refill_count +: lit 2 1)) );
+          ( enum_value st "WriteThrough",
+            fun () ->
+              mem_write data "w" ~addr:addr_r ~data:wdata_r;
+              connect m valids (valids |: one_hot addr_r);
+              connect m state (enum_value st "Respond") );
+          ( enum_value st "Respond",
+            fun () ->
+              connect m resp_valid true_;
+              connect m state (enum_value st "Idle") );
+        ])
+
+let define_regfile (cb : Dsl.circuit_builder) =
+  Dsl.module_ cb "Regfile" (fun m ->
+      let open Dsl in
+      let raddr1 = input ~loc:__POS__ m "raddr1" (Ty.UInt 5) in
+      let raddr2 = input ~loc:__POS__ m "raddr2" (Ty.UInt 5) in
+      let rdata1 = output ~loc:__POS__ m "rdata1" (Ty.UInt 32) in
+      let rdata2 = output ~loc:__POS__ m "rdata2" (Ty.UInt 32) in
+      let wen = input ~loc:__POS__ m "wen" (Ty.UInt 1) in
+      let waddr = input ~loc:__POS__ m "waddr" (Ty.UInt 5) in
+      let wdata = input ~loc:__POS__ m "wdata" (Ty.UInt 32) in
+      let regs =
+        mem ~loc:__POS__ m "regs" (Ty.UInt 32) ~depth:32 ~readers:[ "r1"; "r2" ]
+          ~writers:[ "w" ]
+      in
+      connect m rdata1 (mux_s (raddr1 ==: lit 5 0) (lit 32 0) (mem_read regs "r1" raddr1));
+      connect m rdata2 (mux_s (raddr2 ==: lit 5 0) (lit 32 0) (mem_read regs "r2" raddr2));
+      when_ ~loc:__POS__ m (wen &: (waddr <>: lit 5 0)) (fun () ->
+          mem_write regs "w" ~addr:waddr ~data:wdata))
+
+let define_core (p : params) st (cb : Dsl.circuit_builder) =
+  Dsl.module_ cb "Core" (fun m ->
+      let open Dsl in
+      let aw = p.addr_bits in
+      (* imem interface *)
+      let i_req_valid = output ~loc:__POS__ m "i_req_valid" (Ty.UInt 1) in
+      let i_req_addr = output ~loc:__POS__ m "i_req_addr" (Ty.UInt aw) in
+      let i_resp_valid = input ~loc:__POS__ m "i_resp_valid" (Ty.UInt 1) in
+      let i_resp_rdata = input ~loc:__POS__ m "i_resp_rdata" (Ty.UInt 32) in
+      (* dmem interface *)
+      let d_req_valid = output ~loc:__POS__ m "d_req_valid" (Ty.UInt 1) in
+      let d_req_rw = output ~loc:__POS__ m "d_req_rw" (Ty.UInt 1) in
+      let d_req_addr = output ~loc:__POS__ m "d_req_addr" (Ty.UInt aw) in
+      let d_req_wdata = output ~loc:__POS__ m "d_req_wdata" (Ty.UInt 32) in
+      let d_resp_valid = input ~loc:__POS__ m "d_resp_valid" (Ty.UInt 1) in
+      let d_resp_rdata = input ~loc:__POS__ m "d_resp_rdata" (Ty.UInt 32) in
+      let run = input ~loc:__POS__ m "run" (Ty.UInt 1) in
+      let pc_out = output ~loc:__POS__ m "pc_out" (Ty.UInt 32) in
+      let retired = output ~loc:__POS__ m "retired" (Ty.UInt 1) in
+      let state = reg_enum ~loc:__POS__ m "state" st "Halt" in
+      let pc = reg_init ~loc:__POS__ m "pc" (lit 32 0) in
+      let inst = reg_ ~loc:__POS__ m "inst" (Ty.UInt 32) in
+      connect m pc_out pc;
+      connect m retired false_;
+      connect m i_req_valid false_;
+      connect m i_req_addr (bits_s pc ~hi:(aw + 1) ~lo:2);
+      connect m d_req_valid false_;
+      connect m d_req_rw false_;
+      connect m d_req_addr (lit aw 0);
+      connect m d_req_wdata (lit 32 0);
+      (* decode fields *)
+      let opcode = node m "opcode" (bits_s inst ~hi:6 ~lo:0) in
+      let rd = node m "rd" (bits_s inst ~hi:11 ~lo:7) in
+      let funct3 = node m "funct3" (bits_s inst ~hi:14 ~lo:12) in
+      let rs1 = node m "rs1" (bits_s inst ~hi:19 ~lo:15) in
+      let rs2 = node m "rs2" (bits_s inst ~hi:24 ~lo:20) in
+      let funct7 = node m "funct7" (bits_s inst ~hi:31 ~lo:25) in
+      let imm_i =
+        node m "imm_i" (as_uint (resize (as_sint (bits_s inst ~hi:31 ~lo:20)) 32))
+      in
+      let imm_s =
+        node m "imm_s"
+          (as_uint
+             (resize (as_sint (cat_s (bits_s inst ~hi:31 ~lo:25) (bits_s inst ~hi:11 ~lo:7))) 32))
+      in
+      let imm_b =
+        node m "imm_b"
+          (as_uint
+             (resize
+                (as_sint
+                   (cat_s
+                      (cat_s (bit_s inst 31) (bit_s inst 7))
+                      (cat_s (bits_s inst ~hi:30 ~lo:25)
+                         (cat_s (bits_s inst ~hi:11 ~lo:8) (lit 1 0)))))
+                32))
+      in
+      let imm_j =
+        node m "imm_j"
+          (as_uint
+             (resize
+                (as_sint
+                   (cat_s
+                      (cat_s (bit_s inst 31) (bits_s inst ~hi:19 ~lo:12))
+                      (cat_s (bit_s inst 20)
+                         (cat_s (bits_s inst ~hi:30 ~lo:21) (lit 1 0)))))
+                32))
+      in
+      let imm_u = node m "imm_u" (shl_s (bits_s inst ~hi:31 ~lo:12) 12) in
+      (* register file *)
+      connect m (instance m "rf" "Regfile" "raddr1") rs1;
+      connect m (instance m "rf" "Regfile" "raddr2") rs2;
+      let rv1 = instance m "rf" "Regfile" "rdata1" in
+      let rv2 = instance m "rf" "Regfile" "rdata2" in
+      let rf_wen = wire ~loc:__POS__ m "rf_wen" (Ty.UInt 1) in
+      let rf_wdata = wire ~loc:__POS__ m "rf_wdata" (Ty.UInt 32) in
+      connect m rf_wen false_;
+      connect m rf_wdata (lit 32 0);
+      connect m (instance m "rf" "Regfile" "wen") rf_wen;
+      connect m (instance m "rf" "Regfile" "waddr") rd;
+      connect m (instance m "rf" "Regfile" "wdata") rf_wdata;
+      (* ALU *)
+      let alu_a = wire ~loc:__POS__ m "alu_a" (Ty.UInt 32) in
+      let alu_b = wire ~loc:__POS__ m "alu_b" (Ty.UInt 32) in
+      let alu_op = wire ~loc:__POS__ m "alu_op" (Ty.UInt 4) in
+      connect m alu_a rv1;
+      connect m alu_b rv2;
+      connect m alu_op (lit 4 Alu.op_add);
+      connect m (instance m "alu" "Alu" "a") alu_a;
+      connect m (instance m "alu" "Alu" "b") alu_b;
+      connect m (instance m "alu" "Alu" "op") alu_op;
+      let alu_out = instance m "alu" "Alu" "out" in
+      (* the funct3/funct7 -> alu op mapping used by OP and OP-IMM *)
+      let alu_code ~with_sub =
+        switch ~loc:__POS__ m funct3
+          [
+            ( lit 3 0,
+              fun () ->
+                if with_sub then
+                  when_ ~loc:__POS__ m (bit_s funct7 5) (fun () ->
+                      connect m alu_op (lit 4 Alu.op_sub)) );
+            (lit 3 7, fun () -> connect m alu_op (lit 4 Alu.op_and));
+            (lit 3 6, fun () -> connect m alu_op (lit 4 Alu.op_or));
+            (lit 3 4, fun () -> connect m alu_op (lit 4 Alu.op_xor));
+            (lit 3 2, fun () -> connect m alu_op (lit 4 Alu.op_slt));
+            (lit 3 3, fun () -> connect m alu_op (lit 4 Alu.op_sltu));
+            (lit 3 1, fun () -> connect m alu_op (lit 4 Alu.op_sll));
+            ( lit 3 5,
+              fun () ->
+                when_else ~loc:__POS__ m (bit_s funct7 5)
+                  (fun () -> connect m alu_op (lit 4 Alu.op_sra))
+                  (fun () -> connect m alu_op (lit 4 Alu.op_srl)) );
+          ]
+      in
+      let pc_plus4 = node m "pc_plus4" (resize (pc +: lit 32 4) 32) in
+      switch ~loc:__POS__ m state
+        [
+          ( enum_value st "Halt",
+            fun () -> when_ ~loc:__POS__ m run (fun () -> connect m state (enum_value st "Fetch"))
+          );
+          ( enum_value st "Fetch",
+            fun () ->
+              connect m i_req_valid true_;
+              connect m state (enum_value st "WaitI") );
+          ( enum_value st "WaitI",
+            fun () ->
+              when_ ~loc:__POS__ m i_resp_valid (fun () ->
+                  connect m inst i_resp_rdata;
+                  connect m state (enum_value st "Exec")) );
+          ( enum_value st "Exec",
+            fun () ->
+              connect m state (enum_value st "Fetch");
+              connect m retired true_;
+              connect m pc pc_plus4;
+              switch ~loc:__POS__ m opcode
+                ~default:(fun () ->
+                  (* undecoded: treated as nop *)
+                  ())
+                [
+                  ( lit 7 op_lui,
+                    fun () ->
+                      connect m rf_wen true_;
+                      connect m rf_wdata imm_u );
+                  ( lit 7 op_imm,
+                    fun () ->
+                      connect m alu_b imm_i;
+                      alu_code ~with_sub:false;
+                      connect m rf_wen true_;
+                      connect m rf_wdata alu_out );
+                  ( lit 7 op_op,
+                    fun () ->
+                      alu_code ~with_sub:true;
+                      connect m rf_wen true_;
+                      connect m rf_wdata alu_out );
+                  ( lit 7 op_branch,
+                    fun () ->
+                      let taken = wire ~loc:__POS__ m "taken" (Ty.UInt 1) in
+                      connect m taken false_;
+                      switch ~loc:__POS__ m funct3
+                        [
+                          (lit 3 0, fun () -> connect m taken (rv1 ==: rv2));
+                          (lit 3 1, fun () -> connect m taken (rv1 <>: rv2));
+                          (lit 3 4, fun () -> connect m taken (as_sint rv1 <: as_sint rv2));
+                          (lit 3 5, fun () -> connect m taken (as_sint rv1 >=: as_sint rv2));
+                          (lit 3 6, fun () -> connect m taken (rv1 <: rv2));
+                          (lit 3 7, fun () -> connect m taken (rv1 >=: rv2));
+                        ];
+                      when_ ~loc:__POS__ m taken (fun () ->
+                          connect m pc (resize (pc +: imm_b) 32)) );
+                  ( lit 7 op_jal,
+                    fun () ->
+                      connect m rf_wen true_;
+                      connect m rf_wdata pc_plus4;
+                      connect m pc (resize (pc +: imm_j) 32) );
+                  ( lit 7 op_jalr,
+                    fun () ->
+                      connect m rf_wen true_;
+                      connect m rf_wdata pc_plus4;
+                      connect m pc
+                        (as_uint (resize (rv1 +: imm_i) 32) &: not_s (lit 32 1)) );
+                  ( lit 7 op_load,
+                    fun () ->
+                      connect m retired false_;
+                      connect m pc pc;
+                      connect m state (enum_value st "Mem") );
+                  ( lit 7 op_store,
+                    fun () ->
+                      connect m retired false_;
+                      connect m pc pc;
+                      connect m state (enum_value st "Mem") );
+                ] );
+          ( enum_value st "Mem",
+            fun () ->
+              connect m d_req_valid true_;
+              let ea = node m "ea" (resize (rv1 +: mux_s (opcode ==: lit 7 op_store) imm_s imm_i) 32) in
+              connect m d_req_addr (bits_s ea ~hi:(aw + 1) ~lo:2);
+              connect m d_req_rw (opcode ==: lit 7 op_store);
+              connect m d_req_wdata rv2;
+              connect m state (enum_value st "WaitD") );
+          ( enum_value st "WaitD",
+            fun () ->
+              when_ ~loc:__POS__ m d_resp_valid (fun () ->
+                  when_ ~loc:__POS__ m (opcode ==: lit 7 op_load) (fun () ->
+                      connect m rf_wen true_;
+                      connect m rf_wdata d_resp_rdata);
+                  connect m retired true_;
+                  connect m pc pc_plus4;
+                  connect m state (enum_value st "Fetch")) );
+        ]);
+  ()
+
+(** Build the full riscv-mini circuit. Top-level ports: a [run] enable, a
+    loader backdoor into each cache, and observation outputs. *)
+let circuit ?(params = default_params) () : Circuit.t =
+  let p = params in
+  let cb = Dsl.create_circuit "RiscvMini" in
+  let cache_st = Dsl.enum cb cache_enum [ "Idle"; "Refill"; "WriteThrough"; "Respond" ] in
+  let core_st =
+    Dsl.enum cb core_enum [ "Halt"; "Fetch"; "WaitI"; "Exec"; "Mem"; "WaitD" ]
+  in
+  Alu.define cb;
+  define_regfile cb;
+  define_cache p cache_st cb;
+  define_core p core_st cb;
+  Dsl.module_ cb "RiscvMini" (fun m ->
+      let open Dsl in
+      let aw = p.addr_bits in
+      let run = input ~loc:__POS__ m "run" (Ty.UInt 1) in
+      let iload_en = input ~loc:__POS__ m "iload_en" (Ty.UInt 1) in
+      let iload_addr = input ~loc:__POS__ m "iload_addr" (Ty.UInt aw) in
+      let iload_data = input ~loc:__POS__ m "iload_data" (Ty.UInt 32) in
+      let dload_en = input ~loc:__POS__ m "dload_en" (Ty.UInt 1) in
+      let dload_addr = input ~loc:__POS__ m "dload_addr" (Ty.UInt aw) in
+      let dload_data = input ~loc:__POS__ m "dload_data" (Ty.UInt 32) in
+      let pc_out = output ~loc:__POS__ m "pc_out" (Ty.UInt 32) in
+      let retired = output ~loc:__POS__ m "retired" (Ty.UInt 1) in
+      let dbg_addr = input ~loc:__POS__ m "dbg_addr" (Ty.UInt aw) in
+      let dbg_data = output ~loc:__POS__ m "dbg_data" (Ty.UInt 32) in
+      connect m (instance m "core" "Core" "run") run;
+      connect m pc_out (instance m "core" "Core" "pc_out");
+      connect m retired (instance m "core" "Core" "retired");
+      (* instruction cache: write request tied off — read-only in practice *)
+      connect m (instance m "icache" "Cache" "req_valid") (instance m "core" "Core" "i_req_valid");
+      connect m (instance m "icache" "Cache" "req_rw") false_;
+      connect m (instance m "icache" "Cache" "req_addr") (instance m "core" "Core" "i_req_addr");
+      connect m (instance m "icache" "Cache" "req_wdata") (lit 32 0);
+      connect m (instance m "core" "Core" "i_resp_valid") (instance m "icache" "Cache" "resp_valid");
+      connect m (instance m "core" "Core" "i_resp_rdata") (instance m "icache" "Cache" "resp_rdata");
+      connect m (instance m "icache" "Cache" "load_en") iload_en;
+      connect m (instance m "icache" "Cache" "load_addr") iload_addr;
+      connect m (instance m "icache" "Cache" "load_data") iload_data;
+      (* data cache: full read/write *)
+      connect m (instance m "dcache" "Cache" "req_valid") (instance m "core" "Core" "d_req_valid");
+      connect m (instance m "dcache" "Cache" "req_rw") (instance m "core" "Core" "d_req_rw");
+      connect m (instance m "dcache" "Cache" "req_addr") (instance m "core" "Core" "d_req_addr");
+      connect m (instance m "dcache" "Cache" "req_wdata") (instance m "core" "Core" "d_req_wdata");
+      connect m (instance m "core" "Core" "d_resp_valid") (instance m "dcache" "Cache" "resp_valid");
+      connect m (instance m "core" "Core" "d_resp_rdata") (instance m "dcache" "Cache" "resp_rdata");
+      connect m (instance m "dcache" "Cache" "load_en") dload_en;
+      connect m (instance m "dcache" "Cache" "load_addr") dload_addr;
+      connect m (instance m "dcache" "Cache" "load_data") dload_data;
+      (* debug reads observe the data cache; the icache's port is tied *)
+      connect m (instance m "dcache" "Cache" "dbg_addr") dbg_addr;
+      connect m dbg_data (instance m "dcache" "Cache" "dbg_data");
+      connect m (instance m "icache" "Cache" "dbg_addr") (lit aw 0));
+  Dsl.finalize cb
+
+(** {1 A tiny assembler for tests and benchmarks} *)
+
+type reg = int
+
+let addi rd rs1 imm = (imm land 0xfff) lsl 20 lor (rs1 lsl 15) lor (rd lsl 7) lor op_imm
+let add rd rs1 rs2 = (rs2 lsl 20) lor (rs1 lsl 15) lor (rd lsl 7) lor op_op
+let sub rd rs1 rs2 = (0x20 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (rd lsl 7) lor op_op
+let and_ rd rs1 rs2 = (rs2 lsl 20) lor (rs1 lsl 15) lor (7 lsl 12) lor (rd lsl 7) lor op_op
+let or_ rd rs1 rs2 = (rs2 lsl 20) lor (rs1 lsl 15) lor (6 lsl 12) lor (rd lsl 7) lor op_op
+let xor_ rd rs1 rs2 = (rs2 lsl 20) lor (rs1 lsl 15) lor (4 lsl 12) lor (rd lsl 7) lor op_op
+let lui rd imm20 = (imm20 lsl 12) lor (rd lsl 7) lor op_lui
+let lw rd rs1 imm = (imm land 0xfff) lsl 20 lor (rs1 lsl 15) lor (2 lsl 12) lor (rd lsl 7) lor op_load
+
+let sw rs2 rs1 imm =
+  let imm = imm land 0xfff in
+  ((imm lsr 5) lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (2 lsl 12)
+  lor ((imm land 0x1f) lsl 7) lor op_store
+
+let branch funct3 rs1 rs2 imm =
+  let imm = imm land 0x1fff in
+  let b12 = (imm lsr 12) land 1 and b11 = (imm lsr 11) land 1 in
+  let b10_5 = (imm lsr 5) land 0x3f and b4_1 = (imm lsr 1) land 0xf in
+  (b12 lsl 31) lor (b10_5 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (b4_1 lsl 8) lor (b11 lsl 7) lor op_branch
+
+let beq rs1 rs2 imm = branch 0 rs1 rs2 imm
+let bne rs1 rs2 imm = branch 1 rs1 rs2 imm
+let blt rs1 rs2 imm = branch 4 rs1 rs2 imm
+
+let jal rd imm =
+  let imm = imm land 0x1fffff in
+  let b20 = (imm lsr 20) land 1 and b10_1 = (imm lsr 1) land 0x3ff in
+  let b11 = (imm lsr 11) land 1 and b19_12 = (imm lsr 12) land 0xff in
+  (b20 lsl 31) lor (b10_1 lsl 21) lor (b11 lsl 20) lor (b19_12 lsl 12) lor (rd lsl 7)
+  lor op_jal
+
+let nop = addi 0 0 0

@@ -1,0 +1,61 @@
+(** A compact RV32I processor in the spirit of riscv-mini: a multicycle
+    core with a register file and two instances of one shared [Cache]
+    module. The instruction cache's write-request input is tied off, so
+    the shared write path is unreachable on the I-side — the property the
+    paper's §5.5 formal experiment discovers. *)
+
+open Sic_ir
+
+val core_enum : string
+val cache_enum : string
+
+type params = { addr_bits : int (** word-address width of each cache *) }
+
+val default_params : params
+val formal_params : params
+(** Small caches, sized for bit-blasting. *)
+
+(** Component definitions, reusable by SoC generators (children must be
+    defined before their parents). Each expects the corresponding enum
+    handle created in the same circuit builder. *)
+
+val define_cache : params -> Dsl.enum -> Dsl.circuit_builder -> unit
+val define_regfile : Dsl.circuit_builder -> unit
+val define_core : params -> Dsl.enum -> Dsl.circuit_builder -> unit
+
+val circuit : ?params:params -> unit -> Circuit.t
+(** Top ports: [run], loader backdoors [iload_*]/[dload_*] into the two
+    caches, observation outputs [pc_out]/[retired], and a data-cache
+    debug read port [dbg_addr]/[dbg_data]. *)
+
+(** {1 A tiny RV32I assembler (for tests and benchmarks)} *)
+
+type reg = int
+
+val op_lui : int
+val op_imm : int
+val op_op : int
+val op_branch : int
+val op_load : int
+val op_store : int
+val op_jal : int
+val op_jalr : int
+
+val addi : reg -> reg -> int -> int
+val add : reg -> reg -> reg -> int
+val sub : reg -> reg -> reg -> int
+val and_ : reg -> reg -> reg -> int
+val or_ : reg -> reg -> reg -> int
+val xor_ : reg -> reg -> reg -> int
+val lui : reg -> int -> int
+val lw : reg -> reg -> int -> int
+val sw : reg -> reg -> int -> int
+
+val branch : int -> reg -> reg -> int -> int
+(** [branch funct3 rs1 rs2 byte_offset]. *)
+
+val beq : reg -> reg -> int -> int
+val bne : reg -> reg -> int -> int
+val blt : reg -> reg -> int -> int
+val jal : reg -> int -> int
+val nop : int

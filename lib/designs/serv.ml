@@ -1,0 +1,74 @@
+(** A bit-serial ALU core in the spirit of SERV ("serv-chisel" in Table 2):
+    operations stream through a 1-bit datapath over 32 cycles, trading
+    time for area. High cycle counts with low activity per cycle — the
+    workload profile the activity-driven (ESSENT-style) backend wins on. *)
+
+open Sic_ir
+
+let enum_name = "ServState"
+
+(* op encoding: 0 add, 1 sub, 2 and, 3 or, 4 xor *)
+let circuit () : Circuit.t =
+  let cb = Dsl.create_circuit "Serv" in
+  let st = Dsl.enum cb enum_name [ "Idle"; "Run"; "Done" ] in
+  Dsl.module_ cb "Serv" (fun m ->
+      let open Dsl in
+      (* request: [2:0] op, [34:3] operand a, [66:35] operand b *)
+      let req = decoupled_input ~loc:__POS__ m "io_req" (Ty.UInt 67) in
+      let resp = decoupled_output ~loc:__POS__ m "io_resp" (Ty.UInt 32) in
+      let state = reg_enum ~loc:__POS__ m "state" st "Idle" in
+      let op = reg_ ~loc:__POS__ m "op" (Ty.UInt 3) in
+      let ra = reg_ ~loc:__POS__ m "ra" (Ty.UInt 32) in
+      let rb = reg_ ~loc:__POS__ m "rb" (Ty.UInt 32) in
+      let acc = reg_ ~loc:__POS__ m "acc" (Ty.UInt 32) in
+      let carry = reg_init ~loc:__POS__ m "carry" false_ in
+      let count = reg_init ~loc:__POS__ m "count" (lit 5 0) in
+      connect m req.ready (is st "Idle" state);
+      connect m resp.valid (is st "Done" state);
+      connect m resp.bits acc;
+      switch ~loc:__POS__ m state
+        [
+          ( enum_value st "Idle",
+            fun () ->
+              when_ ~loc:__POS__ m (fire req) (fun () ->
+                  connect m op (bits_s req.bits ~hi:2 ~lo:0);
+                  connect m ra (bits_s req.bits ~hi:34 ~lo:3);
+                  connect m rb (bits_s req.bits ~hi:66 ~lo:35);
+                  (* subtraction: invert b and seed the carry *)
+                  when_ ~loc:__POS__ m (bits_s req.bits ~hi:2 ~lo:0 ==: lit 3 1)
+                    (fun () ->
+                      connect m rb (not_s (bits_s req.bits ~hi:66 ~lo:35));
+                      connect m carry true_);
+                  when_ ~loc:__POS__ m (bits_s req.bits ~hi:2 ~lo:0 <>: lit 3 1)
+                    (fun () -> connect m carry false_);
+                  connect m count (lit 5 0);
+                  connect m state (enum_value st "Run")) );
+          ( enum_value st "Run",
+            fun () ->
+              (* one result bit per cycle, LSB-first *)
+              let a0 = bit_s ra 0 in
+              let b0 = bit_s rb 0 in
+              let sum = a0 ^: b0 ^: carry in
+              let cout = (a0 &: b0) |: (carry &: (a0 ^: b0)) in
+              let bit = wire ~loc:__POS__ m "result_bit" (Ty.UInt 1) in
+              connect m bit sum;
+              switch ~loc:__POS__ m op
+                [
+                  (lit 3 2, fun () -> connect m bit (a0 &: b0));
+                  (lit 3 3, fun () -> connect m bit (a0 |: b0));
+                  (lit 3 4, fun () -> connect m bit (a0 ^: b0));
+                ];
+              connect m carry cout;
+              connect m ra (shr_s ra 1);
+              connect m rb (shr_s rb 1);
+              connect m acc (cat_s bit (bits_s acc ~hi:31 ~lo:1));
+              when_else ~loc:__POS__ m
+                (count ==: lit 5 31)
+                (fun () -> connect m state (enum_value st "Done"))
+                (fun () -> connect m count (count +: lit 5 1)) );
+          ( enum_value st "Done",
+            fun () ->
+              when_ ~loc:__POS__ m (fire resp) (fun () ->
+                  connect m state (enum_value st "Idle")) );
+        ]);
+  Dsl.finalize cb

@@ -1,0 +1,8 @@
+(** A bit-serial ALU core in the spirit of SERV (Table 2's serv-chisel):
+    one result bit per cycle, high cycle counts, low per-cycle activity. *)
+
+val enum_name : string
+
+val circuit : unit -> Sic_ir.Circuit.t
+(** Ports: [io_req] (decoupled 67-bit: [2:0] op — add/sub/and/or/xor —
+    [34:3] a, [66:35] b), [io_resp] (decoupled 32-bit result). *)

@@ -1,0 +1,30 @@
+(** Synthetic SoC generators for the FireSim-style experiments (§5.2):
+    riscv-mini core complexes plus accelerator, UART and I2C tiles, with
+    configurations whose line-cover counts match the paper's
+    instrumented Chipyard SoCs (see DESIGN.md for the substitution
+    rationale). *)
+
+type config = {
+  soc_name : string;
+  cores : int;
+  cache_addr_bits : int;
+  accelerators : int;
+  accel_neurons : int;
+  uarts : int;
+  i2cs : int;
+}
+
+val rocket_config : config
+(** Paper-scale: ~8060 line cover points (quad-core Rocket analogue). *)
+
+val boom_config : config
+(** Paper-scale: ~12059 line cover points (BOOM analogue). *)
+
+val rocket_sim_config : config
+val boom_sim_config : config
+(** Smaller variants for experiments that step the SoC many cycles. *)
+
+val circuit : config -> Sic_ir.Circuit.t
+(** Top ports: [run], a core-selecting loader backdoor ([load_*]),
+    [spike_in] for the accelerators, and observation buses
+    [observe]/[pins] that keep the whole design live through DCE. *)

@@ -1,0 +1,41 @@
+(** A TileLink-UL style memory slave (the RocketChip TLRAM of Table 2):
+    one decoupled request channel (A) carrying get/put operations and one
+    decoupled response channel (D). Mostly datapath and handshakes, very
+    few branches — which is why the paper's Table 2 reports only 8 line
+    cover points but thousands of toggle points for it. *)
+
+open Sic_ir
+
+(* A-channel request word layout (little-endian fields):
+   [0]        opcode: 0 = get, 1 = put
+   [addr_w:1] address
+   [.. +32]   put data *)
+
+let circuit ?(addr_bits = 8) () : Circuit.t =
+  let cb = Dsl.create_circuit "TLRAM" in
+  let req_w = 1 + addr_bits + 32 in
+  Dsl.module_ cb "TLRAM" (fun m ->
+      let open Dsl in
+      let a = decoupled_input ~loc:__POS__ m "io_a" (Ty.UInt req_w) in
+      let d = decoupled_output ~loc:__POS__ m "io_d" (Ty.UInt 33) in
+      let ram =
+        mem ~loc:__POS__ ~sync_read:true m "ram" (Ty.UInt 32) ~depth:(1 lsl addr_bits)
+          ~readers:[ "r" ] ~writers:[ "w" ]
+      in
+      let opcode = node m "opcode" (bits_s a.bits ~hi:0 ~lo:0) in
+      let addr = node m "addr" (bits_s a.bits ~hi:addr_bits ~lo:1) in
+      let wdata = node m "wdata" (bits_s a.bits ~hi:(addr_bits + 32) ~lo:(addr_bits + 1)) in
+      (* single in-flight transaction *)
+      let resp_pending = reg_init ~loc:__POS__ m "resp_pending" false_ in
+      let resp_was_put = reg_init ~loc:__POS__ m "resp_was_put" false_ in
+      connect m a.ready (not_s resp_pending) ;
+      let _rdata = mem_read ram "r" addr in
+      connect m d.valid resp_pending;
+      connect m d.bits (cat_s resp_was_put (mem_read ram "r" addr));
+      when_ ~loc:__POS__ m (fire a) (fun () ->
+          connect m resp_pending true_;
+          connect m resp_was_put opcode;
+          when_ ~loc:__POS__ m opcode (fun () ->
+              mem_write ram "w" ~addr ~data:wdata));
+      when_ ~loc:__POS__ m (fire d) (fun () -> connect m resp_pending false_));
+  Dsl.finalize cb

@@ -1,0 +1,7 @@
+(** A TileLink-UL style memory slave (Table 2's TLRAM): datapath-heavy,
+    branch-poor — single-digit line covers, many toggle bits. *)
+
+val circuit : ?addr_bits:int -> unit -> Sic_ir.Circuit.t
+(** Ports: [io_a] (decoupled request: bit 0 opcode get/put, then address,
+    then 32-bit put data), [io_d] (decoupled response: 32-bit data plus
+    opcode echo in bit 32). *)

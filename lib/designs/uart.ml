@@ -1,0 +1,113 @@
+(** A UART transmitter and receiver with enum-typed FSMs — a peripheral
+    with rich state/transition structure for the FSM-coverage metric. *)
+
+open Sic_ir
+
+(** 8N1 UART. [div] sets the bit period in clock cycles. *)
+let circuit ?(div = 4) () : Circuit.t =
+  let cb = Dsl.create_circuit "Uart" in
+  let tx_s = Dsl.enum cb "TxState" [ "Idle"; "Start"; "Data"; "Stop" ] in
+  let rx_s = Dsl.enum cb "RxState" [ "Idle"; "Start"; "Data"; "Stop" ] in
+  let divw = Ty.clog2 (max 2 div) in
+  Dsl.module_ cb "UartTx" (fun m ->
+      let open Dsl in
+      let in_ = decoupled_input ~loc:__POS__ m "io_in" (Ty.UInt 8) in
+      let txd = output ~loc:__POS__ m "txd" (Ty.UInt 1) in
+      let state = reg_enum ~loc:__POS__ m "state" tx_s "Idle" in
+      let data = reg_ ~loc:__POS__ m "data" (Ty.UInt 8) in
+      let bit_count = reg_init ~loc:__POS__ m "bit_count" (lit 3 0) in
+      let baud = reg_init ~loc:__POS__ m "baud" (lit divw 0) in
+      let at_period = node m "at_period" (baud ==: lit divw (div - 1)) in
+      connect m baud (mux_s at_period (lit divw 0) (baud +: lit divw 1));
+      connect m txd true_;
+      connect m in_.ready (is tx_s "Idle" state);
+      switch ~loc:__POS__ m state
+        [
+          ( enum_value tx_s "Idle",
+            fun () ->
+              when_ ~loc:__POS__ m (fire in_) (fun () ->
+                  connect m data in_.bits;
+                  connect m baud (lit divw 0);
+                  connect m state (enum_value tx_s "Start")) );
+          ( enum_value tx_s "Start",
+            fun () ->
+              connect m txd false_;
+              when_ ~loc:__POS__ m at_period (fun () ->
+                  connect m bit_count (lit 3 0);
+                  connect m state (enum_value tx_s "Data")) );
+          ( enum_value tx_s "Data",
+            fun () ->
+              connect m txd (dshr_s data (resize bit_count 3));
+              when_ ~loc:__POS__ m at_period (fun () ->
+                  when_else ~loc:__POS__ m
+                    (bit_count ==: lit 3 7)
+                    (fun () -> connect m state (enum_value tx_s "Stop"))
+                    (fun () -> connect m bit_count (bit_count +: lit 3 1))) );
+          ( enum_value tx_s "Stop",
+            fun () ->
+              connect m txd true_;
+              when_ ~loc:__POS__ m at_period (fun () ->
+                  connect m state (enum_value tx_s "Idle")) );
+        ]);
+  Dsl.module_ cb "UartRx" (fun m ->
+      let open Dsl in
+      let rxd = input ~loc:__POS__ m "rxd" (Ty.UInt 1) in
+      let out = decoupled_output ~loc:__POS__ m "io_out" (Ty.UInt 8) in
+      let state = reg_enum ~loc:__POS__ m "state" rx_s "Idle" in
+      let data = reg_ ~loc:__POS__ m "data" (Ty.UInt 8) in
+      let bit_count = reg_init ~loc:__POS__ m "bit_count" (lit 3 0) in
+      let baud = reg_init ~loc:__POS__ m "baud" (lit (divw + 1) 0) in
+      let valid = reg_init ~loc:__POS__ m "valid" false_ in
+      connect m out.valid valid;
+      connect m out.bits data;
+      when_ ~loc:__POS__ m (fire out) (fun () -> connect m valid false_);
+      let at_period = node m "at_period" (baud ==: lit (divw + 1) (div - 1)) in
+      let at_half = node m "at_half" (baud ==: lit (divw + 1) (div / 2)) in
+      connect m baud (mux_s at_period (lit (divw + 1) 0) (baud +: lit (divw + 1) 1));
+      switch ~loc:__POS__ m state
+        [
+          ( enum_value rx_s "Idle",
+            fun () ->
+              when_ ~loc:__POS__ m (not_s rxd) (fun () ->
+                  connect m baud (lit (divw + 1) 0);
+                  connect m state (enum_value rx_s "Start")) );
+          ( enum_value rx_s "Start",
+            fun () ->
+              when_ ~loc:__POS__ m at_period (fun () ->
+                  connect m bit_count (lit 3 0);
+                  connect m state (enum_value rx_s "Data")) );
+          ( enum_value rx_s "Data",
+            fun () ->
+              when_ ~loc:__POS__ m at_half (fun () ->
+                  connect m data (cat_s rxd (bits_s data ~hi:7 ~lo:1)));
+              when_ ~loc:__POS__ m at_period (fun () ->
+                  when_else ~loc:__POS__ m
+                    (bit_count ==: lit 3 7)
+                    (fun () -> connect m state (enum_value rx_s "Stop"))
+                    (fun () -> connect m bit_count (bit_count +: lit 3 1))) );
+          ( enum_value rx_s "Stop",
+            fun () ->
+              when_ ~loc:__POS__ m at_period (fun () ->
+                  connect m valid true_;
+                  connect m state (enum_value rx_s "Idle")) );
+        ]);
+  Dsl.module_ cb "Uart" (fun m ->
+      let open Dsl in
+      let in_ = decoupled_input ~loc:__POS__ m "io_in" (Ty.UInt 8) in
+      let out = decoupled_output ~loc:__POS__ m "io_out" (Ty.UInt 8) in
+      let loopback = input ~loc:__POS__ m "loopback" (Ty.UInt 1) in
+      let rxd_in = input ~loc:__POS__ m "rxd" (Ty.UInt 1) in
+      let txd_out = output ~loc:__POS__ m "txd" (Ty.UInt 1) in
+      connect m (instance m "tx" "UartTx" "io_in_valid") in_.valid;
+      connect m (instance m "tx" "UartTx" "io_in_bits") in_.bits;
+      connect m in_.ready (instance m "tx" "UartTx" "io_in_ready");
+      let txd = instance m "tx" "UartTx" "txd" in
+      connect m txd_out txd;
+      connect m (instance m "rx" "UartRx" "rxd") (mux_s loopback txd rxd_in);
+      connect m (instance m "rx" "UartRx" "io_out_ready") out.ready;
+      connect m out.valid (instance m "rx" "UartRx" "io_out_valid");
+      connect m out.bits (instance m "rx" "UartRx" "io_out_bits"));
+  Dsl.finalize cb
+
+let tx_enum = "TxState"
+let rx_enum = "RxState"

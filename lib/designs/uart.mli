@@ -1,0 +1,10 @@
+(** An 8N1 UART with enum-FSM transmitter and receiver plus a loopback
+    top — the FSM-coverage showcase design. *)
+
+val circuit : ?div:int -> unit -> Sic_ir.Circuit.t
+(** [div] is the bit period in clock cycles. Top ports: [io_in]
+    (decoupled bytes to transmit), [io_out] (decoupled received bytes),
+    [loopback], [rxd], [txd]. *)
+
+val tx_enum : string
+val rx_enum : string

@@ -1,0 +1,35 @@
+(** The host-side driver for FPGA-accelerated coverage (§3.3): pauses the
+    simulated target, shifts the scan chain out bit by bit, and
+    reassembles the same counts map a software backend would report. *)
+
+module Counts = Sic_coverage.Counts
+
+type scan_result = {
+  counts : Counts.t;
+  scan_cycles : int;  (** chain length x counter width *)
+}
+
+val scan_out : Sic_sim.Backend.t -> Scan_chain.chain -> scan_result
+(** Clock the whole chain out. Destructive: counters end up zeroed. *)
+
+val run_and_scan :
+  Sic_sim.Backend.t ->
+  Scan_chain.chain ->
+  workload:(Sic_sim.Backend.t -> unit) ->
+  scan_result
+(** Run [workload] with counting enabled, then scan out. *)
+
+val scan_millis : scan_cycles:int -> mhz:float -> float
+(** Wall-clock cost of a scan at a target frequency, in ms (§5.2). *)
+
+val run_with_periodic_scan :
+  Sic_sim.Backend.t ->
+  Scan_chain.chain ->
+  period:int ->
+  total_cycles:int ->
+  drive:(Sic_sim.Backend.t -> int -> unit) ->
+  scan_result
+(** The §5.2 "smaller counters sampled more frequently" trade-off: scan
+    every [period] cycles and accumulate exact totals host-side. Sound
+    as long as no cover fires more than [2^width - 1] times per
+    period. *)

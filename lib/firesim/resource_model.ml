@@ -1,0 +1,118 @@
+(** FPGA resource and timing model for the FireSim experiments.
+
+    We cannot place-and-route onto a VU9P here, so Figures 9 and 10 are
+    reproduced against an analytical model with the same first-order
+    structure as the paper's measurements:
+
+    - Baseline LUTs/FFs are proportional to the size of the simulated
+      design (estimated from the lowered IR).
+    - Each w-bit coverage counter costs ~w FFs (the counter register) and
+      ~w LUTs (increment carry chain + saturation detect + scan mux),
+      linear in w exactly as the measured curves are.
+    - F_max starts at the design's base frequency and degrades as
+      utilization grows, with a deterministic placement-noise term so that
+      small counter widths stay "within the noise of differing placements"
+      (the paper's observation for <=8-bit Rocket and <=2-bit BOOM).
+
+    The absolute numbers are calibrated to the paper's reported points
+    (Rocket SoC at 65 MHz, BOOM at 40 MHz with 16-bit counters); the claim
+    being reproduced is the *shape*: linear LUT growth dominated by the
+    coverage hardware at large widths, and a noise-floor plateau at small
+    widths. *)
+
+open Sic_ir
+
+type utilization = {
+  luts : int;
+  ffs : int;
+  brams : int;
+  counter_luts : int;  (** portion attributable to coverage hardware *)
+  counter_ffs : int;
+}
+
+(* VU9P-scale capacity, for utilization ratios *)
+let device_luts = 1_182_000
+let device_ffs = 2_364_000
+
+(* per-operation LUT cost estimates for the baseline design *)
+let rec expr_cost ty_of (e : Expr.t) =
+  let width_of x = Ty.width (Expr.type_of ty_of x) in
+  match e with
+  | Expr.Ref _ | Expr.UIntLit _ | Expr.SIntLit _ -> 0
+  | Expr.Mux (s, a, b) -> expr_cost ty_of s + expr_cost ty_of a + expr_cost ty_of b + width_of a
+  | Expr.Unop (_, a) -> expr_cost ty_of a + width_of a
+  | Expr.Binop (op, a, b) -> (
+      let base = expr_cost ty_of a + expr_cost ty_of b in
+      let w = max (width_of a) (width_of b) in
+      match op with
+      | Expr.Mul -> base + (w * w / 2)
+      | Expr.Div | Expr.Rem -> base + (w * w)
+      | Expr.Add | Expr.Sub -> base + w
+      | Expr.Dshl | Expr.Dshr -> base + (w * 3)
+      | _ -> base + w)
+  | Expr.Intop (_, _, a) -> expr_cost ty_of a
+  | Expr.Bits (a, _, _) -> expr_cost ty_of a
+
+(** Estimate the baseline (uninstrumented) resource usage of a lowered
+    circuit. *)
+let baseline (c : Circuit.t) : utilization =
+  let m = Circuit.main c in
+  let env = Circuit.build_env m in
+  let ty_of = Circuit.lookup_of env in
+  let luts = ref 0 and ffs = ref 0 and brams = ref 0 in
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Node { expr; _ } | Stmt.Connect { expr; _ } -> luts := !luts + expr_cost ty_of expr
+      | Stmt.Reg { ty; _ } -> ffs := !ffs + Ty.width ty
+      | Stmt.Mem { mem; _ } ->
+          let bits = mem.Stmt.mem_depth * Ty.width mem.Stmt.mem_data in
+          if bits > 2048 then brams := !brams + ((bits + 36863) / 36864)
+          else ffs := !ffs + bits
+      | _ -> ())
+    m.Circuit.body;
+  { luts = !luts; ffs = !ffs; brams = !brams; counter_luts = 0; counter_ffs = 0 }
+
+(** Resource usage with [n_covers] scan-chained counters of [width] bits.
+    [width = 0] means no coverage instrumentation (the baseline). *)
+let with_coverage (base : utilization) ~n_covers ~width : utilization =
+  if width = 0 then base
+  else begin
+    (* counter register + increment/saturate logic + scan mux: measured
+       FireSim numbers are close to 1 LUT and 1 FF per counter bit plus a
+       small fixed cost per counter *)
+    let counter_ffs = n_covers * width in
+    let counter_luts = (n_covers * width) + (n_covers * 2) in
+    {
+      base with
+      luts = base.luts + counter_luts;
+      ffs = base.ffs + counter_ffs;
+      counter_luts;
+      counter_ffs;
+    }
+  end
+
+(* deterministic pseudo-noise in [-1.0, 1.0], stable per (seed, width) *)
+let placement_noise ~seed ~width =
+  let h = Hashtbl.hash (seed, width, "placement") land 0xFFFF in
+  (float_of_int h /. 32767.5) -. 1.0
+
+(** Post-place-and-route F_max estimate in MHz. [base_mhz] is the
+    uninstrumented design's frequency (65 for the Rocket-class SoC, 40 for
+    the BOOM-class one, §5.2). Congestion is driven by the share of the
+    fabric occupied by coverage hardware relative to the design itself:
+    below a noise floor, runs differ only by placement noise (the paper's
+    observation for <=8-bit Rocket / <=2-bit BOOM counters); beyond it,
+    longer routes cost frequency roughly linearly. *)
+let fmax ~base_mhz ~(u : utilization) ~seed ~width : float =
+  let coverage_share =
+    float_of_int u.counter_luts /. float_of_int (max 1 (u.luts - u.counter_luts))
+  in
+  let congestion = max 0.0 (coverage_share -. 0.35) in
+  let degradation = base_mhz *. congestion *. 0.18 in
+  let noise = placement_noise ~seed ~width *. base_mhz *. 0.025 in
+  max (base_mhz *. 0.3) (base_mhz -. degradation +. noise)
+
+let pp_utilization fmt (u : utilization) =
+  Format.fprintf fmt "LUT %7d (cov %7d)  FF %7d (cov %7d)  BRAM %4d" u.luts
+    u.counter_luts u.ffs u.counter_ffs u.brams

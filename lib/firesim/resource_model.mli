@@ -1,0 +1,29 @@
+(** Analytical FPGA resource and timing model for the Figure 9/10
+    experiments (the substitution for place-and-route on a VU9P; see
+    DESIGN.md). Calibrated so the paper's reported operating points hold;
+    the reproduced claims are the shapes: linear LUT/FF growth in counter
+    width, coverage hardware dominating at large widths, and a
+    placement-noise plateau at small widths. *)
+
+type utilization = {
+  luts : int;
+  ffs : int;
+  brams : int;
+  counter_luts : int;  (** attributable to coverage counters *)
+  counter_ffs : int;
+}
+
+val device_luts : int
+val device_ffs : int
+
+val baseline : Sic_ir.Circuit.t -> utilization
+(** Estimate the uninstrumented design from the lowered IR. *)
+
+val with_coverage : utilization -> n_covers:int -> width:int -> utilization
+(** Add [n_covers] scan-chained counters of [width] bits ([width = 0]
+    means no instrumentation). *)
+
+val fmax : base_mhz:float -> u:utilization -> seed:int -> width:int -> float
+(** Post-P&R frequency estimate with deterministic placement noise. *)
+
+val pp_utilization : Format.formatter -> utilization -> unit

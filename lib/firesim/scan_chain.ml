@@ -1,0 +1,116 @@
+(** Coverage scan-chain insertion for FPGA-accelerated simulation (§3.3,
+    Figure 4).
+
+    Cover statements cannot be mapped onto an FPGA directly, so each one is
+    replaced by a saturating counter of user-selected width, and all
+    counters are stitched into a scan chain controlled by the host: when
+    [cover_scan_en] is high the counters stop counting and shift one bit
+    per cycle from [cover_scan_in] towards [cover_scan_out]. The pass
+    emits the chain order metadata the driver needs to re-associate bits
+    with cover names — after scan-out the counts are *exactly* the map any
+    software backend would have produced. *)
+
+open Sic_ir
+module Pass = Sic_passes.Pass
+
+let pass_name = "coverage-scan-chain"
+
+type chain = {
+  counter_width : int;
+  order : string list;
+      (** cover names, scan-in side first; the bit closest to [scan_out]
+          is the MSB of the *last* counter in this list *)
+}
+
+let scan_en_port = "cover_scan_en"
+let scan_in_port = "cover_scan_in"
+let scan_out_port = "cover_scan_out"
+
+(** Replace covers by scan-chained saturating counters of [width] bits. *)
+let insert ~width (c : Circuit.t) : Circuit.t * chain =
+  if width < 1 then Pass.error ~pass:pass_name "counter width must be >= 1";
+  if not (Sic_passes.Compile.is_low_form c) then
+    Pass.error ~pass:pass_name "scan-chain insertion requires a flat, lowered circuit";
+  let m = Circuit.main c in
+  let ns = Namespace.of_module m in
+  let order = ref [] in
+  let counters = ref [] in
+  (* strip covers, remembering name/pred in declaration order *)
+  let body =
+    Stmt.map_concat
+      (fun s ->
+        match s with
+        | Stmt.Cover { name; pred; info } ->
+            order := name :: !order;
+            counters := (name, pred, info) :: !counters;
+            []
+        | Stmt.CoverValues { name; _ } ->
+            Pass.error ~pass:pass_name
+              "cover-values %s must be expanded before scan-chain insertion" name
+        | s -> [ s ])
+      m.Circuit.body
+  in
+  let order = List.rev !order in
+  let counters = List.rev !counters in
+  let scan_en = Expr.Ref scan_en_port in
+  (* FireSim's host decoupling: while the host scans, target time is
+     frozen. Gate every register update and memory write with !scan_en so
+     "pause the simulation, freezing all coverage counts" (§3.3) holds for
+     the whole target, not just the counters. *)
+  let regs = Hashtbl.create 32 in
+  Stmt.iter
+    (fun s -> match s with Stmt.Reg { name; _ } -> Hashtbl.replace regs name () | _ -> ())
+    body;
+  let not_scanning = Expr.Unop (Expr.Not, scan_en) in
+  let body =
+    Stmt.map_concat
+      (fun s ->
+        match s with
+        | Stmt.Connect { loc; expr; info } when Hashtbl.mem regs loc ->
+            [ Stmt.Connect { loc; expr = Expr.Mux (scan_en, Expr.Ref loc, expr); info } ]
+        | Stmt.Connect { loc; expr; info } when Filename.check_suffix loc ".en" ->
+            [ Stmt.Connect { loc; expr = Expr.and_ not_scanning expr; info } ]
+        | Stmt.Stop { name; cond; exit_code; info } ->
+            [ Stmt.Stop { name; cond = Expr.and_ not_scanning cond; exit_code; info } ]
+        | s -> [ s ])
+      body
+  in
+  let stmts = ref [] in
+  let emit s = stmts := s :: !stmts in
+  (* chain: counter k shifts in the scan-out (MSB) of counter k-1 *)
+  let last_bit =
+    List.fold_left
+      (fun chain_in (name, pred, info) ->
+        let reg = Namespace.fresh ns ("_cov_cnt_" ^ name) in
+        emit (Stmt.Reg { name = reg; ty = Ty.UInt width; reset = None; info });
+        let ones = Expr.UIntLit (Sic_bv.Bv.ones width) in
+        let saturated = Expr.eq_ (Expr.Ref reg) ones in
+        let incremented =
+          (* tail drops the carry bit of the (width+1)-wide add *)
+          Expr.Intop (Expr.Tail, 1, Expr.Binop (Expr.Add, Expr.Ref reg, Expr.u_lit ~width:1 1))
+        in
+        let counting =
+          Expr.Mux (Expr.and_ pred (Expr.Unop (Expr.Not, saturated)), incremented, Expr.Ref reg)
+        in
+        let shifted =
+          if width = 1 then chain_in
+          else Expr.Binop (Expr.Cat, Expr.Bits (Expr.Ref reg, width - 2, 0), chain_in)
+        in
+        emit
+          (Stmt.Connect
+             { loc = reg; expr = Expr.Mux (scan_en, shifted, counting); info });
+        (* this counter's scan-out is its MSB *)
+        Expr.Bits (Expr.Ref reg, width - 1, width - 1))
+      (Expr.Ref scan_in_port) counters
+  in
+  emit (Stmt.Connect { loc = scan_out_port; expr = last_bit; info = Info.unknown });
+  let ports =
+    m.Circuit.ports
+    @ [
+        { Circuit.port_name = scan_en_port; dir = Circuit.Input; port_ty = Ty.UInt 1; port_info = Info.unknown };
+        { Circuit.port_name = scan_in_port; dir = Circuit.Input; port_ty = Ty.UInt 1; port_info = Info.unknown };
+        { Circuit.port_name = scan_out_port; dir = Circuit.Output; port_ty = Ty.UInt 1; port_info = Info.unknown };
+      ]
+  in
+  let m' = { m with Circuit.ports; body = body @ List.rev !stmts } in
+  ({ c with Circuit.modules = [ m' ] }, { counter_width = width; order })

@@ -1,0 +1,21 @@
+(** Coverage scan-chain insertion for FPGA-accelerated simulation (§3.3,
+    Figure 4): each cover becomes a saturating counter of user-selected
+    width; all counters form a scan chain controlled by
+    [cover_scan_en]/[cover_scan_in]/[cover_scan_out]. The pass also
+    implements FireSim's pause semantics: while scanning, every target
+    register and memory write is frozen. *)
+
+type chain = {
+  counter_width : int;
+  order : string list;
+      (** cover names in chain order (scan-in side first); the bit
+          closest to [cover_scan_out] is the MSB of the last counter *)
+}
+
+val scan_en_port : string
+val scan_in_port : string
+val scan_out_port : string
+
+val insert : width:int -> Sic_ir.Circuit.t -> Sic_ir.Circuit.t * chain
+(** Requires a flat, lowered circuit with plain covers only
+    ([cover-values] must be expanded first). *)

@@ -1,0 +1,274 @@
+(** Mutational coverage-directed fuzzing (§5.4).
+
+    An AFL-style loop over an rfuzz-style harness: the input is a flat
+    byte string, consumed a fixed number of bytes per clock cycle to drive
+    the DUT's input ports; the feedback is *any* coverage metric's counts
+    map, bucketed AFL-fashion, so switching feedback metrics is switching
+    an instrumentation pass — the paper's point. Mutators are the AFL
+    basics: bit flips, byte flips, arithmetic, interesting values, havoc
+    and splice. *)
+
+open Sic_ir
+module Bv = Sic_bv.Bv
+module Counts = Sic_coverage.Counts
+
+(* ------------------------------------------------------------------ *)
+(* Harness: bytes -> stimulus                                           *)
+(* ------------------------------------------------------------------ *)
+
+type harness = {
+  circuit : Circuit.t;  (** instrumented, lowered circuit *)
+  create : Circuit.t -> Sic_sim.Backend.t;
+  inputs : (string * int) list;  (** data inputs: name, width *)
+  bytes_per_cycle : int;
+  reset_cycles : int;
+}
+
+let make_harness ?(create = fun c -> Sic_sim.Compiled.create c) ?(reset_cycles = 1)
+    (circuit : Circuit.t) : harness =
+  let m = Circuit.main circuit in
+  let inputs =
+    List.filter_map
+      (fun (p : Circuit.port) ->
+        match p.Circuit.dir with
+        | Circuit.Input
+          when p.Circuit.port_name <> "clock" && p.Circuit.port_name <> "reset" ->
+            Some (p.Circuit.port_name, Ty.width p.Circuit.port_ty)
+        | Circuit.Input | Circuit.Output -> None)
+      m.Circuit.ports
+  in
+  let total_bits = List.fold_left (fun a (_, w) -> a + w) 0 inputs in
+  { circuit; create; inputs; bytes_per_cycle = max 1 ((total_bits + 7) / 8); reset_cycles }
+
+(** Execute one input, returning the coverage counts it produced. *)
+let execute (h : harness) (input : bytes) : Counts.t =
+  let b = h.create h.circuit in
+  Sic_sim.Backend.reset_sequence ~cycles:h.reset_cycles b;
+  let n_cycles = Bytes.length input / h.bytes_per_cycle in
+  for cycle = 0 to n_cycles - 1 do
+    (* unpack this cycle's bytes into the input ports, LSB first *)
+    let base = cycle * h.bytes_per_cycle in
+    let bit_at i =
+      let byte = Char.code (Bytes.get input (base + (i / 8))) in
+      (byte lsr (i mod 8)) land 1 = 1
+    in
+    let offset = ref 0 in
+    List.iter
+      (fun (name, w) ->
+        let v = ref (Bv.zero w) in
+        for i = 0 to w - 1 do
+          if bit_at (!offset + i) then
+            v := Bv.logor ~width:w !v (Bv.shift_left ~width:w (Bv.one w) i)
+        done;
+        offset := !offset + w;
+        b.Sic_sim.Backend.poke name !v)
+      h.inputs;
+    b.Sic_sim.Backend.step 1
+  done;
+  b.Sic_sim.Backend.counts ()
+
+(* ------------------------------------------------------------------ *)
+(* AFL-style feedback signature                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* AFL bucket: 1, 2, 3, 4-7, 8-15, 16-31, 32-127, 128+ *)
+let bucket n =
+  if n = 0 then 0
+  else if n = 1 then 1
+  else if n = 2 then 2
+  else if n = 3 then 3
+  else if n < 8 then 4
+  else if n < 16 then 5
+  else if n < 32 then 6
+  else if n < 128 then 7
+  else 8
+
+(** The feedback signature of a run: cover name -> bucketed count. A run
+    is "interesting" when its signature covers a (name, bucket) pair never
+    seen before. *)
+let signature (counts : Counts.t) : (string * int) list =
+  List.filter_map
+    (fun (n, c) -> if c = 0 then None else Some (n, bucket c))
+    (Counts.to_sorted_list counts)
+
+(* ------------------------------------------------------------------ *)
+(* Mutators                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let interesting_bytes = [| 0; 1; 2; 4; 8; 16; 32; 64; 127; 128; 255 |]
+
+let mutate (rng : Rng.t) (corpus : bytes array) (src : bytes) : bytes =
+  let b = Bytes.copy src in
+  let len = Bytes.length b in
+  let n_mutations = 1 + Rng.int rng 8 in
+  let out = ref b in
+  for _ = 1 to n_mutations do
+    let b = !out in
+    let len = Bytes.length b in
+    if len > 0 then
+      match Rng.int rng 7 with
+      | 0 ->
+          (* single bit flip *)
+          let i = Rng.int rng (len * 8) in
+          let c = Char.code (Bytes.get b (i / 8)) in
+          Bytes.set b (i / 8) (Char.chr (c lxor (1 lsl (i mod 8))))
+      | 1 ->
+          (* random byte *)
+          Bytes.set b (Rng.int rng len) (Char.chr (Rng.byte rng))
+      | 2 ->
+          (* interesting value *)
+          Bytes.set b (Rng.int rng len)
+            (Char.chr interesting_bytes.(Rng.int rng (Array.length interesting_bytes)))
+      | 3 ->
+          (* arithmetic +/- small delta *)
+          let i = Rng.int rng len in
+          let d = 1 + Rng.int rng 16 in
+          let d = if Rng.bool rng then d else -d in
+          Bytes.set b i (Char.chr ((Char.code (Bytes.get b i) + d) land 0xff))
+      | 4 ->
+          (* duplicate a block (growth) *)
+          let src_off = Rng.int rng len in
+          let n = min (1 + Rng.int rng 16) (len - src_off) in
+          out := Bytes.cat b (Bytes.sub b src_off n)
+      | 5 ->
+          (* truncate (shrink), keeping at least one byte *)
+          let n = max 1 (len - (1 + Rng.int rng 16)) in
+          out := Bytes.sub b 0 n
+      | 6 ->
+          (* splice with another corpus entry *)
+          if Array.length corpus > 0 then begin
+            let other = corpus.(Rng.int rng (Array.length corpus)) in
+            if Bytes.length other > 0 then begin
+              let cut = Rng.int rng len in
+              let cut2 = Rng.int rng (Bytes.length other) in
+              out :=
+                Bytes.cat (Bytes.sub b 0 cut)
+                  (Bytes.sub other cut2 (Bytes.length other - cut2))
+            end
+          end
+      | _ -> ()
+  done;
+  if Bytes.length !out = 0 then Bytes.make len '\000' else !out
+
+(* ------------------------------------------------------------------ *)
+(* Corpus trimming (afl-tmin style)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* does [smaller]'s signature still include everything in [target]? *)
+let covers_signature target counts =
+  let sig_ = signature counts in
+  List.for_all (fun pair -> List.mem pair sig_) target
+
+(** Shrink a testcase while preserving its coverage signature: repeatedly
+    drop trailing cycles, then whole chunks from the middle, re-executing
+    to confirm nothing is lost. Deterministic and quadratic at worst —
+    intended for corpus minimization after a campaign, like afl-tmin. *)
+let trim (h : harness) (input : bytes) : bytes =
+  let target = signature (execute h input) in
+  let keeps b = covers_signature target (execute h b) in
+  (* phase 1: binary-search the shortest prefix (in whole cycles) *)
+  let cycle_len = h.bytes_per_cycle in
+  let cycles b = Bytes.length b / cycle_len in
+  let prefix b n = Bytes.sub b 0 (n * cycle_len) in
+  let rec shortest_prefix lo hi =
+    (* invariant: prefix hi works, prefix lo-1... lo may not *)
+    if lo >= hi then hi
+    else
+      let mid = (lo + hi) / 2 in
+      if keeps (prefix input mid) then shortest_prefix lo mid
+      else shortest_prefix (mid + 1) hi
+  in
+  let n = shortest_prefix 1 (max 1 (cycles input)) in
+  let best = ref (prefix input n) in
+  (* phase 2: try deleting one cycle at a time from the middle *)
+  let i = ref (cycles !best - 1) in
+  while !i >= 0 do
+    let b = !best in
+    let len = Bytes.length b in
+    if cycles b > 1 then begin
+      let candidate =
+        Bytes.cat (Bytes.sub b 0 (!i * cycle_len))
+          (Bytes.sub b ((!i + 1) * cycle_len) (len - ((!i + 1) * cycle_len)))
+      in
+      if keeps candidate then best := candidate
+    end;
+    decr i
+  done;
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* The fuzzing loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type progress = {
+  execs : int;
+  corpus_size : int;
+  seen_pairs : int;  (** distinct (cover, bucket) pairs discovered *)
+  cumulative : Counts.t;  (** merged counts over all executions so far *)
+}
+
+type result = {
+  final : progress;
+  history : (int * Counts.t) list;  (** snapshots: execs -> merged counts *)
+}
+
+(** Run the fuzzer for [execs] executions, seeded deterministically.
+    [snapshot_every] controls the coverage-over-time history used by the
+    Figure 11 plot. [feedback] selects which cover points feed the AFL
+    signature — instrument the circuit with several metrics and filter by
+    name prefix to switch feedback metrics, or pass [(fun _ -> false)] for
+    feedback-free random fuzzing (the paper's baseline). *)
+let run ?(seed = 0) ?(execs = 200) ?(snapshot_every = 10) ?(max_cycles = 16)
+    ?(seed_cycles = 4) ?(feedback = fun (_ : string) -> true) (h : harness) : result =
+  let rng = Rng.create seed in
+  let seen : (string * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let corpus = ref [ Bytes.make (h.bytes_per_cycle * seed_cycles) '\000' ] in
+  let cumulative = ref (Counts.create ()) in
+  let history = ref [] in
+  let n_execs = ref 0 in
+  let interesting counts =
+    let fresh = ref false in
+    List.iter
+      (fun ((name, _) as pair) ->
+        if feedback name && not (Hashtbl.mem seen pair) then begin
+          Hashtbl.replace seen pair ();
+          fresh := true
+        end)
+      (signature counts);
+    !fresh
+  in
+  (* seed the corpus through the feedback filter *)
+  List.iter
+    (fun input ->
+      incr n_execs;
+      let counts = execute h input in
+      cumulative := Counts.merge [ !cumulative; counts ];
+      ignore (interesting counts))
+    !corpus;
+  while !n_execs < execs do
+    let arr = Array.of_list !corpus in
+    let parent = arr.(Rng.int rng (Array.length arr)) in
+    let child = mutate rng arr parent in
+    (* bound the testcase length *)
+    let child =
+      if Bytes.length child > h.bytes_per_cycle * max_cycles then
+        Bytes.sub child 0 (h.bytes_per_cycle * max_cycles)
+      else child
+    in
+    incr n_execs;
+    let counts = execute h child in
+    cumulative := Counts.merge [ !cumulative; counts ];
+    if interesting counts then corpus := child :: !corpus;
+    if !n_execs mod snapshot_every = 0 then
+      history := (!n_execs, !cumulative) :: !history
+  done;
+  {
+    final =
+      {
+        execs = !n_execs;
+        corpus_size = List.length !corpus;
+        seen_pairs = Hashtbl.length seen;
+        cumulative = !cumulative;
+      };
+    history = List.rev !history;
+  }

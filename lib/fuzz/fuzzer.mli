@@ -1,0 +1,67 @@
+(** Mutational coverage-directed fuzzing (§5.4): an AFL-style loop over an
+    rfuzz-style harness. Inputs are flat byte strings consumed a fixed
+    number of bytes per clock cycle; feedback is any coverage metric's
+    counts map, bucketed AFL-fashion — switching metrics is switching an
+    instrumentation pass (or just a name filter). Fully deterministic
+    from the seed. *)
+
+open Sic_ir
+module Counts = Sic_coverage.Counts
+
+type harness = {
+  circuit : Circuit.t;  (** instrumented, lowered *)
+  create : Circuit.t -> Sic_sim.Backend.t;
+  inputs : (string * int) list;  (** data inputs: name, width *)
+  bytes_per_cycle : int;
+  reset_cycles : int;
+}
+
+val make_harness :
+  ?create:(Circuit.t -> Sic_sim.Backend.t) ->
+  ?reset_cycles:int ->
+  Circuit.t ->
+  harness
+
+val execute : harness -> bytes -> Counts.t
+(** Run one input from reset; returns its coverage counts. *)
+
+val bucket : int -> int
+(** AFL count bucketing (1, 2, 3, 4-7, 8-15, ...). *)
+
+val signature : Counts.t -> (string * int) list
+(** The (cover, bucket) pairs of a run; a run is interesting when it
+    contributes an unseen pair. *)
+
+val mutate : Rng.t -> bytes array -> bytes -> bytes
+(** One havoc round: bit flips, byte ops, arithmetic, interesting
+    values, block duplication, truncation, splicing. Never returns an
+    empty testcase. *)
+
+val trim : harness -> bytes -> bytes
+(** Shrink a testcase while preserving its coverage signature
+    (afl-tmin-style corpus minimization): shortest working prefix by
+    binary search, then single-cycle deletions. *)
+
+type progress = {
+  execs : int;
+  corpus_size : int;
+  seen_pairs : int;
+  cumulative : Counts.t;  (** merged counts over all executions *)
+}
+
+type result = {
+  final : progress;
+  history : (int * Counts.t) list;  (** snapshots for coverage-over-time *)
+}
+
+val run :
+  ?seed:int ->
+  ?execs:int ->
+  ?snapshot_every:int ->
+  ?max_cycles:int ->
+  ?seed_cycles:int ->
+  ?feedback:(string -> bool) ->
+  harness ->
+  result
+(** [feedback] filters which cover names feed the signature; pass
+    [(fun _ -> false)] for feedback-free random fuzzing. *)

@@ -1,0 +1,27 @@
+(** A small deterministic PRNG (xoshiro256**-style splitmix fallback) so
+    fuzzing runs are reproducible from a seed, independent of the global
+    [Random] state. *)
+
+type t = { mutable s : int64 }
+
+let create seed = { s = Int64.of_int seed }
+
+(* splitmix64 *)
+let next64 (t : t) : int64 =
+  t.s <- Int64.add t.s 0x9E3779B97F4A7C15L;
+  let z = t.s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform int in [0, bound). *)
+let int (t : t) bound =
+  if bound <= 0 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next64 t) 1) (Int64.of_int bound))
+
+let bool (t : t) = Int64.logand (next64 t) 1L = 1L
+
+let byte (t : t) = int t 256
+
+(** 30 fresh random bits, for {!Sic_bv.Bv.random}. *)
+let bits30 (t : t) () = int t (1 lsl 30)

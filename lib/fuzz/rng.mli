@@ -1,0 +1,15 @@
+(** A small deterministic PRNG (splitmix64) so fuzzing runs and random
+    stimulus are reproducible from a seed, independent of the global
+    [Random] state. *)
+
+type t
+
+val create : int -> t
+val next64 : t -> int64
+val int : t -> int -> int
+(** Uniform in [0, bound); 0 when [bound <= 0]. *)
+
+val bool : t -> bool
+val byte : t -> int
+val bits30 : t -> unit -> int
+(** 30 fresh random bits per call, for {!Sic_bv.Bv.random}. *)

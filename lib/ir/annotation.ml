@@ -1,0 +1,73 @@
+(** Annotations attach frontend knowledge to circuit elements, mirroring
+    FIRRTL's annotation system. The FSM pass keys on {!Enum_reg}; the
+    ready/valid pass on {!Decoupled}. Annotations survive passes that keep
+    the referenced names and are dropped (never silently retargeted) when a
+    pass deletes their target. *)
+
+type enum_def = {
+  enum_name : string;
+  variants : (string * int) list;  (** variant name, encoding *)
+}
+
+type t =
+  | Enum_def of enum_def
+  | Enum_reg of { module_name : string; reg : string; enum : string }
+      (** register [reg] in [module_name] holds values of enum [enum] *)
+  | Decoupled of {
+      module_name : string;
+      prefix : string;  (** ports [<prefix>_ready], [<prefix>_valid] *)
+      sink : bool;  (** true when the bundle is consumed by this module *)
+    }
+  | Dont_touch of { module_name : string; name : string }
+      (** protect a signal from DCE / constant propagation *)
+
+let enum_defs annos =
+  List.filter_map (function Enum_def d -> Some d | Enum_reg _ | Decoupled _ | Dont_touch _ -> None) annos
+
+let enum_regs_of ~module_name annos =
+  List.filter_map
+    (function
+      | Enum_reg { module_name = m; reg; enum } when String.equal m module_name -> Some (reg, enum)
+      | Enum_reg _ | Enum_def _ | Decoupled _ | Dont_touch _ -> None)
+    annos
+
+let decoupled_of ~module_name annos =
+  List.filter_map
+    (function
+      | Decoupled { module_name = m; prefix; sink } when String.equal m module_name ->
+          Some (prefix, sink)
+      | Decoupled _ | Enum_def _ | Enum_reg _ | Dont_touch _ -> None)
+    annos
+
+let dont_touch_of ~module_name annos =
+  List.filter_map
+    (function
+      | Dont_touch { module_name = m; name } when String.equal m module_name -> Some name
+      | Dont_touch _ | Enum_def _ | Enum_reg _ | Decoupled _ -> None)
+    annos
+
+let find_enum annos name =
+  List.find_opt (fun d -> String.equal d.enum_name name) (enum_defs annos)
+
+(** Rename targets when a pass renames module-local signals (used by the
+    inliner, which prefixes names with the instance path). *)
+let rename ~module_name ~f anno =
+  match anno with
+  | Enum_reg a when String.equal a.module_name module_name ->
+      Enum_reg { a with reg = f a.reg }
+  | Decoupled a when String.equal a.module_name module_name ->
+      Decoupled { a with prefix = f a.prefix }
+  | Dont_touch a when String.equal a.module_name module_name ->
+      Dont_touch { a with name = f a.name }
+  | Enum_def _ | Enum_reg _ | Decoupled _ | Dont_touch _ -> anno
+
+(** Move an annotation to another module (inlining child into parent). *)
+let retarget ~from_module ~to_module anno =
+  match anno with
+  | Enum_reg a when String.equal a.module_name from_module ->
+      Enum_reg { a with module_name = to_module }
+  | Decoupled a when String.equal a.module_name from_module ->
+      Decoupled { a with module_name = to_module }
+  | Dont_touch a when String.equal a.module_name from_module ->
+      Dont_touch { a with module_name = to_module }
+  | Enum_def _ | Enum_reg _ | Decoupled _ | Dont_touch _ -> anno

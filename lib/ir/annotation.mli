@@ -1,0 +1,27 @@
+(** Annotations attach frontend knowledge to circuit elements, mirroring
+    FIRRTL's annotation system: enum definitions and enum-typed registers
+    (consumed by FSM coverage, §4.3), decoupled bundles (ready/valid
+    coverage, §4.4), and DCE protection. *)
+
+type enum_def = {
+  enum_name : string;
+  variants : (string * int) list;  (** variant name, encoding *)
+}
+
+type t =
+  | Enum_def of enum_def
+  | Enum_reg of { module_name : string; reg : string; enum : string }
+  | Decoupled of { module_name : string; prefix : string; sink : bool }
+  | Dont_touch of { module_name : string; name : string }
+
+val enum_defs : t list -> enum_def list
+val enum_regs_of : module_name:string -> t list -> (string * string) list
+val decoupled_of : module_name:string -> t list -> (string * bool) list
+val dont_touch_of : module_name:string -> t list -> string list
+val find_enum : t list -> string -> enum_def option
+
+val rename : module_name:string -> f:(string -> string) -> t -> t
+(** Rename an annotation's local target (used by the inliner). *)
+
+val retarget : from_module:string -> to_module:string -> t -> t
+(** Move an annotation between modules (inlining child into parent). *)

@@ -1,0 +1,110 @@
+(** Modules and circuits. *)
+
+type direction = Input | Output
+
+type port = { port_name : string; dir : direction; port_ty : Ty.t; port_info : Info.t }
+
+type modul = {
+  module_name : string;
+  ports : port list;
+  body : Stmt.t list;
+}
+
+type t = {
+  circuit_name : string;  (** the main (top) module's name *)
+  modules : modul list;
+  annotations : Annotation.t list;
+}
+
+exception Elaboration_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Elaboration_error s)) fmt
+
+let find_module c name =
+  match List.find_opt (fun m -> String.equal m.module_name name) c.modules with
+  | Some m -> m
+  | None -> error "no module named %s in circuit %s" name c.circuit_name
+
+let main c = find_module c c.circuit_name
+
+let map_main c f =
+  {
+    c with
+    modules =
+      List.map
+        (fun m -> if String.equal m.module_name c.circuit_name then f m else m)
+        c.modules;
+  }
+
+(** Environment mapping every referenceable name of a module to its type.
+    Includes ports, nodes, wires, registers, memory ports and, for
+    instances, the child's ports as [inst.port]. [resolve_inst] supplies
+    the child module for [Inst] statements (pass [None] when the circuit is
+    already flat). *)
+let build_env ?(resolve_inst : (string -> modul) option) (m : modul) :
+    (string, Ty.t) Hashtbl.t =
+  let env = Hashtbl.create 64 in
+  let add name ty =
+    if Hashtbl.mem env name then error "duplicate name %s in module %s" name m.module_name;
+    Hashtbl.replace env name ty
+  in
+  List.iter (fun p -> add p.port_name p.port_ty) m.ports;
+  let lookup_later = ref [] in
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Wire { name; ty; _ } | Stmt.Reg { name; ty; _ } -> add name ty
+      | Stmt.Node { name; _ } -> lookup_later := (name, s) :: !lookup_later
+      | Stmt.Mem { mem; _ } ->
+          let addr_ty = Ty.UInt (Ty.clog2 mem.Stmt.mem_depth) in
+          List.iter
+            (fun { Stmt.rp_name } ->
+              add (mem.Stmt.mem_name ^ "." ^ rp_name ^ ".addr") addr_ty;
+              add (mem.Stmt.mem_name ^ "." ^ rp_name ^ ".data") mem.Stmt.mem_data)
+            mem.Stmt.mem_readers;
+          List.iter
+            (fun { Stmt.wp_name } ->
+              add (mem.Stmt.mem_name ^ "." ^ wp_name ^ ".addr") addr_ty;
+              add (mem.Stmt.mem_name ^ "." ^ wp_name ^ ".data") mem.Stmt.mem_data;
+              add (mem.Stmt.mem_name ^ "." ^ wp_name ^ ".en") (Ty.UInt 1))
+            mem.Stmt.mem_writers
+      | Stmt.Inst { name; module_name; _ } -> (
+          match resolve_inst with
+          | None -> error "instance %s of %s in a flat-only context" name module_name
+          | Some resolve ->
+              let child = resolve module_name in
+              List.iter (fun p -> add (name ^ "." ^ p.port_name) p.port_ty) child.ports)
+      | Stmt.Connect _ | Stmt.When _ | Stmt.Cover _ | Stmt.CoverValues _
+      | Stmt.Stop _ | Stmt.Print _ -> ())
+    m.body;
+  (* Nodes typed in a second phase, in order, so they may reference anything
+     declared anywhere plus earlier nodes. *)
+  let lookup n =
+    match Hashtbl.find_opt env n with
+    | Some t -> t
+    | None -> error "unresolved reference %s in module %s" n m.module_name
+  in
+  List.iter
+    (fun (name, s) ->
+      match s with
+      | Stmt.Node { expr; _ } -> add name (Expr.type_of lookup expr)
+      | _ -> assert false)
+    (List.rev !lookup_later);
+  env
+
+(** Type lookup function over a module environment. *)
+let lookup_of env name =
+  match Hashtbl.find_opt env name with
+  | Some t -> t
+  | None -> error "unresolved reference %s" name
+
+(** All cover statement names in a module, in declaration order. *)
+let covers_of (m : modul) =
+  let out = ref [] in
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Cover { name; _ } -> out := name :: !out
+      | _ -> ())
+    m.body;
+  List.rev !out

@@ -1,0 +1,34 @@
+(** Modules and circuits. *)
+
+type direction = Input | Output
+
+type port = { port_name : string; dir : direction; port_ty : Ty.t; port_info : Info.t }
+
+type modul = {
+  module_name : string;
+  ports : port list;
+  body : Stmt.t list;
+}
+
+type t = {
+  circuit_name : string;  (** the main (top) module's name *)
+  modules : modul list;
+  annotations : Annotation.t list;
+}
+
+exception Elaboration_error of string
+
+val error : ('a, unit, string, 'b) format4 -> 'a
+val find_module : t -> string -> modul
+val main : t -> modul
+val map_main : t -> (modul -> modul) -> t
+
+val build_env : ?resolve_inst:(string -> modul) -> modul -> (string, Ty.t) Hashtbl.t
+(** Types of every referenceable name: ports, nodes, wires, registers,
+    memory port fields and (given [resolve_inst]) instance ports. *)
+
+val lookup_of : (string, Ty.t) Hashtbl.t -> string -> Ty.t
+(** Raises {!Elaboration_error} on unknown names. *)
+
+val covers_of : modul -> string list
+(** Cover statement names, in declaration order. *)

@@ -1,0 +1,396 @@
+type loc = string * int * int * int
+
+type signal = { expr : Expr.t; ty : Ty.t }
+
+type circuit_builder = {
+  cb_name : string;
+  mutable cb_modules : Circuit.modul list;  (* reverse order *)
+  mutable cb_annos : Annotation.t list;
+  mutable cb_enums : (string * Annotation.enum_def) list;
+}
+
+type m = {
+  parent : circuit_builder;
+  m_name : string;
+  mutable m_ports : Circuit.port list;  (* reverse order *)
+  mutable blocks : Stmt.t list ref list;  (* stack; head = current block, reversed *)
+  ns : Namespace.t;
+  env : (string, Ty.t) Hashtbl.t;
+  mutable instances : (string * string) list;  (* inst name -> module name *)
+}
+
+type enum = { e_def : Annotation.enum_def; e_ty : Ty.t; e_cb : circuit_builder }
+
+type decoupled = { ready : signal; valid : signal; bits : signal }
+
+type mem_handle = { h_m : m; h_mem : Stmt.mem }
+
+exception Dsl_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Dsl_error s)) fmt
+
+let info_of = function None -> Info.unknown | Some l -> Info.of_pos l
+
+(* ------------------------------------------------------------------ *)
+(* Circuit / module structure                                          *)
+(* ------------------------------------------------------------------ *)
+
+let create_circuit name =
+  { cb_name = name; cb_modules = []; cb_annos = []; cb_enums = [] }
+
+let emit (m : m) (s : Stmt.t) =
+  match m.blocks with
+  | [] -> error "no open block in module %s" m.m_name
+  | b :: _ -> b := s :: !b
+
+let declare (m : m) name ty =
+  if Namespace.mem m.ns name then error "duplicate name %s in module %s" name m.m_name;
+  Namespace.reserve m.ns name;
+  Hashtbl.replace m.env name ty
+
+let clock (m : m) = ignore m; { expr = Expr.Ref "clock"; ty = Ty.Clock }
+let reset (m : m) = ignore m; { expr = Expr.Ref "reset"; ty = Ty.UInt 1 }
+
+let module_ cb name f =
+  if List.exists (fun md -> String.equal md.Circuit.module_name name) cb.cb_modules then
+    error "module %s defined twice" name;
+  let m =
+    {
+      parent = cb;
+      m_name = name;
+      m_ports = [];
+      blocks = [ ref [] ];
+      ns = Namespace.create ();
+      env = Hashtbl.create 64;
+      instances = [];
+    }
+  in
+  (* implicit clock and reset, like Chisel *)
+  declare m "clock" Ty.Clock;
+  declare m "reset" (Ty.UInt 1);
+  m.m_ports <-
+    [
+      { Circuit.port_name = "reset"; dir = Circuit.Input; port_ty = Ty.UInt 1; port_info = Info.unknown };
+      { Circuit.port_name = "clock"; dir = Circuit.Input; port_ty = Ty.Clock; port_info = Info.unknown };
+    ];
+  f m;
+  (match m.blocks with
+  | [ b ] ->
+      cb.cb_modules <-
+        { Circuit.module_name = name; ports = List.rev m.m_ports; body = List.rev !b }
+        :: cb.cb_modules
+  | _ -> error "unbalanced when blocks in module %s" name)
+
+let finalize cb =
+  let modules = List.rev cb.cb_modules in
+  if not (List.exists (fun md -> String.equal md.Circuit.module_name cb.cb_name) modules)
+  then Circuit.error "top module %s was never defined" cb.cb_name;
+  { Circuit.circuit_name = cb.cb_name; modules; annotations = List.rev cb.cb_annos }
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let port ?loc (m : m) name ty dir =
+  declare m name ty;
+  m.m_ports <-
+    { Circuit.port_name = name; dir; port_ty = ty; port_info = info_of loc } :: m.m_ports;
+  { expr = Expr.Ref name; ty }
+
+let input ?loc m name ty = port ?loc m name ty Circuit.Input
+let output ?loc m name ty = port ?loc m name ty Circuit.Output
+
+let wire ?loc m name ty =
+  declare m name ty;
+  emit m (Stmt.Wire { name; ty; info = info_of loc });
+  { expr = Expr.Ref name; ty }
+
+let reg_ ?loc m name ty =
+  declare m name ty;
+  emit m (Stmt.Reg { name; ty; reset = None; info = info_of loc });
+  { expr = Expr.Ref name; ty }
+
+let reg_init ?loc m name init =
+  declare m name init.ty;
+  emit m
+    (Stmt.Reg
+       { name; ty = init.ty; reset = Some (Expr.Ref "reset", init.expr); info = info_of loc });
+  { expr = Expr.Ref name; ty = init.ty }
+
+let node ?loc m name s =
+  let name = Namespace.fresh m.ns name in
+  Hashtbl.replace m.env name s.ty;
+  emit m (Stmt.Node { name; expr = s.expr; info = info_of loc });
+  { expr = Expr.Ref name; ty = s.ty }
+
+(* ------------------------------------------------------------------ *)
+(* Literals and operators                                              *)
+(* ------------------------------------------------------------------ *)
+
+let lit width value = { expr = Expr.u_lit ~width value; ty = Ty.UInt width }
+let slit width value = { expr = Expr.s_lit ~width value; ty = Ty.SInt width }
+let of_bv v = { expr = Expr.UIntLit v; ty = Ty.UInt (Sic_bv.Bv.width v) }
+let true_ = lit 1 1
+let false_ = lit 1 0
+
+let unop op a = { expr = Expr.Unop (op, a.expr); ty = Expr.unop_ty op a.ty }
+let binop op a b =
+  { expr = Expr.Binop (op, a.expr, b.expr); ty = Expr.binop_ty op a.ty b.ty }
+
+let ( +: ) a b = binop Expr.Add a b
+let ( -: ) a b = binop Expr.Sub a b
+let ( *: ) a b = binop Expr.Mul a b
+let ( /: ) a b = binop Expr.Div a b
+let ( %: ) a b = binop Expr.Rem a b
+let ( ==: ) a b = binop Expr.Eq a b
+let ( <>: ) a b = binop Expr.Neq a b
+let ( <: ) a b = binop Expr.Lt a b
+let ( <=: ) a b = binop Expr.Leq a b
+let ( >: ) a b = binop Expr.Gt a b
+let ( >=: ) a b = binop Expr.Geq a b
+let ( &: ) a b = binop Expr.And a b
+let ( |: ) a b = binop Expr.Or a b
+let ( ^: ) a b = binop Expr.Xor a b
+let not_s a = unop Expr.Not a
+let andr_s a = unop Expr.Andr a
+let orr_s a = unop Expr.Orr a
+let xorr_s a = unop Expr.Xorr a
+let cat_s a b = binop Expr.Cat a b
+let dshl_s a b = binop Expr.Dshl a b
+let dshr_s a b = binop Expr.Dshr a b
+let as_uint a = unop Expr.AsUInt a
+let as_sint a = unop Expr.AsSInt a
+
+let bits_s a ~hi ~lo =
+  { expr = Expr.Bits (a.expr, hi, lo); ty = Expr.bits_ty hi lo a.ty }
+
+let bit_s a i = bits_s a ~hi:i ~lo:i
+
+let intop op n a = { expr = Expr.Intop (op, n, a.expr); ty = Expr.intop_ty op n a.ty }
+
+let pad_s a n = intop Expr.Pad n a
+let shl_s a n = intop Expr.Shl n a
+let shr_s a n = intop Expr.Shr n a
+
+(** Pad or truncate to an exact width, keeping the signedness. *)
+let resize a w =
+  let cur = Ty.width a.ty in
+  if cur = w then a
+  else if cur < w then pad_s a w
+  else
+    match a.ty with
+    | Ty.UInt _ -> bits_s a ~hi:(w - 1) ~lo:0
+    | Ty.SInt _ -> as_sint (bits_s a ~hi:(w - 1) ~lo:0)
+    | Ty.Clock -> error "resize on Clock"
+
+let mux_s sel a b =
+  let w = max (Ty.width a.ty) (Ty.width b.ty) in
+  let a = resize a w and b = resize b w in
+  { expr = Expr.Mux (sel.expr, a.expr, b.expr); ty = Expr.mux_ty sel.ty a.ty b.ty }
+
+(* ------------------------------------------------------------------ *)
+(* Connects and control flow                                           *)
+(* ------------------------------------------------------------------ *)
+
+let connect ?loc (m : m) dst src =
+  match dst.expr with
+  | Expr.Ref name ->
+      let src = resize src (Ty.width dst.ty) in
+      let src =
+        (* allow connecting UInt to SInt and vice versa via reinterpret,
+           like Chisel's asTypeOf idiom; widths already match *)
+        match (dst.ty, src.ty) with
+        | Ty.UInt _, Ty.SInt _ -> as_uint src
+        | Ty.SInt _, Ty.UInt _ -> as_sint src
+        | _ -> src
+      in
+      emit m (Stmt.Connect { loc = name; expr = src.expr; info = info_of loc })
+  | _ -> error "connect destination must be a reference in module %s" m.m_name
+
+let run_block (m : m) f =
+  m.blocks <- ref [] :: m.blocks;
+  f ();
+  match m.blocks with
+  | b :: rest ->
+      m.blocks <- rest;
+      List.rev !b
+  | [] -> assert false
+
+let when_else ?loc (m : m) cond then_f else_f =
+  if not (Ty.equal cond.ty (Ty.UInt 1)) then
+    error "when condition must be UInt<1> in module %s" m.m_name;
+  let then_ = run_block m then_f in
+  let else_ = run_block m else_f in
+  emit m (Stmt.When { cond = cond.expr; then_; else_; info = info_of loc })
+
+let when_ ?loc m cond then_f = when_else ?loc m cond then_f (fun () -> ())
+
+let switch ?loc ?default (m : m) scrutinee cases =
+  (* Build the nested when-chain bottom-up so it reads like Chisel's
+     switch/is while lowering to ordinary branches. *)
+  let rec build cases =
+    match cases with
+    | [] -> ( match default with Some f -> f () | None -> ())
+    | (v, f) :: rest ->
+        when_else ?loc m (scrutinee ==: v) f (fun () -> build rest)
+  in
+  build cases
+
+(* ------------------------------------------------------------------ *)
+(* Enums                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let enum cb name variant_names =
+  if variant_names = [] then error "enum %s has no variants" name;
+  if List.mem_assoc name cb.cb_enums then error "enum %s defined twice" name;
+  let variants = List.mapi (fun i v -> (v, i)) variant_names in
+  let def = { Annotation.enum_name = name; variants } in
+  cb.cb_enums <- (name, def) :: cb.cb_enums;
+  cb.cb_annos <- Annotation.Enum_def def :: cb.cb_annos;
+  { e_def = def; e_ty = Ty.UInt (Ty.clog2 (List.length variants)); e_cb = cb }
+
+let enum_ty e = e.e_ty
+
+let enum_value e variant =
+  match List.assoc_opt variant e.e_def.Annotation.variants with
+  | Some code -> { expr = Expr.u_lit ~width:(Ty.width e.e_ty) code; ty = e.e_ty }
+  | None -> error "enum %s has no variant %s" e.e_def.Annotation.enum_name variant
+
+let reg_enum ?loc (m : m) name e init_variant =
+  let init = enum_value e init_variant in
+  let s = reg_init ?loc m name init in
+  m.parent.cb_annos <-
+    Annotation.Enum_reg
+      { module_name = m.m_name; reg = name; enum = e.e_def.Annotation.enum_name }
+    :: m.parent.cb_annos;
+  s
+
+let is e variant state = state ==: enum_value e variant
+
+(* ------------------------------------------------------------------ *)
+(* Decoupled bundles                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let decoupled ?loc (m : m) prefix data_ty ~sink =
+  let in_, out_ = if sink then (input ?loc, output ?loc) else (output ?loc, input ?loc) in
+  let valid = in_ m (prefix ^ "_valid") (Ty.UInt 1) in
+  let bits = in_ m (prefix ^ "_bits") data_ty in
+  let ready = out_ m (prefix ^ "_ready") (Ty.UInt 1) in
+  m.parent.cb_annos <-
+    Annotation.Decoupled { module_name = m.m_name; prefix; sink } :: m.parent.cb_annos;
+  { ready; valid; bits }
+
+let decoupled_input ?loc m prefix data_ty = decoupled ?loc m prefix data_ty ~sink:true
+let decoupled_output ?loc m prefix data_ty = decoupled ?loc m prefix data_ty ~sink:false
+
+let fire (d : decoupled) = d.ready &: d.valid
+
+(* ------------------------------------------------------------------ *)
+(* Memories                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mem ?loc ?(sync_read = false) (m : m) name data_ty ~depth ~readers ~writers =
+  let mem =
+    {
+      Stmt.mem_name = name;
+      mem_data = data_ty;
+      mem_depth = depth;
+      mem_read_latency = (if sync_read then 1 else 0);
+      mem_readers = List.map (fun rp_name -> { Stmt.rp_name }) readers;
+      mem_writers = List.map (fun wp_name -> { Stmt.wp_name }) writers;
+    }
+  in
+  if Namespace.mem m.ns name then error "duplicate name %s in module %s" name m.m_name;
+  Namespace.reserve m.ns name;
+  let addr_ty = Ty.UInt (Ty.clog2 depth) in
+  let info = info_of loc in
+  emit m (Stmt.Mem { mem; info });
+  (* register port names in the environment and default-drive them *)
+  List.iter
+    (fun r ->
+      Hashtbl.replace m.env (name ^ "." ^ r ^ ".addr") addr_ty;
+      Hashtbl.replace m.env (name ^ "." ^ r ^ ".data") data_ty;
+      emit m
+        (Stmt.Connect { loc = name ^ "." ^ r ^ ".addr"; expr = Expr.u_lit ~width:(Ty.width addr_ty) 0; info }))
+    readers;
+  List.iter
+    (fun w ->
+      Hashtbl.replace m.env (name ^ "." ^ w ^ ".addr") addr_ty;
+      Hashtbl.replace m.env (name ^ "." ^ w ^ ".data") data_ty;
+      Hashtbl.replace m.env (name ^ "." ^ w ^ ".en") (Ty.UInt 1);
+      emit m (Stmt.Connect { loc = name ^ "." ^ w ^ ".en"; expr = Expr.false_; info });
+      emit m
+        (Stmt.Connect { loc = name ^ "." ^ w ^ ".addr"; expr = Expr.u_lit ~width:(Ty.width addr_ty) 0; info });
+      emit m
+        (Stmt.Connect { loc = name ^ "." ^ w ^ ".data"; expr = Expr.u_lit ~width:(Ty.width data_ty) 0; info }))
+    writers;
+  { h_m = m; h_mem = mem }
+
+let mem_port_sig (h : mem_handle) port field =
+  let full = h.h_mem.Stmt.mem_name ^ "." ^ port ^ "." ^ field in
+  match Hashtbl.find_opt h.h_m.env full with
+  | Some ty -> { expr = Expr.Ref full; ty }
+  | None -> error "memory %s has no port %s" h.h_mem.Stmt.mem_name port
+
+let mem_read (h : mem_handle) port addr =
+  connect h.h_m (mem_port_sig h port "addr") addr;
+  mem_port_sig h port "data"
+
+let mem_write ?mask_en (h : mem_handle) port ~addr ~data =
+  connect h.h_m (mem_port_sig h port "addr") addr;
+  connect h.h_m (mem_port_sig h port "data") data;
+  let en = match mask_en with Some e -> e | None -> true_ in
+  connect h.h_m (mem_port_sig h port "en") en
+
+(* ------------------------------------------------------------------ *)
+(* Instances                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let instance ?loc (m : m) inst_name module_name port_name =
+  let child =
+    match
+      List.find_opt
+        (fun md -> String.equal md.Circuit.module_name module_name)
+        m.parent.cb_modules
+    with
+    | Some c -> c
+    | None -> error "instance of undefined module %s (define children first)" module_name
+  in
+  (match List.assoc_opt inst_name m.instances with
+  | Some existing when String.equal existing module_name -> ()
+  | Some existing ->
+      error "instance %s already bound to module %s" inst_name existing
+  | None ->
+      declare m inst_name (Ty.UInt 0);
+      m.instances <- (inst_name, module_name) :: m.instances;
+      emit m (Stmt.Inst { name = inst_name; module_name; info = info_of loc });
+      List.iter
+        (fun p ->
+          Hashtbl.replace m.env (inst_name ^ "." ^ p.Circuit.port_name) p.Circuit.port_ty)
+        child.Circuit.ports;
+      (* implicit clock/reset wiring *)
+      emit m (Stmt.Connect { loc = inst_name ^ ".clock"; expr = Expr.Ref "clock"; info = info_of loc });
+      emit m (Stmt.Connect { loc = inst_name ^ ".reset"; expr = Expr.Ref "reset"; info = info_of loc }));
+  let full = inst_name ^ "." ^ port_name in
+  match Hashtbl.find_opt m.env full with
+  | Some ty -> { expr = Expr.Ref full; ty }
+  | None -> error "module %s has no port %s" module_name port_name
+
+(* ------------------------------------------------------------------ *)
+(* Raw statements                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let cover ?loc (m : m) name pred =
+  emit m (Stmt.Cover { name; pred = pred.expr; info = info_of loc })
+
+let cover_values ?loc (m : m) name signal =
+  emit m
+    (Stmt.CoverValues { name; signal = signal.expr; en = Expr.true_; info = info_of loc })
+
+let stop ?loc (m : m) name cond exit_code =
+  emit m (Stmt.Stop { name; cond = cond.expr; exit_code; info = info_of loc })
+
+let printf_ ?loc (m : m) cond message args =
+  emit m
+    (Stmt.Print
+       { cond = cond.expr; message; args = List.map (fun s -> s.expr) args; info = info_of loc })

@@ -1,0 +1,198 @@
+(** A Chisel-like hardware construction DSL embedded in OCaml.
+
+    Circuits are built imperatively: [module_] opens a module, declaration
+    functions add ports and statements, and combinational operators build
+    typed expressions. Every module implicitly receives [clock] and [reset]
+    ports (like Chisel). Branches ([when_]/[switch]) use a block stack, so
+    connects performed inside the callback land in the branch — exactly the
+    pattern the line-coverage pass instruments.
+
+    Pass [~loc:__POS__] to declaration and branch functions to give
+    statements source locators; the line-coverage report resolves them back
+    to the OCaml design sources. *)
+
+type circuit_builder
+type m
+(** A module under construction. *)
+
+type signal = { expr : Expr.t; ty : Ty.t }
+
+type enum
+(** A ChiselEnum-style enumeration (registered as an annotation). *)
+
+type decoupled = { ready : signal; valid : signal; bits : signal }
+(** A DecoupledIO-style ready/valid bundle. *)
+
+type mem_handle
+
+type loc = string * int * int * int
+(** The type of [__POS__]. *)
+
+exception Dsl_error of string
+(** Raised on construction mistakes: duplicate names, connecting a
+    non-reference, instantiating an undefined module, … *)
+
+(** {1 Circuits and modules} *)
+
+val create_circuit : string -> circuit_builder
+(** [create_circuit main] starts a circuit whose top module is [main]. *)
+
+val module_ : circuit_builder -> string -> (m -> unit) -> unit
+(** Define a module by running the body callback. Submodules must be
+    defined before any module that instantiates them. *)
+
+val finalize : circuit_builder -> Circuit.t
+(** Close the builder and return the immutable circuit. Raises
+    [Circuit.Elaboration_error] if the top module was never defined. *)
+
+val clock : m -> signal
+val reset : m -> signal
+
+(** {1 Ports, wires, registers, nodes} *)
+
+val input : ?loc:loc -> m -> string -> Ty.t -> signal
+val output : ?loc:loc -> m -> string -> Ty.t -> signal
+val wire : ?loc:loc -> m -> string -> Ty.t -> signal
+val reg_ : ?loc:loc -> m -> string -> Ty.t -> signal
+(** Register without reset. *)
+
+val reg_init : ?loc:loc -> m -> string -> signal -> signal
+(** [reg_init m name init] — register reset (synchronously, by the module's
+    implicit [reset]) to [init]; its type is [init]'s type. *)
+
+val node : ?loc:loc -> m -> string -> signal -> signal
+(** Name an intermediate expression ([node n = e]). *)
+
+val connect : ?loc:loc -> m -> signal -> signal -> unit
+(** [connect m dst src]. [dst] must be a connectable reference (port, wire,
+    register, memory port field). The source is automatically padded or
+    truncated to the destination width, like Chisel's [:=]. *)
+
+(** {1 Literals} *)
+
+val lit : int -> int -> signal
+(** [lit width value] — an unsigned literal. *)
+
+val slit : int -> int -> signal
+(** Signed literal. *)
+
+val of_bv : Sic_bv.Bv.t -> signal
+val true_ : signal
+val false_ : signal
+
+(** {1 Combinational operators} *)
+
+val ( +: ) : signal -> signal -> signal
+val ( -: ) : signal -> signal -> signal
+val ( *: ) : signal -> signal -> signal
+val ( /: ) : signal -> signal -> signal
+val ( %: ) : signal -> signal -> signal
+val ( ==: ) : signal -> signal -> signal
+val ( <>: ) : signal -> signal -> signal
+val ( <: ) : signal -> signal -> signal
+val ( <=: ) : signal -> signal -> signal
+val ( >: ) : signal -> signal -> signal
+val ( >=: ) : signal -> signal -> signal
+val ( &: ) : signal -> signal -> signal
+val ( |: ) : signal -> signal -> signal
+val ( ^: ) : signal -> signal -> signal
+val not_s : signal -> signal
+(** Bitwise complement. *)
+
+val andr_s : signal -> signal
+val orr_s : signal -> signal
+val xorr_s : signal -> signal
+val cat_s : signal -> signal -> signal
+val bits_s : signal -> hi:int -> lo:int -> signal
+val bit_s : signal -> int -> signal
+val pad_s : signal -> int -> signal
+val shl_s : signal -> int -> signal
+val shr_s : signal -> int -> signal
+val dshl_s : signal -> signal -> signal
+val dshr_s : signal -> signal -> signal
+val mux_s : signal -> signal -> signal -> signal
+(** [mux_s sel tru fls]; arms are padded to a common width. *)
+
+val as_uint : signal -> signal
+val as_sint : signal -> signal
+val resize : signal -> int -> signal
+(** Pad or truncate to an exact width, keeping the signedness. *)
+
+(** {1 Control flow} *)
+
+val when_ : ?loc:loc -> m -> signal -> (unit -> unit) -> unit
+val when_else : ?loc:loc -> m -> signal -> (unit -> unit) -> (unit -> unit) -> unit
+(** [when_else m cond then_ else_]. *)
+
+val switch :
+  ?loc:loc -> ?default:(unit -> unit) -> m -> signal -> (signal * (unit -> unit)) list -> unit
+(** [switch m scrutinee cases] — nested [when eq(scrutinee, v)] branches,
+    mirroring Chisel's [switch]/[is]. *)
+
+(** {1 Enums (ChiselEnum)} *)
+
+val enum : circuit_builder -> string -> string list -> enum
+(** [enum cb "S" ["A"; "B"; "C"]] defines an enum type and registers an
+    [Enum_def] annotation. Encodings are 0, 1, 2, … *)
+
+val enum_value : enum -> string -> signal
+val enum_ty : enum -> Ty.t
+val reg_enum : ?loc:loc -> m -> string -> enum -> string -> signal
+(** [reg_enum m name e init_variant] — a state register carrying values of
+    [e], reset to [init_variant]; registers an [Enum_reg] annotation (the
+    hook the FSM-coverage pass keys on). *)
+
+val is : enum -> string -> signal -> signal
+(** [is e "A" state] is [state ==: enum_value e "A"]. *)
+
+(** {1 Decoupled (ready/valid) bundles} *)
+
+val decoupled_input : ?loc:loc -> m -> string -> Ty.t -> decoupled
+(** Consumer side: [valid]/[bits] are input ports, [ready] is an output. *)
+
+val decoupled_output : ?loc:loc -> m -> string -> Ty.t -> decoupled
+(** Producer side: [valid]/[bits] are outputs, [ready] an input. *)
+
+val fire : decoupled -> signal
+(** [ready &&& valid]. *)
+
+(** {1 Memories} *)
+
+val mem :
+  ?loc:loc ->
+  ?sync_read:bool ->
+  m ->
+  string ->
+  Ty.t ->
+  depth:int ->
+  readers:string list ->
+  writers:string list ->
+  mem_handle
+(** Declare a memory; write-port enables default to 0. *)
+
+val mem_read : mem_handle -> string -> signal -> signal
+(** [mem_read h "r0" addr] drives the read address (in the current block)
+    and returns the read data. *)
+
+val mem_write : ?mask_en:signal -> mem_handle -> string -> addr:signal -> data:signal -> unit
+(** Drive a write port in the current block; the enable is asserted here
+    and conjoined with enclosing [when] predicates by lowering. *)
+
+(** {1 Instances} *)
+
+val instance : ?loc:loc -> m -> string -> string -> string -> signal
+(** [instance m inst_name module_name port] returns the signal for
+    [inst_name.port]. The first call for a given instance declares it and
+    wires its implicit clock/reset. The child module must already be
+    defined in the same builder. *)
+
+(** {1 Raw statement escape hatches (used by tests)} *)
+
+val cover : ?loc:loc -> m -> string -> signal -> unit
+val cover_values : ?loc:loc -> m -> string -> signal -> unit
+
+(** [printf_ m cond "pc=%x cnt=%d" [pc; cnt]] — printed at clock edges
+    where [cond] (conjoined with the enclosing when-path) holds.
+    Placeholders: [%d] decimal, [%x] hex, [%b] binary, [%%]. *)
+val printf_ : ?loc:loc -> m -> signal -> string -> signal list -> unit
+val stop : ?loc:loc -> m -> string -> signal -> int -> unit

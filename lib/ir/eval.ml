@@ -1,0 +1,89 @@
+(** Reference evaluation semantics for expressions.
+
+    Every backend (interpreter, compiled simulator, activity-driven
+    simulator, constant propagation, FSM next-state analysis, formal
+    bit-blasting) defines or checks its behaviour against these functions,
+    which implement FIRRTL's primop semantics on {!Sic_bv.Bv} values. Each
+    function returns a value whose width is exactly the width given by
+    {!Expr.type_of}. *)
+
+module Bv = Sic_bv.Bv
+
+(** Read a value at its type's signedness, extended to [w] bits. *)
+let extend (ty : Ty.t) (v : Bv.t) (w : int) =
+  if Ty.is_signed ty then Bv.extend_s v w else Bv.extend_u v w
+
+let unop (op : Expr.unop) ~(ta : Ty.t) (a : Bv.t) : Bv.t =
+  let w = Ty.width ta in
+  match op with
+  | Expr.Not -> Bv.lognot ~width:w a
+  | Expr.Andr -> Bv.of_bool (Bv.andr a)
+  | Expr.Orr -> Bv.of_bool (Bv.orr a)
+  | Expr.Xorr -> Bv.of_bool (Bv.xorr a)
+  | Expr.Neg -> Bv.neg ~width:(w + 1) (extend ta a (w + 1))
+  | Expr.Cvt -> ( match ta with Ty.UInt _ -> Bv.extend_u a (w + 1) | Ty.SInt _ | Ty.Clock -> a)
+  | Expr.AsUInt | Expr.AsSInt -> a
+
+let binop (op : Expr.binop) ~(ta : Ty.t) ~(tb : Ty.t) (a : Bv.t) (b : Bv.t) : Bv.t =
+  let wr = Ty.width (Expr.binop_ty op ta tb) in
+  match op with
+  | Expr.Add -> Bv.add ~width:wr (extend ta a wr) (extend tb b wr)
+  | Expr.Sub -> Bv.sub ~width:wr (extend ta a wr) (extend tb b wr)
+  | Expr.Mul -> Bv.mul ~width:wr (extend ta a wr) (extend tb b wr)
+  | Expr.Div ->
+      if Ty.is_signed ta then Bv.div_s ~width:wr a b else Bv.div_u ~width:wr a b
+  | Expr.Rem ->
+      if Ty.is_signed ta then Bv.rem_s ~width:wr a b else Bv.rem_u ~width:wr a b
+  | Expr.Lt -> if Ty.is_signed ta then Bv.lt_s a b else Bv.lt_u a b
+  | Expr.Leq -> if Ty.is_signed ta then Bv.leq_s a b else Bv.leq_u a b
+  | Expr.Gt -> if Ty.is_signed ta then Bv.gt_s a b else Bv.gt_u a b
+  | Expr.Geq -> if Ty.is_signed ta then Bv.geq_s a b else Bv.geq_u a b
+  | Expr.Eq ->
+      let w = max (Bv.width a) (Bv.width b) + 1 in
+      Bv.eq (extend ta a w) (extend tb b w)
+  | Expr.Neq ->
+      let w = max (Bv.width a) (Bv.width b) + 1 in
+      Bv.neq (extend ta a w) (extend tb b w)
+  | Expr.And -> Bv.logand ~width:wr (extend ta a wr) (extend tb b wr)
+  | Expr.Or -> Bv.logor ~width:wr (extend ta a wr) (extend tb b wr)
+  | Expr.Xor -> Bv.logxor ~width:wr (extend ta a wr) (extend tb b wr)
+  | Expr.Cat -> Bv.concat a b
+  | Expr.Dshl -> Bv.dshl ~width:wr (extend ta a wr) b
+  | Expr.Dshr ->
+      if Ty.is_signed ta then
+        match Bv.to_int b with
+        | Some n -> Bv.shift_right_arith a n
+        | None -> Bv.shift_right_arith a (Bv.width a)
+      else Bv.dshr a b
+
+let intop (op : Expr.intop) (n : int) ~(ta : Ty.t) (a : Bv.t) : Bv.t =
+  let w = Ty.width ta in
+  match op with
+  | Expr.Pad -> extend ta a (max w n)
+  | Expr.Shl -> Bv.shift_left ~width:(w + n) a n
+  | Expr.Shr ->
+      (* SInt shr keeps the sign bit even when n >= w *)
+      let n = if Ty.is_signed ta then min n (w - 1) else n in
+      Bv.shift_right_logical a n
+  | Expr.Head -> Bv.head a n
+  | Expr.Tail -> Bv.tail a n
+
+let bits ~hi ~lo (a : Bv.t) = Bv.extract ~hi ~lo a
+
+(** Full evaluation of an expression. [ty_of] resolves reference types (for
+    signedness decisions); [value_of] resolves reference values. *)
+let rec eval ~(ty_of : string -> Ty.t) ~(value_of : string -> Bv.t) (e : Expr.t) : Bv.t =
+  match e with
+  | Expr.Ref n -> value_of n
+  | Expr.UIntLit v | Expr.SIntLit v -> v
+  | Expr.Mux (s, a, b) ->
+      if Bv.to_bool (eval ~ty_of ~value_of s) then eval ~ty_of ~value_of a
+      else eval ~ty_of ~value_of b
+  | Expr.Unop (op, a) ->
+      unop op ~ta:(Expr.type_of ty_of a) (eval ~ty_of ~value_of a)
+  | Expr.Binop (op, a, b) ->
+      binop op ~ta:(Expr.type_of ty_of a) ~tb:(Expr.type_of ty_of b)
+        (eval ~ty_of ~value_of a) (eval ~ty_of ~value_of b)
+  | Expr.Intop (op, n, a) ->
+      intop op n ~ta:(Expr.type_of ty_of a) (eval ~ty_of ~value_of a)
+  | Expr.Bits (a, hi, lo) -> bits ~hi ~lo (eval ~ty_of ~value_of a)

@@ -1,0 +1,19 @@
+(** Reference evaluation semantics for expressions: FIRRTL primop
+    semantics on {!Sic_bv.Bv} values. Every backend (interpreter, compiled
+    simulators, constant folder, FSM analysis, formal bit-blaster) is
+    defined by or tested against these functions. Each result's width
+    equals the width {!Expr.type_of} assigns. *)
+
+module Bv = Sic_bv.Bv
+
+val extend : Ty.t -> Bv.t -> int -> Bv.t
+(** Zero- or sign-extend according to the type's signedness. *)
+
+val unop : Expr.unop -> ta:Ty.t -> Bv.t -> Bv.t
+val binop : Expr.binop -> ta:Ty.t -> tb:Ty.t -> Bv.t -> Bv.t -> Bv.t
+val intop : Expr.intop -> int -> ta:Ty.t -> Bv.t -> Bv.t
+val bits : hi:int -> lo:int -> Bv.t -> Bv.t
+
+val eval : ty_of:(string -> Ty.t) -> value_of:(string -> Bv.t) -> Expr.t -> Bv.t
+(** Full evaluation; [ty_of] resolves reference types (for signedness),
+    [value_of] resolves reference values. *)

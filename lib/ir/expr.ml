@@ -1,0 +1,230 @@
+(** Expressions. A faithful subset of FIRRTL's expression language after
+    LowerTypes: references are flat (dotted) names; widths are explicit and
+    computed by the FIRRTL width rules in {!type_of}. *)
+
+type unop =
+  | Not  (** bitwise complement, UInt result *)
+  | Andr
+  | Orr
+  | Xorr  (** reductions, UInt<1> *)
+  | Neg  (** arithmetic negation, SInt<w+1> *)
+  | Cvt  (** interpret as signed: UInt<w> -> SInt<w+1>, SInt -> SInt *)
+  | AsUInt
+  | AsSInt  (** reinterpret bits *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Lt
+  | Leq
+  | Gt
+  | Geq
+  | Eq
+  | Neq
+  | And
+  | Or
+  | Xor
+  | Cat
+  | Dshl
+  | Dshr
+
+(** Unary operators taking a static integer parameter. *)
+type intop =
+  | Pad  (** widen to at least [n] bits *)
+  | Shl  (** static shift left: width grows by [n] *)
+  | Shr  (** static shift right: width shrinks to [max 1 (w - n)] *)
+  | Head  (** [n] most significant bits, UInt *)
+  | Tail  (** drop [n] most significant bits, UInt *)
+
+type t =
+  | Ref of string
+  | UIntLit of Sic_bv.Bv.t
+  | SIntLit of Sic_bv.Bv.t
+  | Mux of t * t * t  (** [Mux (sel, tru, fls)]; arms have equal types *)
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Intop of intop * int * t
+  | Bits of t * int * int  (** [Bits (e, hi, lo)] *)
+
+exception Type_error of string
+
+let type_error fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+(** Result type of a unary primop applied to an operand of type [ta]. *)
+let unop_ty (op : unop) (ta : Ty.t) : Ty.t =
+  let w = Ty.width ta in
+  match op with
+  | Not -> Ty.UInt w
+  | Andr | Orr | Xorr -> Ty.UInt 1
+  | Neg -> Ty.SInt (w + 1)
+  | Cvt -> (
+      match ta with
+      | Ty.UInt w -> Ty.SInt (w + 1)
+      | Ty.SInt w -> Ty.SInt w
+      | Ty.Clock -> type_error "cvt on Clock")
+  | AsUInt -> Ty.UInt w
+  | AsSInt -> Ty.SInt w
+
+(** Result type of a binary primop; enforces the same-signedness rules. *)
+let binop_ty (op : binop) (ta : Ty.t) (tb : Ty.t) : Ty.t =
+  let wa = Ty.width ta and wb = Ty.width tb in
+  let same_sign ctx =
+    if not (Ty.same_kind ta tb) then
+      type_error "%s operands must have the same signedness: %s vs %s" ctx
+        (Ty.to_string ta) (Ty.to_string tb)
+  in
+  match op with
+  | Add | Sub ->
+      same_sign "add/sub";
+      Ty.with_width ta (max wa wb + 1)
+  | Mul ->
+      same_sign "mul";
+      Ty.with_width ta (wa + wb)
+  | Div ->
+      same_sign "div";
+      if Ty.is_signed ta then Ty.SInt (wa + 1) else Ty.UInt wa
+  | Rem ->
+      same_sign "rem";
+      Ty.with_width ta (min wa wb)
+  | Lt | Leq | Gt | Geq | Eq | Neq ->
+      same_sign "cmp";
+      Ty.UInt 1
+  | And | Or | Xor ->
+      same_sign "bitwise";
+      Ty.UInt (max wa wb)
+  | Cat -> Ty.UInt (wa + wb)
+  | Dshl ->
+      if wb > 20 then type_error "dshl shift operand too wide (%d bits)" wb;
+      Ty.with_width ta (wa + (1 lsl wb) - 1)
+  | Dshr -> ta
+
+(** Result type of an int-parameterised primop. *)
+let intop_ty (op : intop) (n : int) (ta : Ty.t) : Ty.t =
+  let w = Ty.width ta in
+  match op with
+  | Pad -> Ty.with_width ta (max w n)
+  | Shl -> Ty.with_width ta (w + n)
+  | Shr -> Ty.with_width ta (max 1 (w - n))
+  | Head ->
+      if n > w then type_error "head %d of width %d" n w;
+      Ty.UInt n
+  | Tail ->
+      if n > w then type_error "tail %d of width %d" n w;
+      Ty.UInt (w - n)
+
+let bits_ty (hi : int) (lo : int) (ta : Ty.t) : Ty.t =
+  let w = Ty.width ta in
+  if hi < lo || hi >= w || lo < 0 then type_error "bits(%d, %d) of width %d" hi lo w;
+  Ty.UInt (hi - lo + 1)
+
+let mux_ty (ts : Ty.t) (ta : Ty.t) (tb : Ty.t) : Ty.t =
+  (match ts with
+  | Ty.UInt 1 -> ()
+  | t -> type_error "mux selector must be UInt<1>, got %s" (Ty.to_string t));
+  if Ty.equal ta tb then ta
+  else type_error "mux arms disagree: %s vs %s" (Ty.to_string ta) (Ty.to_string tb)
+
+(** [type_of lookup e] computes the type of [e]; [lookup] resolves reference
+    names. Implements the FIRRTL width-inference rules for primops. *)
+let rec type_of (lookup : string -> Ty.t) (e : t) : Ty.t =
+  match e with
+  | Ref n -> lookup n
+  | UIntLit v -> Ty.UInt (Sic_bv.Bv.width v)
+  | SIntLit v -> Ty.SInt (Sic_bv.Bv.width v)
+  | Mux (sel, a, b) ->
+      mux_ty (type_of lookup sel) (type_of lookup a) (type_of lookup b)
+  | Unop (op, a) -> unop_ty op (type_of lookup a)
+  | Binop (op, a, b) -> binop_ty op (type_of lookup a) (type_of lookup b)
+  | Intop (op, n, a) -> intop_ty op n (type_of lookup a)
+  | Bits (a, hi, lo) -> bits_ty hi lo (type_of lookup a)
+
+(** All reference names appearing in [e], in evaluation order (duplicates
+    kept). *)
+let rec refs e acc =
+  match e with
+  | Ref n -> n :: acc
+  | UIntLit _ | SIntLit _ -> acc
+  | Mux (s, a, b) -> refs s (refs a (refs b acc))
+  | Unop (_, a) | Intop (_, _, a) | Bits (a, _, _) -> refs a acc
+  | Binop (_, a, b) -> refs a (refs b acc)
+
+let references e = refs e []
+
+(** Structural substitution of references. *)
+let rec subst (f : string -> t option) e =
+  match e with
+  | Ref n -> ( match f n with Some e' -> e' | None -> e)
+  | UIntLit _ | SIntLit _ -> e
+  | Mux (s, a, b) -> Mux (subst f s, subst f a, subst f b)
+  | Unop (op, a) -> Unop (op, subst f a)
+  | Binop (op, a, b) -> Binop (op, subst f a, subst f b)
+  | Intop (op, n, a) -> Intop (op, n, subst f a)
+  | Bits (a, hi, lo) -> Bits (subst f a, hi, lo)
+
+let rec equal a b =
+  match (a, b) with
+  | Ref x, Ref y -> String.equal x y
+  | UIntLit x, UIntLit y | SIntLit x, SIntLit y -> Sic_bv.Bv.equal x y
+  | Mux (s1, a1, b1), Mux (s2, a2, b2) -> equal s1 s2 && equal a1 a2 && equal b1 b2
+  | Unop (o1, a1), Unop (o2, a2) -> o1 = o2 && equal a1 a2
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) -> o1 = o2 && equal a1 a2 && equal b1 b2
+  | Intop (o1, n1, a1), Intop (o2, n2, a2) -> o1 = o2 && n1 = n2 && equal a1 a2
+  | Bits (a1, h1, l1), Bits (a2, h2, l2) -> h1 = h2 && l1 = l2 && equal a1 a2
+  | (Ref _ | UIntLit _ | SIntLit _ | Mux _ | Unop _ | Binop _ | Intop _ | Bits _), _ ->
+      false
+
+(* Convenience constructors used throughout passes and the DSL. *)
+
+let u_lit ~width n = UIntLit (Sic_bv.Bv.of_int ~width n)
+let s_lit ~width n = SIntLit (Sic_bv.Bv.of_signed_int ~width n)
+let true_ = u_lit ~width:1 1
+let false_ = u_lit ~width:1 0
+
+let and_ a b =
+  match (a, b) with
+  | UIntLit v, x when Sic_bv.Bv.is_ones v && Sic_bv.Bv.width v = 1 -> x
+  | x, UIntLit v when Sic_bv.Bv.is_ones v && Sic_bv.Bv.width v = 1 -> x
+  | _ -> Binop (And, a, b)
+
+let or_ a b = Binop (Or, a, b)
+let not_ a = Unop (Not, a)
+let eq_ a b = Binop (Eq, a, b)
+
+let unop_name = function
+  | Not -> "not"
+  | Andr -> "andr"
+  | Orr -> "orr"
+  | Xorr -> "xorr"
+  | Neg -> "neg"
+  | Cvt -> "cvt"
+  | AsUInt -> "asUInt"
+  | AsSInt -> "asSInt"
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | Lt -> "lt"
+  | Leq -> "leq"
+  | Gt -> "gt"
+  | Geq -> "geq"
+  | Eq -> "eq"
+  | Neq -> "neq"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Cat -> "cat"
+  | Dshl -> "dshl"
+  | Dshr -> "dshr"
+
+let intop_name = function
+  | Pad -> "pad"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Head -> "head"
+  | Tail -> "tail"

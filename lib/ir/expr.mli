@@ -1,0 +1,86 @@
+(** Expressions: a faithful subset of FIRRTL's expression language after
+    LowerTypes (flat dotted references, explicit widths). *)
+
+type unop =
+  | Not
+  | Andr
+  | Orr
+  | Xorr
+  | Neg
+  | Cvt
+  | AsUInt
+  | AsSInt
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Lt
+  | Leq
+  | Gt
+  | Geq
+  | Eq
+  | Neq
+  | And
+  | Or
+  | Xor
+  | Cat
+  | Dshl
+  | Dshr
+
+(** Unary operators taking a static integer parameter. *)
+type intop = Pad | Shl | Shr | Head | Tail
+
+type t =
+  | Ref of string
+  | UIntLit of Sic_bv.Bv.t
+  | SIntLit of Sic_bv.Bv.t
+  | Mux of t * t * t
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Intop of intop * int * t
+  | Bits of t * int * int
+
+exception Type_error of string
+
+(** {1 The FIRRTL width rules} *)
+
+val unop_ty : unop -> Ty.t -> Ty.t
+val binop_ty : binop -> Ty.t -> Ty.t -> Ty.t
+val intop_ty : intop -> int -> Ty.t -> Ty.t
+val bits_ty : int -> int -> Ty.t -> Ty.t
+val mux_ty : Ty.t -> Ty.t -> Ty.t -> Ty.t
+
+val type_of : (string -> Ty.t) -> t -> Ty.t
+(** [type_of lookup e]; [lookup] resolves reference names. Raises
+    {!Type_error} on ill-formed expressions. *)
+
+(** {1 Traversal} *)
+
+val references : t -> string list
+(** All reference names, in evaluation order, duplicates kept. *)
+
+val subst : (string -> t option) -> t -> t
+val equal : t -> t -> bool
+
+(** {1 Convenience constructors} *)
+
+val u_lit : width:int -> int -> t
+val s_lit : width:int -> int -> t
+val true_ : t
+val false_ : t
+
+val and_ : t -> t -> t
+(** Simplifies conjunction with literal true. *)
+
+val or_ : t -> t -> t
+val not_ : t -> t
+val eq_ : t -> t -> t
+
+(** {1 Names (for printing)} *)
+
+val unop_name : unop -> string
+val binop_name : binop -> string
+val intop_name : intop -> string

@@ -1,0 +1,35 @@
+(** Source locators. The DSL fills these from [__POS__]; the parser from
+    [@[file line:col]] suffixes, mirroring FIRRTL file info tokens. *)
+
+type t =
+  | Unknown
+  | Pos of { file : string; line : int; col : int }
+
+let unknown = Unknown
+
+let pos ~file ~line ~col = Pos { file; line; col }
+
+(* [__POS__] is (file, lnum, cnum, enum). *)
+let of_pos ((file, line, col, _) : string * int * int * int) = Pos { file; line; col }
+
+let file = function Unknown -> None | Pos { file; _ } -> Some file
+let line = function Unknown -> None | Pos { line; _ } -> Some line
+
+let to_string = function
+  | Unknown -> ""
+  | Pos { file; line; col } -> Printf.sprintf "@[%s %d:%d]" file line col
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let equal a b =
+  match (a, b) with
+  | Unknown, Unknown -> true
+  | Pos a, Pos b -> a.file = b.file && a.line = b.line && a.col = b.col
+  | Unknown, Pos _ | Pos _, Unknown -> false
+
+let compare a b =
+  match (a, b) with
+  | Unknown, Unknown -> 0
+  | Unknown, Pos _ -> -1
+  | Pos _, Unknown -> 1
+  | Pos a, Pos b -> compare (a.file, a.line, a.col) (b.file, b.line, b.col)

@@ -1,0 +1,22 @@
+(** Source locators. The DSL fills these from [__POS__]; the parser from
+    [@[file line:col]] suffixes, mirroring FIRRTL's file info tokens. The
+    line-coverage report resolves them back to design sources. *)
+
+type t =
+  | Unknown
+  | Pos of { file : string; line : int; col : int }
+
+val unknown : t
+val pos : file:string -> line:int -> col:int -> t
+
+val of_pos : string * int * int * int -> t
+(** From [__POS__]. *)
+
+val file : t -> string option
+val line : t -> int option
+val to_string : t -> string
+(** ["@[file line:col]"], or [""] for {!Unknown}. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

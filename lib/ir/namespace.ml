@@ -1,0 +1,39 @@
+(** Fresh-name generation that never collides with existing module names.
+    Mirrors firrtl's Namespace utility. *)
+
+type t = { taken : (string, unit) Hashtbl.t; counters : (string, int) Hashtbl.t }
+
+let create () = { taken = Hashtbl.create 64; counters = Hashtbl.create 16 }
+
+let of_module (m : Circuit.modul) =
+  let ns = create () in
+  List.iter (fun p -> Hashtbl.replace ns.taken p.Circuit.port_name ()) m.Circuit.ports;
+  List.iter (fun n -> Hashtbl.replace ns.taken n ()) (Stmt.declared_names m.Circuit.body);
+  (* cover names share the namespace so instrumentation passes can't collide *)
+  List.iter (fun n -> Hashtbl.replace ns.taken n ()) (Circuit.covers_of m);
+  ns
+
+let reserve t name = Hashtbl.replace t.taken name ()
+
+let mem t name = Hashtbl.mem t.taken name
+
+(** [fresh t base] returns [base] if free, otherwise [base_0], [base_1], …
+    The returned name is reserved. *)
+let fresh t base =
+  if not (Hashtbl.mem t.taken base) then begin
+    Hashtbl.replace t.taken base ();
+    base
+  end
+  else begin
+    let i = Option.value ~default:0 (Hashtbl.find_opt t.counters base) in
+    let rec go i =
+      let cand = Printf.sprintf "%s_%d" base i in
+      if Hashtbl.mem t.taken cand then go (i + 1)
+      else begin
+        Hashtbl.replace t.counters base (i + 1);
+        Hashtbl.replace t.taken cand ();
+        cand
+      end
+    in
+    go i
+  end

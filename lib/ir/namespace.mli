@@ -1,0 +1,13 @@
+(** Fresh-name generation that never collides with a module's existing
+    names (ports, declarations, cover names) — firrtl's Namespace. *)
+
+type t
+
+val create : unit -> t
+val of_module : Circuit.modul -> t
+val reserve : t -> string -> unit
+val mem : t -> string -> bool
+
+val fresh : t -> string -> string
+(** [fresh t base] is [base] if free, else [base_0], [base_1], …; the
+    result is reserved. *)

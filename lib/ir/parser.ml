@@ -1,0 +1,488 @@
+(** Recursive-descent parser for the FIRRTL-style concrete syntax emitted by
+    {!Printer}. Indentation-sensitive like real FIRRTL: block structure is
+    given by leading spaces; [;] starts a line comment. *)
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Line splitting                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type line = { num : int; indent : int; text : string }
+
+let split_lines src =
+  let raw = String.split_on_char '\n' src in
+  List.filteri (fun _ _ -> true) raw
+  |> List.mapi (fun i s -> (i + 1, s))
+  |> List.filter_map (fun (num, s) ->
+         (* strip comments, but not inside string literals *)
+         let buf = Buffer.create (String.length s) in
+         let in_str = ref false in
+         (try
+            String.iter
+              (fun c ->
+                if c = '"' then in_str := not !in_str;
+                if c = ';' && not !in_str then raise Exit;
+                Buffer.add_char buf c)
+              s
+          with Exit -> ());
+         let s = Buffer.contents buf in
+         let trimmed = String.trim s in
+         if trimmed = "" then None
+         else
+           let indent =
+             let rec go i = if i < String.length s && s.[i] = ' ' then go (i + 1) else i in
+             go 0
+           in
+           Some { num; indent; text = trimmed })
+
+(* ------------------------------------------------------------------ *)
+(* Expression tokenizer                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tid of string
+  | Tint of int
+  | Tstring of string
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Tlangle
+  | Trangle
+  | Teq
+  | Tcolon
+  | Tarrow
+
+(* '-' appears in keywords like "data-type"; a leading '-' followed by a
+   digit instead starts a negative integer literal *)
+let is_id_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '$' || c = '-'
+
+let tokenize lnum s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '(' then (toks := Tlparen :: !toks; incr i)
+    else if c = ')' then (toks := Trparen :: !toks; incr i)
+    else if c = ',' then (toks := Tcomma :: !toks; incr i)
+    else if c = '<' then (toks := Tlangle :: !toks; incr i)
+    else if c = '>' then (toks := Trangle :: !toks; incr i)
+    else if c = ':' then (toks := Tcolon :: !toks; incr i)
+    else if c = '=' && !i + 1 < n && s.[!i + 1] = '>' then (toks := Tarrow :: !toks; i := !i + 2)
+    else if c = '=' then (toks := Teq :: !toks; incr i)
+    else if c = '"' then begin
+      let j = ref (!i + 1) in
+      let buf = Buffer.create 16 in
+      while !j < n && s.[!j] <> '"' do
+        if s.[!j] = '\\' && !j + 1 < n then begin
+          (match s.[!j + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | c -> Buffer.add_char buf c);
+          j := !j + 2
+        end
+        else begin
+          Buffer.add_char buf s.[!j];
+          incr j
+        end
+      done;
+      if !j >= n then fail lnum "unterminated string";
+      toks := Tstring (Buffer.contents buf) :: !toks;
+      i := !j + 1
+    end
+    else if
+      (c = '-' && !i + 1 < n && s.[!i + 1] >= '0' && s.[!i + 1] <= '9')
+      || (c >= '0' && c <= '9')
+    then begin
+      let j = ref !i in
+      if s.[!j] = '-' then incr j;
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+      (match int_of_string_opt (String.sub s !i (!j - !i)) with
+      | Some v -> toks := Tint v :: !toks
+      | None -> fail lnum "integer literal out of range");
+      i := !j
+    end
+    else if is_id_char c then begin
+      let j = ref !i in
+      while !j < n && is_id_char s.[!j] do incr j done;
+      toks := Tid (String.sub s !i (!j - !i)) :: !toks;
+      i := !j
+    end
+    else if c = '@' && !i + 1 < n && s.[!i + 1] = '[' then begin
+      (* info token: @[file line:col] — consume to closing bracket *)
+      let j = ref (!i + 2) in
+      while !j < n && s.[!j] <> ']' do incr j done;
+      let inner = String.sub s (!i + 2) (!j - !i - 2) in
+      toks := Tstring ("@" ^ inner) :: !toks;
+      i := !j + 1
+    end
+    else fail lnum "unexpected character %c" c
+  done;
+  List.rev !toks
+
+(* Token stream with one-symbol lookahead. *)
+type stream = { mutable toks : token list; lnum : int }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+let next st =
+  match st.toks with
+  | [] -> fail st.lnum "unexpected end of line"
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let expect st tok what =
+  let t = next st in
+  if t <> tok then fail st.lnum "expected %s" what
+
+let ident st =
+  match next st with Tid s -> s | _ -> fail st.lnum "expected identifier"
+
+let integer st =
+  match next st with Tint n -> n | _ -> fail st.lnum "expected integer"
+
+(* ------------------------------------------------------------------ *)
+(* Types and expressions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ty st =
+  match ident st with
+  | "Clock" -> Ty.Clock
+  | ("UInt" | "SInt") as kind ->
+      expect st Tlangle "<";
+      let w = integer st in
+      expect st Trangle ">";
+      if kind = "UInt" then Ty.UInt w else Ty.SInt w
+  | other -> fail st.lnum "unknown type %s" other
+
+let unops =
+  [ ("not", Expr.Not); ("andr", Expr.Andr); ("orr", Expr.Orr); ("xorr", Expr.Xorr);
+    ("neg", Expr.Neg); ("cvt", Expr.Cvt); ("asUInt", Expr.AsUInt); ("asSInt", Expr.AsSInt) ]
+
+let binops =
+  [ ("add", Expr.Add); ("sub", Expr.Sub); ("mul", Expr.Mul); ("div", Expr.Div);
+    ("rem", Expr.Rem); ("lt", Expr.Lt); ("leq", Expr.Leq); ("gt", Expr.Gt);
+    ("geq", Expr.Geq); ("eq", Expr.Eq); ("neq", Expr.Neq); ("and", Expr.And);
+    ("or", Expr.Or); ("xor", Expr.Xor); ("cat", Expr.Cat); ("dshl", Expr.Dshl);
+    ("dshr", Expr.Dshr) ]
+
+let intops =
+  [ ("pad", Expr.Pad); ("shl", Expr.Shl); ("shr", Expr.Shr); ("head", Expr.Head);
+    ("tail", Expr.Tail) ]
+
+let rec parse_expr st : Expr.t =
+  match next st with
+  | Tid ("UInt" | "SInt" as kind) ->
+      expect st Tlangle "<";
+      let w = integer st in
+      expect st Trangle ">";
+      expect st Tlparen "(";
+      let v =
+        match next st with
+        | Tint n ->
+            if kind = "UInt" then Sic_bv.Bv.of_int ~width:w n
+            else Sic_bv.Bv.of_signed_int ~width:w n
+        | Tstring s when String.length s > 1 && s.[0] = 'h' ->
+            Sic_bv.Bv.of_hex_string ~width:w (String.sub s 1 (String.length s - 1))
+        | Tstring s when String.length s > 1 && s.[0] = 'b' ->
+            Sic_bv.Bv.extend_u (Sic_bv.Bv.of_binary_string (String.sub s 1 (String.length s - 1))) w
+        | _ -> fail st.lnum "bad literal"
+      in
+      expect st Trparen ")";
+      if kind = "UInt" then Expr.UIntLit v else Expr.SIntLit v
+  | Tid "mux" ->
+      expect st Tlparen "(";
+      let s = parse_expr st in
+      expect st Tcomma ",";
+      let a = parse_expr st in
+      expect st Tcomma ",";
+      let b = parse_expr st in
+      expect st Trparen ")";
+      Expr.Mux (s, a, b)
+  | Tid "bits" ->
+      expect st Tlparen "(";
+      let e = parse_expr st in
+      expect st Tcomma ",";
+      let hi = integer st in
+      expect st Tcomma ",";
+      let lo = integer st in
+      expect st Trparen ")";
+      Expr.Bits (e, hi, lo)
+  | Tid name when List.mem_assoc name unops && peek st = Some Tlparen ->
+      expect st Tlparen "(";
+      let e = parse_expr st in
+      expect st Trparen ")";
+      Expr.Unop (List.assoc name unops, e)
+  | Tid name when List.mem_assoc name binops && peek st = Some Tlparen ->
+      expect st Tlparen "(";
+      let a = parse_expr st in
+      expect st Tcomma ",";
+      let b = parse_expr st in
+      expect st Trparen ")";
+      Expr.Binop (List.assoc name binops, a, b)
+  | Tid name when List.mem_assoc name intops && peek st = Some Tlparen ->
+      expect st Tlparen "(";
+      let e = parse_expr st in
+      expect st Tcomma ",";
+      let n = integer st in
+      expect st Trparen ")";
+      Expr.Intop (List.assoc name intops, n, e)
+  | Tid name -> Expr.Ref name
+  | _ -> fail st.lnum "expected expression"
+
+(* Trailing info token: a Tstring starting with '@'. *)
+let parse_info st =
+  match peek st with
+  | Some (Tstring s) when String.length s > 0 && s.[0] = '@' -> (
+      ignore (next st);
+      (* format: "@file line:col" *)
+      match String.split_on_char ' ' (String.sub s 1 (String.length s - 1)) with
+      | [ file; lc ] -> (
+          match String.split_on_char ':' lc with
+          | [ l; c ] -> (
+              match (int_of_string_opt l, int_of_string_opt c) with
+              | Some line, Some col -> Info.pos ~file ~line ~col
+              | _ -> Info.unknown)
+          | _ -> Info.unknown)
+      | _ -> Info.unknown)
+  | _ -> Info.unknown
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* [parse_block lines indent] consumes statements whose indent is
+   >= [indent] (block members all share the first member's indent). *)
+let rec parse_block lines indent : Stmt.t list * line list =
+  match lines with
+  | [] -> ([], [])
+  | l :: _ when l.indent < indent -> ([], lines)
+  | l :: rest ->
+      let stmt, rest = parse_stmt l rest in
+      let stmts, rest = parse_block rest indent in
+      (stmt @ stmts, rest)
+
+and parse_stmt (l : line) rest : Stmt.t list * line list =
+  let st = { toks = tokenize l.num l.text; lnum = l.num } in
+  match next st with
+  | Tid "skip" -> ([], rest)
+  | Tid "node" ->
+      let name = ident st in
+      expect st Teq "=";
+      let expr = parse_expr st in
+      let info = parse_info st in
+      ([ Stmt.Node { name; expr; info } ], rest)
+  | Tid "wire" ->
+      let name = ident st in
+      expect st Tcolon ":";
+      let ty = parse_ty st in
+      let info = parse_info st in
+      ([ Stmt.Wire { name; ty; info } ], rest)
+  | Tid "reg" ->
+      let name = ident st in
+      expect st Tcolon ":";
+      let ty = parse_ty st in
+      let reset =
+        match peek st with
+        | Some Tcomma ->
+            ignore (next st);
+            (match ident st with
+            | "reset" -> ()
+            | _ -> fail l.num "expected reset clause");
+            expect st Tarrow "=>";
+            expect st Tlparen "(";
+            let rst = parse_expr st in
+            expect st Tcomma ",";
+            let init = parse_expr st in
+            expect st Trparen ")";
+            Some (rst, init)
+        | _ -> None
+      in
+      let info = parse_info st in
+      ([ Stmt.Reg { name; ty; reset; info } ], rest)
+  | Tid "mem" ->
+      let name = ident st in
+      expect st Tcolon ":";
+      let info = parse_info st in
+      (* fields on following, deeper-indented lines *)
+      let field_indent =
+        match rest with
+        | f :: _ when f.indent > l.indent -> f.indent
+        | _ -> fail l.num "mem %s has no fields" name
+      in
+      let rec fields lines (data, depth, lat, readers, writers) =
+        match lines with
+        | f :: more when f.indent = field_indent -> (
+            let fst_ = { toks = tokenize f.num f.text; lnum = f.num } in
+            match ident fst_ with
+            | "data-type" ->
+                expect fst_ Tarrow "=>";
+                fields more (Some (parse_ty fst_), depth, lat, readers, writers)
+            | "depth" ->
+                expect fst_ Tarrow "=>";
+                fields more (data, integer fst_, lat, readers, writers)
+            | "read-latency" ->
+                expect fst_ Tarrow "=>";
+                fields more (data, depth, integer fst_, readers, writers)
+            | "reader" ->
+                expect fst_ Tarrow "=>";
+                fields more (data, depth, lat, ident fst_ :: readers, writers)
+            | "writer" ->
+                expect fst_ Tarrow "=>";
+                fields more (data, depth, lat, readers, ident fst_ :: writers)
+            | other -> fail f.num "unknown mem field %s" other)
+        | lines -> ((data, depth, lat, readers, writers), lines)
+      in
+      let (data, depth, lat, readers, writers), rest =
+        fields rest (None, 0, 0, [], [])
+      in
+      let mem_data = match data with Some t -> t | None -> fail l.num "mem %s missing data-type" name in
+      let mem =
+        {
+          Stmt.mem_name = name;
+          mem_data;
+          mem_depth = depth;
+          mem_read_latency = lat;
+          mem_readers = List.rev_map (fun rp_name -> { Stmt.rp_name }) readers;
+          mem_writers = List.rev_map (fun wp_name -> { Stmt.wp_name }) writers;
+        }
+      in
+      ([ Stmt.Mem { mem; info } ], rest)
+  | Tid "inst" ->
+      let name = ident st in
+      (match ident st with "of" -> () | _ -> fail l.num "expected 'of'");
+      let module_name = ident st in
+      let info = parse_info st in
+      ([ Stmt.Inst { name; module_name; info } ], rest)
+  | Tid "connect" ->
+      let loc = ident st in
+      expect st Tcomma ",";
+      let expr = parse_expr st in
+      let info = parse_info st in
+      ([ Stmt.Connect { loc; expr; info } ], rest)
+  | Tid "when" ->
+      let cond = parse_expr st in
+      expect st Tcolon ":";
+      let info = parse_info st in
+      let then_, rest =
+        match rest with
+        | f :: _ when f.indent > l.indent -> parse_block rest f.indent
+        | _ -> ([], rest)
+      in
+      let else_, rest =
+        match rest with
+        | e :: more when e.indent = l.indent && e.text = "else :" -> (
+            match more with
+            | f :: _ when f.indent > l.indent -> parse_block more f.indent
+            | _ -> ([], more))
+        | _ -> ([], rest)
+      in
+      ([ Stmt.When { cond; then_; else_; info } ], rest)
+  | Tid "cover" ->
+      let name = ident st in
+      expect st Tcomma ",";
+      let pred = parse_expr st in
+      let info = parse_info st in
+      ([ Stmt.Cover { name; pred; info } ], rest)
+  | Tid "cover-values" ->
+      let name = ident st in
+      expect st Tcomma ",";
+      let signal = parse_expr st in
+      expect st Tcomma ",";
+      let en = parse_expr st in
+      let info = parse_info st in
+      ([ Stmt.CoverValues { name; signal; en; info } ], rest)
+  | Tid "stop" ->
+      let name = ident st in
+      expect st Tcomma ",";
+      let cond = parse_expr st in
+      expect st Tcomma ",";
+      let exit_code = integer st in
+      let info = parse_info st in
+      ([ Stmt.Stop { name; cond; exit_code; info } ], rest)
+  | Tid "printf" ->
+      let cond = parse_expr st in
+      expect st Tcomma ",";
+      let message =
+        match next st with Tstring s -> s | _ -> fail l.num "expected format string"
+      in
+      let rec args acc =
+        match peek st with
+        | Some Tcomma ->
+            ignore (next st);
+            args (parse_expr st :: acc)
+        | _ -> List.rev acc
+      in
+      let args = args [] in
+      let info = parse_info st in
+      ([ Stmt.Print { cond; message; args; info } ], rest)
+  | Tid other -> fail l.num "unknown statement %s" other
+  | _ -> fail l.num "expected statement"
+
+(* ------------------------------------------------------------------ *)
+(* Modules and circuits                                                *)
+(* ------------------------------------------------------------------ *)
+
+let parse_port (l : line) : Circuit.port option =
+  let st = { toks = tokenize l.num l.text; lnum = l.num } in
+  match peek st with
+  | Some (Tid ("input" | "output")) ->
+      let dir = if ident st = "input" then Circuit.Input else Circuit.Output in
+      let port_name = ident st in
+      expect st Tcolon ":";
+      let port_ty = parse_ty st in
+      let port_info = parse_info st in
+      Some { Circuit.port_name; dir; port_ty; port_info }
+  | _ -> None
+
+let parse_module (l : line) rest : Circuit.modul * line list =
+  let st = { toks = tokenize l.num l.text; lnum = l.num } in
+  (match ident st with "module" -> () | _ -> fail l.num "expected module");
+  let module_name = ident st in
+  expect st Tcolon ":";
+  let body_indent =
+    match rest with
+    | f :: _ when f.indent > l.indent -> f.indent
+    | _ -> l.indent + 2
+  in
+  let rec ports lines acc =
+    match lines with
+    | f :: more when f.indent >= body_indent -> (
+        match parse_port f with
+        | Some p -> ports more (p :: acc)
+        | None -> (List.rev acc, lines))
+    | lines -> (List.rev acc, lines)
+  in
+  let ports_, rest = ports rest [] in
+  let body, rest =
+    match rest with
+    | f :: _ when f.indent >= body_indent -> parse_block rest f.indent
+    | _ -> ([], rest)
+  in
+  ({ Circuit.module_name; ports = ports_; body }, rest)
+
+let parse_circuit src : Circuit.t =
+  let lines = split_lines src in
+  match lines with
+  | [] -> fail 0 "empty input"
+  | l :: rest ->
+      let st = { toks = tokenize l.num l.text; lnum = l.num } in
+      (match ident st with "circuit" -> () | _ -> fail l.num "expected circuit");
+      let circuit_name = ident st in
+      expect st Tcolon ":";
+      let rec modules lines acc =
+        match lines with
+        | [] -> List.rev acc
+        | m :: _ when m.indent > l.indent ->
+            let md, rest = parse_module m (List.tl lines) in
+            modules rest (md :: acc)
+        | m :: _ -> fail m.num "unexpected top-level line"
+      in
+      { Circuit.circuit_name; modules = modules rest []; annotations = [] }

@@ -1,0 +1,9 @@
+(** Recursive-descent, indentation-sensitive parser for the FIRRTL-style
+    concrete syntax emitted by {!Printer}. [;] starts a line comment;
+    [@[file line:col]] suffixes become {!Info.t} locators. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_circuit : string -> Circuit.t
+(** Annotations are not part of the text format; the result carries
+    none. *)

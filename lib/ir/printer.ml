@@ -1,0 +1,86 @@
+(** Emit circuits in a FIRRTL-style concrete syntax. {!Parser} reads the
+    same syntax back; [parse ∘ print] is the identity on well-formed
+    circuits (round-trip property tested in the suite). *)
+
+open Format
+
+let rec pp_expr fmt (e : Expr.t) =
+  match e with
+  | Expr.Ref n -> pp_print_string fmt n
+  | Expr.UIntLit v ->
+      fprintf fmt "UInt<%d>(\"h%s\")" (Sic_bv.Bv.width v) (Sic_bv.Bv.to_hex_string v)
+  | Expr.SIntLit v ->
+      fprintf fmt "SInt<%d>(\"h%s\")" (Sic_bv.Bv.width v) (Sic_bv.Bv.to_hex_string v)
+  | Expr.Mux (s, a, b) -> fprintf fmt "mux(%a, %a, %a)" pp_expr s pp_expr a pp_expr b
+  | Expr.Unop (op, a) -> fprintf fmt "%s(%a)" (Expr.unop_name op) pp_expr a
+  | Expr.Binop (op, a, b) ->
+      fprintf fmt "%s(%a, %a)" (Expr.binop_name op) pp_expr a pp_expr b
+  | Expr.Intop (op, n, a) -> fprintf fmt "%s(%a, %d)" (Expr.intop_name op) pp_expr a n
+  | Expr.Bits (a, hi, lo) -> fprintf fmt "bits(%a, %d, %d)" pp_expr a hi lo
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+
+let pp_info fmt (i : Info.t) =
+  match i with Info.Unknown -> () | _ -> fprintf fmt " %s" (Info.to_string i)
+
+let rec pp_stmt indent fmt (s : Stmt.t) =
+  let pad = String.make indent ' ' in
+  match s with
+  | Stmt.Node { name; expr; info } ->
+      fprintf fmt "%snode %s = %a%a@," pad name pp_expr expr pp_info info
+  | Stmt.Wire { name; ty; info } ->
+      fprintf fmt "%swire %s : %s%a@," pad name (Ty.to_string ty) pp_info info
+  | Stmt.Reg { name; ty; reset = None; info } ->
+      fprintf fmt "%sreg %s : %s%a@," pad name (Ty.to_string ty) pp_info info
+  | Stmt.Reg { name; ty; reset = Some (rst, init); info } ->
+      fprintf fmt "%sreg %s : %s, reset => (%a, %a)%a@," pad name (Ty.to_string ty)
+        pp_expr rst pp_expr init pp_info info
+  | Stmt.Mem { mem; info } ->
+      fprintf fmt "%smem %s :%a@," pad mem.Stmt.mem_name pp_info info;
+      let p2 = pad ^ "  " in
+      fprintf fmt "%sdata-type => %s@," p2 (Ty.to_string mem.Stmt.mem_data);
+      fprintf fmt "%sdepth => %d@," p2 mem.Stmt.mem_depth;
+      fprintf fmt "%sread-latency => %d@," p2 mem.Stmt.mem_read_latency;
+      List.iter (fun { Stmt.rp_name } -> fprintf fmt "%sreader => %s@," p2 rp_name) mem.Stmt.mem_readers;
+      List.iter (fun { Stmt.wp_name } -> fprintf fmt "%swriter => %s@," p2 wp_name) mem.Stmt.mem_writers
+  | Stmt.Inst { name; module_name; info } ->
+      fprintf fmt "%sinst %s of %s%a@," pad name module_name pp_info info
+  | Stmt.Connect { loc; expr; info } ->
+      fprintf fmt "%sconnect %s, %a%a@," pad loc pp_expr expr pp_info info
+  | Stmt.When { cond; then_; else_; info } ->
+      fprintf fmt "%swhen %a :%a@," pad pp_expr cond pp_info info;
+      List.iter (pp_stmt (indent + 2) fmt) then_;
+      if then_ = [] then fprintf fmt "%s  skip@," pad;
+      if else_ <> [] then begin
+        fprintf fmt "%selse :@," pad;
+        List.iter (pp_stmt (indent + 2) fmt) else_
+      end
+  | Stmt.Cover { name; pred; info } ->
+      fprintf fmt "%scover %s, %a%a@," pad name pp_expr pred pp_info info
+  | Stmt.CoverValues { name; signal; en; info } ->
+      fprintf fmt "%scover-values %s, %a, %a%a@," pad name pp_expr signal pp_expr en
+        pp_info info
+  | Stmt.Stop { name; cond; exit_code; info } ->
+      fprintf fmt "%sstop %s, %a, %d%a@," pad name pp_expr cond exit_code pp_info info
+  | Stmt.Print { cond; message; args; info } ->
+      fprintf fmt "%sprintf %a, \"%s\"%s%a@," pad pp_expr cond (String.escaped message)
+        (String.concat "" (List.map (fun a -> ", " ^ expr_to_string a) args))
+        pp_info info
+
+let pp_port fmt (p : Circuit.port) =
+  let dir = match p.Circuit.dir with Circuit.Input -> "input" | Circuit.Output -> "output" in
+  fprintf fmt "    %s %s : %s%a@," dir p.Circuit.port_name (Ty.to_string p.Circuit.port_ty)
+    pp_info p.Circuit.port_info
+
+let pp_module fmt (m : Circuit.modul) =
+  fprintf fmt "  module %s :@," m.Circuit.module_name;
+  List.iter (pp_port fmt) m.Circuit.ports;
+  fprintf fmt "@,";
+  List.iter (pp_stmt 4 fmt) m.Circuit.body
+
+let pp_circuit fmt (c : Circuit.t) =
+  fprintf fmt "@[<v>circuit %s :@," c.Circuit.circuit_name;
+  List.iter (fun m -> pp_module fmt m; fprintf fmt "@,") c.Circuit.modules;
+  fprintf fmt "@]"
+
+let circuit_to_string c = Format.asprintf "%a" pp_circuit c

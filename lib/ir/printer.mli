@@ -1,0 +1,13 @@
+(** FIRRTL-style concrete syntax emission. {!Parser} reads the same
+    syntax; [parse ∘ print] is the identity on well-formed circuits
+    (property-tested). *)
+
+val pp_expr : Format.formatter -> Expr.t -> unit
+val expr_to_string : Expr.t -> string
+val pp_stmt : int -> Format.formatter -> Stmt.t -> unit
+(** The [int] is the indentation depth in spaces. *)
+
+val pp_port : Format.formatter -> Circuit.port -> unit
+val pp_module : Format.formatter -> Circuit.modul -> unit
+val pp_circuit : Format.formatter -> Circuit.t -> unit
+val circuit_to_string : Circuit.t -> string

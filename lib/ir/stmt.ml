@@ -1,0 +1,103 @@
+(** Statements. The IR keeps FIRRTL's high-level [when] blocks (needed by
+    the line-coverage pass) which the {!Sic_passes.Lower_whens} pass removes
+    before simulation. Memories and instances use dotted port names
+    ([mem.r0.addr], [inst.io_out]) as left after FIRRTL's LowerTypes. *)
+
+type mem_read_port = { rp_name : string }
+type mem_write_port = { wp_name : string }
+
+type mem = {
+  mem_name : string;
+  mem_data : Ty.t;  (** element type *)
+  mem_depth : int;
+  mem_readers : mem_read_port list;
+  mem_writers : mem_write_port list;
+  mem_read_latency : int;  (** 0 = combinational, 1 = synchronous *)
+}
+
+type t =
+  | Node of { name : string; expr : Expr.t; info : Info.t }
+      (** [node name = expr] — an immutable named expression *)
+  | Wire of { name : string; ty : Ty.t; info : Info.t }
+  | Reg of {
+      name : string;
+      ty : Ty.t;
+      reset : (Expr.t * Expr.t) option;
+          (** [(reset_signal, init_value)]: synchronous reset *)
+      info : Info.t;
+    }
+  | Mem of { mem : mem; info : Info.t }
+  | Inst of { name : string; module_name : string; info : Info.t }
+  | Connect of { loc : string; expr : Expr.t; info : Info.t }
+      (** last-connect semantics inside [when] blocks *)
+  | When of { cond : Expr.t; then_ : t list; else_ : t list; info : Info.t }
+  | Cover of { name : string; pred : Expr.t; info : Info.t }
+      (** The paper's one new primitive: sample [pred] at the rising clock
+          edge, increment the (saturating) counter when true. *)
+  | CoverValues of { name : string; signal : Expr.t; en : Expr.t; info : Info.t }
+      (** §6 extension: one counter per possible value of [signal],
+          incremented only when [en] holds. *)
+  | Stop of { name : string; cond : Expr.t; exit_code : int; info : Info.t }
+  | Print of { cond : Expr.t; message : string; args : Expr.t list; info : Info.t }
+
+let info = function
+  | Node { info; _ }
+  | Wire { info; _ }
+  | Reg { info; _ }
+  | Mem { info; _ }
+  | Inst { info; _ }
+  | Connect { info; _ }
+  | When { info; _ }
+  | Cover { info; _ }
+  | CoverValues { info; _ }
+  | Stop { info; _ }
+  | Print { info; _ } -> info
+
+(** Iterate over all statements, descending into [when] blocks. *)
+let rec iter f stmts =
+  List.iter
+    (fun s ->
+      f s;
+      match s with
+      | When { then_; else_; _ } ->
+          iter f then_;
+          iter f else_
+      | Node _ | Wire _ | Reg _ | Mem _ | Inst _ | Connect _ | Cover _
+      | CoverValues _ | Stop _ | Print _ -> ())
+    stmts
+
+(** Rebuild a statement list bottom-up. [f] receives each statement with
+    already-transformed children and returns its replacement list. *)
+let rec map_concat (f : t -> t list) stmts =
+  List.concat_map
+    (fun s ->
+      match s with
+      | When { cond; then_; else_; info } ->
+          f (When { cond; then_ = map_concat f then_; else_ = map_concat f else_; info })
+      | Node _ | Wire _ | Reg _ | Mem _ | Inst _ | Connect _ | Cover _
+      | CoverValues _ | Stop _ | Print _ -> f s)
+    stmts
+
+(** All declared names (nodes, wires, regs, mems incl. port names, insts). *)
+let declared_names stmts =
+  let out = ref [] in
+  let add n = out := n :: !out in
+  iter
+    (fun s ->
+      match s with
+      | Node { name; _ } | Wire { name; _ } | Reg { name; _ } -> add name
+      | Inst { name; _ } -> add name
+      | Mem { mem; _ } ->
+          add mem.mem_name;
+          List.iter (fun { rp_name } ->
+              add (mem.mem_name ^ "." ^ rp_name ^ ".addr");
+              add (mem.mem_name ^ "." ^ rp_name ^ ".data"))
+            mem.mem_readers;
+          List.iter (fun { wp_name } ->
+              add (mem.mem_name ^ "." ^ wp_name ^ ".addr");
+              add (mem.mem_name ^ "." ^ wp_name ^ ".data");
+              add (mem.mem_name ^ "." ^ wp_name ^ ".en"))
+            mem.mem_writers
+      | Connect _ | When _ | Cover _ | CoverValues _ | Stop _ | Print _ -> ())
+    stmts;
+  List.rev !out

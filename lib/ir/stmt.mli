@@ -1,0 +1,49 @@
+(** Statements. The IR keeps FIRRTL's high-level [when] blocks (the
+    line-coverage pass instruments them) until
+    {!Sic_passes.Lower_whens} removes them. Memory and instance ports use
+    dotted names ([mem.r0.addr], [inst.io_out]). *)
+
+type mem_read_port = { rp_name : string }
+type mem_write_port = { wp_name : string }
+
+type mem = {
+  mem_name : string;
+  mem_data : Ty.t;
+  mem_depth : int;
+  mem_readers : mem_read_port list;
+  mem_writers : mem_write_port list;
+  mem_read_latency : int;  (** 0 = combinational, 1 = synchronous *)
+}
+
+type t =
+  | Node of { name : string; expr : Expr.t; info : Info.t }
+  | Wire of { name : string; ty : Ty.t; info : Info.t }
+  | Reg of {
+      name : string;
+      ty : Ty.t;
+      reset : (Expr.t * Expr.t) option;  (** (reset signal, init value) *)
+      info : Info.t;
+    }
+  | Mem of { mem : mem; info : Info.t }
+  | Inst of { name : string; module_name : string; info : Info.t }
+  | Connect of { loc : string; expr : Expr.t; info : Info.t }
+  | When of { cond : Expr.t; then_ : t list; else_ : t list; info : Info.t }
+  | Cover of { name : string; pred : Expr.t; info : Info.t }
+      (** The paper's one new primitive (§3). *)
+  | CoverValues of { name : string; signal : Expr.t; en : Expr.t; info : Info.t }
+      (** The §6 extension: one counter per value of [signal]. *)
+  | Stop of { name : string; cond : Expr.t; exit_code : int; info : Info.t }
+  | Print of { cond : Expr.t; message : string; args : Expr.t list; info : Info.t }
+
+val info : t -> Info.t
+
+val iter : (t -> unit) -> t list -> unit
+(** Descends into [when] blocks. *)
+
+val map_concat : (t -> t list) -> t list -> t list
+(** Bottom-up rebuild: [f] sees each statement with already-transformed
+    children and returns its replacement list. *)
+
+val declared_names : t list -> string list
+(** All declared names, including memory port fields and instance
+    names. *)

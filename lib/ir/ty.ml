@@ -1,0 +1,38 @@
+(** Ground types of the IR. Aggregates are already lowered: the DSL and the
+    parser only produce ground-typed signals (bundles become dotted names,
+    as after FIRRTL's LowerTypes). *)
+
+type t =
+  | UInt of int  (** unsigned, [width >= 0] *)
+  | SInt of int  (** two's-complement signed, [width >= 1] *)
+  | Clock
+
+let width = function UInt w | SInt w -> w | Clock -> 1
+
+let is_signed = function SInt _ -> true | UInt _ | Clock -> false
+
+let same_kind a b =
+  match (a, b) with
+  | UInt _, UInt _ | SInt _, SInt _ | Clock, Clock -> true
+  | (UInt _ | SInt _ | Clock), _ -> false
+
+let with_width t w =
+  match t with UInt _ -> UInt w | SInt _ -> SInt w | Clock -> Clock
+
+let equal a b =
+  match (a, b) with
+  | UInt x, UInt y | SInt x, SInt y -> x = y
+  | Clock, Clock -> true
+  | (UInt _ | SInt _ | Clock), _ -> false
+
+let to_string = function
+  | UInt w -> Printf.sprintf "UInt<%d>" w
+  | SInt w -> Printf.sprintf "SInt<%d>" w
+  | Clock -> "Clock"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(** Bits needed to represent values [0 .. n-1]; at least 1. *)
+let clog2 n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  if n <= 1 then 1 else go 0 1

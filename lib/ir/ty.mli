@@ -1,0 +1,18 @@
+(** Ground types of the IR (aggregates are already lowered, as after
+    FIRRTL's LowerTypes). *)
+
+type t =
+  | UInt of int  (** unsigned, [width >= 0] *)
+  | SInt of int  (** two's-complement signed *)
+  | Clock
+
+val width : t -> int
+val is_signed : t -> bool
+val same_kind : t -> t -> bool
+val with_width : t -> int -> t
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val clog2 : int -> int
+(** Bits needed to address [0 .. n-1]; at least 1. *)

@@ -1,0 +1,98 @@
+(** Global alias analysis (§4.2): groups of signals guaranteed to always
+    carry the same value. On a flat, lowered circuit two signals alias when
+    one is driven by a plain reference to the other (node aliases, wire
+    connects, and — via inlining — cross-module port connections such as a
+    global reset fanned out to every submodule). The toggle-coverage pass
+    instruments one representative per group. *)
+
+open Sic_ir
+
+let _pass_name = "alias-analysis"
+
+module Uf = struct
+  (* union-find over names *)
+  type t = (string, string) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let rec find (t : t) x =
+    match Hashtbl.find_opt t x with
+    | None -> x
+    | Some p ->
+        let r = find t p in
+        if r <> p then Hashtbl.replace t x r;
+        r
+
+  let union (t : t) a b =
+    let ra = find t a and rb = find t b in
+    if ra <> rb then Hashtbl.replace t rb ra
+end
+
+type groups = (string * string list) list
+(** representative, members (including the representative) *)
+
+(** Compute alias groups for the main module of a flat, lowered circuit.
+    The representative is the lexicographically smallest, then shortest,
+    member — stable across runs. *)
+let analyze (c : Circuit.t) : groups =
+  let m = Circuit.main c in
+  let uf = Uf.create () in
+  (* [Connect reg, Ref x] means reg takes x's value *next* cycle — never an
+     alias. Collect register names first so those unions are skipped. *)
+  let regs = Hashtbl.create 16 in
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Reg { name; _ } -> Hashtbl.replace regs name ()
+      | _ -> ())
+    m.Circuit.body;
+  let members : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let note n = Hashtbl.replace members n () in
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Node { name; expr = Expr.Ref other; _ } ->
+          note name;
+          note other;
+          Uf.union uf name other
+      | Stmt.Connect { loc = name; expr = Expr.Ref other; _ }
+        when not (Hashtbl.mem regs name) ->
+          note name;
+          note other;
+          Uf.union uf name other
+      | Stmt.Node _ | Stmt.Wire _ | Stmt.Reg _ | Stmt.Mem _ | Stmt.Inst _
+      | Stmt.Connect _ | Stmt.When _ | Stmt.Cover _ | Stmt.CoverValues _
+      | Stmt.Stop _ | Stmt.Print _ -> ())
+    m.Circuit.body;
+  let buckets : (string, string list) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun n () ->
+      let r = Uf.find uf n in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt buckets r) in
+      Hashtbl.replace buckets r (n :: cur))
+    members;
+  Hashtbl.fold
+    (fun _ group acc ->
+      match group with
+      | [] | [ _ ] -> acc (* singletons are not interesting *)
+      | _ ->
+          let sorted =
+            List.sort
+              (fun a b ->
+                match compare (String.length a) (String.length b) with
+                | 0 -> String.compare a b
+                | c -> c)
+              group
+          in
+          (List.hd sorted, sorted) :: acc)
+    buckets []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(** [representative groups name] is the signal that stands in for [name]'s
+    group ([name] itself when un-aliased). *)
+let representative (groups : groups) =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (rep, ms) -> List.iter (fun m -> Hashtbl.replace tbl m rep) ms)
+    groups;
+  fun name -> Option.value ~default:name (Hashtbl.find_opt tbl name)

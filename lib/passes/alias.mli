@@ -1,0 +1,18 @@
+(** Global alias analysis (§4.2): groups of signals guaranteed to always
+    carry the same value (plain-reference nodes and wire connects, hence —
+    after inlining — cross-module port connections such as a fanned-out
+    global reset). Toggle coverage instruments one representative per
+    group. *)
+
+open Sic_ir
+
+type groups = (string * string list) list
+(** (representative, members including the representative); singleton
+    groups are omitted. *)
+
+val analyze : Circuit.t -> groups
+(** Requires a flat, lowered circuit. Register assignments are
+    time-shifted and never alias. *)
+
+val representative : groups -> string -> string
+(** Identity for un-aliased names. *)

@@ -1,0 +1,103 @@
+(** Well-formedness checking: resolves every reference, type-checks every
+    expression, verifies connect compatibility and the uniqueness of cover
+    names within each module. Run first in every pipeline so later passes
+    may assume a sane circuit. *)
+
+open Sic_ir
+
+let pass_name = "check"
+
+let error fmt = Pass.error ~pass:pass_name fmt
+
+let check_module (c : Circuit.t) (m : Circuit.modul) =
+  let env = Circuit.build_env ~resolve_inst:(Circuit.find_module c) m in
+  let lookup = Circuit.lookup_of env in
+  let covers = Hashtbl.create 16 in
+  let sinks = Hashtbl.create 16 in
+  (* a name may be connected if it is an output port, wire, reg, mem port
+     field, or an instance's input port *)
+  List.iter
+    (fun p ->
+      match p.Circuit.dir with
+      | Circuit.Output -> Hashtbl.replace sinks p.Circuit.port_name ()
+      | Circuit.Input -> ())
+    m.Circuit.ports;
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Wire { name; _ } | Stmt.Reg { name; _ } -> Hashtbl.replace sinks name ()
+      | Stmt.Mem { mem; _ } ->
+          List.iter
+            (fun { Stmt.rp_name } ->
+              Hashtbl.replace sinks (mem.Stmt.mem_name ^ "." ^ rp_name ^ ".addr") ())
+            mem.Stmt.mem_readers;
+          List.iter
+            (fun { Stmt.wp_name } ->
+              List.iter
+                (fun f -> Hashtbl.replace sinks (mem.Stmt.mem_name ^ "." ^ wp_name ^ "." ^ f) ())
+                [ "addr"; "data"; "en" ])
+            mem.Stmt.mem_writers
+      | Stmt.Inst { name; module_name; _ } ->
+          let child = Circuit.find_module c module_name in
+          List.iter
+            (fun p ->
+              match p.Circuit.dir with
+              | Circuit.Input -> Hashtbl.replace sinks (name ^ "." ^ p.Circuit.port_name) ()
+              | Circuit.Output -> ())
+            child.Circuit.ports
+      | Stmt.Node _ | Stmt.Connect _ | Stmt.When _ | Stmt.Cover _
+      | Stmt.CoverValues _ | Stmt.Stop _ | Stmt.Print _ -> ())
+    m.Circuit.body;
+  let check_bool ctx e =
+    match Expr.type_of lookup e with
+    | Ty.UInt 1 -> ()
+    | t ->
+        error "in %s.%s: expected UInt<1>, got %s" m.Circuit.module_name ctx
+          (Ty.to_string t)
+  in
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Node { expr; _ } -> ignore (Expr.type_of lookup expr)
+      | Stmt.Connect { loc; expr; info } ->
+          if not (Hashtbl.mem sinks loc) then
+            error "in %s%s: %s is not connectable" m.Circuit.module_name
+              (Info.to_string info) loc;
+          let tl = lookup loc and te = Expr.type_of lookup expr in
+          if not (Ty.equal tl te) && tl <> Ty.Clock then
+            error "in %s%s: connect %s : %s from %s" m.Circuit.module_name
+              (Info.to_string info) loc (Ty.to_string tl) (Ty.to_string te)
+      | Stmt.When { cond; _ } -> check_bool "when condition" cond
+      | Stmt.Cover { name; pred; _ } ->
+          if Hashtbl.mem covers name then
+            error "duplicate cover name %s in module %s" name m.Circuit.module_name;
+          Hashtbl.replace covers name ();
+          check_bool (Printf.sprintf "cover %s" name) pred
+      | Stmt.CoverValues { name; signal; _ } ->
+          if Hashtbl.mem covers name then
+            error "duplicate cover name %s in module %s" name m.Circuit.module_name;
+          Hashtbl.replace covers name ();
+          ignore (Expr.type_of lookup signal)
+      | Stmt.Stop { cond; _ } -> check_bool "stop condition" cond
+      | Stmt.Print { cond; args; _ } ->
+          check_bool "printf condition" cond;
+          List.iter (fun a -> ignore (Expr.type_of lookup a)) args
+      | Stmt.Reg { reset = Some (rst, init); name; ty; _ } ->
+          check_bool (Printf.sprintf "reset of %s" name) rst;
+          let ti = Expr.type_of lookup init in
+          if not (Ty.equal ti ty) then
+            error "register %s : %s has init of type %s" name (Ty.to_string ty)
+              (Ty.to_string ti)
+      | Stmt.Reg { reset = None; _ } | Stmt.Wire _ | Stmt.Mem _ | Stmt.Inst _ -> ())
+    m.Circuit.body
+
+let run (c : Circuit.t) =
+  try
+    ignore (Circuit.main c);
+    List.iter (check_module c) c.Circuit.modules;
+    c
+  with
+  | Circuit.Elaboration_error m -> error "%s" m
+  | Expr.Type_error m -> error "type error: %s" m
+
+let pass = Pass.make pass_name run

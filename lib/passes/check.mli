@@ -1,0 +1,7 @@
+(** Well-formedness checking: reference resolution, expression typing,
+    connect compatibility, cover-name uniqueness and predicate types. Runs
+    first (and last) in every pipeline. *)
+
+val pass_name : string
+val run : Sic_ir.Circuit.t -> Sic_ir.Circuit.t
+val pass : Pass.t

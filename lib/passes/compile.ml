@@ -1,0 +1,42 @@
+(** Canonical pass pipelines.
+
+    Coverage instrumentation hooks at two points, exactly as in the paper:
+    line coverage runs on the high-form IR (before when-lowering, §4.1);
+    toggle / FSM / ready-valid / mux coverage run on the optimized low-form
+    IR (§4.2-4.4). The stages are exposed so instrumentation passes can be
+    inserted from the coverage library without a dependency cycle. *)
+
+open Sic_ir
+
+(** High-form checks only. *)
+let frontend : Pass.t list = [ Check.pass ]
+
+(** Lower to the flat, when-free, optimized form every backend consumes. *)
+let to_low_form : Pass.t list =
+  [ Check.pass; Lower_whens.pass; Inline.pass; Const_prop.pass; Dce.pass ]
+
+(** [lower c] runs the full standard pipeline. *)
+let lower (c : Circuit.t) : Circuit.t = Pass.run_pipeline to_low_form c
+
+(** [lower_with ~high ~low c] interleaves instrumentation passes: [high]
+    passes run on the checked high-form IR, [low] passes run after
+    optimization (and are followed by a final check). *)
+let lower_with ?(high : Pass.t list = []) ?(low : Pass.t list = []) (c : Circuit.t) :
+    Circuit.t =
+  let pipeline = (Check.pass :: high) @ [ Lower_whens.pass; Inline.pass; Const_prop.pass; Dce.pass ] @ low @ [ Check.pass ] in
+  Pass.run_pipeline pipeline c
+
+(** True when a circuit is in low form: a single module, no whens, no
+    instances. Backends assert this on load. *)
+let is_low_form (c : Circuit.t) : bool =
+  match c.Circuit.modules with
+  | [ m ] ->
+      let ok = ref true in
+      Stmt.iter
+        (fun s ->
+          match s with
+          | Stmt.When _ | Stmt.Inst _ -> ok := false
+          | _ -> ())
+        m.Circuit.body;
+      !ok
+  | _ -> false

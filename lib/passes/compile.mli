@@ -1,0 +1,17 @@
+(** Canonical pass pipelines. Coverage instrumentation hooks at two
+    points, as in the paper: line coverage before when-lowering (§4.1);
+    toggle/FSM/ready-valid/mux on the optimized low form (§4.2-4.4). *)
+
+open Sic_ir
+
+val frontend : Pass.t list
+val to_low_form : Pass.t list
+
+val lower : Circuit.t -> Circuit.t
+(** check → lower-whens → inline → const-prop → dce. *)
+
+val lower_with : ?high:Pass.t list -> ?low:Pass.t list -> Circuit.t -> Circuit.t
+(** Interleave instrumentation passes with the standard pipeline. *)
+
+val is_low_form : Circuit.t -> bool
+(** Single module, no whens, no instances — what backends consume. *)

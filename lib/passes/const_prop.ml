@@ -1,0 +1,183 @@
+(** Constant propagation and folding on lowered (when-free) modules.
+
+    Tracks which nodes and wires are bound to literals or are pure aliases
+    of other signals, folds primops with literal operands, and simplifies
+    muxes with constant selectors or identical arms. The toggle-coverage
+    pass runs after this (and DCE), as in the paper ("on the structural RTL
+    after optimizations"). Signals marked [Dont_touch] are never folded
+    away. *)
+
+open Sic_ir
+module Bv = Sic_bv.Bv
+
+let pass_name = "const-prop"
+
+(** One folding step given already-simplified children. Exposed for reuse by
+    the FSM next-state analysis (§4.3), which needs exactly this
+    simplification after substituting the current state. *)
+let rec simplify (ty_of : string -> Ty.t) (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Ref _ | Expr.UIntLit _ | Expr.SIntLit _ -> e
+  | Expr.Mux (s, a, b) -> (
+      let s = simplify ty_of s and a = simplify ty_of a and b = simplify ty_of b in
+      match s with
+      | Expr.UIntLit v -> if Bv.to_bool v then a else b
+      | _ -> if Expr.equal a b then a else Expr.Mux (s, a, b))
+  | Expr.Unop (op, a) -> (
+      let a = simplify ty_of a in
+      match a with
+      | Expr.UIntLit _ | Expr.SIntLit _ ->
+          lit_of (Expr.unop_ty op (Expr.type_of ty_of a))
+            (Eval.unop op ~ta:(Expr.type_of ty_of a) (value_of_lit a))
+      | _ -> Expr.Unop (op, a))
+  | Expr.Binop (op, a, b) -> (
+      let a = simplify ty_of a and b = simplify ty_of b in
+      let ta () = Expr.type_of ty_of a and tb () = Expr.type_of ty_of b in
+      match (a, b) with
+      | (Expr.UIntLit _ | Expr.SIntLit _), (Expr.UIntLit _ | Expr.SIntLit _) ->
+          lit_of
+            (Expr.binop_ty op (ta ()) (tb ()))
+            (Eval.binop op ~ta:(ta ()) ~tb:(tb ()) (value_of_lit a) (value_of_lit b))
+      | _ -> fold_identities ty_of op a b)
+  | Expr.Intop (op, n, a) -> (
+      let a = simplify ty_of a in
+      match a with
+      | Expr.UIntLit _ | Expr.SIntLit _ ->
+          lit_of
+            (Expr.intop_ty op n (Expr.type_of ty_of a))
+            (Eval.intop op n ~ta:(Expr.type_of ty_of a) (value_of_lit a))
+      | _ -> Expr.Intop (op, n, a))
+  | Expr.Bits (a, hi, lo) -> (
+      let a = simplify ty_of a in
+      match a with
+      | Expr.UIntLit _ | Expr.SIntLit _ -> Expr.UIntLit (Eval.bits ~hi ~lo (value_of_lit a))
+      | _ ->
+          if lo = 0 && hi = Ty.width (Expr.type_of ty_of a) - 1
+             && not (Ty.is_signed (Expr.type_of ty_of a))
+          then a
+          else Expr.Bits (a, hi, lo))
+
+and value_of_lit = function
+  | Expr.UIntLit v | Expr.SIntLit v -> v
+  | _ -> assert false
+
+and lit_of ty v =
+  match ty with
+  | Ty.UInt _ | Ty.Clock -> Expr.UIntLit v
+  | Ty.SInt _ -> Expr.SIntLit v
+
+(* Boolean / bitwise identities with one literal operand. *)
+and fold_identities ty_of op a b =
+  let is_zero = function Expr.UIntLit v -> Bv.is_zero v | _ -> false in
+  let is_all_ones e =
+    match e with Expr.UIntLit v -> Bv.is_ones v | _ -> false
+  in
+  let w e = Ty.width (Expr.type_of ty_of e) in
+  match op with
+  | Expr.And when is_zero a || is_zero b ->
+      Expr.UIntLit (Bv.zero (max (w a) (w b)))
+  | Expr.And when is_all_ones a && w a >= w b && not (Ty.is_signed (Expr.type_of ty_of b)) ->
+      simplify ty_of (Expr.Intop (Expr.Pad, w a, b))
+  | Expr.And when is_all_ones b && w b >= w a && not (Ty.is_signed (Expr.type_of ty_of a)) ->
+      simplify ty_of (Expr.Intop (Expr.Pad, w b, a))
+  | Expr.Or when is_zero a && not (Ty.is_signed (Expr.type_of ty_of b)) ->
+      simplify ty_of (Expr.Intop (Expr.Pad, w a, b))
+  | Expr.Or when is_zero b && not (Ty.is_signed (Expr.type_of ty_of a)) ->
+      simplify ty_of (Expr.Intop (Expr.Pad, w b, a))
+  | _ -> Expr.Binop (op, a, b)
+
+(* A binding is propagatable when it is a literal, or an alias (plain Ref)
+   of a signal that is not a register or memory port (those change over
+   time but the alias is still sound combinationally — registers are safe
+   to alias too since we substitute the *name*, not the value; what we must
+   not do is alias across a register boundary, which a plain Ref never
+   does). *)
+let propagatable (e : Expr.t) =
+  match e with Expr.UIntLit _ | Expr.SIntLit _ -> true | _ -> false
+
+let optimize_module (c : Circuit.t) (m : Circuit.modul) : Circuit.modul =
+  let annos = c.Circuit.annotations in
+  let dont_touch = Annotation.dont_touch_of ~module_name:m.Circuit.module_name annos in
+  let env = Circuit.build_env ~resolve_inst:(Circuit.find_module c) m in
+  let ty_of = Circuit.lookup_of env in
+  (* constants bound to node/wire names discovered so far *)
+  let consts : (string, Expr.t) Hashtbl.t = Hashtbl.create 64 in
+  let subst e =
+    Expr.subst
+      (fun n -> if List.mem n dont_touch then None else Hashtbl.find_opt consts n)
+      e
+  in
+  (* wires driven by a single unconditional literal connect can be folded;
+     find them first (after lower-whens each sink has exactly one connect) *)
+  let wire_names = Hashtbl.create 32 in
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Wire { name; _ } -> Hashtbl.replace wire_names name ()
+      | _ -> ())
+    m.Circuit.body;
+  (* first rewrite pass: fold node expressions in order, learning constants *)
+  let body =
+    List.map
+      (fun (s : Stmt.t) ->
+        match s with
+        | Stmt.Node { name; expr; info } ->
+            let expr = simplify ty_of (subst expr) in
+            if propagatable expr && not (List.mem name dont_touch) then
+              Hashtbl.replace consts name expr;
+            Stmt.Node { name; expr; info }
+        | Stmt.Connect { loc; expr; info } ->
+            let expr = simplify ty_of (subst expr) in
+            if
+              Hashtbl.mem wire_names loc && propagatable expr
+              && not (List.mem loc dont_touch)
+            then Hashtbl.replace consts loc expr;
+            Stmt.Connect { loc; expr; info }
+        | Stmt.Cover { name; pred; info } ->
+            Stmt.Cover { name; pred = simplify ty_of (subst pred); info }
+        | Stmt.CoverValues { name; signal; en; info } ->
+            Stmt.CoverValues
+              { name; signal = simplify ty_of (subst signal); en = simplify ty_of (subst en); info }
+        | Stmt.Stop { name; cond; exit_code; info } ->
+            Stmt.Stop { name; cond = simplify ty_of (subst cond); exit_code; info }
+        | Stmt.Print { cond; message; args; info } ->
+            Stmt.Print
+              {
+                cond = simplify ty_of (subst cond);
+                message;
+                args = List.map (fun a -> simplify ty_of (subst a)) args;
+              info }
+        | Stmt.Reg { name; ty; reset; info } ->
+            Stmt.Reg
+              {
+                name;
+                ty;
+                reset = Option.map (fun (r, i) -> (simplify ty_of (subst r), simplify ty_of (subst i))) reset;
+                info;
+              }
+        | Stmt.Wire _ | Stmt.Mem _ | Stmt.Inst _ | Stmt.When _ -> s)
+      m.Circuit.body
+  in
+  (* second pass: constants learned late (wire driven after use) propagate
+     into earlier expressions *)
+  let body =
+    if Hashtbl.length consts = 0 then body
+    else
+      List.map
+        (fun (s : Stmt.t) ->
+          match s with
+          | Stmt.Node { name; expr; info } ->
+              Stmt.Node { name; expr = simplify ty_of (subst expr); info }
+          | Stmt.Connect { loc; expr; info } ->
+              Stmt.Connect { loc; expr = simplify ty_of (subst expr); info }
+          | Stmt.Cover { name; pred; info } ->
+              Stmt.Cover { name; pred = simplify ty_of (subst pred); info }
+          | s -> s)
+        body
+  in
+  { m with Circuit.body }
+
+let run (c : Circuit.t) =
+  { c with Circuit.modules = List.map (optimize_module c) c.Circuit.modules }
+
+let pass = Pass.make pass_name run

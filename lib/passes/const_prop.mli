@@ -1,0 +1,12 @@
+(** Constant propagation and folding on lowered modules. Toggle coverage
+    runs after this (and DCE), per §4.2 ("on the structural RTL after
+    optimizations"). [Dont_touch] signals are never folded away. *)
+
+val pass_name : string
+
+val simplify : (string -> Sic_ir.Ty.t) -> Sic_ir.Expr.t -> Sic_ir.Expr.t
+(** One bottom-up folding of an expression — also the engine of the FSM
+    next-state analysis (§4.3). *)
+
+val run : Sic_ir.Circuit.t -> Sic_ir.Circuit.t
+val pass : Pass.t

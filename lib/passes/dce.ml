@@ -1,0 +1,121 @@
+(** Dead code elimination on flat, lowered modules. Roots are output-port
+    connects, cover / cover-values / stop / printf statements and
+    [Dont_touch]-annotated signals; everything not transitively reachable
+    from a root is removed. Memories are kept whole if any read port's
+    data is live (their write ports then stay live too). *)
+
+open Sic_ir
+
+let pass_name = "dce"
+
+(* Memory port fields are [<mem>.<port>.<field>] with field in
+   {addr, data, en}; the mem name itself may contain dots after inlining
+   ("core.icache.mem"), so strip the last two segments. *)
+let mem_of_port name =
+  match String.rindex_opt name '.' with
+  | None -> None
+  | Some i -> (
+      let prefix = String.sub name 0 i in
+      match String.rindex_opt prefix '.' with
+      | None -> None
+      | Some j -> Some (String.sub prefix 0 j))
+
+let optimize_module (annos : Annotation.t list) (m : Circuit.modul) : Circuit.modul =
+  let dont_touch = Annotation.dont_touch_of ~module_name:m.Circuit.module_name annos in
+  (* index the single driving connect of every sink, node exprs, reg info *)
+  let driver : (string, Expr.t) Hashtbl.t = Hashtbl.create 64 in
+  let node_expr : (string, Expr.t) Hashtbl.t = Hashtbl.create 64 in
+  let regs : (string, (Expr.t * Expr.t) option) Hashtbl.t = Hashtbl.create 16 in
+  let mems : (string, Stmt.mem) Hashtbl.t = Hashtbl.create 8 in
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Connect { loc; expr; _ } -> Hashtbl.replace driver loc expr
+      | Stmt.Node { name; expr; _ } -> Hashtbl.replace node_expr name expr
+      | Stmt.Reg { name; reset; _ } -> Hashtbl.replace regs name reset
+      | Stmt.Mem { mem; _ } -> Hashtbl.replace mems mem.Stmt.mem_name mem
+      | Stmt.Wire _ | Stmt.Inst _ | Stmt.When _ | Stmt.Cover _ | Stmt.CoverValues _
+      | Stmt.Stop _ | Stmt.Print _ -> ())
+    m.Circuit.body;
+  let live : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let mark n =
+    if not (Hashtbl.mem live n) then begin
+      Hashtbl.replace live n ();
+      Queue.add n queue
+    end
+  in
+  let mark_expr e = List.iter mark (Expr.references e) in
+  (* roots *)
+  List.iter
+    (fun (p : Circuit.port) ->
+      match p.Circuit.dir with
+      | Circuit.Output -> mark p.Circuit.port_name
+      | Circuit.Input -> ())
+    m.Circuit.ports;
+  List.iter mark dont_touch;
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Cover { pred; _ } -> mark_expr pred
+      | Stmt.CoverValues { signal; en; _ } ->
+          mark_expr signal;
+          mark_expr en
+      | Stmt.Stop { cond; _ } -> mark_expr cond
+      | Stmt.Print { cond; args; _ } ->
+          mark_expr cond;
+          List.iter mark_expr args
+      | Stmt.Node _ | Stmt.Wire _ | Stmt.Reg _ | Stmt.Mem _ | Stmt.Inst _
+      | Stmt.Connect _ | Stmt.When _ -> ())
+    m.Circuit.body;
+  (* propagate *)
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    (match Hashtbl.find_opt driver n with Some e -> mark_expr e | None -> ());
+    (match Hashtbl.find_opt node_expr n with Some e -> mark_expr e | None -> ());
+    (match Hashtbl.find_opt regs n with
+    | Some (Some (r, i)) ->
+        mark_expr r;
+        mark_expr i
+    | Some None | None -> ());
+    (* a live memory read-port datum keeps its address and, transitively,
+       every write port of that memory alive *)
+    match mem_of_port n with
+    | Some mname -> (
+        match Hashtbl.find_opt mems mname with
+        | Some mem ->
+            if Filename.check_suffix n ".data" then begin
+              let port = Filename.chop_suffix n ".data" in
+              mark (port ^ ".addr");
+              List.iter
+                (fun { Stmt.wp_name } ->
+                  mark (mname ^ "." ^ wp_name ^ ".addr");
+                  mark (mname ^ "." ^ wp_name ^ ".data");
+                  mark (mname ^ "." ^ wp_name ^ ".en"))
+                mem.Stmt.mem_writers
+            end
+        | None -> ())
+    | None -> ()
+  done;
+  let live_name n = Hashtbl.mem live n in
+  let body =
+    List.filter
+      (fun (s : Stmt.t) ->
+        match s with
+        | Stmt.Node { name; _ } | Stmt.Wire { name; _ } | Stmt.Reg { name; _ } ->
+            live_name name
+        | Stmt.Connect { loc; _ } -> live_name loc
+        | Stmt.Mem { mem; _ } ->
+            List.exists
+              (fun { Stmt.rp_name } -> live_name (mem.Stmt.mem_name ^ "." ^ rp_name ^ ".data"))
+              mem.Stmt.mem_readers
+        | Stmt.Inst _ | Stmt.When _ | Stmt.Cover _ | Stmt.CoverValues _ | Stmt.Stop _
+        | Stmt.Print _ -> true)
+      m.Circuit.body
+  in
+  { m with Circuit.body }
+
+let run (c : Circuit.t) =
+  { c with Circuit.modules = List.map (optimize_module c.Circuit.annotations) c.Circuit.modules }
+
+let pass = Pass.make pass_name run

@@ -1,0 +1,8 @@
+(** Dead code elimination on flat, lowered modules. Roots: output
+    connects, cover / cover-values / stop / printf statements, and
+    [Dont_touch] signals. Live memory reads keep their address cones and
+    all write ports of the memory alive. *)
+
+val pass_name : string
+val run : Sic_ir.Circuit.t -> Sic_ir.Circuit.t
+val pass : Pass.t

@@ -1,0 +1,126 @@
+(** Flatten the instance hierarchy into the main module. Child declarations
+    are prefixed with the instance path ([core.alu.x]); child ports become
+    wires carrying the same dotted names the parent already uses, so parent
+    connects need no rewriting. Cover statements acquire their instance
+    path, giving the hierarchical cover names the paper's interface
+    reports. Annotations on child modules are retargeted (one copy per
+    instance). *)
+
+open Sic_ir
+
+let pass_name = "inline"
+
+let prefix_name p n = p ^ "." ^ n
+
+(* Rename all declared names and references in a statement list. [rename]
+   must be total on names that need renaming and identity elsewhere. *)
+let rec rename_stmts rename stmts =
+  List.map
+    (fun (s : Stmt.t) ->
+      let re e = Expr.subst (fun n -> Some (Expr.Ref (rename n))) e in
+      match s with
+      | Stmt.Node { name; expr; info } -> Stmt.Node { name = rename name; expr = re expr; info }
+      | Stmt.Wire { name; ty; info } -> Stmt.Wire { name = rename name; ty; info }
+      | Stmt.Reg { name; ty; reset; info } ->
+          Stmt.Reg
+            {
+              name = rename name;
+              ty;
+              reset = Option.map (fun (r, i) -> (re r, re i)) reset;
+              info;
+            }
+      | Stmt.Mem { mem; info } ->
+          Stmt.Mem { mem = { mem with Stmt.mem_name = rename mem.Stmt.mem_name }; info }
+      | Stmt.Inst { name; module_name; info } ->
+          Stmt.Inst { name = rename name; module_name; info }
+      | Stmt.Connect { loc; expr; info } ->
+          Stmt.Connect { loc = rename loc; expr = re expr; info }
+      | Stmt.When { cond; then_; else_; info } ->
+          Stmt.When
+            {
+              cond = re cond;
+              then_ = rename_stmts rename then_;
+              else_ = rename_stmts rename else_;
+              info;
+            }
+      | Stmt.Cover { name; pred; info } ->
+          Stmt.Cover { name = rename name; pred = re pred; info }
+      | Stmt.CoverValues { name; signal; en; info } ->
+          Stmt.CoverValues { name = rename name; signal = re signal; en = re en; info }
+      | Stmt.Stop { name; cond; exit_code; info } ->
+          Stmt.Stop { name = rename name; cond = re cond; exit_code; info }
+      | Stmt.Print { cond; message; args; info } ->
+          Stmt.Print { cond = re cond; message; args = List.map re args; info })
+    stmts
+
+(* Inline one level: replace each Inst in [body] with the (recursively
+   flattened) child body. Returns new statements plus annotations created
+   for this instance subtree. *)
+let rec flatten_body (c : Circuit.t) (parent_module : string) (body : Stmt.t list) :
+    Stmt.t list * Annotation.t list =
+  let annos = ref [] in
+  let stmts =
+    List.concat_map
+      (fun (s : Stmt.t) ->
+        match s with
+        | Stmt.When { cond; then_; else_; info } ->
+            let t, a1 = flatten_body c parent_module then_ in
+            let e, a2 = flatten_body c parent_module else_ in
+            annos := a2 @ a1 @ !annos;
+            [ Stmt.When { cond; then_ = t; else_ = e; info } ]
+        | Stmt.Inst { name = inst; module_name; info } ->
+            let child = Circuit.find_module c module_name in
+            let child_body, child_annos = flatten_body c module_name child.Circuit.body in
+            let rename n = prefix_name inst n in
+            (* child ports become wires named inst.port *)
+            let port_wires =
+              List.map
+                (fun (p : Circuit.port) ->
+                  Stmt.Wire
+                    { name = prefix_name inst p.Circuit.port_name; ty = p.Circuit.port_ty; info })
+                child.Circuit.ports
+            in
+            let renamed = rename_stmts rename child_body in
+            (* bring the child's annotations into the parent, renamed *)
+            let retargeted =
+              List.map
+                (fun a ->
+                  Annotation.retarget ~from_module:module_name ~to_module:parent_module
+                    (Annotation.rename ~module_name ~f:rename a))
+                (child_annos
+                @ List.filter
+                    (fun a ->
+                      match a with
+                      | Annotation.Enum_reg { module_name = m; _ }
+                      | Annotation.Decoupled { module_name = m; _ }
+                      | Annotation.Dont_touch { module_name = m; _ } ->
+                          String.equal m module_name
+                      | Annotation.Enum_def _ -> false)
+                    c.Circuit.annotations)
+            in
+            annos := retargeted @ !annos;
+            port_wires @ renamed
+        | Stmt.Node _ | Stmt.Wire _ | Stmt.Reg _ | Stmt.Mem _ | Stmt.Connect _
+        | Stmt.Cover _ | Stmt.CoverValues _ | Stmt.Stop _ | Stmt.Print _ -> [ s ])
+      body
+  in
+  (stmts, List.rev !annos)
+
+let run (c : Circuit.t) : Circuit.t =
+  let main = Circuit.main c in
+  let body, new_annos = flatten_body c main.Circuit.module_name main.Circuit.body in
+  let keep_anno a =
+    match a with
+    | Annotation.Enum_def _ -> true
+    | Annotation.Enum_reg { module_name; _ }
+    | Annotation.Decoupled { module_name; _ }
+    | Annotation.Dont_touch { module_name; _ } ->
+        String.equal module_name main.Circuit.module_name
+  in
+  {
+    Circuit.circuit_name = c.Circuit.circuit_name;
+    modules = [ { main with Circuit.body } ];
+    annotations = List.filter keep_anno c.Circuit.annotations @ new_annos;
+  }
+
+let pass = Pass.make pass_name run

@@ -1,0 +1,8 @@
+(** Flatten the instance hierarchy into the main module. Child
+    declarations (and cover names — giving the hierarchical names of §3)
+    are prefixed with the instance path; annotations are retargeted, one
+    copy per instance. *)
+
+val pass_name : string
+val run : Sic_ir.Circuit.t -> Sic_ir.Circuit.t
+val pass : Pass.t

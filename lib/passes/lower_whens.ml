@@ -1,0 +1,155 @@
+(** Expand [when] blocks into multiplexed final connects (firrtl's
+    ExpandWhens). This is the lowering step the paper's Figure 2 refers to:
+    the dominating branch condition of each statement becomes an explicit
+    enable/select expression, which is precisely why line coverage must be
+    instrumented *before* this pass runs.
+
+    After this pass every module body consists of declarations, nodes,
+    exactly one connect per driven sink, and side-effect statements
+    (cover / cover-values / stop / printf) whose conditions carry their
+    original path predicate. *)
+
+open Sic_ir
+module SMap = Map.Make (String)
+
+let pass_name = "lower-whens"
+
+let error fmt = Pass.error ~pass:pass_name fmt
+
+type ctx = {
+  out : Stmt.t list ref;  (* reversed *)
+  mutable env : Expr.t SMap.t;  (* sink -> current driving expression *)
+  mutable order : string list;  (* sinks in first-assignment order, reversed *)
+  seen : (string, unit) Hashtbl.t;  (* sinks already in [order] *)
+  regs : (string, unit) Hashtbl.t;
+  scoped_wires : (string, Ty.t) Hashtbl.t;
+      (* wires declared inside a when: their value outside the declaring
+         branch is unobservable (FIRRTL scoping), so they may fall back to
+         zero instead of requiring a global default *)
+  ns : Namespace.t;
+  module_name : string;
+}
+
+let emit ctx s = ctx.out := s :: !(ctx.out)
+
+let assign ctx sink e =
+  if not (Hashtbl.mem ctx.seen sink) then begin
+    Hashtbl.replace ctx.seen sink ();
+    ctx.order <- sink :: ctx.order
+  end;
+  ctx.env <- SMap.add sink e ctx.env
+
+(* Value a conditionally-driven sink falls back to when a branch does not
+   drive it: registers hold their value; anything else must have been given
+   a default beforehand. *)
+let fallback ctx info sink =
+  match SMap.find_opt sink ctx.env with
+  | Some e -> e
+  | None -> (
+      if Hashtbl.mem ctx.regs sink then Expr.Ref sink
+      else
+        match Hashtbl.find_opt ctx.scoped_wires sink with
+        | Some ty ->
+            let w = Ty.width ty in
+            if Ty.is_signed ty then Expr.SIntLit (Sic_bv.Bv.zero w)
+            else Expr.UIntLit (Sic_bv.Bv.zero w)
+        | None ->
+            error "in %s%s: %s is driven conditionally but has no default"
+              ctx.module_name (Info.to_string info) sink)
+
+let rec process ctx (pred : Expr.t) (stmts : Stmt.t list) =
+  List.iter
+    (fun (s : Stmt.t) ->
+      match s with
+      | Stmt.Wire { name; ty; _ } ->
+          if not (Expr.equal pred Expr.true_) then Hashtbl.replace ctx.scoped_wires name ty;
+          emit ctx s
+      | Stmt.Node _ | Stmt.Mem _ | Stmt.Inst _ -> emit ctx s
+      | Stmt.Reg { name; _ } ->
+          Hashtbl.replace ctx.regs name ();
+          emit ctx s
+      | Stmt.Connect { loc; expr; _ } -> assign ctx loc expr
+      | Stmt.Cover { name; pred = p; info } ->
+          emit ctx (Stmt.Cover { name; pred = Expr.and_ pred p; info })
+      | Stmt.CoverValues { name; signal; en; info } ->
+          emit ctx (Stmt.CoverValues { name; signal; en = Expr.and_ pred en; info })
+      | Stmt.Stop { name; cond; exit_code; info } ->
+          emit ctx (Stmt.Stop { name; cond = Expr.and_ pred cond; exit_code; info })
+      | Stmt.Print { cond; message; args; info } ->
+          emit ctx (Stmt.Print { cond = Expr.and_ pred cond; message; args; info })
+      | Stmt.When { cond; then_; else_; info } ->
+          (* name the condition once so the generated mux trees share it *)
+          let cond_ref =
+            match cond with
+            | Expr.Ref _ | Expr.UIntLit _ -> cond
+            | _ ->
+                let n = Namespace.fresh ctx.ns "_WHEN" in
+                emit ctx (Stmt.Node { name = n; expr = cond; info });
+                Expr.Ref n
+          in
+          let before = ctx.env in
+          process ctx (Expr.and_ pred cond_ref) then_;
+          let then_env = ctx.env in
+          ctx.env <- before;
+          process ctx (Expr.and_ pred (Expr.Unop (Expr.Not, cond_ref))) else_;
+          let else_env = ctx.env in
+          ctx.env <- before;
+          (* merge: any sink whose binding changed in either branch becomes
+             a mux between the two branch values *)
+          let changed sink env' =
+            match (SMap.find_opt sink before, SMap.find_opt sink env') with
+            | Some a, Some b -> not (a == b)
+            | None, Some _ -> true
+            | _, None -> false
+          in
+          let touched =
+            SMap.fold (fun k _ acc -> if changed k then_env then k :: acc else acc) then_env []
+            @ SMap.fold
+                (fun k _ acc ->
+                  if changed k else_env && not (changed k then_env) then k :: acc else acc)
+                else_env []
+          in
+          (* keep deterministic order: first-assignment order within the when *)
+          let touched = List.rev touched in
+          List.iter
+            (fun sink ->
+              let tv =
+                match SMap.find_opt sink then_env with
+                | Some e -> e
+                | None -> fallback ctx info sink
+              in
+              let ev =
+                match SMap.find_opt sink else_env with
+                | Some e -> e
+                | None -> fallback ctx info sink
+              in
+              let merged = if Expr.equal tv ev then tv else Expr.Mux (cond_ref, tv, ev) in
+              assign ctx sink merged)
+            touched)
+    stmts
+
+let lower_module (m : Circuit.modul) : Circuit.modul =
+  let ctx =
+    {
+      out = ref [];
+      env = SMap.empty;
+      order = [];
+      seen = Hashtbl.create 16;
+      regs = Hashtbl.create 16;
+      scoped_wires = Hashtbl.create 16;
+      ns = Namespace.of_module m;
+      module_name = m.Circuit.module_name;
+    }
+  in
+  process ctx Expr.true_ m.Circuit.body;
+  let final_connects =
+    List.rev_map
+      (fun sink ->
+        Stmt.Connect { loc = sink; expr = SMap.find sink ctx.env; info = Info.unknown })
+      ctx.order
+  in
+  { m with Circuit.body = List.rev !(ctx.out) @ final_connects }
+
+let run (c : Circuit.t) = { c with Circuit.modules = List.map lower_module c.Circuit.modules }
+
+let pass = Pass.make pass_name run

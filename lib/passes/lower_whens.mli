@@ -1,0 +1,10 @@
+(** Expand [when] blocks into multiplexed final connects (firrtl's
+    ExpandWhens) — the lowering of Figure 2 that turns branch conditions
+    into explicit enables, which is why line coverage instruments *before*
+    this pass. After it, each driven sink has exactly one connect and
+    side-effect statements carry their path predicate. *)
+
+val pass_name : string
+val lower_module : Sic_ir.Circuit.modul -> Sic_ir.Circuit.modul
+val run : Sic_ir.Circuit.t -> Sic_ir.Circuit.t
+val pass : Pass.t

@@ -1,0 +1,27 @@
+(** The pass framework: a pass is a named circuit transformation; pipelines
+    compose them, mirroring firrtl's [Transform] sequences. *)
+
+open Sic_ir
+
+type t = { name : string; run : Circuit.t -> Circuit.t }
+
+exception Pass_error of { pass : string; message : string }
+
+let error ~pass fmt =
+  Printf.ksprintf (fun message -> raise (Pass_error { pass; message })) fmt
+
+let make name run = { name; run }
+
+let src = Logs.Src.create "sic.passes" ~doc:"SIC compiler passes"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let run_one (p : t) (c : Circuit.t) =
+  Log.debug (fun f -> f "running pass %s" p.name);
+  try p.run c with
+  | Pass_error _ as e -> raise e
+  | Circuit.Elaboration_error m -> error ~pass:p.name "%s" m
+  | Expr.Type_error m -> error ~pass:p.name "type error: %s" m
+
+let run_pipeline (passes : t list) (c : Circuit.t) =
+  List.fold_left (fun c p -> run_one p c) c passes

@@ -1,0 +1,16 @@
+(** The pass framework: named circuit transformations and pipelines,
+    mirroring firrtl's Transform sequences. *)
+
+open Sic_ir
+
+type t = { name : string; run : Circuit.t -> Circuit.t }
+
+exception Pass_error of { pass : string; message : string }
+
+val error : pass:string -> ('a, unit, string, 'b) format4 -> 'a
+val make : string -> (Circuit.t -> Circuit.t) -> t
+
+val run_one : t -> Circuit.t -> Circuit.t
+(** Wraps elaboration/type errors into {!Pass_error}. *)
+
+val run_pipeline : t list -> Circuit.t -> Circuit.t

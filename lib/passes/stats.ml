@@ -1,0 +1,122 @@
+(** Circuit statistics: sizes and construct counts, per module and total.
+    Used by the [sic stats] command and handy when sizing experiments
+    (e.g. picking SoC configurations for a target cover count). *)
+
+open Sic_ir
+
+type t = {
+  modules : int;
+  ports : int;
+  nodes : int;
+  wires : int;
+  regs : int;
+  reg_bits : int;
+  mems : int;
+  mem_bits : int;
+  instances : int;
+  whens : int;
+  connects : int;
+  covers : int;
+  cover_values : int;
+  ops : int;  (** primop applications in all expressions *)
+}
+
+let zero =
+  {
+    modules = 0;
+    ports = 0;
+    nodes = 0;
+    wires = 0;
+    regs = 0;
+    reg_bits = 0;
+    mems = 0;
+    mem_bits = 0;
+    instances = 0;
+    whens = 0;
+    connects = 0;
+    covers = 0;
+    cover_values = 0;
+    ops = 0;
+  }
+
+let rec expr_ops (e : Expr.t) =
+  match e with
+  | Expr.Ref _ | Expr.UIntLit _ | Expr.SIntLit _ -> 0
+  | Expr.Mux (a, b, c) -> 1 + expr_ops a + expr_ops b + expr_ops c
+  | Expr.Unop (_, a) | Expr.Intop (_, _, a) | Expr.Bits (a, _, _) -> 1 + expr_ops a
+  | Expr.Binop (_, a, b) -> 1 + expr_ops a + expr_ops b
+
+let of_module (m : Circuit.modul) : t =
+  let s = ref { zero with modules = 1; ports = List.length m.Circuit.ports } in
+  Stmt.iter
+    (fun st ->
+      let t = !s in
+      s :=
+        (match st with
+        | Stmt.Node { expr; _ } -> { t with nodes = t.nodes + 1; ops = t.ops + expr_ops expr }
+        | Stmt.Wire _ -> { t with wires = t.wires + 1 }
+        | Stmt.Reg { ty; reset; _ } ->
+            let extra =
+              match reset with
+              | Some (r, i) -> expr_ops r + expr_ops i
+              | None -> 0
+            in
+            { t with regs = t.regs + 1; reg_bits = t.reg_bits + Ty.width ty; ops = t.ops + extra }
+        | Stmt.Mem { mem; _ } ->
+            {
+              t with
+              mems = t.mems + 1;
+              mem_bits = t.mem_bits + (mem.Stmt.mem_depth * Ty.width mem.Stmt.mem_data);
+            }
+        | Stmt.Inst _ -> { t with instances = t.instances + 1 }
+        | Stmt.When { cond; _ } -> { t with whens = t.whens + 1; ops = t.ops + expr_ops cond }
+        | Stmt.Connect { expr; _ } ->
+            { t with connects = t.connects + 1; ops = t.ops + expr_ops expr }
+        | Stmt.Cover { pred; _ } -> { t with covers = t.covers + 1; ops = t.ops + expr_ops pred }
+        | Stmt.CoverValues { signal; en; _ } ->
+            { t with cover_values = t.cover_values + 1; ops = t.ops + expr_ops signal + expr_ops en }
+        | Stmt.Stop { cond; _ } -> { t with ops = t.ops + expr_ops cond }
+        | Stmt.Print { cond; args; _ } ->
+            { t with ops = t.ops + expr_ops cond + List.fold_left (fun a e -> a + expr_ops e) 0 args }))
+    m.Circuit.body;
+  !s
+
+let add a b =
+  {
+    modules = a.modules + b.modules;
+    ports = a.ports + b.ports;
+    nodes = a.nodes + b.nodes;
+    wires = a.wires + b.wires;
+    regs = a.regs + b.regs;
+    reg_bits = a.reg_bits + b.reg_bits;
+    mems = a.mems + b.mems;
+    mem_bits = a.mem_bits + b.mem_bits;
+    instances = a.instances + b.instances;
+    whens = a.whens + b.whens;
+    connects = a.connects + b.connects;
+    covers = a.covers + b.covers;
+    cover_values = a.cover_values + b.cover_values;
+    ops = a.ops + b.ops;
+  }
+
+let of_circuit (c : Circuit.t) : t =
+  List.fold_left (fun acc m -> add acc (of_module m)) zero c.Circuit.modules
+
+let render (c : Circuit.t) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-20s %6s %6s %6s %6s %8s %6s %8s %6s %6s %6s\n" "module" "ports"
+       "nodes" "wires" "regs" "reg bits" "mems" "mem bits" "whens" "covers" "ops");
+  List.iter
+    (fun m ->
+      let s = of_module m in
+      Buffer.add_string buf
+        (Printf.sprintf "%-20s %6d %6d %6d %6d %8d %6d %8d %6d %6d %6d\n"
+           m.Circuit.module_name s.ports s.nodes s.wires s.regs s.reg_bits s.mems s.mem_bits
+           s.whens s.covers s.ops))
+    c.Circuit.modules;
+  let s = of_circuit c in
+  Buffer.add_string buf
+    (Printf.sprintf "%-20s %6d %6d %6d %6d %8d %6d %8d %6d %6d %6d\n" "(total)" s.ports
+       s.nodes s.wires s.regs s.reg_bits s.mems s.mem_bits s.whens s.covers s.ops);
+  Buffer.contents buf

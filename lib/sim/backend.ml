@@ -1,0 +1,201 @@
+(** The backend interface of §3.
+
+    A backend simulates any synchronous low-form circuit and implements the
+    one extra primitive, [cover]: sample a 1-bit signal at the rising clock
+    edge and increment a saturating counter when it is true. At any point
+    the accumulated counts are available as a {!Sic_coverage.Counts.t} map
+    from cover name to count — the same format for every backend, which is
+    what makes reports, merging, removal and fuzz feedback
+    backend-agnostic. *)
+
+open Sic_ir
+module Bv = Sic_bv.Bv
+module Counts = Sic_coverage.Counts
+
+type t = {
+  backend_name : string;
+  circuit : Circuit.t;  (** the lowered circuit actually simulated *)
+  poke : string -> Bv.t -> unit;  (** drive an input port *)
+  peek : string -> Bv.t;  (** observe any named signal *)
+  step : int -> unit;  (** advance N rising clock edges *)
+  counts : unit -> Counts.t;  (** saturating cover counters, by name *)
+  cycles : unit -> int;
+  finished : unit -> bool;  (** a [stop] statement fired *)
+}
+
+exception Sim_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Sim_error s)) fmt
+
+(** Where [printf] statements write; tests may redirect it. *)
+let print_sink : (string -> unit) ref = ref print_string
+
+(** Saturating counter ceiling shared by the software backends: counts are
+    exact up to [2^62 - 1], far beyond any simulation length, but the type
+    is still "saturating" as §3 requires. *)
+let count_saturate = max_int
+
+let sat_incr c = if c >= count_saturate then c else c + 1
+
+(** Hold reset high for [cycles] (default 1) clock edges, then release. *)
+let reset_sequence ?(cycles = 1) (b : t) =
+  b.poke "reset" (Bv.one 1);
+  b.step cycles;
+  b.poke "reset" (Bv.zero 1)
+
+(** Input ports of the simulated circuit, except clock and reset. *)
+let data_inputs (b : t) =
+  let m = Circuit.main b.circuit in
+  List.filter_map
+    (fun (p : Circuit.port) ->
+      match p.Circuit.dir with
+      | Circuit.Input
+        when p.Circuit.port_name <> "clock" && p.Circuit.port_name <> "reset" ->
+          Some (p.Circuit.port_name, p.Circuit.port_ty)
+      | Circuit.Input | Circuit.Output -> None)
+    m.Circuit.ports
+
+let outputs (b : t) =
+  let m = Circuit.main b.circuit in
+  List.filter_map
+    (fun (p : Circuit.port) ->
+      match p.Circuit.dir with
+      | Circuit.Output -> Some (p.Circuit.port_name, p.Circuit.port_ty)
+      | Circuit.Input -> None)
+    m.Circuit.ports
+
+(** Shared preparation: lower to low form if needed and index the main
+    module's contents the way every software backend wants them. *)
+module Prep = struct
+  type mem_state = {
+    mem : Stmt.mem;
+    data : Bv.t array;
+    mutable latched_addrs : (string * Bv.t) list;
+        (** per sync read port: address captured at the last clock edge *)
+  }
+
+  type reg_info = { reg_name : string; reg_ty : Ty.t; reset : (Expr.t * Expr.t) option }
+
+  type prepared = {
+    low : Circuit.t;
+    main : Circuit.modul;
+    env : (string, Ty.t) Hashtbl.t;
+    drivers : (string, Expr.t) Hashtbl.t;  (** sink -> driving expression *)
+    node_defs : (string, Expr.t) Hashtbl.t;
+    regs : reg_info list;
+    mems : (string * mem_state) list;
+    covers : (string * Expr.t) list;  (** in declaration order *)
+    cover_values : (string * Expr.t * Expr.t * int) list;
+        (** name, signal, enable, signal width *)
+    stops : (string * Expr.t) list;
+    prints : (Expr.t * string * Expr.t list) list;
+        (** condition, message with [%d] placeholders, arguments *)
+    input_names : (string, int) Hashtbl.t;  (** name -> width *)
+  }
+
+  (** Substitute the argument values into a printf message ([%d] decimal,
+      [%x] hexadecimal, [%b] binary, [%%] literal). Shared by backends so
+      their output is identical. *)
+  let format_print (message : string) (args : Bv.t list) : string =
+    let buf = Buffer.create (String.length message + 16) in
+    let args = ref args in
+    let take () =
+      match !args with
+      | [] -> None
+      | a :: rest ->
+          args := rest;
+          Some a
+    in
+    let n = String.length message in
+    let i = ref 0 in
+    while !i < n do
+      (if message.[!i] = '%' && !i + 1 < n then begin
+         (match message.[!i + 1] with
+         | 'd' -> (
+             match take () with
+             | Some v -> Buffer.add_string buf (Bv.to_decimal_string v)
+             | None -> Buffer.add_string buf "%d")
+         | 'x' -> (
+             match take () with
+             | Some v -> Buffer.add_string buf (Bv.to_hex_string v)
+             | None -> Buffer.add_string buf "%x")
+         | 'b' -> (
+             match take () with
+             | Some v -> Buffer.add_string buf (Bv.to_binary_string v)
+             | None -> Buffer.add_string buf "%b")
+         | '%' -> Buffer.add_char buf '%'
+         | c ->
+             Buffer.add_char buf '%';
+             Buffer.add_char buf c);
+         incr i
+       end
+       else Buffer.add_char buf message.[!i]);
+      incr i
+    done;
+    Buffer.contents buf
+
+  let prepare (c : Circuit.t) : prepared =
+    let low = if Sic_passes.Compile.is_low_form c then c else Sic_passes.Compile.lower c in
+    let main = Circuit.main low in
+    let env = Circuit.build_env main in
+    let ty_of = Circuit.lookup_of env in
+    let drivers = Hashtbl.create 256 in
+    let node_defs = Hashtbl.create 256 in
+    let regs = ref [] in
+    let mems = ref [] in
+    let covers = ref [] in
+    let cover_values = ref [] in
+    let stops = ref [] in
+    let prints = ref [] in
+    Stmt.iter
+      (fun s ->
+        match s with
+        | Stmt.Node { name; expr; _ } -> Hashtbl.replace node_defs name expr
+        | Stmt.Connect { loc; expr; _ } -> Hashtbl.replace drivers loc expr
+        | Stmt.Reg { name; ty; reset; _ } ->
+            regs := { reg_name = name; reg_ty = ty; reset } :: !regs
+        | Stmt.Mem { mem; _ } ->
+            let w = Ty.width mem.Stmt.mem_data in
+            mems :=
+              ( mem.Stmt.mem_name,
+                {
+                  mem;
+                  data = Array.make mem.Stmt.mem_depth (Bv.zero w);
+                  latched_addrs =
+                    (if mem.Stmt.mem_read_latency > 0 then
+                       List.map
+                         (fun { Stmt.rp_name } ->
+                           (rp_name, Bv.zero (Ty.clog2 mem.Stmt.mem_depth)))
+                         mem.Stmt.mem_readers
+                     else []);
+                } )
+              :: !mems
+        | Stmt.Cover { name; pred; _ } -> covers := (name, pred) :: !covers
+        | Stmt.CoverValues { name; signal; en; _ } ->
+            cover_values := (name, signal, en, Ty.width (Expr.type_of ty_of signal)) :: !cover_values
+        | Stmt.Stop { name; cond; _ } -> stops := (name, cond) :: !stops
+        | Stmt.Print { cond; message; args; _ } -> prints := (cond, message, args) :: !prints
+        | Stmt.Wire _ | Stmt.Inst _ | Stmt.When _ -> ())
+      main.Circuit.body;
+    let input_names = Hashtbl.create 16 in
+    List.iter
+      (fun (p : Circuit.port) ->
+        match p.Circuit.dir with
+        | Circuit.Input -> Hashtbl.replace input_names p.Circuit.port_name (Ty.width p.Circuit.port_ty)
+        | Circuit.Output -> ())
+      main.Circuit.ports;
+    {
+      low;
+      main;
+      env;
+      drivers;
+      node_defs;
+      regs = List.rev !regs;
+      mems = List.rev !mems;
+      covers = List.rev !covers;
+      cover_values = List.rev !cover_values;
+      stops = List.rev !stops;
+      prints = List.rev !prints;
+      input_names;
+    }
+end

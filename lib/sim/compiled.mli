@@ -1,0 +1,19 @@
+(** Compiled simulator — the Verilator analogue (§3.2): the lowered
+    circuit is compiled once into a topologically-sorted tape of update
+    instructions over a flat value array. Higher start-up cost, much
+    higher steady-state throughput than the interpreter. *)
+
+type t
+(** A built simulation (shared with {!Essent}). *)
+
+val build : ?builtin_line:bool -> ?activity:bool -> Sic_ir.Circuit.t -> t
+(** [~builtin_line:true] reproduces a simulator with {e hard-coded} line
+    coverage (Verilator's native mode, the Figure 8 comparator): the same
+    instrumentation is performed internally by the simulator rather than
+    by an IR pass. Requires a high-form circuit. [~activity:true] enables
+    ESSENT-style conditional evaluation. *)
+
+val to_backend : name:string -> t -> Backend.t
+
+val create : ?builtin_line:bool -> Sic_ir.Circuit.t -> Backend.t
+(** [build] + [to_backend ~name:"compiled"]. *)

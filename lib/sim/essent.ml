@@ -1,0 +1,11 @@
+(** Activity-driven simulator — the ESSENT analogue (§3.5).
+
+    ESSENT accelerates RTL simulation by exploiting low activity factors:
+    logic whose inputs did not change since the previous cycle is not
+    re-evaluated. This backend shares the compiled tape of {!Compiled} and
+    turns on its conditional-evaluation mode; per the paper's narrative,
+    adding [cover] support to a fifth backend took hours, not weeks —
+    here it is literally the same counter code. *)
+
+let create (c : Sic_ir.Circuit.t) : Backend.t =
+  Compiled.to_backend ~name:"essent" (Compiled.build ~activity:true c)

@@ -1,0 +1,6 @@
+(** Activity-driven simulator — the ESSENT analogue (§3.5): shares the
+    compiled tape of {!Compiled} with conditional evaluation turned on
+    (instructions whose inputs did not change since the previous cycle
+    are skipped, exploiting low activity factors). *)
+
+val create : Sic_ir.Circuit.t -> Backend.t

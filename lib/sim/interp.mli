@@ -1,0 +1,8 @@
+(** Tree-walking IR interpreter — the Treadle analogue (§3.1): instant
+    start-up, reference semantics, native support for [cover],
+    [cover-values] and [stop]. Lazily evaluates signals per cycle with
+    memoization and detects combinational loops at evaluation time. *)
+
+val create : Sic_ir.Circuit.t -> Backend.t
+(** Accepts high-form circuits (lowers them internally) or low-form
+    circuits (used as-is). *)

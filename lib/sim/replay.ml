@@ -1,0 +1,84 @@
+(** Record-and-replay testbenches (§5.1 methodology).
+
+    [record] runs a stimulus program against a backend while capturing the
+    top-level inputs each cycle; [replay] plays a captured trace into any
+    backend — a minimal testbench that isolates raw simulation time from
+    stimulus generation, and the mechanism behind the cross-backend
+    "identical counts" tests. *)
+
+module Bv = Sic_bv.Bv
+
+type trace = {
+  input_names : string list;  (** includes reset *)
+  frames : Bv.t array array;  (** frames.(cycle).(input index) *)
+}
+
+let cycles (t : trace) = Array.length t.frames
+
+(** [record backend ~cycles drive] steps [backend] for [cycles] edges; each
+    cycle [drive backend cycle] is called first to poke inputs, then the
+    pre-edge input values are captured. *)
+let record (b : Backend.t) ~cycles (drive : Backend.t -> int -> unit) : trace =
+  let input_names =
+    "reset" :: List.map fst (Backend.data_inputs b)
+  in
+  let frames = Array.make cycles [||] in
+  for cycle = 0 to cycles - 1 do
+    drive b cycle;
+    frames.(cycle) <- Array.of_list (List.map b.Backend.peek input_names);
+    b.Backend.step 1
+  done;
+  { input_names; frames }
+
+(** Replay a trace from the beginning into a fresh backend instance.
+    Trace channels that are not inputs of the target (e.g. a full
+    waveform dump that also recorded outputs and registers) are
+    ignored. *)
+let replay (b : Backend.t) (t : trace) =
+  let pokable =
+    "reset" :: List.map fst (Backend.data_inputs b)
+  in
+  let names = Array.of_list t.input_names in
+  let keep = Array.map (fun n -> List.mem n pokable) names in
+  Array.iter
+    (fun frame ->
+      Array.iteri (fun i v -> if keep.(i) then b.Backend.poke names.(i) v) frame;
+      b.Backend.step 1)
+    t.frames
+
+(** Save / load a trace as a VCD file, so recorded workloads are ordinary
+    waveform artifacts. *)
+let save_vcd path (b : Backend.t) (t : trace) =
+  let widths =
+    List.map
+      (fun n ->
+        if n = "reset" then ("reset", 1)
+        else (n, Sic_ir.Ty.width (List.assoc n (Backend.data_inputs b))))
+      t.input_names
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let w = Vcd.create_writer oc ~scope:"replay" widths in
+      Array.iter
+        (fun frame ->
+          Vcd.sample w (List.mapi (fun i n -> (n, frame.(i))) t.input_names))
+        t.frames)
+
+let load_vcd path : trace =
+  let wave = Vcd.read_file path in
+  let input_names = List.map fst wave.Vcd.signals in
+  let frames =
+    Array.map
+      (fun assignment ->
+        Array.of_list
+          (List.map
+             (fun n ->
+               match List.assoc_opt n assignment with
+               | Some v -> v
+               | None -> Bv.zero 1)
+             input_names))
+      wave.Vcd.frames
+  in
+  { input_names; frames }

@@ -1,0 +1,22 @@
+(** Record-and-replay testbenches (§5.1): capture the top-level inputs of
+    a run once, then replay them into any backend — isolating raw
+    simulation time from stimulus generation, and providing the common
+    trace format the BMC backend emits witnesses in. *)
+
+module Bv = Sic_bv.Bv
+
+type trace = {
+  input_names : string list;  (** includes reset *)
+  frames : Bv.t array array;  (** frames.(cycle).(input index) *)
+}
+
+val cycles : trace -> int
+
+val record : Backend.t -> cycles:int -> (Backend.t -> int -> unit) -> trace
+(** Step the backend [cycles] edges; each cycle the driver pokes inputs
+    first, then the pre-edge input values are captured. *)
+
+val replay : Backend.t -> trace -> unit
+
+val save_vcd : string -> Backend.t -> trace -> unit
+val load_vcd : string -> trace

@@ -1,0 +1,31 @@
+(** Minimal VCD (Value Change Dump) writer and reader, for the recorded
+    replay testbenches of §5.1 (and for waveform artifacts generally). *)
+
+module Bv = Sic_bv.Bv
+
+type var = { var_name : string; var_width : int; code : string }
+
+val code_of_index : int -> string
+(** Printable VCD identifier codes. *)
+
+(** {1 Writer} *)
+
+type writer
+
+val create_writer : out_channel -> scope:string -> (string * int) list -> writer
+(** Emit the header; one [$var wire] per (name, width). *)
+
+val sample : writer -> (string * Bv.t) list -> unit
+(** Emit one timestep; only changed values are dumped. *)
+
+(** {1 Reader} *)
+
+type wave = {
+  signals : (string * int) list;
+  frames : (string * Bv.t) list array;  (** complete assignment per step *)
+}
+
+exception Vcd_error of string
+
+val read_string : string -> wave
+val read_file : string -> wave

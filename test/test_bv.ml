@@ -1,0 +1,185 @@
+(** Property tests for the arbitrary-width bitvector substrate. Checked
+    against OCaml's native integer arithmetic on widths <= 62 and against
+    algebraic identities on large widths. *)
+
+module Bv = Sic_bv.Bv
+
+let gen_width = QCheck.Gen.int_range 1 130
+
+let gen_bv =
+  QCheck.Gen.(
+    let* w = gen_width in
+    let+ bits = list_size (return (((w + 29) / 30) + 1)) (int_bound ((1 lsl 30) - 1)) in
+    let arr = Array.of_list bits in
+    let i = ref (-1) in
+    Bv.random ~width:w (fun () ->
+        incr i;
+        arr.(!i mod Array.length arr)))
+
+let arb_bv = QCheck.make ~print:(fun v -> Format.asprintf "%a" Bv.pp v) gen_bv
+
+let gen_small =
+  QCheck.Gen.(
+    let* w = int_range 1 60 in
+    let+ n = int_bound ((1 lsl min w 59) - 1) in
+    (w, n))
+
+let arb_small = QCheck.make ~print:(fun (w, n) -> Printf.sprintf "%d'd%d" w n) gen_small
+
+let t name count arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let mask w n = n land ((1 lsl w) - 1)
+
+let tests =
+  [
+    t "of_int/to_int round-trip" 500 arb_small (fun (w, n) ->
+        Bv.to_int (Bv.of_int ~width:w n) = Some n);
+    t "decimal string round-trip" 500 arb_bv (fun v ->
+        Bv.equal_value v (Bv.of_decimal_string ~width:(Bv.width v) (Bv.to_decimal_string v)));
+    t "binary string round-trip" 500 arb_bv (fun v ->
+        Bv.equal v (Bv.of_binary_string (Bv.to_binary_string v)) || Bv.width v = 0);
+    t "hex string round-trip" 500 arb_bv (fun v ->
+        Bv.equal_value v (Bv.of_hex_string ~width:(Bv.width v) (Bv.to_hex_string v)));
+    t "add matches int" 500 (QCheck.pair arb_small arb_small) (fun ((w1, a), (w2, b)) ->
+        let w = max w1 w2 + 1 in
+        if w > 60 then QCheck.assume_fail ()
+        else
+          Bv.to_int (Bv.add ~width:w (Bv.of_int ~width:w1 a) (Bv.of_int ~width:w2 b))
+          = Some (mask w (a + b)));
+    t "sub matches int" 500 (QCheck.pair arb_small arb_small) (fun ((w1, a), (w2, b)) ->
+        let w = max w1 w2 + 1 in
+        if w > 60 then QCheck.assume_fail ()
+        else
+          Bv.to_int (Bv.sub ~width:w (Bv.of_int ~width:w1 a) (Bv.of_int ~width:w2 b))
+          = Some (mask w (a - b)));
+    t "mul matches int" 500 (QCheck.pair arb_small arb_small) (fun ((w1, a), (w2, b)) ->
+        if w1 + w2 > 60 then QCheck.assume_fail ()
+        else
+          Bv.to_int (Bv.mul ~width:(w1 + w2) (Bv.of_int ~width:w1 a) (Bv.of_int ~width:w2 b))
+          = Some (a * b));
+    t "divmod matches int" 500 (QCheck.pair arb_small arb_small) (fun ((w1, a), (w2, b)) ->
+        let w = max w1 w2 in
+        let bb = Bv.of_int ~width:w2 b in
+        let aa = Bv.of_int ~width:w1 a in
+        if b = 0 then
+          Bv.to_int (Bv.div_u ~width:w aa bb) = Some 0
+          && Bv.to_int (Bv.rem_u ~width:w aa bb) = Some a
+        else
+          Bv.to_int (Bv.div_u ~width:w aa bb) = Some (a / b)
+          && Bv.to_int (Bv.rem_u ~width:w aa bb) = Some (a mod b));
+    t "wide divmod reconstructs" 300 (QCheck.pair arb_bv arb_bv) (fun (a, b) ->
+        if Bv.is_zero b then true
+        else begin
+          let w = max (Bv.width a) (Bv.width b) in
+          let q = Bv.div_u ~width:w a b and r = Bv.rem_u ~width:w a b in
+          (* a = q*b + r and r < b *)
+          let qb = Bv.mul ~width:(2 * w) q (Bv.extend_u b (2 * w)) in
+          let sum = Bv.add ~width:(2 * w) qb (Bv.extend_u r (2 * w)) in
+          Bv.equal_value sum (Bv.extend_u a (2 * w)) && Bv.compare_u r b < 0
+        end);
+    t "signed div truncates toward zero" 500 (QCheck.pair arb_small arb_small)
+      (fun ((w1, a), (w2, b)) ->
+        if w1 > 30 || w2 > 30 || b = 0 then QCheck.assume_fail ()
+        else begin
+          (* interpret the patterns as signed at their widths *)
+          let sa = if a lsr (w1 - 1) land 1 = 1 then a - (1 lsl w1) else a in
+          let sb = if b lsr (w2 - 1) land 1 = 1 then b - (1 lsl w2) else b in
+          if sb = 0 then true
+          else
+            let w = max w1 w2 + 1 in
+            let q =
+              Bv.div_s ~width:w (Bv.of_int ~width:w1 a) (Bv.of_int ~width:w2 b)
+            in
+            Bv.to_signed_int q = Some (sa / sb)
+        end);
+    t "concat then extract" 500 (QCheck.pair arb_bv arb_bv) (fun (hi, lo) ->
+        let c = Bv.concat hi lo in
+        Bv.width c = Bv.width hi + Bv.width lo
+        && (Bv.width lo = 0 || Bv.equal (Bv.extract ~hi:(Bv.width lo - 1) ~lo:0 c) lo)
+        && (Bv.width hi = 0
+           || Bv.equal (Bv.extract ~hi:(Bv.width c - 1) ~lo:(Bv.width lo) c) hi));
+    t "lognot involutive" 500 arb_bv (fun v ->
+        Bv.equal v (Bv.lognot ~width:(Bv.width v) (Bv.lognot ~width:(Bv.width v) v)));
+    t "xor self is zero" 500 arb_bv (fun v ->
+        Bv.is_zero (Bv.logxor ~width:(Bv.width v) v v));
+    t "shift left then right" 300 arb_bv (fun v ->
+        let w = Bv.width v in
+        let n = w / 3 in
+        let back = Bv.extend_u (Bv.shift_right_logical (Bv.shift_left ~width:(w + n) v n) n) w in
+        Bv.equal back v);
+    t "arith shift keeps sign" 300 arb_bv (fun v ->
+        let w = Bv.width v in
+        if w < 2 then true
+        else
+          let r = Bv.shift_right_arith v (w / 2) in
+          Bv.msb r = Bv.msb v);
+    t "popcount consistent with bits" 300 arb_bv (fun v ->
+        let n = ref 0 in
+        for i = 0 to Bv.width v - 1 do
+          if Bv.bit v i then incr n
+        done;
+        !n = Bv.popcount v);
+    t "compare_u total order vs decimal" 300 (QCheck.pair arb_bv arb_bv) (fun (a, b) ->
+        let cmp_dec =
+          let da = Bv.to_decimal_string a and db = Bv.to_decimal_string b in
+          compare (String.length da, da) (String.length db, db)
+        in
+        compare (Bv.compare_u a b) 0 = compare cmp_dec 0);
+    t "extend_s then to_signed round-trips" 300 arb_small (fun (w, n) ->
+        if w > 40 then QCheck.assume_fail ()
+        else begin
+          let sn = if n lsr (w - 1) land 1 = 1 then n - (1 lsl w) else n in
+          let v = Bv.of_int ~width:w n in
+          Bv.to_signed_int (Bv.extend_s v (w + 13)) = Some sn
+        end);
+    t "succ_saturating holds at ones" 300 arb_bv (fun v ->
+        let s = Bv.succ_saturating v in
+        if Bv.is_ones v then Bv.equal s v else Bv.compare_u s v > 0);
+    t "signed compare matches int" 500 (QCheck.pair arb_small arb_small)
+      (fun ((w1, a), (w2, b)) ->
+        if w1 > 30 || w2 > 30 then QCheck.assume_fail ()
+        else begin
+          let sa = if (a lsr (w1 - 1)) land 1 = 1 then a - (1 lsl w1) else a in
+          let sb = if (b lsr (w2 - 1)) land 1 = 1 then b - (1 lsl w2) else b in
+          let va = Bv.of_int ~width:w1 a and vb = Bv.of_int ~width:w2 b in
+          compare (Bv.compare_s va vb) 0 = compare (compare sa sb) 0
+        end);
+    t "arith shift matches int asr" 500 arb_small (fun (w, n) ->
+        if w > 40 then QCheck.assume_fail ()
+        else begin
+          let sn = if (n lsr (w - 1)) land 1 = 1 then n - (1 lsl w) else n in
+          let v = Bv.of_int ~width:w n in
+          List.for_all
+            (fun sh ->
+              Bv.to_signed_int (Bv.shift_right_arith v sh) = Some (sn asr sh))
+            [ 0; 1; w / 2; w - 1 ]
+        end);
+    t "dshl matches int shift" 300 arb_small (fun (w, n) ->
+        if w > 40 then QCheck.assume_fail ()
+        else begin
+          let v = Bv.of_int ~width:w n in
+          List.for_all
+            (fun sh ->
+              let r = Bv.dshl ~width:(w + 8) v (Bv.of_int ~width:4 sh) in
+              Bv.to_int r = Some ((n lsl sh) land ((1 lsl (w + 8)) - 1)))
+            [ 0; 1; 3; 7 ]
+        end);
+    t "dshr matches int shift" 300 arb_small (fun (w, n) ->
+        let v = Bv.of_int ~width:w n in
+        List.for_all
+          (fun sh ->
+            let r = Bv.dshr v (Bv.of_int ~width:8 sh) in
+            Bv.to_int r = Some (if sh >= w then 0 else n lsr sh))
+          [ 0; 1; w - 1; w; w + 5 ]);
+    t "head/tail partition" 300 arb_bv (fun v ->
+        let w = Bv.width v in
+        if w < 2 then true
+        else begin
+          let n = w / 2 in
+          Bv.equal (Bv.concat (Bv.head v n) (Bv.tail v n)) v
+        end);
+    t "mux selects" 300 (QCheck.pair arb_bv arb_bv) (fun (a, b) ->
+        let w = max (Bv.width a) (Bv.width b) in
+        let a = Bv.extend_u a w and b = Bv.extend_u b w in
+        Bv.equal (Bv.mux (Bv.one 1) a b) a && Bv.equal (Bv.mux (Bv.zero 1) a b) b);
+  ]

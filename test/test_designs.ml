@@ -1,0 +1,391 @@
+(** Functional tests for every benchmark design, run on the compiled
+    backend (the interpreter is covered by cross-backend equivalence
+    tests). *)
+
+module Bv = Sic_bv.Bv
+open Sic_sim
+
+let compiled c = Compiled.create (Sic_passes.Compile.lower c)
+
+let poke_int b name ~width v = b.Backend.poke name (Bv.of_int ~width v)
+let peek_int b name = Bv.to_int_trunc (b.Backend.peek name)
+
+let test_counter () =
+  let b = compiled (Sic_designs.Counter.circuit ~width:8 ~limit:3 ()) in
+  Backend.reset_sequence b;
+  poke_int b "en" ~width:1 1;
+  Alcotest.(check int) "starts at 0" 0 (peek_int b "value");
+  b.Backend.step 3;
+  Alcotest.(check int) "counts to 3" 3 (peek_int b "value");
+  Alcotest.(check int) "tick on limit" 1 (peek_int b "tick");
+  b.Backend.step 1;
+  Alcotest.(check int) "wraps" 0 (peek_int b "value");
+  poke_int b "en" ~width:1 0;
+  b.Backend.step 5;
+  Alcotest.(check int) "holds when disabled" 0 (peek_int b "value")
+
+let test_fifo () =
+  let b = compiled (Sic_designs.Fifo.circuit ~width:8 ~depth:4 ()) in
+  Backend.reset_sequence b;
+  (* fill completely *)
+  poke_int b "io_enq_valid" ~width:1 1;
+  poke_int b "io_deq_ready" ~width:1 0;
+  List.iteri
+    (fun i v ->
+      poke_int b "io_enq_bits" ~width:8 v;
+      Alcotest.(check int) (Printf.sprintf "ready while filling %d" i) 1 (peek_int b "io_enq_ready");
+      b.Backend.step 1)
+    [ 11; 22; 33; 44 ];
+  Alcotest.(check int) "full: not ready" 0 (peek_int b "io_enq_ready");
+  Alcotest.(check int) "count 4" 4 (peek_int b "io_count");
+  (* drain in order *)
+  poke_int b "io_enq_valid" ~width:1 0;
+  poke_int b "io_deq_ready" ~width:1 1;
+  List.iter
+    (fun v ->
+      Alcotest.(check int) "valid while draining" 1 (peek_int b "io_deq_valid");
+      Alcotest.(check int) "fifo order" v (peek_int b "io_deq_bits");
+      b.Backend.step 1)
+    [ 11; 22; 33; 44 ];
+  Alcotest.(check int) "empty: not valid" 0 (peek_int b "io_deq_valid");
+  Alcotest.(check int) "count 0" 0 (peek_int b "io_count")
+
+let test_tlram () =
+  let b = compiled (Sic_designs.Tlram.circuit ~addr_bits:4 ()) in
+  Backend.reset_sequence b;
+  let request ~put ~addr ~data =
+    poke_int b "io_a_valid" ~width:1 1;
+    poke_int b "io_a_bits" ~width:37 ((data lsl 5) lor (addr lsl 1) lor if put then 1 else 0);
+    poke_int b "io_d_ready" ~width:1 1;
+    b.Backend.step 1;
+    poke_int b "io_a_valid" ~width:1 0;
+    let rec wait n =
+      if n = 0 then Alcotest.fail "no response"
+      else if peek_int b "io_d_valid" = 1 then begin
+        let bits = peek_int b "io_d_bits" in
+        b.Backend.step 1;
+        bits
+      end
+      else begin
+        b.Backend.step 1;
+        wait (n - 1)
+      end
+    in
+    wait 10
+  in
+  let resp = request ~put:true ~addr:3 ~data:0xBEEF in
+  Alcotest.(check int) "put response opcode" 1 (resp lsr 32);
+  let resp = request ~put:false ~addr:3 ~data:0 in
+  Alcotest.(check int) "get returns written data" 0xBEEF (resp land 0xFFFFFFFF);
+  let resp = request ~put:false ~addr:5 ~data:0 in
+  Alcotest.(check int) "unwritten word is zero" 0 (resp land 0xFFFFFFFF)
+
+let test_serv () =
+  let b = compiled (Sic_designs.Serv.circuit ()) in
+  Backend.reset_sequence b;
+  let execute op a bb =
+    poke_int b "io_req_valid" ~width:1 1;
+    b.Backend.poke "io_req_bits"
+      (Bv.logor ~width:67
+         (Bv.shift_left ~width:67 (Bv.of_int ~width:67 bb) 35)
+         (Bv.logor ~width:67
+            (Bv.shift_left ~width:67 (Bv.of_int ~width:67 a) 3)
+            (Bv.of_int ~width:67 op)));
+    poke_int b "io_resp_ready" ~width:1 1;
+    b.Backend.step 1;
+    poke_int b "io_req_valid" ~width:1 0;
+    let rec wait n =
+      if n = 0 then Alcotest.fail "serv did not finish"
+      else if peek_int b "io_resp_valid" = 1 then begin
+        let v = peek_int b "io_resp_bits" in
+        b.Backend.step 1;
+        v
+      end
+      else begin
+        b.Backend.step 1;
+        wait (n - 1)
+      end
+    in
+    wait 100
+  in
+  Alcotest.(check int) "serial add" ((0xDEAD + 0xBEEF) land 0xFFFFFFFF) (execute 0 0xDEAD 0xBEEF);
+  Alcotest.(check int) "serial sub" 0x1111 (execute 1 0x2345 0x1234);
+  Alcotest.(check int) "serial and" (0xFF00 land 0x0FF0) (execute 2 0xFF00 0x0FF0);
+  Alcotest.(check int) "serial or" (0xFF00 lor 0x0FF0) (execute 3 0xFF00 0x0FF0);
+  Alcotest.(check int) "serial xor" (0xFF00 lxor 0x0FF0) (execute 4 0xFF00 0x0FF0)
+
+let test_neuroproc () =
+  let b = compiled (Sic_designs.Neuroproc.circuit ~neurons:8 ~threshold:40 ~leak:1 ~weight:24 ()) in
+  Backend.reset_sequence b;
+  poke_int b "enable" ~width:1 1;
+  poke_int b "in_spikes" ~width:8 0b00000001;
+  (* neuron 0 gains 24 - 1 per cycle; it must cross 40 and fire within a
+     few cycles, and only neuron 0 may ever fire *)
+  let fired = ref 0 in
+  for _ = 1 to 16 do
+    b.Backend.step 1;
+    fired := !fired lor peek_int b "out_spikes"
+  done;
+  Alcotest.(check int) "exactly neuron 0 fired" 1 !fired;
+  (* without input the potential leaks away and firing stops for good *)
+  poke_int b "in_spikes" ~width:8 0;
+  b.Backend.step 64;
+  let still = ref 0 in
+  for _ = 1 to 16 do
+    b.Backend.step 1;
+    still := !still lor peek_int b "out_spikes"
+  done;
+  Alcotest.(check int) "firing stops after decay" 0 !still
+
+let test_uart_loopback () =
+  let b = compiled (Sic_designs.Uart.circuit ~div:4 ()) in
+  Backend.reset_sequence b;
+  poke_int b "loopback" ~width:1 1;
+  poke_int b "rxd" ~width:1 1;
+  poke_int b "io_out_ready" ~width:1 1;
+  poke_int b "io_in_valid" ~width:1 1;
+  poke_int b "io_in_bits" ~width:8 0xA5;
+  b.Backend.step 1;
+  poke_int b "io_in_valid" ~width:1 0;
+  let rec wait n =
+    if n = 0 then Alcotest.fail "uart: no byte received"
+    else if peek_int b "io_out_valid" = 1 then peek_int b "io_out_bits"
+    else begin
+      b.Backend.step 1;
+      wait (n - 1)
+    end
+  in
+  Alcotest.(check int) "loopback byte" 0xA5 (wait 500)
+
+let test_i2c () =
+  let b = compiled (Sic_designs.I2c.circuit ~div:2 ()) in
+  Backend.reset_sequence b;
+  poke_int b "sda_in" ~width:1 0;
+  (* slave acks *)
+  poke_int b "io_resp_ready" ~width:1 1;
+  poke_int b "io_cmd_valid" ~width:1 1;
+  (* write to address 0x42, data 0x55 *)
+  poke_int b "io_cmd_bits" ~width:16 ((0x42 lsl 9) lor 0x55);
+  b.Backend.step 1;
+  poke_int b "io_cmd_valid" ~width:1 0;
+  Alcotest.(check int) "busy during transaction" 1 (peek_int b "busy");
+  let rec wait n =
+    if n = 0 then Alcotest.fail "i2c: transaction never completed"
+    else if peek_int b "busy" = 0 then ()
+    else begin
+      b.Backend.step 1;
+      wait (n - 1)
+    end
+  in
+  wait 500;
+  Alcotest.(check int) "acked write: no nack" 0 (peek_int b "nack_seen")
+
+(* run a small program: sum 1..5 into x3, store to dmem[2], load back into
+   x4, then loop forever *)
+let riscv_program =
+  let open Sic_designs.Riscv_mini in
+  [
+    addi 1 0 5;
+    (* x1 = 5 *)
+    addi 2 0 0;
+    (* x2 = 0 (counter) *)
+    addi 3 0 0;
+    (* x3 = 0 (sum) *)
+    (* loop: *)
+    add 3 3 2;
+    (* x3 += x2 *)
+    addi 2 2 1;
+    (* x2 += 1 *)
+    bne 2 1 (-8);
+    (* while x2 != x1 : adds 0+1+2+3+4 = 10... *)
+    add 3 3 1;
+    (* x3 += 5 -> 15 *)
+    sw 3 0 8;
+    (* dmem[2] = x3 *)
+    lw 4 0 8;
+    (* x4 = dmem[2] *)
+    jal 0 0;
+    (* spin *)
+  ]
+
+let load_program b program =
+  List.iteri
+    (fun i inst ->
+      poke_int b "iload_en" ~width:1 1;
+      poke_int b "iload_addr" ~width:6 i;
+      b.Backend.poke "iload_data" (Bv.of_int ~width:32 inst);
+      b.Backend.step 1)
+    program;
+  poke_int b "iload_en" ~width:1 0
+
+let test_riscv_mini () =
+  let low = Sic_passes.Compile.lower (Sic_designs.Riscv_mini.circuit ()) in
+  let b = Compiled.create low in
+  Backend.reset_sequence b;
+  poke_int b "run" ~width:1 0;
+  load_program b riscv_program;
+  poke_int b "run" ~width:1 1;
+  b.Backend.step 400;
+  (* the program stored 1+2+3+4+5 = 15 to dmem word 2 and spins *)
+  poke_int b "dbg_addr" ~width:6 2;
+  Alcotest.(check int) "dmem[2] = sum 1..5" 15 (peek_int b "dbg_data");
+  (* the final jal spins at pc = 9*4 = 36 *)
+  Alcotest.(check int) "pc spinning on jal" 36 (peek_int b "pc_out")
+
+let test_arbiter () =
+  let b = compiled (Sic_designs.Arbiter.circuit ~ports:4 ~width:8 ()) in
+  Backend.reset_sequence b;
+  poke_int b "io_out_ready" ~width:1 1;
+  (* all four request with distinct payloads *)
+  for i = 0 to 3 do
+    poke_int b (Printf.sprintf "io_in%d_valid" i) ~width:1 1;
+    poke_int b (Printf.sprintf "io_in%d_bits" i) ~width:8 (10 * (i + 1))
+  done;
+  (* round-robin: last resets to 3, so the order is 0, 1, 2, 3, 0, ... *)
+  let grants = ref [] in
+  for _ = 1 to 8 do
+    Alcotest.(check int) "output valid under full load" 1 (peek_int b "io_out_valid");
+    grants := peek_int b "io_chosen" :: !grants;
+    Alcotest.(check int) "payload follows winner"
+      (10 * (peek_int b "io_chosen" + 1))
+      (peek_int b "io_out_bits");
+    b.Backend.step 1
+  done;
+  Alcotest.(check (list int)) "fair rotation" [ 0; 1; 2; 3; 0; 1; 2; 3 ] (List.rev !grants);
+  (* only requester 2 valid: it gets served regardless of rotation *)
+  for i = 0 to 3 do
+    poke_int b (Printf.sprintf "io_in%d_valid" i) ~width:1 (if i = 2 then 1 else 0)
+  done;
+  b.Backend.step 1;
+  Alcotest.(check int) "solo requester wins" 2 (peek_int b "io_chosen");
+  Alcotest.(check int) "solo requester ready" 1 (peek_int b "io_in2_ready");
+  Alcotest.(check int) "others not ready" 0 (peek_int b "io_in0_ready");
+  (* nobody valid: output idles *)
+  for i = 0 to 3 do
+    poke_int b (Printf.sprintf "io_in%d_valid" i) ~width:1 0
+  done;
+  b.Backend.step 1;
+  Alcotest.(check int) "idle when no requests" 0 (peek_int b "io_out_valid")
+
+let test_matmul () =
+  let n = 3 in
+  let b = compiled (Sic_designs.Matmul.circuit ~n ~width:8 ()) in
+  Backend.reset_sequence b;
+  let a_mat = [| [| 1; 2; 3 |]; [| 4; 5; 6 |]; [| 7; 8; 9 |] |] in
+  let b_mat = [| [| 9; 8; 7 |]; [| 6; 5; 4 |]; [| 3; 2; 1 |] |] in
+  (* stream A then B *)
+  poke_int b "io_result_ready" ~width:1 0;
+  let feed v =
+    poke_int b "io_load_valid" ~width:1 1;
+    poke_int b "io_load_bits" ~width:8 v;
+    let rec wait k =
+      if k = 0 then Alcotest.fail "load never accepted"
+      else if peek_int b "io_load_ready" = 1 then b.Backend.step 1
+      else begin
+        b.Backend.step 1;
+        wait (k - 1)
+      end
+    in
+    wait 50
+  in
+  Array.iter (fun row -> Array.iter feed row) a_mat;
+  Array.iter (fun row -> Array.iter feed row) b_mat;
+  poke_int b "io_load_valid" ~width:1 0;
+  (* wait for drain, then read n*n results *)
+  poke_int b "io_result_ready" ~width:1 1;
+  let read () =
+    let rec wait k =
+      if k = 0 then Alcotest.fail "no result"
+      else if peek_int b "io_result_valid" = 1 then begin
+        let v = peek_int b "io_result_bits" in
+        b.Backend.step 1;
+        v
+      end
+      else begin
+        b.Backend.step 1;
+        wait (k - 1)
+      end
+    in
+    wait 100
+  in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let expected = ref 0 in
+      for k = 0 to n - 1 do
+        expected := !expected + (a_mat.(i).(k) * b_mat.(k).(j))
+      done;
+      Alcotest.(check int) (Printf.sprintf "C[%d][%d]" i j) !expected (read ())
+    done
+  done;
+  Alcotest.(check int) "back to idle" 0 (peek_int b "busy")
+
+let test_memsys () =
+  let p = Sic_designs.Memsys.default_params in
+  let aw = p.Sic_designs.Memsys.index_bits + p.Sic_designs.Memsys.tag_bits in
+  let b = compiled (Sic_designs.Memsys.circuit ()) in
+  Backend.reset_sequence b;
+  poke_int b "io_resp_ready" ~width:1 1;
+  let transact ~rw ~addr ~data =
+    poke_int b "io_req_valid" ~width:1 1;
+    b.Backend.poke "io_req_bits"
+      (Bv.of_int ~width:(1 + aw + 32) ((data lsl (aw + 1)) lor (rw lsl aw) lor addr));
+    let rec accept k =
+      if k = 0 then Alcotest.fail "request never accepted"
+      else if peek_int b "io_req_ready" = 1 then b.Backend.step 1
+      else begin
+        b.Backend.step 1;
+        accept (k - 1)
+      end
+    in
+    accept 100;
+    poke_int b "io_req_valid" ~width:1 0;
+    let start = b.Backend.cycles () in
+    let rec wait k =
+      if k = 0 then Alcotest.fail "no response"
+      else if peek_int b "io_resp_valid" = 1 then begin
+        let v = peek_int b "io_resp_bits" in
+        b.Backend.step 1;
+        (v, b.Backend.cycles () - start)
+      end
+      else begin
+        b.Backend.step 1;
+        wait (k - 1)
+      end
+    in
+    wait 100
+  in
+  (* write 0xCAFE to address 9 (write-through: a miss-path DRAM access) *)
+  let _, _ = transact ~rw:1 ~addr:9 ~data:0xCAFE in
+  (* first read: miss, slow (DRAM latency) *)
+  let v1, t_miss = transact ~rw:0 ~addr:9 ~data:0 in
+  Alcotest.(check int) "read returns written value" 0xCAFE v1;
+  (* second read: hit, fast *)
+  let v2, t_hit = transact ~rw:0 ~addr:9 ~data:0 in
+  Alcotest.(check int) "hit returns same value" 0xCAFE v2;
+  Alcotest.(check bool)
+    (Printf.sprintf "hit (%d cyc) much faster than miss (%d cyc)" t_hit t_miss)
+    true
+    (t_hit + 4 <= t_miss);
+  Alcotest.(check int) "one hit counted" 1 (peek_int b "hit_count");
+  (* conflicting index with a different tag evicts: read addr 9 + 2^index_bits *)
+  let conflict = 9 + (1 lsl p.Sic_designs.Memsys.index_bits) in
+  let v3, _ = transact ~rw:0 ~addr:conflict ~data:0 in
+  Alcotest.(check int) "unwritten dram word is zero" 0 v3;
+  let v4, t4 = transact ~rw:0 ~addr:9 ~data:0 in
+  Alcotest.(check int) "evicted line refetches correct data" 0xCAFE v4;
+  Alcotest.(check bool) "refetch is a miss again" true (t4 >= t_miss - 2)
+
+let tests =
+  [
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "arbiter round-robin" `Quick test_arbiter;
+    Alcotest.test_case "matmul accelerator" `Quick test_matmul;
+    Alcotest.test_case "memsys: cache + dram" `Quick test_memsys;
+    Alcotest.test_case "fifo" `Quick test_fifo;
+    Alcotest.test_case "tlram" `Quick test_tlram;
+    Alcotest.test_case "serv" `Quick test_serv;
+    Alcotest.test_case "neuroproc" `Quick test_neuroproc;
+    Alcotest.test_case "uart loopback" `Quick test_uart_loopback;
+    Alcotest.test_case "i2c transaction" `Quick test_i2c;
+    Alcotest.test_case "riscv-mini program" `Quick test_riscv_mini;
+  ]

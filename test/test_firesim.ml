@@ -1,0 +1,197 @@
+(** Tests for the FPGA-accelerated coverage path: scan-chain insertion must
+    preserve circuit behaviour and the scanned-out counts must equal a
+    software backend's counts exactly (§3.3: "the exact same coverage
+    information as provided by the software simulators"). *)
+
+module Bv = Sic_bv.Bv
+module Counts = Sic_coverage.Counts
+module Scan = Sic_firesim.Scan_chain
+module Driver = Sic_firesim.Driver
+module Rm = Sic_firesim.Resource_model
+open Helpers
+open Sic_sim
+
+let instrumented_gcd () =
+  let c, _db = Sic_coverage.Line_coverage.instrument (gcd_circuit ()) in
+  Sic_passes.Compile.lower c
+
+let test_scan_chain_counts_match () =
+  let low = instrumented_gcd () in
+  (* reference: native software counts *)
+  let ref_b = Compiled.create low in
+  ignore (run_gcd ref_b 270 192);
+  let expected = ref_b.Backend.counts () in
+  (* scan-chain version of the same circuit, wide-enough counters *)
+  let chained, chain = Scan.insert ~width:16 low in
+  let b = Compiled.create chained in
+  let { Driver.counts; scan_cycles } =
+    Driver.run_and_scan b chain ~workload:(fun b -> ignore (run_gcd b 270 192))
+  in
+  Alcotest.(check int) "scan cost = points x width"
+    (16 * List.length chain.Scan.order)
+    scan_cycles;
+  Alcotest.(check bool) "scanned counts equal software counts" true
+    (Counts.equal counts expected)
+
+let test_scan_chain_saturates () =
+  let low = instrumented_gcd () in
+  let chained, chain = Scan.insert ~width:2 low in
+  let b = Compiled.create chained in
+  let { Driver.counts; _ } =
+    Driver.run_and_scan b chain ~workload:(fun b ->
+        ignore (run_gcd b 270 192);
+        ignore (run_gcd b 270 192))
+  in
+  (* 2-bit counters cap at 3 *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s <= 3" name)
+        true
+        (Counts.get counts name <= 3))
+    chain.Scan.order;
+  Alcotest.(check bool) "something saturated" true
+    (List.exists (fun n -> Counts.get counts n = 3) chain.Scan.order)
+
+let test_scan_chain_preserves_behaviour () =
+  let low = instrumented_gcd () in
+  let chained, _ = Scan.insert ~width:8 low in
+  let b = Compiled.create chained in
+  b.Backend.poke Scan.scan_en_port (Bv.zero 1);
+  b.Backend.poke Scan.scan_in_port (Bv.zero 1);
+  Alcotest.(check int) "gcd still computes through the chain pass" 6 (run_gcd b 270 192)
+
+let test_scan_mixed_metrics () =
+  (* scan-chain counters work the same for any metric's covers: instrument
+     with line + fsm + ready/valid together and compare against software *)
+  let c, _ = Sic_coverage.Line_coverage.instrument (Sic_designs.Uart.circuit ()) in
+  let low = Sic_passes.Compile.lower c in
+  let low, _ = Sic_coverage.Fsm_coverage.instrument low in
+  let low, _ = Sic_coverage.Ready_valid_coverage.instrument low in
+  let drive (b : Backend.t) =
+    Backend.reset_sequence b;
+    b.Backend.poke "loopback" (Bv.one 1);
+    b.Backend.poke "rxd" (Bv.one 1);
+    b.Backend.poke "io_out_ready" (Bv.one 1);
+    b.Backend.poke "io_in_valid" (Bv.one 1);
+    b.Backend.poke "io_in_bits" (Bv.of_int ~width:8 0x3C);
+    b.Backend.step 300
+  in
+  let ref_b = Compiled.create low in
+  drive ref_b;
+  let chained, chain = Scan.insert ~width:12 low in
+  let fb = Compiled.create chained in
+  let r = Driver.run_and_scan fb chain ~workload:drive in
+  Alcotest.(check bool) "mixed-metric scan equals software" true
+    (Counts.equal r.Driver.counts (ref_b.Backend.counts ()))
+
+let test_resource_model_shape () =
+  let low = lower (Sic_designs.Soc.circuit Sic_designs.Soc.rocket_config) in
+  let base = Rm.baseline low in
+  Alcotest.(check bool) "baseline nonzero" true (base.Rm.luts > 0 && base.Rm.ffs > 0);
+  let n_covers = 5000 in
+  let prev_luts = ref 0 in
+  (* LUTs grow monotonically (and linearly) with counter width *)
+  List.iter
+    (fun w ->
+      let u = Rm.with_coverage base ~n_covers ~width:w in
+      Alcotest.(check bool) (Printf.sprintf "monotone at width %d" w) true (u.Rm.luts > !prev_luts);
+      prev_luts := u.Rm.luts;
+      if w > 0 then
+        Alcotest.(check int)
+          (Printf.sprintf "counter FFs at width %d" w)
+          (n_covers * w) u.Rm.counter_ffs)
+    [ 1; 2; 4; 8; 16; 32; 48 ];
+  (* fmax degrades (beyond noise) for very wide counters *)
+  let f_small = Rm.fmax ~base_mhz:65.0 ~u:(Rm.with_coverage base ~n_covers ~width:1) ~seed:1 ~width:1 in
+  let f_large = Rm.fmax ~base_mhz:65.0 ~u:(Rm.with_coverage base ~n_covers:12000 ~width:48) ~seed:1 ~width:48 in
+  Alcotest.(check bool) "wide counters cost frequency" true (f_large < f_small)
+
+let test_scan_pause_freezes_target () =
+  (* while scan_en is high the target must be frozen: registers hold *)
+  let c, _db = Sic_coverage.Line_coverage.instrument (Sic_designs.Counter.circuit ()) in
+  let low = Sic_passes.Compile.lower c in
+  let chained, _chain = Scan.insert ~width:8 low in
+  let b = Compiled.create chained in
+  Backend.reset_sequence b;
+  b.Backend.poke Scan.scan_en_port (Bv.zero 1);
+  b.Backend.poke "en" (Bv.one 1);
+  b.Backend.step 5;
+  let v = Bv.to_int_trunc (b.Backend.peek "value") in
+  b.Backend.poke Scan.scan_en_port (Bv.one 1);
+  b.Backend.step 20;
+  Alcotest.(check int) "counter frozen during scan" v (Bv.to_int_trunc (b.Backend.peek "value"));
+  b.Backend.poke Scan.scan_en_port (Bv.zero 1);
+  b.Backend.step 1;
+  Alcotest.(check int) "resumes after scan" (v + 1) (Bv.to_int_trunc (b.Backend.peek "value"))
+
+let test_periodic_scan_accumulates () =
+  (* 3-bit counters scanned every 6 cycles accumulate exact totals that a
+     direct run with wide counters would produce *)
+  let low = instrumented_gcd () in
+  let ref_b = Compiled.create low in
+  let drive (b : Backend.t) cycle =
+    b.Backend.poke "reset" (Bv.of_bool (cycle = 0));
+    b.Backend.poke "io_out_ready" (Bv.one 1);
+    if cycle mod 17 = 1 then begin
+      b.Backend.poke "io_in_valid" (Bv.one 1);
+      b.Backend.poke "io_in_bits" (Bv.of_int ~width:32 ((24 lsl 16) lor 36))
+    end
+    else b.Backend.poke "io_in_valid" (Bv.zero 1)
+  in
+  let total_cycles = 60 in
+  for c = 0 to total_cycles - 1 do
+    drive ref_b c;
+    ref_b.Backend.step 1
+  done;
+  let expected = ref_b.Backend.counts () in
+  let chained, chain = Scan.insert ~width:3 low in
+  let b = Compiled.create chained in
+  b.Backend.poke Scan.scan_en_port (Bv.zero 1);
+  b.Backend.poke Scan.scan_in_port (Bv.zero 1);
+  let r = Driver.run_with_periodic_scan b chain ~period:6 ~total_cycles ~drive in
+  Alcotest.(check bool) "periodic small-counter scan equals wide counters" true
+    (Counts.equal r.Driver.counts expected)
+
+let test_toggle_edges () =
+  (* a signal driven 0,1,1,0 has exactly one rising and one falling edge *)
+  let cb = Sic_ir.Dsl.create_circuit "Edge" in
+  Sic_ir.Dsl.module_ cb "Edge" (fun m ->
+      let open Sic_ir.Dsl in
+      let x = input m "x" (Sic_ir.Ty.UInt 1) in
+      let out = output m "out" (Sic_ir.Ty.UInt 1) in
+      connect m out x);
+  let low = Sic_passes.Compile.lower (Sic_ir.Dsl.finalize cb) in
+  let low, db = Sic_coverage.Toggle_coverage.instrument ~edges:true low in
+  let b = Compiled.create low in
+  List.iter
+    (fun v ->
+      b.Backend.poke "x" (Bv.of_int ~width:1 v);
+      b.Backend.step 1)
+    [ 0; 1; 1; 0; 0 ];
+  let counts = b.Backend.counts () in
+  let find edge =
+    List.find
+      (fun (p : Sic_coverage.Toggle_coverage.point) ->
+        p.Sic_coverage.Toggle_coverage.edge = edge
+        && p.Sic_coverage.Toggle_coverage.signal = "x")
+      db.Sic_coverage.Toggle_coverage.points
+  in
+  let rise = find Sic_coverage.Toggle_coverage.Rising in
+  let fall = find Sic_coverage.Toggle_coverage.Falling in
+  Alcotest.(check int) "one rising edge" 1
+    (Counts.get counts rise.Sic_coverage.Toggle_coverage.cover_name);
+  Alcotest.(check int) "one falling edge" 1
+    (Counts.get counts fall.Sic_coverage.Toggle_coverage.cover_name)
+
+let tests =
+  [
+    Alcotest.test_case "scan-out equals software counts" `Quick test_scan_chain_counts_match;
+    Alcotest.test_case "scan pause freezes target" `Quick test_scan_pause_freezes_target;
+    Alcotest.test_case "periodic small-counter scan" `Quick test_periodic_scan_accumulates;
+    Alcotest.test_case "toggle rising/falling edges" `Quick test_toggle_edges;
+    Alcotest.test_case "mixed-metric scan chain" `Quick test_scan_mixed_metrics;
+    Alcotest.test_case "narrow counters saturate" `Quick test_scan_chain_saturates;
+    Alcotest.test_case "chain preserves behaviour" `Quick test_scan_chain_preserves_behaviour;
+    Alcotest.test_case "resource model shape" `Quick test_resource_model_shape;
+  ]

@@ -1,0 +1,381 @@
+(** Tests for the formal backend: the CDCL SAT solver (against brute
+    force), the bit-blaster (against the reference evaluator), and BMC
+    cover-trace generation including the §5.5 riscv-mini experiment. *)
+
+module Bv = Sic_bv.Bv
+module Sat = Sic_formal.Sat
+module Gate = Sic_formal.Gate
+module Bmc = Sic_formal.Bmc
+open Helpers
+open Sic_ir
+
+(* --- SAT solver ----------------------------------------------------- *)
+
+let test_sat_basics () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [ a; b ];
+  Sat.add_clause s [ -a; b ];
+  Alcotest.(check bool) "sat" true (Sat.solve s = Sat.Sat);
+  Alcotest.(check bool) "b true in model" true (Sat.value s b);
+  Sat.add_clause s [ -b ];
+  Alcotest.(check bool) "now unsat" true (Sat.solve s = Sat.Unsat)
+
+let test_sat_pigeonhole () =
+  (* 4 pigeons in 3 holes: classic small UNSAT instance *)
+  let s = Sat.create () in
+  let v = Array.init 4 (fun _ -> Array.init 3 (fun _ -> Sat.new_var s)) in
+  Array.iter (fun row -> Sat.add_clause s (Array.to_list row)) v;
+  for h = 0 to 2 do
+    for p1 = 0 to 3 do
+      for p2 = p1 + 1 to 3 do
+        Sat.add_clause s [ -v.(p1).(h); -v.(p2).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "php(4,3) unsat" true (Sat.solve s = Sat.Unsat)
+
+let test_sat_assumptions () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [ -a; b ];
+  Alcotest.(check bool) "sat under a" true (Sat.solve ~assumptions:[ a ] s = Sat.Sat);
+  Alcotest.(check bool) "model has b" true (Sat.value s b);
+  Sat.add_clause s [ -b ];
+  Alcotest.(check bool) "unsat under a" true (Sat.solve ~assumptions:[ a ] s = Sat.Unsat);
+  Alcotest.(check bool) "still sat without assumption" true (Sat.solve s = Sat.Sat);
+  Alcotest.(check bool) "a false in model" false (Sat.value s a)
+
+let test_sat_incremental () =
+  (* solving repeatedly under different assumptions must match fresh
+     solves: learned clauses stay sound across calls *)
+  let nvars = 8 in
+  let rng = Sic_fuzz.Rng.create 77 in
+  let clauses =
+    List.init 25 (fun _ ->
+        List.init
+          (1 + Sic_fuzz.Rng.int rng 3)
+          (fun _ ->
+            let v = 1 + Sic_fuzz.Rng.int rng nvars in
+            if Sic_fuzz.Rng.bool rng then v else -v))
+  in
+  let incremental = Sat.create () in
+  for _ = 1 to nvars do
+    ignore (Sat.new_var incremental)
+  done;
+  List.iter (Sat.add_clause incremental) clauses;
+  for trial = 1 to 30 do
+    let assumptions =
+      List.init
+        (Sic_fuzz.Rng.int rng 4)
+        (fun _ ->
+          let v = 1 + Sic_fuzz.Rng.int rng nvars in
+          if Sic_fuzz.Rng.bool rng then v else -v)
+    in
+    let fresh = Sat.create () in
+    for _ = 1 to nvars do
+      ignore (Sat.new_var fresh)
+    done;
+    List.iter (Sat.add_clause fresh) clauses;
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d matches a fresh solver" trial)
+      true
+      (Sat.solve ~assumptions incremental = Sat.solve ~assumptions fresh)
+  done
+
+(* random 3-CNF, checked against brute force *)
+let gen_cnf =
+  QCheck.Gen.(
+    let* nvars = int_range 3 10 in
+    let* nclauses = int_range 1 45 in
+    let lit = map2 (fun v s -> if s then v + 1 else -(v + 1)) (int_bound (nvars - 1)) bool in
+    let* clauses = list_size (return nclauses) (list_size (int_range 1 3) lit) in
+    return (nvars, clauses))
+
+let brute_force_sat nvars clauses =
+  let rec go assignment v =
+    if v > nvars then
+      List.for_all
+        (fun clause ->
+          List.exists
+            (fun l ->
+              let value = List.nth assignment (abs l - 1) in
+              if l > 0 then value else not value)
+            clause)
+        clauses
+    else go (assignment @ [ true ]) (v + 1) || go (assignment @ [ false ]) (v + 1)
+  in
+  go [] 1
+
+let test_sat_random =
+  QCheck.Test.make ~count:200 ~name:"cdcl agrees with brute force"
+    (QCheck.make gen_cnf) (fun (nvars, clauses) ->
+      let s = Sat.create () in
+      for _ = 1 to nvars do
+        ignore (Sat.new_var s)
+      done;
+      List.iter (Sat.add_clause s) clauses;
+      let result = Sat.solve s in
+      let expected = brute_force_sat nvars clauses in
+      match result with
+      | Sat.Sat ->
+          (* verify the model actually satisfies all clauses *)
+          expected
+          && List.for_all
+               (fun clause ->
+                 List.exists
+                   (fun l -> if l > 0 then Sat.value s l else not (Sat.value s (-l)))
+                   clause)
+               clauses
+      | Sat.Unsat -> not expected)
+
+(* --- bit-blaster vs evaluator ---------------------------------------- *)
+
+let test_gate_vs_eval =
+  let gen =
+    QCheck.Gen.(
+      let* e = gen_expr ~vars:standard_vars in
+      let* inputs = gen_inputs ~vars:standard_vars in
+      return (e, inputs))
+  in
+  QCheck.Test.make ~count:300 ~name:"bit-blast equals reference eval"
+    (QCheck.make ~print:(fun (e, _) -> Printer.expr_to_string e) gen)
+    (fun (e, inputs) ->
+      let ty_of n = List.assoc n standard_vars in
+      let value_of n = List.assoc n inputs in
+      match Eval.eval ~ty_of ~value_of e with
+      | exception Expr.Type_error _ -> QCheck.assume_fail ()
+      | expected ->
+          let solver = Sat.create () in
+          let ctx = Gate.create solver in
+          let env = List.map (fun (n, v) -> (n, Gate.const_bits ctx v)) inputs in
+          let rec blast (e : Expr.t) : Gate.bits =
+            match e with
+            | Expr.Ref n -> List.assoc n env
+            | Expr.UIntLit v | Expr.SIntLit v -> Gate.const_bits ctx v
+            | Expr.Mux (s, a, b) ->
+                let sb = blast s in
+                Gate.mux_bits ctx sb.(0) (blast a) (blast b)
+            | Expr.Unop (op, a) -> Gate.unop ctx op ~ta:(Expr.type_of ty_of a) (blast a)
+            | Expr.Binop (op, a, b) ->
+                Gate.binop ctx op ~ta:(Expr.type_of ty_of a) ~tb:(Expr.type_of ty_of b)
+                  (blast a) (blast b)
+            | Expr.Intop (op, n, a) ->
+                Gate.intop ctx op n ~ta:(Expr.type_of ty_of a) (blast a)
+            | Expr.Bits (a, hi, lo) -> Gate.bits_op (blast a) ~hi ~lo
+          in
+          let out = blast e in
+          (match Sat.solve solver with Sat.Sat -> () | Sat.Unsat -> ());
+          let got = Gate.model_value ctx out in
+          Bv.equal got expected)
+
+let test_dimacs_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"dimacs export/import preserves satisfiability"
+       (QCheck.make gen_cnf) (fun (nvars, clauses) ->
+         let s1 = Sat.create () in
+         for _ = 1 to nvars do
+           ignore (Sat.new_var s1)
+         done;
+         List.iter (Sat.add_clause s1) clauses;
+         let s2 = Sat.of_dimacs (Sat.to_dimacs s1) in
+         Sat.solve s1 = Sat.solve s2))
+
+(* exhaustive gate checks at small widths: adder and comparators over all
+   4-bit operand pairs, solved as constants (no search needed) *)
+let test_gate_exhaustive () =
+  let solver = Sat.create () in
+  let ctx = Gate.create solver in
+  (match Sat.solve solver with Sat.Sat -> () | Sat.Unsat -> Alcotest.fail "trivial sat");
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      let ba = Gate.const_bits ctx (Bv.of_int ~width:4 a) in
+      let bb = Gate.const_bits ctx (Bv.of_int ~width:4 b) in
+      let sum = Gate.adder ctx ba bb 5 in
+      Alcotest.(check int)
+        (Printf.sprintf "%d+%d" a b)
+        (a + b)
+        (Bv.to_int_trunc (Gate.model_value ctx sum));
+      let lt = Gate.lt_u ctx ba bb in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d<%d" a b)
+        (a < b)
+        (Bv.to_bool (Gate.model_value ctx [| lt |]));
+      let eq = Gate.eq_bits ctx ba bb in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d=%d" a b)
+        (a = b)
+        (Bv.to_bool (Gate.model_value ctx [| eq |]))
+    done
+  done
+
+(* --- BMC -------------------------------------------------------------- *)
+
+let test_bmc_fsm () =
+  (* cover state C of the Figure 7 FSM: reachable in >= 3 cycles; an
+     impossible state encoding (3) is unreachable *)
+  let c, _ = fsm_circuit () in
+  let low = lower c in
+  let low, _db = Sic_coverage.Fsm_coverage.instrument low in
+  let report = Bmc.check_covers ~bound:8 low in
+  let get name = List.assoc name report.Bmc.results in
+  (match get "fsm_state_state_C" with
+  | Bmc.Reachable trace ->
+      Alcotest.(check bool) "at least 3 cycles to reach C" true
+        (Sic_sim.Replay.cycles trace >= 3);
+      (* replay on the interpreter and confirm the cover fires *)
+      let b = Sic_sim.Interp.create low in
+      Sic_sim.Replay.replay b trace;
+      Alcotest.(check bool) "trace replays to cover" true
+        (Sic_coverage.Counts.get (b.Sic_sim.Backend.counts ()) "fsm_state_state_C" > 0)
+  | Bmc.Unreachable_within_bound -> Alcotest.fail "state C must be reachable");
+  (* all legal transitions of this FSM are reachable; none is dead *)
+  Alcotest.(check bool) "no unreachable points in this FSM" true
+    (Bmc.unreachable report = [])
+
+let test_bmc_unreachable () =
+  (* a cover with a contradictory predicate is unreachable *)
+  let cb = Dsl.create_circuit "Dead" in
+  Dsl.module_ cb "Dead" (fun m ->
+      let open Dsl in
+      let x = input m "x" (Ty.UInt 4) in
+      let out = output m "out" (Ty.UInt 4) in
+      connect m out x;
+      cover m "live" (x ==: lit 4 7);
+      cover m "dead" ((x ==: lit 4 1) &: (x ==: lit 4 2)));
+  let low = lower (Dsl.finalize cb) in
+  let report = Bmc.check_covers ~bound:4 low in
+  Alcotest.(check (list string)) "only the contradiction is dead" [ "dead" ]
+    (Bmc.unreachable report);
+  match List.assoc "live" report.Bmc.results with
+  | Bmc.Reachable trace ->
+      let b = Sic_sim.Interp.create low in
+      Sic_sim.Replay.replay b trace;
+      Alcotest.(check bool) "live trace hits cover" true
+        (Sic_coverage.Counts.get (b.Sic_sim.Backend.counts ()) "live" > 0)
+  | Bmc.Unreachable_within_bound -> Alcotest.fail "live must be reachable"
+
+let test_bmc_sync_mem () =
+  (* TLRAM has a synchronous-read memory: BMC must model the latched read
+     address. Target: a get request returning nonzero data — needs a put
+     then a get to the same address, at least ~4 cycles. *)
+  let c = Sic_designs.Tlram.circuit ~addr_bits:2 () in
+  let low = lower c in
+  let low =
+    Circuit.map_main low (fun m ->
+        {
+          m with
+          Circuit.body =
+            m.Circuit.body
+            @ [
+                Stmt.Cover
+                  {
+                    name = "nonzero_read";
+                    pred =
+                      Expr.and_
+                        (Expr.and_ (Expr.Ref "io_d_valid") (Expr.Ref "io_d_ready"))
+                        (Expr.and_
+                           (Expr.Unop (Expr.Not, Expr.Bits (Expr.Ref "io_d_bits", 32, 32)))
+                           (Expr.Unop (Expr.Orr, Expr.Bits (Expr.Ref "io_d_bits", 31, 0))));
+                    info = Info.unknown;
+                  };
+              ];
+        })
+  in
+  let report = Bmc.check_covers ~bound:8 ~covers:[ "nonzero_read" ] low in
+  match List.assoc "nonzero_read" report.Bmc.results with
+  | Bmc.Reachable trace ->
+      (* the witness must replay identically on a software backend *)
+      let b = Sic_sim.Compiled.create low in
+      Sic_sim.Replay.replay b trace;
+      Alcotest.(check int) "witness replays through the sync memory" 1
+        (Sic_coverage.Counts.get (b.Sic_sim.Backend.counts ()) "nonzero_read")
+  | Bmc.Unreachable_within_bound ->
+      Alcotest.fail "a put-then-get sequence exists within 8 cycles"
+
+(* the §5.5 experiment: the shared Cache RTL's write path is unreachable
+   on the instruction cache but reachable on the data cache *)
+let test_bmc_riscv_mini_icache () =
+  let c = Sic_designs.Riscv_mini.circuit ~params:Sic_designs.Riscv_mini.formal_params () in
+  let low = lower c in
+  let low, _db = Sic_coverage.Fsm_coverage.instrument low in
+  let covers =
+    [
+      "fsm_icache.state_state_WriteThrough";
+      "fsm_dcache.state_state_Idle";
+    ]
+  in
+  let report = Bmc.check_covers ~bound:6 ~covers low in
+  Alcotest.(check (list string))
+    "icache write path is dead (read-only instruction cache)"
+    [ "fsm_icache.state_state_WriteThrough" ]
+    (Bmc.unreachable report)
+
+let test_induction () =
+  (* the Figure-7 FSM has a 2-bit state register with only 3 legal states;
+     the illegal encoding 3 holds itself, so induction proves the cover
+     eq(state, 3) dead forever at k = 1 *)
+  let c, _ = fsm_circuit () in
+  let c =
+    Circuit.map_main c (fun m ->
+        {
+          m with
+          Circuit.body =
+            m.Circuit.body
+            @ [
+                Stmt.Cover
+                  {
+                    name = "illegal_state";
+                    pred = Expr.eq_ (Expr.Ref "state") (Expr.u_lit ~width:2 3);
+                    info = Info.unknown;
+                  };
+              ];
+        })
+  in
+  let low = lower c in
+  let results = Bmc.prove_unreachable ~k:1 ~covers:[ "illegal_state" ] low in
+  (match List.assoc "illegal_state" results with
+  | Bmc.Dead_forever -> ()
+  | Bmc.Cex_within_bound _ -> Alcotest.fail "illegal state must not be reachable"
+  | Bmc.Unknown -> Alcotest.fail "k=1 induction should prove the illegal state dead");
+  (* a reachable cover is reported as a counterexample by the base case *)
+  let c2, _ = fsm_circuit () in
+  let low2, _ = Sic_coverage.Fsm_coverage.instrument (lower c2) in
+  let results2 = Bmc.prove_unreachable ~k:4 ~covers:[ "fsm_state_state_C" ] low2 in
+  match List.assoc "fsm_state_state_C" results2 with
+  | Bmc.Cex_within_bound t ->
+      Alcotest.(check bool) "cex is a real trace" true (Sic_sim.Replay.cycles t >= 3)
+  | Bmc.Dead_forever | Bmc.Unknown -> Alcotest.fail "state C is reachable"
+
+let test_induction_icache () =
+  (* induction upgrades the §5.5 result: the icache write path is dead at
+     EVERY cycle, not merely within the BMC bound *)
+  let c = Sic_designs.Riscv_mini.circuit ~params:Sic_designs.Riscv_mini.formal_params () in
+  let low = lower c in
+  let low, _ = Sic_coverage.Fsm_coverage.instrument low in
+  let results =
+    Bmc.prove_unreachable ~k:1 ~covers:[ "fsm_icache.state_state_WriteThrough" ] low
+  in
+  match List.assoc "fsm_icache.state_state_WriteThrough" results with
+  | Bmc.Dead_forever -> ()
+  | Bmc.Cex_within_bound _ -> Alcotest.fail "icache write path must be dead"
+  | Bmc.Unknown -> Alcotest.fail "k=1 induction should close the icache write path"
+
+let tests =
+  [
+    Alcotest.test_case "sat: basics" `Quick test_sat_basics;
+    Alcotest.test_case "k-induction: dead forever vs reachable" `Quick test_induction;
+    Alcotest.test_case "k-induction: icache write path" `Slow test_induction_icache;
+    Alcotest.test_case "sat: pigeonhole unsat" `Quick test_sat_pigeonhole;
+    Alcotest.test_case "sat: assumptions" `Quick test_sat_assumptions;
+    Alcotest.test_case "sat: incremental solving" `Quick test_sat_incremental;
+    QCheck_alcotest.to_alcotest test_sat_random;
+    QCheck_alcotest.to_alcotest test_gate_vs_eval;
+    Alcotest.test_case "gates: exhaustive 4-bit adder/compare" `Quick test_gate_exhaustive;
+    test_dimacs_roundtrip;
+    Alcotest.test_case "bmc: fsm reachability" `Quick test_bmc_fsm;
+    Alcotest.test_case "bmc: dead cover detection" `Quick test_bmc_unreachable;
+    Alcotest.test_case "bmc: synchronous memory modelling" `Quick test_bmc_sync_mem;
+    Alcotest.test_case "bmc: riscv-mini icache write unreachable" `Slow
+      test_bmc_riscv_mini_icache;
+  ]

@@ -1,0 +1,252 @@
+(** IR-level tests: printer/parser round-trips, the width rules, the
+    evaluator against the constant folder, namespaces, and DSL error
+    behaviour. *)
+
+module Bv = Sic_bv.Bv
+open Sic_ir
+open Helpers
+
+let ty_of n = List.assoc n standard_vars
+
+(* --- printer/parser round-trips -------------------------------------- *)
+
+let test_expr_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"expr print/parse round-trip"
+       (QCheck.make ~print:Printer.expr_to_string (gen_expr ~vars:standard_vars))
+       (fun e ->
+         let s = Printer.expr_to_string e in
+         let toks = (s, 1) in
+         ignore toks;
+         match
+           Parser.parse_circuit
+             (Printf.sprintf
+                "circuit T :\n  module T :\n    input u1 : UInt<1>\n\n    node probe = %s\n" s)
+         with
+         | c -> (
+             let m = Circuit.main c in
+             let found = ref None in
+             Stmt.iter
+               (fun st ->
+                 match st with
+                 | Stmt.Node { name = "probe"; expr; _ } -> found := Some expr
+                 | _ -> ())
+               m.Circuit.body;
+             match !found with Some e' -> Expr.equal e e' | None -> false)))
+
+let test_circuit_roundtrip () =
+  List.iter
+    (fun c ->
+      let s1 = Printer.circuit_to_string c in
+      let c2 = Parser.parse_circuit s1 in
+      let s2 = Printer.circuit_to_string c2 in
+      Alcotest.(check string) ("round-trip " ^ c.Circuit.circuit_name) s1 s2)
+    [
+      gcd_circuit ();
+      hierarchy_circuit ();
+      fst (fsm_circuit ());
+      Sic_designs.Riscv_mini.circuit ();
+      Sic_designs.Uart.circuit ();
+      Sic_designs.Fifo.circuit ();
+      Sic_designs.Tlram.circuit ();
+    ]
+
+let test_lowered_roundtrip () =
+  (* lowered circuits (with covers) round-trip too *)
+  let c, _ = Sic_coverage.Line_coverage.instrument (gcd_circuit ()) in
+  let low = lower c in
+  let s1 = Printer.circuit_to_string low in
+  let c2 = Parser.parse_circuit s1 in
+  Alcotest.(check string) "lowered round-trip" s1 (Printer.circuit_to_string c2)
+
+(* fuzz the parser: random mutations of a valid source must either parse
+   or raise Parse_error — never escape with another exception *)
+let parser_robustness =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"parser total on mutated input"
+       QCheck.(pair small_int (small_list (pair small_int (int_bound 255))))
+       (fun (_, mutations) ->
+         let base = Printer.circuit_to_string (gcd_circuit ()) in
+         let b = Bytes.of_string base in
+         List.iter
+           (fun (pos, byte) ->
+             if Bytes.length b > 0 then
+               Bytes.set b (pos mod Bytes.length b) (Char.chr byte))
+           mutations;
+         match Parser.parse_circuit (Bytes.to_string b) with
+         | _ -> true
+         | exception Parser.Parse_error _ -> true
+         | exception _ -> false))
+
+let test_parse_errors () =
+  let bad = [ "nonsense"; "circuit X"; "circuit X :\n  module Y :\n    bogus stmt" ] in
+  List.iter
+    (fun src ->
+      match Parser.parse_circuit src with
+      | exception Parser.Parse_error _ -> ()
+      | _ -> Alcotest.fail ("should not parse: " ^ src))
+    bad
+
+(* --- width rules ------------------------------------------------------ *)
+
+let test_width_rules () =
+  let u w = Ty.UInt w and s w = Ty.SInt w in
+  let check name expect got = Alcotest.(check string) name (Ty.to_string expect) (Ty.to_string got) in
+  check "add" (u 9) (Expr.binop_ty Expr.Add (u 8) (u 5));
+  check "sub signed" (s 9) (Expr.binop_ty Expr.Sub (s 8) (s 3));
+  check "mul" (u 13) (Expr.binop_ty Expr.Mul (u 8) (u 5));
+  check "div unsigned" (u 8) (Expr.binop_ty Expr.Div (u 8) (u 5));
+  check "div signed grows" (s 9) (Expr.binop_ty Expr.Div (s 8) (s 5));
+  check "rem" (u 5) (Expr.binop_ty Expr.Rem (u 8) (u 5));
+  check "cat" (u 13) (Expr.binop_ty Expr.Cat (u 8) (s 5));
+  check "cmp" (u 1) (Expr.binop_ty Expr.Lt (u 8) (u 5));
+  check "bitwise" (u 8) (Expr.binop_ty Expr.And (u 8) (u 5));
+  check "dshl" (u 8 |> fun _ -> u (8 + 7)) (Expr.binop_ty Expr.Dshl (u 8) (u 3));
+  check "neg" (s 9) (Expr.unop_ty Expr.Neg (u 8));
+  check "cvt uint" (s 9) (Expr.unop_ty Expr.Cvt (u 8));
+  check "shr floor" (u 1) (Expr.intop_ty Expr.Shr 20 (u 8));
+  check "pad keeps kind" (s 12) (Expr.intop_ty Expr.Pad 12 (s 8));
+  check "tail" (u 5) (Expr.intop_ty Expr.Tail 3 (u 8));
+  (match Expr.binop_ty Expr.Add (u 8) (s 8) with
+  | exception Expr.Type_error _ -> ()
+  | _ -> Alcotest.fail "mixed-sign add must be rejected");
+  match Expr.bits_ty 8 0 (u 8) with
+  | exception Expr.Type_error _ -> ()
+  | _ -> Alcotest.fail "out-of-range bits must be rejected"
+
+(* --- evaluator invariants --------------------------------------------- *)
+
+let test_eval_width_invariant =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"eval result width = type_of width"
+       (QCheck.make ~print:(fun (e, _) -> Printer.expr_to_string e)
+          QCheck.Gen.(
+            let* e = gen_expr ~vars:standard_vars in
+            let* i = gen_inputs ~vars:standard_vars in
+            return (e, i)))
+       (fun (e, inputs) ->
+         let value_of n = List.assoc n inputs in
+         match Expr.type_of ty_of e with
+         | exception Expr.Type_error _ -> QCheck.assume_fail ()
+         | ty -> Bv.width (Eval.eval ~ty_of ~value_of e) = Ty.width ty))
+
+let test_simplify_preserves_semantics =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"const-prop simplify preserves eval"
+       (QCheck.make ~print:(fun (e, _) -> Printer.expr_to_string e)
+          QCheck.Gen.(
+            let* e = gen_expr ~vars:standard_vars in
+            let* i = gen_inputs ~vars:standard_vars in
+            return (e, i)))
+       (fun (e, inputs) ->
+         let value_of n = List.assoc n inputs in
+         match Eval.eval ~ty_of ~value_of e with
+         | exception Expr.Type_error _ -> QCheck.assume_fail ()
+         | expected ->
+             let simplified = Sic_passes.Const_prop.simplify ty_of e in
+             Bv.equal (Eval.eval ~ty_of ~value_of simplified) expected))
+
+(* --- namespace -------------------------------------------------------- *)
+
+let test_namespace () =
+  let ns = Namespace.create () in
+  Namespace.reserve ns "x";
+  Alcotest.(check string) "fresh avoids taken" "x_0" (Namespace.fresh ns "x");
+  Alcotest.(check string) "fresh increments" "x_1" (Namespace.fresh ns "x");
+  Alcotest.(check string) "free name stays" "y" (Namespace.fresh ns "y");
+  Alcotest.(check string) "now taken" "y_0" (Namespace.fresh ns "y")
+
+(* --- DSL error behaviour ---------------------------------------------- *)
+
+let test_dsl_errors () =
+  let expect_error f =
+    match f () with
+    | exception Dsl.Dsl_error _ -> ()
+    | _ -> Alcotest.fail "expected Dsl_error"
+  in
+  expect_error (fun () ->
+      let cb = Dsl.create_circuit "Dup" in
+      Dsl.module_ cb "Dup" (fun m ->
+          ignore (Dsl.wire m "w" (Ty.UInt 1));
+          ignore (Dsl.wire m "w" (Ty.UInt 1))));
+  expect_error (fun () ->
+      let cb = Dsl.create_circuit "BadConnect" in
+      Dsl.module_ cb "BadConnect" (fun m ->
+          let open Dsl in
+          connect m (lit 4 2) (lit 4 1)));
+  expect_error (fun () ->
+      let cb = Dsl.create_circuit "NoChild" in
+      Dsl.module_ cb "NoChild" (fun m -> ignore (Dsl.instance m "i" "Missing" "p")));
+  match
+    let cb = Dsl.create_circuit "Main" in
+    Dsl.module_ cb "NotMain" (fun _ -> ());
+    Dsl.finalize cb
+  with
+  | exception Circuit.Elaboration_error _ -> ()
+  | _ -> Alcotest.fail "missing top module must be rejected"
+
+let test_check_rejects_bad_circuits () =
+  let expect_reject body =
+    let c =
+      {
+        Circuit.circuit_name = "X";
+        modules =
+          [
+            {
+              Circuit.module_name = "X";
+              ports =
+                [
+                  { Circuit.port_name = "clock"; dir = Circuit.Input; port_ty = Ty.Clock; port_info = Info.unknown };
+                  { Circuit.port_name = "in"; dir = Circuit.Input; port_ty = Ty.UInt 4; port_info = Info.unknown };
+                  { Circuit.port_name = "out"; dir = Circuit.Output; port_ty = Ty.UInt 4; port_info = Info.unknown };
+                ];
+              body;
+            };
+          ];
+        annotations = [];
+      }
+    in
+    match Sic_passes.Check.run c with
+    | exception Sic_passes.Pass.Pass_error _ -> ()
+    | _ -> Alcotest.fail "check must reject"
+  in
+  (* unresolved reference *)
+  expect_reject [ Stmt.Connect { loc = "out"; expr = Expr.Ref "ghost"; info = Info.unknown } ];
+  (* connecting an input *)
+  expect_reject [ Stmt.Connect { loc = "in"; expr = Expr.u_lit ~width:4 1; info = Info.unknown } ];
+  (* width mismatch *)
+  expect_reject [ Stmt.Connect { loc = "out"; expr = Expr.u_lit ~width:5 1; info = Info.unknown } ];
+  (* duplicate cover names *)
+  expect_reject
+    [
+      Stmt.Connect { loc = "out"; expr = Expr.Ref "in"; info = Info.unknown };
+      Stmt.Cover { name = "c"; pred = Expr.true_; info = Info.unknown };
+      Stmt.Cover { name = "c"; pred = Expr.true_; info = Info.unknown };
+    ];
+  (* non-boolean cover predicate *)
+  expect_reject
+    [
+      Stmt.Connect { loc = "out"; expr = Expr.Ref "in"; info = Info.unknown };
+      Stmt.Cover { name = "c"; pred = Expr.Ref "in"; info = Info.unknown };
+    ]
+
+let test_info_roundtrip () =
+  let i = Info.pos ~file:"foo.ml" ~line:42 ~col:7 in
+  Alcotest.(check string) "to_string" "@[foo.ml 42:7]" (Info.to_string i);
+  Alcotest.(check bool) "equal" true (Info.equal i (Info.of_pos ("foo.ml", 42, 7, 99)))
+
+let tests =
+  [
+    test_expr_roundtrip;
+    Alcotest.test_case "circuit print/parse round-trip" `Quick test_circuit_roundtrip;
+    Alcotest.test_case "lowered circuit round-trip" `Quick test_lowered_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    parser_robustness;
+    Alcotest.test_case "FIRRTL width rules" `Quick test_width_rules;
+    test_eval_width_invariant;
+    test_simplify_preserves_semantics;
+    Alcotest.test_case "namespace freshness" `Quick test_namespace;
+    Alcotest.test_case "dsl error behaviour" `Quick test_dsl_errors;
+    Alcotest.test_case "check pass rejects bad circuits" `Quick test_check_rejects_bad_circuits;
+    Alcotest.test_case "info round-trip" `Quick test_info_roundtrip;
+  ]

@@ -1,0 +1,374 @@
+(** Dedicated tests for the compiler passes: when-lowering semantics,
+    inlining (names, covers, annotations), constant propagation, dead code
+    elimination, and the alias analysis. *)
+
+module Bv = Sic_bv.Bv
+module Counts = Sic_coverage.Counts
+open Sic_ir
+open Sic_sim
+open Helpers
+
+(* --- lower-whens semantics ------------------------------------------- *)
+
+(* last-connect with nested whens:
+     out = 0
+     when a: out = 1; when b: out = 2
+     when c: out = 3
+   expected: c ? 3 : (a ? (b ? 2 : 1) : 0) *)
+let nested_when_circuit () =
+  let cb = Dsl.create_circuit "Nest" in
+  Dsl.module_ cb "Nest" (fun m ->
+      let open Dsl in
+      let a = input m "a" (Ty.UInt 1) in
+      let b = input m "b" (Ty.UInt 1) in
+      let c = input m "c" (Ty.UInt 1) in
+      let out = output m "out" (Ty.UInt 4) in
+      connect m out (lit 4 0);
+      when_ m a (fun () ->
+          connect m out (lit 4 1);
+          when_ m b (fun () -> connect m out (lit 4 2)));
+      when_ m c (fun () -> connect m out (lit 4 3)));
+  Dsl.finalize cb
+
+let test_lower_whens_semantics () =
+  let b = Compiled.create (lower (nested_when_circuit ())) in
+  let expect a bv c result =
+    b.Backend.poke "a" (Bv.of_int ~width:1 a);
+    b.Backend.poke "b" (Bv.of_int ~width:1 bv);
+    b.Backend.poke "c" (Bv.of_int ~width:1 c);
+    Alcotest.(check int)
+      (Printf.sprintf "a=%d b=%d c=%d" a bv c)
+      result
+      (Bv.to_int_trunc (b.Backend.peek "out"))
+  in
+  expect 0 0 0 0;
+  expect 1 0 0 1;
+  expect 1 1 0 2;
+  expect 0 1 0 0;
+  (* b alone does nothing *)
+  expect 0 0 1 3;
+  expect 1 1 1 3 (* later when wins *)
+
+let test_lower_whens_cover_predicates () =
+  (* a cover in a nested branch fires only when the whole path holds *)
+  let cb = Dsl.create_circuit "CovPath" in
+  Dsl.module_ cb "CovPath" (fun m ->
+      let open Dsl in
+      let a = input m "a" (Ty.UInt 1) in
+      let b = input m "b" (Ty.UInt 1) in
+      let out = output m "out" (Ty.UInt 1) in
+      connect m out (a &: b);
+      when_ m a (fun () -> when_ m b (fun () -> cover m "deep" true_)));
+  let low = lower (Dsl.finalize cb) in
+  let bk = Compiled.create low in
+  let step a bv =
+    bk.Backend.poke "a" (Bv.of_int ~width:1 a);
+    bk.Backend.poke "b" (Bv.of_int ~width:1 bv);
+    bk.Backend.step 1
+  in
+  step 0 0;
+  step 1 0;
+  step 0 1;
+  Alcotest.(check int) "not fired yet" 0 (Counts.get (bk.Backend.counts ()) "deep");
+  step 1 1;
+  step 1 1;
+  Alcotest.(check int) "fires only on the full path" 2
+    (Counts.get (bk.Backend.counts ()) "deep")
+
+let test_lower_whens_requires_default () =
+  let cb = Dsl.create_circuit "NoDef" in
+  Dsl.module_ cb "NoDef" (fun m ->
+      let open Dsl in
+      let a = input m "a" (Ty.UInt 1) in
+      let out = output m "out" (Ty.UInt 1) in
+      when_ m a (fun () -> connect m out true_));
+  match lower (Dsl.finalize cb) with
+  | exception Sic_passes.Pass.Pass_error { pass = "lower-whens"; _ } -> ()
+  | _ -> Alcotest.fail "conditionally driven output without default must be rejected"
+
+let test_registers_hold () =
+  (* a register assigned only under a condition holds its value otherwise *)
+  let cb = Dsl.create_circuit "Hold" in
+  Dsl.module_ cb "Hold" (fun m ->
+      let open Dsl in
+      let en = input m "en" (Ty.UInt 1) in
+      let d = input m "d" (Ty.UInt 8) in
+      let q = output m "q" (Ty.UInt 8) in
+      let r = reg_ m "r" (Ty.UInt 8) in
+      connect m q r;
+      when_ m en (fun () -> connect m r d));
+  let b = Compiled.create (lower (Dsl.finalize cb)) in
+  b.Backend.poke "en" (Bv.one 1);
+  b.Backend.poke "d" (Bv.of_int ~width:8 42);
+  b.Backend.step 1;
+  b.Backend.poke "en" (Bv.zero 1);
+  b.Backend.poke "d" (Bv.of_int ~width:8 99);
+  b.Backend.step 5;
+  Alcotest.(check int) "held across disabled cycles" 42 (Bv.to_int_trunc (b.Backend.peek "q"))
+
+(* --- inlining ---------------------------------------------------------- *)
+
+let test_inline_cover_paths () =
+  (* two instances of a module with a cover produce two path-prefixed
+     covers that count independently *)
+  let cb = Dsl.create_circuit "Twice" in
+  Dsl.module_ cb "Leaf" (fun m ->
+      let open Dsl in
+      let x = input m "x" (Ty.UInt 1) in
+      let y = output m "y" (Ty.UInt 1) in
+      connect m y x;
+      cover m "seen" x);
+  Dsl.module_ cb "Twice" (fun m ->
+      let open Dsl in
+      let p = input m "p" (Ty.UInt 1) in
+      let q = input m "q" (Ty.UInt 1) in
+      let out = output m "out" (Ty.UInt 1) in
+      connect m (instance m "left" "Leaf" "x") p;
+      connect m (instance m "right" "Leaf" "x") q;
+      connect m out (instance m "left" "Leaf" "y" &: instance m "right" "Leaf" "y"));
+  let low = lower (Dsl.finalize cb) in
+  let covers = Circuit.covers_of (Circuit.main low) in
+  Alcotest.(check (list string)) "hierarchical cover names" [ "left.seen"; "right.seen" ]
+    (List.sort String.compare covers);
+  let b = Compiled.create low in
+  b.Backend.poke "p" (Bv.one 1);
+  b.Backend.poke "q" (Bv.zero 1);
+  b.Backend.step 3;
+  let counts = b.Backend.counts () in
+  Alcotest.(check int) "left instance counted" 3 (Counts.get counts "left.seen");
+  Alcotest.(check int) "right instance at zero" 0 (Counts.get counts "right.seen")
+
+let test_inline_annotations_per_instance () =
+  (* an FSM module instantiated twice yields two Enum_reg annotations with
+     prefixed register names *)
+  let cb = Dsl.create_circuit "TwoFsms" in
+  let s = Dsl.enum cb "TS" [ "P"; "Q" ] in
+  Dsl.module_ cb "Flipper" (fun m ->
+      let open Dsl in
+      let t = input m "t" (Ty.UInt 1) in
+      let o = output m "o" (Ty.UInt 1) in
+      let st = reg_enum m "st" s "P" in
+      connect m o st;
+      when_ m t (fun () ->
+          connect m st (mux_s (is s "P" st) (enum_value s "Q") (enum_value s "P"))));
+  Dsl.module_ cb "TwoFsms" (fun m ->
+      let open Dsl in
+      let t = input m "t" (Ty.UInt 1) in
+      let o = output m "o" (Ty.UInt 2) in
+      connect m (instance m "f0" "Flipper" "t") t;
+      connect m (instance m "f1" "Flipper" "t") (not_s t);
+      connect m o (cat_s (instance m "f0" "Flipper" "o") (instance m "f1" "Flipper" "o")));
+  let low = lower (Dsl.finalize cb) in
+  let low, db = Sic_coverage.Fsm_coverage.instrument low in
+  Alcotest.(check int) "two fsm instances found" 2 (List.length db);
+  Alcotest.(check (list string)) "per-instance register names" [ "f0.st"; "f1.st" ]
+    (List.sort String.compare
+       (List.map (fun f -> f.Sic_coverage.Fsm_coverage.reg_name) db));
+  ignore low
+
+(* --- constant propagation ---------------------------------------------- *)
+
+let count_ops (c : Circuit.t) =
+  let n = ref 0 in
+  let rec walk (e : Expr.t) =
+    match e with
+    | Expr.Ref _ | Expr.UIntLit _ | Expr.SIntLit _ -> ()
+    | Expr.Mux (a, b, c) ->
+        incr n;
+        walk a;
+        walk b;
+        walk c
+    | Expr.Unop (_, a) | Expr.Intop (_, _, a) | Expr.Bits (a, _, _) ->
+        incr n;
+        walk a
+    | Expr.Binop (_, a, b) ->
+        incr n;
+        walk a;
+        walk b
+  in
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Node { expr; _ } | Stmt.Connect { expr; _ } -> walk expr
+      | _ -> ())
+    (Circuit.main c).Circuit.body;
+  !n
+
+let test_const_prop_folds () =
+  let cb = Dsl.create_circuit "Fold" in
+  Dsl.module_ cb "Fold" (fun m ->
+      let open Dsl in
+      let x = input m "x" (Ty.UInt 8) in
+      let out = output m "out" (Ty.UInt 8) in
+      (* (x & 0) | (1 + 2) * 1 ... all foldable around x *)
+      let zero = node m "z" (lit 8 3 -: lit 8 3) in
+      let k = node m "k" (lit 4 1 +: lit 4 2) in
+      connect m out ((x &: zero) |: resize (pad_s k 8) 8));
+  let c = Dsl.finalize cb in
+  let low = lower c in
+  (* after folding, out is driven by the constant 3 *)
+  let driver = ref None in
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Connect { loc = "out"; expr; _ } -> driver := Some expr
+      | _ -> ())
+    (Circuit.main low).Circuit.body;
+  (match !driver with
+  | Some (Expr.UIntLit v) -> Alcotest.(check int) "folded to 3" 3 (Bv.to_int_trunc v)
+  | Some e -> Alcotest.fail ("not folded: " ^ Printer.expr_to_string e)
+  | None -> Alcotest.fail "no driver for out")
+
+let test_const_prop_preserves_behaviour () =
+  (* pipeline without const-prop/dce vs the full pipeline: same outputs *)
+  let c = gcd_circuit () in
+  let plain =
+    Sic_passes.Pass.run_pipeline
+      [ Sic_passes.Check.pass; Sic_passes.Lower_whens.pass; Sic_passes.Inline.pass ]
+      c
+  in
+  let optimized = lower c in
+  Alcotest.(check bool) "optimization shrinks the circuit" true
+    (count_ops optimized <= count_ops plain);
+  let r1 = run_gcd (Compiled.create plain) 1071 462 in
+  let r2 = run_gcd (Compiled.create optimized) 1071 462 in
+  Alcotest.(check int) "same result" r1 r2;
+  Alcotest.(check int) "gcd(1071,462)=21" 21 r2
+
+(* --- dead code elimination --------------------------------------------- *)
+
+let test_dce_removes_unused () =
+  let cb = Dsl.create_circuit "Dead" in
+  Dsl.module_ cb "Dead" (fun m ->
+      let open Dsl in
+      let x = input m "x" (Ty.UInt 8) in
+      let out = output m "out" (Ty.UInt 8) in
+      let _unused = node m "unused" (x *: x) in
+      let dead_reg = reg_ m "dead_reg" (Ty.UInt 8) in
+      connect m dead_reg (x +: lit 8 1);
+      connect m out x);
+  let low = lower (Dsl.finalize cb) in
+  let names = Stmt.declared_names (Circuit.main low).Circuit.body in
+  Alcotest.(check bool) "unused node removed" false (List.mem "unused" names);
+  Alcotest.(check bool) "dead register removed" false (List.mem "dead_reg" names)
+
+let test_dce_respects_dont_touch () =
+  let cb = Dsl.create_circuit "Kept" in
+  Dsl.module_ cb "Kept" (fun m ->
+      let open Dsl in
+      let x = input m "x" (Ty.UInt 8) in
+      let out = output m "out" (Ty.UInt 8) in
+      let _probe = node m "probe" (x *: lit 8 2) in
+      connect m out x);
+  let c = Dsl.finalize cb in
+  let c =
+    {
+      c with
+      Circuit.annotations =
+        Annotation.Dont_touch { module_name = "Kept"; name = "probe" } :: c.Circuit.annotations;
+    }
+  in
+  let low = lower c in
+  let names = Stmt.declared_names (Circuit.main low).Circuit.body in
+  Alcotest.(check bool) "dont_touch signal survives DCE" true (List.mem "probe" names)
+
+(* --- alias analysis through the hierarchy ------------------------------ *)
+
+let test_alias_through_hierarchy () =
+  (* parent wire -> child input -> child output -> parent wire: all one
+     group after inlining *)
+  let cb = Dsl.create_circuit "Thru" in
+  Dsl.module_ cb "Pass" (fun m ->
+      let open Dsl in
+      let i = input m "i" (Ty.UInt 4) in
+      let o = output m "o" (Ty.UInt 4) in
+      connect m o i);
+  Dsl.module_ cb "Thru" (fun m ->
+      let open Dsl in
+      let x = input m "x" (Ty.UInt 4) in
+      let out = output m "out" (Ty.UInt 4) in
+      connect m (instance m "p" "Pass" "i") x;
+      connect m out (instance m "p" "Pass" "o"));
+  let low = lower (Dsl.finalize cb) in
+  let groups = Sic_passes.Alias.analyze low in
+  let rep = Sic_passes.Alias.representative groups in
+  Alcotest.(check string) "x and out alias" (rep "x") (rep "out")
+
+let test_inline_renames_memories () =
+  (* after flattening riscv-mini, the regfile memory lives at
+     core.rf.regs with fully dotted port names *)
+  let low = lower (Sic_designs.Riscv_mini.circuit ()) in
+  let names = Stmt.declared_names (Circuit.main low).Circuit.body in
+  Alcotest.(check bool) "regfile memory renamed" true (List.mem "core.rf.regs" names);
+  Alcotest.(check bool) "mem port field renamed" true
+    (List.mem "core.rf.regs.w.en" names);
+  Alcotest.(check bool) "cache memories renamed" true
+    (List.mem "icache.data" names && List.mem "dcache.data" names)
+
+let test_info_preserved_through_pipeline () =
+  (* the source locator on a when survives printing, parsing, and shows up
+     in the line-coverage metadata *)
+  let c = gcd_circuit () in
+  let printed = Printer.circuit_to_string c in
+  let reparsed = Parser.parse_circuit printed in
+  let count_infos circuit =
+    let n = ref 0 in
+    Stmt.iter
+      (fun s ->
+        match s with
+        | Stmt.When { info = Info.Pos _; _ } -> incr n
+        | _ -> ())
+      (Circuit.main circuit).Circuit.body;
+    !n
+  in
+  Alcotest.(check bool) "whens carry locators" true (count_infos c >= 4);
+  Alcotest.(check int) "locators survive the text format" (count_infos c)
+    (count_infos reparsed);
+  let _, db = Sic_coverage.Line_coverage.instrument c in
+  Alcotest.(check bool) "metadata references helpers.ml" true
+    (List.exists
+       (fun (b : Sic_coverage.Line_coverage.branch) ->
+         match Info.file b.Sic_coverage.Line_coverage.branch_info with
+         | Some f -> Filename.basename f = "helpers.ml"
+         | None -> false)
+       db)
+
+let test_stats () =
+  let c = gcd_circuit () in
+  let s = Sic_passes.Stats.of_circuit c in
+  let open Sic_passes.Stats in
+  Alcotest.(check int) "one module" 1 s.modules;
+  Alcotest.(check int) "3 registers" 3 s.regs;
+  Alcotest.(check int) "x + y + busy = 33 bits" 33 s.reg_bits;
+  Alcotest.(check bool) "whens counted" true (s.whens >= 4);
+  (* flattening riscv-mini multiplies component stats by instance count *)
+  let high = Sic_passes.Stats.of_circuit (Sic_designs.Riscv_mini.circuit ()) in
+  let low = Sic_passes.Stats.of_circuit (lower (Sic_designs.Riscv_mini.circuit ())) in
+  Alcotest.(check int) "two caches in the flat design: 2 x 2048 + 1024 mem bits" 5120
+    low.mem_bits;
+  Alcotest.(check bool) "flattening duplicates the shared cache regs" true
+    (low.reg_bits > high.reg_bits);
+  Alcotest.(check int) "low form has no whens" 0 low.whens
+
+let tests =
+  [
+    Alcotest.test_case "circuit statistics" `Quick test_stats;
+    Alcotest.test_case "inline: memories renamed" `Quick test_inline_renames_memories;
+    Alcotest.test_case "info survives printing/parsing" `Quick
+      test_info_preserved_through_pipeline;
+    Alcotest.test_case "lower-whens: nested last-connect" `Quick test_lower_whens_semantics;
+    Alcotest.test_case "lower-whens: cover path predicates" `Quick
+      test_lower_whens_cover_predicates;
+    Alcotest.test_case "lower-whens: missing default rejected" `Quick
+      test_lower_whens_requires_default;
+    Alcotest.test_case "lower-whens: registers hold" `Quick test_registers_hold;
+    Alcotest.test_case "inline: per-instance covers" `Quick test_inline_cover_paths;
+    Alcotest.test_case "inline: per-instance annotations" `Quick
+      test_inline_annotations_per_instance;
+    Alcotest.test_case "const-prop: folds constants" `Quick test_const_prop_folds;
+    Alcotest.test_case "const-prop: preserves behaviour" `Quick
+      test_const_prop_preserves_behaviour;
+    Alcotest.test_case "dce: removes unused logic" `Quick test_dce_removes_unused;
+    Alcotest.test_case "dce: respects dont_touch" `Quick test_dce_respects_dont_touch;
+    Alcotest.test_case "alias: through hierarchy" `Quick test_alias_through_hierarchy;
+  ]

@@ -1,0 +1,279 @@
+(** Cross-backend differential tests: all three software simulators must
+    agree on every peeked output and every cover count under randomized
+    stimulus, for several designs. Plus VCD and replay round-trips. *)
+
+module Bv = Sic_bv.Bv
+module Counts = Sic_coverage.Counts
+open Helpers
+open Sic_sim
+
+(* drive a circuit with deterministic pseudo-random inputs for n cycles,
+   observing all outputs every cycle; returns observations + counts *)
+let random_drive (b : Backend.t) ~seed ~cycles =
+  let rng = Sic_fuzz.Rng.create seed in
+  let inputs = Backend.data_inputs b in
+  let outputs = Backend.outputs b in
+  Backend.reset_sequence b;
+  let observations = Buffer.create 256 in
+  for _ = 1 to cycles do
+    List.iter
+      (fun (n, ty) ->
+        let w = Sic_ir.Ty.width ty in
+        b.Backend.poke n (Bv.random ~width:w (Sic_fuzz.Rng.bits30 rng)))
+      inputs;
+    List.iter
+      (fun (n, _) ->
+        Buffer.add_string observations (Bv.to_hex_string (b.Backend.peek n));
+        Buffer.add_char observations ' ';
+        ignore n)
+      outputs;
+    b.Backend.step 1
+  done;
+  (Buffer.contents observations, b.Backend.counts ())
+
+let designs_for_diff () =
+  [
+    ("gcd", gcd_circuit ());
+    ("fsm", fst (fsm_circuit ()));
+    ("fifo", Sic_designs.Fifo.circuit ());
+    ("i2c", Sic_designs.I2c.circuit ());
+    ("serv", Sic_designs.Serv.circuit ());
+    ("tlram", Sic_designs.Tlram.circuit ~addr_bits:4 ());
+    ("neuroproc", Sic_designs.Neuroproc.circuit ~neurons:4 ());
+    ("uart", Sic_designs.Uart.circuit ());
+    ("arbiter", Sic_designs.Arbiter.circuit ());
+    ("matmul", Sic_designs.Matmul.circuit ~n:2 ());
+    ("memsys", Sic_designs.Memsys.circuit ());
+  ]
+
+let test_cross_backend_equivalence () =
+  List.iter
+    (fun (name, c) ->
+      (* instrument with line coverage so counts are also compared *)
+      let c, _ = Sic_coverage.Line_coverage.instrument c in
+      let low = lower c in
+      let runs =
+        List.map
+          (fun (bname, create) ->
+            let b = create low in
+            let obs, counts = random_drive b ~seed:17 ~cycles:200 in
+            (bname, obs, counts))
+          backends
+      in
+      match runs with
+      | (_, obs0, counts0) :: rest ->
+          List.iter
+            (fun (bname, obs, counts) ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s: %s outputs == interp outputs" name bname)
+                obs0 obs;
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: %s counts == interp counts" name bname)
+                true (Counts.equal counts0 counts))
+            rest
+      | [] -> ())
+    (designs_for_diff ())
+
+let test_vcd_roundtrip () =
+  let wave_signals = [ ("a", 1); ("b", 8); ("wide", 40) ] in
+  let rng = Sic_fuzz.Rng.create 5 in
+  let frames =
+    List.init 20 (fun _ ->
+        List.map
+          (fun (n, w) -> (n, Bv.random ~width:w (Sic_fuzz.Rng.bits30 rng)))
+          wave_signals)
+  in
+  let buf = Buffer.create 256 in
+  let oc_path = Filename.temp_file "sic_test" ".vcd" in
+  let oc = open_out oc_path in
+  let w = Vcd.create_writer oc ~scope:"t" wave_signals in
+  List.iter (fun f -> Vcd.sample w f) frames;
+  close_out oc;
+  ignore buf;
+  let wave = Vcd.read_file oc_path in
+  Sys.remove oc_path;
+  Alcotest.(check int) "frame count" (List.length frames) (Array.length wave.Vcd.frames);
+  List.iteri
+    (fun i frame ->
+      List.iter
+        (fun (n, v) ->
+          let got = List.assoc n wave.Vcd.frames.(i) in
+          Alcotest.(check bool)
+            (Printf.sprintf "frame %d signal %s" i n)
+            true (Bv.equal_value v got))
+        frame)
+    frames
+
+let test_record_replay () =
+  let c, _ = Sic_coverage.Line_coverage.instrument (gcd_circuit ()) in
+  let low = lower c in
+  let b = Compiled.create low in
+  (* record a run *)
+  let rng = Sic_fuzz.Rng.create 23 in
+  let trace =
+    Replay.record b ~cycles:100 (fun b _cycle ->
+        b.Backend.poke "reset" (Bv.zero 1);
+        List.iter
+          (fun (n, ty) ->
+            b.Backend.poke n (Bv.random ~width:(Sic_ir.Ty.width ty) (Sic_fuzz.Rng.bits30 rng)))
+          (Backend.data_inputs b))
+  in
+  let reference = b.Backend.counts () in
+  (* replay into a fresh instance of another backend: identical counts *)
+  let b2 = Interp.create low in
+  Replay.replay b2 trace;
+  Alcotest.(check bool) "replayed counts equal recorded" true
+    (Counts.equal reference (b2.Backend.counts ()));
+  (* through a VCD file *)
+  let path = Filename.temp_file "sic_replay" ".vcd" in
+  Replay.save_vcd path b trace;
+  let trace2 = Replay.load_vcd path in
+  Sys.remove path;
+  let b3 = Essent.create low in
+  Replay.replay b3 trace2;
+  Alcotest.(check bool) "vcd-replayed counts equal recorded" true
+    (Counts.equal reference (b3.Backend.counts ()))
+
+let test_tracer () =
+  let low = lower (Sic_designs.Counter.circuit ~width:4 ~limit:15 ()) in
+  let path = Filename.temp_file "sic_trace" ".vcd" in
+  let b, close = Tracer.attach ~regs:true ~path (Compiled.create low) in
+  Backend.reset_sequence b;
+  b.Backend.poke "en" (Bv.one 1);
+  b.Backend.step 10;
+  close ();
+  let wave = Vcd.read_file path in
+  Sys.remove path;
+  Alcotest.(check int) "11 samples (reset + 10)" 11 (Array.length wave.Vcd.frames);
+  Alcotest.(check bool) "value signal present" true
+    (List.mem_assoc "value" wave.Vcd.signals);
+  Alcotest.(check bool) "register traced" true (List.mem_assoc "count" wave.Vcd.signals);
+  (* the counter waveform counts up from the post-reset sample *)
+  let v i = Bv.to_int_trunc (List.assoc "value" wave.Vcd.frames.(i)) in
+  Alcotest.(check int) "cycle 2 value" 1 (v 2);
+  Alcotest.(check int) "cycle 9 value" 8 (v 9)
+
+let test_poke_errors () =
+  let b = Compiled.create (lower (gcd_circuit ())) in
+  (match b.Backend.poke "io_out_bits" (Bv.zero 16) with
+  | exception Backend.Sim_error _ -> ()
+  | _ -> Alcotest.fail "poking an output must fail");
+  match b.Backend.peek "nonexistent" with
+  | exception Backend.Sim_error _ -> ()
+  | _ -> Alcotest.fail "peeking a ghost must fail"
+
+let test_combinational_loop_detected () =
+  let cb = Sic_ir.Dsl.create_circuit "Loop" in
+  Sic_ir.Dsl.module_ cb "Loop" (fun m ->
+      let open Sic_ir.Dsl in
+      let a = wire m "a" (Sic_ir.Ty.UInt 1) in
+      let b = wire m "b" (Sic_ir.Ty.UInt 1) in
+      let out = output m "out" (Sic_ir.Ty.UInt 1) in
+      connect m a (not_s b);
+      connect m b (not_s a);
+      connect m out a);
+  let low = lower (Sic_ir.Dsl.finalize cb) in
+  (match Compiled.create low with
+  | exception Backend.Sim_error _ -> ()
+  | _ -> Alcotest.fail "compiled: loop must be detected");
+  let b = Interp.create low in
+  match b.Backend.peek "out" with
+  | exception Backend.Sim_error _ -> ()
+  | _ -> Alcotest.fail "interp: loop must be detected"
+
+let test_multi_writer_memory () =
+  (* two write ports hitting the same address in the same cycle: the later
+     port in declaration order wins, identically on every backend *)
+  let cb = Sic_ir.Dsl.create_circuit "TwoW" in
+  Sic_ir.Dsl.module_ cb "TwoW" (fun m ->
+      let open Sic_ir.Dsl in
+      let addr = input m "addr" (Sic_ir.Ty.UInt 3) in
+      let d0 = input m "d0" (Sic_ir.Ty.UInt 8) in
+      let d1 = input m "d1" (Sic_ir.Ty.UInt 8) in
+      let we1 = input m "we1" (Sic_ir.Ty.UInt 1) in
+      let out = output m "out" (Sic_ir.Ty.UInt 8) in
+      let mem =
+        mem m "m" (Sic_ir.Ty.UInt 8) ~depth:8 ~readers:[ "r" ] ~writers:[ "w0"; "w1" ]
+      in
+      mem_write mem "w0" ~addr ~data:d0;
+      when_ m we1 (fun () -> mem_write mem "w1" ~addr ~data:d1);
+      connect m out (mem_read mem "r" addr));
+  let low = lower (Sic_ir.Dsl.finalize cb) in
+  List.iter
+    (fun (name, create) ->
+      let b = create low in
+      b.Backend.poke "addr" (Bv.of_int ~width:3 5);
+      b.Backend.poke "d0" (Bv.of_int ~width:8 11);
+      b.Backend.poke "d1" (Bv.of_int ~width:8 22);
+      b.Backend.poke "we1" (Bv.one 1);
+      b.Backend.step 1;
+      Alcotest.(check int) (name ^ ": later port wins") 22
+        (Bv.to_int_trunc (b.Backend.peek "out"));
+      b.Backend.poke "we1" (Bv.zero 1);
+      b.Backend.step 1;
+      Alcotest.(check int) (name ^ ": single writer") 11
+        (Bv.to_int_trunc (b.Backend.peek "out")))
+    backends
+
+let test_stop_statement () =
+  let cb = Sic_ir.Dsl.create_circuit "Stopper" in
+  Sic_ir.Dsl.module_ cb "Stopper" (fun m ->
+      let open Sic_ir.Dsl in
+      let x = input m "x" (Sic_ir.Ty.UInt 4) in
+      let out = output m "out" (Sic_ir.Ty.UInt 4) in
+      connect m out x;
+      stop m "halt" (x ==: lit 4 9) 1);
+  let low = lower (Sic_ir.Dsl.finalize cb) in
+  List.iter
+    (fun (name, create) ->
+      let b = create low in
+      b.Backend.poke "x" (Bv.of_int ~width:4 3);
+      b.Backend.step 2;
+      Alcotest.(check bool) (name ^ ": not stopped") false (b.Backend.finished ());
+      b.Backend.poke "x" (Bv.of_int ~width:4 9);
+      b.Backend.step 1;
+      Alcotest.(check bool) (name ^ ": stopped") true (b.Backend.finished ()))
+    backends
+
+let test_printf_statement () =
+  let cb = Sic_ir.Dsl.create_circuit "Printer" in
+  Sic_ir.Dsl.module_ cb "Printer" (fun m ->
+      let open Sic_ir.Dsl in
+      let x = input m "x" (Sic_ir.Ty.UInt 8) in
+      let out = output m "out" (Sic_ir.Ty.UInt 8) in
+      connect m out x;
+      when_ m (x >: lit 8 10) (fun () ->
+          printf_ m true_ "x=%d hex=%x pct=%% " [ x; x ]));
+  let low = lower (Sic_ir.Dsl.finalize cb) in
+  List.iter
+    (fun (name, create) ->
+      let buf = Buffer.create 64 in
+      let saved = !Backend.print_sink in
+      Backend.print_sink := Buffer.add_string buf;
+      Fun.protect
+        ~finally:(fun () -> Backend.print_sink := saved)
+        (fun () ->
+          let b = create low in
+          b.Backend.poke "x" (Bv.of_int ~width:8 5);
+          b.Backend.step 1;
+          Alcotest.(check string) (name ^ ": silent below threshold") "" (Buffer.contents buf);
+          b.Backend.poke "x" (Bv.of_int ~width:8 200);
+          b.Backend.step 2;
+          Alcotest.(check string)
+            (name ^ ": formatted output")
+            "x=200 hex=c8 pct=% x=200 hex=c8 pct=% " (Buffer.contents buf)))
+    backends
+
+let tests =
+  [
+    Alcotest.test_case "printf statement" `Quick test_printf_statement;
+    Alcotest.test_case "cross-backend differential (11 designs)" `Quick
+      test_cross_backend_equivalence;
+    Alcotest.test_case "vcd write/read round-trip" `Quick test_vcd_roundtrip;
+    Alcotest.test_case "vcd tracer wrapper" `Quick test_tracer;
+    Alcotest.test_case "record/replay identical counts" `Quick test_record_replay;
+    Alcotest.test_case "poke/peek errors" `Quick test_poke_errors;
+    Alcotest.test_case "combinational loop detection" `Quick test_combinational_loop_detected;
+    Alcotest.test_case "stop statement" `Quick test_stop_statement;
+    Alcotest.test_case "multi-writer memory semantics" `Quick test_multi_writer_memory;
+  ]

@@ -1,0 +1,57 @@
+(** End-to-end pipeline smoke tests: DSL -> passes -> backends. *)
+
+module Bv = Sic_bv.Bv
+open Helpers
+
+let test_gcd_backend (name, create) () =
+  let c = gcd_circuit () in
+  let low = lower c in
+  Alcotest.(check bool) "low form" true (Sic_passes.Compile.is_low_form low);
+  let b = create low in
+  Alcotest.(check int) (name ^ " gcd(12,8)") 4 (run_gcd b 12 8);
+  let b = create low in
+  Alcotest.(check int) (name ^ " gcd(270,192)") 6 (run_gcd b 270 192);
+  let b = create low in
+  Alcotest.(check int) (name ^ " gcd(7,13)") 1 (run_gcd b 7 13)
+
+let test_hierarchy (name, create) () =
+  let c = hierarchy_circuit () in
+  let low = lower c in
+  let b = create low in
+  let open Sic_sim in
+  b.Backend.poke "in_a" (Bv.of_int ~width:8 10);
+  b.Backend.poke "in_b" (Bv.of_int ~width:8 20);
+  b.Backend.poke "in_c" (Bv.of_int ~width:8 5);
+  Alcotest.(check int) (name ^ " 10+20+5") 35 (Bv.to_int_trunc (b.Backend.peek "out"))
+
+let test_fsm_sim (_name, create) () =
+  let c, _ = fsm_circuit () in
+  let b = create (lower c) in
+  let open Sic_sim in
+  Backend.reset_sequence b;
+  Alcotest.(check int) "reset to A" 0 (Bv.to_int_trunc (b.Backend.peek "out"));
+  b.Backend.poke "in" (Bv.one 1);
+  b.Backend.step 1;
+  Alcotest.(check int) "stay A" 0 (Bv.to_int_trunc (b.Backend.peek "out"));
+  b.Backend.poke "in" (Bv.zero 1);
+  b.Backend.step 1;
+  Alcotest.(check int) "A->B" 1 (Bv.to_int_trunc (b.Backend.peek "out"));
+  b.Backend.poke "in" (Bv.one 1);
+  b.Backend.step 1;
+  Alcotest.(check int) "stay B" 1 (Bv.to_int_trunc (b.Backend.peek "out"));
+  b.Backend.poke "in" (Bv.zero 1);
+  b.Backend.step 1;
+  Alcotest.(check int) "B->C" 2 (Bv.to_int_trunc (b.Backend.peek "out"));
+  b.Backend.step 5;
+  Alcotest.(check int) "stuck C" 2 (Bv.to_int_trunc (b.Backend.peek "out"))
+
+let tests =
+  List.concat_map
+    (fun bk ->
+      let name = fst bk in
+      [
+        Alcotest.test_case (name ^ ": gcd") `Quick (test_gcd_backend bk);
+        Alcotest.test_case (name ^ ": hierarchy") `Quick (test_hierarchy bk);
+        Alcotest.test_case (name ^ ": fsm") `Quick (test_fsm_sim bk);
+      ])
+    backends
