@@ -23,7 +23,25 @@ let experiments =
 let all_order =
   [ "sec3"; "table1"; "table2"; "fig8"; "fig9"; "sec52"; "sec53"; "fig11"; "sec55"; "fig12"; "ablation" ]
 
+(* SIC_PROFILE=FILE records telemetry for the whole bench run and writes
+   NDJSON there at exit (FILE.trace gets the Chrome trace) — the bench
+   trajectories README.md describes. *)
+let setup_telemetry () =
+  match Sys.getenv_opt "SIC_PROFILE" with
+  | None | Some "" -> ()
+  | Some path ->
+      Timing.use_monotonic_clock ();
+      Sic_obs.Obs.enable ();
+      at_exit (fun () ->
+          let oc = open_out path in
+          Sic_obs.Obs.output_ndjson oc;
+          close_out oc;
+          let oc = open_out (path ^ ".trace") in
+          Sic_obs.Obs.output_chrome_trace oc;
+          close_out oc)
+
 let () =
+  setup_telemetry ();
   let args = List.tl (Array.to_list Sys.argv) in
   let selected = if args = [] then all_order else args in
   List.iter

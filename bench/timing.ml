@@ -19,11 +19,23 @@ let ns_per_run ?(quota = 0.5) name (fn : unit -> unit) : float =
       match Analyze.OLS.estimates v with Some (e :: _) -> e | Some [] | None -> acc)
     analyzed nan
 
-(** Wall-clock seconds of a single run (for long workloads). *)
+module Obs = Sic_obs.Obs
+
+(** Plug Bechamel's monotonic clock (nanoseconds) into the telemetry layer
+    so bench telemetry is immune to wall-clock steps; see DESIGN.md. *)
+let use_monotonic_clock () =
+  (* Toolkit.Monotonic_clock reads CLOCK_MONOTONIC in nanoseconds *)
+  Obs.set_clock (fun () -> Toolkit.Monotonic_clock.get () /. 1e9)
+
+(** Wall-clock seconds of a single run (for long workloads). Recorded as a
+    [bench.wall] telemetry span when recording is on (SIC_PROFILE=FILE). *)
 let wall (fn : unit -> 'a) : 'a * float =
+  let ctx = Obs.span_open () in
   let t0 = Unix.gettimeofday () in
   let r = fn () in
-  (r, Unix.gettimeofday () -. t0)
+  let dt = Unix.gettimeofday () -. t0 in
+  Obs.span_close ctx ~name:"bench.wall" [ ("seconds", Obs.Float dt) ];
+  (r, dt)
 
 let header title =
   Printf.printf "\n==============================================================\n";

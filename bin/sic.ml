@@ -10,11 +10,18 @@
     - [merge]   merge counts files (trivially, §5.3)
     - [bmc]     formal cover-trace generation (reachability per cover)
     - [fuzz]    coverage-directed fuzzing with a selectable feedback metric
-    - [scan]    insert the FPGA scan chain and report modelled resources *)
+    - [scan]    insert the FPGA scan chain and report modelled resources
+    - [profile] compile + simulate a design and print per-pass/per-phase
+                timings (the §5 overhead study as a subcommand)
+
+    The compile-and-simulate subcommands also take [--profile[=FILE]] and
+    [--trace FILE] to export structured telemetry (newline-delimited JSON
+    and the Chrome trace-event format, respectively). *)
 
 open Cmdliner
 module Bv = Sic_bv.Bv
 module Counts = Sic_coverage.Counts
+module Obs = Sic_obs.Obs
 open Sic_sim
 
 (* ------------------------------------------------------------------ *)
@@ -86,6 +93,50 @@ let write_out ~output text =
   | Some path ->
       let oc = open_out path in
       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let profile_flag =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Record telemetry and write it as newline-delimited JSON to $(docv) when the \
+           command finishes ('-', the default when no file is given, writes to stderr).")
+
+let trace_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record telemetry and write a Chrome trace-event file to $(docv), loadable in \
+           about://tracing or Perfetto.")
+
+let write_to_channel path emit =
+  match path with
+  | "-" -> emit stderr
+  | path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> emit oc)
+
+(** Enable recording when either export flag is set, run [f], then export.
+    Exports run from a finalizer so a failing run still leaves its partial
+    telemetry behind. *)
+let with_telemetry ~profile ~trace f =
+  if profile <> None || trace <> None then Obs.enable ();
+  let finish () =
+    (match profile with
+    | None -> ()
+    | Some path -> write_to_channel path Obs.output_ndjson);
+    match trace with
+    | None -> ()
+    | Some path -> write_to_channel path Obs.output_chrome_trace
+  in
+  Fun.protect ~finally:finish f
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                              *)
@@ -201,13 +252,14 @@ let emit_cmd =
     Term.(const run $ file_arg $ design_arg $ output_arg)
 
 let lower_cmd =
-  let run file design output =
+  let run file design output profile trace =
     handle_errors (fun () ->
-        let c = Sic_passes.Compile.lower (load_circuit ~file ~design) in
-        write_out ~output (Sic_ir.Printer.circuit_to_string c))
+        with_telemetry ~profile ~trace (fun () ->
+            let c = Sic_passes.Compile.lower (load_circuit ~file ~design) in
+            write_out ~output (Sic_ir.Printer.circuit_to_string c)))
   in
   Cmd.v (Cmd.info "lower" ~doc:"Lower a circuit to the flat low form.")
-    Term.(const run $ file_arg $ design_arg $ output_arg)
+    Term.(const run $ file_arg $ design_arg $ output_arg $ profile_flag $ trace_flag)
 
 let cycles_arg =
   Arg.(value & opt int 1000 & info [ "cycles" ] ~docv:"N" ~doc:"Cycles to simulate.")
@@ -246,8 +298,10 @@ let waivers_arg =
         ~doc:"Coverage exclusion file: one name pattern per line, * wildcards, # comments.")
 
 let cover_cmd =
-  let run file design metrics backend cycles seed counts_out replay html vcd waivers =
+  let run file design metrics backend cycles seed counts_out replay html vcd waivers profile
+      trace =
     handle_errors (fun () ->
+        with_telemetry ~profile ~trace @@ fun () ->
         let c = load_circuit ~file ~design in
         let low, dbs = instrument metrics c in
         let low =
@@ -298,7 +352,8 @@ let cover_cmd =
        ~doc:"Instrument, simulate, and print coverage reports (random stimulus or a VCD replay).")
     Term.(
       const run $ file_arg $ design_arg $ metrics_arg $ backend_arg $ cycles_arg $ seed_arg
-      $ counts_out_arg $ replay_arg $ html_arg $ vcd_arg $ waivers_arg)
+      $ counts_out_arg $ replay_arg $ html_arg $ vcd_arg $ waivers_arg $ profile_flag
+      $ trace_flag)
 
 let merge_cmd =
   let inputs =
@@ -318,8 +373,9 @@ let bound_arg =
   Arg.(value & opt int 20 & info [ "bound" ] ~docv:"K" ~doc:"BMC unrolling bound.")
 
 let bmc_cmd =
-  let run file design metrics bound =
+  let run file design metrics bound profile trace =
     handle_errors (fun () ->
+        with_telemetry ~profile ~trace @@ fun () ->
         let c = load_circuit ~file ~design in
         let low, _dbs = instrument metrics c in
         let report = Sic_formal.Bmc.check_covers ~bound low in
@@ -328,14 +384,15 @@ let bmc_cmd =
   Cmd.v
     (Cmd.info "bmc"
        ~doc:"Formal cover-trace generation: find reaching inputs or prove unreachability within the bound.")
-    Term.(const run $ file_arg $ design_arg $ metrics_arg $ bound_arg)
+    Term.(const run $ file_arg $ design_arg $ metrics_arg $ bound_arg $ profile_flag $ trace_flag)
 
 let execs_arg =
   Arg.(value & opt int 500 & info [ "execs" ] ~docv:"N" ~doc:"Fuzzer executions.")
 
 let fuzz_cmd =
-  let run file design metrics execs seed =
+  let run file design metrics execs seed profile trace =
     handle_errors (fun () ->
+        with_telemetry ~profile ~trace @@ fun () ->
         let c = load_circuit ~file ~design in
         let low, dbs = instrument metrics c in
         let h = Sic_fuzz.Fuzzer.make_harness low in
@@ -346,7 +403,9 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Coverage-directed fuzzing; prints cumulative coverage reports.")
-    Term.(const run $ file_arg $ design_arg $ metrics_arg $ execs_arg $ seed_arg)
+    Term.(
+      const run $ file_arg $ design_arg $ metrics_arg $ execs_arg $ seed_arg $ profile_flag
+      $ trace_flag)
 
 let width_arg =
   Arg.(value & opt int 16 & info [ "width" ] ~docv:"W" ~doc:"Coverage counter width in bits.")
@@ -396,13 +455,68 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Circuit statistics per module.")
     Term.(const run $ file_arg $ design_arg $ lowered)
 
+let profile_cmd =
+  let cycles_arg =
+    Arg.(value & opt int 5000 & info [ "cycles" ] ~docv:"N" ~doc:"Cycles to simulate.")
+  in
+  let run file design metrics backend cycles seed profile trace =
+    handle_errors (fun () ->
+        (* always record: this subcommand *is* the telemetry report *)
+        Obs.enable ();
+        with_telemetry ~profile ~trace @@ fun () ->
+        let c = load_circuit ~file ~design in
+        let low, _dbs =
+          Obs.span "phase:compile" (fun () -> instrument metrics c)
+        in
+        let b = create_backend backend low in
+        Obs.span "phase:simulate"
+          ~args:[ ("cycles", Obs.Int cycles) ]
+          (fun () ->
+            Backend.reset_sequence b;
+            let rng = Sic_fuzz.Rng.create seed in
+            let inputs = Backend.data_inputs b in
+            for _ = 1 to cycles do
+              List.iter
+                (fun (n, ty) ->
+                  b.Backend.poke n
+                    (Bv.random ~width:(Sic_ir.Ty.width ty) (Sic_fuzz.Rng.bits30 rng)))
+                inputs;
+              b.Backend.step 1
+            done);
+        let counts = b.Backend.counts () in
+        Printf.printf "design   : %s\n" low.Sic_ir.Circuit.circuit_name;
+        Printf.printf "backend  : %s\n" b.Backend.backend_name;
+        Printf.printf "cycles   : %d\n" (b.Backend.cycles ());
+        Printf.printf "covers   : %d/%d hit\n" (Counts.covered_points counts)
+          (Counts.total_points counts);
+        let simulate_us =
+          List.fold_left
+            (fun acc (s : Obs.span_stat) ->
+              if s.Obs.stat_name = "phase:simulate" then acc +. s.Obs.total_us else acc)
+            0. (Obs.span_stats ())
+        in
+        if simulate_us > 0. then
+          Printf.printf "speed    : %.0f cycles/sec\n"
+            (float_of_int (b.Backend.cycles ()) /. (simulate_us /. 1e6));
+        print_newline ();
+        print_string (Obs.render_span_table ()))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Compile and simulate a design with telemetry on; print a per-pass/per-phase \
+          timing table (combine with --profile/--trace to export the raw events).")
+    Term.(
+      const run $ file_arg $ design_arg $ metrics_arg $ backend_arg $ cycles_arg $ seed_arg
+      $ profile_flag $ trace_flag)
+
 let main =
   Cmd.group
     (Cmd.info "sic" ~version:"1.0.0"
        ~doc:"Simulator-independent coverage for RTL hardware languages.")
     [
       emit_cmd; lower_cmd; cover_cmd; merge_cmd; diff_cmd; bmc_cmd; fuzz_cmd; scan_cmd;
-      stats_cmd;
+      stats_cmd; profile_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Tier-1 gate: formatting of dune files, full build, full test suite.
+set -eu
+cd "$(dirname "$0")"
+
+dune build @fmt
+dune build
+dune runtest

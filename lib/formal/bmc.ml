@@ -11,6 +11,7 @@
 
 open Sic_ir
 module Bv = Sic_bv.Bv
+module Obs = Sic_obs.Obs
 
 type verdict =
   | Reachable of Sic_sim.Replay.trace  (** witness trace, replayable on any backend *)
@@ -42,7 +43,11 @@ let trace_of_model (u : Unroll.t) ~(upto : int) : Sic_sim.Replay.trace =
     [covers] restricts the search to a subset of cover names (default:
     all). *)
 let check_covers ?(bound = 40) ?covers ?(reset_cycles = 1) (circuit : Circuit.t) : report =
-  let u = Unroll.unroll ~reset_cycles circuit ~bound in
+  let u =
+    Obs.span "bmc.unroll"
+      ~args:[ ("depth", Obs.Int bound) ]
+      (fun () -> Unroll.unroll ~reset_cycles circuit ~bound)
+  in
   let selected =
     match covers with
     | None -> List.map fst u.Unroll.cover_lits
@@ -57,20 +62,34 @@ let check_covers ?(bound = 40) ?covers ?(reset_cycles = 1) (circuit : Circuit.t)
             (* one activation literal per cover: g -> OR of per-cycle preds *)
             let g = Gate.fresh u.Unroll.ctx in
             Gate.clause u.Unroll.ctx (-g :: Array.to_list lits);
-            (match Sat.solve ~assumptions:[ g ] u.Unroll.ctx.Gate.solver with
-            | Sat.Sat ->
-                (* find the earliest satisfied cycle to truncate the trace *)
-                let upto = ref bound in
-                Array.iteri
-                  (fun t l ->
-                    if !upto = bound then begin
-                      let v = Sat.value u.Unroll.ctx.Gate.solver (abs l) in
-                      let v = if l > 0 then v else not v in
-                      if v then upto := t + 1
-                    end)
-                  lits;
-                (name, Reachable (trace_of_model u ~upto:!upto))
-            | Sat.Unsat -> (name, Unreachable_within_bound)))
+            let span = Obs.span_open () in
+            let verdict =
+              match Sat.solve ~assumptions:[ g ] u.Unroll.ctx.Gate.solver with
+              | Sat.Sat ->
+                  (* find the earliest satisfied cycle to truncate the trace *)
+                  let upto = ref bound in
+                  Array.iteri
+                    (fun t l ->
+                      if !upto = bound then begin
+                        let v = Sat.value u.Unroll.ctx.Gate.solver (abs l) in
+                        let v = if l > 0 then v else not v in
+                        if v then upto := t + 1
+                      end)
+                    lits;
+                  Reachable (trace_of_model u ~upto:!upto)
+              | Sat.Unsat -> Unreachable_within_bound
+            in
+            Obs.span_close span ~name:"bmc.solve"
+              [
+                ("cover", Obs.Str name);
+                ("depth", Obs.Int bound);
+                ( "result",
+                  Obs.Str
+                    (match verdict with
+                    | Reachable _ -> "sat"
+                    | Unreachable_within_bound -> "unsat") );
+              ];
+            (name, verdict))
       selected
   in
   { bound; results; solver_stats = Sat.stats u.Unroll.ctx.Gate.solver }
@@ -120,7 +139,11 @@ let prove_unreachable ?(k = 4) ?covers ?(reset_cycles = 1) (circuit : Circuit.t)
               let assumptions =
                 lits.(k) :: List.init k (fun t -> -lits.(t))
               in
-              (match Sat.solve ~assumptions ind.Unroll.ctx.Gate.solver with
+              (match
+                 Obs.span "bmc.induction_solve"
+                   ~args:[ ("cover", Obs.Str name); ("depth", Obs.Int k) ]
+                   (fun () -> Sat.solve ~assumptions ind.Unroll.ctx.Gate.solver)
+               with
               | Sat.Unsat -> (name, Dead_forever)
               | Sat.Sat -> (name, Unknown))))
     base.results

@@ -11,6 +11,7 @@
 open Sic_ir
 module Bv = Sic_bv.Bv
 module Counts = Sic_coverage.Counts
+module Obs = Sic_obs.Obs
 
 (* ------------------------------------------------------------------ *)
 (* Harness: bytes -> stimulus                                           *)
@@ -41,7 +42,7 @@ let make_harness ?(create = fun c -> Sic_sim.Compiled.create c) ?(reset_cycles =
   { circuit; create; inputs; bytes_per_cycle = max 1 ((total_bits + 7) / 8); reset_cycles }
 
 (** Execute one input, returning the coverage counts it produced. *)
-let execute (h : harness) (input : bytes) : Counts.t =
+let execute_input (h : harness) (input : bytes) : Counts.t =
   let b = h.create h.circuit in
   Sic_sim.Backend.reset_sequence ~cycles:h.reset_cycles b;
   let n_cycles = Bytes.length input / h.bytes_per_cycle in
@@ -66,6 +67,18 @@ let execute (h : harness) (input : bytes) : Counts.t =
     b.Sic_sim.Backend.step 1
   done;
   b.Sic_sim.Backend.counts ()
+
+(** [execute_input], timed into the [fuzz.exec_us] histogram when telemetry
+    is on. *)
+let execute (h : harness) (input : bytes) : Counts.t =
+  if not (Obs.on ()) then execute_input h input
+  else begin
+    let t0 = Obs.now_us () in
+    let counts = execute_input h input in
+    Obs.Histogram.add (Obs.histogram "fuzz.exec_us") (Obs.now_us () -. t0);
+    Obs.count "fuzz.execs";
+    counts
+  end
 
 (* ------------------------------------------------------------------ *)
 (* AFL-style feedback signature                                         *)
@@ -226,6 +239,18 @@ let run ?(seed = 0) ?(execs = 200) ?(snapshot_every = 10) ?(max_cycles = 16)
   let cumulative = ref (Counts.create ()) in
   let history = ref [] in
   let n_execs = ref 0 in
+  let span = Obs.span_open () in
+  let t_start = if Obs.on () then Obs.now_us () else 0. in
+  (* the runtime feedback loop of any coverage-guided flow: execs/sec,
+     corpus growth, discovery events *)
+  let emit_progress () =
+    if Obs.on () then begin
+      let dt_s = (Obs.now_us () -. t_start) /. 1e6 in
+      if dt_s > 0. then Obs.gauge "fuzz.execs_per_sec" (float_of_int !n_execs /. dt_s);
+      Obs.gauge "fuzz.corpus_size" (float_of_int (List.length !corpus));
+      Obs.gauge "fuzz.seen_pairs" (float_of_int (Hashtbl.length seen))
+    end
+  in
   let interesting counts =
     let fresh = ref false in
     List.iter
@@ -258,17 +283,35 @@ let run ?(seed = 0) ?(execs = 200) ?(snapshot_every = 10) ?(max_cycles = 16)
     incr n_execs;
     let counts = execute h child in
     cumulative := Counts.merge [ !cumulative; counts ];
-    if interesting counts then corpus := child :: !corpus;
-    if !n_execs mod snapshot_every = 0 then
-      history := (!n_execs, !cumulative) :: !history
+    if interesting counts then begin
+      corpus := child :: !corpus;
+      if Obs.on () then
+        Obs.instant "fuzz.new_coverage"
+          ~args:
+            [
+              ("execs", Obs.Int !n_execs);
+              ("corpus_size", Obs.Int (List.length !corpus));
+              ("seen_pairs", Obs.Int (Hashtbl.length seen));
+            ]
+    end;
+    if !n_execs mod snapshot_every = 0 then begin
+      history := (!n_execs, !cumulative) :: !history;
+      emit_progress ()
+    end
   done;
-  {
-    final =
-      {
-        execs = !n_execs;
-        corpus_size = List.length !corpus;
-        seen_pairs = Hashtbl.length seen;
-        cumulative = !cumulative;
-      };
-    history = List.rev !history;
-  }
+  emit_progress ();
+  let final =
+    {
+      execs = !n_execs;
+      corpus_size = List.length !corpus;
+      seen_pairs = Hashtbl.length seen;
+      cumulative = !cumulative;
+    }
+  in
+  Obs.span_close span ~name:"fuzz.run"
+    [
+      ("execs", Obs.Int final.execs);
+      ("corpus_size", Obs.Int final.corpus_size);
+      ("seen_pairs", Obs.Int final.seen_pairs);
+    ];
+  { final; history = List.rev !history }

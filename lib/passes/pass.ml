@@ -2,6 +2,7 @@
     compose them, mirroring firrtl's [Transform] sequences. *)
 
 open Sic_ir
+module Obs = Sic_obs.Obs
 
 type t = { name : string; run : Circuit.t -> Circuit.t }
 
@@ -16,12 +17,44 @@ let src = Logs.Src.create "sic.passes" ~doc:"SIC compiler passes"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* the IR-delta attributes attached to each pass span: how the circuit
+   changed (nodes, ops, covers added, ...) — §5's compile-time story *)
+let delta_args (before : Stats.t) (after : Stats.t) =
+  [
+    ("modules_before", Obs.Int before.Stats.modules);
+    ("modules_after", Obs.Int after.Stats.modules);
+    ("nodes_before", Obs.Int before.Stats.nodes);
+    ("nodes_after", Obs.Int after.Stats.nodes);
+    ("ops_before", Obs.Int before.Stats.ops);
+    ("ops_after", Obs.Int after.Stats.ops);
+    ("connects_before", Obs.Int before.Stats.connects);
+    ("connects_after", Obs.Int after.Stats.connects);
+    ("covers_before", Obs.Int before.Stats.covers);
+    ("covers_after", Obs.Int after.Stats.covers);
+  ]
+
 let run_one (p : t) (c : Circuit.t) =
   Log.debug (fun f -> f "running pass %s" p.name);
-  try p.run c with
-  | Pass_error _ as e -> raise e
-  | Circuit.Elaboration_error m -> error ~pass:p.name "%s" m
-  | Expr.Type_error m -> error ~pass:p.name "type error: %s" m
+  let run () =
+    try p.run c with
+    | Pass_error _ as e -> raise e
+    | Circuit.Elaboration_error m -> error ~pass:p.name "%s" m
+    | Expr.Type_error m -> error ~pass:p.name "type error: %s" m
+  in
+  if not (Obs.on ()) then run ()
+  else begin
+    let before = Stats.of_circuit c in
+    let ctx = Obs.span_open () in
+    match run () with
+    | out ->
+        Obs.span_close ctx ~name:("pass:" ^ p.name) (delta_args before (Stats.of_circuit out));
+        out
+    | exception e ->
+        Obs.span_close ctx ~name:("pass:" ^ p.name) [ ("error", Obs.Bool true) ];
+        raise e
+  end
 
 let run_pipeline (passes : t list) (c : Circuit.t) =
-  List.fold_left (fun c p -> run_one p c) c passes
+  Obs.span "pipeline"
+    ~args:[ ("passes", Obs.Int (List.length passes)) ]
+    (fun () -> List.fold_left (fun c p -> run_one p c) c passes)

@@ -105,18 +105,15 @@ let of_circuit (c : Circuit.t) : t =
 let render (c : Circuit.t) : string =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    (Printf.sprintf "%-20s %6s %6s %6s %6s %8s %6s %8s %6s %6s %6s\n" "module" "ports"
-       "nodes" "wires" "regs" "reg bits" "mems" "mem bits" "whens" "covers" "ops");
-  List.iter
-    (fun m ->
-      let s = of_module m in
-      Buffer.add_string buf
-        (Printf.sprintf "%-20s %6d %6d %6d %6d %8d %6d %8d %6d %6d %6d\n"
-           m.Circuit.module_name s.ports s.nodes s.wires s.regs s.reg_bits s.mems s.mem_bits
-           s.whens s.covers s.ops))
-    c.Circuit.modules;
-  let s = of_circuit c in
-  Buffer.add_string buf
-    (Printf.sprintf "%-20s %6d %6d %6d %6d %8d %6d %8d %6d %6d %6d\n" "(total)" s.ports
-       s.nodes s.wires s.regs s.reg_bits s.mems s.mem_bits s.whens s.covers s.ops);
+    (Printf.sprintf "%-20s %6s %6s %6s %6s %8s %6s %8s %6s %6s %6s %6s %6s %6s\n" "module"
+       "ports" "nodes" "wires" "regs" "reg bits" "mems" "mem bits" "insts" "whens" "conns"
+       "covers" "cvals" "ops");
+  let row name (s : t) =
+    Buffer.add_string buf
+      (Printf.sprintf "%-20s %6d %6d %6d %6d %8d %6d %8d %6d %6d %6d %6d %6d %6d\n" name
+         s.ports s.nodes s.wires s.regs s.reg_bits s.mems s.mem_bits s.instances s.whens
+         s.connects s.covers s.cover_values s.ops)
+  in
+  List.iter (fun m -> row m.Circuit.module_name (of_module m)) c.Circuit.modules;
+  row "(total)" (of_circuit c);
   Buffer.contents buf

@@ -11,6 +11,7 @@
 open Sic_ir
 module Bv = Sic_bv.Bv
 module Counts = Sic_coverage.Counts
+module Obs = Sic_obs.Obs
 
 type t = {
   backend_name : string;
@@ -27,8 +28,11 @@ exception Sim_error of string
 
 let error fmt = Printf.ksprintf (fun s -> raise (Sim_error s)) fmt
 
-(** Where [printf] statements write; tests may redirect it. *)
-let print_sink : (string -> unit) ref = ref print_string
+(** Where [printf] statements write; tests may redirect it. This is the
+    single runtime text sink shared with the telemetry layer — it {e is}
+    {!Sic_obs.Obs.sink}, so swapping either ref captures or silences all
+    runtime output in one place. *)
+let print_sink : (string -> unit) ref = Obs.sink
 
 (** Saturating counter ceiling shared by the software backends: counts are
     exact up to [2^62 - 1], far beyond any simulation length, but the type
@@ -36,6 +40,54 @@ let print_sink : (string -> unit) ref = ref print_string
 let count_saturate = max_int
 
 let sat_incr c = if c >= count_saturate then c else c + 1
+
+(** How often (in cycles) an instrumented backend samples its throughput
+    gauges when telemetry is on. *)
+let sample_interval = ref 1000
+
+(** Wrap a backend so that, while telemetry is on ({!Sic_obs.Obs.on}),
+    [step] emits [sim.<backend>.cycles_per_sec] and
+    [sim.<backend>.covers_hit] gauges every {!sample_interval} cycles. When
+    telemetry is off the wrapper is a single flag check per [step] call —
+    the per-cycle hot path is untouched. *)
+let with_telemetry (b : t) : t =
+  let last_cycles = ref (b.cycles ()) in
+  let last_t = ref nan in
+  let gauge_name suffix = "sim." ^ b.backend_name ^ "." ^ suffix in
+  let sample () =
+    let now = Obs.now_us () in
+    let cycles = b.cycles () in
+    (if not (Float.is_nan !last_t) then begin
+       let dt = (now -. !last_t) /. 1e6 in
+       let dc = cycles - !last_cycles in
+       if dt > 0. && dc > 0 then
+         Obs.gauge (gauge_name "cycles_per_sec") (float_of_int dc /. dt)
+     end);
+    let hit =
+      List.fold_left
+        (fun acc (_, c) -> if c > 0 then acc + 1 else acc)
+        0
+        (Counts.to_sorted_list (b.counts ()))
+    in
+    Obs.gauge (gauge_name "covers_hit") (float_of_int hit);
+    last_t := now;
+    last_cycles := cycles
+  in
+  let step n =
+    if not (Obs.on ()) then b.step n
+    else begin
+      if Float.is_nan !last_t then sample ();
+      let remaining = ref n in
+      while !remaining > 0 do
+        let due = !sample_interval - (b.cycles () - !last_cycles) in
+        let k = max 1 (min !remaining due) in
+        b.step k;
+        remaining := !remaining - k;
+        if b.cycles () - !last_cycles >= !sample_interval then sample ()
+      done
+    end
+  in
+  { b with step }
 
 (** Hold reset high for [cycles] (default 1) clock edges, then release. *)
 let reset_sequence ?(cycles = 1) (b : t) =

@@ -382,6 +382,7 @@ let clock_edge (t : t) =
   t.cycle <- t.cycle + 1
 
 let to_backend ~name (t : t) : Backend.t =
+  Backend.with_telemetry
   {
     Backend.backend_name = name;
     circuit = t.p.Prep.low;

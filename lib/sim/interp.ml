@@ -190,6 +190,7 @@ let create (c : Circuit.t) : Backend.t =
     (fun (name, _, _, w) ->
       Hashtbl.replace s.value_counters name (Array.make (1 lsl min w 20) 0))
     p.Prep.cover_values;
+  Backend.with_telemetry
   {
     Backend.backend_name = "interp";
     circuit = p.Prep.low;

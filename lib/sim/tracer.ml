@@ -41,8 +41,9 @@ let watchlist ?(regs = false) (b : Backend.t) : (string * int) list =
   ports @ registers
 
 (** [attach ~path b] returns a backend that behaves like [b] but writes
-    one VCD sample per stepped cycle. Call [close] (or let a final sample
-    flush at [finished]) when done. *)
+    one VCD sample per stepped cycle. Call [close] when done: it emits one
+    final sample (the post-run state) and flushes before closing the
+    file. *)
 let attach ?(regs = false) ~path (b : Backend.t) : Backend.t * (unit -> unit) =
   let signals = watchlist ~regs b in
   let oc = open_out path in
@@ -54,6 +55,10 @@ let attach ?(regs = false) ~path (b : Backend.t) : Backend.t * (unit -> unit) =
   let close () =
     if not t.closed then begin
       t.closed <- true;
+      (* the post-run state: every sample so far was taken pre-edge, so the
+         effect of the last step is only visible in this final sample *)
+      sample ();
+      flush t.oc;
       close_out t.oc
     end
   in

@@ -1,0 +1,87 @@
+(* Regression check for [sic profile]: given the NDJSON profile and the
+   Chrome trace that "sic profile --design gcd" wrote, assert that
+
+   - every pass of the default pipeline appears as exactly one span,
+     carrying the before/after IR-delta attributes,
+   - the pipeline and both profile phases are present,
+   - the simulator emitted at least one cycles_per_sec gauge,
+   - the trace file is valid JSON with a non-empty traceEvents list.
+
+   Usage: check_profile.exe PROFILE.ndjson TRACE.json *)
+
+module Json = Sic_obs.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_profile: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let default_passes = [ "check"; "lower-whens"; "inline"; "const-prop"; "dce" ]
+
+let () =
+  let profile_path, trace_path =
+    match Sys.argv with
+    | [| _; p; t |] -> (p, t)
+    | _ -> fail "usage: check_profile.exe PROFILE.ndjson TRACE.json"
+  in
+  let lines =
+    read_file profile_path |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let parsed =
+    List.map (fun l -> try Json.parse l with Json.Parse_error m -> fail "bad NDJSON line (%s): %s" m l) lines
+  in
+  let str_field k j = match Json.member k j with Some (Json.String s) -> Some s | _ -> None in
+  (match parsed with
+  | meta :: _ when str_field "type" meta = Some "meta" -> ()
+  | _ -> fail "first line of %s is not a meta record" profile_path);
+  let spans =
+    List.filter_map
+      (fun j ->
+        if str_field "type" j = Some "span" then
+          match str_field "name" j with Some n -> Some (n, j) | None -> None
+        else None)
+      parsed
+  in
+  (* each default-pipeline pass: exactly one span, with IR-delta args *)
+  List.iter
+    (fun pass ->
+      let name = "pass:" ^ pass in
+      match List.filter (fun (n, _) -> n = name) spans with
+      | [ (_, j) ] -> (
+          match Json.member "args" j with
+          | Some args -> (
+              match (Json.member "nodes_before" args, Json.member "nodes_after" args) with
+              | Some (Json.Int _), Some (Json.Int _) -> ()
+              | _ -> fail "span %s lacks nodes_before/nodes_after args" name)
+          | None -> fail "span %s has no args" name)
+      | [] -> fail "span %s missing from %s" name profile_path
+      | l -> fail "span %s appears %d times (want exactly 1)" name (List.length l))
+    default_passes;
+  List.iter
+    (fun name ->
+      if not (List.exists (fun (n, _) -> n = name) spans) then
+        fail "span %s missing from %s" name profile_path)
+    [ "pipeline"; "phase:compile"; "phase:simulate" ];
+  (* the simulator must have sampled throughput at least once *)
+  let gauges =
+    List.filter_map
+      (fun j -> if str_field "type" j = Some "gauge" then str_field "name" j else None)
+      parsed
+  in
+  if not (List.exists (fun n -> n = "sim.compiled.cycles_per_sec") gauges) then
+    fail "no sim.compiled.cycles_per_sec gauge in %s" profile_path;
+  (* the Chrome trace must load: one JSON object, non-empty traceEvents *)
+  let trace =
+    try Json.parse (read_file trace_path)
+    with Json.Parse_error m -> fail "trace %s is not valid JSON: %s" trace_path m
+  in
+  (match Json.member "traceEvents" trace with
+  | Some (Json.List (_ :: _)) -> ()
+  | Some (Json.List []) -> fail "trace %s has an empty traceEvents list" trace_path
+  | _ -> fail "trace %s has no traceEvents list" trace_path);
+  print_endline "check_profile: ok"

@@ -144,14 +144,17 @@ let test_tracer () =
   close ();
   let wave = Vcd.read_file path in
   Sys.remove path;
-  Alcotest.(check int) "11 samples (reset + 10)" 11 (Array.length wave.Vcd.frames);
+  Alcotest.(check int) "12 samples (reset + 10 + final at close)" 12
+    (Array.length wave.Vcd.frames);
   Alcotest.(check bool) "value signal present" true
     (List.mem_assoc "value" wave.Vcd.signals);
   Alcotest.(check bool) "register traced" true (List.mem_assoc "count" wave.Vcd.signals);
   (* the counter waveform counts up from the post-reset sample *)
   let v i = Bv.to_int_trunc (List.assoc "value" wave.Vcd.frames.(i)) in
   Alcotest.(check int) "cycle 2 value" 1 (v 2);
-  Alcotest.(check int) "cycle 9 value" 8 (v 9)
+  Alcotest.(check int) "cycle 9 value" 8 (v 9);
+  (* the close-time sample is the only one that sees the last step *)
+  Alcotest.(check int) "final sample shows the post-run state" 10 (v 11)
 
 let test_poke_errors () =
   let b = Compiled.create (lower (gcd_circuit ())) in
