@@ -1,0 +1,71 @@
+(** Campaign scaling: the same multi-design, multi-backend coverage
+    campaign at -j 1, 2 and 4. Reports wall time and speedup per worker
+    count (bounded by the machine's core count — a single-core box shows
+    ~1x throughout), and checks the promise the orchestrator makes: the
+    resulting database aggregate is identical no matter how the jobs were
+    sharded. *)
+
+module Counts = Sic_coverage.Counts
+module Db = Sic_db.Db
+module Fleet = Sic_fleet.Fleet
+module Line = Sic_coverage.Line_coverage
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let spec ~jobs =
+  let instrumented name c =
+    let ic, _ = Line.instrument c in
+    (name, Sic_passes.Compile.lower ic)
+  in
+  {
+    Fleet.designs =
+      [
+        instrumented "gcd" (Sic_designs.Gcd.circuit ());
+        instrumented "fifo" (Sic_designs.Fifo.circuit ());
+        instrumented "uart" (Sic_designs.Uart.circuit ());
+        instrumented "counter" (Sic_designs.Counter.circuit ());
+      ];
+    waves = [ [ Fleet.Compiled; Fleet.Interp ]; [ Fleet.Fuzz ] ];
+    seeds = 2;
+    cycles = 20_000;
+    execs = 1_000;
+    bound = 10;
+    scan_width = 16;
+    master_seed = 7;
+    jobs;
+    timeout_s = None;
+    retries = 1;
+    threshold = 1;
+  }
+
+let run () =
+  Timing.header "Campaign scaling: forked workers, -j 1 / 2 / 4";
+  let results =
+    List.map
+      (fun jobs ->
+        let dir = Printf.sprintf "bench_campaign_j%d.db" jobs in
+        if Sys.file_exists dir then rm_rf dir;
+        let db = Db.init dir in
+        let (summary : Fleet.summary), dt =
+          Timing.wall (fun () -> Fleet.run_campaign ~db (spec ~jobs))
+        in
+        Timing.row "  -j %d: %2d jobs in %6.2fs  (%d/%d points covered)\n" jobs
+          summary.Fleet.total_jobs dt summary.Fleet.points_covered summary.Fleet.points_total;
+        (jobs, dir, db, dt))
+      [ 1; 2; 4 ]
+  in
+  let _, _, db1, t1 = List.hd results in
+  List.iter
+    (fun (jobs, _, db, dt) ->
+      if jobs <> 1 then begin
+        if not (Counts.equal (Db.aggregate db1) (Db.aggregate db)) then
+          failwith (Printf.sprintf "campaign aggregate differs at -j %d" jobs);
+        Timing.row "  speedup -j %d over -j 1: %.2fx (aggregate identical)\n" jobs (t1 /. dt)
+      end)
+    results;
+  List.iter (fun (_, dir, _, _) -> rm_rf dir) results

@@ -11,8 +11,13 @@
     - [bmc]     formal cover-trace generation (reachability per cover)
     - [fuzz]    coverage-directed fuzzing with a selectable feedback metric
     - [scan]    insert the FPGA scan chain and report modelled resources
+                (with [--db], only for points the database has not covered)
     - [profile] compile + simulate a design and print per-pass/per-phase
                 timings (the §5 overhead study as a subcommand)
+    - [db]      the persistent coverage database: init, add, list, diff,
+                rank (greedy test-suite minimization), report
+    - [campaign] run designs x backends x seeds in [-j N] forked workers
+                into a database, wave by wave with §5.3 removal between
 
     The compile-and-simulate subcommands also take [--profile[=FILE]] and
     [--trace FILE] to export structured telemetry (newline-delimited JSON
@@ -22,6 +27,8 @@ open Cmdliner
 module Bv = Sic_bv.Bv
 module Counts = Sic_coverage.Counts
 module Obs = Sic_obs.Obs
+module Db = Sic_db.Db
+module Fleet = Sic_fleet.Fleet
 open Sic_sim
 
 (* ------------------------------------------------------------------ *)
@@ -241,6 +248,9 @@ let handle_errors f =
   | Sic_ir.Circuit.Elaboration_error m | Backend.Sim_error m ->
       Printf.eprintf "error: %s\n" m;
       exit 1
+  | Db.Db_error m | Sic_coverage.Counts.Bad_format m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 1
 
 let emit_cmd =
   let run file design output =
@@ -324,15 +334,7 @@ let cover_cmd =
         | None ->
             Backend.reset_sequence b;
             let rng = Sic_fuzz.Rng.create seed in
-            let inputs = Backend.data_inputs b in
-            for _ = 1 to cycles do
-              List.iter
-                (fun (n, ty) ->
-                  b.Backend.poke n
-                    (Bv.random ~width:(Sic_ir.Ty.width ty) (Sic_fuzz.Rng.bits30 rng)))
-                inputs;
-              b.Backend.step 1
-            done);
+            Backend.random_stimulus ~bits:(Sic_fuzz.Rng.bits30 rng) ~cycles b);
         close_trace ();
         let counts = b.Backend.counts () in
         print_string (reports metrics dbs counts);
@@ -411,10 +413,39 @@ let width_arg =
   Arg.(value & opt int 16 & info [ "width" ] ~docv:"W" ~doc:"Coverage counter width in bits.")
 
 let scan_cmd =
-  let run file design metrics width =
+  let db_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "db" ] ~docv:"DIR"
+          ~doc:
+            "Apply §5.3 removal against this coverage database first: cover points the \
+             database already covers (at --threshold) are stripped before the scan chain \
+             is built, so the FPGA image only carries still-uncovered points.")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "threshold" ] ~docv:"N"
+          ~doc:"Removal threshold: drop covers the database saw at least $(docv) times.")
+  in
+  let run file design metrics width db threshold =
     handle_errors (fun () ->
         let c = load_circuit ~file ~design in
         let low, _ = instrument metrics c in
+        let low =
+          match db with
+          | None -> low
+          | Some dir ->
+              let covered = Db.removal_counts (Db.load dir) in
+              let r = Sic_coverage.Removal.remove_covered ~threshold covered low in
+              Printf.printf "removal        : %d covered points dropped, %d kept (db %s)\n"
+                (List.length r.Sic_coverage.Removal.removed)
+                (List.length r.Sic_coverage.Removal.kept)
+                dir;
+              r.Sic_coverage.Removal.circuit
+        in
         let chained, chain = Sic_firesim.Scan_chain.insert ~width low in
         let n = List.length chain.Sic_firesim.Scan_chain.order in
         let base = Sic_firesim.Resource_model.baseline low in
@@ -427,8 +458,10 @@ let scan_cmd =
   in
   Cmd.v
     (Cmd.info "scan"
-       ~doc:"Insert the FPGA coverage scan chain and report modelled resources.")
-    Term.(const run $ file_arg $ design_arg $ metrics_arg $ width_arg)
+       ~doc:
+         "Insert the FPGA coverage scan chain and report modelled resources (optionally \
+          only for points a coverage database has not yet covered).")
+    Term.(const run $ file_arg $ design_arg $ metrics_arg $ width_arg $ db_arg $ threshold_arg)
 
 let diff_cmd =
   let before = Arg.(required & pos 0 (some file) None & info [] ~docv:"BEFORE.cnt") in
@@ -474,15 +507,7 @@ let profile_cmd =
           (fun () ->
             Backend.reset_sequence b;
             let rng = Sic_fuzz.Rng.create seed in
-            let inputs = Backend.data_inputs b in
-            for _ = 1 to cycles do
-              List.iter
-                (fun (n, ty) ->
-                  b.Backend.poke n
-                    (Bv.random ~width:(Sic_ir.Ty.width ty) (Sic_fuzz.Rng.bits30 rng)))
-                inputs;
-              b.Backend.step 1
-            done);
+            Backend.random_stimulus ~bits:(Sic_fuzz.Rng.bits30 rng) ~cycles b);
         let counts = b.Backend.counts () in
         Printf.printf "design   : %s\n" low.Sic_ir.Circuit.circuit_name;
         Printf.printf "backend  : %s\n" b.Backend.backend_name;
@@ -510,13 +535,265 @@ let profile_cmd =
       const run $ file_arg $ design_arg $ metrics_arg $ backend_arg $ cycles_arg $ seed_arg
       $ profile_flag $ trace_flag)
 
+(* ------------------------------------------------------------------ *)
+(* The coverage database                                                *)
+(* ------------------------------------------------------------------ *)
+
+let db_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Coverage database directory.")
+
+let db_init_cmd =
+  let run dir = handle_errors (fun () -> ignore (Db.init dir)) in
+  Cmd.v
+    (Cmd.info "init" ~doc:"Create an empty coverage database (a directory with a manifest).")
+    Term.(const run $ db_dir_arg)
+
+let db_add_cmd =
+  let counts_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"COUNTS.cnt" ~doc:"Counts file.")
+  in
+  let design =
+    Arg.(
+      value & opt string "unknown" & info [ "design" ] ~docv:"NAME" ~doc:"Design the run covered.")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt string "external"
+      & info [ "backend" ] ~docv:"NAME" ~doc:"Backend that produced the counts.")
+  in
+  let workload =
+    Arg.(value & opt string "external" & info [ "workload" ] ~docv:"NAME" ~doc:"Workload name.")
+  in
+  let run dir counts design backend workload seed cycles =
+    handle_errors (fun () ->
+        let db = Db.load dir in
+        let r =
+          Db.add db ~design ~backend ~workload ~seed ~cycles (Ok (Counts.load counts))
+        in
+        print_endline (Db.render_run_line r))
+  in
+  Cmd.v
+    (Cmd.info "add"
+       ~doc:
+         "Register an externally produced counts file (any simulator, any format-v1 \
+          producer) as a run.")
+    Term.(const run $ db_dir_arg $ counts_arg $ design $ backend $ workload $ seed_arg $ cycles_arg)
+
+let db_list_cmd =
+  let run dir = handle_errors (fun () -> print_string (Db.render_list (Db.load dir))) in
+  Cmd.v (Cmd.info "list" ~doc:"List every recorded run.") Term.(const run $ db_dir_arg)
+
+let db_report_cmd =
+  let run dir counts_out =
+    handle_errors (fun () ->
+        let db = Db.load dir in
+        print_string (Db.render_report db);
+        match counts_out with
+        | None -> ()
+        | Some path -> Counts.save path (Db.removal_counts db))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Merged coverage summary across all runs; --save-counts exports the aggregate for \
+          §5.3 removal (sic scan --db does this in one step).")
+    Term.(const run $ db_dir_arg $ counts_out_arg)
+
+let db_diff_cmd =
+  let before = Arg.(required & pos 1 (some string) None & info [] ~docv:"RUN1") in
+  let after = Arg.(required & pos 2 (some string) None & info [] ~docv:"RUN2") in
+  let run dir before after =
+    handle_errors (fun () ->
+        print_string (Counts.render_diff (Db.diff (Db.load dir) ~before ~after)))
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Compare two runs' coverage by run id.")
+    Term.(const run $ db_dir_arg $ before $ after)
+
+let db_rank_cmd =
+  let threshold =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "threshold" ] ~docv:"N" ~doc:"A point counts as covered at $(docv) hits.")
+  in
+  let run dir threshold =
+    handle_errors (fun () -> print_string (Db.render_rank ~threshold (Db.load dir)))
+  in
+  Cmd.v
+    (Cmd.info "rank"
+       ~doc:
+         "Greedy set cover over the runs: the (approximately) minimal subset whose merged \
+          coverage equals the whole database's — test-suite minimization.")
+    Term.(const run $ db_dir_arg $ threshold)
+
+let db_cmd =
+  Cmd.group
+    (Cmd.info "db" ~doc:"The persistent coverage database (one directory, many runs).")
+    [ db_init_cmd; db_add_cmd; db_list_cmd; db_report_cmd; db_diff_cmd; db_rank_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_cmd =
+  let db_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "db" ] ~docv:"DIR" ~doc:"Coverage database to run into (created if missing).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Parallel worker processes.")
+  in
+  let designs_arg =
+    Arg.(
+      non_empty
+      & opt_all string []
+      & info [ "design" ] ~docv:"NAME" ~doc:"Built-in design (repeatable).")
+  in
+  let backends_arg =
+    Arg.(
+      value
+      & opt_all string [ "compiled" ]
+      & info [ "backend" ] ~docv:"NAME"
+          ~doc:
+            "Backend for the single default wave (repeatable): interp, compiled, essent, \
+             fpga, fuzz, bmc. Ignored when --waves is given.")
+  in
+  let waves_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "waves" ] ~docv:"SPEC"
+          ~doc:
+            "Comma-separated waves, each a +-separated backend group, cheap to expensive \
+             — e.g. 'interp+compiled,fuzz,bmc'. After each wave, covered points are \
+             removed from the next wave's instrumentation (§5.3).")
+  in
+  let seeds_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "seeds" ] ~docv:"K" ~doc:"Runs per (design, backend) within a wave.")
+  in
+  let execs_arg =
+    Arg.(value & opt int 300 & info [ "execs" ] ~docv:"N" ~doc:"Fuzz executions per fuzz job.")
+  in
+  let bound_arg =
+    Arg.(value & opt int 10 & info [ "bound" ] ~docv:"K" ~doc:"BMC bound per bmc job.")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "threshold" ] ~docv:"N"
+          ~doc:"Inter-wave removal threshold: strip points covered at least $(docv) times.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SEC" ~doc:"Kill any job running longer than $(docv) seconds.")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "retries" ] ~docv:"R"
+          ~doc:"Extra attempts for a crashed, timed-out or failing job before recording it \
+                as a failed run.")
+  in
+  let scan_width_arg =
+    Arg.(
+      value & opt int 16 & info [ "scan-width" ] ~docv:"W" ~doc:"FPGA coverage counter width.")
+  in
+  let inject_crash_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject-crash" ] ~docv:"IDX"
+          ~doc:
+            "Testing aid: the worker of the job with this global index kills itself \
+             (SIGKILL) on every attempt, exercising failure isolation.")
+  in
+  let run db_dir jobs designs metrics backends waves seeds cycles execs bound seed threshold
+      timeout retries scan_width inject_crash profile trace =
+    handle_errors (fun () ->
+        with_telemetry ~profile ~trace @@ fun () ->
+        let parse_backend s =
+          match Fleet.backend_of_string s with
+          | Some b -> b
+          | None ->
+              Printf.eprintf "unknown backend %s; available: interp, compiled, essent, fpga, \
+                              fuzz, bmc\n"
+                s;
+              exit 2
+        in
+        let waves =
+          match waves with
+          | None -> [ List.map parse_backend backends ]
+          | Some spec ->
+              String.split_on_char ',' spec
+              |> List.filter (fun s -> String.trim s <> "")
+              |> List.map (fun group ->
+                     String.split_on_char '+' group |> List.map String.trim
+                     |> List.map parse_backend)
+        in
+        let designs =
+          List.map
+            (fun name ->
+              let c = load_circuit ~file:None ~design:(Some name) in
+              (name, fst (instrument metrics c)))
+            designs
+        in
+        let db = Db.open_or_init db_dir in
+        let spec =
+          {
+            Fleet.designs;
+            waves;
+            seeds;
+            cycles;
+            execs;
+            bound;
+            scan_width;
+            master_seed = seed;
+            jobs;
+            timeout_s = timeout;
+            retries;
+            threshold;
+          }
+        in
+        let inject_crash =
+          match inject_crash with None -> fun _ -> false | Some i -> fun idx -> idx = i
+        in
+        let summary = Fleet.run_campaign ~inject_crash ~db spec in
+        print_string (Fleet.render_summary summary))
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run designs x backends x seeds in parallel forked workers into a coverage \
+          database, wave by wave with §5.3 removal between waves. The database contents \
+          are byte-for-byte independent of -j.")
+    Term.(
+      const run $ db_arg $ jobs_arg $ designs_arg $ metrics_arg $ backends_arg $ waves_arg
+      $ seeds_arg $ cycles_arg $ execs_arg $ bound_arg $ seed_arg $ threshold_arg
+      $ timeout_arg $ retries_arg $ scan_width_arg $ inject_crash_arg $ profile_flag
+      $ trace_flag)
+
 let main =
   Cmd.group
     (Cmd.info "sic" ~version:"1.0.0"
        ~doc:"Simulator-independent coverage for RTL hardware languages.")
     [
       emit_cmd; lower_cmd; cover_cmd; merge_cmd; diff_cmd; bmc_cmd; fuzz_cmd; scan_cmd;
-      stats_cmd; profile_cmd;
+      stats_cmd; profile_cmd; db_cmd; campaign_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -6,3 +6,7 @@ cd "$(dirname "$0")"
 dune build @fmt
 dune build
 dune runtest
+
+# CLI regression, explicitly: campaign -j independence, crash survival,
+# db rank coverage preservation (test/cli/check_campaign.ml)
+dune build @test/cli/runtest

@@ -49,6 +49,17 @@ let merge (ts : t list) : t =
   List.iter (fun t -> Hashtbl.iter (fun k v -> add out k v) t) ts;
   out
 
+(** Pointwise maximum. Unlike {!merge} this is idempotent, so it is the
+    right combinator when the same run's counts may be delivered more than
+    once (worker retries, at-least-once collection in [Sic_fleet]). *)
+let union_max (ts : t list) : t =
+  let out = create () in
+  List.iter
+    (fun t ->
+      Hashtbl.iter (fun k v -> if (not (Hashtbl.mem out k)) || v > get out k then set out k v) t)
+    ts;
+  out
+
 let equal (a : t) (b : t) = to_sorted_list a = to_sorted_list b
 
 type diff = {
@@ -93,8 +104,16 @@ let render_diff (d : diff) : string =
     are comments. This is the format the report generators consume,
     independent of which simulator produced it. *)
 
+(* The only header this implementation understands. Other "# sic coverage
+   counts vN" lines are rejected rather than skipped as comments, so a
+   future format bump cannot be silently misread as an empty/partial map
+   (the coverage database versions its counts files through this). *)
+let header = "# sic coverage counts v1"
+
+let header_prefix = "# sic coverage counts"
+
 let output oc (t : t) =
-  output_string oc "# sic coverage counts v1\n";
+  output_string oc (header ^ "\n");
   List.iter (fun (k, v) -> Printf.fprintf oc "%d %s\n" v k) (to_sorted_list t)
 
 let save path (t : t) =
@@ -103,29 +122,38 @@ let save path (t : t) =
 
 exception Bad_format of string
 
-let parse_line line =
+let bad_format lineno fmt =
+  Printf.ksprintf (fun m -> raise (Bad_format (Printf.sprintf "line %d: %s" lineno m))) fmt
+
+let parse_line lineno line =
   let line = String.trim line in
-  if line = "" || line.[0] = '#' then None
+  if String.length line >= String.length header_prefix
+     && String.sub line 0 (String.length header_prefix) = header_prefix
+  then
+    if line = header then None
+    else bad_format lineno "unsupported counts format %S (this reader understands %S)" line header
+  else if line = "" || line.[0] = '#' then None
   else
     match String.index_opt line ' ' with
-    | None -> raise (Bad_format line)
+    | None -> bad_format lineno "expected '<count> <name>', got %S" line
     | Some i -> (
         let count = String.sub line 0 i in
         let name = String.sub line (i + 1) (String.length line - i - 1) in
         match int_of_string_opt count with
         | Some c when c >= 0 -> Some (name, c)
-        | Some _ | None -> raise (Bad_format line))
+        | Some _ | None -> bad_format lineno "bad count in %S" line)
 
 let of_string s =
   let t = create () in
-  List.iter
-    (fun line -> match parse_line line with Some (n, c) -> add t n c | None -> ())
+  List.iteri
+    (fun i line ->
+      match parse_line (i + 1) line with Some (n, c) -> add t n c | None -> ())
     (String.split_on_char '\n' s);
   t
 
 let to_string (t : t) =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf "# sic coverage counts v1\n";
+  Buffer.add_string buf (header ^ "\n");
   List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%d %s\n" v k)) (to_sorted_list t);
   Buffer.contents buf
 

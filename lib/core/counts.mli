@@ -29,7 +29,15 @@ val covered : ?threshold:int -> t -> string list
 
 val merge : t list -> t
 (** Pointwise saturating sum; missing keys count as zero, so partial
-    instrumentations merge cleanly. *)
+    instrumentations merge cleanly. Commutative and associative (so
+    parallel, out-of-order merging is sound) but {e not} idempotent:
+    merging the same run twice double-counts. *)
+
+val union_max : t list -> t
+(** Pointwise maximum. Commutative, associative {e and} idempotent — safe
+    under at-least-once delivery (e.g. a retried worker reporting the same
+    run twice). Like {!merge}, missing keys count as zero and zero-count
+    points are preserved. *)
 
 val equal : t -> t -> bool
 
@@ -47,9 +55,16 @@ val render_diff : diff -> string
 
 (** {1 Interchange format}
 
-    One line per point: [<count> <name>]; [#] starts a comment. *)
+    One line per point: [<count> <name>]; [#] starts a comment. The first
+    line written is always the versioned header
+    [# sic coverage counts v1]; a reader encountering any other
+    [# sic coverage counts vN] line raises {!Bad_format} instead of
+    skipping it as a comment, so files from an incompatible future format
+    fail loudly. *)
 
 exception Bad_format of string
+(** The message names the offending line number, e.g.
+    ["line 3: bad count in \"x y\""]. *)
 
 val output : out_channel -> t -> unit
 val save : string -> t -> unit

@@ -39,13 +39,16 @@ let tile label covered total =
   Printf.sprintf "<div class=\"tile\"><b>%.1f%%</b>%s (%d/%d)</div>" (pct covered total)
     (esc label) covered total
 
-(* annotated source listing for one file *)
-let source_section buf file (lines : (int * int) list) =
+(* annotated source listing for one file; relative paths resolve against
+   [source_root], so reports written from another directory (a coverage
+   database, say) still find their sources *)
+let source_section buf ~source_root file (lines : (int * int) list) =
   Buffer.add_string buf (Printf.sprintf "<h2>%s</h2>\n<table>\n" (esc file));
   Buffer.add_string buf "<tr><th>line</th><th class=\"count\">count</th><th>source</th></tr>\n";
+  let path = if Filename.is_relative file then Filename.concat source_root file else file in
   let source =
-    if Sys.file_exists file then begin
-      let ic = open_in file in
+    if Sys.file_exists path then begin
+      let ic = open_in path in
       Fun.protect
         ~finally:(fun () -> close_in ic)
         (fun () ->
@@ -73,8 +76,11 @@ let source_section buf file (lines : (int * int) list) =
   Buffer.add_string buf "</table>\n"
 
 (** Render one self-contained HTML page. Only the metrics whose metadata
-    is passed appear. *)
-let render ?(title = "SIC coverage report") ?(line : Line_coverage.db option)
+    is passed appear. Relative source-file paths in the line-coverage
+    listings are resolved against [source_root] (default: the process
+    CWD), not wherever the report happens to be generated from. *)
+let render ?(title = "SIC coverage report") ?(source_root = Filename.current_dir_name)
+    ?(line : Line_coverage.db option)
     ?(toggle : Toggle_coverage.db option) ?(fsm : Fsm_coverage.db option)
     ?(rv : Ready_valid_coverage.db option) (counts : Counts.t) : string =
   let buf = Buffer.create 4096 in
@@ -121,7 +127,7 @@ let render ?(title = "SIC coverage report") ?(line : Line_coverage.db option)
               (fun ((f, l), c) -> if String.equal f file then Some (l, c) else None)
               r.Line_coverage.per_line
           in
-          source_section buf file lines)
+          source_section buf ~source_root file lines)
         files
   | None -> ());
   (* other metric details reuse the ASCII renderers inside <pre> *)
@@ -145,8 +151,8 @@ let render ?(title = "SIC coverage report") ?(line : Line_coverage.db option)
   Buffer.add_string buf "</body></html>\n";
   Buffer.contents buf
 
-let save path ?title ?line ?toggle ?fsm ?rv counts =
+let save path ?title ?source_root ?line ?toggle ?fsm ?rv counts =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (render ?title ?line ?toggle ?fsm ?rv counts))
+    (fun () -> output_string oc (render ?title ?source_root ?line ?toggle ?fsm ?rv counts))

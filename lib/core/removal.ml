@@ -46,16 +46,17 @@ let remove_covered ?(threshold = 10) (counts : Counts.t) (c : Circuit.t) : resul
     Production coverage flows let verification engineers waive points that
     are known-unreachable or out of scope (e.g. debug-only logic). A
     waiver is a pattern over hierarchical cover names: [*] matches any
-    substring, everything else is literal. *)
+    substring (including the empty one), [?] matches exactly one
+    character, everything else is literal. *)
 
-(** [matches ~pattern name]: glob with [*] as the only metacharacter. *)
+(** [matches ~pattern name]: glob with [*] and [?] as the metacharacters. *)
 let matches ~pattern name =
   let np = String.length pattern and nn = String.length name in
-  (* dynamic programming over (pattern index, name index) *)
+  (* recursion over (pattern index, name index) *)
   let rec go pi ni =
     if pi = np then ni = nn
     else if pattern.[pi] = '*' then go (pi + 1) ni || (ni < nn && go pi (ni + 1))
-    else ni < nn && pattern.[pi] = name.[ni] && go (pi + 1) (ni + 1)
+    else ni < nn && (pattern.[pi] = '?' || pattern.[pi] = name.[ni]) && go (pi + 1) (ni + 1)
   in
   go 0 0
 

@@ -16,10 +16,21 @@ val remove_covered : ?threshold:int -> Counts.t -> Circuit.t -> result
 val restrict : Circuit.t -> Counts.t -> Counts.t
 (** Keep only the counts of covers the circuit still contains. *)
 
-(** {1 Waivers (coverage exclusions)} *)
+(** {1 Waivers (coverage exclusions)}
+
+    The pattern language is a deliberately small glob over hierarchical
+    cover names:
+
+    - [*] matches any substring, including the empty one;
+    - [?] matches exactly one character (so [cover_?] waives [cover_0]
+      but not [cover_10] or [cover_]);
+    - every other character, including [.] path separators, is literal.
+
+    A pattern must match the {e whole} name: [icache.*] waives everything
+    under [icache.] but not [dcache.state]. *)
 
 val matches : pattern:string -> string -> bool
-(** Glob with [*] as the only metacharacter. *)
+(** Glob with [*] and [?] as the only metacharacters (see above). *)
 
 val remove_matching : patterns:string list -> Circuit.t -> result
 val parse_waivers : string -> string list

@@ -1,0 +1,385 @@
+(** The persistent coverage database.
+
+    The paper's §5.3 observation — every backend reports the same
+    [cover point -> count] map, so coverage "can be merged across backends
+    trivially" — only pays off at scale if the runs are kept somewhere: a
+    campaign produces hundreds of counts maps from different backends,
+    workloads and seeds, and the interesting questions (what is covered
+    overall? which runs matter? what is still worth instrumenting on the
+    FPGA?) are questions about the {e collection}.
+
+    A database is a plain directory:
+
+    - [manifest.ndjson] — one JSON object per line ({!Sic_obs.Json}
+      syntax): a versioned header record, then one [run] record per
+      completed or failed job, appended in arrival order;
+    - [<run-id>.cnt] — the counts map of each successful run, in the
+      {!Sic_coverage.Counts} v1 interchange format;
+    - [aggregate.cnt] — a cached pointwise-sum of every successful run,
+      kept up to date incrementally on {!add} (saturating addition is
+      associative and commutative, so incremental maintenance equals a
+      full re-merge).
+
+    Everything is human-readable text; [rm aggregate.cnt] simply forces a
+    recompute. *)
+
+module Counts = Sic_coverage.Counts
+module Json = Sic_obs.Json
+module Obs = Sic_obs.Obs
+
+exception Db_error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Db_error m)) fmt
+
+type status = Run_ok | Run_failed of string
+
+type run = {
+  id : string;
+  design : string;
+  circuit_hash : string;  (** digest of the instrumented circuit, or "-" *)
+  backend : string;
+  workload : string;
+  seed : int;
+  cycles : int;  (** simulated cycles / fuzz execs / BMC bound, per workload *)
+  wave : int;
+  wall_us : float;
+  status : status;
+  points_total : int;
+  points_covered : int;
+}
+
+type t = {
+  dir : string;
+  mutable runs_rev : run list;  (** newest first; manifest order is the reverse *)
+}
+
+let version = 1
+
+let manifest_path dir = Filename.concat dir "manifest.ndjson"
+
+let aggregate_path dir = Filename.concat dir "aggregate.cnt"
+
+let counts_file run = run.id ^ ".cnt"
+
+let dir t = t.dir
+
+let runs t = List.rev t.runs_rev
+
+let find t id = List.find_opt (fun r -> r.id = id) t.runs_rev
+
+let ok_runs t = List.filter (fun r -> r.status = Run_ok) (runs t)
+
+(* ------------------------------------------------------------------ *)
+(* Manifest encoding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_run (r : run) : Json.t =
+  Json.Obj
+    ([
+       ("type", Json.String "run");
+       ("id", Json.String r.id);
+       ("design", Json.String r.design);
+       ("circuit_hash", Json.String r.circuit_hash);
+       ("backend", Json.String r.backend);
+       ("workload", Json.String r.workload);
+       ("seed", Json.Int r.seed);
+       ("cycles", Json.Int r.cycles);
+       ("wave", Json.Int r.wave);
+       ("wall_us", Json.Float r.wall_us);
+       ("points_total", Json.Int r.points_total);
+       ("points_covered", Json.Int r.points_covered);
+     ]
+    @
+    match r.status with
+    | Run_ok -> [ ("status", Json.String "ok") ]
+    | Run_failed why -> [ ("status", Json.String "failed"); ("error", Json.String why) ])
+
+let run_of_json lineno (j : Json.t) : run =
+  let str k =
+    match Json.string_member k j with
+    | Some s -> s
+    | None -> error "manifest line %d: missing field %s" lineno k
+  in
+  let int k =
+    match Json.int_member k j with
+    | Some i -> i
+    | None -> error "manifest line %d: missing field %s" lineno k
+  in
+  let status =
+    match str "status" with
+    | "ok" -> Run_ok
+    | "failed" -> Run_failed (Option.value ~default:"unknown" (Json.string_member "error" j))
+    | s -> error "manifest line %d: unknown status %S" lineno s
+  in
+  {
+    id = str "id";
+    design = str "design";
+    circuit_hash = str "circuit_hash";
+    backend = str "backend";
+    workload = str "workload";
+    seed = int "seed";
+    cycles = int "cycles";
+    wave = int "wave";
+    wall_us = Option.value ~default:0. (Json.float_member "wall_us" j);
+    status;
+    points_total = int "points_total";
+    points_covered = int "points_covered";
+  }
+
+let header_json () =
+  Json.Obj
+    [
+      ("type", Json.String "meta");
+      ("format", Json.String "sic-db");
+      ("version", Json.Int version);
+    ]
+
+let append_line dir (j : Json.t) =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 (manifest_path dir)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string j);
+      output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Open / create                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let init dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then error "%s exists and is not a directory" dir;
+  if Sys.file_exists (manifest_path dir) then error "%s is already a coverage database" dir;
+  (* a stale cache from a hand-deleted manifest must not leak into the
+     fresh database's incremental aggregate *)
+  if Sys.file_exists (aggregate_path dir) then Sys.remove (aggregate_path dir);
+  append_line dir (header_json ());
+  { dir; runs_rev = [] }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load dir =
+  if not (Sys.file_exists (manifest_path dir)) then
+    error "%s is not a coverage database (no manifest.ndjson); run `sic db init` first" dir;
+  let lines =
+    read_file (manifest_path dir)
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let parse lineno l =
+    try Json.parse l
+    with Json.Parse_error m -> error "manifest line %d: %s" lineno m
+  in
+  match lines with
+  | [] -> error "%s: empty manifest" dir
+  | header :: rest ->
+      let h = parse 1 header in
+      (match (Json.string_member "format" h, Json.int_member "version" h) with
+      | Some "sic-db", Some v when v = version -> ()
+      | Some "sic-db", Some v ->
+          error "%s: database version %d, this build reads version %d" dir v version
+      | _ -> error "%s: manifest does not start with a sic-db meta record" dir);
+      let runs =
+        List.mapi (fun i l -> run_of_json (i + 2) (parse (i + 2) l)) rest
+      in
+      { dir; runs_rev = List.rev runs }
+
+let open_or_init dir = if Sys.file_exists (manifest_path dir) then load dir else init dir
+
+(* ------------------------------------------------------------------ *)
+(* Counts and the aggregate cache                                       *)
+(* ------------------------------------------------------------------ *)
+
+let load_counts t (run : run) : Counts.t =
+  match run.status with
+  | Run_failed _ -> error "run %s failed; it has no counts" run.id
+  | Run_ok -> Counts.load (Filename.concat t.dir (counts_file run))
+
+let recompute_aggregate t : Counts.t =
+  Obs.span "db.aggregate.recompute" @@ fun () ->
+  let agg = Counts.merge (List.map (load_counts t) (ok_runs t)) in
+  Counts.save (aggregate_path t.dir) agg;
+  agg
+
+let aggregate t : Counts.t =
+  if Sys.file_exists (aggregate_path t.dir) then Counts.load (aggregate_path t.dir)
+  else recompute_aggregate t
+
+(** The §5.3 export: the merged counts, ready to feed
+    {!Sic_coverage.Removal.remove_covered} so the next (more expensive)
+    instrumentation only carries still-uncovered points. *)
+let removal_counts = aggregate
+
+let next_id t = Printf.sprintf "r%04d" (List.length t.runs_rev + 1)
+
+let add t ~design ?(circuit_hash = "-") ~backend ~workload ~seed ~cycles ?(wave = 0)
+    ?(wall_us = 0.) (outcome : (Counts.t, string) result) : run =
+  Obs.span "db.add" @@ fun () ->
+  let id = next_id t in
+  let status, points_total, points_covered =
+    match outcome with
+    | Ok counts -> (Run_ok, Counts.total_points counts, Counts.covered_points counts)
+    | Error why -> (Run_failed why, 0, 0)
+  in
+  let run =
+    {
+      id;
+      design;
+      circuit_hash;
+      backend;
+      workload;
+      seed;
+      cycles;
+      wave;
+      wall_us;
+      status;
+      points_total;
+      points_covered;
+    }
+  in
+  (match outcome with
+  | Ok counts ->
+      Counts.save (Filename.concat t.dir (counts_file run)) counts;
+      (* maintain the cache incrementally: sum-merge is associative *)
+      let agg =
+        if t.runs_rev = [] then counts
+        else Counts.merge [ aggregate t; counts ]
+      in
+      Counts.save (aggregate_path t.dir) agg
+  | Error _ -> Obs.count "db.failed_runs");
+  append_line t.dir (json_of_run run);
+  t.runs_rev <- run :: t.runs_rev;
+  run
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let get_run t id =
+  match find t id with Some r -> r | None -> error "no run %s in %s" id t.dir
+
+let diff t ~before ~after =
+  Counts.diff ~before:(load_counts t (get_run t before)) ~after:(load_counts t (get_run t after))
+
+(** Greedy set cover: the classic ln(n)-approximate minimal subset of runs
+    whose union reaches every point the whole database covers (at
+    [threshold]). This is the paper's "remove already-covered points"
+    generalized to test-suite minimization: keep these runs, retire the
+    rest. Deterministic: ties break toward the earlier run id. *)
+let rank ?(threshold = 1) t : run list =
+  Obs.span "db.rank" @@ fun () ->
+  let with_counts =
+    List.map (fun r -> (r, load_counts t r)) (ok_runs t)
+  in
+  let target =
+    List.sort_uniq String.compare
+      (List.concat_map (fun (_, c) -> Counts.covered ~threshold c) with_counts)
+  in
+  let uncovered = Hashtbl.create 256 in
+  List.iter (fun p -> Hashtbl.replace uncovered p ()) target;
+  let gain (_, counts) =
+    List.fold_left
+      (fun acc p -> if Hashtbl.mem uncovered p then acc + 1 else acc)
+      0
+      (Counts.covered ~threshold counts)
+  in
+  let rec go picked remaining =
+    if Hashtbl.length uncovered = 0 || remaining = [] then List.rev picked
+    else
+      let best, best_gain =
+        List.fold_left
+          (fun (best, best_gain) cand ->
+            let g = gain cand in
+            if g > best_gain then (Some cand, g) else (best, best_gain))
+          (None, 0) remaining
+      in
+      match best with
+      | None | Some _ when best_gain = 0 -> List.rev picked
+      | None -> List.rev picked
+      | Some ((r, counts) as chosen) ->
+          List.iter (fun p -> Hashtbl.remove uncovered p) (Counts.covered ~threshold counts);
+          go (r :: picked) (List.filter (fun c -> c != chosen) remaining)
+  in
+  go [] with_counts
+
+(* ------------------------------------------------------------------ *)
+(* Rendering (the CLI's output)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let render_run_line (r : run) =
+  Printf.sprintf "%-6s %-12s %-9s %-8s w%-2d seed=%-6d n=%-8d %s" r.id r.design r.backend
+    r.workload r.wave r.seed r.cycles
+    (match r.status with
+    | Run_ok -> Printf.sprintf "%d/%d covered" r.points_covered r.points_total
+    | Run_failed why -> "FAILED: " ^ why)
+
+let render_list t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "coverage database %s: %d runs (%d ok, %d failed)\n" t.dir
+       (List.length t.runs_rev)
+       (List.length (ok_runs t))
+       (List.length t.runs_rev - List.length (ok_runs t)));
+  List.iter (fun r -> Buffer.add_string buf (render_run_line r ^ "\n")) (runs t);
+  Buffer.contents buf
+
+let render_report t =
+  let buf = Buffer.create 512 in
+  let agg = aggregate t in
+  let total = Counts.total_points agg and cov = Counts.covered_points agg in
+  Buffer.add_string buf
+    (Printf.sprintf "runs        : %d ok, %d failed\n"
+       (List.length (ok_runs t))
+       (List.length t.runs_rev - List.length (ok_runs t)));
+  Buffer.add_string buf
+    (Printf.sprintf "cover points: %d/%d covered (%.1f%%)\n" cov total
+       (if total = 0 then 100. else 100. *. float_of_int cov /. float_of_int total));
+  (* contribution per backend: points each backend covered on its own *)
+  let backends =
+    List.sort_uniq String.compare (List.map (fun r -> r.backend) (ok_runs t))
+  in
+  List.iter
+    (fun backend ->
+      let c =
+        Counts.merge
+          (List.filter_map
+             (fun r -> if r.backend = backend then Some (load_counts t r) else None)
+             (ok_runs t))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-9s : %d/%d points, %d runs\n" backend (Counts.covered_points c)
+           total
+           (List.length (List.filter (fun r -> r.backend = backend) (ok_runs t)))))
+    backends;
+  let uncovered = List.filter (fun n -> Counts.get agg n = 0) (Counts.names agg) in
+  if uncovered <> [] then begin
+    Buffer.add_string buf "still uncovered:\n";
+    List.iter (fun n -> Buffer.add_string buf ("  " ^ n ^ "\n")) uncovered
+  end;
+  Buffer.contents buf
+
+let render_rank ?threshold t =
+  let picked = rank ?threshold t in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d of %d runs suffice for full merged coverage:\n" (List.length picked)
+       (List.length (ok_runs t)));
+  let covered = Hashtbl.create 256 in
+  List.iter
+    (fun r ->
+      let c = load_counts t r in
+      let fresh =
+        List.filter (fun p -> not (Hashtbl.mem covered p)) (Counts.covered ?threshold c)
+      in
+      List.iter (fun p -> Hashtbl.replace covered p ()) fresh;
+      Buffer.add_string buf
+        (Printf.sprintf "  %s  +%-4d points  (%s %s seed=%d)\n" r.id (List.length fresh)
+           r.design r.backend r.seed))
+    picked;
+  Buffer.contents buf

@@ -1,0 +1,98 @@
+(** Persistent coverage database: a directory of runs.
+
+    Layout: [manifest.ndjson] (a versioned meta record, then one JSON
+    record per run, append-only), one [<id>.cnt] counts file per
+    successful run ({!Sic_coverage.Counts} v1 format), and a cached
+    [aggregate.cnt] maintained incrementally on {!add}. All text, all
+    diffable; deleting [aggregate.cnt] just forces a recompute.
+
+    This is the substrate of the §5.3 flow at campaign scale: every
+    backend's runs land here in the same format, merging is the trivial
+    pointwise sum, and {!removal_counts}/{!rank} answer "what is still
+    worth instrumenting" and "which runs are worth keeping". *)
+
+module Counts = Sic_coverage.Counts
+
+exception Db_error of string
+
+type status = Run_ok | Run_failed of string
+
+type run = {
+  id : string;  (** ["r0001"], assigned by {!add} in arrival order *)
+  design : string;
+  circuit_hash : string;  (** digest of the instrumented circuit, or ["-"] *)
+  backend : string;  (** [interp] / [compiled] / [essent] / [fpga] / [fuzz] / [bmc] / ... *)
+  workload : string;  (** [random] / [fuzz] / [bmc] / free-form *)
+  seed : int;
+  cycles : int;  (** simulated cycles, fuzz execs or BMC bound, per workload *)
+  wave : int;  (** campaign wave this run belonged to; 0 outside campaigns *)
+  wall_us : float;
+  status : status;
+  points_total : int;
+  points_covered : int;
+}
+
+type t
+
+val init : string -> t
+(** Create the directory (if needed) and an empty manifest. Raises
+    {!Db_error} if one already exists there. *)
+
+val load : string -> t
+(** Open an existing database; rejects missing manifests and manifests
+    written by an incompatible format version. *)
+
+val open_or_init : string -> t
+
+val dir : t -> string
+val runs : t -> run list
+(** Manifest (arrival) order. *)
+
+val find : t -> string -> run option
+val ok_runs : t -> run list
+
+val add :
+  t ->
+  design:string ->
+  ?circuit_hash:string ->
+  backend:string ->
+  workload:string ->
+  seed:int ->
+  cycles:int ->
+  ?wave:int ->
+  ?wall_us:float ->
+  (Counts.t, string) result ->
+  run
+(** Record one run: write its counts file (on [Ok]), append the manifest
+    record, and fold the counts into the cached aggregate. [Error why]
+    records a failed run — no counts, aggregate untouched — so a crashed
+    worker leaves an audit trail instead of a hole. *)
+
+val load_counts : t -> run -> Counts.t
+val aggregate : t -> Counts.t
+(** The merged counts of every successful run (cached; recomputed when the
+    cache file is missing). *)
+
+val recompute_aggregate : t -> Counts.t
+(** Force a full re-merge and rewrite the cache. *)
+
+val removal_counts : t -> Counts.t
+(** The §5.3 export: feed this to {!Sic_coverage.Removal.remove_covered}
+    (or [sic scan --db]) so the next, more expensive instrumentation
+    carries only still-uncovered points. Currently the aggregate. *)
+
+val diff : t -> before:string -> after:string -> Counts.diff
+(** Compare two runs by id. *)
+
+val rank : ?threshold:int -> t -> run list
+(** Greedy set cover: an approximately minimal subset of runs whose merged
+    coverage (at [threshold], default 1) equals the whole database's —
+    test-suite minimization over the run store. Deterministic; runs are
+    returned in pick order (largest marginal gain first). *)
+
+(** {1 Text renderers (the [sic db] subcommands)} *)
+
+val render_run_line : run -> string
+val render_list : t -> string
+val render_report : t -> string
+val render_rank : ?threshold:int -> t -> string

@@ -57,6 +57,16 @@ let run_and_scan (b : Sic_sim.Backend.t) (chain : Scan_chain.chain)
   workload b;
   scan_out b chain
 
+(** The modelled-FPGA campaign job: reset, run the default random workload
+    for [cycles] on the scan-chain circuit, then scan the counts out.
+    [bits] supplies seeded randomness (see
+    {!Sic_sim.Backend.random_stimulus}). *)
+let run_random ~(bits : unit -> int) ~cycles (b : Sic_sim.Backend.t)
+    (chain : Scan_chain.chain) : scan_result =
+  run_and_scan b chain ~workload:(fun b ->
+      Sic_sim.Backend.reset_sequence b;
+      Sic_sim.Backend.random_stimulus ~bits ~cycles b)
+
 (** Scan-out wall-clock estimate at a given simulator frequency, in
     milliseconds. *)
 let scan_millis ~scan_cycles ~mhz = float_of_int scan_cycles /. (mhz *. 1000.0)

@@ -19,6 +19,11 @@ val run_and_scan :
   scan_result
 (** Run [workload] with counting enabled, then scan out. *)
 
+val run_random :
+  bits:(unit -> int) -> cycles:int -> Sic_sim.Backend.t -> Scan_chain.chain -> scan_result
+(** Reset, drive the default random workload for [cycles], then scan out —
+    the modelled-FPGA job the campaign orchestrator schedules. *)
+
 val scan_millis : scan_cycles:int -> mhz:float -> float
 (** Wall-clock cost of a scan at a target frequency, in ms (§5.2). *)
 

@@ -1,0 +1,480 @@
+(** The campaign orchestrator: many workloads x seeds x backends, in
+    parallel, into one coverage database.
+
+    The paper's common counts format makes every backend's result
+    mergeable (§5.3); this module supplies the missing operational half:
+    shard a deterministic job list across [-j N] forked worker processes,
+    collect each worker's counts over a pipe, survive crashes and
+    timeouts (a dead worker records a {e failed run}, never kills the
+    campaign), and between {e waves} fold everything into the database
+    and strip already-covered points from the next, more expensive
+    instrumentation — the §5.3 removal loop generalized from
+    "software then FPGA" to an arbitrary cost ladder (simulators, then
+    fuzzing, then modelled FPGA, then BMC).
+
+    Determinism: each job's RNG seed derives from the campaign master
+    seed and the job's global index ({!Sic_fuzz.Rng.split}), never from
+    scheduling; results are committed to the database in job order at
+    each wave barrier; and the aggregate is a commutative, associative
+    merge — so the database contents are byte-for-byte identical at any
+    [-j]. *)
+
+module Bv = Sic_bv.Bv
+module Counts = Sic_coverage.Counts
+module Removal = Sic_coverage.Removal
+module Db = Sic_db.Db
+module Json = Sic_obs.Json
+module Obs = Sic_obs.Obs
+module Rng = Sic_fuzz.Rng
+open Sic_sim
+
+(* ------------------------------------------------------------------ *)
+(* Jobs                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type backend = Interp | Compiled | Essent | Fpga | Fuzz | Bmc
+
+let backend_name = function
+  | Interp -> "interp"
+  | Compiled -> "compiled"
+  | Essent -> "essent"
+  | Fpga -> "fpga"
+  | Fuzz -> "fuzz"
+  | Bmc -> "bmc"
+
+let backend_of_string = function
+  | "interp" -> Some Interp
+  | "compiled" -> Some Compiled
+  | "essent" -> Some Essent
+  | "fpga" -> Some Fpga
+  | "fuzz" -> Some Fuzz
+  | "bmc" -> Some Bmc
+  | _ -> None
+
+(** What a backend runs as a workload, for the run record. *)
+let workload_name = function
+  | Interp | Compiled | Essent | Fpga -> "random"
+  | Fuzz -> "fuzz"
+  | Bmc -> "bmc"
+
+type job = {
+  index : int;  (** global position in the campaign's job list *)
+  design : string;
+  circuit : Sic_ir.Circuit.t;  (** instrumented, lowered, removal applied *)
+  circuit_hash : string;
+  backend : backend;
+  seed : int;  (** derived deterministically from (master seed, index) *)
+  budget : int;  (** cycles (sims/FPGA), execs (fuzz) or bound (BMC) *)
+  wave : int;
+  scan_width : int;  (** FPGA counter width *)
+}
+
+type job_result = { counts : Counts.t; sim_cycles : int; wall_us : float }
+
+(** Execute one job in the current process. Pure function of the job
+    (every source of randomness is seeded from [job.seed]). *)
+let run_job (job : job) : job_result =
+  let t0 = Unix.gettimeofday () in
+  let finish ~sim_cycles counts =
+    { counts; sim_cycles; wall_us = (Unix.gettimeofday () -. t0) *. 1e6 }
+  in
+  let rng = Rng.create job.seed in
+  match job.backend with
+  | Interp | Compiled | Essent ->
+      let create =
+        match job.backend with
+        | Interp -> Interp.create
+        | Essent -> Essent.create
+        | _ -> fun c -> Compiled.create c
+      in
+      let b = create job.circuit in
+      Backend.reset_sequence b;
+      Backend.random_stimulus ~bits:(Rng.bits30 rng) ~cycles:job.budget b;
+      finish ~sim_cycles:(b.Backend.cycles ()) (b.Backend.counts ())
+  | Fpga ->
+      let chained, chain = Sic_firesim.Scan_chain.insert ~width:job.scan_width job.circuit in
+      let b = Compiled.create chained in
+      let r = Sic_firesim.Driver.run_random ~bits:(Rng.bits30 rng) ~cycles:job.budget b chain in
+      finish ~sim_cycles:(b.Backend.cycles ()) r.Sic_firesim.Driver.counts
+  | Fuzz ->
+      let h = Sic_fuzz.Fuzzer.make_harness job.circuit in
+      let r =
+        Sic_fuzz.Fuzzer.run ~seed:job.seed ~execs:job.budget ~seed_cycles:32 ~max_cycles:128 h
+      in
+      finish ~sim_cycles:r.Sic_fuzz.Fuzzer.final.Sic_fuzz.Fuzzer.execs
+        r.Sic_fuzz.Fuzzer.final.Sic_fuzz.Fuzzer.cumulative
+  | Bmc ->
+      let report = Sic_formal.Bmc.check_covers ~bound:job.budget job.circuit in
+      (* a reachable cover counts once (the witness trace reaches it); an
+         unreachable-within-bound cover is reported at zero so the
+         aggregate still knows the point exists *)
+      let counts = Counts.create () in
+      List.iter
+        (fun (name, verdict) ->
+          match verdict with
+          | Sic_formal.Bmc.Reachable _ -> Counts.set counts name 1
+          | Sic_formal.Bmc.Unreachable_within_bound -> Counts.set counts name 0)
+        report.Sic_formal.Bmc.results;
+      finish ~sim_cycles:job.budget counts
+
+(* ------------------------------------------------------------------ *)
+(* The worker pool                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Worker -> parent payload: one JSON header line, then (on success) the
+   counts map in its own interchange format. Reusing the two existing
+   text formats means no new parser and human-debuggable pipes. *)
+
+let encode_ok (r : job_result) : string =
+  Json.to_string
+    (Json.Obj
+       [
+         ("status", Json.String "ok");
+         ("sim_cycles", Json.Int r.sim_cycles);
+         ("wall_us", Json.Float r.wall_us);
+       ])
+  ^ "\n" ^ Counts.to_string r.counts
+
+let encode_failed (why : string) : string =
+  Json.to_string (Json.Obj [ ("status", Json.String "failed"); ("error", Json.String why) ])
+  ^ "\n"
+
+let decode (payload : string) : (job_result, string) result =
+  match String.index_opt payload '\n' with
+  | None -> Error "truncated worker result"
+  | Some i -> (
+      let header = String.sub payload 0 i in
+      let rest = String.sub payload (i + 1) (String.length payload - i - 1) in
+      match Json.parse header with
+      | exception Json.Parse_error m -> Error ("bad worker header: " ^ m)
+      | h -> (
+          match Json.string_member "status" h with
+          | Some "ok" -> (
+              match Counts.of_string rest with
+              | counts ->
+                  Ok
+                    {
+                      counts;
+                      sim_cycles = Option.value ~default:0 (Json.int_member "sim_cycles" h);
+                      wall_us = Option.value ~default:0. (Json.float_member "wall_us" h);
+                    }
+              | exception Counts.Bad_format m -> Error ("bad worker counts: " ^ m))
+          | Some "failed" ->
+              Error (Option.value ~default:"unknown" (Json.string_member "error" h))
+          | Some s -> Error ("unknown worker status " ^ s)
+          | None -> Error "worker header lacks a status"))
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(** What the forked child does. [crash] simulates a hard worker death
+    (SIGKILL to itself) — the failure-isolation test hook. Exits via
+    [Unix._exit] so the parent's buffered channels and [at_exit] hooks
+    never run twice. *)
+let child_main ~crash (job : job) (wfd : Unix.file_descr) : 'a =
+  (* runtime prints from the simulated design belong to the job, not to
+     the campaign's terminal *)
+  Obs.sink := ignore;
+  if crash then Unix.kill (Unix.getpid ()) Sys.sigkill;
+  (try
+     let payload = try encode_ok (run_job job) with e -> encode_failed (Printexc.to_string e) in
+     write_all wfd payload
+   with _ -> ());
+  (try Unix.close wfd with _ -> ());
+  Unix._exit 0
+
+type worker = {
+  pid : int;
+  w_job : job;
+  attempt : int;  (** 0-based *)
+  rfd : Unix.file_descr;
+  buf : Buffer.t;
+  started : float;
+  mutable timed_out : bool;
+}
+
+let rec waitpid_retry pid =
+  match Unix.waitpid [] pid with
+  | r -> r
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+let select_retry rfds timeout =
+  match Unix.select rfds [] [] timeout with
+  | r, _, _ -> r
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+
+(** Run every job, at most [jobs] concurrently, each in its own forked
+    worker. Per-job [timeout_s] and [retries] (extra attempts after a
+    crash, a timeout or a job-level exception); a job that still fails is
+    returned as [Error reason] — the campaign never dies with its
+    workers. Results come back in input order regardless of completion
+    order. [inject_crash] marks jobs whose workers kill themselves hard
+    (testing). *)
+let run_jobs ?(jobs = 1) ?timeout_s ?(retries = 1) ?(inject_crash = fun _ -> false)
+    (work : job list) : (job * (job_result, string) result) list =
+  let jobs = max 1 jobs in
+  let results : (int, (job_result, string) result) Hashtbl.t = Hashtbl.create 64 in
+  let pending = Queue.create () in
+  List.iter (fun j -> Queue.add (j, 0) pending) work;
+  let running : worker list ref = ref [] in
+  let gauge_in_flight () =
+    Obs.gauge "fleet.jobs_in_flight" (float_of_int (List.length !running))
+  in
+  let spawn (job, attempt) =
+    (* decide crash injection in the parent: the hook may be stateful
+       (e.g. "crash only on the first attempt"), and child-side mutations
+       would be lost with the fork *)
+    let crash = inject_crash job in
+    let rfd, wfd = Unix.pipe () in
+    (* the parent's pending buffered output must not be replayed by the
+       child's libc on its own descriptors *)
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        (try Unix.close rfd with _ -> ());
+        child_main ~crash job wfd
+    | pid ->
+        Unix.close wfd;
+        running :=
+          {
+            pid;
+            w_job = job;
+            attempt;
+            rfd;
+            buf = Buffer.create 4096;
+            started = Unix.gettimeofday ();
+            timed_out = false;
+          }
+          :: !running;
+        gauge_in_flight ()
+  in
+  let finish (w : worker) =
+    (try Unix.close w.rfd with _ -> ());
+    let _, wstatus = waitpid_retry w.pid in
+    running := List.filter (fun x -> x.pid <> w.pid) !running;
+    gauge_in_flight ();
+    let outcome =
+      if w.timed_out then
+        Error
+          (Printf.sprintf "timeout after %.1fs" (Option.value ~default:0. timeout_s))
+      else
+        (* OCaml signal numbers are negative internals; name the common ones *)
+        let signal_name s =
+          if s = Sys.sigkill then "SIGKILL"
+          else if s = Sys.sigsegv then "SIGSEGV"
+          else if s = Sys.sigterm then "SIGTERM"
+          else if s = Sys.sigint then "SIGINT"
+          else if s = Sys.sigabrt then "SIGABRT"
+          else string_of_int s
+        in
+        match wstatus with
+        | Unix.WEXITED 0 -> decode (Buffer.contents w.buf)
+        | Unix.WEXITED n -> Error (Printf.sprintf "worker exited with status %d" n)
+        | Unix.WSIGNALED s -> Error (Printf.sprintf "worker killed by signal %s" (signal_name s))
+        | Unix.WSTOPPED s -> Error (Printf.sprintf "worker stopped by signal %s" (signal_name s))
+    in
+    match outcome with
+    | Ok r -> Hashtbl.replace results w.w_job.index (Ok r)
+    | Error why when w.attempt < retries ->
+        Obs.instant "fleet.retry"
+          ~args:
+            [
+              ("job", Obs.Int w.w_job.index);
+              ("attempt", Obs.Int (w.attempt + 1));
+              ("why", Obs.Str why);
+            ];
+        Queue.add (w.w_job, w.attempt + 1) pending
+    | Error why ->
+        Obs.count "fleet.failed_jobs";
+        Hashtbl.replace results w.w_job.index (Error why)
+  in
+  let chunk = Bytes.create 65536 in
+  while (not (Queue.is_empty pending)) || !running <> [] do
+    while List.length !running < jobs && not (Queue.is_empty pending) do
+      spawn (Queue.pop pending)
+    done;
+    let readable = select_retry (List.map (fun w -> w.rfd) !running) 0.05 in
+    List.iter
+      (fun fd ->
+        match List.find_opt (fun w -> w.rfd = fd) !running with
+        | None -> ()
+        | Some w -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> finish w
+            | n -> Buffer.add_subbytes w.buf chunk 0 n
+            | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+                finish w))
+      readable;
+    (match timeout_s with
+    | None -> ()
+    | Some limit ->
+        let now = Unix.gettimeofday () in
+        List.iter
+          (fun w ->
+            if (not w.timed_out) && now -. w.started > limit then begin
+              w.timed_out <- true;
+              try Unix.kill w.pid Sys.sigkill with _ -> ()
+            end)
+          !running)
+  done;
+  List.map
+    (fun j ->
+      match Hashtbl.find_opt results j.index with
+      | Some r -> (j, r)
+      | None -> (j, Error "job lost by the orchestrator"))
+    work
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns: waves of jobs over a database                             *)
+(* ------------------------------------------------------------------ *)
+
+type spec = {
+  designs : (string * Sic_ir.Circuit.t) list;
+      (** instrumented and lowered; the orchestrator only applies removal *)
+  waves : backend list list;  (** one entry per wave, cheap to expensive *)
+  seeds : int;  (** runs per (design, backend) within a wave *)
+  cycles : int;  (** budget of the simulation and FPGA backends *)
+  execs : int;  (** budget of the fuzzing backend *)
+  bound : int;  (** budget of the BMC backend *)
+  scan_width : int;
+  master_seed : int;
+  jobs : int;
+  timeout_s : float option;
+  retries : int;
+  threshold : int;  (** §5.3 removal threshold applied between waves *)
+}
+
+let default_spec =
+  {
+    designs = [];
+    waves = [ [ Compiled ] ];
+    seeds = 1;
+    cycles = 1000;
+    execs = 300;
+    bound = 10;
+    scan_width = 16;
+    master_seed = 0;
+    jobs = 1;
+    timeout_s = None;
+    retries = 1;
+    threshold = 1;
+  }
+
+type summary = {
+  total_jobs : int;
+  ok : int;
+  failed : int;
+  waves_run : int;
+  removed_points : int;  (** cover points stripped by inter-wave removal *)
+  points_total : int;
+  points_covered : int;
+}
+
+let budget_of spec = function
+  | Interp | Compiled | Essent | Fpga -> spec.cycles
+  | Fuzz -> spec.execs
+  | Bmc -> spec.bound
+
+(** Run a whole campaign into [db]. Jobs are enumerated wave by wave,
+    design-major then backend then seed index, so the job list — and with
+    it every derived seed and the database contents — is independent of
+    [-j]. [inject_crash] receives the global job index (testing hook). *)
+let run_campaign ?(inject_crash = fun _ -> false) ~(db : Db.t) (spec : spec) : summary =
+  let master = Rng.create spec.master_seed in
+  let job_counter = ref 0 in
+  let ok = ref 0 and failed = ref 0 and removed_total = ref 0 in
+  let hash c = Digest.to_hex (Digest.string (Sic_ir.Printer.circuit_to_string c)) in
+  List.iteri
+    (fun wave_idx backends ->
+      Obs.span "fleet.wave" ~args:[ ("wave", Obs.Int wave_idx) ] @@ fun () ->
+      (* §5.3: strip points the database already covers before this wave *)
+      let covered_so_far =
+        if Db.runs db = [] then Counts.create () else Db.removal_counts db
+      in
+      let wave_designs =
+        List.map
+          (fun (name, circuit) ->
+            let r = Removal.remove_covered ~threshold:spec.threshold covered_so_far circuit in
+            removed_total := !removed_total + List.length r.Removal.removed;
+            (name, r.Removal.circuit, hash r.Removal.circuit))
+          spec.designs
+      in
+      let wave_jobs =
+        List.concat_map
+          (fun (design, circuit, circuit_hash) ->
+            List.concat_map
+              (fun backend ->
+                List.init spec.seeds (fun _s ->
+                    let index = !job_counter in
+                    incr job_counter;
+                    let seed =
+                      Int64.to_int
+                        (Int64.logand (Rng.next64 (Rng.split master index)) 0x3FFFFFFFL)
+                    in
+                    {
+                      index;
+                      design;
+                      circuit;
+                      circuit_hash;
+                      backend;
+                      seed;
+                      budget = budget_of spec backend;
+                      wave = wave_idx;
+                      scan_width = spec.scan_width;
+                    }))
+              backends)
+          wave_designs
+      in
+      let results =
+        run_jobs ~jobs:spec.jobs ?timeout_s:spec.timeout_s ~retries:spec.retries
+          ~inject_crash:(fun j -> inject_crash j.index)
+          wave_jobs
+      in
+      (* wave barrier: commit in job order, so the manifest is as
+         deterministic as the aggregate *)
+      Obs.span "fleet.merge" ~args:[ ("wave", Obs.Int wave_idx) ] (fun () ->
+          List.iter
+            (fun (job, outcome) ->
+              let outcome, wall_us =
+                match outcome with
+                | Ok (r : job_result) ->
+                    incr ok;
+                    (Ok r.counts, r.wall_us)
+                | Error why ->
+                    incr failed;
+                    (Error why, 0.)
+              in
+              ignore
+                (Db.add db ~design:job.design ~circuit_hash:job.circuit_hash
+                   ~backend:(backend_name job.backend)
+                   ~workload:(workload_name job.backend) ~seed:job.seed ~cycles:job.budget
+                   ~wave:job.wave ~wall_us outcome))
+            results);
+      let agg = Db.aggregate db in
+      Obs.gauge "fleet.points_remaining"
+        (float_of_int (Counts.total_points agg - Counts.covered_points agg)))
+    spec.waves;
+  let agg = Db.aggregate db in
+  {
+    total_jobs = !job_counter;
+    ok = !ok;
+    failed = !failed;
+    waves_run = List.length spec.waves;
+    removed_points = !removed_total;
+    points_total = Counts.total_points agg;
+    points_covered = Counts.covered_points agg;
+  }
+
+let render_summary (s : summary) : string =
+  Printf.sprintf
+    "campaign: %d jobs in %d waves (%d ok, %d failed), %d points removed pre-instrumentation\n\
+     coverage: %d/%d points (%.1f%%)\n"
+    s.total_jobs s.waves_run s.ok s.failed s.removed_points s.points_covered s.points_total
+    (if s.points_total = 0 then 100.
+     else 100. *. float_of_int s.points_covered /. float_of_int s.points_total)

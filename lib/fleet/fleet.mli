@@ -1,0 +1,96 @@
+(** Parallel multi-backend campaign orchestrator.
+
+    Shards a deterministic job list (designs x backends x seeds, grouped
+    into waves) across [-j N] forked worker processes, collects each
+    worker's counts map over a pipe, and folds everything into a
+    {!Sic_db.Db} coverage database. Failure-isolated: a crashed,
+    timed-out or raising worker is retried and, if it keeps failing,
+    recorded as a failed run — the campaign always completes. Between
+    waves the §5.3 removal pass strips points the database already
+    covers, so each successive (more expensive) wave instruments less.
+
+    The database contents are byte-for-byte independent of [-j]: job
+    seeds derive from (master seed, global job index) via
+    {!Sic_fuzz.Rng.split}, results are committed in job order at each
+    wave barrier, and the aggregate merge is commutative and
+    associative. *)
+
+module Counts = Sic_coverage.Counts
+
+(** {1 Jobs} *)
+
+type backend = Interp | Compiled | Essent | Fpga | Fuzz | Bmc
+(** [Fpga] is the modelled FireSim path: scan-chain insertion plus the
+    host driver ({!Sic_firesim.Driver.run_random}); [Bmc] reports each
+    targeted cover at 1 (reachable, witness found) or 0 (unreachable
+    within the bound). *)
+
+val backend_name : backend -> string
+val backend_of_string : string -> backend option
+val workload_name : backend -> string
+
+type job = {
+  index : int;  (** global position in the campaign's job list *)
+  design : string;
+  circuit : Sic_ir.Circuit.t;  (** instrumented, lowered, removal applied *)
+  circuit_hash : string;
+  backend : backend;
+  seed : int;
+  budget : int;  (** cycles (sims/FPGA), execs (fuzz) or bound (BMC) *)
+  wave : int;
+  scan_width : int;
+}
+
+type job_result = { counts : Counts.t; sim_cycles : int; wall_us : float }
+
+val run_job : job -> job_result
+(** Execute one job in the current process; deterministic in [job.seed]. *)
+
+val run_jobs :
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?inject_crash:(job -> bool) ->
+  job list ->
+  (job * (job_result, string) result) list
+(** Fork up to [jobs] workers at a time; retry crashes/timeouts/raises up
+    to [retries] extra attempts; never raises on worker death. Results
+    are in input order. [inject_crash] makes matching jobs' workers
+    SIGKILL themselves (the failure-isolation test hook). *)
+
+(** {1 Campaigns} *)
+
+type spec = {
+  designs : (string * Sic_ir.Circuit.t) list;
+      (** instrumented and lowered; the orchestrator only applies removal *)
+  waves : backend list list;  (** one entry per wave, cheap to expensive *)
+  seeds : int;  (** runs per (design, backend) within a wave *)
+  cycles : int;
+  execs : int;
+  bound : int;
+  scan_width : int;
+  master_seed : int;
+  jobs : int;
+  timeout_s : float option;
+  retries : int;
+  threshold : int;  (** §5.3 removal threshold applied between waves *)
+}
+
+val default_spec : spec
+(** One [Compiled] wave, 1 seed, 1000 cycles, [-j 1], threshold 1. *)
+
+type summary = {
+  total_jobs : int;
+  ok : int;
+  failed : int;
+  waves_run : int;
+  removed_points : int;
+  points_total : int;
+  points_covered : int;
+}
+
+val run_campaign : ?inject_crash:(int -> bool) -> db:Sic_db.Db.t -> spec -> summary
+(** Enumerate and run every wave into [db]. [inject_crash] receives the
+    global job index. *)
+
+val render_summary : summary -> string

@@ -14,6 +14,18 @@ let next64 (t : t) : int64 =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+(** The [i]-th child stream of [t]'s current state, without advancing [t].
+    Children of distinct indices (and of distinct parent states) are
+    decorrelated by a full splitmix64 mixing round, so a campaign can hand
+    shard [i] the stream [split master i] and get results independent of
+    how many shards run or in which order they are scheduled. *)
+let split (t : t) i =
+  let child =
+    { s = Int64.logxor t.s (Int64.mul (Int64.of_int (i + 1)) 0xBF58476D1CE4E5B9L) }
+  in
+  child.s <- next64 child;
+  child
+
 (** Uniform int in [0, bound). *)
 let int (t : t) bound =
   if bound <= 0 then 0

@@ -6,6 +6,12 @@ type t
 
 val create : int -> t
 val next64 : t -> int64
+
+val split : t -> int -> t
+(** [split t i] is the [i]-th child stream of [t]'s current state; [t] is
+    not advanced. Deterministic per [(state, i)] and decorrelated across
+    indices — the per-shard seeding primitive of {!Sic_fleet}. *)
+
 val int : t -> int -> int
 (** Uniform in [0, bound); 0 when [bound <= 0]. *)
 

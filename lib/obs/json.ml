@@ -249,6 +249,22 @@ let parse (src : string) : t =
 let member key (v : t) =
   match v with Obj fields -> List.assoc_opt key fields | _ -> None
 
+(* typed field accessors, for consumers that walk records (the coverage
+   database manifest, the profile checkers) without pattern-matching
+   boilerplate at every call site *)
+
+let string_member key v = match member key v with Some (String s) -> Some s | _ -> None
+
+let int_member key v = match member key v with Some (Int i) -> Some i | _ -> None
+
+let float_member key v =
+  match member key v with
+  | Some (Float f) -> Some f
+  | Some (Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let bool_member key v = match member key v with Some (Bool b) -> Some b | _ -> None
+
 let rec equal (a : t) (b : t) =
   match (a, b) with
   | Null, Null -> true

@@ -25,4 +25,12 @@ val parse : string -> t
 val member : string -> t -> t option
 (** [member key json] looks a field up in an [Obj]; [None] otherwise. *)
 
+val string_member : string -> t -> string option
+val int_member : string -> t -> int option
+
+val float_member : string -> t -> float option
+(** Also accepts an [Int] field, widening it. *)
+
+val bool_member : string -> t -> bool option
+
 val equal : t -> t -> bool

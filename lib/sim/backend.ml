@@ -107,6 +107,18 @@ let data_inputs (b : t) =
       | Circuit.Input | Circuit.Output -> None)
     m.Circuit.ports
 
+(** The default random workload shared by [sic cover], [sic profile] and
+    the fleet's simulation jobs: drive every data input with a fresh
+    random value, then step, [cycles] times. [bits] supplies randomness
+    30 bits at a time (see {!Sic_bv.Bv.random}); pass a seeded
+    [Sic_fuzz.Rng.bits30] for reproducibility. *)
+let random_stimulus ~(bits : unit -> int) ~cycles (b : t) =
+  let inputs = data_inputs b in
+  for _ = 1 to cycles do
+    List.iter (fun (n, ty) -> b.poke n (Bv.random ~width:(Ty.width ty) bits)) inputs;
+    b.step 1
+  done
+
 let outputs (b : t) =
   let m = Circuit.main b.circuit in
   List.filter_map

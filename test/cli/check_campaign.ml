@@ -1,0 +1,87 @@
+(* CLI regression for [sic campaign] / [sic db]: the coverage database a
+   campaign produces must be byte-for-byte independent of -j, a crashed
+   worker must be recorded as a failed run without killing the campaign,
+   and [sic db rank] must pick a run subset whose merged coverage equals
+   the full aggregate.
+
+   Usage: check_campaign.exe SIC.exe *)
+
+module Counts = Sic_coverage.Counts
+module Db = Sic_db.Db
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_campaign: " ^ m); exit 1) fmt
+
+let sic = ref "sic"
+
+let run fmt =
+  Printf.ksprintf
+    (fun args ->
+      let cmd = Printf.sprintf "%s %s >> check_campaign.log 2>&1" (Filename.quote !sic) args in
+      let rc = Sys.command cmd in
+      if rc <> 0 then fail "command failed with %d: sic %s" rc args)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let campaign_args =
+  "--design gcd --design fifo --design counter --backend compiled --backend interp \
+   --seeds 1 --cycles 300 --seed 7"
+
+let () =
+  (match Sys.argv with [| _; exe |] -> sic := exe | _ -> fail "usage: check_campaign.exe SIC.exe");
+  (* the same campaign at -j 1 and -j 4: 3 designs x 2 backends *)
+  run "campaign --db db_j1 -j 1 %s" campaign_args;
+  run "campaign --db db_j4 -j 4 %s" campaign_args;
+  (* every counts file — per-run and the cached aggregate — byte-identical *)
+  let cnt_files dir =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".cnt")
+    |> List.sort compare
+  in
+  let f1 = cnt_files "db_j1" and f4 = cnt_files "db_j4" in
+  if f1 <> f4 then fail "different counts files: [%s] vs [%s]" (String.concat " " f1) (String.concat " " f4);
+  if not (List.mem "aggregate.cnt" f1) then fail "no aggregate.cnt in db_j1";
+  List.iter
+    (fun f ->
+      let a = read_file (Filename.concat "db_j1" f) and b = read_file (Filename.concat "db_j4" f) in
+      if a <> b then fail "%s differs between -j 1 and -j 4" f)
+    f1;
+  (* manifests agree on everything but wall time *)
+  let view db = List.map (fun r -> { r with Db.wall_us = 0. }) (Db.runs db) in
+  let db1 = Db.load "db_j1" and db4 = Db.load "db_j4" in
+  if view db1 <> view db4 then fail "manifests differ between -j 1 and -j 4";
+  if List.length (Db.runs db1) <> 6 then
+    fail "expected 6 runs (3 designs x 2 backends), got %d" (List.length (Db.runs db1));
+  (* an injected worker crash: recorded as a failed run, campaign completes *)
+  run
+    "campaign --db db_crash -j 2 --inject-crash 0 --retries 1 --design gcd --design counter \
+     --backend compiled --seeds 1 --cycles 200";
+  let dbc = Db.load "db_crash" in
+  let failed =
+    List.filter (fun r -> match r.Db.status with Db.Run_failed _ -> true | _ -> false) (Db.runs dbc)
+  in
+  if List.length failed <> 1 then fail "expected 1 failed run, got %d" (List.length failed);
+  if List.length (Db.ok_runs dbc) <> 1 then
+    fail "expected the surviving job to be recorded ok";
+  (* the db subcommands run over the result *)
+  run "db list db_j4";
+  run "db report db_j4 --save-counts db_j4_aggregate.cnt";
+  run "db rank db_j4";
+  run "db diff db_j4 r0001 r0002";
+  if not (Counts.equal (Counts.load "db_j4_aggregate.cnt") (Db.aggregate db4)) then
+    fail "exported aggregate differs from the library view";
+  (* rank: the picked subset's merged coverage equals the aggregate's *)
+  let picked = Db.rank db4 in
+  if picked = [] then fail "rank picked nothing";
+  let subset = Counts.merge (List.map (Db.load_counts db4) picked) in
+  if Counts.covered subset <> Counts.covered (Db.aggregate db4) then
+    fail "rank subset does not cover the aggregate";
+  if List.length picked > List.length (Db.ok_runs db4) then fail "rank picked too many runs";
+  (* scan --db: §5.3 removal against the database before instrumentation *)
+  run "scan --design gcd -m line --width 8 --db db_j4 --threshold 1";
+  print_endline "check_campaign: ok"

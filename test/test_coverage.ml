@@ -423,6 +423,15 @@ let test_waivers () =
   Alcotest.(check bool) "star all" true (matches ~pattern:"*" "anything");
   Alcotest.(check bool) "no match" false (matches ~pattern:"icache.*" "dcache.state");
   Alcotest.(check bool) "multi star" true (matches ~pattern:"*fsm*WriteThrough*" "fsm_icache.state_state_WriteThrough");
+  (* ? matches exactly one character *)
+  Alcotest.(check bool) "qmark one char" true (matches ~pattern:"core?.alu" "core0.alu");
+  Alcotest.(check bool) "qmark not empty" false (matches ~pattern:"core?.alu" "core.alu");
+  Alcotest.(check bool) "qmark not two chars" false (matches ~pattern:"core?.alu" "core10.alu");
+  Alcotest.(check bool) "qmark matches dot" true (matches ~pattern:"a?b" "a.b");
+  Alcotest.(check bool) "qmark with star" true (matches ~pattern:"l_???_*" "l_GCD_12");
+  Alcotest.(check bool) "qmark with star, wrong width" false (matches ~pattern:"l_???_*" "l_IO_12");
+  Alcotest.(check bool) "trailing qmark" true (matches ~pattern:"l_Alu_?" "l_Alu_7");
+  Alcotest.(check bool) "trailing qmark needs a char" false (matches ~pattern:"l_Alu_?" "l_Alu_");
   (* parse waiver text *)
   Alcotest.(check (list string)) "parse" [ "a*"; "b.c" ]
     (parse_waivers "# comment\na*\n\n  b.c  \n");
@@ -454,12 +463,86 @@ let counts_merge_props =
               (Counts.merge [ a; Counts.merge [ b; c ] ])
          && Counts.equal (Counts.merge [ a; Counts.create () ]) (Counts.merge [ a ])))
 
+let counts_union_props =
+  let gen_counts =
+    QCheck.Gen.(
+      map Counts.of_list
+        (small_list (pair (map (Printf.sprintf "c%d") (int_bound 10)) (int_bound 1000))))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200
+       ~name:"counts union_max: commutative, associative, idempotent; merge is not"
+       (QCheck.make QCheck.Gen.(triple gen_counts gen_counts gen_counts))
+       (fun (a, b, c) ->
+         Counts.equal (Counts.union_max [ a; b ]) (Counts.union_max [ b; a ])
+         && Counts.equal
+              (Counts.union_max [ Counts.union_max [ a; b ]; c ])
+              (Counts.union_max [ a; Counts.union_max [ b; c ] ])
+         (* idempotent: re-delivering the same run is a no-op *)
+         && Counts.equal (Counts.union_max [ a; a ]) (Counts.union_max [ a ])
+         && Counts.equal (Counts.union_max [ a; Counts.create () ]) (Counts.union_max [ a ])
+         (* merge, by contrast, is only idempotent on all-zero maps *)
+         && Counts.equal (Counts.merge [ a; a ]) a
+            = List.for_all (fun (_, v) -> v = 0) (Counts.to_sorted_list a)
+         (* union_max never exceeds merge pointwise *)
+         && List.for_all
+              (fun (n, v) -> v <= Counts.get (Counts.merge [ a; b ]) n)
+              (Counts.to_sorted_list (Counts.union_max [ a; b ]))))
+
+let test_union_max_zeros () =
+  let a = Counts.of_list [ ("p", 0); ("q", 2) ] in
+  let b = Counts.of_list [ ("q", 1); ("r", 0) ] in
+  let u = Counts.union_max [ a; b ] in
+  Alcotest.(check int) "zero-count keys preserved" 3 (Counts.total_points u);
+  Alcotest.(check int) "max wins" 2 (Counts.get u "q");
+  Alcotest.(check (list string)) "covered set is the union of covered sets" [ "q" ]
+    (Counts.covered u)
+
+let test_counts_format () =
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let c = Counts.of_list [ ("a", 1); ("b", 0) ] in
+  let s = Counts.to_string c in
+  (* the first line is the versioned header, and it round-trips *)
+  (match String.split_on_char '\n' s with
+  | first :: _ -> Alcotest.(check string) "versioned header" "# sic coverage counts v1" first
+  | [] -> Alcotest.fail "empty counts text");
+  Alcotest.(check bool) "round-trips" true (Counts.equal c (Counts.of_string s));
+  (* an incompatible future header is rejected, naming its line *)
+  (try
+     ignore (Counts.of_string "# sic coverage counts v2\n1 a\n");
+     Alcotest.fail "v2 header accepted"
+   with Counts.Bad_format m ->
+     Alcotest.(check bool) "v2 error has line number" true (contains ~needle:"line 1" m));
+  (try
+     ignore (Counts.of_string "# a comment\n1 a\n# sic coverage counts v9\n");
+     Alcotest.fail "late v9 header accepted"
+   with Counts.Bad_format m ->
+     Alcotest.(check bool) "late header error has line number" true
+       (contains ~needle:"line 3" m));
+  (* malformed data lines carry their line number too *)
+  (try
+     ignore (Counts.of_string "# sic coverage counts v1\n1 a\nnope b\n");
+     Alcotest.fail "bad count accepted"
+   with Counts.Bad_format m ->
+     Alcotest.(check bool) "bad count names line 3" true (contains ~needle:"line 3" m));
+  (* ordinary comments and blank lines are still skipped *)
+  let c' = Counts.of_string "# sic coverage counts v1\n\n# note\n3 x\n" in
+  Alcotest.(check int) "data parsed around comments" 3 (Counts.get c' "x")
+
 let tests =
   [
     Alcotest.test_case "fsm: reset entry cover" `Quick test_fsm_reset_cover;
     Alcotest.test_case "dsl: switch default" `Quick test_switch_default;
     Alcotest.test_case "waivers" `Quick test_waivers;
     counts_merge_props;
+    counts_union_props;
+    Alcotest.test_case "union_max keeps zero-count keys" `Quick test_union_max_zeros;
+    Alcotest.test_case "counts format: header, versions, line numbers" `Quick
+      test_counts_format;
     Alcotest.test_case "line: full coverage on gcd" `Quick test_line_gcd;
     Alcotest.test_case "line: partial coverage detected" `Quick test_line_partial;
     Alcotest.test_case "line: report renders" `Quick test_line_report_renders;

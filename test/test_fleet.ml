@@ -1,0 +1,209 @@
+(** Tests for the campaign orchestrator (lib/fleet): forked job execution,
+    -j independence of the resulting database, crash isolation and the
+    rank-subset acceptance property. *)
+
+module Counts = Sic_coverage.Counts
+module Line = Sic_coverage.Line_coverage
+module Db = Sic_db.Db
+module Fleet = Sic_fleet.Fleet
+open Helpers
+
+let fresh_dir =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Printf.sprintf "%s_%d_%d" prefix (Unix.getpid ()) !n
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let instrumented name c =
+  let ic, _ = Line.instrument c in
+  (name, lower ic)
+
+let mk_jobs ?(backend = Fleet.Compiled) ?(budget = 200) seeds =
+  let _, low = instrumented "gcd" (gcd_circuit ()) in
+  List.mapi
+    (fun i seed ->
+      {
+        Fleet.index = i;
+        design = "gcd";
+        circuit = low;
+        circuit_hash = "-";
+        backend;
+        seed;
+        budget;
+        wave = 1;
+        scan_width = 8;
+      })
+    seeds
+
+let test_run_jobs_parallel_equals_serial () =
+  let job_list = mk_jobs [ 11; 22; 33; 44 ] in
+  let counts_of results =
+    List.map
+      (fun (j, r) ->
+        match r with
+        | Ok res -> (j.Fleet.index, res.Fleet.counts)
+        | Error why -> Alcotest.fail ("job failed: " ^ why))
+      results
+  in
+  let serial = counts_of (Fleet.run_jobs ~jobs:1 job_list) in
+  let parallel = counts_of (Fleet.run_jobs ~jobs:3 job_list) in
+  Alcotest.(check (list int)) "results in input order" [ 0; 1; 2; 3 ]
+    (List.map fst parallel);
+  List.iter2
+    (fun (i, a) (_, b) ->
+      Alcotest.(check bool) (Printf.sprintf "job %d counts identical" i) true
+        (Counts.equal a b))
+    serial parallel;
+  (* and both match an in-process execution: determinism in the seed *)
+  List.iter2
+    (fun job (i, c) ->
+      Alcotest.(check bool) (Printf.sprintf "job %d = in-process run" i) true
+        (Counts.equal (Fleet.run_job job).Fleet.counts c))
+    job_list serial
+
+let test_run_jobs_crash_isolated () =
+  let job_list = mk_jobs [ 1; 2; 3 ] in
+  let results =
+    Fleet.run_jobs ~jobs:2 ~retries:0
+      ~inject_crash:(fun j -> j.Fleet.index = 1)
+      job_list
+  in
+  List.iter
+    (fun (j, r) ->
+      match (j.Fleet.index, r) with
+      | 1, Error why ->
+          Alcotest.(check bool) "crash reported as signal" true
+            (String.length why > 0)
+      | 1, Ok _ -> Alcotest.fail "crashed job reported ok"
+      | i, Error why -> Alcotest.fail (Printf.sprintf "job %d failed: %s" i why)
+      | _, Ok _ -> ())
+    results;
+  (* a crash that stops being injected is healed by the retry *)
+  let first = ref true in
+  let healed =
+    Fleet.run_jobs ~jobs:1 ~retries:1
+      ~inject_crash:(fun _ ->
+        if !first then (
+          first := false;
+          true)
+        else false)
+      (mk_jobs [ 5 ])
+  in
+  match healed with
+  | [ (_, Ok _) ] -> ()
+  | [ (_, Error why) ] -> Alcotest.fail ("retry did not heal transient crash: " ^ why)
+  | _ -> Alcotest.fail "unexpected result shape"
+
+let test_bmc_job () =
+  let _, low = instrumented "fsm" (fst (fsm_circuit ())) in
+  let job =
+    {
+      Fleet.index = 0;
+      design = "fsm";
+      circuit = low;
+      circuit_hash = "-";
+      backend = Fleet.Bmc;
+      seed = 0;
+      budget = 4;
+      wave = 1;
+      scan_width = 8;
+    }
+  in
+  let res = Fleet.run_job job in
+  let pts = Counts.to_sorted_list res.Fleet.counts in
+  Alcotest.(check bool) "bmc reports every point" true (pts <> []);
+  List.iter
+    (fun (n, v) ->
+      Alcotest.(check bool) (n ^ " is 0/1") true (v = 0 || v = 1))
+    pts;
+  Alcotest.(check bool) "some point reachable" true (List.exists (fun (_, v) -> v = 1) pts)
+
+let small_spec ~jobs =
+  {
+    Fleet.designs =
+      [ instrumented "gcd" (gcd_circuit ()); instrumented "fsm" (fst (fsm_circuit ())) ];
+    waves = [ [ Fleet.Compiled ]; [ Fleet.Fuzz ] ];
+    seeds = 2;
+    cycles = 150;
+    execs = 40;
+    bound = 5;
+    scan_width = 8;
+    master_seed = 42;
+    jobs;
+    timeout_s = None;
+    retries = 1;
+    threshold = 1;
+  }
+
+let manifest_view db =
+  List.map
+    (fun r ->
+      ( r.Db.id,
+        r.Db.design,
+        r.Db.backend,
+        r.Db.seed,
+        r.Db.wave,
+        (match r.Db.status with Db.Run_ok -> "ok" | Db.Run_failed _ -> "failed") ))
+    (Db.runs db)
+
+let test_campaign_j_independent () =
+  let dir1 = fresh_dir "fleet_j1" and dir4 = fresh_dir "fleet_j4" in
+  let db1 = Db.init dir1 and db4 = Db.init dir4 in
+  let s1 = Fleet.run_campaign ~db:db1 (small_spec ~jobs:1) in
+  let s4 = Fleet.run_campaign ~db:db4 (small_spec ~jobs:4) in
+  Alcotest.(check int) "same job count" s1.Fleet.total_jobs s4.Fleet.total_jobs;
+  Alcotest.(check int) "all ok (j1)" s1.Fleet.total_jobs s1.Fleet.ok;
+  Alcotest.(check int) "all ok (j4)" s4.Fleet.total_jobs s4.Fleet.ok;
+  Alcotest.(check int) "both waves ran" 2 s4.Fleet.waves_run;
+  Alcotest.(check bool) "wave 2 instrumented fewer points" true (s4.Fleet.removed_points > 0);
+  (* the database contents are independent of -j: same manifest modulo
+     wall time, byte-identical aggregate cache *)
+  Alcotest.(check bool) "same runs recorded" true (manifest_view db1 = manifest_view db4);
+  Alcotest.(check bool) "aggregates equal" true
+    (Counts.equal (Db.aggregate db1) (Db.aggregate db4));
+  Alcotest.(check string) "aggregate.cnt byte-identical"
+    (read_file (Filename.concat dir1 "aggregate.cnt"))
+    (read_file (Filename.concat dir4 "aggregate.cnt"));
+  (* acceptance: the ranked subset's merged coverage equals the aggregate's *)
+  let picked = Db.rank db4 in
+  Alcotest.(check bool) "rank returns a subset" true
+    (List.length picked <= List.length (Db.ok_runs db4));
+  let subset = Counts.merge (List.map (Db.load_counts db4) picked) in
+  Alcotest.(check (list string)) "rank subset covers the aggregate"
+    (Counts.covered (Db.aggregate db4))
+    (Counts.covered subset)
+
+let test_campaign_crash_survival () =
+  let dir = fresh_dir "fleet_crash" in
+  let db = Db.init dir in
+  let spec = { (small_spec ~jobs:2) with Fleet.waves = [ [ Fleet.Compiled ] ]; retries = 1 } in
+  let s = Fleet.run_campaign ~inject_crash:(fun i -> i = 0) ~db spec in
+  Alcotest.(check int) "campaign completed every job" s.Fleet.total_jobs
+    (s.Fleet.ok + s.Fleet.failed);
+  Alcotest.(check int) "exactly one failed run" 1 s.Fleet.failed;
+  let failed =
+    List.filter (fun r -> match r.Db.status with Db.Run_failed _ -> true | _ -> false) (Db.runs db)
+  in
+  Alcotest.(check int) "failed run recorded in the manifest" 1 (List.length failed);
+  (* the crashed job is the first one enumerated *)
+  (match failed with
+  | [ r ] -> Alcotest.(check string) "first job crashed" "r0001" r.Db.id
+  | _ -> ());
+  Alcotest.(check bool) "surviving runs still aggregated" true
+    (Counts.covered (Db.aggregate db) <> [])
+
+let tests =
+  [
+    Alcotest.test_case "run_jobs: parallel = serial" `Quick test_run_jobs_parallel_equals_serial;
+    Alcotest.test_case "run_jobs: crash isolation + retry" `Quick test_run_jobs_crash_isolated;
+    Alcotest.test_case "run_job: bmc 0/1 semantics" `Quick test_bmc_job;
+    Alcotest.test_case "campaign: db independent of -j" `Quick test_campaign_j_independent;
+    Alcotest.test_case "campaign: survives worker crash" `Quick test_campaign_crash_survival;
+  ]

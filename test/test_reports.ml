@@ -61,6 +61,45 @@ let test_html_report () =
   Alcotest.(check bool) "escapes source" false (contains ~needle:"<fun" html);
   Alcotest.(check bool) "mentions this file" true (contains ~needle:"test_reports.ml" html)
 
+let test_html_report_source_root () =
+  (* a circuit whose cover location points at a fabricated relative path:
+     the listing only shows its text when source_root points at the right
+     directory *)
+  let cb = Sic_ir.Dsl.create_circuit "Src" in
+  Sic_ir.Dsl.module_ cb "Src" (fun m ->
+      let open Sic_ir.Dsl in
+      let x = input ~loc:__POS__ m "x" (Sic_ir.Ty.UInt 1) in
+      let y = output ~loc:__POS__ m "y" (Sic_ir.Ty.UInt 1) in
+      connect m y false_;
+      when_ ~loc:("fake_src.ml", 2, 0, 0) m x (fun () -> connect m y true_));
+  let c, db = Line.instrument (Sic_ir.Dsl.finalize cb) in
+  let b = Compiled.create (lower c) in
+  b.Backend.poke "x" (Bv.one 1);
+  b.Backend.step 2;
+  let counts = b.Backend.counts () in
+  let root = Printf.sprintf "srcroot_%d" (Unix.getpid ()) in
+  if not (Sys.file_exists root) then Unix.mkdir root 0o755;
+  let oc = open_out (Filename.concat root "fake_src.ml") in
+  output_string oc "line one\nTHE_MARKER_LINE\nline three\n";
+  close_out oc;
+  let with_root = Sic_coverage.Html_report.render ~source_root:root ~line:db counts in
+  Alcotest.(check bool) "right root shows the source line" true
+    (contains ~needle:"THE_MARKER_LINE" with_root);
+  let without = Sic_coverage.Html_report.render ~line:db counts in
+  Alcotest.(check bool) "file name still listed under default root" true
+    (contains ~needle:"fake_src.ml" without);
+  Alcotest.(check bool) "default root cannot find the source" false
+    (contains ~needle:"THE_MARKER_LINE" without);
+  (* save plumbs the argument through *)
+  let out = Filename.concat root "report.html" in
+  Sic_coverage.Html_report.save out ~source_root:root ~line:db counts;
+  let ic = open_in out in
+  let n = in_channel_length ic in
+  let saved = really_input_string ic n in
+  close_in ic;
+  Alcotest.(check bool) "saved report shows the source line" true
+    (contains ~needle:"THE_MARKER_LINE" saved)
+
 let test_format_print () =
   let f = Sic_sim.Backend.Prep.format_print in
   Alcotest.(check string) "decimal" "v=42!" (f "v=%d!" [ Bv.of_int ~width:8 42 ]);
@@ -127,6 +166,7 @@ let tests =
   [
     Alcotest.test_case "per-module summary" `Quick test_module_summary;
     Alcotest.test_case "html report" `Quick test_html_report;
+    Alcotest.test_case "html report source_root" `Quick test_html_report_source_root;
     Alcotest.test_case "printf formatting" `Quick test_format_print;
     Alcotest.test_case "counts saturation" `Quick test_counts_saturation;
     Alcotest.test_case "counts diff" `Quick test_counts_diff;
