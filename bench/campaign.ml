@@ -41,6 +41,7 @@ let spec ~jobs =
     timeout_s = None;
     retries = 1;
     threshold = 1;
+    timeline_every = 0;
   }
 
 let run () =

@@ -1,0 +1,48 @@
+(** Timeline sampling overhead: what the coverage-convergence sampler
+    costs a compiled-backend run at sampling periods 0 (disabled), 100 and
+    1000 cycles. The contract under test: [Backend.with_sampler ~every:0]
+    returns the backend {e unchanged} — the disabled path is free by
+    construction — and the default period (100) should stay within noise
+    of the unsampled run, since a sample is two closure calls per period. *)
+
+module Counts = Sic_coverage.Counts
+module Tl = Sic_coverage.Timeline
+open Sic_sim
+
+let cycles = 200_000
+
+let run () =
+  Timing.header "Timeline sampling overhead: compiled gcd, 200k cycles";
+  let c, _ = Sic_coverage.Line_coverage.instrument (Sic_designs.Gcd.circuit ()) in
+  let low = Sic_passes.Compile.lower c in
+  let measure every =
+    let b = Compiled.create low in
+    let tlb = Tl.builder () in
+    let wrapped =
+      Backend.with_sampler ~every
+        (fun ~cycles ~covered -> Tl.record tlb ~at:cycles ~covered)
+        b
+    in
+    if every <= 0 && not (wrapped == b) then failwith "disabled sampler is not free";
+    Backend.reset_sequence wrapped;
+    let rng = Sic_fuzz.Rng.create 7 in
+    let (), dt =
+      Timing.wall (fun () ->
+          Backend.random_stimulus ~bits:(Sic_fuzz.Rng.bits30 rng) ~cycles wrapped)
+    in
+    (dt, List.length (Tl.build tlb).Tl.samples)
+  in
+  ignore (measure 0) (* warm up the compiled backend's code paths *);
+  let base, _ = measure 0 in
+  Timing.row "  sampling off : %6.3f s  (%6.0f kcyc/s) — with_sampler returned the backend unchanged\n"
+    base
+    (float_of_int cycles /. base /. 1e3);
+  List.iter
+    (fun every ->
+      let dt, samples = measure every in
+      Timing.row "  every %6d : %6.3f s  (%6.0f kcyc/s, %4d samples, %+5.1f%% vs off)\n" every
+        dt
+        (float_of_int cycles /. dt /. 1e3)
+        samples
+        ((dt -. base) /. base *. 100.))
+    [ 100; 1000 ]

@@ -18,10 +18,17 @@
                 rank (greedy test-suite minimization), report
     - [campaign] run designs x backends x seeds in [-j N] forked workers
                 into a database, wave by wave with §5.3 removal between
+                ([--progress] renders a live status line; exits nonzero if
+                any job exhausts its retries)
+    - [tail]    pretty-print a telemetry NDJSON file, optionally following
+                it live ([-f]) while a campaign runs
 
     The compile-and-simulate subcommands also take [--profile[=FILE]] and
     [--trace FILE] to export structured telemetry (newline-delimited JSON
-    and the Chrome trace-event format, respectively). *)
+    and the Chrome trace-event format, respectively). For [campaign], the
+    merged trace carries one lane per worker process — workers ship their
+    events back over the result pipe and the parent rebases them onto its
+    own clock. *)
 
 open Cmdliner
 module Bv = Sic_bv.Bv
@@ -588,10 +595,44 @@ let db_list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List every recorded run.") Term.(const run $ db_dir_arg)
 
 let db_report_cmd =
-  let run dir counts_out =
+  let timeline_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "timeline" ]
+          ~doc:
+            "Also print per-run coverage-convergence sparklines and, with several backends \
+             recorded, which backend saturated earliest.")
+  in
+  let html_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"FILE"
+          ~doc:
+            "Write a self-contained HTML report for the database: aggregate summary plus \
+             one convergence curve per run that recorded a timeline.")
+  in
+  let run dir counts_out timeline html =
     handle_errors (fun () ->
         let db = Db.load dir in
         print_string (Db.render_report db);
+        if timeline then print_string (Db.render_timelines db);
+        (match html with
+        | None -> ()
+        | Some path ->
+            let timelines =
+              List.filter_map
+                (fun (r : Db.run) ->
+                  Option.map
+                    (fun tl ->
+                      (Printf.sprintf "%s %s/%s" r.Db.id r.Db.design r.Db.backend, tl))
+                    (Db.load_timeline db r))
+                (Db.ok_runs db)
+            in
+            Sic_coverage.Html_report.save path
+              ~title:("coverage database " ^ dir)
+              ~timelines (Db.aggregate db));
         match counts_out with
         | None -> ()
         | Some path -> Counts.save path (Db.removal_counts db))
@@ -599,9 +640,10 @@ let db_report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:
-         "Merged coverage summary across all runs; --save-counts exports the aggregate for \
-          §5.3 removal (sic scan --db does this in one step).")
-    Term.(const run $ db_dir_arg $ counts_out_arg)
+         "Merged coverage summary across all runs; --timeline adds convergence sparklines, \
+          --html writes a report page, --save-counts exports the aggregate for §5.3 \
+          removal (sic scan --db does this in one step).")
+    Term.(const run $ db_dir_arg $ counts_out_arg $ timeline_flag $ html_arg)
 
 let db_diff_cmd =
   let before = Arg.(required & pos 1 (some string) None & info [] ~docv:"RUN1") in
@@ -722,10 +764,29 @@ let campaign_cmd =
             "Testing aid: the worker of the job with this global index kills itself \
              (SIGKILL) on every attempt, exercising failure isolation.")
   in
+  let timeline_every_arg =
+    Arg.(
+      value
+      & opt int 100
+      & info [ "timeline-every" ] ~docv:"N"
+          ~doc:
+            "Sample each run's coverage-convergence timeline every $(docv) budget units \
+             (cycles or execs); persisted per run in the database. 0 disables sampling.")
+  in
+  let progress_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "progress" ]
+          ~doc:
+            "Render a live single-line campaign status to stderr: jobs done/failed/running, \
+             covered points (union-max estimate from worker heartbeats), throughput, ETA.")
+  in
   let run db_dir jobs designs metrics backends waves seeds cycles execs bound seed threshold
-      timeout retries scan_width inject_crash profile trace =
+      timeout retries scan_width inject_crash timeline_every progress profile trace =
     handle_errors (fun () ->
-        with_telemetry ~profile ~trace @@ fun () ->
+        let summary =
+          with_telemetry ~profile ~trace @@ fun () ->
         let parse_backend s =
           match Fleet.backend_of_string s with
           | Some b -> b
@@ -767,25 +828,103 @@ let campaign_cmd =
             timeout_s = timeout;
             retries;
             threshold;
+            timeline_every;
           }
         in
         let inject_crash =
           match inject_crash with None -> fun _ -> false | Some i -> fun idx -> idx = i
         in
-        let summary = Fleet.run_campaign ~inject_crash ~db spec in
-        print_string (Fleet.render_summary summary))
+        let prog =
+          if progress then Some (Fleet.Progress.create ~total:(Fleet.spec_total_jobs spec) ())
+          else None
+        in
+        let on_event = Option.map (fun p ev -> Fleet.Progress.on_event p ev) prog in
+        let summary = Fleet.run_campaign ~inject_crash ?on_event ~db spec in
+        (match prog with Some p -> Fleet.Progress.finish p | None -> ());
+        summary
+        in
+        print_string (Fleet.render_summary summary);
+        (* nonzero exit so CI notices jobs that exhausted their retries;
+           deferred past the telemetry finalizer, which exit would skip *)
+        if summary.Fleet.failed > 0 then begin
+          Printf.eprintf "campaign: %d of %d jobs failed after retries (sic db list %s)\n"
+            summary.Fleet.failed summary.Fleet.total_jobs db_dir;
+          exit 1
+        end)
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
          "Run designs x backends x seeds in parallel forked workers into a coverage \
           database, wave by wave with §5.3 removal between waves. The database contents \
-          are byte-for-byte independent of -j.")
+          are byte-for-byte independent of -j. Exits nonzero if any job exhausted its \
+          retries.")
     Term.(
       const run $ db_arg $ jobs_arg $ designs_arg $ metrics_arg $ backends_arg $ waves_arg
       $ seeds_arg $ cycles_arg $ execs_arg $ bound_arg $ seed_arg $ threshold_arg
-      $ timeout_arg $ retries_arg $ scan_width_arg $ inject_crash_arg $ profile_flag
-      $ trace_flag)
+      $ timeout_arg $ retries_arg $ scan_width_arg $ inject_crash_arg $ timeline_every_arg
+      $ progress_flag $ profile_flag $ trace_flag)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry tailing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let tail_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Telemetry NDJSON file (a --profile export).")
+  in
+  let follow_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "f"; "follow" ]
+          ~doc:"Keep the file open and pretty-print new events as they are appended.")
+  in
+  let run path follow =
+    handle_errors (fun () ->
+        let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let pending = Buffer.create 4096 in
+            let chunk = Bytes.create 65536 in
+            let rec print_complete_lines () =
+              let s = Buffer.contents pending in
+              match String.index_opt s '\n' with
+              | None -> ()
+              | Some i ->
+                  let line = String.sub s 0 i in
+                  Buffer.clear pending;
+                  Buffer.add_substring pending s (i + 1) (String.length s - i - 1);
+                  if String.trim line <> "" then print_endline (Obs.pp_ndjson_line line);
+                  print_complete_lines ()
+            in
+            let stop = ref false in
+            while not !stop do
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 ->
+                  if follow then Unix.sleepf 0.2
+                  else begin
+                    (* a writer may not have terminated its last line yet *)
+                    if String.trim (Buffer.contents pending) <> "" then
+                      print_endline (Obs.pp_ndjson_line (Buffer.contents pending));
+                    stop := true
+                  end
+              | n ->
+                  Buffer.add_subbytes pending chunk 0 n;
+                  print_complete_lines ();
+                  flush stdout
+            done))
+  in
+  Cmd.v
+    (Cmd.info "tail"
+       ~doc:
+         "Pretty-print a telemetry NDJSON file (spans indented by depth, gauges, instants, \
+          worker heartbeats); with -f, follow it live like tail -f.")
+    Term.(const run $ file_arg $ follow_flag)
 
 let main =
   Cmd.group
@@ -793,7 +932,7 @@ let main =
        ~doc:"Simulator-independent coverage for RTL hardware languages.")
     [
       emit_cmd; lower_cmd; cover_cmd; merge_cmd; diff_cmd; bmc_cmd; fuzz_cmd; scan_cmd;
-      stats_cmd; profile_cmd; db_cmd; campaign_cmd;
+      stats_cmd; profile_cmd; db_cmd; campaign_cmd; tail_cmd;
     ]
 
 let () = exit (Cmd.eval main)

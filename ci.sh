@@ -10,3 +10,14 @@ dune runtest
 # CLI regression, explicitly: campaign -j independence, crash survival,
 # db rank coverage preservation (test/cli/check_campaign.ml)
 dune build @test/cli/runtest
+
+# Observability smoke: a tiny parallel campaign with live progress and a
+# merged Chrome trace; the trace must parse and span the orchestrator plus
+# both worker lanes (test/cli/check_trace.ml). The trace is kept at the
+# repo root so CI can upload it as an artifact.
+rm -rf ci_campaign.db ci_trace.json
+dune exec --no-build bin/sic.exe -- campaign --db ci_campaign.db -j 2 \
+  --progress --trace ci_trace.json \
+  --design counter --design gcd --backend compiled --seeds 1 --cycles 300
+dune exec --no-build test/cli/check_trace.exe -- ci_trace.json 3
+rm -rf ci_campaign.db

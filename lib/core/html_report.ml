@@ -75,14 +75,80 @@ let source_section buf ~source_root file (lines : (int * int) list) =
     lines;
   Buffer.add_string buf "</table>\n"
 
+let curve_colors = [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b" |]
+
+(* coverage-vs-work curves as one self-contained inline SVG: no scripts,
+   no external assets, printable — in keeping with the rest of the page *)
+let timeline_section buf (timelines : (string * Timeline.t) list) =
+  let w = 640. and h = 240. and pad = 36. in
+  let max_at =
+    float_of_int
+      (List.fold_left (fun acc (_, tl) -> max acc (Timeline.last_at tl)) 1 timelines)
+  in
+  let max_cov =
+    float_of_int
+      (List.fold_left
+         (fun acc (_, (tl : Timeline.t)) ->
+           max acc
+             (if tl.Timeline.total > 0 then tl.Timeline.total
+              else Timeline.final_covered tl))
+         1 timelines)
+  in
+  let x at = pad +. ((w -. (2. *. pad)) *. float_of_int at /. max_at) in
+  let y c = h -. pad -. ((h -. (2. *. pad)) *. float_of_int c /. max_cov) in
+  Buffer.add_string buf "<h2>coverage convergence</h2>\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg width=\"%.0f\" height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\" style=\"background:#fff;border:1px solid #ddd\">\n"
+       w h w h);
+  (* axes *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#999\"/>\n<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#999\"/>\n"
+       pad (h -. pad) (w -. pad) (h -. pad) pad pad pad (h -. pad));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%.1f\" y=\"%.1f\" font-size=\"10\" fill=\"#555\">0</text>\n\
+        <text x=\"%.1f\" y=\"%.1f\" font-size=\"10\" fill=\"#555\" text-anchor=\"end\">%.0f work</text>\n\
+        <text x=\"%.1f\" y=\"%.1f\" font-size=\"10\" fill=\"#555\">%.0f pts</text>\n"
+       pad
+       (h -. pad +. 12.)
+       (w -. pad)
+       (h -. pad +. 12.)
+       max_at (4.) (pad -. 4.) max_cov);
+  List.iteri
+    (fun i (label, (tl : Timeline.t)) ->
+      let color = curve_colors.(i mod Array.length curve_colors) in
+      let points =
+        String.concat " "
+          (Printf.sprintf "%.1f,%.1f" (x 0) (y 0)
+          :: List.map
+               (fun (at, c) -> Printf.sprintf "%.1f,%.1f" (x at) (y c))
+               tl.Timeline.samples)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"1.5\"/>\n"
+           points color);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%.1f\" y=\"%.1f\" font-size=\"10\" fill=\"%s\">%s</text>\n"
+           (pad +. 6.)
+           (pad +. 12. +. (12. *. float_of_int i))
+           color (esc label)))
+    timelines;
+  Buffer.add_string buf "</svg>\n"
+
 (** Render one self-contained HTML page. Only the metrics whose metadata
     is passed appear. Relative source-file paths in the line-coverage
     listings are resolved against [source_root] (default: the process
-    CWD), not wherever the report happens to be generated from. *)
+    CWD), not wherever the report happens to be generated from.
+    [timelines] adds a coverage-convergence chart (label -> curve, e.g.
+    one per campaign run). *)
 let render ?(title = "SIC coverage report") ?(source_root = Filename.current_dir_name)
     ?(line : Line_coverage.db option)
     ?(toggle : Toggle_coverage.db option) ?(fsm : Fsm_coverage.db option)
-    ?(rv : Ready_valid_coverage.db option) (counts : Counts.t) : string =
+    ?(rv : Ready_valid_coverage.db option) ?(timelines : (string * Timeline.t) list = [])
+    (counts : Counts.t) : string =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf "<!doctype html>\n<html><head><meta charset=\"utf-8\"><title>%s</title>%s</head><body>\n<h1>%s</h1>\n"
@@ -113,6 +179,7 @@ let render ?(title = "SIC coverage report") ?(source_root = Filename.current_dir
            r.Fsm_coverage.transitions_total)
   | None -> ());
   Buffer.add_string buf "</div>\n";
+  if timelines <> [] then timeline_section buf timelines;
   (* line coverage: per-file listings *)
   (match line with
   | Some db ->
@@ -151,8 +218,9 @@ let render ?(title = "SIC coverage report") ?(source_root = Filename.current_dir
   Buffer.add_string buf "</body></html>\n";
   Buffer.contents buf
 
-let save path ?title ?source_root ?line ?toggle ?fsm ?rv counts =
+let save path ?title ?source_root ?line ?toggle ?fsm ?rv ?timelines counts =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (render ?title ?source_root ?line ?toggle ?fsm ?rv counts))
+    (fun () ->
+      output_string oc (render ?title ?source_root ?line ?toggle ?fsm ?rv ?timelines counts))

@@ -24,6 +24,7 @@
     recompute. *)
 
 module Counts = Sic_coverage.Counts
+module Timeline = Sic_coverage.Timeline
 module Json = Sic_obs.Json
 module Obs = Sic_obs.Obs
 
@@ -60,6 +61,8 @@ let manifest_path dir = Filename.concat dir "manifest.ndjson"
 let aggregate_path dir = Filename.concat dir "aggregate.cnt"
 
 let counts_file run = run.id ^ ".cnt"
+
+let timeline_file run = run.id ^ ".tl"
 
 let dir t = t.dir
 
@@ -201,6 +204,16 @@ let load_counts t (run : run) : Counts.t =
   | Run_failed _ -> error "run %s failed; it has no counts" run.id
   | Run_ok -> Counts.load (Filename.concat t.dir (counts_file run))
 
+(** The run's coverage-convergence timeline, when one was recorded
+    (campaigns with [timeline_every > 0]); failed runs and runs from
+    timeline-less producers have none. *)
+let load_timeline t (run : run) : Timeline.t option =
+  match run.status with
+  | Run_failed _ -> None
+  | Run_ok ->
+      let path = Filename.concat t.dir (timeline_file run) in
+      if Sys.file_exists path then Some (Timeline.load path) else None
+
 let recompute_aggregate t : Counts.t =
   Obs.span "db.aggregate.recompute" @@ fun () ->
   let agg = Counts.merge (List.map (load_counts t) (ok_runs t)) in
@@ -219,7 +232,7 @@ let removal_counts = aggregate
 let next_id t = Printf.sprintf "r%04d" (List.length t.runs_rev + 1)
 
 let add t ~design ?(circuit_hash = "-") ~backend ~workload ~seed ~cycles ?(wave = 0)
-    ?(wall_us = 0.) (outcome : (Counts.t, string) result) : run =
+    ?(wall_us = 0.) ?timeline (outcome : (Counts.t, string) result) : run =
   Obs.span "db.add" @@ fun () ->
   let id = next_id t in
   let status, points_total, points_covered =
@@ -246,6 +259,9 @@ let add t ~design ?(circuit_hash = "-") ~backend ~workload ~seed ~cycles ?(wave 
   (match outcome with
   | Ok counts ->
       Counts.save (Filename.concat t.dir (counts_file run)) counts;
+      (match timeline with
+      | Some tl -> Timeline.save (Filename.concat t.dir (timeline_file run)) tl
+      | None -> ());
       (* maintain the cache incrementally: sum-merge is associative *)
       let agg =
         if t.runs_rev = [] then counts
@@ -363,6 +379,56 @@ let render_report t =
     List.iter (fun n -> Buffer.add_string buf ("  " ^ n ^ "\n")) uncovered
   end;
   Buffer.contents buf
+
+(** The textual convergence report ([sic db report --timeline]): one
+    sparkline per run that recorded a timeline, plus a "which backend
+    saturates first" comparison when several backends did. *)
+let render_timelines t =
+  let with_tl =
+    List.filter_map
+      (fun r -> Option.map (fun tl -> (r, tl)) (load_timeline t r))
+      (ok_runs t)
+  in
+  if with_tl = [] then
+    "no timelines recorded (re-run the campaign with --timeline-every > 0)\n"
+  else begin
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "coverage convergence (work -> points covered):\n";
+    List.iter
+      (fun ((r : run), (tl : Timeline.t)) ->
+        let sat =
+          match Timeline.saturation_at tl with
+          | Some at -> Printf.sprintf ", ~saturated at n=%d" at
+          | None -> ""
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-6s %-12s %-9s [%s] %d/%d pts in n=%d%s\n" r.id r.design
+             r.backend (Timeline.sparkline tl) (Timeline.final_covered tl) tl.Timeline.total
+             (Timeline.last_at tl) sat))
+      with_tl;
+    let backends =
+      List.sort_uniq String.compare (List.map (fun ((r : run), _) -> r.backend) with_tl)
+    in
+    if List.length backends > 1 then begin
+      Buffer.add_string buf "earliest saturation per backend:\n";
+      List.iter
+        (fun backend ->
+          let sats =
+            List.filter_map
+              (fun ((r : run), tl) ->
+                if r.backend = backend then Timeline.saturation_at tl else None)
+              with_tl
+          in
+          match sats with
+          | [] -> ()
+          | _ ->
+              Buffer.add_string buf
+                (Printf.sprintf "  %-9s : n=%d\n" backend
+                   (List.fold_left min max_int sats)))
+        backends
+    end;
+    Buffer.contents buf
+  end
 
 let render_rank ?threshold t =
   let picked = rank ?threshold t in

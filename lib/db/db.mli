@@ -61,14 +61,21 @@ val add :
   cycles:int ->
   ?wave:int ->
   ?wall_us:float ->
+  ?timeline:Sic_coverage.Timeline.t ->
   (Counts.t, string) result ->
   run
 (** Record one run: write its counts file (on [Ok]), append the manifest
-    record, and fold the counts into the cached aggregate. [Error why]
-    records a failed run — no counts, aggregate untouched — so a crashed
-    worker leaves an audit trail instead of a hole. *)
+    record, and fold the counts into the cached aggregate. [timeline]
+    additionally persists the run's coverage-convergence curve as
+    [<id>.tl] ({!Sic_coverage.Timeline} v1 format). [Error why] records a
+    failed run — no counts, aggregate untouched — so a crashed worker
+    leaves an audit trail instead of a hole. *)
 
 val load_counts : t -> run -> Counts.t
+
+val load_timeline : t -> run -> Sic_coverage.Timeline.t option
+(** The run's persisted convergence timeline, if one was recorded. *)
+
 val aggregate : t -> Counts.t
 (** The merged counts of every successful run (cached; recomputed when the
     cache file is missing). *)
@@ -95,4 +102,9 @@ val rank : ?threshold:int -> t -> run list
 val render_run_line : run -> string
 val render_list : t -> string
 val render_report : t -> string
+
+val render_timelines : t -> string
+(** Coverage-convergence sparklines per run plus a per-backend
+    earliest-saturation comparison ([sic db report --timeline]). *)
+
 val render_rank : ?threshold:int -> t -> string

@@ -57,15 +57,69 @@ let run_and_scan (b : Sic_sim.Backend.t) (chain : Scan_chain.chain)
   workload b;
   scan_out b chain
 
-(** The modelled-FPGA campaign job: reset, run the default random workload
-    for [cycles] on the scan-chain circuit, then scan the counts out.
-    [bits] supplies seeded randomness (see
-    {!Sic_sim.Backend.random_stimulus}). *)
-let run_random ~(bits : unit -> int) ~cycles (b : Sic_sim.Backend.t)
-    (chain : Scan_chain.chain) : scan_result =
-  run_and_scan b chain ~workload:(fun b ->
-      Sic_sim.Backend.reset_sequence b;
-      Sic_sim.Backend.random_stimulus ~bits ~cycles b)
+(** One cycle of random workload that leaves the scan-chain control ports
+    alone. {!Sic_sim.Backend.random_stimulus} pokes {e every} data input —
+    on a scan-chain circuit that includes [cover_scan_en]/[cover_scan_in],
+    randomly freezing the target and scrambling the chain mid-run. A real
+    FireSim driver owns those pins exclusively; so does this one. *)
+let drive_random ~(bits : unit -> int) (b : Sic_sim.Backend.t) : unit -> unit =
+  let inputs =
+    List.filter
+      (fun (n, _) -> n <> Scan_chain.scan_en_port && n <> Scan_chain.scan_in_port)
+      (Sic_sim.Backend.data_inputs b)
+  in
+  fun () ->
+    List.iter
+      (fun (n, ty) ->
+        b.Sic_sim.Backend.poke n (Bv.random ~width:(Sic_ir.Ty.width ty) bits))
+      inputs;
+    b.Sic_sim.Backend.step 1
+
+module Timeline = Sic_coverage.Timeline
+
+(** The modelled-FPGA campaign job: reset, run a random workload for
+    [cycles] on the scan-chain circuit, then scan the counts out. [bits]
+    supplies seeded randomness. With [timeline_every > 0] the chain is
+    scanned out every that many target cycles instead of once at the end —
+    the §5.2 periodic-sampling mode — accumulating exact totals host-side
+    and recording a coverage-convergence {!Sic_coverage.Timeline} (one
+    sample per scan, [on_sample] fired alongside for live progress). *)
+let run_random ~(bits : unit -> int) ~cycles ?(timeline_every = 0) ?on_sample
+    (b : Sic_sim.Backend.t) (chain : Scan_chain.chain) : scan_result * Timeline.t option
+    =
+  let drive = drive_random ~bits b in
+  b.Sic_sim.Backend.poke Scan_chain.scan_en_port (Bv.zero 1);
+  b.Sic_sim.Backend.poke Scan_chain.scan_in_port (Bv.zero 1);
+  Sic_sim.Backend.reset_sequence b;
+  if timeline_every <= 0 then begin
+    for _ = 1 to cycles do
+      drive ()
+    done;
+    (scan_out b chain, None)
+  end
+  else begin
+    let tlb = Timeline.builder () in
+    let accumulated = ref (Counts.create ()) in
+    let scan_cycles = ref 0 in
+    let cycle = ref 0 in
+    while !cycle < cycles do
+      let chunk = min timeline_every (cycles - !cycle) in
+      for _ = 1 to chunk do
+        drive ()
+      done;
+      cycle := !cycle + chunk;
+      (* a scan restarts the hardware counters, so merging per-period
+         results reconstructs the exact totals (see run_with_periodic_scan) *)
+      let r = scan_out b chain in
+      scan_cycles := !scan_cycles + r.scan_cycles;
+      accumulated := Counts.merge [ !accumulated; r.counts ];
+      let covered = Counts.covered_points !accumulated in
+      Timeline.record tlb ~at:!cycle ~covered;
+      match on_sample with Some f -> f ~cycles:!cycle ~covered | None -> ()
+    done;
+    ( { counts = !accumulated; scan_cycles = !scan_cycles },
+      Some (Timeline.build ~total:(List.length chain.Scan_chain.order) tlb) )
+  end
 
 (** Scan-out wall-clock estimate at a given simulator frequency, in
     milliseconds. *)

@@ -20,9 +20,20 @@ val run_and_scan :
 (** Run [workload] with counting enabled, then scan out. *)
 
 val run_random :
-  bits:(unit -> int) -> cycles:int -> Sic_sim.Backend.t -> Scan_chain.chain -> scan_result
-(** Reset, drive the default random workload for [cycles], then scan out —
-    the modelled-FPGA job the campaign orchestrator schedules. *)
+  bits:(unit -> int) ->
+  cycles:int ->
+  ?timeline_every:int ->
+  ?on_sample:(cycles:int -> covered:int -> unit) ->
+  Sic_sim.Backend.t ->
+  Scan_chain.chain ->
+  scan_result * Sic_coverage.Timeline.t option
+(** Reset, drive a random workload for [cycles] (leaving the scan-chain
+    control ports alone), then scan out — the modelled-FPGA job the
+    campaign orchestrator schedules. [timeline_every > 0] switches to
+    periodic scans every that many cycles (exact totals accumulated
+    host-side), recording a coverage-convergence timeline and firing
+    [on_sample] at each scan; [0] (the default) scans once at the end and
+    returns no timeline. *)
 
 val scan_millis : scan_cycles:int -> mhz:float -> float
 (** Wall-clock cost of a scan at a target frequency, in ms (§5.2). *)

@@ -21,6 +21,7 @@
 
 module Bv = Sic_bv.Bv
 module Counts = Sic_coverage.Counts
+module Timeline = Sic_coverage.Timeline
 module Removal = Sic_coverage.Removal
 module Db = Sic_db.Db
 module Json = Sic_obs.Json
@@ -67,16 +68,27 @@ type job = {
   budget : int;  (** cycles (sims/FPGA), execs (fuzz) or bound (BMC) *)
   wave : int;
   scan_width : int;  (** FPGA counter width *)
+  sample_every : int;  (** timeline sampling period in budget units; 0 = off *)
 }
 
-type job_result = { counts : Counts.t; sim_cycles : int; wall_us : float }
+type job_result = {
+  counts : Counts.t;
+  sim_cycles : int;
+  wall_us : float;
+  timeline : Timeline.t option;  (** recorded when [sample_every > 0] *)
+}
 
 (** Execute one job in the current process. Pure function of the job
-    (every source of randomness is seeded from [job.seed]). *)
-let run_job (job : job) : job_result =
+    (every source of randomness is seeded from [job.seed]); [progress]
+    fires at every [sample_every] boundary — the worker's heartbeat hook,
+    deliberately outside the determinism contract. *)
+let run_job ?progress (job : job) : job_result =
   let t0 = Unix.gettimeofday () in
-  let finish ~sim_cycles counts =
-    { counts; sim_cycles; wall_us = (Unix.gettimeofday () -. t0) *. 1e6 }
+  let finish ?timeline ~sim_cycles counts =
+    { counts; sim_cycles; wall_us = (Unix.gettimeofday () -. t0) *. 1e6; timeline }
+  in
+  let notify ~cycles ~covered =
+    match progress with Some f -> f ~cycles ~covered | None -> ()
   in
   let rng = Rng.create job.seed in
   match job.backend with
@@ -88,20 +100,48 @@ let run_job (job : job) : job_result =
         | _ -> fun c -> Compiled.create c
       in
       let b = create job.circuit in
+      let tlb = Timeline.builder () in
+      let b =
+        Backend.with_sampler ~every:job.sample_every
+          (fun ~cycles ~covered ->
+            Timeline.record tlb ~at:cycles ~covered;
+            notify ~cycles ~covered)
+          b
+      in
       Backend.reset_sequence b;
       Backend.random_stimulus ~bits:(Rng.bits30 rng) ~cycles:job.budget b;
-      finish ~sim_cycles:(b.Backend.cycles ()) (b.Backend.counts ())
+      let counts = b.Backend.counts () in
+      let timeline =
+        if job.sample_every <= 0 then None
+        else begin
+          Timeline.record tlb ~at:(b.Backend.cycles ())
+            ~covered:(Counts.covered_points counts);
+          Some (Timeline.build ~total:(Counts.total_points counts) tlb)
+        end
+      in
+      finish ?timeline ~sim_cycles:(b.Backend.cycles ()) counts
   | Fpga ->
       let chained, chain = Sic_firesim.Scan_chain.insert ~width:job.scan_width job.circuit in
       let b = Compiled.create chained in
-      let r = Sic_firesim.Driver.run_random ~bits:(Rng.bits30 rng) ~cycles:job.budget b chain in
-      finish ~sim_cycles:(b.Backend.cycles ()) r.Sic_firesim.Driver.counts
+      let r, timeline =
+        Sic_firesim.Driver.run_random ~bits:(Rng.bits30 rng) ~cycles:job.budget
+          ~timeline_every:job.sample_every
+          ~on_sample:(fun ~cycles ~covered -> notify ~cycles ~covered)
+          b chain
+      in
+      finish ?timeline ~sim_cycles:(b.Backend.cycles ()) r.Sic_firesim.Driver.counts
   | Fuzz ->
       let h = Sic_fuzz.Fuzzer.make_harness job.circuit in
       let r =
-        Sic_fuzz.Fuzzer.run ~seed:job.seed ~execs:job.budget ~seed_cycles:32 ~max_cycles:128 h
+        Sic_fuzz.Fuzzer.run ~seed:job.seed ~execs:job.budget ~seed_cycles:32 ~max_cycles:128
+          ?snapshot_every:(if job.sample_every > 0 then Some job.sample_every else None)
+          ~on_snapshot:(fun ~execs ~covered -> notify ~cycles:execs ~covered)
+          h
       in
-      finish ~sim_cycles:r.Sic_fuzz.Fuzzer.final.Sic_fuzz.Fuzzer.execs
+      let timeline =
+        if job.sample_every > 0 then Some r.Sic_fuzz.Fuzzer.timeline else None
+      in
+      finish ?timeline ~sim_cycles:r.Sic_fuzz.Fuzzer.final.Sic_fuzz.Fuzzer.execs
         r.Sic_fuzz.Fuzzer.final.Sic_fuzz.Fuzzer.cumulative
   | Bmc ->
       let report = Sic_formal.Bmc.check_covers ~bound:job.budget job.circuit in
@@ -121,48 +161,118 @@ let run_job (job : job) : job_result =
 (* The worker pool                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(* Worker -> parent payload: one JSON header line, then (on success) the
-   counts map in its own interchange format. Reusing the two existing
-   text formats means no new parser and human-debuggable pipes. *)
+(* Worker -> parent protocol, version 2 (documented in DESIGN.md): while
+   running, the worker writes heartbeat lines
+   [{"type":"hb","job":i,"cycles":c,"covered":p}]; then exactly one result
+   header line whose [counts_bytes]/[timeline_bytes]/[telemetry_bytes]
+   fields frame the three sections that follow verbatim — the counts map
+   and timeline in their own interchange formats, and the worker's
+   telemetry as an {!Obs.export_events} payload. Reusing the existing text
+   formats means no new parser and human-debuggable pipes; the explicit
+   protocol version means a mixed-version parent/worker pair fails loudly
+   instead of misparsing. *)
+
+let proto_version = 2
 
 let encode_ok (r : job_result) : string =
+  let counts = Counts.to_string r.counts in
+  let timeline =
+    match r.timeline with Some tl -> Timeline.to_string tl | None -> ""
+  in
+  let telemetry = if Obs.on () then Obs.export_events () else "" in
   Json.to_string
     (Json.Obj
        [
+         ("type", Json.String "result");
+         ("proto", Json.Int proto_version);
          ("status", Json.String "ok");
          ("sim_cycles", Json.Int r.sim_cycles);
          ("wall_us", Json.Float r.wall_us);
+         ("counts_bytes", Json.Int (String.length counts));
+         ("timeline_bytes", Json.Int (String.length timeline));
+         ("telemetry_bytes", Json.Int (String.length telemetry));
        ])
-  ^ "\n" ^ Counts.to_string r.counts
+  ^ "\n" ^ counts ^ timeline ^ telemetry
 
 let encode_failed (why : string) : string =
-  Json.to_string (Json.Obj [ ("status", Json.String "failed"); ("error", Json.String why) ])
-  ^ "\n"
+  let telemetry = if Obs.on () then Obs.export_events () else "" in
+  Json.to_string
+    (Json.Obj
+       [
+         ("type", Json.String "result");
+         ("proto", Json.Int proto_version);
+         ("status", Json.String "failed");
+         ("error", Json.String why);
+         ("telemetry_bytes", Json.Int (String.length telemetry));
+       ])
+  ^ "\n" ^ telemetry
 
-let decode (payload : string) : (job_result, string) result =
+type decoded = {
+  outcome : (job_result, string) result;
+      (** the job's verdict: [Error] is a {e worker-reported} failure *)
+  telemetry : string;  (** {!Obs.import_events} payload; [""] when off *)
+}
+
+let decode (payload : string) : (decoded, string) result =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
   match String.index_opt payload '\n' with
   | None -> Error "truncated worker result"
   | Some i -> (
       let header = String.sub payload 0 i in
-      let rest = String.sub payload (i + 1) (String.length payload - i - 1) in
+      let body = String.sub payload (i + 1) (String.length payload - i - 1) in
       match Json.parse header with
-      | exception Json.Parse_error m -> Error ("bad worker header: " ^ m)
+      | exception Json.Parse_error m -> fail "bad worker header: %s" m
       | h -> (
-          match Json.string_member "status" h with
-          | Some "ok" -> (
-              match Counts.of_string rest with
-              | counts ->
-                  Ok
-                    {
-                      counts;
-                      sim_cycles = Option.value ~default:0 (Json.int_member "sim_cycles" h);
-                      wall_us = Option.value ~default:0. (Json.float_member "wall_us" h);
-                    }
-              | exception Counts.Bad_format m -> Error ("bad worker counts: " ^ m))
-          | Some "failed" ->
-              Error (Option.value ~default:"unknown" (Json.string_member "error" h))
-          | Some s -> Error ("unknown worker status " ^ s)
-          | None -> Error "worker header lacks a status"))
+          match Json.int_member "proto" h with
+          | Some v when v <> proto_version ->
+              fail "worker speaks protocol %d, this orchestrator speaks %d" v proto_version
+          | None -> fail "worker header lacks a protocol version"
+          | Some _ -> (
+              let len k = Option.value ~default:0 (Json.int_member k h) in
+              let counts_len = len "counts_bytes" in
+              let timeline_len = len "timeline_bytes" in
+              let telemetry_len = len "telemetry_bytes" in
+              let want = counts_len + timeline_len + telemetry_len in
+              if String.length body < want then
+                fail "truncated worker body (%d of %d bytes)" (String.length body) want
+              else
+                let counts_s = String.sub body 0 counts_len in
+                let timeline_s = String.sub body counts_len timeline_len in
+                let telemetry = String.sub body (counts_len + timeline_len) telemetry_len in
+                match Json.string_member "status" h with
+                | Some "ok" -> (
+                    match
+                      ( Counts.of_string counts_s,
+                        if timeline_len = 0 then None
+                        else Some (Timeline.of_string timeline_s) )
+                    with
+                    | counts, timeline ->
+                        Ok
+                          {
+                            outcome =
+                              Ok
+                                {
+                                  counts;
+                                  timeline;
+                                  sim_cycles =
+                                    Option.value ~default:0 (Json.int_member "sim_cycles" h);
+                                  wall_us =
+                                    Option.value ~default:0. (Json.float_member "wall_us" h);
+                                };
+                            telemetry;
+                          }
+                    | exception Counts.Bad_format m -> fail "bad worker counts: %s" m
+                    | exception Timeline.Bad_format m -> fail "bad worker timeline: %s" m)
+                | Some "failed" ->
+                    Ok
+                      {
+                        outcome =
+                          Error
+                            (Option.value ~default:"unknown" (Json.string_member "error" h));
+                        telemetry;
+                      }
+                | Some s -> fail "unknown worker status %s" s
+                | None -> fail "worker header lacks a status")))
 
 let write_all fd s =
   let b = Bytes.of_string s in
@@ -172,6 +282,10 @@ let write_all fd s =
     off := !off + Unix.write fd b !off (n - !off)
   done
 
+(** How often (seconds) a worker is willing to write a heartbeat; the
+    sampling hooks can fire far more often than the parent cares. *)
+let heartbeat_interval_s = 0.05
+
 (** What the forked child does. [crash] simulates a hard worker death
     (SIGKILL to itself) — the failure-isolation test hook. Exits via
     [Unix._exit] so the parent's buffered channels and [at_exit] hooks
@@ -180,13 +294,55 @@ let child_main ~crash (job : job) (wfd : Unix.file_descr) : 'a =
   (* runtime prints from the simulated design belong to the job, not to
      the campaign's terminal *)
   Obs.sink := ignore;
+  (* the fork inherits the parent's recorded events; this worker's
+     exported lane must contain only its own (t0 is inherited too, so
+     timestamps stay on the campaign clock) *)
+  if Obs.on () then Obs.reset ();
   if crash then Unix.kill (Unix.getpid ()) Sys.sigkill;
   (try
-     let payload = try encode_ok (run_job job) with e -> encode_failed (Printexc.to_string e) in
+     let last_hb = ref 0. in
+     let progress ~cycles ~covered =
+       let now = Unix.gettimeofday () in
+       if now -. !last_hb >= heartbeat_interval_s then begin
+         last_hb := now;
+         write_all wfd
+           (Json.to_string
+              (Json.Obj
+                 [
+                   ("type", Json.String "hb");
+                   ("job", Json.Int job.index);
+                   ("cycles", Json.Int cycles);
+                   ("covered", Json.Int covered);
+                 ])
+           ^ "\n")
+       end
+     in
+     let payload =
+       try
+         encode_ok
+           (Obs.span "fleet.job"
+              ~args:
+                [
+                  ("job", Obs.Int job.index);
+                  ("design", Obs.Str job.design);
+                  ("backend", Obs.Str (backend_name job.backend));
+                  ("seed", Obs.Int job.seed);
+                ]
+              (fun () -> run_job ~progress job))
+       with e -> encode_failed (Printexc.to_string e)
+     in
      write_all wfd payload
    with _ -> ());
   (try Unix.close wfd with _ -> ());
   Unix._exit 0
+
+(** What the orchestrator reports as a campaign unfolds — the feed behind
+    [sic campaign --progress] (and any future TUI). *)
+type job_event =
+  | Job_started of { job : job; attempt : int }
+  | Job_heartbeat of { job : job; hb_cycles : int; hb_covered : int }
+  | Job_retried of { job : job; attempt : int; why : string }
+  | Job_finished of { job : job; result : (job_result, string) result }
 
 type worker = {
   pid : int;
@@ -195,7 +351,11 @@ type worker = {
   rfd : Unix.file_descr;
   buf : Buffer.t;
   started : float;
+  w_start_us : float;  (** on the telemetry clock, for the attempt span *)
   mutable timed_out : bool;
+  mutable result_seen : bool;
+      (** leading heartbeat lines already drained; [buf] starts at the
+          result header *)
 }
 
 let rec waitpid_retry pid =
@@ -214,10 +374,12 @@ let select_retry rfds timeout =
     returned as [Error reason] — the campaign never dies with its
     workers. Results come back in input order regardless of completion
     order. [inject_crash] marks jobs whose workers kill themselves hard
-    (testing). *)
+    (testing); [on_event] observes starts, heartbeats, retries and
+    finishes as they happen. *)
 let run_jobs ?(jobs = 1) ?timeout_s ?(retries = 1) ?(inject_crash = fun _ -> false)
-    (work : job list) : (job * (job_result, string) result) list =
+    ?on_event (work : job list) : (job * (job_result, string) result) list =
   let jobs = max 1 jobs in
+  let emit ev = match on_event with Some f -> f ev | None -> () in
   let results : (int, (job_result, string) result) Hashtbl.t = Hashtbl.create 64 in
   let pending = Queue.create () in
   List.iter (fun j -> Queue.add (j, 0) pending) work;
@@ -249,10 +411,57 @@ let run_jobs ?(jobs = 1) ?timeout_s ?(retries = 1) ?(inject_crash = fun _ -> fal
             rfd;
             buf = Buffer.create 4096;
             started = Unix.gettimeofday ();
+            w_start_us = Obs.now_us ();
             timed_out = false;
+            result_seen = false;
           }
           :: !running;
-        gauge_in_flight ()
+        gauge_in_flight ();
+        emit (Job_started { job; attempt })
+  in
+  (* pop complete heartbeat lines off the front of the buffer as they
+     arrive; the first line that is not a heartbeat is the result header
+     and stays put for [decode] *)
+  let drain_heartbeats (w : worker) =
+    let continue_ = ref (not w.result_seen) in
+    while !continue_ do
+      let s = Buffer.contents w.buf in
+      match String.index_opt s '\n' with
+      | None -> continue_ := false
+      | Some i -> (
+          match Json.parse (String.sub s 0 i) with
+          | exception Json.Parse_error _ ->
+              w.result_seen <- true;
+              continue_ := false
+          | j when Json.string_member "type" j = Some "hb" ->
+              Buffer.clear w.buf;
+              Buffer.add_substring w.buf s (i + 1) (String.length s - i - 1);
+              emit
+                (Job_heartbeat
+                   {
+                     job = w.w_job;
+                     hb_cycles = Option.value ~default:0 (Json.int_member "cycles" j);
+                     hb_covered = Option.value ~default:0 (Json.int_member "covered" j);
+                   })
+          | _ ->
+              w.result_seen <- true;
+              continue_ := false)
+    done
+  in
+  (* merge a finished worker's telemetry as one lane of the campaign trace *)
+  let import_telemetry (w : worker) telemetry =
+    if telemetry <> "" && Obs.on () then begin
+      let label =
+        Printf.sprintf "job %d %s/%s seed=%d%s" w.w_job.index w.w_job.design
+          (backend_name w.w_job.backend)
+          w.w_job.seed
+          (if w.attempt > 0 then Printf.sprintf " attempt %d" (w.attempt + 1) else "")
+      in
+      try Obs.import_events ~label telemetry
+      with Json.Parse_error m ->
+        Obs.instant "fleet.telemetry_dropped"
+          ~args:[ ("job", Obs.Int w.w_job.index); ("why", Obs.Str m) ]
+    end
   in
   let finish (w : worker) =
     (try Unix.close w.rfd with _ -> ());
@@ -274,13 +483,32 @@ let run_jobs ?(jobs = 1) ?timeout_s ?(retries = 1) ?(inject_crash = fun _ -> fal
           else string_of_int s
         in
         match wstatus with
-        | Unix.WEXITED 0 -> decode (Buffer.contents w.buf)
+        | Unix.WEXITED 0 -> (
+            match decode (Buffer.contents w.buf) with
+            | Ok d ->
+                import_telemetry w d.telemetry;
+                d.outcome
+            | Error m -> Error m)
         | Unix.WEXITED n -> Error (Printf.sprintf "worker exited with status %d" n)
         | Unix.WSIGNALED s -> Error (Printf.sprintf "worker killed by signal %s" (signal_name s))
         | Unix.WSTOPPED s -> Error (Printf.sprintf "worker stopped by signal %s" (signal_name s))
     in
+    (* one parent-side span per attempt: even a worker that died without
+       shipping telemetry still shows up in the merged schedule *)
+    if Obs.on () then
+      Obs.record_span ~name:"fleet.attempt" ~start_us:w.w_start_us
+        ~dur_us:(Obs.now_us () -. w.w_start_us)
+        [
+          ("job", Obs.Int w.w_job.index);
+          ("design", Obs.Str w.w_job.design);
+          ("backend", Obs.Str (backend_name w.w_job.backend));
+          ("attempt", Obs.Int (w.attempt + 1));
+          ("ok", Obs.Bool (match outcome with Ok _ -> true | Error _ -> false));
+        ];
     match outcome with
-    | Ok r -> Hashtbl.replace results w.w_job.index (Ok r)
+    | Ok r ->
+        Hashtbl.replace results w.w_job.index (Ok r);
+        emit (Job_finished { job = w.w_job; result = Ok r })
     | Error why when w.attempt < retries ->
         Obs.instant "fleet.retry"
           ~args:
@@ -289,10 +517,12 @@ let run_jobs ?(jobs = 1) ?timeout_s ?(retries = 1) ?(inject_crash = fun _ -> fal
               ("attempt", Obs.Int (w.attempt + 1));
               ("why", Obs.Str why);
             ];
+        emit (Job_retried { job = w.w_job; attempt = w.attempt + 1; why });
         Queue.add (w.w_job, w.attempt + 1) pending
     | Error why ->
         Obs.count "fleet.failed_jobs";
-        Hashtbl.replace results w.w_job.index (Error why)
+        Hashtbl.replace results w.w_job.index (Error why);
+        emit (Job_finished { job = w.w_job; result = Error why })
   in
   let chunk = Bytes.create 65536 in
   while (not (Queue.is_empty pending)) || !running <> [] do
@@ -307,7 +537,9 @@ let run_jobs ?(jobs = 1) ?timeout_s ?(retries = 1) ?(inject_crash = fun _ -> fal
         | Some w -> (
             match Unix.read fd chunk 0 (Bytes.length chunk) with
             | 0 -> finish w
-            | n -> Buffer.add_subbytes w.buf chunk 0 n
+            | n ->
+                Buffer.add_subbytes w.buf chunk 0 n;
+                drain_heartbeats w
             | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
                 finish w))
       readable;
@@ -319,6 +551,9 @@ let run_jobs ?(jobs = 1) ?timeout_s ?(retries = 1) ?(inject_crash = fun _ -> fal
           (fun w ->
             if (not w.timed_out) && now -. w.started > limit then begin
               w.timed_out <- true;
+              Obs.instant "fleet.timeout"
+                ~args:
+                  [ ("job", Obs.Int w.w_job.index); ("attempt", Obs.Int (w.attempt + 1)) ];
               try Unix.kill w.pid Sys.sigkill with _ -> ()
             end)
           !running)
@@ -348,6 +583,8 @@ type spec = {
   timeout_s : float option;
   retries : int;
   threshold : int;  (** §5.3 removal threshold applied between waves *)
+  timeline_every : int;
+      (** convergence-timeline sampling period (budget units); 0 = off *)
 }
 
 let default_spec =
@@ -364,7 +601,14 @@ let default_spec =
     timeout_s = None;
     retries = 1;
     threshold = 1;
+    timeline_every = 100;
   }
+
+(** How many jobs the spec will enumerate, before any of them run — what a
+    progress display sizes itself against. *)
+let spec_total_jobs (spec : spec) =
+  List.length spec.designs * spec.seeds
+  * List.fold_left (fun acc wave -> acc + List.length wave) 0 spec.waves
 
 type summary = {
   total_jobs : int;
@@ -376,6 +620,103 @@ type summary = {
   points_covered : int;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Live progress                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** The single-line status renderer behind [sic campaign --progress]: a
+    {!job_event} consumer that keeps done/failed/running counts, a
+    union-max estimate of points covered so far, throughput over finished
+    and in-flight work, and an ETA. Renders with [\r] to one channel at
+    most ~10x a second; purely cosmetic, so it uses wall-clock time
+    directly rather than the telemetry clock. *)
+module Progress = struct
+  type t = {
+    out : out_channel;
+    total : int;
+    started : float;
+    mutable done_ : int;  (** finished jobs, failed included *)
+    mutable failed : int;
+    mutable running : int;
+    mutable units_finished : int;  (** budget units from finished jobs *)
+    hb : (int, int) Hashtbl.t;  (** job index -> latest heartbeat cycles *)
+    mutable covered : Counts.t;  (** union-max over finished Ok runs *)
+    mutable last_render : float;
+    mutable last_len : int;
+  }
+
+  let create ?(out = stderr) ~total () =
+    {
+      out;
+      total;
+      started = Unix.gettimeofday ();
+      done_ = 0;
+      failed = 0;
+      running = 0;
+      units_finished = 0;
+      hb = Hashtbl.create 16;
+      covered = Counts.create ();
+      last_render = 0.;
+      last_len = 0;
+    }
+
+  let line t =
+    let elapsed = Unix.gettimeofday () -. t.started in
+    let in_flight = Hashtbl.fold (fun _ c acc -> acc + c) t.hb 0 in
+    let units = t.units_finished + in_flight in
+    let throughput =
+      if elapsed > 0. then float_of_int units /. elapsed else 0.
+    in
+    let eta =
+      if t.done_ > 0 && t.done_ < t.total then
+        Printf.sprintf " | ETA %.0fs"
+          (elapsed /. float_of_int t.done_ *. float_of_int (t.total - t.done_))
+      else ""
+    in
+    Printf.sprintf "campaign %d/%d done%s, %d running | %d/%d pts | %.0f cyc/s%s" t.done_
+      t.total
+      (if t.failed > 0 then Printf.sprintf " (%d failed)" t.failed else "")
+      t.running
+      (Counts.covered_points t.covered)
+      (Counts.total_points t.covered)
+      throughput eta
+
+  let render ?(force = false) t =
+    let now = Unix.gettimeofday () in
+    if force || now -. t.last_render >= 0.1 then begin
+      t.last_render <- now;
+      let s = line t in
+      (* pad over the previous, possibly longer, line *)
+      let pad = max 0 (t.last_len - String.length s) in
+      Printf.fprintf t.out "\r%s%s%!" s (String.make pad ' ');
+      t.last_len <- String.length s
+    end
+
+  let on_event t (ev : job_event) =
+    (match ev with
+    | Job_started _ -> t.running <- t.running + 1
+    | Job_heartbeat { job; hb_cycles; hb_covered = _ } ->
+        Hashtbl.replace t.hb job.index hb_cycles
+    | Job_retried { job; _ } ->
+        t.running <- t.running - 1;
+        Hashtbl.remove t.hb job.index
+    | Job_finished { job; result } ->
+        t.running <- t.running - 1;
+        t.done_ <- t.done_ + 1;
+        Hashtbl.remove t.hb job.index;
+        (match result with
+        | Ok r ->
+            t.units_finished <- t.units_finished + r.sim_cycles;
+            t.covered <- Counts.union_max [ t.covered; r.counts ]
+        | Error _ -> t.failed <- t.failed + 1));
+    render t
+
+  let finish t =
+    render ~force:true t;
+    output_string t.out "\n";
+    flush t.out
+end
+
 let budget_of spec = function
   | Interp | Compiled | Essent | Fpga -> spec.cycles
   | Fuzz -> spec.execs
@@ -384,8 +725,10 @@ let budget_of spec = function
 (** Run a whole campaign into [db]. Jobs are enumerated wave by wave,
     design-major then backend then seed index, so the job list — and with
     it every derived seed and the database contents — is independent of
-    [-j]. [inject_crash] receives the global job index (testing hook). *)
-let run_campaign ?(inject_crash = fun _ -> false) ~(db : Db.t) (spec : spec) : summary =
+    [-j]. [inject_crash] receives the global job index (testing hook);
+    [on_event] feeds a progress display. *)
+let run_campaign ?(inject_crash = fun _ -> false) ?on_event ~(db : Db.t) (spec : spec) :
+    summary =
   let master = Rng.create spec.master_seed in
   let job_counter = ref 0 in
   let ok = ref 0 and failed = ref 0 and removed_total = ref 0 in
@@ -427,6 +770,7 @@ let run_campaign ?(inject_crash = fun _ -> false) ~(db : Db.t) (spec : spec) : s
                       budget = budget_of spec backend;
                       wave = wave_idx;
                       scan_width = spec.scan_width;
+                      sample_every = spec.timeline_every;
                     }))
               backends)
           wave_designs
@@ -434,27 +778,27 @@ let run_campaign ?(inject_crash = fun _ -> false) ~(db : Db.t) (spec : spec) : s
       let results =
         run_jobs ~jobs:spec.jobs ?timeout_s:spec.timeout_s ~retries:spec.retries
           ~inject_crash:(fun j -> inject_crash j.index)
-          wave_jobs
+          ?on_event wave_jobs
       in
       (* wave barrier: commit in job order, so the manifest is as
          deterministic as the aggregate *)
       Obs.span "fleet.merge" ~args:[ ("wave", Obs.Int wave_idx) ] (fun () ->
           List.iter
             (fun (job, outcome) ->
-              let outcome, wall_us =
+              let outcome, wall_us, timeline =
                 match outcome with
                 | Ok (r : job_result) ->
                     incr ok;
-                    (Ok r.counts, r.wall_us)
+                    (Ok r.counts, r.wall_us, r.timeline)
                 | Error why ->
                     incr failed;
-                    (Error why, 0.)
+                    (Error why, 0., None)
               in
               ignore
                 (Db.add db ~design:job.design ~circuit_hash:job.circuit_hash
                    ~backend:(backend_name job.backend)
                    ~workload:(workload_name job.backend) ~seed:job.seed ~cycles:job.budget
-                   ~wave:job.wave ~wall_us outcome))
+                   ~wave:job.wave ~wall_us ?timeline outcome))
             results);
       let agg = Db.aggregate db in
       Obs.gauge "fleet.points_remaining"

@@ -39,24 +39,72 @@ type job = {
   budget : int;  (** cycles (sims/FPGA), execs (fuzz) or bound (BMC) *)
   wave : int;
   scan_width : int;
+  sample_every : int;
+      (** coverage-timeline sampling period in budget units; 0 disables
+          sampling entirely (no wrapper on the hot path) *)
 }
 
-type job_result = { counts : Counts.t; sim_cycles : int; wall_us : float }
+type job_result = {
+  counts : Counts.t;
+  sim_cycles : int;
+  wall_us : float;
+  timeline : Sic_coverage.Timeline.t option;
+      (** the run's convergence curve, when [sample_every > 0] (BMC jobs
+          never record one) *)
+}
 
-val run_job : job -> job_result
-(** Execute one job in the current process; deterministic in [job.seed]. *)
+val run_job : ?progress:(cycles:int -> covered:int -> unit) -> job -> job_result
+(** Execute one job in the current process; deterministic in [job.seed].
+    [progress] fires at each [sample_every] boundary with cumulative work
+    done and points covered — the heartbeat hook, free to be wall-clock
+    throttled since it never influences the result. *)
+
+(** {1 Worker protocol}
+
+    Workers talk to the orchestrator over a pipe in protocol version 2:
+    heartbeat lines while running, then one result header line that
+    byte-length-frames the counts, timeline and telemetry sections
+    following it (see DESIGN.md, "Worker protocol"). [decode] rejects
+    payloads from a different protocol version. *)
+
+val proto_version : int
+val encode_ok : job_result -> string
+val encode_failed : string -> string
+
+type decoded = {
+  outcome : (job_result, string) result;
+      (** the job's verdict: [Error] is a {e worker-reported} failure *)
+  telemetry : string;
+      (** {!Sic_obs.Obs.import_events} payload; [""] when telemetry off *)
+}
+
+val decode : string -> (decoded, string) result
+(** Parse a worker payload starting at its result header ([Error] on
+    malformed, truncated or wrong-protocol payloads). *)
+
+(** {1 Job events} *)
+
+(** What the orchestrator reports as a campaign unfolds — consumed by
+    {!Progress} for [sic campaign --progress]. *)
+type job_event =
+  | Job_started of { job : job; attempt : int }
+  | Job_heartbeat of { job : job; hb_cycles : int; hb_covered : int }
+  | Job_retried of { job : job; attempt : int; why : string }
+  | Job_finished of { job : job; result : (job_result, string) result }
 
 val run_jobs :
   ?jobs:int ->
   ?timeout_s:float ->
   ?retries:int ->
   ?inject_crash:(job -> bool) ->
+  ?on_event:(job_event -> unit) ->
   job list ->
   (job * (job_result, string) result) list
 (** Fork up to [jobs] workers at a time; retry crashes/timeouts/raises up
     to [retries] extra attempts; never raises on worker death. Results
     are in input order. [inject_crash] makes matching jobs' workers
-    SIGKILL themselves (the failure-isolation test hook). *)
+    SIGKILL themselves (the failure-isolation test hook); [on_event]
+    observes the live schedule. *)
 
 (** {1 Campaigns} *)
 
@@ -74,10 +122,16 @@ type spec = {
   timeout_s : float option;
   retries : int;
   threshold : int;  (** §5.3 removal threshold applied between waves *)
+  timeline_every : int;
+      (** convergence-timeline sampling period (budget units); 0 = off *)
 }
 
 val default_spec : spec
-(** One [Compiled] wave, 1 seed, 1000 cycles, [-j 1], threshold 1. *)
+(** One [Compiled] wave, 1 seed, 1000 cycles, [-j 1], threshold 1,
+    timelines sampled every 100 budget units. *)
+
+val spec_total_jobs : spec -> int
+(** How many jobs the spec will enumerate, before running any. *)
 
 type summary = {
   total_jobs : int;
@@ -89,8 +143,32 @@ type summary = {
   points_covered : int;
 }
 
-val run_campaign : ?inject_crash:(int -> bool) -> db:Sic_db.Db.t -> spec -> summary
+(** {1 Live progress}
+
+    A {!job_event} consumer rendering the single-line campaign status
+    ([sic campaign --progress]): done/failed/running jobs, covered points
+    (union-max estimate), throughput and ETA. *)
+module Progress : sig
+  type t
+
+  val create : ?out:out_channel -> total:int -> unit -> t
+  (** [total] is the expected job count ({!spec_total_jobs}); output goes
+      to [out] (default [stderr]) as a [\r]-refreshed line. *)
+
+  val on_event : t -> job_event -> unit
+  val finish : t -> unit
+  (** Force a final render and terminate the line. *)
+end
+
+val run_campaign :
+  ?inject_crash:(int -> bool) ->
+  ?on_event:(job_event -> unit) ->
+  db:Sic_db.Db.t ->
+  spec ->
+  summary
 (** Enumerate and run every wave into [db]. [inject_crash] receives the
-    global job index. *)
+    global job index; [on_event] feeds a progress display. Per-run
+    timelines are persisted alongside the counts when
+    [spec.timeline_every > 0]. *)
 
 val render_summary : summary -> string

@@ -223,6 +223,8 @@ type progress = {
 type result = {
   final : progress;
   history : (int * Counts.t) list;  (** snapshots: execs -> merged counts *)
+  timeline : Sic_coverage.Timeline.t;
+      (** the same snapshots as a convergence curve (execs -> points hit) *)
 }
 
 (** Run the fuzzer for [execs] executions, seeded deterministically.
@@ -232,7 +234,8 @@ type result = {
     name prefix to switch feedback metrics, or pass [(fun _ -> false)] for
     feedback-free random fuzzing (the paper's baseline). *)
 let run ?(seed = 0) ?(execs = 200) ?(snapshot_every = 10) ?(max_cycles = 16)
-    ?(seed_cycles = 4) ?(feedback = fun (_ : string) -> true) (h : harness) : result =
+    ?(seed_cycles = 4) ?(feedback = fun (_ : string) -> true) ?on_snapshot (h : harness) :
+    result =
   let rng = Rng.create seed in
   let seen : (string * int, unit) Hashtbl.t = Hashtbl.create 256 in
   let corpus = ref [ Bytes.make (h.bytes_per_cycle * seed_cycles) '\000' ] in
@@ -296,6 +299,9 @@ let run ?(seed = 0) ?(execs = 200) ?(snapshot_every = 10) ?(max_cycles = 16)
     end;
     if !n_execs mod snapshot_every = 0 then begin
       history := (!n_execs, !cumulative) :: !history;
+      (match on_snapshot with
+      | Some f -> f ~execs:!n_execs ~covered:(Counts.covered_points !cumulative)
+      | None -> ());
       emit_progress ()
     end
   done;
@@ -314,4 +320,12 @@ let run ?(seed = 0) ?(execs = 200) ?(snapshot_every = 10) ?(max_cycles = 16)
       ("corpus_size", Obs.Int final.corpus_size);
       ("seen_pairs", Obs.Int final.seen_pairs);
     ];
-  { final; history = List.rev !history }
+  let module Timeline = Sic_coverage.Timeline in
+  let tlb = Timeline.builder () in
+  List.iter
+    (fun (execs, counts) ->
+      Timeline.record tlb ~at:execs ~covered:(Counts.covered_points counts))
+    (List.rev !history);
+  Timeline.record tlb ~at:final.execs ~covered:(Counts.covered_points final.cumulative);
+  let timeline = Timeline.build ~total:(Counts.total_points final.cumulative) tlb in
+  { final; history = List.rev !history; timeline }

@@ -52,6 +52,9 @@ type progress = {
 type result = {
   final : progress;
   history : (int * Counts.t) list;  (** snapshots for coverage-over-time *)
+  timeline : Sic_coverage.Timeline.t;
+      (** the same snapshots as a convergence curve (execs -> points hit),
+          ready to persist in the coverage database *)
 }
 
 val run :
@@ -61,7 +64,10 @@ val run :
   ?max_cycles:int ->
   ?seed_cycles:int ->
   ?feedback:(string -> bool) ->
+  ?on_snapshot:(execs:int -> covered:int -> unit) ->
   harness ->
   result
 (** [feedback] filters which cover names feed the signature; pass
-    [(fun _ -> false)] for feedback-free random fuzzing. *)
+    [(fun _ -> false)] for feedback-free random fuzzing. [on_snapshot]
+    fires at every [snapshot_every] boundary with the cumulative points
+    covered — the fleet's heartbeat hook. *)

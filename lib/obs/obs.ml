@@ -13,6 +13,8 @@ type event =
   | Gauge of { name : string; ts_us : float; gauge_value : float }
   | Instant of { name : string; ts_us : float; args : (string * value) list }
 
+type lane = { lane_pid : int; lane_label : string; lane_events : event list }
+
 (* ------------------------------------------------------------------ *)
 (* State                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -28,6 +30,10 @@ let t0_us = ref 0.
 let depth = ref 0
 let recorded : event list ref = ref [] (* newest first *)
 let counters : (string, int ref) Hashtbl.t = Hashtbl.create 16
+
+(* telemetry imported from other processes, one lane each, newest first *)
+let imported : lane list ref = ref []
+let lanes () = List.rev !imported
 
 (* timestamp relative to [enable] *)
 let ts () = now_us () -. !t0_us
@@ -95,6 +101,7 @@ let histogram name =
 
 let reset () =
   recorded := [];
+  imported := [];
   depth := 0;
   Hashtbl.reset counters;
   Hashtbl.reset histograms
@@ -215,6 +222,130 @@ let json_of_event (e : event) : Json.t =
           ("args", json_of_args args);
         ]
 
+(* ------------------------------------------------------------------ *)
+(* Cross-process round-trip                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A worker ships its recorded events to the orchestrator as NDJSON: a
+   meta line carrying the worker's pid and absolute t0 (so the parent can
+   rebase timestamps onto its own t0), then one line per event in the
+   [json_of_event] schema, then counter summaries to absorb. *)
+
+let export_version = 1
+
+let export_events () =
+  let buf = Buffer.create 1024 in
+  let line j =
+    Json.to_buffer buf j;
+    Buffer.add_char buf '\n'
+  in
+  line
+    (Json.Obj
+       [
+         ("type", Json.String "meta");
+         ("version", Json.Int export_version);
+         ("unit", Json.String "us");
+         ("pid", Json.Int (Unix.getpid ()));
+         ("t0_us", Json.Float !t0_us);
+       ]);
+  List.iter (fun e -> line (json_of_event e)) (events ());
+  let counter_lines =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters [] |> List.sort compare
+  in
+  List.iter
+    (fun (name, v) ->
+      line
+        (Json.Obj
+           [ ("type", Json.String "counter"); ("name", Json.String name); ("value", Json.Int v) ]))
+    counter_lines;
+  Buffer.contents buf
+
+let import_error fmt =
+  Printf.ksprintf (fun m -> raise (Json.Parse_error ("telemetry import: " ^ m))) fmt
+
+let value_of_json : Json.t -> value = function
+  | Json.Bool b -> Bool b
+  | Json.Int i -> Int i
+  | Json.Float f -> Float f
+  | Json.String s -> Str s
+  | j -> Str (Json.to_string j)
+
+let args_of_json j =
+  match Json.member "args" j with
+  | Some (Json.Obj kvs) -> List.map (fun (k, v) -> (k, value_of_json v)) kvs
+  | _ -> []
+
+let event_of_json (j : Json.t) : event option =
+  let str k = Json.string_member k j in
+  let flt k = Option.value ~default:0. (Json.float_member k j) in
+  let name () =
+    match str "name" with Some n -> n | None -> import_error "event lacks a name"
+  in
+  match str "type" with
+  | Some "span" ->
+      Some
+        (Span
+           {
+             name = name ();
+             start_us = flt "start_us";
+             dur_us = flt "dur_us";
+             depth = Option.value ~default:0 (Json.int_member "depth" j);
+             args = args_of_json j;
+           })
+  | Some "gauge" -> Some (Gauge { name = name (); ts_us = flt "ts_us"; gauge_value = flt "value" })
+  | Some "instant" -> Some (Instant { name = name (); ts_us = flt "ts_us"; args = args_of_json j })
+  | _ -> None
+
+let rebase offset (e : event) : event =
+  match e with
+  | Span s -> Span { s with start_us = s.start_us +. offset }
+  | Gauge g -> Gauge { g with ts_us = g.ts_us +. offset }
+  | Instant i -> Instant { i with ts_us = i.ts_us +. offset }
+
+(* counters are absorbed unguarded: an explicit import is intent enough *)
+let absorb_counter name v =
+  match Hashtbl.find_opt counters name with
+  | Some r -> r := !r + v
+  | None -> Hashtbl.replace counters name (ref v)
+
+let import_events ?label (s : string) =
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> ()
+  | meta :: rest ->
+      let m = Json.parse meta in
+      if Json.string_member "type" m <> Some "meta" then
+        import_error "payload does not start with a meta record";
+      (match Json.int_member "version" m with
+      | Some v when v = export_version -> ()
+      | Some v -> import_error "export version %d, this reader understands %d" v export_version
+      | None -> import_error "meta record lacks a version");
+      let pid = Option.value ~default:0 (Json.int_member "pid" m) in
+      (* the exporter's timestamps are relative to its own t0; shift them
+         onto ours so one merged trace shows the true schedule *)
+      let offset =
+        match Json.float_member "t0_us" m with Some t0 -> t0 -. !t0_us | None -> 0.
+      in
+      let evs =
+        List.filter_map
+          (fun l ->
+            let j = Json.parse l in
+            match Json.string_member "type" j with
+            | Some "counter" ->
+                (match (Json.string_member "name" j, Json.int_member "value" j) with
+                | Some name, Some v -> absorb_counter name v
+                | _ -> ());
+                None
+            | _ -> Option.map (rebase offset) (event_of_json j))
+          rest
+      in
+      let label =
+        match label with Some l -> l | None -> Printf.sprintf "pid %d" pid
+      in
+      imported := { lane_pid = pid; lane_label = label; lane_events = evs } :: !imported
+
 let summary_lines () =
   let counter_lines =
     Hashtbl.fold
@@ -257,9 +388,32 @@ let ndjson_buffer buf =
   in
   line
     (Json.Obj
-       [ ("type", Json.String "meta"); ("version", Json.Int 1); ("unit", Json.String "us") ]);
+       [
+         ("type", Json.String "meta");
+         ("version", Json.Int 1);
+         ("unit", Json.String "us");
+         ("pid", Json.Int (Unix.getpid ()));
+       ]);
   List.iter (fun e -> line (json_of_event e)) (events ());
-  List.iter line (summary_lines ())
+  List.iter line (summary_lines ());
+  (* imported worker lanes, each announced by a lane record; lane events
+     carry the worker's pid so offline consumers can keep them apart *)
+  List.iter
+    (fun l ->
+      line
+        (Json.Obj
+           [
+             ("type", Json.String "lane");
+             ("pid", Json.Int l.lane_pid);
+             ("label", Json.String l.lane_label);
+           ]);
+      List.iter
+        (fun e ->
+          match json_of_event e with
+          | Json.Obj kvs -> line (Json.Obj (kvs @ [ ("pid", Json.Int l.lane_pid) ]))
+          | j -> line j)
+        l.lane_events)
+    (lanes ())
 
 let ndjson_string () =
   let buf = Buffer.create 4096 in
@@ -268,38 +422,62 @@ let ndjson_string () =
 
 let output_ndjson oc = output_string oc (ndjson_string ())
 
-let chrome_trace_json () : Json.t =
-  let common name ph ts =
+let chrome_trace_json ?pid ?tid () : Json.t =
+  let pid = match pid with Some p -> p | None -> Unix.getpid () in
+  let tid = match tid with Some t -> t | None -> pid in
+  let common ~pid ~tid name ph ts =
     [
       ("name", Json.String name);
       ("cat", Json.String "sic");
       ("ph", Json.String ph);
       ("ts", Json.Float ts);
-      ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
     ]
   in
-  let trace_events =
-    List.map
-      (fun (e : event) ->
-        match e with
-        | Span { name; start_us; dur_us; args; _ } ->
-            Json.Obj
-              (common name "X" start_us
-              @ [ ("dur", Json.Float dur_us); ("args", json_of_args args) ])
-        | Gauge { name; ts_us; gauge_value } ->
-            Json.Obj
-              (common name "C" ts_us
-              @ [ ("args", Json.Obj [ ("value", Json.Float gauge_value) ]) ])
-        | Instant { name; ts_us; args } ->
-            Json.Obj (common name "i" ts_us @ [ ("s", Json.String "g"); ("args", json_of_args args) ]))
-      (events ())
+  let event_json ~pid ~tid (e : event) =
+    match e with
+    | Span { name; start_us; dur_us; args; _ } ->
+        Json.Obj
+          (common ~pid ~tid name "X" start_us
+          @ [ ("dur", Json.Float dur_us); ("args", json_of_args args) ])
+    | Gauge { name; ts_us; gauge_value } ->
+        Json.Obj
+          (common ~pid ~tid name "C" ts_us
+          @ [ ("args", Json.Obj [ ("value", Json.Float gauge_value) ]) ])
+    | Instant { name; ts_us; args } ->
+        Json.Obj
+          (common ~pid ~tid name "i" ts_us @ [ ("s", Json.String "g"); ("args", json_of_args args) ])
+  in
+  (* "M" metadata names each lane in Perfetto's track list *)
+  let thread_name ~pid ~tid label =
+    Json.Obj
+      [
+        ("name", Json.String "thread_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.String label) ]);
+      ]
+  in
+  let local_lane =
+    thread_name ~pid ~tid "main" :: List.map (event_json ~pid ~tid) (events ())
+  in
+  let imported_lanes =
+    List.concat_map
+      (fun l ->
+        thread_name ~pid:l.lane_pid ~tid:l.lane_pid l.lane_label
+        :: List.map (event_json ~pid:l.lane_pid ~tid:l.lane_pid) l.lane_events)
+      (lanes ())
   in
   Json.Obj
-    [ ("displayTimeUnit", Json.String "ms"); ("traceEvents", Json.List trace_events) ]
+    [
+      ("displayTimeUnit", Json.String "ms");
+      ("traceEvents", Json.List (local_lane @ imported_lanes));
+    ]
 
-let chrome_trace_string () = Json.to_string (chrome_trace_json ())
-let output_chrome_trace oc = output_string oc (chrome_trace_string ())
+let chrome_trace_string ?pid ?tid () = Json.to_string (chrome_trace_json ?pid ?tid ())
+let output_chrome_trace ?pid ?tid oc = output_string oc (chrome_trace_string ?pid ?tid ())
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                            *)
@@ -342,6 +520,63 @@ let span_stats () =
         max_us = mx;
       })
     !order
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing NDJSON lines ([sic tail])                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_value (j : Json.t) = match j with Json.String s -> s | j -> Json.to_string j
+
+let pp_args j =
+  match Json.member "args" j with
+  | Some (Json.Obj ((_ :: _) as kvs)) ->
+      " " ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ pp_value v) kvs)
+  | _ -> ""
+
+let pp_ndjson_line (line : string) : string =
+  match Json.parse line with
+  | exception Json.Parse_error _ -> line
+  | j -> (
+      let str k = Json.string_member k j in
+      let int_ k = Option.value ~default:0 (Json.int_member k j) in
+      let flt k = Option.value ~default:0. (Json.float_member k j) in
+      let name = Option.value ~default:"?" (str "name") in
+      let stamp ts_us = Printf.sprintf "[%10.3f ms]" (ts_us /. 1000.) in
+      let pid_suffix =
+        match Json.int_member "pid" j with
+        | Some p -> Printf.sprintf "  (pid %d)" p
+        | None -> ""
+      in
+      match str "type" with
+      | Some "meta" ->
+          Printf.sprintf "# sic telemetry (unit %s%s)"
+            (Option.value ~default:"?" (str "unit"))
+            (match Json.int_member "pid" j with
+            | Some p -> Printf.sprintf ", pid %d" p
+            | None -> "")
+      | Some "span" ->
+          Printf.sprintf "%s span     %s%s (%.3f ms)%s%s"
+            (stamp (flt "start_us"))
+            (String.make (2 * int_ "depth") ' ')
+            name
+            (flt "dur_us" /. 1000.)
+            (pp_args j) pid_suffix
+      | Some "gauge" ->
+          Printf.sprintf "%s gauge    %s = %g%s" (stamp (flt "ts_us")) name (flt "value")
+            pid_suffix
+      | Some "instant" ->
+          Printf.sprintf "%s instant  %s%s%s" (stamp (flt "ts_us")) name (pp_args j) pid_suffix
+      | Some "counter" -> Printf.sprintf "(counter)     %s = %d" name (int_ "value")
+      | Some "histogram" ->
+          Printf.sprintf "(histogram)   %s n=%d mean=%.1f p50=%.1f p90=%.1f p99=%.1f" name
+            (int_ "count") (flt "mean") (flt "p50") (flt "p90") (flt "p99")
+      | Some "hb" ->
+          Printf.sprintf "(heartbeat)   job %d: %d done, %d covered" (int_ "job")
+            (int_ "cycles") (int_ "covered")
+      | Some "lane" ->
+          Printf.sprintf "--- lane pid %d: %s ---" (int_ "pid")
+            (Option.value ~default:"?" (str "label"))
+      | _ -> line)
 
 let render_span_table () =
   let stats = span_stats () in

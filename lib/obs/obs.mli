@@ -55,6 +55,30 @@ type event =
 val events : unit -> event list
 (** Recorded events in recording order (spans appear when they close). *)
 
+(** {1 Cross-process aggregation}
+
+    A fleet worker records its own telemetry, then ships it back to the
+    orchestrator as NDJSON over the result pipe; the parent imports each
+    payload as one {b lane} — rebasing the worker's timestamps onto its own
+    timestamp zero — so the exporters can render the whole [-j N] schedule
+    in a single merged trace, one Perfetto track per worker. *)
+
+type lane = { lane_pid : int; lane_label : string; lane_events : event list }
+
+val lanes : unit -> lane list
+(** Imported lanes, in import order. Cleared by {!reset}. *)
+
+val export_events : unit -> string
+(** Serialize this process's recorded events (plus counters) as NDJSON: a
+    [meta] line carrying the pid and absolute t0 for rebasing, then one line
+    per event, then [counter] lines. Inverse of {!import_events}. *)
+
+val import_events : ?label:string -> string -> unit
+(** Parse an {!export_events} payload into a new lane (labelled [label],
+    default ["pid N"]), rebasing timestamps and absorbing the exporter's
+    counters into ours. Raises [Json.Parse_error] on malformed payloads or
+    an unknown export version. *)
+
 (** {1 Spans} *)
 
 type span_ctx
@@ -121,17 +145,27 @@ val with_sink : (string -> unit) -> (unit -> 'a) -> 'a
 
 val output_ndjson : out_channel -> unit
 (** One JSON object per line: a [meta] header, then every event
-    ([span]/[gauge]/[instant]), then [counter] and [histogram] summaries.
-    The schema is documented in README.md ("Observability"). *)
+    ([span]/[gauge]/[instant]), then [counter] and [histogram] summaries,
+    then each imported lane ([lane] record followed by its events, which
+    carry the worker's [pid]). The schema is documented in README.md
+    ("Observability"). *)
 
 val ndjson_string : unit -> string
 
-val output_chrome_trace : out_channel -> unit
+val output_chrome_trace : ?pid:int -> ?tid:int -> out_channel -> unit
 (** A single JSON object in the Chrome trace-event format: spans as ["X"]
-    (complete) events, gauges as ["C"] (counter) events, instants as ["i"].
-    Loadable in [about://tracing] and Perfetto. *)
+    (complete) events, gauges as ["C"] (counter) events, instants as ["i"],
+    plus ["M"] thread-name metadata labelling each lane. Local events land
+    on [pid]/[tid] (default: the real [Unix.getpid ()]); each imported lane
+    lands on its own [lane_pid] track. Loadable in [about://tracing] and
+    Perfetto. *)
 
-val chrome_trace_string : unit -> string
+val chrome_trace_string : ?pid:int -> ?tid:int -> unit -> string
+
+val pp_ndjson_line : string -> string
+(** Render one NDJSON telemetry line human-readably ([sic tail]'s
+    formatter); lines that don't parse or aren't a known record type pass
+    through unchanged. *)
 
 (** {1 Reporting} *)
 

@@ -89,6 +89,36 @@ let with_telemetry (b : t) : t =
   in
   { b with step }
 
+(** Wrap a backend so [f ~cycles ~covered] fires every [every] simulated
+    cycles — the coverage-convergence sampling hook behind
+    {!Sic_coverage.Timeline}. [covered] is the number of cover points hit
+    so far. When [every <= 0] the backend is returned {e unchanged} — no
+    wrapper, no per-step check — so the disabled path stays free (the §5
+    overhead discipline). Unlike {!with_telemetry} this does not consult
+    {!Sic_obs.Obs.on}: timelines are coverage data, not telemetry. *)
+let with_sampler ~every f (b : t) : t =
+  if every <= 0 then b
+  else begin
+    let next = ref (b.cycles () + every) in
+    let sample () =
+      f ~cycles:(b.cycles ()) ~covered:(Counts.covered_points (b.counts ()))
+    in
+    let step n =
+      let remaining = ref n in
+      while !remaining > 0 do
+        let due = !next - b.cycles () in
+        let k = max 1 (min !remaining due) in
+        b.step k;
+        remaining := !remaining - k;
+        if b.cycles () >= !next then begin
+          sample ();
+          next := b.cycles () + every
+        end
+      done
+    in
+    { b with step }
+  end
+
 (** Hold reset high for [cycles] (default 1) clock edges, then release. *)
 let reset_sequence ?(cycles = 1) (b : t) =
   b.poke "reset" (Bv.one 1);

@@ -13,13 +13,15 @@ let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_campaign: " ^ m);
 
 let sic = ref "sic"
 
-let run fmt =
+let run_expect expected fmt =
   Printf.ksprintf
     (fun args ->
       let cmd = Printf.sprintf "%s %s >> check_campaign.log 2>&1" (Filename.quote !sic) args in
       let rc = Sys.command cmd in
-      if rc <> 0 then fail "command failed with %d: sic %s" rc args)
+      if rc <> expected then fail "command exited %d (wanted %d): sic %s" rc expected args)
     fmt
+
+let run fmt = run_expect 0 fmt
 
 let read_file path =
   let ic = open_in_bin path in
@@ -40,12 +42,15 @@ let () =
   (* every counts file — per-run and the cached aggregate — byte-identical *)
   let cnt_files dir =
     Sys.readdir dir |> Array.to_list
-    |> List.filter (fun f -> Filename.check_suffix f ".cnt")
+    |> List.filter (fun f ->
+           Filename.check_suffix f ".cnt" || Filename.check_suffix f ".tl")
     |> List.sort compare
   in
   let f1 = cnt_files "db_j1" and f4 = cnt_files "db_j4" in
   if f1 <> f4 then fail "different counts files: [%s] vs [%s]" (String.concat " " f1) (String.concat " " f4);
   if not (List.mem "aggregate.cnt" f1) then fail "no aggregate.cnt in db_j1";
+  if not (List.exists (fun f -> Filename.check_suffix f ".tl") f1) then
+    fail "no convergence timelines persisted in db_j1";
   List.iter
     (fun f ->
       let a = read_file (Filename.concat "db_j1" f) and b = read_file (Filename.concat "db_j4" f) in
@@ -57,8 +62,9 @@ let () =
   if view db1 <> view db4 then fail "manifests differ between -j 1 and -j 4";
   if List.length (Db.runs db1) <> 6 then
     fail "expected 6 runs (3 designs x 2 backends), got %d" (List.length (Db.runs db1));
-  (* an injected worker crash: recorded as a failed run, campaign completes *)
-  run
+  (* an injected worker crash: recorded as a failed run, campaign completes
+     — and the exhausted retries surface as a nonzero exit for CI *)
+  run_expect 1
     "campaign --db db_crash -j 2 --inject-crash 0 --retries 1 --design gcd --design counter \
      --backend compiled --seeds 1 --cycles 200";
   let dbc = Db.load "db_crash" in
@@ -71,6 +77,16 @@ let () =
   (* the db subcommands run over the result *)
   run "db list db_j4";
   run "db report db_j4 --save-counts db_j4_aggregate.cnt";
+  run "db report db_j4 --timeline --html db_j4_report.html";
+  if not (Sys.file_exists "db_j4_report.html") then fail "db report --html wrote nothing";
+  let html = read_file "db_j4_report.html" in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  if not (contains html "coverage convergence") then
+    fail "HTML report lacks the convergence-curve section";
   run "db rank db_j4";
   run "db diff db_j4 r0001 r0002";
   if not (Counts.equal (Counts.load "db_j4_aggregate.cnt") (Db.aggregate db4)) then

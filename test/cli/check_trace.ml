@@ -1,0 +1,55 @@
+(* Validates a merged campaign Chrome trace: it must parse as JSON, carry
+   a traceEvents list with at least [min_tids] distinct thread lanes (the
+   orchestrator plus one per worker that shipped telemetry home), and
+   contain complete "X" spans — including the per-job "fleet.job" spans
+   recorded inside the workers.
+
+   Usage: check_trace.exe TRACE.json [MIN_TIDS] *)
+
+module Json = Sic_obs.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_trace: " ^ m); exit 1) fmt
+
+let () =
+  let path, min_tids =
+    match Sys.argv with
+    | [| _; path |] -> (path, 2)
+    | [| _; path; n |] -> (path, int_of_string n)
+    | _ -> fail "usage: check_trace.exe TRACE.json [MIN_TIDS]"
+  in
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let trace =
+    match Json.parse src with
+    | j -> j
+    | exception Json.Parse_error m -> fail "%s is not valid JSON: %s" path m
+  in
+  let events =
+    match Json.member "traceEvents" trace with
+    | Some (Json.List es) -> es
+    | _ -> fail "%s has no traceEvents list" path
+  in
+  let phase e = match Json.member "ph" e with Some (Json.String p) -> p | _ -> "?" in
+  let name e = match Json.member "name" e with Some (Json.String n) -> n | _ -> "?" in
+  let tids =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun e -> match Json.member "tid" e with Some (Json.Int t) -> Some t | _ -> None)
+         events)
+  in
+  if List.length tids < min_tids then
+    fail "%s spans %d thread lanes, wanted >= %d — worker telemetry was not merged" path
+      (List.length tids) min_tids;
+  let spans = List.filter (fun e -> phase e = "X") events in
+  if spans = [] then fail "%s contains no complete spans" path;
+  if not (List.exists (fun e -> name e = "fleet.job") spans) then
+    fail "%s lacks the per-job fleet.job spans from the workers" path;
+  (* every lane is named for the trace viewer's track list *)
+  if not (List.exists (fun e -> phase e = "M" && name e = "thread_name") events) then
+    fail "%s lacks thread_name metadata" path;
+  Printf.printf "check_trace: ok (%d events, %d lanes)\n" (List.length events)
+    (List.length tids)

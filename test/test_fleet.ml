@@ -25,7 +25,7 @@ let instrumented name c =
   let ic, _ = Line.instrument c in
   (name, lower ic)
 
-let mk_jobs ?(backend = Fleet.Compiled) ?(budget = 200) seeds =
+let mk_jobs ?(backend = Fleet.Compiled) ?(budget = 200) ?(sample_every = 0) seeds =
   let _, low = instrumented "gcd" (gcd_circuit ()) in
   List.mapi
     (fun i seed ->
@@ -39,6 +39,7 @@ let mk_jobs ?(backend = Fleet.Compiled) ?(budget = 200) seeds =
         budget;
         wave = 1;
         scan_width = 8;
+        sample_every;
       })
     seeds
 
@@ -101,6 +102,31 @@ let test_run_jobs_crash_isolated () =
   | [ (_, Error why) ] -> Alcotest.fail ("retry did not heal transient crash: " ^ why)
   | _ -> Alcotest.fail "unexpected result shape"
 
+let test_run_job_timeline () =
+  let module Timeline = Sic_coverage.Timeline in
+  (match mk_jobs ~sample_every:50 [ 7 ] with
+  | [ job ] -> (
+      let res = Fleet.run_job job in
+      match res.Fleet.timeline with
+      | None -> Alcotest.fail "no timeline recorded with sample_every > 0"
+      | Some tl ->
+          Alcotest.(check bool) "last sample covers the whole budget" true
+            (Timeline.last_at tl >= job.Fleet.budget);
+          Alcotest.(check int) "final sample matches the counts"
+            (Counts.covered_points res.Fleet.counts)
+            (Timeline.final_covered tl);
+          let rec monotone = function
+            | (_, a) :: ((_, b) :: _ as rest) -> a <= b && monotone rest
+            | _ -> true
+          in
+          Alcotest.(check bool) "covered never decreases" true
+            (monotone tl.Timeline.samples))
+  | _ -> assert false);
+  (* sample_every = 0 is the untouched hot path: no timeline at all *)
+  match (Fleet.run_job (List.hd (mk_jobs [ 7 ]))).Fleet.timeline with
+  | None -> ()
+  | Some _ -> Alcotest.fail "timeline recorded with sample_every = 0"
+
 let test_bmc_job () =
   let _, low = instrumented "fsm" (fst (fsm_circuit ())) in
   let job =
@@ -114,6 +140,7 @@ let test_bmc_job () =
       budget = 4;
       wave = 1;
       scan_width = 8;
+      sample_every = 0;
     }
   in
   let res = Fleet.run_job job in
@@ -140,6 +167,7 @@ let small_spec ~jobs =
     timeout_s = None;
     retries = 1;
     threshold = 1;
+    timeline_every = 50;
   }
 
 let manifest_view db =
@@ -171,6 +199,20 @@ let test_campaign_j_independent () =
   Alcotest.(check string) "aggregate.cnt byte-identical"
     (read_file (Filename.concat dir1 "aggregate.cnt"))
     (read_file (Filename.concat dir4 "aggregate.cnt"));
+  (* ... and so are the persisted convergence timelines *)
+  let tl_files dir =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".tl")
+    |> List.sort String.compare
+  in
+  Alcotest.(check bool) "timelines were persisted" true (tl_files dir1 <> []);
+  Alcotest.(check (list string)) "same timeline files" (tl_files dir1) (tl_files dir4);
+  List.iter
+    (fun f ->
+      Alcotest.(check string) (f ^ " byte-identical")
+        (read_file (Filename.concat dir1 f))
+        (read_file (Filename.concat dir4 f)))
+    (tl_files dir1);
   (* acceptance: the ranked subset's merged coverage equals the aggregate's *)
   let picked = Db.rank db4 in
   Alcotest.(check bool) "rank returns a subset" true
@@ -204,6 +246,7 @@ let tests =
     Alcotest.test_case "run_jobs: parallel = serial" `Quick test_run_jobs_parallel_equals_serial;
     Alcotest.test_case "run_jobs: crash isolation + retry" `Quick test_run_jobs_crash_isolated;
     Alcotest.test_case "run_job: bmc 0/1 semantics" `Quick test_bmc_job;
+    Alcotest.test_case "run_job: timeline sampling" `Quick test_run_job_timeline;
     Alcotest.test_case "campaign: db independent of -j" `Quick test_campaign_j_independent;
     Alcotest.test_case "campaign: survives worker crash" `Quick test_campaign_crash_survival;
   ]

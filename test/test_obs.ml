@@ -163,29 +163,105 @@ let test_ndjson_export_round_trip () =
           | _ -> Alcotest.fail "histogram summary fields")
       | _ -> assert false)
 
+let test_export_import_round_trip () =
+  with_fake_clock (fun () ->
+      (* worker session: record, export *)
+      Obs.enable ();
+      Obs.span "work" ~args:[ ("job", Obs.Int 3) ] (fun () -> ());
+      Obs.count ~by:5 "execs";
+      let start_a =
+        match spans () with
+        | [ Obs.Span s ] -> s.start_us
+        | _ -> Alcotest.fail "one span recorded"
+      in
+      let payload = Obs.export_events () in
+      (* orchestrator session: enabled later, so its t0 is larger and the
+         imported timestamps must shift backwards to line up *)
+      Obs.reset ();
+      Obs.enable ();
+      Obs.import_events ~label:"w1" payload;
+      (match Obs.lanes () with
+      | [ l ] -> (
+          Alcotest.(check string) "lane label" "w1" l.Obs.lane_label;
+          Alcotest.(check int) "lane pid" (Unix.getpid ()) l.Obs.lane_pid;
+          match l.Obs.lane_events with
+          | [ Obs.Span s ] ->
+              Alcotest.(check string) "span survives" "work" s.name;
+              Alcotest.(check bool) "span args survive" true (List.mem_assoc "job" s.args);
+              Alcotest.(check bool) "start rebased onto the later t0" true
+                (s.start_us < start_a)
+          | _ -> Alcotest.fail "lane holds exactly the exported span")
+      | ls -> Alcotest.failf "expected 1 lane, got %d" (List.length ls));
+      Alcotest.(check int) "exporter's counters absorbed" 5 (Obs.counter_value "execs");
+      (* a payload from a foreign pid lands as its own lane *)
+      Obs.import_events
+        "{\"type\":\"meta\",\"version\":1,\"unit\":\"us\",\"pid\":4242,\"t0_us\":0.0}\n\
+         {\"type\":\"span\",\"name\":\"alien\",\"start_us\":10.0,\"dur_us\":5.0,\"depth\":1,\"args\":{\"k\":\"v\"}}\n\
+         {\"type\":\"counter\",\"name\":\"alien_hits\",\"value\":3}\n";
+      (match Obs.lanes () with
+      | [ _w1; alien ] -> (
+          Alcotest.(check int) "foreign pid kept" 4242 alien.Obs.lane_pid;
+          Alcotest.(check string) "default label" "pid 4242" alien.Obs.lane_label;
+          match alien.Obs.lane_events with
+          | [ Obs.Span s ] ->
+              Alcotest.(check (float 1e-9)) "duration unchanged" 5.0 s.dur_us;
+              Alcotest.(check int) "depth kept" 1 s.depth
+          | _ -> Alcotest.fail "alien lane holds one span")
+      | ls -> Alcotest.failf "expected 2 lanes, got %d" (List.length ls));
+      Alcotest.(check int) "foreign counters absorbed" 3 (Obs.counter_value "alien_hits");
+      (* the merged chrome trace shows one lane per process *)
+      let trace = Json.parse (Obs.chrome_trace_string ~pid:1 ~tid:1 ()) in
+      (match Json.member "traceEvents" trace with
+      | Some (Json.List events) ->
+          let pids =
+            List.sort_uniq compare
+              (List.filter_map
+                 (fun e ->
+                   match Json.member "pid" e with Some (Json.Int p) -> Some p | _ -> None)
+                 events)
+          in
+          Alcotest.(check (list int)) "one lane per process"
+            (List.sort_uniq compare [ 1; 4242; Unix.getpid () ])
+            pids
+      | _ -> Alcotest.fail "traceEvents present");
+      (* payloads from an unknown export version are rejected, not guessed at *)
+      match
+        Obs.import_events
+          "{\"type\":\"meta\",\"version\":99,\"unit\":\"us\",\"pid\":1,\"t0_us\":0.0}\n"
+      with
+      | () -> Alcotest.fail "unknown export version accepted"
+      | exception Json.Parse_error _ -> ())
+
 let test_chrome_trace_export () =
   with_fake_clock (fun () ->
       Obs.enable ();
       Obs.span "outer" (fun () -> Obs.span "inner" (fun () -> ()));
       Obs.gauge "speed" 10.;
       Obs.instant "hit";
-      let trace = Json.parse (Obs.chrome_trace_string ()) in
+      let trace = Json.parse (Obs.chrome_trace_string ~pid:77 ~tid:77 ()) in
       match Json.member "traceEvents" trace with
       | Some (Json.List events) ->
-          Alcotest.(check int) "2 spans + 1 gauge + 1 instant" 4 (List.length events);
+          Alcotest.(check int) "lane name + 2 spans + 1 gauge + 1 instant" 5
+            (List.length events);
           let phases =
             List.map
               (fun e ->
                 match Json.member "ph" e with Some (Json.String p) -> p | _ -> "?")
               events
           in
-          Alcotest.(check (list string)) "phases" [ "X"; "X"; "C"; "i" ] phases;
+          Alcotest.(check (list string)) "phases" [ "M"; "X"; "X"; "C"; "i" ] phases;
+          List.iter
+            (fun e ->
+              match Json.member "pid" e with
+              | Some (Json.Int 77) -> ()
+              | _ -> Alcotest.fail "every event carries the requested pid")
+            events;
           List.iter
             (fun e ->
               match (Json.member "ts" e, Json.member "pid" e) with
               | Some (Json.Float _), Some (Json.Int _) -> ()
               | _ -> Alcotest.fail "every event carries ts and pid")
-            events
+            (List.tl events)
       | _ -> Alcotest.fail "traceEvents list present")
 
 let test_sink_captures_simulator_prints () =
@@ -222,6 +298,7 @@ let tests =
     Alcotest.test_case "counters accumulate" `Quick test_counters;
     Alcotest.test_case "json round-trip" `Quick test_json_round_trip;
     Alcotest.test_case "ndjson export round-trips" `Quick test_ndjson_export_round_trip;
+    Alcotest.test_case "export/import round-trip" `Quick test_export_import_round_trip;
     Alcotest.test_case "chrome trace export" `Quick test_chrome_trace_export;
     Alcotest.test_case "one sink for all runtime output" `Quick
       test_sink_captures_simulator_prints;
