@@ -1,0 +1,104 @@
+(** [bench sim]: per-cycle simulation throughput of every software backend
+    on the Table 2 workloads, written to BENCH_sim.json for CI tracking.
+
+    For each design we record one replay trace (so stimulus generation is
+    excluded, the §5.1 methodology), then measure ns/cycle for each backend
+    replaying that same trace: the interpreter, the retired closure/Bv
+    reference tape (plain and activity-driven), and the word-level engine
+    (plain as "compiled", activity-driven as "essent"). Coverage counts are
+    cross-checked across all backends before timing — a backend that
+    disagrees with the interpreter is a correctness bug, not a data point.
+
+    SIC_BENCH_SMOKE=1 shrinks the trace lengths and measurement quota so CI
+    can run the whole thing in seconds; the JSON layout is identical. *)
+
+module Counts = Sic_coverage.Counts
+open Sic_sim
+
+let backends : (string * (Sic_ir.Circuit.t -> Backend.t)) list =
+  [
+    ("interp", Interp.create);
+    ("ref-tape", fun c -> Ref_tape.create c);
+    ("ref-tape-activity", fun c -> Ref_tape.create ~activity:true c);
+    ("compiled", fun c -> Compiled.create c);
+    ("essent", Essent.create);
+  ]
+
+(* fresh backend, one full replay: the counts all backends must agree on *)
+let counts_of create low trace =
+  let b = create low in
+  Replay.replay b trace;
+  b.Backend.counts ()
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | s ->
+      let n = List.length s in
+      let a = List.nth s ((n - 1) / 2) and b = List.nth s (n / 2) in
+      (a +. b) /. 2.0
+
+let run () =
+  let smoke = Sys.getenv_opt "SIC_BENCH_SMOKE" <> None in
+  let cycles = if smoke then 100 else 2_000 in
+  let quota = if smoke then 0.05 else 0.5 in
+  Timing.header
+    (Printf.sprintf "sim: per-cycle backend throughput (%d-cycle traces%s)" cycles
+       (if smoke then ", smoke" else ""));
+  Timing.row "%-14s %-18s %12s\n" "Design" "Backend" "ns/cycle";
+  let results = ref [] in
+  let speedups = ref [] in
+  List.iter
+    (fun (name, _, _, build) ->
+      let c, trace = build ~cycles in
+      let low = Sic_passes.Compile.lower c in
+      Timing.row "%-14s tape: %s\n" name (Compiled.stats (Compiled.build low));
+      (* correctness gate: identical coverage counts on every backend *)
+      let reference = counts_of Interp.create low trace in
+      List.iter
+        (fun (bname, create) ->
+          if not (Counts.equal reference (counts_of create low trace)) then
+            failwith (Printf.sprintf "sim bench: %s disagrees with interp on %s" bname name))
+        backends;
+      let per_backend =
+        List.map
+          (fun (bname, create) ->
+            let b = create low in
+            Replay.replay b trace (* warm-up *);
+            let ns =
+              Timing.ns_per_run ~quota
+                (Printf.sprintf "%s/%s" name bname)
+                (fun () -> Replay.replay b trace)
+            in
+            let ns_cycle = ns /. float_of_int (Replay.cycles trace) in
+            Timing.row "%-14s %-18s %12.1f\n" name bname ns_cycle;
+            (bname, ns_cycle))
+          backends
+      in
+      results := (name, per_backend) :: !results;
+      (match (List.assoc_opt "ref-tape" per_backend, List.assoc_opt "compiled" per_backend) with
+      | Some old_ns, Some new_ns when new_ns > 0.0 ->
+          let s = old_ns /. new_ns in
+          speedups := s :: !speedups;
+          Timing.row "%-14s %-18s %11.2fx\n" name "word-level speedup" s
+      | _ -> ()))
+    Workloads.table2_set;
+  let med = median !speedups in
+  Timing.row "\nmedian word-level speedup over the Bv reference tape: %.2fx\n" med;
+  (* BENCH_sim.json: flat record list plus the headline median *)
+  let oc = open_out "BENCH_sim.json" in
+  Printf.fprintf oc "{\n  \"cycles\": %d,\n  \"smoke\": %b,\n  \"results\": [\n" cycles smoke;
+  let rows =
+    List.concat_map
+      (fun (design, per_backend) ->
+        List.map
+          (fun (bname, ns) ->
+            Printf.sprintf "    { \"design\": %S, \"backend\": %S, \"ns_per_cycle\": %.3f }"
+              design bname ns)
+          per_backend)
+      (List.rev !results)
+  in
+  output_string oc (String.concat ",\n" rows);
+  Printf.fprintf oc "\n  ],\n  \"median_speedup_vs_ref_tape\": %.3f\n}\n" med;
+  close_out oc;
+  Timing.row "wrote BENCH_sim.json\n"

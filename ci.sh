@@ -21,3 +21,9 @@ dune exec --no-build bin/sic.exe -- campaign --db ci_campaign.db -j 2 \
   --design counter --design gcd --backend compiled --seeds 1 --cycles 300
 dune exec --no-build test/cli/check_trace.exe -- ci_trace.json 3
 rm -rf ci_campaign.db
+
+# Simulation throughput smoke: tiny traces and measurement quota, but the
+# full pipeline — every backend replays every Table 2 workload and must
+# produce identical coverage counts before timing. Writes BENCH_sim.json
+# (uploaded as a CI artifact) in the same layout as a full run.
+SIC_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- sim

@@ -55,12 +55,21 @@ let is_ones v =
       go 0)
   && v.data.(n - 1) = top_mask v.width
 
-let popcount v =
-  let count_limb x =
-    let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
-    go x 0
-  in
-  Array.fold_left (fun acc x -> acc + count_limb x) 0 v.data
+(* Constant-time per-limb population count (SWAR). Limbs are 31-bit so the
+   32-bit masks suffice and every intermediate fits a native int. *)
+let popcount_limb x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0f0f0f0f in
+  (* unlike a uint32 multiply, the 63-bit product keeps bits above 32, so
+     mask the byte-sum out explicitly *)
+  (x * 0x01010101) lsr 24 land 0xff
+
+let popcount v = Array.fold_left (fun acc x -> acc + popcount_limb x) 0 v.data
+
+let popcount_int n =
+  if n < 0 then invalid_arg "Bv.popcount_int: negative";
+  popcount_limb (n land limb_mask) + popcount_limb (n lsr limb_bits)
 
 let to_int v =
   (* Fits iff all bits above 62 are zero. *)
@@ -82,6 +91,139 @@ let to_int_trunc v =
   let l0 = if n > 0 then v.data.(0) else 0 in
   let l1 = if n > 1 then v.data.(1) else 0 in
   (l0 lor (l1 lsl limb_bits)) land max_int
+
+(* Cheap bridge for the word-level simulation engine: rebuild a vector of
+   width <= 62 from its masked native-int pattern without the generic fill
+   loop. [to_int_trunc] is the exact inverse at these widths. *)
+let of_int62 ~width:w n =
+  if w > 62 then invalid_arg "Bv.of_int62: width > 62";
+  let v = zero w in
+  (match Array.length v.data with
+  | 0 -> ()
+  | 1 -> v.data.(0) <- n land limb_mask
+  | _ ->
+      v.data.(0) <- n land limb_mask;
+      v.data.(1) <- (n lsr limb_bits) land limb_mask);
+  normalize v
+
+(* Allocation-free bit-field read for the word-level simulation engine:
+   bits [lo, lo+width) of [v] as a masked native-int pattern, width <= 62.
+   Bits past [v]'s width read as zero. *)
+let extract_int v ~lo ~width =
+  if width < 0 || width > 62 then invalid_arg "Bv.extract_int: bad width";
+  if width = 0 then 0
+  else begin
+    let nd = Array.length v.data in
+    let li = lo / limb_bits and off = lo mod limb_bits in
+    let limb i = if i < nd then Array.unsafe_get v.data i else 0 in
+    let acc = ref (limb li lsr off) in
+    let got = ref (limb_bits - off) in
+    let i = ref (li + 1) in
+    while !got < width do
+      acc := !acc lor (limb !i lsl !got);
+      got := !got + limb_bits;
+      incr i
+    done;
+    !acc land ((1 lsl width) - 1)
+  end
+
+let copy v = { width = v.width; data = Array.copy v.data }
+
+(* In-place operations for the word-level simulation engine's wide slots.
+   Each treats its [dst] as a mutable buffer of fixed width; operand widths
+   need not match [dst] (missing limbs read as zero, excess bits are
+   truncated). None of these allocate. *)
+
+let fill_zero v = Array.fill v.data 0 (Array.length v.data) 0
+
+(* [dst] and [src] must have equal widths. *)
+let blit_into ~dst src = Array.blit src.data 0 dst.data 0 (Array.length dst.data)
+
+(* OR the masked pattern [n] (>= 0, < 2^62) into [dst] at bit offset [lo]. *)
+let or_int_into ~dst ~lo n =
+  let nd = Array.length dst.data in
+  let i = ref (lo / limb_bits) in
+  let off = lo mod limb_bits in
+  if !i < nd then dst.data.(!i) <- dst.data.(!i) lor ((n lsl off) land limb_mask);
+  let rest = ref (n lsr (limb_bits - off)) in
+  incr i;
+  while !rest <> 0 && !i < nd do
+    dst.data.(!i) <- dst.data.(!i) lor (!rest land limb_mask);
+    rest := !rest lsr limb_bits;
+    incr i
+  done;
+  ignore (normalize dst)
+
+(* OR all of [src]'s bits into [dst] at bit offset [lo]. *)
+let or_bits_into ~dst ~lo src =
+  let nd = Array.length dst.data in
+  let ns = Array.length src.data in
+  let li = lo / limb_bits and off = lo mod limb_bits in
+  if off = 0 then
+    for j = 0 to ns - 1 do
+      let i = li + j in
+      if i < nd then dst.data.(i) <- dst.data.(i) lor src.data.(j)
+    done
+  else begin
+    let carry = ref 0 in
+    for j = 0 to ns - 1 do
+      let x = src.data.(j) in
+      let i = li + j in
+      if i < nd then
+        dst.data.(i) <- dst.data.(i) lor (((x lsl off) land limb_mask) lor !carry);
+      carry := x lsr (limb_bits - off)
+    done;
+    let i = li + ns in
+    if i < nd then dst.data.(i) <- dst.data.(i) lor !carry
+  end;
+  ignore (normalize dst)
+
+(* Logical right shift of [src] by [n] into [dst]. *)
+let shr_into ~dst src n =
+  let nd = Array.length dst.data in
+  let ns = Array.length src.data in
+  let ls = n / limb_bits and off = n mod limb_bits in
+  let limb j = if j >= 0 && j < ns then Array.unsafe_get src.data j else 0 in
+  if off = 0 then
+    for i = 0 to nd - 1 do
+      dst.data.(i) <- limb (i + ls)
+    done
+  else
+    for i = 0 to nd - 1 do
+      dst.data.(i) <-
+        (limb (i + ls) lsr off) lor (limb (i + ls + 1) lsl (limb_bits - off)) land limb_mask
+    done;
+  ignore (normalize dst)
+
+let logor_into ~dst a b =
+  let la = a.data and lb = b.data in
+  let na = Array.length la and nb = Array.length lb in
+  for i = 0 to Array.length dst.data - 1 do
+    let x = if i < na then Array.unsafe_get la i else 0 in
+    let y = if i < nb then Array.unsafe_get lb i else 0 in
+    dst.data.(i) <- x lor y
+  done;
+  ignore (normalize dst)
+
+let logand_into ~dst a b =
+  let la = a.data and lb = b.data in
+  let na = Array.length la and nb = Array.length lb in
+  for i = 0 to Array.length dst.data - 1 do
+    let x = if i < na then Array.unsafe_get la i else 0 in
+    let y = if i < nb then Array.unsafe_get lb i else 0 in
+    dst.data.(i) <- x land y
+  done;
+  ignore (normalize dst)
+
+let logxor_into ~dst a b =
+  let la = a.data and lb = b.data in
+  let na = Array.length la and nb = Array.length lb in
+  for i = 0 to Array.length dst.data - 1 do
+    let x = if i < na then Array.unsafe_get la i else 0 in
+    let y = if i < nb then Array.unsafe_get lb i else 0 in
+    dst.data.(i) <- x lxor y
+  done;
+  ignore (normalize dst)
 
 let equal a b = a.width = b.width && a.data = b.data
 

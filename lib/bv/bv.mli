@@ -42,6 +42,11 @@ val random : width:int -> (unit -> int) -> t
 (** [random ~width rng] builds a vector from a source of random
     non-negative ints ([rng ()] must return at least 30 fresh bits). *)
 
+val of_int62 : width:int -> int -> t
+(** [of_int62 ~width n] rebuilds a vector of [width <= 62] from its masked
+    native-int pattern [n] (as produced by {!to_int_trunc}); cheaper than
+    {!of_int}. Raises [Invalid_argument] when [width > 62]. *)
+
 (** {1 Observation} *)
 
 val width : t -> int
@@ -54,6 +59,11 @@ val to_int_trunc : t -> int
 
 val to_signed_int : t -> int option
 (** Two's-complement interpretation if it fits in an OCaml int. *)
+
+val extract_int : t -> lo:int -> width:int -> int
+(** [extract_int v ~lo ~width] is bits [lo, lo + width)] of [v] as a masked
+    native-int pattern, without allocating. Bits beyond [v]'s width read as
+    zero. Raises [Invalid_argument] when [width > 62]. *)
 
 val to_binary_string : t -> string
 val to_hex_string : t -> string
@@ -68,6 +78,40 @@ val is_ones : t -> bool
 val msb : t -> bool
 
 val popcount : t -> int
+(** Number of set bits (constant time per limb). *)
+
+val popcount_int : int -> int
+(** Number of set bits of a non-negative native int (constant time).
+    Raises [Invalid_argument] on negative input. *)
+
+(** {1 In-place operations}
+
+    Mutable-buffer primitives for the word-level simulation engine's wide
+    slots. Each writes every limb of [dst] and allocates nothing; operand
+    widths need not match [dst] (missing bits read as zero, excess bits
+    are truncated). A value used as [dst] must be privately owned — these
+    break the immutability every other operation preserves. *)
+
+val copy : t -> t
+(** Fresh, independently-owned copy (same width and value). *)
+
+val fill_zero : t -> unit
+
+val blit_into : dst:t -> t -> unit
+(** Overwrite [dst] with the value of a same-width source. *)
+
+val or_int_into : dst:t -> lo:int -> int -> unit
+(** OR a masked native-int pattern (>= 0) into [dst] at bit offset [lo]. *)
+
+val or_bits_into : dst:t -> lo:int -> t -> unit
+(** OR all of a source vector's bits into [dst] at bit offset [lo]. *)
+
+val shr_into : dst:t -> t -> int -> unit
+(** Logical right shift of the source by [n] bits into [dst]. *)
+
+val logor_into : dst:t -> t -> t -> unit
+val logand_into : dst:t -> t -> t -> unit
+val logxor_into : dst:t -> t -> t -> unit
 
 (** {1 Comparison} *)
 

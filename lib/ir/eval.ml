@@ -70,6 +70,97 @@ let intop (op : Expr.intop) (n : int) ~(ta : Ty.t) (a : Bv.t) : Bv.t =
 
 let bits ~hi ~lo (a : Bv.t) = Bv.extract ~hi ~lo a
 
+(** Word-level (native-int) primop semantics, mirroring the {!Bv} functions
+    above for the widths that fit a machine word. A value is the bit
+    pattern of the signal, masked to its type's width and stored in a
+    non-negative OCaml int; signed operands are re-read by sign extension.
+    Applicable whenever every operand width and the result width are at
+    most {!Int.max_width} — the word-level simulation engine's fast path.
+    None of these functions allocate. *)
+module Int = struct
+  (** Widest pattern representable on the int path: to_int_trunc/of_int62
+      round-trip exactly up to 62 bits. *)
+  let max_width = 62
+
+  let fits w = w <= max_width
+
+  let mask w = if w >= max_width then max_int else (1 lsl w) - 1
+
+  (** Signed reinterpretation of a masked [w]-bit pattern ([w <= 62]). *)
+  let sext w v = if w = 0 then 0 else (v lsl (63 - w)) asr (63 - w)
+
+  (** Read a pattern at its type's signedness. *)
+  let read (ty : Ty.t) v = if Ty.is_signed ty then sext (Ty.width ty) v else v
+
+  let of_bool b = if b then 1 else 0
+
+  let unop (op : Expr.unop) ~(ta : Ty.t) (a : int) : int =
+    let w = Ty.width ta in
+    match op with
+    | Expr.Not -> lnot a land mask w
+    | Expr.Andr -> of_bool (w > 0 && a = mask w)
+    | Expr.Orr -> of_bool (a <> 0)
+    | Expr.Xorr -> Bv.popcount_int a land 1
+    | Expr.Neg -> -read ta a land mask (w + 1)
+    | Expr.Cvt | Expr.AsUInt | Expr.AsSInt -> a
+
+  (* The result widths below restate Expr.binop_ty arithmetically so the
+     hot loop never allocates a Ty.t; the qcheck suite pins them to the Bv
+     path (which goes through binop_ty). *)
+  let binop (op : Expr.binop) ~(ta : Ty.t) ~(tb : Ty.t) (a : int) (b : int) :
+      int =
+    let wa = Ty.width ta and wb = Ty.width tb in
+    match op with
+    | Expr.Add -> (read ta a + read tb b) land mask (max wa wb + 1)
+    | Expr.Sub -> (read ta a - read tb b) land mask (max wa wb + 1)
+    | Expr.Mul -> read ta a * read tb b land mask (wa + wb)
+    | Expr.Div ->
+        if b = 0 then 0
+        else if Ty.is_signed ta then
+          read ta a / read tb b land mask (wa + 1)
+        else a / b
+    | Expr.Rem ->
+        let wr = min wa wb in
+        if b = 0 then a land mask wr
+        else if Ty.is_signed ta then read ta a mod read tb b land mask wr
+        else a mod b land mask wr
+    | Expr.Lt ->
+        of_bool (if Ty.is_signed ta then read ta a < read tb b else a < b)
+    | Expr.Leq ->
+        of_bool (if Ty.is_signed ta then read ta a <= read tb b else a <= b)
+    | Expr.Gt ->
+        of_bool (if Ty.is_signed ta then read ta a > read tb b else a > b)
+    | Expr.Geq ->
+        of_bool (if Ty.is_signed ta then read ta a >= read tb b else a >= b)
+    | Expr.Eq -> of_bool (read ta a = read tb b)
+    | Expr.Neq -> of_bool (read ta a <> read tb b)
+    | Expr.And -> read ta a land read tb b land mask (max wa wb)
+    | Expr.Or -> (read ta a lor read tb b) land mask (max wa wb)
+    | Expr.Xor -> (read ta a lxor read tb b) land mask (max wa wb)
+    | Expr.Cat -> (a lsl wb) lor b
+    | Expr.Dshl ->
+        let wr = wa + (1 lsl wb) - 1 in
+        if b >= wr then 0 else (read ta a lsl b) land mask wr
+    | Expr.Dshr ->
+        if Ty.is_signed ta then (sext wa a asr min b 62) land mask wa
+        else if b >= wa then 0
+        else a lsr b
+
+  let intop (op : Expr.intop) (n : int) ~(ta : Ty.t) (a : int) : int =
+    let w = Ty.width ta in
+    match op with
+    | Expr.Pad -> if Ty.is_signed ta && n > w then sext w a land mask n else a
+    | Expr.Shl -> a lsl n
+    | Expr.Shr ->
+        if Ty.is_signed ta then a lsr min n (w - 1)
+        else if n >= w then 0
+        else a lsr n
+    | Expr.Head -> a lsr (w - n)
+    | Expr.Tail -> a land mask (w - n)
+
+  let bits ~hi ~lo (a : int) = (a lsr lo) land mask (hi - lo + 1)
+end
+
 (** Full evaluation of an expression. [ty_of] resolves reference types (for
     signedness decisions); [value_of] resolves reference values. *)
 let rec eval ~(ty_of : string -> Ty.t) ~(value_of : string -> Bv.t) (e : Expr.t) : Bv.t =

@@ -14,6 +14,39 @@ val binop : Expr.binop -> ta:Ty.t -> tb:Ty.t -> Bv.t -> Bv.t -> Bv.t
 val intop : Expr.intop -> int -> ta:Ty.t -> Bv.t -> Bv.t
 val bits : hi:int -> lo:int -> Bv.t -> Bv.t
 
+(** Word-level (native-int) primop semantics mirroring the functions above
+    for narrow signals. A value is the signal's bit pattern masked to its
+    type's width, stored in a non-negative OCaml int; signed operands are
+    re-read by sign extension. Applicable when every operand width and the
+    result width are at most {!Int.max_width} (62) — the word-level
+    simulation engine's allocation-free fast path. Each function agrees
+    with its [Bv] counterpart under [Bv.to_int_trunc] / {!Bv.of_int62}
+    (pinned by the qcheck suite). *)
+module Int : sig
+  val max_width : int
+  (** 62 — the widest pattern that round-trips through [to_int_trunc]. *)
+
+  val fits : int -> bool
+  (** [fits w] is [w <= max_width]. *)
+
+  val mask : int -> int
+  (** All-ones pattern of the given width ([max_int] at width 62). *)
+
+  val sext : int -> int -> int
+  (** [sext w v] reinterprets the masked [w]-bit pattern [v] as a signed
+      OCaml int ([w <= 62]). *)
+
+  val read : Ty.t -> int -> int
+  (** Read a pattern at its type's signedness. *)
+
+  val of_bool : bool -> int
+
+  val unop : Expr.unop -> ta:Ty.t -> int -> int
+  val binop : Expr.binop -> ta:Ty.t -> tb:Ty.t -> int -> int -> int
+  val intop : Expr.intop -> int -> ta:Ty.t -> int -> int
+  val bits : hi:int -> lo:int -> int -> int
+end
+
 val eval : ty_of:(string -> Ty.t) -> value_of:(string -> Bv.t) -> Expr.t -> Bv.t
 (** Full evaluation; [ty_of] resolves reference types (for signedness),
     [value_of] resolves reference values. *)

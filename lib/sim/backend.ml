@@ -228,6 +228,28 @@ module Prep = struct
     done;
     Buffer.contents buf
 
+  (** Register names as a set — both tape engines need to know which
+      driven sinks are sequential (their drivers become next-value
+      computations, not combinational instructions). *)
+  let reg_name_set (p : prepared) : (string, unit) Hashtbl.t =
+    let set = Hashtbl.create 32 in
+    List.iter (fun (r : reg_info) -> Hashtbl.replace set r.reg_name ()) p.regs;
+    set
+
+  (** Names of sync-read data ports ([mem.port.data] with latency > 0) —
+      state updated at the clock edge, never computed by the tape. *)
+  let sync_read_data_names (p : prepared) : (string, unit) Hashtbl.t =
+    let set = Hashtbl.create 8 in
+    List.iter
+      (fun (mname, ms) ->
+        if ms.mem.Stmt.mem_read_latency > 0 then
+          List.iter
+            (fun { Stmt.rp_name } ->
+              Hashtbl.replace set (mname ^ "." ^ rp_name ^ ".data") ())
+            ms.mem.Stmt.mem_readers)
+      p.mems;
+    set
+
   let prepare (c : Circuit.t) : prepared =
     let low = if Sic_passes.Compile.is_low_form c then c else Sic_passes.Compile.lower c in
     let main = Circuit.main low in

@@ -1,60 +1,177 @@
-(** Compiled simulator — the Verilator analogue. The lowered circuit is
-    compiled once into a topologically-sorted tape of update instructions
-    over a flat value array; each [step] replays the tape and commits
-    sequential state. Start-up costs more than the interpreter, steady-state
-    throughput is much higher.
+(** Compiled simulator — the Verilator analogue, built around a
+    {e word-level engine}. During [build] the lowered circuit is flattened
+    into slots and a topologically-sorted {e instruction tape}:
 
-    Two extras mirror the evaluation setup of the paper:
+    - every named signal (and every temporary produced by linearizing an
+      expression tree into three-address form) gets a slot; slots of width
+      [<= 62] live in an unboxed [int array] holding the signal's bit
+      pattern masked to its width (signed operators sign-extend on read),
+      wider slots fall back to a [Bv.t array];
+    - each combinational update is one entry of a flat variant array with
+      pre-resolved slot indices and operator metadata, executed by a tight
+      match loop (see {!Eval.Int} for the operator semantics). On the
+      int-only path a simulation cycle performs {e no heap allocation};
+      instructions touching wide slots drop to a boxed closure over
+      {!Eval}'s [Bv] semantics.
 
-    - [~builtin_line:true] reproduces a simulator with *hard-coded* line
-      coverage (Verilator's built-in [--coverage-line]): the same
-      instrumentation work is performed internally by the simulator rather
-      than by an IR pass, and its counters are reported under a [bl_]
-      prefix. Figure 8 compares this against the pass-based metrics.
-    - [~activity:true] turns on ESSENT-style conditional evaluation
-      ({!Essent} is a thin wrapper): an instruction is skipped when none of
-      its inputs changed since the previous cycle, exploiting low activity
-      factors. *)
+    [~activity:true] turns on ESSENT-style conditional evaluation
+    ({!Essent} is a thin wrapper): per-instruction dirty flags driven by
+    pre-computed reader index lists — an instruction re-runs only when one
+    of its input slots actually changed, exploiting low activity factors.
+
+    [~builtin_line:true] reproduces a simulator with {e hard-coded} line
+    coverage (Verilator's built-in [--coverage-line]): the same
+    {!Sic_coverage.Line_coverage.instrument} pass is performed internally
+    by the simulator rather than in the user-visible pass pipeline, so its
+    counters keep the usual [l_*] names — they {e are} the same
+    instrumentation, performed internally, which is the paper's §6/Fig. 8
+    explanation for why built-in and pass-based overheads match. The
+    internal instrumentation database is exposed via {!line_db}. *)
 
 open Sic_ir
 module Bv = Sic_bv.Bv
 module Counts = Sic_coverage.Counts
 module Prep = Backend.Prep
 
-type instr = {
-  dst : int;
-  deps : int list;
-  fn : unit -> Bv.t;
-}
+(* Flat tape instructions, fully decoded at build time: slot indices are
+   pre-resolved, operand signedness is folded into a sign-extension shift
+   count (0 for unsigned operands — [(x lsl 0) asr 0] is the identity), and
+   all width arithmetic is gone; the execution loop masks every result to
+   the destination width. Int variants read/write the unboxed array only;
+   [IBitsW] is the no-allocation narrow-extract-from-wide fast path and
+   [IBox] the general wide-signal fallback. *)
+type ins =
+  | ICopy of int
+  | IMux of int * int * int  (** sel, then, else *)
+  | INot of int
+  | IAndr of int * int  (** full mask of the operand width, src *)
+  | IOrr of int
+  | IXorr of int
+  | INeg of int * int  (** sext shift, src *)
+  | ISext of int * int  (** sext shift, src (signed widening Pad) *)
+  | IShrC of int * int  (** constant logical right shift: Bits/Head/Shr *)
+  | IShlC of int * int  (** constant left shift: Shl *)
+  | IAdd of int * int * int * int  (** sha, a, shb, b *)
+  | ISub of int * int * int * int
+  | IMul of int * int * int * int
+  | IDiv of int * int * int * int
+  | IRem of int * int * int * int
+  | ILt of int * int * int * int
+  | ILeq of int * int * int * int
+  | IGt of int * int * int * int
+  | IGeq of int * int * int * int
+  | IEq of int * int * int * int
+  | INeq of int * int * int * int
+  | IAnd of int * int * int * int
+  | IOr of int * int * int * int
+  | IXor of int * int * int * int
+  | ICat of int * int * int  (** a, width of b, b *)
+  | IDshl of int * int * int * int  (** sha, a, result width, shift slot *)
+  | IDshr of int * int * int  (** sha, a, shift slot *)
+  | IBitsW of int * int * int  (** lo, field width, wide src *)
+  | IOrrW of int  (** Orr of a wide operand into a 1-bit slot *)
+  | IAndrW of int * int  (** operand width, wide src *)
+  | IXorrW of int
+  | IMemRead of int array * int  (** memory data, addr slot *)
+  (* Wide-destination in-place instructions: each mutates the destination
+     slot's privately-owned [Bv.t] buffer and allocates nothing. Decoded
+     only for the shapes real designs produce in bulk (wide muxes and
+     logic, the 1-bit-at-a-time Cat chains Chisel emits for vector
+     aggregation, one-hot [Dshl], unsigned wide [Dshr]). *)
+  | WMux of int * int * int  (** sel, then, else (arms at dst width) *)
+  | WCat of int * int * int  (** a, b, width of b *)
+  | WDshl of int * int  (** unsigned narrow a, narrow shift slot *)
+  | WDshr of int * int  (** unsigned wide a, narrow shift slot *)
+  | WOr of int * int
+  | WAnd of int * int
+  | WXor of int * int
+  | IBox of (unit -> Bv.t)  (** boxed fallback (some slot is wide) *)
 
-type mem_rt = {
-  ms : Prep.mem_state;
-  write_ports : (int * int * int) list;  (** en, addr, data slots *)
-  sync_reads : (string * int * int) list;  (** port, addr slot, data slot *)
-  mutable written : bool;  (** written during the previous cycle *)
+(* Proto-instructions: the pure-data form produced by linearization, before
+   slot widths decide int vs boxed and closures can capture the arrays. *)
+type pins =
+  | PCopy of int
+  | PMux of int * int * int
+  | PUnop of Expr.unop * Ty.t * int
+  | PBinop of Expr.binop * Ty.t * Ty.t * int * int
+  | PIntop of Expr.intop * int * Ty.t * int
+  | PBits of int * int * int
+  | PMemRead of string * int
+
+type proto = { pdst : int; pdeps : int list; pins : pins }
+
+type mem_store = M_int of int array | M_bv of Bv.t array
+
+type wmem = {
+  m_width : int;
+  m_zero : Bv.t;
+  store : mem_store;
+  wp_en : int array;
+  wp_addr : int array;
+  wp_data : int array;
+  sr_addr : int array;  (** sync read ports: addr slot *)
+  sr_data : int array;  (** sync read ports: data slot (state) *)
+  mutable comb_readers : int array;
+      (** tape indices of combinational reads, re-dirtied on write *)
 }
 
 type t = {
   p : Prep.prepared;
   slot_of : (string, int) Hashtbl.t;
-  vals : Bv.t array;
-  changed : bool array;
-  tape : instr array;
-  covers : (string * (unit -> Bv.t)) array;
+  alias : int array;  (** copy-eliminated slot -> representative *)
+  widths : int array;  (** per slot *)
+  wide : bool array;  (** per slot: width > {!Eval.Int.max_width} *)
+  ivals : int array;  (** narrow slots: masked bit patterns *)
+  bvals : Bv.t array;  (** wide slots *)
+  ins : ins array;
+  dsts : int array;  (** per tape index: destination slot *)
+  masks : int array;  (** per tape index: mask of the destination width *)
+  slot_readers : int array array;  (** slot -> tape indices reading it *)
+  dirty : bool array;  (** per tape index (activity mode) *)
+  cover_names : string array;
+  cover_slots : int array;
   counters : int array;
-  cover_values : (string * (unit -> Bv.t) * (unit -> Bv.t) * int array) array;
-  stops : (unit -> Bv.t) array;
-  prints : ((unit -> Bv.t) * string * (unit -> Bv.t) list) array;
-  reg_next : (int * (unit -> Bv.t)) array;  (** slot, next-value closure *)
-  mems : mem_rt array;
+  cv_names : string array;
+  cv_sig : int array;
+  cv_en : int array;
+  cv_arr : int array array;
+  stop_slots : int array;
+  print_conds : int array;
+  print_msgs : string array;
+  print_args : int array array;
+  ri_dst : int array;  (** narrow registers: slot *)
+  ri_src : int array;  (** narrow registers: next-value slot *)
+  ri_scratch : int array;
+  rb_dst : int array;  (** wide registers *)
+  rb_src : int array;
+  rb_scratch : Bv.t array;
+  mems : wmem array;
+  builtin_db : Sic_coverage.Line_coverage.db option;
   activity : bool;
-  mutable first_run : bool;
-      (** activity mode: the first tape run evaluates everything, so
-          dependency-free instructions (constants) get their value *)
   mutable tape_dirty : bool;
   mutable cycle : int;
   mutable stopped : bool;
 }
+
+let read_slot_int (t : t) s =
+  if t.wide.(s) then Bv.to_int_trunc t.bvals.(s) else t.ivals.(s)
+
+let read_slot_bool (t : t) s =
+  if t.wide.(s) then not (Bv.is_zero t.bvals.(s)) else t.ivals.(s) <> 0
+
+(* Allocates for narrow slots; only used off the per-cycle path (peek,
+   print formatting). *)
+let read_slot_bv (t : t) s =
+  if t.wide.(s) then t.bvals.(s)
+  else Bv.of_int62 ~width:t.widths.(s) t.ivals.(s)
+
+(* Like {!read_slot_bv} but never returns an engine-owned buffer: wide
+   slots produced by in-place instructions are mutated every cycle, so any
+   value that escapes the current tape run (peeks, register scratch,
+   memory stores) must be a private copy. *)
+let read_slot_bv_fresh (t : t) s =
+  if t.wide.(s) then Bv.copy t.bvals.(s)
+  else Bv.of_int62 ~width:t.widths.(s) t.ivals.(s)
 
 let build ?(builtin_line = false) ?(activity = false) (c : Circuit.t) : t =
   (* the built-in mode does its own (internal) line instrumentation before
@@ -70,363 +187,925 @@ let build ?(builtin_line = false) ?(activity = false) (c : Circuit.t) : t =
   in
   let p = Prep.prepare c in
   let ty_of = Circuit.lookup_of p.Prep.env in
-  (* slot assignment: every named value lives in one slot *)
+  (* slot assignment: every named signal and every linearization temp *)
   let slot_of = Hashtbl.create 256 in
+  let width_of_slot : (int, int) Hashtbl.t = Hashtbl.create 256 in
   let n_slots = ref 0 in
+  let fresh_slot w =
+    let i = !n_slots in
+    incr n_slots;
+    Hashtbl.replace width_of_slot i w;
+    i
+  in
   let slot name =
     match Hashtbl.find_opt slot_of name with
     | Some i -> i
     | None ->
-        let i = !n_slots in
-        incr n_slots;
+        let w =
+          match Hashtbl.find_opt p.Prep.env name with
+          | Some ty -> Ty.width ty
+          | None -> 1
+        in
+        let i = fresh_slot w in
         Hashtbl.replace slot_of name i;
         i
   in
   Hashtbl.iter (fun name _ -> ignore (slot name)) p.Prep.env;
-  let vals = Array.make !n_slots (Bv.zero 1) in
-  let changed = Array.make !n_slots true in
-  Hashtbl.iter (fun name ty -> vals.(Hashtbl.find slot_of name) <- Bv.zero (Ty.width ty)) p.Prep.env;
-  (* expression compiler *)
-  let rec comp (e : Expr.t) : unit -> Bv.t =
+  (* linearize expression trees into three-address proto-instructions *)
+  let protos : proto list ref = ref [] in
+  let presets : (int * Bv.t) list ref = ref [] in
+  let push pr = protos := pr :: !protos in
+  let rec lin (e : Expr.t) : int =
+    match e with
+    | Expr.Ref n -> slot n
+    | Expr.UIntLit v | Expr.SIntLit v ->
+        let s = fresh_slot (Bv.width v) in
+        presets := (s, v) :: !presets;
+        s
+    | _ ->
+        let s = fresh_slot (Ty.width (Expr.type_of ty_of e)) in
+        lin_into s e;
+        s
+  and lin_into (dst : int) (e : Expr.t) : unit =
     match e with
     | Expr.Ref n ->
-        let i = slot n in
-        fun () -> vals.(i)
-    | Expr.UIntLit v | Expr.SIntLit v -> fun () -> v
-    | Expr.Mux (s, a, b) ->
-        let cs = comp s and ca = comp a and cb = comp b in
-        fun () -> if Bv.to_bool (cs ()) then ca () else cb ()
+        let s = slot n in
+        push { pdst = dst; pdeps = [ s ]; pins = PCopy s }
+    | Expr.UIntLit v | Expr.SIntLit v -> presets := (dst, v) :: !presets
+    | Expr.Mux (sel, a, b) ->
+        let ss = lin sel in
+        let sa = lin a in
+        let sb = lin b in
+        push { pdst = dst; pdeps = [ ss; sa; sb ]; pins = PMux (ss, sa, sb) }
     | Expr.Unop (op, a) ->
         let ta = Expr.type_of ty_of a in
-        let ca = comp a in
-        fun () -> Eval.unop op ~ta (ca ())
+        let sa = lin a in
+        push { pdst = dst; pdeps = [ sa ]; pins = PUnop (op, ta, sa) }
     | Expr.Binop (op, a, b) ->
         let ta = Expr.type_of ty_of a and tb = Expr.type_of ty_of b in
-        let ca = comp a and cb = comp b in
-        fun () -> Eval.binop op ~ta ~tb (ca ()) (cb ())
+        let sa = lin a in
+        let sb = lin b in
+        push { pdst = dst; pdeps = [ sa; sb ]; pins = PBinop (op, ta, tb, sa, sb) }
     | Expr.Intop (op, n, a) ->
         let ta = Expr.type_of ty_of a in
-        let ca = comp a in
-        fun () -> Eval.intop op n ~ta (ca ())
+        let sa = lin a in
+        push { pdst = dst; pdeps = [ sa ]; pins = PIntop (op, n, ta, sa) }
     | Expr.Bits (a, hi, lo) ->
-        let ca = comp a in
-        fun () -> Eval.bits ~hi ~lo (ca ())
+        let sa = lin a in
+        push { pdst = dst; pdeps = [ sa ]; pins = PBits (hi, lo, sa) }
   in
-  (* build the instruction set: nodes, driven combinational sinks, and
-     combinational memory reads. Registers and sync-read data are state. *)
-  let reg_names = Hashtbl.create 32 in
-  List.iter (fun (r : Prep.reg_info) -> Hashtbl.replace reg_names r.Prep.reg_name ()) p.Prep.regs;
-  let sync_data = Hashtbl.create 8 in
-  List.iter
-    (fun (mname, (ms : Prep.mem_state)) ->
-      if ms.Prep.mem.Stmt.mem_read_latency > 0 then
-        List.iter
-          (fun { Stmt.rp_name } -> Hashtbl.replace sync_data (mname ^ "." ^ rp_name ^ ".data") ())
-          ms.Prep.mem.Stmt.mem_readers)
-    p.Prep.mems;
-  let instrs : (string * instr) list ref = ref [] in
-  let add_instr name deps fn =
-    instrs := (name, { dst = slot name; deps = List.map slot deps; fn }) :: !instrs
-  in
-  Hashtbl.iter
-    (fun name e -> add_instr name (Expr.references e) (comp e))
-    p.Prep.node_defs;
+  (* combinational producers: nodes, driven non-state sinks, comb mem reads.
+     Registers and sync-read data ports are state, updated at the edge. *)
+  let reg_names = Prep.reg_name_set p in
+  let sync_data = Prep.sync_read_data_names p in
+  Hashtbl.iter (fun name e -> lin_into (slot name) e) p.Prep.node_defs;
   Hashtbl.iter
     (fun name e ->
-      if not (Hashtbl.mem reg_names name) then add_instr name (Expr.references e) (comp e))
+      if not (Hashtbl.mem reg_names name || Hashtbl.mem sync_data name) then
+        lin_into (slot name) e)
     p.Prep.drivers;
   List.iter
     (fun (mname, (ms : Prep.mem_state)) ->
       if ms.Prep.mem.Stmt.mem_read_latency = 0 then
         List.iter
           (fun { Stmt.rp_name } ->
-            let addr_name = mname ^ "." ^ rp_name ^ ".addr" in
-            let data_name = mname ^ "." ^ rp_name ^ ".data" in
-            let ai = slot addr_name in
-            let zero = Bv.zero (Ty.width ms.Prep.mem.Stmt.mem_data) in
-            add_instr data_name [ addr_name ] (fun () ->
-                let a = Bv.to_int_trunc vals.(ai) in
-                if a < Array.length ms.Prep.data then ms.Prep.data.(a) else zero))
+            let ai = slot (mname ^ "." ^ rp_name ^ ".addr") in
+            let di = slot (mname ^ "." ^ rp_name ^ ".data") in
+            push { pdst = di; pdeps = [ ai ]; pins = PMemRead (mname, ai) })
           ms.Prep.mem.Stmt.mem_readers)
     p.Prep.mems;
-  (* topological sort (Kahn); only dependencies that are themselves
-     instructions matter *)
-  let by_name = Hashtbl.create 256 in
-  List.iter (fun (n, i) -> Hashtbl.replace by_name n i) !instrs;
-  let indegree = Hashtbl.create 256 in
-  let dependents : (string, string list) Hashtbl.t = Hashtbl.create 256 in
-  let name_of_slot = Hashtbl.create 256 in
-  Hashtbl.iter (fun n i -> Hashtbl.replace name_of_slot i n) slot_of;
-  List.iter
-    (fun (n, i) ->
-      let deps =
-        List.filter_map
-          (fun d ->
-            let dn = Hashtbl.find name_of_slot d in
-            if Hashtbl.mem by_name dn then Some dn else None)
-          i.deps
-      in
-      Hashtbl.replace indegree n (List.length deps);
-      List.iter
-        (fun d ->
-          Hashtbl.replace dependents d (n :: Option.value ~default:[] (Hashtbl.find_opt dependents d)))
-        deps)
-    !instrs;
-  let queue = Queue.create () in
-  Hashtbl.iter (fun n d -> if d = 0 then Queue.add n queue) indegree;
-  let order = ref [] in
-  let emitted = ref 0 in
-  while not (Queue.is_empty queue) do
-    let n = Queue.pop queue in
-    order := Hashtbl.find by_name n :: !order;
-    incr emitted;
-    List.iter
-      (fun d ->
-        let k = Hashtbl.find indegree d - 1 in
-        Hashtbl.replace indegree d k;
-        if k = 0 then Queue.add d queue)
-      (Option.value ~default:[] (Hashtbl.find_opt dependents n))
-  done;
-  if !emitted <> List.length !instrs then
-    Backend.error "combinational loop in circuit %s" c.Circuit.circuit_name;
-  let tape = Array.of_list (List.rev !order) in
-  (* covers, cover-values, stops, register next-values *)
-  let covers = Array.of_list (List.map (fun (n, e) -> (n, comp e)) p.Prep.covers) in
-  let counters = Array.make (Array.length covers) 0 in
-  let cover_values =
+  (* covers, cover-values, stops, prints and register next-values all read
+     slots; their expressions join the tape like any other *)
+  let cover_names = Array.of_list (List.map fst p.Prep.covers) in
+  let cover_slots = Array.of_list (List.map (fun (_, e) -> lin e) p.Prep.covers) in
+  let counters = Array.make (Array.length cover_names) 0 in
+  let cv_names = Array.of_list (List.map (fun (n, _, _, _) -> n) p.Prep.cover_values) in
+  let cv_sig = Array.of_list (List.map (fun (_, s, _, _) -> lin s) p.Prep.cover_values) in
+  let cv_en = Array.of_list (List.map (fun (_, _, en, _) -> lin en) p.Prep.cover_values) in
+  let cv_arr =
     Array.of_list
-      (List.map
-         (fun (n, sig_, en, w) -> (n, comp sig_, comp en, Array.make (1 lsl min w 20) 0))
-         p.Prep.cover_values)
+      (List.map (fun (_, _, _, w) -> Array.make (1 lsl min w 20) 0) p.Prep.cover_values)
   in
-  let stops = Array.of_list (List.map (fun (_, e) -> comp e) p.Prep.stops) in
-  let prints =
+  let stop_slots = Array.of_list (List.map (fun (_, e) -> lin e) p.Prep.stops) in
+  let print_conds = Array.of_list (List.map (fun (c, _, _) -> lin c) p.Prep.prints) in
+  let print_msgs = Array.of_list (List.map (fun (_, m, _) -> m) p.Prep.prints) in
+  let print_args =
     Array.of_list
-      (List.map (fun (c, msg, args) -> (comp c, msg, List.map comp args)) p.Prep.prints)
+      (List.map (fun (_, _, args) -> Array.of_list (List.map lin args)) p.Prep.prints)
   in
-  let reg_next =
-    Array.of_list
-      (List.map
-         (fun (r : Prep.reg_info) ->
-           let n = r.Prep.reg_name in
-           let base =
-             match Hashtbl.find_opt p.Prep.drivers n with
-             | Some e -> comp e
-             | None ->
-                 let i = slot n in
-                 fun () -> vals.(i)
-           in
-           let next =
-             match r.Prep.reset with
-             | Some (rst, init) ->
-                 let crst = comp rst and cinit = comp init in
-                 fun () -> if Bv.to_bool (crst ()) then cinit () else base ()
-             | None -> base
-           in
-           (slot n, next))
-         p.Prep.regs)
+  let reg_list =
+    List.map
+      (fun (r : Prep.reg_info) ->
+        let n = r.Prep.reg_name in
+        let base =
+          match Hashtbl.find_opt p.Prep.drivers n with
+          | Some e -> lin e
+          | None -> slot n (* undriven register holds its value *)
+        in
+        let src =
+          match r.Prep.reset with
+          | Some (rst, init) ->
+              let srst = lin rst in
+              let sinit = lin init in
+              let sdst = fresh_slot (Ty.width r.Prep.reg_ty) in
+              push
+                { pdst = sdst; pdeps = [ srst; sinit; base ]; pins = PMux (srst, sinit, base) };
+              sdst
+          | None -> base
+        in
+        (slot n, src, Ty.width r.Prep.reg_ty))
+      p.Prep.regs
   in
+  (* memory runtime: narrow data lives in an int array *)
+  let mem_tbl : (string, wmem) Hashtbl.t = Hashtbl.create 8 in
   let mems =
     Array.of_list
       (List.map
          (fun (mname, (ms : Prep.mem_state)) ->
-           {
-             ms;
-             write_ports =
-               List.map
-                 (fun { Stmt.wp_name } ->
-                   ( slot (mname ^ "." ^ wp_name ^ ".en"),
-                     slot (mname ^ "." ^ wp_name ^ ".addr"),
-                     slot (mname ^ "." ^ wp_name ^ ".data") ))
-                 ms.Prep.mem.Stmt.mem_writers;
-             sync_reads =
-               (if ms.Prep.mem.Stmt.mem_read_latency > 0 then
-                  List.map
-                    (fun { Stmt.rp_name } ->
-                      ( rp_name,
-                        slot (mname ^ "." ^ rp_name ^ ".addr"),
-                        slot (mname ^ "." ^ rp_name ^ ".data") ))
-                    ms.Prep.mem.Stmt.mem_readers
-                else []);
-             written = false;
-           })
+           let md = ms.Prep.mem in
+           let w = Ty.width md.Stmt.mem_data in
+           let store =
+             if Eval.Int.fits w then M_int (Array.make md.Stmt.mem_depth 0)
+             else M_bv (Array.make md.Stmt.mem_depth (Bv.zero w))
+           in
+           let field port f = slot (mname ^ "." ^ port ^ "." ^ f) in
+           let wps = md.Stmt.mem_writers in
+           let srs =
+             if md.Stmt.mem_read_latency > 0 then md.Stmt.mem_readers else []
+           in
+           let m =
+             {
+               m_width = w;
+               m_zero = Bv.zero w;
+               store;
+               wp_en = Array.of_list (List.map (fun { Stmt.wp_name } -> field wp_name "en") wps);
+               wp_addr =
+                 Array.of_list (List.map (fun { Stmt.wp_name } -> field wp_name "addr") wps);
+               wp_data =
+                 Array.of_list (List.map (fun { Stmt.wp_name } -> field wp_name "data") wps);
+               sr_addr =
+                 Array.of_list (List.map (fun { Stmt.rp_name } -> field rp_name "addr") srs);
+               sr_data =
+                 Array.of_list (List.map (fun { Stmt.rp_name } -> field rp_name "data") srs);
+               comb_readers = [||];
+             }
+           in
+           Hashtbl.replace mem_tbl mname m;
+           m)
          p.Prep.mems)
   in
-  ignore builtin_db;
+  let protos_arr = Array.of_list (List.rev !protos) in
+  let nslots = !n_slots in
+  (* copy elimination: a width-preserving [PCopy] aliases its destination
+     slot to the source and disappears from the tape; every later slot
+     reference (operands, covers, registers, memory ports, peeks) resolves
+     through the alias map. A cycle of copies is a combinational loop. *)
+  let wof s =
+    match Hashtbl.find_opt width_of_slot s with Some w -> w | None -> 1
+  in
+  let alias = Array.init nslots (fun i -> i) in
+  Array.iter
+    (fun pr ->
+      match pr.pins with
+      | PCopy s when wof pr.pdst = wof s -> alias.(pr.pdst) <- s
+      | _ -> ())
+    protos_arr;
+  let resolve s0 =
+    let s = ref s0 and steps = ref 0 in
+    while alias.(!s) <> !s do
+      s := alias.(!s);
+      incr steps;
+      if !steps > nslots then
+        Backend.error "combinational loop in circuit %s" c.Circuit.circuit_name
+    done;
+    alias.(s0) <- !s;
+    !s
+  in
+  let protos_arr =
+    Array.of_list
+      (List.filter_map
+         (fun pr ->
+           if alias.(pr.pdst) <> pr.pdst then None
+           else
+             let pins =
+               match pr.pins with
+               | PCopy s -> PCopy (resolve s)
+               | PMux (ss, sa, sb) -> PMux (resolve ss, resolve sa, resolve sb)
+               | PUnop (op, ta, sa) -> PUnop (op, ta, resolve sa)
+               | PBinop (op, ta, tb, sa, sb) ->
+                   PBinop (op, ta, tb, resolve sa, resolve sb)
+               | PIntop (op, n, ta, sa) -> PIntop (op, n, ta, resolve sa)
+               | PBits (hi, lo, sa) -> PBits (hi, lo, resolve sa)
+               | PMemRead (m, sa) -> PMemRead (m, resolve sa)
+             in
+             Some { pr with pdeps = List.map resolve pr.pdeps; pins })
+         (Array.to_list protos_arr))
+  in
+  let cover_slots = Array.map resolve cover_slots in
+  let cv_sig = Array.map resolve cv_sig in
+  let cv_en = Array.map resolve cv_en in
+  let stop_slots = Array.map resolve stop_slots in
+  let print_conds = Array.map resolve print_conds in
+  let print_args = Array.map (Array.map resolve) print_args in
+  let reg_list = List.map (fun (d, s, w) -> (d, resolve s, w)) reg_list in
+  Array.iter
+    (fun m ->
+      let ip a = Array.iteri (fun i s -> a.(i) <- resolve s) a in
+      ip m.wp_en;
+      ip m.wp_addr;
+      ip m.wp_data;
+      ip m.sr_addr)
+    mems;
+  (* fully compress so runtime reads are single-level *)
+  for s = 0 to nslots - 1 do
+    alias.(s) <- resolve s
+  done;
+  (* topological sort (Kahn) over proto-instructions *)
+  let np = Array.length protos_arr in
+  let producer = Array.make nslots (-1) in
+  Array.iteri
+    (fun i pr ->
+      if producer.(pr.pdst) >= 0 then
+        Backend.error "combinational loop in circuit %s" c.Circuit.circuit_name;
+      producer.(pr.pdst) <- i)
+    protos_arr;
+  let indeg = Array.make np 0 in
+  let dependents = Array.make np [] in
+  Array.iteri
+    (fun i pr ->
+      List.iter
+        (fun s ->
+          let d = producer.(s) in
+          if d >= 0 then begin
+            indeg.(i) <- indeg.(i) + 1;
+            dependents.(d) <- i :: dependents.(d)
+          end)
+        pr.pdeps)
+    protos_arr;
+  let queue = Queue.create () in
+  for i = 0 to np - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  let order = Array.make np (-1) in
+  let emitted = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order.(!emitted) <- i;
+    incr emitted;
+    List.iter
+      (fun d ->
+        indeg.(d) <- indeg.(d) - 1;
+        if indeg.(d) = 0 then Queue.add d queue)
+      dependents.(i)
+  done;
+  if !emitted <> np then
+    Backend.error "combinational loop in circuit %s" c.Circuit.circuit_name;
+  (* slot metadata and value arrays *)
+  let widths = Array.make nslots 0 in
+  Hashtbl.iter (fun s w -> widths.(s) <- w) width_of_slot;
+  let wide = Array.map (fun w -> not (Eval.Int.fits w)) widths in
+  let ivals = Array.make nslots 0 in
+  let bvals = Array.make nslots (Bv.zero 1) in
+  for s = 0 to nslots - 1 do
+    if wide.(s) then bvals.(s) <- Bv.zero widths.(s)
+  done;
+  List.iter
+    (fun (s, v) ->
+      if wide.(s) then bvals.(s) <- Bv.extend_u v widths.(s)
+      else ivals.(s) <- Bv.to_int_trunc v land Eval.Int.mask widths.(s))
+    !presets;
+  (* finalize the tape: decide int vs boxed per instruction, build the
+     boxed closures now that the value arrays exist *)
+  let narrow s = not wide.(s) in
+  let rd s =
+    if wide.(s) then bvals.(s) else Bv.of_int62 ~width:widths.(s) ivals.(s)
+  in
+  let rdb s = if wide.(s) then not (Bv.is_zero bvals.(s)) else ivals.(s) <> 0 in
+  let ins = Array.make np (ICopy 0) in
+  let dsts = Array.make np 0 in
+  let masks = Array.make np 0 in
+  (* sign-extension shift count for an operand read: 0 for unsigned
+     operands, [(x lsl 0) asr 0] being the identity *)
+  let sx ty = if Ty.is_signed ty then 63 - Ty.width ty else 0 in
+  (* Boxed fallback. A closure may return one of its operands (identity
+     pads, muxes, copies); if the destination is wide that object would be
+     rebound into [bvals] — and were the operand an in-place instruction's
+     buffer, later mutations would silently change this slot too and defeat
+     activity-mode change detection. A copy keeps every boxed wide result
+     privately owned. SIC_DEBUG_TAPE=1 prints what failed to decode. *)
+  let dbg_tape = Sys.getenv_opt "SIC_DEBUG_TAPE" <> None in
+  let boxed kind pr f =
+    if dbg_tape then
+      Printf.eprintf "BOX %-8s dst_w=%d deps_w=[%s]\n" kind widths.(pr.pdst)
+        (String.concat ";" (List.map (fun s -> string_of_int widths.(s)) pr.pdeps));
+    if wide.(pr.pdst) then IBox (fun () -> Bv.copy (f ())) else IBox f
+  in
+  Array.iteri
+    (fun k oi ->
+      let pr = protos_arr.(oi) in
+      dsts.(k) <- pr.pdst;
+      masks.(k) <- Eval.Int.mask widths.(pr.pdst);
+      ins.(k) <-
+        (match pr.pins with
+        | PCopy s ->
+            if narrow pr.pdst && narrow s then ICopy s
+            else boxed "copy" pr (fun () -> rd s)
+        | PMux (ss, sa, sb) ->
+            if narrow pr.pdst && narrow ss && narrow sa && narrow sb then
+              IMux (ss, sa, sb)
+            else if
+              narrow ss && wide.(sa) && wide.(sb)
+              && widths.(sa) = widths.(pr.pdst)
+              && widths.(sb) = widths.(pr.pdst)
+            then WMux (ss, sa, sb)
+            else boxed "mux" pr (fun () -> if rdb ss then rd sa else rd sb)
+        | PUnop (op, ta, sa) ->
+            if narrow pr.pdst && narrow sa then begin
+              let w = Ty.width ta in
+              match op with
+              | Expr.Not -> INot sa
+              | Expr.Andr ->
+                  (* zero-width reduction is constant false *)
+                  if w = 0 then IShrC (62, sa) else IAndr (Eval.Int.mask w, sa)
+              | Expr.Orr -> IOrr sa
+              | Expr.Xorr -> IXorr sa
+              | Expr.Neg -> INeg (sx ta, sa)
+              | Expr.Cvt | Expr.AsUInt | Expr.AsSInt -> ICopy sa
+            end
+            else if narrow pr.pdst && wide.(sa) then begin
+              match op with
+              | Expr.Orr -> IOrrW sa
+              | Expr.Andr -> IAndrW (Ty.width ta, sa)
+              | Expr.Xorr -> IXorrW sa
+              | _ -> boxed "unop" pr (fun () -> Eval.unop op ~ta (rd sa))
+            end
+            else boxed "unop" pr (fun () -> Eval.unop op ~ta (rd sa))
+        | PBinop (op, ta, tb, sa, sb) ->
+            if narrow pr.pdst && narrow sa && narrow sb then begin
+              let sha = sx ta and shb = sx tb in
+              match op with
+              | Expr.Add -> IAdd (sha, sa, shb, sb)
+              | Expr.Sub -> ISub (sha, sa, shb, sb)
+              | Expr.Mul -> IMul (sha, sa, shb, sb)
+              | Expr.Div -> IDiv (sha, sa, shb, sb)
+              | Expr.Rem -> IRem (sha, sa, shb, sb)
+              | Expr.Lt -> ILt (sha, sa, shb, sb)
+              | Expr.Leq -> ILeq (sha, sa, shb, sb)
+              | Expr.Gt -> IGt (sha, sa, shb, sb)
+              | Expr.Geq -> IGeq (sha, sa, shb, sb)
+              | Expr.Eq -> IEq (sha, sa, shb, sb)
+              | Expr.Neq -> INeq (sha, sa, shb, sb)
+              | Expr.And -> IAnd (sha, sa, shb, sb)
+              | Expr.Or -> IOr (sha, sa, shb, sb)
+              | Expr.Xor -> IXor (sha, sa, shb, sb)
+              | Expr.Cat -> ICat (sa, Ty.width tb, sb)
+              | Expr.Dshl ->
+                  IDshl (sha, sa, Ty.width ta + (1 lsl Ty.width tb) - 1, sb)
+              | Expr.Dshr -> IDshr (sha, sa, sb)
+            end
+            else begin
+              let wd = widths.(pr.pdst) in
+              let same_width = Ty.width ta = wd && Ty.width tb = wd in
+              match op with
+              | Expr.Cat when wide.(pr.pdst) -> WCat (sa, sb, Ty.width tb)
+              | Expr.Or
+                when wide.(pr.pdst) && wide.(sa) && wide.(sb)
+                     && ((not (Ty.is_signed ta)) || same_width) -> WOr (sa, sb)
+              | Expr.And
+                when wide.(pr.pdst) && wide.(sa) && wide.(sb)
+                     && ((not (Ty.is_signed ta)) || same_width) -> WAnd (sa, sb)
+              | Expr.Xor
+                when wide.(pr.pdst) && wide.(sa) && wide.(sb)
+                     && ((not (Ty.is_signed ta)) || same_width) -> WXor (sa, sb)
+              | Expr.Dshl
+                when wide.(pr.pdst) && narrow sa && narrow sb && not (Ty.is_signed ta)
+                -> WDshl (sa, sb)
+              | Expr.Dshr
+                when wide.(pr.pdst) && wide.(sa) && narrow sb
+                     && (not (Ty.is_signed ta)) && widths.(sa) = wd -> WDshr (sa, sb)
+              | _ ->
+                  boxed
+                    (match op with
+                    | Expr.Add -> "Add" | Expr.Sub -> "Sub" | Expr.Mul -> "Mul"
+                    | Expr.Div -> "Div" | Expr.Rem -> "Rem" | Expr.Lt -> "Lt"
+                    | Expr.Leq -> "Leq" | Expr.Gt -> "Gt" | Expr.Geq -> "Geq"
+                    | Expr.Eq -> "Eq" | Expr.Neq -> "Neq" | Expr.And -> "And"
+                    | Expr.Or -> "Or" | Expr.Xor -> "Xor" | Expr.Cat -> "Cat"
+                    | Expr.Dshl -> "Dshl" | Expr.Dshr -> "Dshr")
+                    pr
+                    (fun () -> Eval.binop op ~ta ~tb (rd sa) (rd sb))
+            end
+        | PIntop (op, n, ta, sa) ->
+            if narrow pr.pdst && narrow sa then begin
+              let w = Ty.width ta in
+              match op with
+              | Expr.Pad ->
+                  if Ty.is_signed ta && n > w then ISext (63 - w, sa) else ICopy sa
+              | Expr.Shl -> IShlC (n, sa)
+              | Expr.Shr ->
+                  IShrC ((if Ty.is_signed ta then min n (w - 1) else min n 62), sa)
+              | Expr.Head -> IShrC (w - n, sa)
+              | Expr.Tail -> ICopy sa (* destination mask truncates *)
+            end
+            else boxed "intop" pr (fun () -> Eval.intop op n ~ta (rd sa))
+        | PBits (hi, lo, sa) ->
+            if narrow pr.pdst && narrow sa then IShrC (lo, sa)
+            else if narrow pr.pdst then IBitsW (lo, hi - lo + 1, sa)
+            else boxed "bits" pr (fun () -> Eval.bits ~hi ~lo (rd sa))
+        | PMemRead (mname, ai) -> (
+            let m = Hashtbl.find mem_tbl mname in
+            match m.store with
+            | M_int data when narrow ai -> IMemRead (data, ai)
+            | M_int data ->
+                IBox
+                  (fun () ->
+                    let a = Bv.to_int_trunc bvals.(ai) in
+                    Bv.of_int62 ~width:m.m_width
+                      (if a < Array.length data then data.(a) else 0))
+            | M_bv data ->
+                IBox
+                  (fun () ->
+                    let a =
+                      if wide.(ai) then Bv.to_int_trunc bvals.(ai) else ivals.(ai)
+                    in
+                    if a < Array.length data then data.(a) else m.m_zero))))
+    order;
+  (* reverse edges for the activity worklist; memory writes re-dirty the
+     memory's combinational reads *)
+  let readers_l = Array.make nslots [] in
+  Array.iteri
+    (fun k oi ->
+      List.iter (fun s -> readers_l.(s) <- k :: readers_l.(s)) protos_arr.(oi).pdeps;
+      match protos_arr.(oi).pins with
+      | PMemRead (mname, _) ->
+          let m = Hashtbl.find mem_tbl mname in
+          m.comb_readers <- Array.append m.comb_readers [| k |]
+      | _ -> ())
+    order;
+  let slot_readers = Array.map (fun l -> Array.of_list (List.rev l)) readers_l in
+  let ri = List.filter (fun (_, _, w) -> Eval.Int.fits w) reg_list in
+  let rb = List.filter (fun (_, _, w) -> not (Eval.Int.fits w)) reg_list in
   {
     p;
     slot_of;
-    vals;
-    changed;
-    tape;
-    covers;
+    alias;
+    widths;
+    wide;
+    ivals;
+    bvals;
+    ins;
+    dsts;
+    masks;
+    slot_readers;
+    dirty = Array.make np true;
+    cover_names;
+    cover_slots;
     counters;
-    cover_values;
-    stops;
-    prints;
-    reg_next;
+    cv_names;
+    cv_sig;
+    cv_en;
+    cv_arr;
+    stop_slots;
+    print_conds;
+    print_msgs;
+    print_args;
+    ri_dst = Array.of_list (List.map (fun (d, _, _) -> d) ri);
+    ri_src = Array.of_list (List.map (fun (_, s, _) -> s) ri);
+    ri_scratch = Array.make (List.length ri) 0;
+    rb_dst = Array.of_list (List.map (fun (d, _, _) -> d) rb);
+    rb_src = Array.of_list (List.map (fun (_, s, _) -> s) rb);
+    rb_scratch = Array.make (List.length rb) (Bv.zero 1);
     mems;
+    builtin_db;
     activity;
-    first_run = true;
     tape_dirty = true;
     cycle = 0;
     stopped = false;
   }
 
+let line_db (t : t) = t.builtin_db
+
+(* Tape composition, for the bench harness and perf debugging. *)
+let stats (t : t) : string =
+  let boxed = ref 0 and wide_extract = ref 0 and wide_inplace = ref 0 in
+  Array.iter
+    (function
+      | IBox _ -> incr boxed
+      | IBitsW _ | IOrrW _ | IAndrW _ | IXorrW _ -> incr wide_extract
+      | WMux _ | WCat _ | WDshl _ | WDshr _ | WOr _ | WAnd _ | WXor _ ->
+          incr wide_inplace
+      | _ -> ())
+    t.ins;
+  let wide_slots = Array.fold_left (fun n w -> if w then n + 1 else n) 0 t.wide in
+  Printf.sprintf
+    "%d instructions (%d boxed, %d wide-extract, %d wide-inplace), %d slots (%d wide)"
+    (Array.length t.ins) !boxed !wide_extract !wide_inplace (Array.length t.widths)
+    wide_slots
+
+let mark_readers (t : t) s =
+  let rs = t.slot_readers.(s) in
+  for i = 0 to Array.length rs - 1 do
+    t.dirty.(rs.(i)) <- true
+  done
+
+(* Operand read with a pre-decoded sign-extension shift (0 = unsigned). *)
+let[@inline] sxr (iv : int array) sh s = (Array.unsafe_get iv s lsl sh) asr sh
+
+(* Int-path instruction execution, returning the {e unmasked} result; the
+   run loop masks to the destination width. [IBox] is handled by the
+   callers. Slot indices were validated at build time, so plain unsafe
+   array reads are fine here. *)
+let exec_value (t : t) (i : ins) : int =
+  let iv = t.ivals in
+  match i with
+  | ICopy s -> Array.unsafe_get iv s
+  | IMux (s, a, b) ->
+      if Array.unsafe_get iv s <> 0 then Array.unsafe_get iv a
+      else Array.unsafe_get iv b
+  | INot s -> lnot (Array.unsafe_get iv s)
+  | IAndr (full, s) -> if Array.unsafe_get iv s = full then 1 else 0
+  | IOrr s -> if Array.unsafe_get iv s <> 0 then 1 else 0
+  | IXorr s -> Bv.popcount_int (Array.unsafe_get iv s) land 1
+  | INeg (sh, s) -> -sxr iv sh s
+  | ISext (sh, s) -> sxr iv sh s
+  | IShrC (n, s) -> Array.unsafe_get iv s lsr n
+  | IShlC (n, s) -> Array.unsafe_get iv s lsl n
+  | IAdd (sha, a, shb, b) -> sxr iv sha a + sxr iv shb b
+  | ISub (sha, a, shb, b) -> sxr iv sha a - sxr iv shb b
+  | IMul (sha, a, shb, b) -> sxr iv sha a * sxr iv shb b
+  | IDiv (sha, a, shb, b) ->
+      let d = sxr iv shb b in
+      if d = 0 then 0 else sxr iv sha a / d
+  | IRem (sha, a, shb, b) ->
+      let d = sxr iv shb b in
+      if d = 0 then Array.unsafe_get iv a else sxr iv sha a mod d
+  | ILt (sha, a, shb, b) -> if sxr iv sha a < sxr iv shb b then 1 else 0
+  | ILeq (sha, a, shb, b) -> if sxr iv sha a <= sxr iv shb b then 1 else 0
+  | IGt (sha, a, shb, b) -> if sxr iv sha a > sxr iv shb b then 1 else 0
+  | IGeq (sha, a, shb, b) -> if sxr iv sha a >= sxr iv shb b then 1 else 0
+  | IEq (sha, a, shb, b) -> if sxr iv sha a = sxr iv shb b then 1 else 0
+  | INeq (sha, a, shb, b) -> if sxr iv sha a <> sxr iv shb b then 1 else 0
+  | IAnd (sha, a, shb, b) -> sxr iv sha a land sxr iv shb b
+  | IOr (sha, a, shb, b) -> sxr iv sha a lor sxr iv shb b
+  | IXor (sha, a, shb, b) -> sxr iv sha a lxor sxr iv shb b
+  | ICat (a, wb, b) -> (Array.unsafe_get iv a lsl wb) lor Array.unsafe_get iv b
+  | IDshl (sha, a, wr, b) ->
+      let n = Array.unsafe_get iv b in
+      if n >= wr then 0 else sxr iv sha a lsl n
+  | IDshr (sha, a, b) ->
+      let n = Array.unsafe_get iv b in
+      sxr iv sha a asr (if n > 62 then 62 else n)
+  | IBitsW (lo, w, s) -> Bv.extract_int (Array.unsafe_get t.bvals s) ~lo ~width:w
+  | IOrrW s -> if Bv.is_zero (Array.unsafe_get t.bvals s) then 0 else 1
+  | IAndrW (w, s) -> if Bv.popcount (Array.unsafe_get t.bvals s) = w then 1 else 0
+  | IXorrW s -> Bv.popcount (Array.unsafe_get t.bvals s) land 1
+  | IMemRead (data, a) ->
+      let ad = Array.unsafe_get iv a in
+      if ad < Array.length data then Array.unsafe_get data ad else 0
+  | WMux _ | WCat _ | WDshl _ | WDshr _ | WOr _ | WAnd _ | WXor _ | IBox _ ->
+      assert false
+
+(* Wide-destination in-place execution: mutates the destination slot's
+   buffer directly, no allocation. The buffer identity is stable for the
+   life of the simulation — a slot produced by an in-place instruction is
+   never rebound, and values that escape the tape are copied
+   ({!read_slot_bv_fresh}). *)
+let exec_wide (t : t) (d : int) (i : ins) : unit =
+  let bv = t.bvals in
+  match i with
+  | WMux (ss, sa, sb) ->
+      Bv.blit_into
+        ~dst:(Array.unsafe_get bv d)
+        (Array.unsafe_get bv (if Array.unsafe_get t.ivals ss <> 0 then sa else sb))
+  | WCat (sa, sb, wb) ->
+      let dst = Array.unsafe_get bv d in
+      Bv.fill_zero dst;
+      if t.wide.(sb) then Bv.or_bits_into ~dst ~lo:0 (Array.unsafe_get bv sb)
+      else Bv.or_int_into ~dst ~lo:0 (Array.unsafe_get t.ivals sb);
+      if t.wide.(sa) then Bv.or_bits_into ~dst ~lo:wb (Array.unsafe_get bv sa)
+      else Bv.or_int_into ~dst ~lo:wb (Array.unsafe_get t.ivals sa)
+  | WDshl (sa, sb) ->
+      let dst = Array.unsafe_get bv d in
+      Bv.fill_zero dst;
+      let n = Array.unsafe_get t.ivals sb in
+      if n < t.widths.(d) then Bv.or_int_into ~dst ~lo:n (Array.unsafe_get t.ivals sa)
+  | WDshr (sa, sb) ->
+      Bv.shr_into ~dst:(Array.unsafe_get bv d) (Array.unsafe_get bv sa)
+        (Array.unsafe_get t.ivals sb)
+  | WOr (sa, sb) ->
+      Bv.logor_into ~dst:(Array.unsafe_get bv d) (Array.unsafe_get bv sa)
+        (Array.unsafe_get bv sb)
+  | WAnd (sa, sb) ->
+      Bv.logand_into ~dst:(Array.unsafe_get bv d) (Array.unsafe_get bv sa)
+        (Array.unsafe_get bv sb)
+  | WXor (sa, sb) ->
+      Bv.logxor_into ~dst:(Array.unsafe_get bv d) (Array.unsafe_get bv sa)
+        (Array.unsafe_get bv sb)
+  | _ -> assert false
+
 let run_tape (t : t) =
-  if t.activity then begin
-    (* conditional evaluation: skip instructions whose inputs are unchanged;
-       memory reads re-run when the memory was written last cycle *)
-    let first = t.first_run in
-    t.first_run <- false;
-    Array.iter
-      (fun (i : instr) ->
-        if first || List.exists (fun d -> t.changed.(d)) i.deps then begin
-          let v = i.fn () in
-          if not (Bv.equal v t.vals.(i.dst)) then begin
-            t.vals.(i.dst) <- v;
-            t.changed.(i.dst) <- true
-          end
-        end)
-      t.tape
-  end
-  else
-    Array.iter (fun (i : instr) -> t.vals.(i.dst) <- i.fn ()) t.tape;
+  let n = Array.length t.ins in
+  if t.activity then
+    for k = 0 to n - 1 do
+      if Array.unsafe_get t.dirty k then begin
+        Array.unsafe_set t.dirty k false;
+        let d = Array.unsafe_get t.dsts k in
+        match Array.unsafe_get t.ins k with
+        | IBox f ->
+            if t.wide.(d) then begin
+              let v = f () in
+              if not (Bv.equal v t.bvals.(d)) then begin
+                t.bvals.(d) <- v;
+                mark_readers t d
+              end
+            end
+            else begin
+              let v = Bv.to_int_trunc (f ()) land t.masks.(k) in
+              if v <> t.ivals.(d) then begin
+                t.ivals.(d) <- v;
+                mark_readers t d
+              end
+            end
+        | (WMux _ | WCat _ | WDshl _ | WDshr _ | WOr _ | WAnd _ | WXor _) as i ->
+            (* in-place update overwrites the old value before it could be
+               compared, so conservatively re-dirty all readers *)
+            exec_wide t d i;
+            mark_readers t d
+        | i ->
+            let v = exec_value t i land Array.unsafe_get t.masks k in
+            if v <> Array.unsafe_get t.ivals d then begin
+              Array.unsafe_set t.ivals d v;
+              mark_readers t d
+            end
+      end
+    done
+  else begin
+    (* plain mode is the throughput path: one match per instruction with
+       the operator bodies inlined (no [exec_value] call, no second
+       dispatch), everything running over hoisted flat arrays *)
+    let iv = t.ivals in
+    let ins = t.ins and dsts = t.dsts and masks = t.masks in
+    for k = 0 to n - 1 do
+      let d = Array.unsafe_get dsts k in
+      let m = Array.unsafe_get masks k in
+      let set v = Array.unsafe_set iv d (v land m) in
+      match Array.unsafe_get ins k with
+      | ICopy s -> set (Array.unsafe_get iv s)
+      | IMux (s, a, b) ->
+          set
+            (if Array.unsafe_get iv s <> 0 then Array.unsafe_get iv a
+             else Array.unsafe_get iv b)
+      | INot s -> set (lnot (Array.unsafe_get iv s))
+      | IAndr (full, s) -> set (if Array.unsafe_get iv s = full then 1 else 0)
+      | IOrr s -> set (if Array.unsafe_get iv s <> 0 then 1 else 0)
+      | IXorr s -> set (Bv.popcount_int (Array.unsafe_get iv s) land 1)
+      | INeg (sh, s) -> set (-sxr iv sh s)
+      | ISext (sh, s) -> set (sxr iv sh s)
+      | IShrC (n, s) -> set (Array.unsafe_get iv s lsr n)
+      | IShlC (n, s) -> set (Array.unsafe_get iv s lsl n)
+      | IAdd (sha, a, shb, b) -> set (sxr iv sha a + sxr iv shb b)
+      | ISub (sha, a, shb, b) -> set (sxr iv sha a - sxr iv shb b)
+      | IMul (sha, a, shb, b) -> set (sxr iv sha a * sxr iv shb b)
+      | IDiv (sha, a, shb, b) ->
+          let dv = sxr iv shb b in
+          set (if dv = 0 then 0 else sxr iv sha a / dv)
+      | IRem (sha, a, shb, b) ->
+          let dv = sxr iv shb b in
+          set (if dv = 0 then Array.unsafe_get iv a else sxr iv sha a mod dv)
+      | ILt (sha, a, shb, b) -> set (if sxr iv sha a < sxr iv shb b then 1 else 0)
+      | ILeq (sha, a, shb, b) -> set (if sxr iv sha a <= sxr iv shb b then 1 else 0)
+      | IGt (sha, a, shb, b) -> set (if sxr iv sha a > sxr iv shb b then 1 else 0)
+      | IGeq (sha, a, shb, b) -> set (if sxr iv sha a >= sxr iv shb b then 1 else 0)
+      | IEq (sha, a, shb, b) -> set (if sxr iv sha a = sxr iv shb b then 1 else 0)
+      | INeq (sha, a, shb, b) -> set (if sxr iv sha a <> sxr iv shb b then 1 else 0)
+      | IAnd (sha, a, shb, b) -> set (sxr iv sha a land sxr iv shb b)
+      | IOr (sha, a, shb, b) -> set (sxr iv sha a lor sxr iv shb b)
+      | IXor (sha, a, shb, b) -> set (sxr iv sha a lxor sxr iv shb b)
+      | ICat (a, wb, b) ->
+          set ((Array.unsafe_get iv a lsl wb) lor Array.unsafe_get iv b)
+      | IDshl (sha, a, wr, b) ->
+          let sh = Array.unsafe_get iv b in
+          set (if sh >= wr then 0 else sxr iv sha a lsl sh)
+      | IDshr (sha, a, b) ->
+          let sh = Array.unsafe_get iv b in
+          set (sxr iv sha a asr (if sh > 62 then 62 else sh))
+      | IBitsW (lo, w, s) ->
+          set (Bv.extract_int (Array.unsafe_get t.bvals s) ~lo ~width:w)
+      | IOrrW s -> set (if Bv.is_zero (Array.unsafe_get t.bvals s) then 0 else 1)
+      | IAndrW (w, s) ->
+          set (if Bv.popcount (Array.unsafe_get t.bvals s) = w then 1 else 0)
+      | IXorrW s -> set (Bv.popcount (Array.unsafe_get t.bvals s) land 1)
+      | IMemRead (data, a) ->
+          let ad = Array.unsafe_get iv a in
+          set (if ad < Array.length data then Array.unsafe_get data ad else 0)
+      | (WMux _ | WCat _ | WDshl _ | WDshr _ | WOr _ | WAnd _ | WXor _) as i ->
+          exec_wide t d i
+      | IBox f ->
+          if t.wide.(d) then t.bvals.(d) <- f ()
+          else set (Bv.to_int_trunc (f ()))
+    done
+  end;
   t.tape_dirty <- false
 
 let clock_edge (t : t) =
   if t.tape_dirty then run_tape t;
-  (* sample covers *)
-  Array.iteri
-    (fun k (_, pred) ->
-      if Bv.to_bool (pred ()) then t.counters.(k) <- Backend.sat_incr t.counters.(k))
-    t.covers;
-  Array.iter
-    (fun (_, sig_, en, arr) ->
-      if Bv.to_bool (en ()) then begin
-        let v = Bv.to_int_trunc (sig_ ()) in
-        if v < Array.length arr then arr.(v) <- Backend.sat_incr arr.(v)
-      end)
-    t.cover_values;
-  Array.iter (fun cond -> if Bv.to_bool (cond ()) then t.stopped <- true) t.stops;
-  Array.iter
-    (fun (cond, message, args) ->
-      if Bv.to_bool (cond ()) then
-        !Backend.print_sink (Prep.format_print message (List.map (fun a -> a ()) args)))
-    t.prints;
-  (* compute next state from pre-edge values *)
-  let nexts = Array.map (fun (s, f) -> (s, f ())) t.reg_next in
-  let mem_ops =
-    Array.map
-      (fun (m : mem_rt) ->
-        let writes =
-          List.filter_map
-            (fun (en, addr, data) ->
-              if Bv.to_bool t.vals.(en) then
-                Some (Bv.to_int_trunc t.vals.(addr), t.vals.(data))
-              else None)
-            m.write_ports
-        in
-        let reads =
-          List.map (fun (_, addr, data) -> (data, Bv.to_int_trunc t.vals.(addr))) m.sync_reads
-        in
-        (m, writes, reads))
-      t.mems
-  in
-  (* commit *)
-  if t.activity then Array.fill t.changed 0 (Array.length t.changed) false;
-  Array.iter
-    (fun (s, v) ->
-      if t.activity then begin
-        if not (Bv.equal t.vals.(s) v) then begin
-          t.vals.(s) <- v;
-          t.changed.(s) <- true
-        end
-      end
-      else t.vals.(s) <- v)
-    nexts;
-  Array.iter
-    (fun ((m : mem_rt), writes, reads) ->
-      (* writes commit before sync reads are captured (write-first
-         read-under-write, matching the interpreter) *)
-      List.iter
-        (fun (a, v) -> if a < Array.length m.ms.Prep.data then m.ms.Prep.data.(a) <- v)
-        writes;
-      List.iter
-        (fun (data_slot, a) ->
-          let v =
-            if a < Array.length m.ms.Prep.data then m.ms.Prep.data.(a)
-            else Bv.zero (Ty.width m.ms.Prep.mem.Stmt.mem_data)
-          in
+  (* sample covers, cover-values, stops, prints on the settled tape *)
+  for k = 0 to Array.length t.cover_slots - 1 do
+    if read_slot_bool t t.cover_slots.(k) then
+      t.counters.(k) <- Backend.sat_incr t.counters.(k)
+  done;
+  for k = 0 to Array.length t.cv_sig - 1 do
+    if read_slot_bool t t.cv_en.(k) then begin
+      let v = read_slot_int t t.cv_sig.(k) in
+      let arr = t.cv_arr.(k) in
+      if v < Array.length arr then arr.(v) <- Backend.sat_incr arr.(v)
+    end
+  done;
+  for k = 0 to Array.length t.stop_slots - 1 do
+    if read_slot_bool t t.stop_slots.(k) then t.stopped <- true
+  done;
+  for k = 0 to Array.length t.print_conds - 1 do
+    if read_slot_bool t t.print_conds.(k) then begin
+      let args = Array.to_list (Array.map (fun s -> read_slot_bv t s) t.print_args.(k)) in
+      !Backend.print_sink (Prep.format_print t.print_msgs.(k) args)
+    end
+  done;
+  (* capture register next-values before anything commits (reg-to-reg
+     chains and regs fed by sync-read data must see pre-edge values) *)
+  for i = 0 to Array.length t.ri_src - 1 do
+    t.ri_scratch.(i) <- read_slot_int t t.ri_src.(i)
+  done;
+  for i = 0 to Array.length t.rb_src - 1 do
+    t.rb_scratch.(i) <- read_slot_bv_fresh t t.rb_src.(i)
+  done;
+  (* memories: writes commit before sync-read data latches (write-first
+     read-under-write, matching the interpreter); later ports win *)
+  for mi = 0 to Array.length t.mems - 1 do
+    let m = t.mems.(mi) in
+    let wrote = ref false in
+    (match m.store with
+    | M_int data ->
+        let len = Array.length data in
+        for j = 0 to Array.length m.wp_en - 1 do
+          if read_slot_bool t m.wp_en.(j) then begin
+            wrote := true;
+            let a = read_slot_int t m.wp_addr.(j) in
+            if a < len then data.(a) <- read_slot_int t m.wp_data.(j)
+          end
+        done;
+        for j = 0 to Array.length m.sr_addr - 1 do
+          let a = read_slot_int t m.sr_addr.(j) in
+          let v = if a < len then data.(a) else 0 in
+          let ds = m.sr_data.(j) in
           if t.activity then begin
-            if not (Bv.equal t.vals.(data_slot) v) then begin
-              t.vals.(data_slot) <- v;
-              t.changed.(data_slot) <- true
+            if v <> t.ivals.(ds) then begin
+              t.ivals.(ds) <- v;
+              mark_readers t ds
             end
           end
-          else t.vals.(data_slot) <- v)
-        reads;
-      (if t.activity && writes <> [] then
-         (* force combinational readers of this memory to re-evaluate *)
-         List.iter
-           (fun { Stmt.rp_name } ->
-             if m.ms.Prep.mem.Stmt.mem_read_latency = 0 then
-               let addr_slot =
-                 Hashtbl.find t.slot_of (m.ms.Prep.mem.Stmt.mem_name ^ "." ^ rp_name ^ ".addr")
-               in
-               t.changed.(addr_slot) <- true)
-           m.ms.Prep.mem.Stmt.mem_readers);
-      m.written <- writes <> [])
-    mem_ops;
+          else t.ivals.(ds) <- v
+        done
+    | M_bv data ->
+        let len = Array.length data in
+        for j = 0 to Array.length m.wp_en - 1 do
+          if read_slot_bool t m.wp_en.(j) then begin
+            wrote := true;
+            let a = read_slot_int t m.wp_addr.(j) in
+            if a < len then data.(a) <- read_slot_bv_fresh t m.wp_data.(j)
+          end
+        done;
+        for j = 0 to Array.length m.sr_addr - 1 do
+          let a = read_slot_int t m.sr_addr.(j) in
+          let v = if a < len then data.(a) else m.m_zero in
+          let ds = m.sr_data.(j) in
+          if t.activity then begin
+            if not (Bv.equal v t.bvals.(ds)) then begin
+              t.bvals.(ds) <- v;
+              mark_readers t ds
+            end
+          end
+          else t.bvals.(ds) <- v
+        done);
+    if t.activity && !wrote then begin
+      let cr = m.comb_readers in
+      for j = 0 to Array.length cr - 1 do
+        t.dirty.(cr.(j)) <- true
+      done
+    end
+  done;
+  (* commit registers *)
+  for i = 0 to Array.length t.ri_dst - 1 do
+    let ds = t.ri_dst.(i) in
+    let v = t.ri_scratch.(i) in
+    if t.activity then begin
+      if v <> t.ivals.(ds) then begin
+        t.ivals.(ds) <- v;
+        mark_readers t ds
+      end
+    end
+    else t.ivals.(ds) <- v
+  done;
+  for i = 0 to Array.length t.rb_dst - 1 do
+    let ds = t.rb_dst.(i) in
+    let v = t.rb_scratch.(i) in
+    if t.activity then begin
+      if not (Bv.equal v t.bvals.(ds)) then begin
+        t.bvals.(ds) <- v;
+        mark_readers t ds
+      end
+    end
+    else t.bvals.(ds) <- v
+  done;
   t.tape_dirty <- true;
   t.cycle <- t.cycle + 1
 
 let to_backend ~name (t : t) : Backend.t =
-  Backend.with_telemetry
-  {
-    Backend.backend_name = name;
-    circuit = t.p.Prep.low;
-    poke =
-      (fun pname v ->
-        match Hashtbl.find_opt t.p.Prep.input_names pname with
+  (* pre-resolve input name -> slot so a poke costs one hash lookup; with
+     tiny tapes (a few dozen instructions) poking dominates the cycle *)
+  let input_slot : (string, int) Hashtbl.t =
+    Hashtbl.create (Hashtbl.length t.p.Prep.input_names)
+  in
+  Hashtbl.iter
+    (fun n _ -> Hashtbl.replace input_slot n (Hashtbl.find t.slot_of n))
+    t.p.Prep.input_names;
+  (* testbench loops poke the same interned name strings every cycle, so a
+     tiny physical-equality memo beats re-hashing the string each time *)
+  let cache_cap = 32 in
+  let cache_keys = Array.make cache_cap "" in
+  let cache_slots = Array.make cache_cap 0 in
+  let cache_n = ref 0 in
+  let find_input pname =
+    let n = !cache_n in
+    let rec go i =
+      if i < n then
+        if cache_keys.(i) == pname then cache_slots.(i) else go (i + 1)
+      else begin
+        match Hashtbl.find_opt input_slot pname with
         | None -> Backend.error "poke: %s is not an input" pname
-        | Some w ->
-            let s = Hashtbl.find t.slot_of pname in
-            let v = Bv.extend_u v w in
-            if not (Bv.equal t.vals.(s) v) then begin
-              t.vals.(s) <- v;
-              t.changed.(s) <- true;
-              t.tape_dirty <- true
-            end);
-    peek =
-      (fun pname ->
-        if t.tape_dirty then run_tape t;
-        match Hashtbl.find_opt t.slot_of pname with
-        | Some s -> t.vals.(s)
-        | None -> Backend.error "peek: unknown signal %s" pname);
-    step =
-      (fun n ->
-        for _ = 1 to n do
-          clock_edge t
-        done);
-    counts =
-      (fun () ->
-        let out = Counts.create () in
-        Array.iteri (fun k (n, _) -> Counts.set out n t.counters.(k)) t.covers;
-        Array.iter
-          (fun (n, _, _, arr) ->
-            Array.iteri
-              (fun v c -> Counts.set out (Sic_coverage.Cover_values.value_key n v) c)
-              arr)
-          t.cover_values;
-        out);
-    cycles = (fun () -> t.cycle);
-    finished = (fun () -> t.stopped);
-  }
+        | Some s ->
+            if n < cache_cap then begin
+              cache_keys.(n) <- pname;
+              cache_slots.(n) <- s;
+              incr cache_n
+            end;
+            s
+      end
+    in
+    go 0
+  in
+  Backend.with_telemetry
+    {
+      Backend.backend_name = name;
+      circuit = t.p.Prep.low;
+      poke =
+        (fun pname v ->
+          let s = find_input pname in
+              let w = t.widths.(s) in
+              if t.wide.(s) then begin
+                let v = Bv.extend_u v w in
+                if not (Bv.equal t.bvals.(s) v) then begin
+                  t.bvals.(s) <- v;
+                  if t.activity then mark_readers t s;
+                  t.tape_dirty <- true
+                end
+              end
+              else begin
+                let vi = Bv.to_int_trunc v land Eval.Int.mask w in
+                if vi <> t.ivals.(s) then begin
+                  t.ivals.(s) <- vi;
+                  if t.activity then mark_readers t s;
+                  t.tape_dirty <- true
+                end
+              end);
+      peek =
+        (fun pname ->
+          if t.tape_dirty then run_tape t;
+          match Hashtbl.find_opt t.slot_of pname with
+          | Some s -> read_slot_bv_fresh t t.alias.(s)
+          | None -> Backend.error "peek: unknown signal %s" pname);
+      step =
+        (fun n ->
+          for _ = 1 to n do
+            clock_edge t
+          done);
+      counts =
+        (fun () ->
+          let out = Counts.create () in
+          Array.iteri (fun k n -> Counts.set out n t.counters.(k)) t.cover_names;
+          Array.iteri
+            (fun k n ->
+              Array.iteri
+                (fun v c -> Counts.set out (Sic_coverage.Cover_values.value_key n v) c)
+                t.cv_arr.(k))
+            t.cv_names;
+          out);
+      cycles = (fun () -> t.cycle);
+      finished = (fun () -> t.stopped);
+    }
 
 (** Create the Verilator-analogue backend. With [~builtin_line:true] the
     simulator hard-codes its own line coverage (counters appear alongside
-    the pass-based ones, named [l_*] as usual — they *are* the same
+    the pass-based ones, named [l_*] as usual — they {e are} the same
     instrumentation, performed internally, which is the paper's explanation
     for why the overheads match). *)
 let create ?builtin_line (c : Circuit.t) : Backend.t =

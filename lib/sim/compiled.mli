@@ -1,7 +1,11 @@
-(** Compiled simulator — the Verilator analogue (§3.2): the lowered
-    circuit is compiled once into a topologically-sorted tape of update
-    instructions over a flat value array. Higher start-up cost, much
-    higher steady-state throughput than the interpreter. *)
+(** Compiled simulator — the Verilator analogue (§3.2), built around a
+    word-level engine: the lowered circuit is compiled once into a
+    topologically-sorted flat instruction tape over unboxed native-int
+    slots (signals wider than 62 bits fall back to {!Sic_bv.Bv} slots).
+    Higher start-up cost than the interpreter, much higher steady-state
+    throughput; a simulation cycle allocates nothing when every signal
+    fits a machine word. See {!Ref_tape} for the retired closure-per-
+    instruction engine kept as the differential-testing baseline. *)
 
 type t
 (** A built simulation (shared with {!Essent}). *)
@@ -10,8 +14,17 @@ val build : ?builtin_line:bool -> ?activity:bool -> Sic_ir.Circuit.t -> t
 (** [~builtin_line:true] reproduces a simulator with {e hard-coded} line
     coverage (Verilator's native mode, the Figure 8 comparator): the same
     instrumentation is performed internally by the simulator rather than
-    by an IR pass. Requires a high-form circuit. [~activity:true] enables
-    ESSENT-style conditional evaluation. *)
+    by an IR pass, so its counters keep the usual [l_*] names. Requires a
+    high-form circuit. [~activity:true] enables ESSENT-style conditional
+    evaluation over per-instruction dirty flags. *)
+
+val line_db : t -> Sic_coverage.Line_coverage.db option
+(** The database of the internal instrumentation performed by
+    [~builtin_line:true]; [None] otherwise. *)
+
+val stats : t -> string
+(** One-line tape composition summary (instruction/slot counts, how many
+    dropped to the boxed wide path) for bench output and debugging. *)
 
 val to_backend : name:string -> t -> Backend.t
 

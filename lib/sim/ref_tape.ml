@@ -1,0 +1,401 @@
+(** Reference tape engine — the original compiled backend, kept as a
+    baseline. The lowered circuit is compiled once into a
+    topologically-sorted tape of closure instructions over a flat {!Bv.t}
+    array; each [step] replays the tape and commits sequential state.
+    Every operation allocates a fresh bitvector, so steady-state throughput
+    is bounded by the allocator — exactly the cost profile the word-level
+    engine ({!Compiled}) removes. It survives for two reasons: the
+    differential-equivalence suite pins the word-level engine against it,
+    and [bench sim] uses it as the speedup denominator.
+
+    [~activity:true] turns on ESSENT-style conditional evaluation: an
+    instruction is skipped when none of its inputs changed since the
+    previous cycle. *)
+
+open Sic_ir
+module Bv = Sic_bv.Bv
+module Counts = Sic_coverage.Counts
+module Prep = Backend.Prep
+
+type instr = {
+  dst : int;
+  deps : int list;
+  fn : unit -> Bv.t;
+}
+
+type mem_rt = {
+  ms : Prep.mem_state;
+  write_ports : (int * int * int) list;  (** en, addr, data slots *)
+  sync_reads : (string * int * int) list;  (** port, addr slot, data slot *)
+}
+
+type t = {
+  p : Prep.prepared;
+  slot_of : (string, int) Hashtbl.t;
+  vals : Bv.t array;
+  changed : bool array;
+  tape : instr array;
+  covers : (string * (unit -> Bv.t)) array;
+  counters : int array;
+  cover_values : (string * (unit -> Bv.t) * (unit -> Bv.t) * int array) array;
+  stops : (unit -> Bv.t) array;
+  prints : ((unit -> Bv.t) * string * (unit -> Bv.t) list) array;
+  reg_next : (int * (unit -> Bv.t)) array;  (** slot, next-value closure *)
+  mems : mem_rt array;
+  activity : bool;
+  mutable first_run : bool;
+      (** activity mode: the first tape run evaluates everything, so
+          dependency-free instructions (constants) get their value *)
+  mutable tape_dirty : bool;
+  mutable cycle : int;
+  mutable stopped : bool;
+}
+
+let build ?(activity = false) (c : Circuit.t) : t =
+  let p = Prep.prepare c in
+  let ty_of = Circuit.lookup_of p.Prep.env in
+  (* slot assignment: every named value lives in one slot *)
+  let slot_of = Hashtbl.create 256 in
+  let n_slots = ref 0 in
+  let slot name =
+    match Hashtbl.find_opt slot_of name with
+    | Some i -> i
+    | None ->
+        let i = !n_slots in
+        incr n_slots;
+        Hashtbl.replace slot_of name i;
+        i
+  in
+  Hashtbl.iter (fun name _ -> ignore (slot name)) p.Prep.env;
+  let vals = Array.make !n_slots (Bv.zero 1) in
+  let changed = Array.make !n_slots true in
+  Hashtbl.iter (fun name ty -> vals.(Hashtbl.find slot_of name) <- Bv.zero (Ty.width ty)) p.Prep.env;
+  (* expression compiler *)
+  let rec comp (e : Expr.t) : unit -> Bv.t =
+    match e with
+    | Expr.Ref n ->
+        let i = slot n in
+        fun () -> vals.(i)
+    | Expr.UIntLit v | Expr.SIntLit v -> fun () -> v
+    | Expr.Mux (s, a, b) ->
+        let cs = comp s and ca = comp a and cb = comp b in
+        fun () -> if Bv.to_bool (cs ()) then ca () else cb ()
+    | Expr.Unop (op, a) ->
+        let ta = Expr.type_of ty_of a in
+        let ca = comp a in
+        fun () -> Eval.unop op ~ta (ca ())
+    | Expr.Binop (op, a, b) ->
+        let ta = Expr.type_of ty_of a and tb = Expr.type_of ty_of b in
+        let ca = comp a and cb = comp b in
+        fun () -> Eval.binop op ~ta ~tb (ca ()) (cb ())
+    | Expr.Intop (op, n, a) ->
+        let ta = Expr.type_of ty_of a in
+        let ca = comp a in
+        fun () -> Eval.intop op n ~ta (ca ())
+    | Expr.Bits (a, hi, lo) ->
+        let ca = comp a in
+        fun () -> Eval.bits ~hi ~lo (ca ())
+  in
+  (* build the instruction set: nodes, driven combinational sinks, and
+     combinational memory reads. Registers and sync-read data are state. *)
+  let reg_names = Prep.reg_name_set p in
+  let instrs : (string * instr) list ref = ref [] in
+  let add_instr name deps fn =
+    instrs := (name, { dst = slot name; deps = List.map slot deps; fn }) :: !instrs
+  in
+  Hashtbl.iter
+    (fun name e -> add_instr name (Expr.references e) (comp e))
+    p.Prep.node_defs;
+  Hashtbl.iter
+    (fun name e ->
+      if not (Hashtbl.mem reg_names name) then add_instr name (Expr.references e) (comp e))
+    p.Prep.drivers;
+  List.iter
+    (fun (mname, (ms : Prep.mem_state)) ->
+      if ms.Prep.mem.Stmt.mem_read_latency = 0 then
+        List.iter
+          (fun { Stmt.rp_name } ->
+            let addr_name = mname ^ "." ^ rp_name ^ ".addr" in
+            let data_name = mname ^ "." ^ rp_name ^ ".data" in
+            let ai = slot addr_name in
+            let zero = Bv.zero (Ty.width ms.Prep.mem.Stmt.mem_data) in
+            add_instr data_name [ addr_name ] (fun () ->
+                let a = Bv.to_int_trunc vals.(ai) in
+                if a < Array.length ms.Prep.data then ms.Prep.data.(a) else zero))
+          ms.Prep.mem.Stmt.mem_readers)
+    p.Prep.mems;
+  (* topological sort (Kahn); only dependencies that are themselves
+     instructions matter *)
+  let by_name = Hashtbl.create 256 in
+  List.iter (fun (n, i) -> Hashtbl.replace by_name n i) !instrs;
+  let indegree = Hashtbl.create 256 in
+  let dependents : (string, string list) Hashtbl.t = Hashtbl.create 256 in
+  let name_of_slot = Hashtbl.create 256 in
+  Hashtbl.iter (fun n i -> Hashtbl.replace name_of_slot i n) slot_of;
+  List.iter
+    (fun (n, i) ->
+      let deps =
+        List.filter_map
+          (fun d ->
+            let dn = Hashtbl.find name_of_slot d in
+            if Hashtbl.mem by_name dn then Some dn else None)
+          i.deps
+      in
+      Hashtbl.replace indegree n (List.length deps);
+      List.iter
+        (fun d ->
+          Hashtbl.replace dependents d (n :: Option.value ~default:[] (Hashtbl.find_opt dependents d)))
+        deps)
+    !instrs;
+  let queue = Queue.create () in
+  Hashtbl.iter (fun n d -> if d = 0 then Queue.add n queue) indegree;
+  let order = ref [] in
+  let emitted = ref 0 in
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    order := Hashtbl.find by_name n :: !order;
+    incr emitted;
+    List.iter
+      (fun d ->
+        let k = Hashtbl.find indegree d - 1 in
+        Hashtbl.replace indegree d k;
+        if k = 0 then Queue.add d queue)
+      (Option.value ~default:[] (Hashtbl.find_opt dependents n))
+  done;
+  if !emitted <> List.length !instrs then
+    Backend.error "combinational loop in circuit %s" c.Circuit.circuit_name;
+  let tape = Array.of_list (List.rev !order) in
+  (* covers, cover-values, stops, register next-values *)
+  let covers = Array.of_list (List.map (fun (n, e) -> (n, comp e)) p.Prep.covers) in
+  let counters = Array.make (Array.length covers) 0 in
+  let cover_values =
+    Array.of_list
+      (List.map
+         (fun (n, sig_, en, w) -> (n, comp sig_, comp en, Array.make (1 lsl min w 20) 0))
+         p.Prep.cover_values)
+  in
+  let stops = Array.of_list (List.map (fun (_, e) -> comp e) p.Prep.stops) in
+  let prints =
+    Array.of_list
+      (List.map (fun (c, msg, args) -> (comp c, msg, List.map comp args)) p.Prep.prints)
+  in
+  let reg_next =
+    Array.of_list
+      (List.map
+         (fun (r : Prep.reg_info) ->
+           let n = r.Prep.reg_name in
+           let base =
+             match Hashtbl.find_opt p.Prep.drivers n with
+             | Some e -> comp e
+             | None ->
+                 let i = slot n in
+                 fun () -> vals.(i)
+           in
+           let next =
+             match r.Prep.reset with
+             | Some (rst, init) ->
+                 let crst = comp rst and cinit = comp init in
+                 fun () -> if Bv.to_bool (crst ()) then cinit () else base ()
+             | None -> base
+           in
+           (slot n, next))
+         p.Prep.regs)
+  in
+  let mems =
+    Array.of_list
+      (List.map
+         (fun (mname, (ms : Prep.mem_state)) ->
+           {
+             ms;
+             write_ports =
+               List.map
+                 (fun { Stmt.wp_name } ->
+                   ( slot (mname ^ "." ^ wp_name ^ ".en"),
+                     slot (mname ^ "." ^ wp_name ^ ".addr"),
+                     slot (mname ^ "." ^ wp_name ^ ".data") ))
+                 ms.Prep.mem.Stmt.mem_writers;
+             sync_reads =
+               (if ms.Prep.mem.Stmt.mem_read_latency > 0 then
+                  List.map
+                    (fun { Stmt.rp_name } ->
+                      ( rp_name,
+                        slot (mname ^ "." ^ rp_name ^ ".addr"),
+                        slot (mname ^ "." ^ rp_name ^ ".data") ))
+                    ms.Prep.mem.Stmt.mem_readers
+                else []);
+           })
+         p.Prep.mems)
+  in
+  {
+    p;
+    slot_of;
+    vals;
+    changed;
+    tape;
+    covers;
+    counters;
+    cover_values;
+    stops;
+    prints;
+    reg_next;
+    mems;
+    activity;
+    first_run = true;
+    tape_dirty = true;
+    cycle = 0;
+    stopped = false;
+  }
+
+let run_tape (t : t) =
+  if t.activity then begin
+    (* conditional evaluation: skip instructions whose inputs are unchanged *)
+    let first = t.first_run in
+    t.first_run <- false;
+    Array.iter
+      (fun (i : instr) ->
+        if first || List.exists (fun d -> t.changed.(d)) i.deps then begin
+          let v = i.fn () in
+          if not (Bv.equal v t.vals.(i.dst)) then begin
+            t.vals.(i.dst) <- v;
+            t.changed.(i.dst) <- true
+          end
+        end)
+      t.tape
+  end
+  else
+    Array.iter (fun (i : instr) -> t.vals.(i.dst) <- i.fn ()) t.tape;
+  t.tape_dirty <- false
+
+let clock_edge (t : t) =
+  if t.tape_dirty then run_tape t;
+  (* sample covers *)
+  Array.iteri
+    (fun k (_, pred) ->
+      if Bv.to_bool (pred ()) then t.counters.(k) <- Backend.sat_incr t.counters.(k))
+    t.covers;
+  Array.iter
+    (fun (_, sig_, en, arr) ->
+      if Bv.to_bool (en ()) then begin
+        let v = Bv.to_int_trunc (sig_ ()) in
+        if v < Array.length arr then arr.(v) <- Backend.sat_incr arr.(v)
+      end)
+    t.cover_values;
+  Array.iter (fun cond -> if Bv.to_bool (cond ()) then t.stopped <- true) t.stops;
+  Array.iter
+    (fun (cond, message, args) ->
+      if Bv.to_bool (cond ()) then
+        !Backend.print_sink (Prep.format_print message (List.map (fun a -> a ()) args)))
+    t.prints;
+  (* compute next state from pre-edge values *)
+  let nexts = Array.map (fun (s, f) -> (s, f ())) t.reg_next in
+  let mem_ops =
+    Array.map
+      (fun (m : mem_rt) ->
+        let writes =
+          List.filter_map
+            (fun (en, addr, data) ->
+              if Bv.to_bool t.vals.(en) then
+                Some (Bv.to_int_trunc t.vals.(addr), t.vals.(data))
+              else None)
+            m.write_ports
+        in
+        let reads =
+          List.map (fun (_, addr, data) -> (data, Bv.to_int_trunc t.vals.(addr))) m.sync_reads
+        in
+        (m, writes, reads))
+      t.mems
+  in
+  (* commit *)
+  if t.activity then Array.fill t.changed 0 (Array.length t.changed) false;
+  Array.iter
+    (fun (s, v) ->
+      if t.activity then begin
+        if not (Bv.equal t.vals.(s) v) then begin
+          t.vals.(s) <- v;
+          t.changed.(s) <- true
+        end
+      end
+      else t.vals.(s) <- v)
+    nexts;
+  Array.iter
+    (fun ((m : mem_rt), writes, reads) ->
+      (* writes commit before sync reads are captured (write-first
+         read-under-write, matching the interpreter) *)
+      List.iter
+        (fun (a, v) -> if a < Array.length m.ms.Prep.data then m.ms.Prep.data.(a) <- v)
+        writes;
+      List.iter
+        (fun (data_slot, a) ->
+          let v =
+            if a < Array.length m.ms.Prep.data then m.ms.Prep.data.(a)
+            else Bv.zero (Ty.width m.ms.Prep.mem.Stmt.mem_data)
+          in
+          if t.activity then begin
+            if not (Bv.equal t.vals.(data_slot) v) then begin
+              t.vals.(data_slot) <- v;
+              t.changed.(data_slot) <- true
+            end
+          end
+          else t.vals.(data_slot) <- v)
+        reads;
+      if t.activity && writes <> [] then
+        (* force combinational readers of this memory to re-evaluate *)
+        List.iter
+          (fun { Stmt.rp_name } ->
+            if m.ms.Prep.mem.Stmt.mem_read_latency = 0 then
+              let addr_slot =
+                Hashtbl.find t.slot_of (m.ms.Prep.mem.Stmt.mem_name ^ "." ^ rp_name ^ ".addr")
+              in
+              t.changed.(addr_slot) <- true)
+          m.ms.Prep.mem.Stmt.mem_readers)
+    mem_ops;
+  t.tape_dirty <- true;
+  t.cycle <- t.cycle + 1
+
+let to_backend ~name (t : t) : Backend.t =
+  Backend.with_telemetry
+    {
+      Backend.backend_name = name;
+      circuit = t.p.Prep.low;
+      poke =
+        (fun pname v ->
+          match Hashtbl.find_opt t.p.Prep.input_names pname with
+          | None -> Backend.error "poke: %s is not an input" pname
+          | Some w ->
+              let s = Hashtbl.find t.slot_of pname in
+              let v = Bv.extend_u v w in
+              if not (Bv.equal t.vals.(s) v) then begin
+                t.vals.(s) <- v;
+                t.changed.(s) <- true;
+                t.tape_dirty <- true
+              end);
+      peek =
+        (fun pname ->
+          if t.tape_dirty then run_tape t;
+          match Hashtbl.find_opt t.slot_of pname with
+          | Some s -> t.vals.(s)
+          | None -> Backend.error "peek: unknown signal %s" pname);
+      step =
+        (fun n ->
+          for _ = 1 to n do
+            clock_edge t
+          done);
+      counts =
+        (fun () ->
+          let out = Counts.create () in
+          Array.iteri (fun k (n, _) -> Counts.set out n t.counters.(k)) t.covers;
+          Array.iter
+            (fun (n, _, _, arr) ->
+              Array.iteri
+                (fun v c -> Counts.set out (Sic_coverage.Cover_values.value_key n v) c)
+                arr)
+            t.cover_values;
+          out);
+      cycles = (fun () -> t.cycle);
+      finished = (fun () -> t.stopped);
+    }
+
+(** The baseline backend: closure tape over [Bv.t] values. *)
+let create ?(activity = false) (c : Circuit.t) : Backend.t =
+  let name = if activity then "ref-tape-activity" else "ref-tape" in
+  to_backend ~name (build ~activity c)

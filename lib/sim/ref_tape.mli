@@ -1,0 +1,19 @@
+(** Reference tape engine — the original closure-per-instruction compiled
+    backend over {!Sic_bv.Bv} values, kept as the differential-testing
+    oracle and the [bench sim] speedup baseline. Allocates on every
+    operation; see {!Compiled} for the word-level engine that replaced it
+    in production. *)
+
+open Sic_ir
+
+type t
+
+val build : ?activity:bool -> Circuit.t -> t
+(** Compile a circuit into a closure tape. [~activity:true] enables
+    ESSENT-style conditional evaluation (skip instructions whose inputs
+    did not change). Lowers to low form first if needed. *)
+
+val to_backend : name:string -> t -> Backend.t
+
+val create : ?activity:bool -> Circuit.t -> Backend.t
+(** Backend named ["ref-tape"] (or ["ref-tape-activity"]). *)

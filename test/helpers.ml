@@ -203,9 +203,14 @@ let standard_vars : (string * Ty.t) list =
     ("s33", Ty.SInt 33);
   ]
 
+(* Every software backend: the interpreter, the word-level engine (plain
+   and activity-driven via Essent), and the retired closure/Bv reference
+   tape (plain and activity-driven) kept as the differential oracle. *)
 let backends : (string * (Circuit.t -> Sic_sim.Backend.t)) list =
   [
     ("interp", Sic_sim.Interp.create);
     ("compiled", fun c -> Sic_sim.Compiled.create c);
     ("essent", Sic_sim.Essent.create);
+    ("ref-tape", fun c -> Sic_sim.Ref_tape.create c);
+    ("ref-tape-activity", fun c -> Sic_sim.Ref_tape.create ~activity:true c);
   ]

@@ -119,6 +119,48 @@ let tests =
           if Bv.bit v i then incr n
         done;
         !n = Bv.popcount v);
+    (* SWAR popcount: fixed cases at limb boundaries (31-bit limbs) *)
+    Alcotest.test_case "popcount limb-boundary units" `Quick (fun () ->
+        List.iter
+          (fun w ->
+            Alcotest.(check int)
+              (Printf.sprintf "ones %d" w)
+              w
+              (Bv.popcount (Bv.ones w));
+            Alcotest.(check int) (Printf.sprintf "zero %d" w) 0 (Bv.popcount (Bv.zero w));
+            Alcotest.(check int) (Printf.sprintf "one %d" w) 1 (Bv.popcount (Bv.one w)))
+          [ 1; 30; 31; 32; 61; 62; 63; 64; 93; 124 ];
+        Alcotest.(check int) "0xff00ff" 16
+          (Bv.popcount (Bv.of_int ~width:24 0xff00ff));
+        Alcotest.(check int) "alternating 62" 31
+          (Bv.popcount (Bv.of_int ~width:62 0x1555555555555555)));
+    Alcotest.test_case "popcount_int units" `Quick (fun () ->
+        Alcotest.(check int) "0" 0 (Bv.popcount_int 0);
+        Alcotest.(check int) "1" 1 (Bv.popcount_int 1);
+        Alcotest.(check int) "max_int" 62 (Bv.popcount_int max_int);
+        Alcotest.(check int) "2^61" 1 (Bv.popcount_int (1 lsl 61));
+        Alcotest.(check int) "0xdeadbeef" 24 (Bv.popcount_int 0xdeadbeef);
+        match Bv.popcount_int (-1) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "popcount_int must reject negatives");
+    t "popcount_int matches popcount" 300 arb_small (fun (w, n) ->
+        Bv.popcount_int n = Bv.popcount (Bv.of_int ~width:w n));
+    t "of_int62 inverts to_int_trunc" 300 arb_bv (fun v ->
+        let w = Bv.width v in
+        if w > 62 then QCheck.assume_fail ()
+        else Bv.equal v (Bv.of_int62 ~width:w (Bv.to_int_trunc v)));
+    Alcotest.test_case "of_int62 boundary widths" `Quick (fun () ->
+        List.iter
+          (fun w ->
+            let v = Bv.ones w in
+            Alcotest.(check bool)
+              (Printf.sprintf "ones %d round-trips" w)
+              true
+              (Bv.equal v (Bv.of_int62 ~width:w (Bv.to_int_trunc v))))
+          [ 1; 31; 32; 61; 62 ];
+        match Bv.of_int62 ~width:63 0 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "of_int62 must reject width > 62");
     t "compare_u total order vs decimal" 300 (QCheck.pair arb_bv arb_bv) (fun (a, b) ->
         let cmp_dec =
           let da = Bv.to_decimal_string a and db = Bv.to_decimal_string b in

@@ -136,6 +136,110 @@ let memsys_model_test =
         ops;
       !ok)
 
+(* --- word-level (native-int) op semantics vs the Bv reference ----------- *)
+
+(* Boundary widths around the int path's 62-bit applicability limit: 63/64
+   force the wide fallback, so these cases pin the [Eval.Int.fits]
+   classification itself; everything below exercises the masked-pattern
+   arithmetic including both limb boundaries of the Bv representation. *)
+let boundary_widths = [| 1; 4; 8; 31; 32; 62; 63; 64 |]
+
+let gen_boundary_case =
+  QCheck.Gen.(
+    let* wa = oneofa boundary_widths in
+    let* wb = oneofa boundary_widths in
+    let* signed = bool in
+    let* seeds = list_size (return 12) (int_bound ((1 lsl 30) - 1)) in
+    return (wa, wb, signed, seeds))
+
+let arb_boundary_case =
+  QCheck.make
+    ~print:(fun (wa, wb, signed, _) -> Printf.sprintf "wa=%d wb=%d signed=%b" wa wb signed)
+    gen_boundary_case
+
+let bv_of_seeds seeds w =
+  let arr = Array.of_list seeds in
+  let i = ref (-1) in
+  Bv.random ~width:w (fun () ->
+      incr i;
+      arr.(!i mod Array.length arr))
+
+let int_binop_matches_bv =
+  QCheck.Test.make ~count:400 ~name:"Eval.Int.binop matches Eval.binop at boundary widths"
+    arb_boundary_case
+    (fun (wa, wb, signed, seeds) ->
+      let a = bv_of_seeds seeds wa in
+      let b = bv_of_seeds (List.rev seeds) wb in
+      let ta = if signed then Ty.SInt wa else Ty.UInt wa in
+      let tb = if signed then Ty.SInt wb else Ty.UInt wb in
+      let agree op ta tb a b =
+        let wr = Ty.width (Expr.binop_ty op ta tb) in
+        (not (Eval.Int.fits (Ty.width ta) && Eval.Int.fits (Ty.width tb) && Eval.Int.fits wr))
+        || Bv.to_int_trunc (Eval.binop op ~ta ~tb a b)
+           = Eval.Int.binop op ~ta ~tb (Bv.to_int_trunc a) (Bv.to_int_trunc b)
+      in
+      let shifted op =
+        (* dynamic shift amounts are unsigned and small *)
+        let wbs = min wb 4 in
+        agree op ta (Ty.UInt wbs) a (Bv.extend_u b wbs)
+      in
+      List.for_all
+        (fun op -> agree op ta tb a b)
+        [
+          Expr.Add; Expr.Sub; Expr.Mul; Expr.Div; Expr.Rem; Expr.Lt; Expr.Leq; Expr.Gt;
+          Expr.Geq; Expr.Eq; Expr.Neq; Expr.And; Expr.Or; Expr.Xor; Expr.Cat;
+        ]
+      && shifted Expr.Dshl && shifted Expr.Dshr)
+
+let int_unop_matches_bv =
+  QCheck.Test.make ~count:400 ~name:"Eval.Int unop/intop/bits match Eval at boundary widths"
+    arb_boundary_case
+    (fun (wa, _wb, signed, seeds) ->
+      let a = bv_of_seeds seeds wa in
+      let ta = if signed then Ty.SInt wa else Ty.UInt wa in
+      let pat = Bv.to_int_trunc a in
+      let wr_un op =
+        match op with
+        | Expr.Not | Expr.AsUInt | Expr.AsSInt -> wa
+        | Expr.Andr | Expr.Orr | Expr.Xorr -> 1
+        | Expr.Neg -> wa + 1
+        | Expr.Cvt -> if signed then wa else wa + 1
+      in
+      let agree_un op =
+        (not (Eval.Int.fits wa && Eval.Int.fits (wr_un op)))
+        || Bv.to_int_trunc (Eval.unop op ~ta a) = Eval.Int.unop op ~ta pat
+      in
+      let wr_int op n =
+        match op with
+        | Expr.Pad -> max wa n
+        | Expr.Shl -> wa + n
+        | Expr.Shr -> max 1 (wa - n)
+        | Expr.Head -> n
+        | Expr.Tail -> wa - n
+      in
+      let agree_int op n =
+        (not (Eval.Int.fits wa && Eval.Int.fits (wr_int op n)))
+        || Bv.to_int_trunc (Eval.intop op n ~ta a) = Eval.Int.intop op n ~ta pat
+      in
+      let n_small = List.hd seeds mod 5 in
+      let n_ht = 1 + (List.hd seeds mod max 1 (wa - 1)) in
+      List.for_all agree_un
+        [
+          Expr.Not; Expr.Andr; Expr.Orr; Expr.Xorr; Expr.Neg; Expr.Cvt; Expr.AsUInt;
+          Expr.AsSInt;
+        ]
+      && agree_int Expr.Pad (1 + (n_small * 16))
+      && agree_int Expr.Shl n_small
+      && agree_int Expr.Shr n_small
+      && agree_int Expr.Shr (wa + 3)
+      && agree_int Expr.Head n_ht
+      && agree_int Expr.Tail n_ht
+      &&
+      let lo = List.hd seeds mod wa in
+      let hi = lo + (List.nth seeds 1 mod (wa - lo)) in
+      (not (Eval.Int.fits wa))
+      || Bv.to_int_trunc (Eval.bits ~hi ~lo a) = Eval.Int.bits ~hi ~lo pat)
+
 (* --- random circuits, differential across backends ---------------------- *)
 
 (* Build a random low-form-ish circuit from random expressions over a few
@@ -409,6 +513,8 @@ let lower_whens_vs_oracle =
 let tests =
   [
     QCheck_alcotest.to_alcotest lower_whens_vs_oracle;
+    QCheck_alcotest.to_alcotest int_binop_matches_bv;
+    QCheck_alcotest.to_alcotest int_unop_matches_bv;
     QCheck_alcotest.to_alcotest fifo_model_test;
     QCheck_alcotest.to_alcotest serv_model_test;
     QCheck_alcotest.to_alcotest memsys_model_test;

@@ -1,6 +1,9 @@
-(** Cross-backend differential tests: all three software simulators must
-    agree on every peeked output and every cover count under randomized
-    stimulus, for several designs. Plus VCD and replay round-trips. *)
+(** Cross-backend differential tests: every software simulator (interpreter,
+    word-level engine plain and activity-driven, reference Bv tape plain and
+    activity-driven) must agree on every peeked output, every cover count
+    and every stop cycle under randomized stimulus, for several designs.
+    Plus VCD and replay round-trips, the builtin-line audit and the
+    word-level engine's zero-allocation guarantee. *)
 
 module Bv = Sic_bv.Bv
 module Counts = Sic_coverage.Counts
@@ -27,8 +30,12 @@ let random_drive (b : Backend.t) ~seed ~cycles =
         Buffer.add_char observations ' ';
         ignore n)
       outputs;
+    (* stop behaviour is part of the observation: the first cycle at which
+       [finished] flips must match across backends *)
+    Buffer.add_char observations (if b.Backend.finished () then '!' else '.');
     b.Backend.step 1
   done;
+  Alcotest.(check int) "cycles () counts the steps taken" (cycles + 1) (b.Backend.cycles ());
   (Buffer.contents observations, b.Backend.counts ())
 
 let designs_for_diff () =
@@ -267,6 +274,62 @@ let test_printf_statement () =
             "x=200 hex=c8 pct=% x=200 hex=c8 pct=% " (Buffer.contents buf)))
     backends
 
+let test_builtin_line_coverage () =
+  (* the built-in mode must behave exactly like running the line-coverage
+     pass externally (the §6/Fig. 8 story): same [l_*] counter names, same
+     counts — and the internal instrumentation db is exposed, not dropped *)
+  let sim = Compiled.build ~builtin_line:true (gcd_circuit ()) in
+  let db =
+    match Compiled.line_db sim with
+    | Some db -> db
+    | None -> Alcotest.fail "builtin_line must expose its instrumentation db"
+  in
+  Alcotest.(check bool) "db has branches" true (List.length db > 0);
+  let b = Compiled.to_backend ~name:"compiled-builtin" sim in
+  let obs_b, counts_builtin = random_drive b ~seed:99 ~cycles:150 in
+  let c2, _ = Sic_coverage.Line_coverage.instrument (gcd_circuit ()) in
+  let b2 = Compiled.create (lower c2) in
+  let obs_p, counts_pass = random_drive b2 ~seed:99 ~cycles:150 in
+  Alcotest.(check string) "builtin outputs == pass-based outputs" obs_p obs_b;
+  Alcotest.(check bool) "builtin counts == pass-based counts" true
+    (Counts.equal counts_builtin counts_pass);
+  (* counters keep the [l_] prefix — there is no separate [bl_] namespace *)
+  List.iter
+    (fun (n, _) ->
+      Alcotest.(check bool) (n ^ " has l_ prefix") true
+        (String.length n > 2 && String.sub n 0 2 = "l_"))
+    (Counts.to_sorted_list counts_builtin);
+  (* without the flag there is no db *)
+  Alcotest.(check bool) "no db without builtin_line" true
+    (Compiled.line_db (Compiled.build (lower (gcd_circuit ()))) = None)
+
+let test_zero_allocation_per_cycle () =
+  (* the word-level engine's headline property: on a design whose signals
+     all fit a machine word, steady-state stepping performs no heap
+     allocation. The small slack absorbs Gc.minor_words' own float boxing
+     and any one-off lazy initialization — a single word leaked per cycle
+     would cost 10_000. *)
+  List.iter
+    (fun (name, create) ->
+      List.iter
+        (fun (dname, c) ->
+          let b = create (lower c) in
+          Backend.reset_sequence b;
+          if List.mem_assoc "en" (Backend.data_inputs b) then
+            b.Backend.poke "en" (Bv.one 1);
+          b.Backend.step 100 (* warm-up: first full tape run *);
+          let before = Gc.minor_words () in
+          b.Backend.step 10_000;
+          let words = Gc.minor_words () -. before in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: %.0f minor words over 10k cycles" name dname words)
+            true (words < 256.))
+        [
+          ("counter", Sic_designs.Counter.circuit ~width:4 ~limit:15 ());
+          ("gcd", gcd_circuit ());
+        ])
+    [ ("compiled", fun c -> Compiled.create c); ("essent", Essent.create) ]
+
 let tests =
   [
     Alcotest.test_case "printf statement" `Quick test_printf_statement;
@@ -279,4 +342,7 @@ let tests =
     Alcotest.test_case "combinational loop detection" `Quick test_combinational_loop_detected;
     Alcotest.test_case "stop statement" `Quick test_stop_statement;
     Alcotest.test_case "multi-writer memory semantics" `Quick test_multi_writer_memory;
+    Alcotest.test_case "builtin line coverage audit" `Quick test_builtin_line_coverage;
+    Alcotest.test_case "zero allocation per cycle (word-level path)" `Quick
+      test_zero_allocation_per_cycle;
   ]
