@@ -1,0 +1,138 @@
+(** [bench serve]: throughput and tail latency of the coverage service,
+    written to BENCH_serve.json for CI tracking.
+
+    Three paths matter operationally, and the ETag cache is the whole
+    point of the design (DESIGN.md "The coverage service"):
+
+    - [POST /runs] ingest rate — the distributed-campaign write path
+      (every request re-reads the manifest under the advisory lock and
+      rewrites the aggregate);
+    - cached [GET /report] — the hot read path: manifest stat + memory;
+      also its [If-None-Match]/304 variant, which skips the body;
+    - uncached [GET /report] — cache flushed before every request, so
+      each one re-reads every counts file and re-renders.
+
+    All requests ride one keep-alive connection from the in-module
+    client against an in-process server on an ephemeral port. Latencies
+    are per-request wall times into an {!Sic_obs.Obs.Histogram}; we
+    report req/s, p50 and p99. SIC_BENCH_SMOKE=1 shrinks request counts
+    so CI runs in seconds; the JSON layout is identical. *)
+
+module Counts = Sic_coverage.Counts
+module Db = Sic_db.Db
+module Obs = Sic_obs.Obs
+module Serve = Sic_serve.Serve
+module Client = Serve.Client
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* a synthetic counts map big enough that rendering costs something *)
+let synthetic_counts n =
+  Counts.of_list (List.init n (fun i -> (Printf.sprintf "cover_%04d" i, (i * 7) mod 50)))
+
+type result = { rname : string; requests : int; req_per_s : float; p50_us : float; p99_us : float }
+
+let bench_requests name n (f : int -> unit) : result =
+  let h = Obs.Histogram.create () in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    let r0 = Unix.gettimeofday () in
+    f i;
+    Obs.Histogram.add h ((Unix.gettimeofday () -. r0) *. 1e6)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let r =
+    {
+      rname = name;
+      requests = n;
+      req_per_s = (if dt > 0. then float_of_int n /. dt else nan);
+      p50_us = Obs.Histogram.percentile h 50.;
+      p99_us = Obs.Histogram.percentile h 99.;
+    }
+  in
+  Timing.row "%-24s %8d reqs %10.0f req/s %9.0f us p50 %9.0f us p99\n" r.rname r.requests
+    r.req_per_s r.p50_us r.p99_us;
+  r
+
+let expect status (resp : Client.response) =
+  if resp.Client.status <> status then
+    failwith
+      (Printf.sprintf "serve bench: expected %d, got %d: %s" status resp.Client.status
+         resp.Client.body)
+
+let run () =
+  let smoke = Sys.getenv_opt "SIC_BENCH_SMOKE" <> None in
+  let points = if smoke then 50 else 500 in
+  let n_post = if smoke then 10 else 200 in
+  let n_cached = if smoke then 50 else 2000 in
+  let n_uncached = if smoke then 10 else 100 in
+  Timing.header
+    (Printf.sprintf "serve: HTTP coverage service (%d-point runs%s)" points
+       (if smoke then ", smoke" else ""));
+  let db_dir = Printf.sprintf "serve_bench_db_%d" (Unix.getpid ()) in
+  rm_rf db_dir;
+  ignore (Db.init db_dir);
+  let t = Serve.start ~port:0 ~threads:4 ~db_dir () in
+  let results =
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.stop t;
+        rm_rf db_dir)
+      (fun () ->
+        let counts = synthetic_counts points in
+        let body = Counts.to_string counts in
+        let c = Client.connect ~host:"127.0.0.1" ~port:(Serve.port t) in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            let ingest =
+              bench_requests "POST /runs" n_post (fun i ->
+                  expect 201
+                    (Client.request c ~body ~meth:"POST"
+                       ~target:
+                         (Printf.sprintf
+                            "/runs?design=bench&backend=bench&workload=bench&seed=%d&cycles=1"
+                            i)
+                       ()))
+            in
+            let get ?headers target = Client.request c ?headers ~meth:"GET" ~target () in
+            (* warm the cache, and keep the etag for the 304 variant *)
+            let warm = get "/report" in
+            expect 200 warm;
+            let etag = Option.get (Client.header warm "etag") in
+            let cached =
+              bench_requests "GET /report (cached)" n_cached (fun _ ->
+                  expect 200 (get "/report"))
+            in
+            let conditional =
+              bench_requests "GET /report (304)" n_cached (fun _ ->
+                  expect 304 (get ~headers:[ ("if-none-match", etag) ] "/report"))
+            in
+            let uncached =
+              bench_requests "GET /report (uncached)" n_uncached (fun _ ->
+                  Serve.flush_cache t;
+                  expect 200 (get "/report"))
+            in
+            [ ingest; cached; conditional; uncached ]))
+  in
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc "{\n  \"smoke\": %b,\n  \"points\": %d,\n  \"runs_ingested\": %d,\n  \"results\": [\n"
+    smoke points n_post;
+  output_string oc
+    (String.concat ",\n"
+       (List.map
+          (fun r ->
+            Printf.sprintf
+              "    { \"name\": %S, \"requests\": %d, \"req_per_s\": %.1f, \"p50_us\": %.1f, \
+               \"p99_us\": %.1f }"
+              r.rname r.requests r.req_per_s r.p50_us r.p99_us)
+          results));
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  Timing.row "wrote BENCH_serve.json\n"

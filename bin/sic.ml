@@ -19,7 +19,10 @@
     - [campaign] run designs x backends x seeds in [-j N] forked workers
                 into a database, wave by wave with §5.3 removal between
                 ([--progress] renders a live status line; exits nonzero if
-                any job exhausts its retries)
+                any job exhausts its retries; [--push URL] forwards every
+                recorded run to a running coverage server)
+    - [serve]   the coverage service: an HTTP server over a database that
+                ingests runs ([POST /runs]) and serves merged reports
     - [tail]    pretty-print a telemetry NDJSON file, optionally following
                 it live ([-f]) while a campaign runs
 
@@ -36,6 +39,7 @@ module Counts = Sic_coverage.Counts
 module Obs = Sic_obs.Obs
 module Db = Sic_db.Db
 module Fleet = Sic_fleet.Fleet
+module Serve = Sic_serve.Serve
 open Sic_sim
 
 (* ------------------------------------------------------------------ *)
@@ -577,9 +581,12 @@ let db_add_cmd =
   in
   let run dir counts design backend workload seed cycles =
     handle_errors (fun () ->
-        let db = Db.load dir in
+        (* outer lock makes the load-add read-modify-write atomic against
+           concurrent adders (id assignment reads the manifest) *)
         let r =
-          Db.add db ~design ~backend ~workload ~seed ~cycles (Ok (Counts.load counts))
+          Db.Lock.with_lock dir (fun () ->
+              let db = Db.load dir in
+              Db.add db ~design ~backend ~workload ~seed ~cycles (Ok (Counts.load counts)))
         in
         print_endline (Db.render_run_line r))
   in
@@ -682,6 +689,42 @@ let db_cmd =
 (* Campaigns                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Forward every run the campaign just recorded (manifest index >=
+   [already]) to a running coverage server — the distributed §5.3 loop:
+   many local producers, one merged remote report. The push wire format
+   is the counts v1 text itself, so this is just re-uploading the files
+   the campaign wrote. *)
+let push_campaign_runs ~url ~db_dir ~already =
+  let db = Db.load db_dir in
+  let fresh = List.filteri (fun i _ -> i >= already) (Db.runs db) in
+  let pushed = ref 0 in
+  (try
+     List.iter
+       (fun (r : Db.run) ->
+         match r.Db.status with
+         | Db.Run_failed _ -> ()
+         | Db.Run_ok ->
+             let resp =
+               Serve.Client.push_run ~url ~design:r.Db.design ~backend:r.Db.backend
+                 ~workload:r.Db.workload ~seed:r.Db.seed ~cycles:r.Db.cycles
+                 (Db.load_counts db r)
+             in
+             if resp.Serve.Client.status <> 201 then begin
+               Printf.eprintf "push: %s/runs answered %d %s\n%s" url
+                 resp.Serve.Client.status resp.Serve.Client.reason resp.Serve.Client.body;
+               exit 1
+             end;
+             incr pushed)
+       fresh
+   with
+  | Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "push: cannot reach %s: %s\n" url (Unix.error_message e);
+      exit 1
+  | Serve.Client.Error m ->
+      Printf.eprintf "push: %s\n" m;
+      exit 1);
+  Printf.printf "pushed %d of %d new runs to %s\n" !pushed (List.length fresh) url
+
 let campaign_cmd =
   let db_arg =
     Arg.(
@@ -782,10 +825,20 @@ let campaign_cmd =
             "Render a live single-line campaign status to stderr: jobs done/failed/running, \
              covered points (union-max estimate from worker heartbeats), throughput, ETA.")
   in
+  let push_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "push" ] ~docv:"URL"
+          ~doc:
+            "After the campaign, POST every run it recorded to a running coverage server \
+             (sic serve) at $(docv), e.g. http://127.0.0.1:8080. The server's merge is \
+             idempotent (union-max), so re-pushing is safe.")
+  in
   let run db_dir jobs designs metrics backends waves seeds cycles execs bound seed threshold
-      timeout retries scan_width inject_crash timeline_every progress profile trace =
+      timeout retries scan_width inject_crash timeline_every progress push profile trace =
     handle_errors (fun () ->
-        let summary =
+        let summary, already =
           with_telemetry ~profile ~trace @@ fun () ->
         let parse_backend s =
           match Fleet.backend_of_string s with
@@ -814,6 +867,7 @@ let campaign_cmd =
             designs
         in
         let db = Db.open_or_init db_dir in
+        let already = List.length (Db.runs db) in
         let spec =
           {
             Fleet.designs;
@@ -841,9 +895,12 @@ let campaign_cmd =
         let on_event = Option.map (fun p ev -> Fleet.Progress.on_event p ev) prog in
         let summary = Fleet.run_campaign ~inject_crash ?on_event ~db spec in
         (match prog with Some p -> Fleet.Progress.finish p | None -> ());
-        summary
+        (summary, already)
         in
         print_string (Fleet.render_summary summary);
+        (match push with
+        | None -> ()
+        | Some url -> push_campaign_runs ~url ~db_dir ~already);
         (* nonzero exit so CI notices jobs that exhausted their retries;
            deferred past the telemetry finalizer, which exit would skip *)
         if summary.Fleet.failed > 0 then begin
@@ -863,7 +920,49 @@ let campaign_cmd =
       const run $ db_arg $ jobs_arg $ designs_arg $ metrics_arg $ backends_arg $ waves_arg
       $ seeds_arg $ cycles_arg $ execs_arg $ bound_arg $ seed_arg $ threshold_arg
       $ timeout_arg $ retries_arg $ scan_width_arg $ inject_crash_arg $ timeline_every_arg
-      $ progress_flag $ profile_flag $ trace_flag)
+      $ progress_flag $ push_arg $ profile_flag $ trace_flag)
+
+(* ------------------------------------------------------------------ *)
+(* The coverage server                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let db_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "db" ] ~docv:"DIR"
+          ~doc:"Coverage database directory to serve (created if missing).")
+  in
+  let host_arg =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind (0.0.0.0 for all interfaces).")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt int 8080
+      & info [ "port" ] ~docv:"P" ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let threads_arg =
+    Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N" ~doc:"Worker threads.")
+  in
+  let run db_dir host port threads profile trace =
+    handle_errors (fun () ->
+        with_telemetry ~profile ~trace @@ fun () ->
+        ignore (Db.open_or_init db_dir);
+        Serve.run ~host ~port ~threads ~db_dir ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a coverage database over HTTP: POST /runs ingests counts files from any \
+          producer on any host, GET /report[.html] serves the merged (union-max) coverage, \
+          plus /runs, /rank, /diff, /timelines, /metrics, /healthz. Stops gracefully on \
+          SIGINT/SIGTERM.")
+    Term.(const run $ db_arg $ host_arg $ port_arg $ threads_arg $ profile_flag $ trace_flag)
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry tailing                                                    *)
@@ -932,7 +1031,11 @@ let main =
        ~doc:"Simulator-independent coverage for RTL hardware languages.")
     [
       emit_cmd; lower_cmd; cover_cmd; merge_cmd; diff_cmd; bmc_cmd; fuzz_cmd; scan_cmd;
-      stats_cmd; profile_cmd; db_cmd; campaign_cmd; tail_cmd;
+      stats_cmd; profile_cmd; db_cmd; campaign_cmd; serve_cmd; tail_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* process-wide: a vanished peer (fleet result pipe, serve/push socket)
+     must surface as EPIPE on the write, never as SIGPIPE death *)
+  Serve.ignore_sigpipe ();
+  exit (Cmd.eval main)

@@ -27,3 +27,9 @@ rm -rf ci_campaign.db
 # produce identical coverage counts before timing. Writes BENCH_sim.json
 # (uploaded as a CI artifact) in the same layout as a full run.
 SIC_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- sim
+
+# Coverage-service smoke: in-process server on an ephemeral port — ingest
+# rate plus cached / 304 / uncached GET /report latency. Writes
+# BENCH_serve.json (uploaded as a CI artifact) in the same layout as a
+# full run. (The sic serve CLI itself is smoked by test/cli/check_serve.)
+SIC_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- serve

@@ -1,0 +1,39 @@
+(** HTML report generation — the "interactive HTML reports" the paper
+    names as the natural report-generator extension (§4, Table 1
+    discussion). One self-contained page per run (or per database):
+    summary tiles, a line coverage table with per-source-file annotated
+    listings, sections for whichever other metrics were collected, and an
+    optional coverage-convergence chart. Entirely simulator-independent:
+    the input is the same metadata + counts map every backend produces. *)
+
+val esc : string -> string
+(** HTML-escape ampersands, angle brackets and quotes. *)
+
+val render :
+  ?title:string ->
+  ?source_root:string ->
+  ?line:Line_coverage.db ->
+  ?toggle:Toggle_coverage.db ->
+  ?fsm:Fsm_coverage.db ->
+  ?rv:Ready_valid_coverage.db ->
+  ?timelines:(string * Timeline.t) list ->
+  Counts.t ->
+  string
+(** The full page as one self-contained string (inline CSS, no external
+    assets). Each metric section appears only when its database is
+    passed; [source_root] anchors relative source paths for the annotated
+    listings; [timelines] adds a convergence chart (label -> curve, e.g.
+    one per campaign run). *)
+
+val save :
+  string ->
+  ?title:string ->
+  ?source_root:string ->
+  ?line:Line_coverage.db ->
+  ?toggle:Toggle_coverage.db ->
+  ?fsm:Fsm_coverage.db ->
+  ?rv:Ready_valid_coverage.db ->
+  ?timelines:(string * Timeline.t) list ->
+  Counts.t ->
+  unit
+(** [save path ... counts] writes {!render}'s output to [path]. *)

@@ -68,6 +68,77 @@ let dir t = t.dir
 
 let runs t = List.rev t.runs_rev
 
+(* ------------------------------------------------------------------ *)
+(* The advisory lock                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Cross-process mutual exclusion for manifest/aggregate updates. The
+    lock is a [lock] file in the database directory created with
+    [O_CREAT | O_EXCL] (atomic on every POSIX filesystem) and holding the
+    owner's pid; a lock whose owner is no longer alive is stale and taken
+    over, so a killed campaign never wedges the database. Reentrant
+    within a process (nested {!with_lock} calls on the same directory are
+    free), but {e not} thread-safe on its own — a threaded writer (the
+    coverage server) must serialize its own writers first. *)
+module Lock = struct
+  let lock_path dir = Filename.concat dir "lock"
+
+  (* directories this process already holds; makes with_lock reentrant *)
+  let held : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+  let owner_alive pid =
+    match Unix.kill pid 0 with
+    | () -> true
+    | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+    | exception Unix.Unix_error _ -> true (* EPERM etc.: someone owns it *)
+
+  (* one attempt; on a stale lock, unlink it and report failure so the
+     retry loop races for the fresh O_EXCL create like everyone else *)
+  let try_acquire path =
+    match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644 with
+    | fd ->
+        let pid = string_of_int (Unix.getpid ()) ^ "\n" in
+        let b = Bytes.of_string pid in
+        ignore (Unix.write fd b 0 (Bytes.length b));
+        Unix.close fd;
+        true
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
+        (match int_of_string_opt (String.trim (try read_file path with _ -> "")) with
+        | Some pid when not (owner_alive pid) -> ( try Unix.unlink path with _ -> ())
+        | Some _ | None -> ());
+        false
+
+  let with_lock ?(timeout_s = 10.) dir f =
+    if Hashtbl.mem held dir then f ()
+    else begin
+      let path = lock_path dir in
+      let deadline = Unix.gettimeofday () +. timeout_s in
+      let rec acquire () =
+        if try_acquire path then ()
+        else if Unix.gettimeofday () > deadline then
+          error "timed out after %.0fs waiting for %s (held by pid %s)" timeout_s path
+            (String.trim (try read_file path with _ -> "?"))
+        else begin
+          Unix.sleepf 0.01;
+          acquire ()
+        end
+      in
+      acquire ();
+      Hashtbl.replace held dir ();
+      Fun.protect
+        ~finally:(fun () ->
+          Hashtbl.remove held dir;
+          try Unix.unlink path with _ -> ())
+        f
+    end
+end
+
 let find t id = List.find_opt (fun r -> r.id = id) t.runs_rev
 
 let ok_runs t = List.filter (fun r -> r.status = Run_ok) (runs t)
@@ -161,12 +232,6 @@ let init dir =
   append_line dir (header_json ());
   { dir; runs_rev = [] }
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
 let load dir =
   if not (Sys.file_exists (manifest_path dir)) then
     error "%s is not a coverage database (no manifest.ndjson); run `sic db init` first" dir;
@@ -216,6 +281,7 @@ let load_timeline t (run : run) : Timeline.t option =
 
 let recompute_aggregate t : Counts.t =
   Obs.span "db.aggregate.recompute" @@ fun () ->
+  Lock.with_lock t.dir @@ fun () ->
   let agg = Counts.merge (List.map (load_counts t) (ok_runs t)) in
   Counts.save (aggregate_path t.dir) agg;
   agg
@@ -229,11 +295,31 @@ let aggregate t : Counts.t =
     instrumentation only carries still-uncovered points. *)
 let removal_counts = aggregate
 
+(** The idempotent merge: pointwise maximum over every successful run.
+    Unlike the cached sum {!aggregate} this is safe under at-least-once
+    delivery (a network producer that retries a push reports the same run
+    twice), which is why the coverage server's [/report] serves this view.
+    Never cached — callers that need it hot (the server) key their own
+    cache on {!manifest_stamp}. *)
+let union_counts t : Counts.t =
+  Counts.union_max (List.map (load_counts t) (ok_runs t))
+
+(** A cheap, monotonically increasing version of the database as it is on
+    disk {e right now}: the manifest's byte length. The manifest is
+    append-only, so any add — by this process or any other — grows it;
+    equal stamps imply an identical run set. This is the coverage
+    server's ETag key. *)
+let manifest_stamp t : int =
+  match Unix.stat (manifest_path t.dir) with
+  | st -> st.Unix.st_size
+  | exception Unix.Unix_error _ -> 0
+
 let next_id t = Printf.sprintf "r%04d" (List.length t.runs_rev + 1)
 
 let add t ~design ?(circuit_hash = "-") ~backend ~workload ~seed ~cycles ?(wave = 0)
     ?(wall_us = 0.) ?timeline (outcome : (Counts.t, string) result) : run =
   Obs.span "db.add" @@ fun () ->
+  Lock.with_lock t.dir @@ fun () ->
   let id = next_id t in
   let status, points_total, points_covered =
     match outcome with

@@ -34,6 +34,22 @@ type run = {
 
 type t
 
+(** Cross-process mutual exclusion over a database directory, so
+    concurrent writers ([sic db add], overlapping campaigns, the coverage
+    server) cannot interleave manifest appends or aggregate rewrites. The
+    lock is an advisory [lock] file created with [O_CREAT | O_EXCL],
+    holding the owner's pid; a lock whose owner is dead is stale and
+    taken over. Reentrant within a process (so {!add}, which locks
+    internally, composes with an outer [with_lock] around a load-add
+    read-modify-write); {b not} thread-safe by itself — a threaded writer
+    must additionally serialize its own threads. *)
+module Lock : sig
+  val with_lock : ?timeout_s:float -> string -> (unit -> 'a) -> 'a
+  (** [with_lock dir f] runs [f] holding [dir]'s lock, releasing it even
+      if [f] raises. Raises {!Db_error} after [timeout_s] (default 10s)
+      of another live process holding it. *)
+end
+
 val init : string -> t
 (** Create the directory (if needed) and an empty manifest. Raises
     {!Db_error} if one already exists there. *)
@@ -80,6 +96,18 @@ val aggregate : t -> Counts.t
 (** The merged counts of every successful run (cached; recomputed when the
     cache file is missing). *)
 
+val union_counts : t -> Counts.t
+(** {!Sic_coverage.Counts.union_max} over every successful run — the
+    idempotent merge, safe under at-least-once delivery (a retried push
+    reporting the same run twice). What the coverage server's [/report]
+    serves. Computed fresh on every call. *)
+
+val manifest_stamp : t -> int
+(** The on-disk manifest's current byte length — a cheap, monotonically
+    increasing database version that changes on every {!add} by any
+    process (the manifest is append-only). The coverage server keys its
+    ETags and response cache on it. *)
+
 val recompute_aggregate : t -> Counts.t
 (** Force a full re-merge and rewrite the cache. *)
 
@@ -96,6 +124,9 @@ val rank : ?threshold:int -> t -> run list
     coverage (at [threshold], default 1) equals the whole database's —
     test-suite minimization over the run store. Deterministic; runs are
     returned in pick order (largest marginal gain first). *)
+
+val json_of_run : run -> Sic_obs.Json.t
+(** The run's manifest record (the coverage server's [/runs] rows). *)
 
 (** {1 Text renderers (the [sic db] subcommands)} *)
 

@@ -274,6 +274,10 @@ let decode (payload : string) : (decoded, string) result =
                 | Some s -> fail "unknown worker status %s" s
                 | None -> fail "worker header lacks a status")))
 
+(* sic ignores SIGPIPE process-wide (bin/sic.ml), so a write after the
+   parent closed the result pipe raises Unix_error (EPIPE) here rather
+   than killing the worker; child_main's catch-all absorbs it and the
+   parent records the job from whatever arrived (usually a retry). *)
 let write_all fd s =
   let b = Bytes.of_string s in
   let n = Bytes.length b in

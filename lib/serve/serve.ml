@@ -1,0 +1,951 @@
+(** The coverage service: a dependency-free HTTP/1.1 server over a
+    {!Sic_db.Db} database directory, plus the matching in-process client.
+
+    The paper's common counts format means every producer — any simulator,
+    the fuzzer, the BMC engine, an FPGA host, on any machine — reports the
+    same [cover point -> count] map, and merging is trivial (§5.3). This
+    module closes the distribution gap: remote producers [POST /runs]
+    their counts files to one server, and everyone reads one merged
+    [GET /report]. The wire format {e is} the on-disk format (the counts
+    v1 interchange text), so a push is literally an upload of the file a
+    local run would have written.
+
+    Design constraints, in the repo's no-dependency style:
+
+    - hand-rolled HTTP/1.1 over [Unix] sockets: request parser with
+      hard limits on request line, header and body sizes, keep-alive
+      responses with explicit [Content-Length] (never chunked);
+    - a bounded accept queue feeding a fixed pool of worker threads —
+      when the queue is full the server answers [503] immediately instead
+      of accumulating unbounded connections;
+    - responses that read the database ([/report], [/rank], ...) are
+      cached and tagged with an ETag keyed on {!Db.manifest_stamp}, so
+      hot report traffic on an unchanged database re-reads no counts
+      files and conditional requests ([If-None-Match]) are answered
+      [304] without a body;
+    - writes go through {!Db.Lock}, so the server coexists with
+      concurrent [sic db add] / [sic campaign] writers on the same
+      directory;
+    - [SIGPIPE] is ignored process-wide and [EPIPE]/[ECONNRESET] are
+      per-connection errors: a client vanishing mid-request never kills
+      the server;
+    - graceful shutdown: SIGINT/SIGTERM (or {!stop}) stop the accept
+      loop, drain queued connections, and join every worker. *)
+
+module Counts = Sic_coverage.Counts
+module Db = Sic_db.Db
+module Json = Sic_obs.Json
+module Obs = Sic_obs.Obs
+
+(** Ignore SIGPIPE for the whole process so a write to a vanished peer
+    (socket or pipe) raises [Unix_error (EPIPE, _, _)] — a per-connection
+    condition the caller handles — instead of killing the process. Called
+    by {!start}; [sic] also calls it at startup for the fleet pipes. *)
+let ignore_sigpipe () =
+  if Sys.unix then Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+(* ------------------------------------------------------------------ *)
+(* HTTP/1.1, the small subset we speak                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Http = struct
+  exception Bad_request of string
+  exception Too_large of string (* request line or headers: 431 *)
+  exception Payload_too_large of string (* body: 413 *)
+
+  let max_request_line = 8192
+  let max_header_line = 8192
+  let max_headers = 100
+  let max_body = 16 * 1024 * 1024
+
+  type request = {
+    meth : string;
+    target : string;  (** raw request target, e.g. ["/diff?a=r0001&b=r0002"] *)
+    path : string;  (** decoded path component *)
+    query : (string * string) list;  (** decoded query parameters *)
+    version : string;  (** ["HTTP/1.1"] or ["HTTP/1.0"] *)
+    headers : (string * string) list;  (** names lowercased *)
+    body : string;
+  }
+
+  (** A buffered byte reader over any [read]-like function, so the parser
+      is testable on strings and runs unchanged over sockets. *)
+  module Reader = struct
+    type t = {
+      fill : bytes -> int -> int -> int;
+      buf : Bytes.t;
+      mutable pos : int;
+      mutable len : int;
+    }
+
+    let create fill = { fill; buf = Bytes.create 8192; pos = 0; len = 0 }
+    let of_fd fd = create (fun b off len -> Unix.read fd b off len)
+
+    let of_string s =
+      let consumed = ref 0 in
+      create (fun b off len ->
+          let n = min len (String.length s - !consumed) in
+          Bytes.blit_string s !consumed b off n;
+          consumed := !consumed + n;
+          n)
+
+    let buffered r = r.len - r.pos
+
+    (* false at EOF *)
+    let refill r =
+      if r.pos < r.len then true
+      else begin
+        r.pos <- 0;
+        r.len <- r.fill r.buf 0 (Bytes.length r.buf);
+        r.len > 0
+      end
+
+    let byte r =
+      if refill r then begin
+        let c = Bytes.get r.buf r.pos in
+        r.pos <- r.pos + 1;
+        Some c
+      end
+      else None
+  end
+
+  (* one CRLF- (or bare-LF-) terminated line, without the terminator.
+     [None] only on EOF before the first byte — a peer that closed
+     between requests; EOF mid-line is a malformed request. *)
+  let read_line ?(limit = max_header_line) (r : Reader.t) : string option =
+    let b = Buffer.create 128 in
+    let rec go () =
+      match Reader.byte r with
+      | None ->
+          if Buffer.length b = 0 then None
+          else raise (Bad_request "unexpected end of input inside a line")
+      | Some '\n' ->
+          let s = Buffer.contents b in
+          let n = String.length s in
+          Some (if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s)
+      | Some c ->
+          if Buffer.length b >= limit then raise (Too_large "line too long");
+          Buffer.add_char b c;
+          go ()
+    in
+    go ()
+
+  let read_exact (r : Reader.t) n : string =
+    let out = Bytes.create n in
+    let got = ref 0 in
+    while !got < n do
+      if not (Reader.refill r) then
+        raise
+          (Bad_request (Printf.sprintf "truncated body (%d of %d bytes)" !got n));
+      let take = min (r.Reader.len - r.Reader.pos) (n - !got) in
+      Bytes.blit r.Reader.buf r.Reader.pos out !got take;
+      r.Reader.pos <- r.Reader.pos + take;
+      got := !got + take
+    done;
+    Bytes.to_string out
+
+  let hex_val c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+
+  let percent_decode s =
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      (match s.[!i] with
+      | '%' when !i + 2 < n -> (
+          match (hex_val s.[!i + 1], hex_val s.[!i + 2]) with
+          | Some h, Some l ->
+              Buffer.add_char b (Char.chr ((h * 16) + l));
+              i := !i + 2
+          | _ -> Buffer.add_char b '%')
+      | '+' -> Buffer.add_char b ' '
+      | c -> Buffer.add_char b c);
+      incr i
+    done;
+    Buffer.contents b
+
+  let percent_encode s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '-' | '_' | '.' | '~' ->
+            Buffer.add_char b c
+        | c -> Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c)))
+      s;
+    Buffer.contents b
+
+  let parse_target target =
+    match String.index_opt target '?' with
+    | None -> (percent_decode target, [])
+    | Some i ->
+        let path = String.sub target 0 i in
+        let q = String.sub target (i + 1) (String.length target - i - 1) in
+        let params =
+          String.split_on_char '&' q
+          |> List.filter (fun kv -> kv <> "")
+          |> List.map (fun kv ->
+                 match String.index_opt kv '=' with
+                 | None -> (percent_decode kv, "")
+                 | Some j ->
+                     ( percent_decode (String.sub kv 0 j),
+                       percent_decode (String.sub kv (j + 1) (String.length kv - j - 1)) ))
+        in
+        (percent_decode path, params)
+
+  let is_token s =
+    s <> ""
+    && String.for_all
+         (function 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '-' | '_' -> true | _ -> false)
+         s
+
+  let read_headers (r : Reader.t) : (string * string) list =
+    let rec go acc n =
+      if n > max_headers then raise (Too_large "too many headers");
+      match read_line r with
+      | None -> raise (Bad_request "unexpected end of input inside headers")
+      | Some "" -> List.rev acc
+      | Some line -> (
+          match String.index_opt line ':' with
+          | None | Some 0 -> raise (Bad_request ("malformed header line: " ^ line))
+          | Some i ->
+              let name = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+              let value =
+                String.trim (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              go ((name, value) :: acc) (n + 1))
+    in
+    go [] 0
+
+  (** Parse one request off the reader. [None] on a clean EOF before the
+      first byte (the peer closed an idle connection); raises
+      {!Bad_request} / {!Too_large} / {!Payload_too_large} otherwise. *)
+  let parse_request (r : Reader.t) : request option =
+    match read_line ~limit:max_request_line r with
+    | None -> None
+    | Some line -> (
+        match String.split_on_char ' ' line with
+        | [ meth; target; version ]
+          when is_token meth
+               && target <> ""
+               && (version = "HTTP/1.1" || version = "HTTP/1.0") ->
+            let headers = read_headers r in
+            let body =
+              match List.assoc_opt "content-length" headers with
+              | None -> ""
+              | Some v -> (
+                  match int_of_string_opt (String.trim v) with
+                  | None -> raise (Bad_request ("bad content-length: " ^ v))
+                  | Some n when n < 0 -> raise (Bad_request ("bad content-length: " ^ v))
+                  | Some n when n > max_body ->
+                      raise
+                        (Payload_too_large
+                           (Printf.sprintf "body of %d bytes exceeds the %d-byte limit" n
+                              max_body))
+                  | Some n -> read_exact r n)
+            in
+            let path, query = parse_target target in
+            Some { meth; target; path; query; version; headers; body }
+        | _ -> raise (Bad_request ("malformed request line: " ^ line)))
+
+  let header (req : request) name = List.assoc_opt (String.lowercase_ascii name) req.headers
+
+  let status_text = function
+    | 200 -> "OK"
+    | 201 -> "Created"
+    | 304 -> "Not Modified"
+    | 400 -> "Bad Request"
+    | 404 -> "Not Found"
+    | 405 -> "Method Not Allowed"
+    | 413 -> "Content Too Large"
+    | 431 -> "Request Header Fields Too Large"
+    | 500 -> "Internal Server Error"
+    | 503 -> "Service Unavailable"
+    | _ -> "Status"
+
+  (** Serialize one response. [304] carries headers but no body (and no
+      [Content-Length]), per RFC 9110; everything else gets an explicit
+      [Content-Length] so keep-alive needs no chunking. *)
+  let response ~status ?(content_type = "text/plain; charset=utf-8") ?(extra = [])
+      ?(keep_alive = true) (body : string) : string =
+    let b = Buffer.create (String.length body + 256) in
+    Buffer.add_string b (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
+    Buffer.add_string b
+      (if keep_alive then "connection: keep-alive\r\n" else "connection: close\r\n");
+    List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v)) extra;
+    if status <> 304 then begin
+      Buffer.add_string b (Printf.sprintf "content-type: %s\r\n" content_type);
+      Buffer.add_string b (Printf.sprintf "content-length: %d\r\n" (String.length body))
+    end;
+    Buffer.add_string b "\r\n";
+    if status <> 304 then Buffer.add_string b body;
+    Buffer.contents b
+end
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type metrics = {
+  mm : Mutex.t;
+  requests : (string, int) Hashtbl.t;  (** "GET /report" -> count *)
+  statuses : (int, int) Hashtbl.t;
+  latency : Obs.Histogram.t;  (** per-request wall time, microseconds *)
+  mutable connections : int;
+  mutable ingested : int;  (** runs accepted by POST /runs *)
+  mutable epipe : int;  (** peers that vanished mid-response *)
+  mutable dropped_busy : int;  (** connections refused with 503 *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+type t = {
+  db_dir : string;
+  host : string;
+  port : int;
+  listen_fd : Unix.file_descr;
+  stop_rd : Unix.file_descr;
+  stop_wr : Unix.file_descr;
+  queue : Unix.file_descr Queue.t;
+  queue_limit : int;
+  qm : Mutex.t;
+  qc : Condition.t;
+  mutable stopping : bool;
+  mutable workers : Thread.t list;
+  mutable acceptor : Thread.t option;
+  db_m : Mutex.t;  (** serializes DB access and the response cache *)
+  mutable db : Db.t;
+  cache : (string, string * string * string) Hashtbl.t;
+      (** request target -> (etag, content type, body) *)
+  metrics : metrics;
+}
+
+let port t = t.port
+
+let flush_cache t =
+  Mutex.protect t.db_m (fun () -> Hashtbl.reset t.cache)
+
+(* a single recorder lock: Obs's internal lists are not thread-safe *)
+let obs_m = Mutex.create ()
+
+let write_all fd (s : string) =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write fd b !off (n - !off) with
+    | written -> off := !off + written
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Handlers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type reply = {
+  status : int;
+  content_type : string;
+  extra : (string * string) list;
+  body : string;
+}
+
+let text ?(extra = []) status body =
+  { status; content_type = "text/plain; charset=utf-8"; extra; body }
+
+let json ?(extra = []) status (j : Json.t) =
+  { status; content_type = "application/json"; extra; body = Json.to_string j ^ "\n" }
+
+let json_of_string_list l = Json.List (List.map (fun s -> Json.String s) l)
+
+let report_json (db : Db.t) : string =
+  let union = Db.union_counts db in
+  let ok = List.length (Db.ok_runs db) and all = List.length (Db.runs db) in
+  Json.to_string
+    (Json.Obj
+       [
+         ("runs", Json.Int all);
+         ("ok", Json.Int ok);
+         ("failed", Json.Int (all - ok));
+         ("points_total", Json.Int (Counts.total_points union));
+         ("points_covered", Json.Int (Counts.covered_points union));
+         ( "counts",
+           Json.Obj (List.map (fun (n, c) -> (n, Json.Int c)) (Counts.to_sorted_list union))
+         );
+       ])
+  ^ "\n"
+
+let report_html (db : Db.t) : string =
+  let timelines =
+    List.filter_map
+      (fun (r : Db.run) ->
+        Option.map
+          (fun tl -> (Printf.sprintf "%s %s/%s" r.Db.id r.Db.design r.Db.backend, tl))
+          (Db.load_timeline db r))
+      (Db.ok_runs db)
+  in
+  Sic_coverage.Html_report.render
+    ~title:("coverage database " ^ Db.dir db)
+    ~timelines (Db.union_counts db)
+
+let runs_json (db : Db.t) : string =
+  Json.to_string (Json.List (List.map Db.json_of_run (Db.runs db))) ^ "\n"
+
+let diff_json (req : Http.request) (db : Db.t) : string =
+  let param k =
+    match List.assoc_opt k req.Http.query with
+    | Some v when v <> "" -> v
+    | _ ->
+        raise
+          (Http.Bad_request
+             (Printf.sprintf "missing query parameter %s (GET /diff?a=RUN&b=RUN)" k))
+  in
+  let a = param "a" and b = param "b" in
+  let d = Db.diff db ~before:a ~after:b in
+  Json.to_string
+    (Json.Obj
+       [
+         ("before", Json.String a);
+         ("after", Json.String b);
+         ("newly_covered", json_of_string_list d.Counts.newly_covered);
+         ("lost", json_of_string_list d.Counts.lost);
+         ("only_before", json_of_string_list d.Counts.only_before);
+         ("only_after", json_of_string_list d.Counts.only_after);
+       ])
+  ^ "\n"
+
+let index_body =
+  String.concat "\n"
+    [
+      "sic serve: simulator-independent coverage over HTTP";
+      "";
+      "  POST /runs?design=&backend=&workload=&seed=&cycles=   ingest one counts file (v1 text)";
+      "  GET  /report        merged coverage (union-max over runs) as JSON";
+      "  GET  /report.html   merged coverage as a self-contained HTML page";
+      "  GET  /runs          every recorded run, as JSON";
+      "  GET  /rank          greedy set-cover run ranking (text)";
+      "  GET  /timelines     per-run convergence sparklines (text)";
+      "  GET  /diff?a=&b=    coverage diff between two runs, as JSON";
+      "  GET  /metrics       server request counters and latency, as JSON";
+      "  GET  /healthz       liveness probe";
+      "";
+      "GET responses that read the database carry an ETag; send If-None-Match";
+      "to get 304 while the database is unchanged.";
+      "";
+    ]
+
+(** Serve a database-reading GET through the cache. The ETag is the
+    manifest stamp, re-checked against the disk on {e every} request, so
+    external writers ([sic db add], another campaign) invalidate us
+    automatically; a hit serves bytes from memory without touching any
+    counts file. *)
+let cached t (req : Http.request) ~content_type (render : Db.t -> string) : reply =
+  let etag = Printf.sprintf "\"m%d\"" (Db.manifest_stamp t.db) in
+  let if_none_match =
+    match Http.header req "if-none-match" with
+    | Some v -> List.exists (fun e -> String.trim e = etag || String.trim e = "*")
+                  (String.split_on_char ',' v)
+    | None -> false
+  in
+  if if_none_match then { status = 304; content_type; extra = [ ("etag", etag) ]; body = "" }
+  else
+    let body =
+      Mutex.protect t.db_m (fun () ->
+          match Hashtbl.find_opt t.cache req.Http.target with
+          | Some (e, ct, body) when e = etag && ct = content_type ->
+              t.metrics.cache_hits <- t.metrics.cache_hits + 1;
+              body
+          | _ ->
+              t.metrics.cache_misses <- t.metrics.cache_misses + 1;
+              let db = Db.load t.db_dir in
+              t.db <- db;
+              let body = render db in
+              Hashtbl.replace t.cache req.Http.target (etag, content_type, body);
+              body)
+    in
+    { status = 200; content_type; extra = [ ("etag", etag) ]; body }
+
+let post_run t (req : Http.request) : reply =
+  let str k default = Option.value ~default (List.assoc_opt k req.Http.query) in
+  let int k default =
+    match List.assoc_opt k req.Http.query with
+    | None -> default
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n -> n
+        | None -> raise (Http.Bad_request (Printf.sprintf "query parameter %s is not an integer: %s" k s)))
+  in
+  let counts =
+    try Counts.of_string req.Http.body
+    with Counts.Bad_format m -> raise (Http.Bad_request ("bad counts payload: " ^ m))
+  in
+  let run =
+    Mutex.protect t.db_m (fun () ->
+        Db.Lock.with_lock t.db_dir (fun () ->
+            (* reload under the lock: another process may have appended
+               runs since we last looked, and ids are assigned in order *)
+            let db = Db.load t.db_dir in
+            let run =
+              Db.add db ~design:(str "design" "unknown")
+                ~backend:(str "backend" "external")
+                ~workload:(str "workload" "external")
+                ~seed:(int "seed" 0) ~cycles:(int "cycles" 0) (Ok counts)
+            in
+            t.db <- db;
+            Hashtbl.reset t.cache;
+            run))
+  in
+  t.metrics.ingested <- t.metrics.ingested + 1;
+  json 201 (Db.json_of_run run)
+
+let metrics_json t : reply =
+  let m = t.metrics in
+  Mutex.protect m.mm (fun () ->
+      let table to_key tbl =
+        Hashtbl.fold (fun k v acc -> (to_key k, Json.Int v) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let latency =
+        if Obs.Histogram.count m.latency = 0 then Json.Null
+        else
+          Json.Obj
+            [
+              ("count", Json.Int (Obs.Histogram.count m.latency));
+              ("mean_us", Json.Float (Obs.Histogram.mean m.latency));
+              ("p50_us", Json.Float (Obs.Histogram.percentile m.latency 50.));
+              ("p90_us", Json.Float (Obs.Histogram.percentile m.latency 90.));
+              ("p99_us", Json.Float (Obs.Histogram.percentile m.latency 99.));
+              ("max_us", Json.Float (Obs.Histogram.max_value m.latency));
+            ]
+      in
+      json 200
+        (Json.Obj
+           [
+             ("requests", Json.Obj (table Fun.id m.requests));
+             ("statuses", Json.Obj (table string_of_int m.statuses));
+             ("latency", latency);
+             ("connections", Json.Int m.connections);
+             ("ingested_runs", Json.Int m.ingested);
+             ("epipe", Json.Int m.epipe);
+             ("dropped_busy", Json.Int m.dropped_busy);
+             ("cache_hits", Json.Int m.cache_hits);
+             ("cache_misses", Json.Int m.cache_misses);
+             ("db_stamp", Json.Int (Db.manifest_stamp t.db));
+           ]))
+
+let handle t (req : Http.request) : reply =
+  match (req.Http.meth, req.Http.path) with
+  | "GET", "/healthz" -> text 200 "ok\n"
+  | "GET", "/" -> text 200 index_body
+  | "GET", "/metrics" -> metrics_json t
+  | "POST", "/runs" -> post_run t req
+  | "GET", "/runs" -> cached t req ~content_type:"application/json" runs_json
+  | "GET", "/report" -> cached t req ~content_type:"application/json" report_json
+  | "GET", "/report.html" -> cached t req ~content_type:"text/html; charset=utf-8" report_html
+  | "GET", "/rank" ->
+      cached t req ~content_type:"text/plain; charset=utf-8" (fun db -> Db.render_rank db)
+  | "GET", "/timelines" ->
+      cached t req ~content_type:"text/plain; charset=utf-8" Db.render_timelines
+  | "GET", "/diff" -> (
+      try cached t req ~content_type:"application/json" (diff_json req)
+      with Db.Db_error m -> text 404 (m ^ "\n"))
+  | ("GET" | "POST"), path -> text 404 (Printf.sprintf "no such endpoint: %s\n" path)
+  | meth, _ -> text 405 (Printf.sprintf "method %s not supported\n" meth)
+
+(** [handle] plus the 4xx/5xx mapping: parser and payload errors are the
+    client's fault, lock timeouts mean "retry later", anything else that
+    escapes is a 500 — never a dead worker. *)
+let safe_handle t (req : Http.request) : reply =
+  try handle t req with
+  | Http.Bad_request m -> text 400 (m ^ "\n")
+  | Http.Payload_too_large m -> text 413 (m ^ "\n")
+  | Db.Db_error m when String.length m >= 9 && String.sub m 0 9 = "timed out" ->
+      text 503 (m ^ "\n")
+  | Db.Db_error m -> text 500 ("database error: " ^ m ^ "\n")
+  | Counts.Bad_format m -> text 400 ("bad counts payload: " ^ m ^ "\n")
+  | e -> text 500 ("internal error: " ^ Printexc.to_string e ^ "\n")
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let record_request t (req : Http.request) ~status ~start_us =
+  let dur_us = Obs.now_us () -. start_us in
+  let m = t.metrics in
+  Mutex.protect m.mm (fun () ->
+      let key = req.Http.meth ^ " " ^ req.Http.path in
+      Hashtbl.replace m.requests key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt m.requests key));
+      Hashtbl.replace m.statuses status
+        (1 + Option.value ~default:0 (Hashtbl.find_opt m.statuses status));
+      Obs.Histogram.add m.latency dur_us);
+  if Obs.on () then
+    Mutex.protect obs_m (fun () ->
+        Obs.record_span ~name:"serve.request" ~start_us ~dur_us
+          [
+            ("method", Obs.Str req.Http.meth);
+            ("path", Obs.Str req.Http.path);
+            ("status", Obs.Int status);
+          ];
+        Obs.count "serve.requests")
+
+(* Wait until the connection has bytes to read. False = give up (peer
+   idle too long, or the server is stopping), true = the reader either
+   has buffered bytes or the socket is readable. *)
+let wait_readable t fd (r : Http.Reader.t) : bool =
+  let idle_limit = 10.0 in
+  let waited = ref 0.0 in
+  let result = ref None in
+  while !result = None do
+    if Http.Reader.buffered r > 0 then result := Some true
+    else if t.stopping then result := Some false
+    else if !waited >= idle_limit then result := Some false
+    else begin
+      match Unix.select [ fd ] [] [] 0.25 with
+      | [], _, _ -> waited := !waited +. 0.25
+      | _ :: _, _, _ -> result := Some true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    end
+  done;
+  Option.get !result
+
+let serve_connection t fd =
+  t.metrics.connections <- t.metrics.connections + 1;
+  let r = Http.Reader.of_fd fd in
+  let closing = ref false in
+  (* a worker must not hang forever on a half-sent request *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0 with Unix.Unix_error _ -> ());
+  while not !closing do
+    if not (wait_readable t fd r) then closing := true
+    else begin
+      let send s =
+        try write_all fd s
+        with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          t.metrics.epipe <- t.metrics.epipe + 1;
+          closing := true
+      in
+      match Http.parse_request r with
+      | None -> closing := true
+      | exception Http.Bad_request m ->
+          send (Http.response ~status:400 ~keep_alive:false (m ^ "\n"));
+          closing := true
+      | exception Http.Too_large m ->
+          send (Http.response ~status:431 ~keep_alive:false (m ^ "\n"));
+          closing := true
+      | exception Http.Payload_too_large m ->
+          send (Http.response ~status:413 ~keep_alive:false (m ^ "\n"));
+          closing := true
+      | exception Unix.Unix_error _ ->
+          (* peer reset / receive timeout mid-request *)
+          t.metrics.epipe <- t.metrics.epipe + 1;
+          closing := true
+      | Some req ->
+          let start_us = Obs.now_us () in
+          let reply = safe_handle t req in
+          let keep_alive =
+            (not t.stopping)
+            && (match Http.header req "connection" with
+               | Some v -> String.lowercase_ascii v <> "close"
+               | None -> req.Http.version = "HTTP/1.1")
+          in
+          send
+            (Http.response ~status:reply.status ~content_type:reply.content_type
+               ~extra:reply.extra ~keep_alive reply.body);
+          record_request t req ~status:reply.status ~start_us;
+          if not keep_alive then closing := true
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The accept loop and the worker pool                                  *)
+(* ------------------------------------------------------------------ *)
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.qm;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.qc t.qm
+    done;
+    let item = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+    Mutex.unlock t.qm;
+    match item with
+    | None -> ()
+    | Some fd ->
+        (try serve_connection t fd with _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        loop ()
+  in
+  loop ()
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.select [ t.listen_fd; t.stop_rd ] [] [] 1.0 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | readable, _, _ ->
+        if List.mem t.stop_rd readable then () (* shutdown requested *)
+        else begin
+          (if List.mem t.listen_fd readable then
+             match Unix.accept t.listen_fd with
+             | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
+             | fd, _ ->
+                 Mutex.lock t.qm;
+                 if Queue.length t.queue >= t.queue_limit then begin
+                   Mutex.unlock t.qm;
+                   t.metrics.dropped_busy <- t.metrics.dropped_busy + 1;
+                   (try
+                      write_all fd
+                        (Http.response ~status:503 ~keep_alive:false "server busy\n")
+                    with Unix.Unix_error _ -> ());
+                   try Unix.close fd with Unix.Unix_error _ -> ()
+                 end
+                 else begin
+                   Queue.add fd t.queue;
+                   Condition.signal t.qc;
+                   Mutex.unlock t.qm
+                 end);
+          loop ()
+        end
+  in
+  loop ();
+  (* wake every worker: drain what was already accepted, then exit *)
+  Mutex.lock t.qm;
+  t.stopping <- true;
+  Condition.broadcast t.qc;
+  Mutex.unlock t.qm
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> raise (Db.Db_error ("cannot resolve host " ^ host)))
+
+let start ?(host = "127.0.0.1") ?(port = 0) ?(threads = 4) ?(queue_limit = 64) ~db_dir () : t
+    =
+  ignore_sigpipe ();
+  let db = Db.load db_dir in
+  (* fails loudly on a non-database before any socket exists *)
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let t =
+    try
+      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+      Unix.bind listen_fd (Unix.ADDR_INET (resolve host, port));
+      Unix.listen listen_fd 128;
+      let port =
+        match Unix.getsockname listen_fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      let stop_rd, stop_wr = Unix.pipe () in
+      Unix.set_nonblock stop_wr;
+      {
+        db_dir;
+        host;
+        port;
+        listen_fd;
+        stop_rd;
+        stop_wr;
+        queue = Queue.create ();
+        queue_limit = max 1 queue_limit;
+        qm = Mutex.create ();
+        qc = Condition.create ();
+        stopping = false;
+        workers = [];
+        acceptor = None;
+        db_m = Mutex.create ();
+        db;
+        cache = Hashtbl.create 8;
+        metrics =
+          {
+            mm = Mutex.create ();
+            requests = Hashtbl.create 16;
+            statuses = Hashtbl.create 8;
+            latency = Obs.Histogram.create ();
+            connections = 0;
+            ingested = 0;
+            epipe = 0;
+            dropped_busy = 0;
+            cache_hits = 0;
+            cache_misses = 0;
+          };
+      }
+    with e ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  t.workers <- List.init (max 1 threads) (fun _ -> Thread.create worker t);
+  t.acceptor <- Some (Thread.create accept_loop t);
+  t
+
+(** Async-signal-safe shutdown request: one byte down the self-pipe. The
+    accept loop notices, stops accepting, and flips the pool into drain
+    mode. Safe to call from a signal handler or any thread, repeatedly. *)
+let request_stop t =
+  try ignore (Unix.write t.stop_wr (Bytes.of_string "x") 0 1)
+  with Unix.Unix_error _ -> ()
+
+let join_and_cleanup t =
+  (match t.acceptor with Some th -> Thread.join th | None -> ());
+  List.iter Thread.join t.workers;
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ t.listen_fd; t.stop_rd; t.stop_wr ]
+
+let stop t =
+  request_stop t;
+  join_and_cleanup t
+
+let run ?host ?port ?threads ?queue_limit ~db_dir () =
+  let t = start ?host ?port ?threads ?queue_limit ~db_dir () in
+  let on_signal _ = request_stop t in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
+  Printf.printf "sic serve: listening on http://%s:%d/ (db %s, %d threads)\n%!" t.host t.port
+    db_dir (List.length t.workers);
+  join_and_cleanup t;
+  Sys.set_signal Sys.sigint old_int;
+  Sys.set_signal Sys.sigterm old_term;
+  let m = t.metrics in
+  Printf.printf "sic serve: %d connections, %d requests, %d runs ingested\n%!" m.connections
+    (Hashtbl.fold (fun _ v acc -> acc + v) m.requests 0)
+    m.ingested
+
+(* ------------------------------------------------------------------ *)
+(* The client                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** The matching HTTP client, over the same parser. One short-lived
+    connection per {!call} (or an explicit keep-alive {!connect} /
+    {!request} pair for hot paths); used by [sic campaign --push], the
+    end-to-end tests, and the serve benchmark. *)
+module Client = struct
+  exception Error of string
+
+  type response = {
+    status : int;
+    reason : string;
+    headers : (string * string) list;
+    body : string;
+  }
+
+  let header (r : response) name = List.assoc_opt (String.lowercase_ascii name) r.headers
+
+  (** [parse_url "http://host:port/path?q"] -> (host, port, target). *)
+  let parse_url url =
+    let prefix = "http://" in
+    let plen = String.length prefix in
+    if String.length url < plen || String.sub url 0 plen <> prefix then
+      raise (Error ("only http:// URLs are supported: " ^ url));
+    let rest = String.sub url plen (String.length url - plen) in
+    let hostport, target =
+      match String.index_opt rest '/' with
+      | None -> (rest, "/")
+      | Some i -> (String.sub rest 0 i, String.sub rest i (String.length rest - i))
+    in
+    let host, port =
+      match String.index_opt hostport ':' with
+      | None -> (hostport, 80)
+      | Some i -> (
+          let h = String.sub hostport 0 i in
+          let p = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+          match int_of_string_opt p with
+          | Some p -> (h, p)
+          | None -> raise (Error ("bad port in URL: " ^ url)))
+    in
+    if host = "" then raise (Error ("missing host in URL: " ^ url));
+    (host, port, target)
+
+  type conn = { fd : Unix.file_descr; rd : Http.Reader.t; chost : string; cport : int }
+
+  let connect ~host ~port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+       Unix.connect fd (Unix.ADDR_INET (resolve host, port))
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    { fd; rd = Http.Reader.of_fd fd; chost = host; cport = port }
+
+  let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+  let read_response (c : conn) ~(meth : string) : response =
+    match Http.read_line ~limit:Http.max_request_line c.rd with
+    | None -> raise (Error "server closed the connection before responding")
+    | Some line ->
+        let status, reason =
+          match String.split_on_char ' ' line with
+          | version :: code :: rest
+            when String.length version >= 5 && String.sub version 0 5 = "HTTP/" -> (
+              match int_of_string_opt code with
+              | Some s -> (s, String.concat " " rest)
+              | None -> raise (Error ("bad status line: " ^ line)))
+          | _ -> raise (Error ("bad status line: " ^ line))
+        in
+        let headers = Http.read_headers c.rd in
+        let body =
+          if status = 304 || status = 204 || meth = "HEAD" then ""
+          else
+            match List.assoc_opt "content-length" headers with
+            | Some v -> (
+                match int_of_string_opt (String.trim v) with
+                | Some n -> Http.read_exact c.rd n
+                | None -> raise (Error ("bad content-length: " ^ v)))
+            | None ->
+                (* identity framing: read until the server closes *)
+                let b = Buffer.create 4096 in
+                let rec go () =
+                  match Http.Reader.byte c.rd with
+                  | Some ch ->
+                      Buffer.add_char b ch;
+                      go ()
+                  | None -> Buffer.contents b
+                in
+                go ()
+        in
+        { status; reason; headers; body }
+
+  let request (c : conn) ?(headers = []) ?(body = "") ~meth ~target () : response =
+    let b = Buffer.create (String.length body + 256) in
+    Buffer.add_string b (Printf.sprintf "%s %s HTTP/1.1\r\n" meth target);
+    Buffer.add_string b (Printf.sprintf "host: %s:%d\r\n" c.chost c.cport);
+    List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v)) headers;
+    if body <> "" || meth = "POST" || meth = "PUT" then
+      Buffer.add_string b (Printf.sprintf "content-length: %d\r\n" (String.length body));
+    Buffer.add_string b "\r\n";
+    Buffer.add_string b body;
+    write_all c.fd (Buffer.contents b);
+    read_response c ~meth
+
+  let call ?(headers = []) ?(body = "") ~meth url : response =
+    let host, port, target = parse_url url in
+    let c = connect ~host ~port in
+    Fun.protect
+      ~finally:(fun () -> close c)
+      (fun () -> request c ~headers ~body ~meth ~target ())
+
+  let get ?(headers = []) url = call ~headers ~meth:"GET" url
+  let post ?(headers = []) ~body url = call ~headers ~body ~meth:"POST" url
+
+  (** Push one run's counts to a server's [/runs] — what
+      [sic campaign --push URL] does for every run the campaign added.
+      [url] is the server root (e.g. [http://host:8080]); metadata
+      travels as query parameters, the body is the counts v1 text. *)
+  let push_run ~url ~design ~backend ~workload ~seed ~cycles (counts : Counts.t) : response
+      =
+    let url = if String.length url > 0 && url.[String.length url - 1] = '/'
+      then String.sub url 0 (String.length url - 1) else url in
+    let target =
+      Printf.sprintf "%s/runs?design=%s&backend=%s&workload=%s&seed=%d&cycles=%d" url
+        (Http.percent_encode design) (Http.percent_encode backend)
+        (Http.percent_encode workload) seed cycles
+    in
+    post ~body:(Counts.to_string counts) target
+end

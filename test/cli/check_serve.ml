@@ -1,0 +1,84 @@
+(* CLI smoke for [sic serve]: start the real binary on an ephemeral port,
+   push a run with the in-module client, read the merged report back, and
+   shut the server down gracefully with SIGTERM (exit code 0, final
+   summary printed).
+
+   Usage: check_serve.exe SIC.exe *)
+
+module Counts = Sic_coverage.Counts
+module Serve = Sic_serve.Serve
+module Client = Serve.Client
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_serve: " ^ m); exit 1) fmt
+
+let () =
+  let sic = match Sys.argv with [| _; exe |] -> exe | _ -> fail "usage: check_serve.exe SIC.exe" in
+  let db_dir = Printf.sprintf "serve_smoke_db_%d" (Unix.getpid ()) in
+  (* --port 0 binds an ephemeral port; the banner tells us which *)
+  let out_rd, out_wr = Unix.pipe () in
+  let pid =
+    Unix.create_process sic
+      [| sic; "serve"; "--db"; db_dir; "--port"; "0"; "--threads"; "2" |]
+      Unix.stdin out_wr Unix.stderr
+  in
+  Unix.close out_wr;
+  let banner =
+    let buf = Buffer.create 128 in
+    let b = Bytes.create 1 in
+    let rec go () =
+      match Unix.read out_rd b 0 1 with
+      | 0 -> fail "server exited before printing its banner"
+      | _ -> if Bytes.get b 0 = '\n' then Buffer.contents buf else (Buffer.add_char buf (Bytes.get b 0); go ())
+    in
+    go ()
+  in
+  let port =
+    (* "sic serve: listening on http://127.0.0.1:PORT/ (db ..., N threads)" *)
+    match String.index_opt banner ':' with
+    | None -> fail "unparseable banner: %s" banner
+    | Some _ -> (
+        let after_scheme =
+          match String.split_on_char '/' banner with
+          | _ :: _ :: hostport :: _ -> hostport
+          | _ -> fail "unparseable banner: %s" banner
+        in
+        match String.split_on_char ':' after_scheme with
+        | [ _; p ] -> (
+            match int_of_string_opt p with
+            | Some p -> p
+            | None -> fail "bad port in banner: %s" banner)
+        | _ -> fail "unparseable host:port in banner: %s" banner)
+  in
+  let url = Printf.sprintf "http://127.0.0.1:%d" port in
+  let cleanup_kill () = try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> () in
+  (try
+     let h = Client.get (url ^ "/healthz") in
+     if h.Client.status <> 200 then fail "healthz answered %d" h.Client.status;
+     let r =
+       Client.push_run ~url ~design:"smoke" ~backend:"cli" ~workload:"smoke" ~seed:1
+         ~cycles:10
+         (Counts.of_list [ ("x", 2); ("y", 0) ])
+     in
+     if r.Client.status <> 201 then fail "push answered %d: %s" r.Client.status r.Client.body;
+     let rep = Client.get (url ^ "/report") in
+     if rep.Client.status <> 200 then fail "report answered %d" rep.Client.status;
+     let contains needle hay =
+       let nl = String.length needle and hl = String.length hay in
+       let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+       go 0
+     in
+     if not (contains "\"x\":2" rep.Client.body) then
+       fail "report missing pushed counts: %s" rep.Client.body
+   with e ->
+     cleanup_kill ();
+     fail "client round trip failed: %s" (Printexc.to_string e));
+  (* graceful shutdown: SIGTERM drains and exits 0 *)
+  Unix.kill pid Sys.sigterm;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n ->
+      fail "server exited %d after SIGTERM" n
+  | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+      fail "server killed/stopped by signal %d instead of draining" s);
+  Unix.close out_rd;
+  print_endline "check_serve: ok"

@@ -1,0 +1,259 @@
+(** Tests for the coverage service (lib/serve): the HTTP parser's edge
+    cases on string-backed readers, and end-to-end server/client round
+    trips on an ephemeral port — ingest via POST /runs, the union-max
+    /report contract, ETag/If-None-Match revalidation, error mapping, and
+    surviving a client that vanishes mid-request (the SIGPIPE case). *)
+
+module Counts = Sic_coverage.Counts
+module Db = Sic_db.Db
+module Json = Sic_obs.Json
+module Serve = Sic_serve.Serve
+module Http = Serve.Http
+module Client = Serve.Client
+
+let fresh_dir =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Printf.sprintf "%s_%d_%d" prefix (Unix.getpid ()) !n
+
+let parse_str s = Http.parse_request (Http.Reader.of_string s)
+
+let parse_ok s =
+  match parse_str s with
+  | Some req -> req
+  | None -> Alcotest.fail "expected a parsed request, got EOF"
+
+(* ---------------- parser units ---------------- *)
+
+let test_parse_simple () =
+  let req =
+    parse_ok "GET /diff?a=r%200001&b=&flag HTTP/1.1\r\nHost: h:1\r\nX-Thing:  v \r\n\r\n"
+  in
+  Alcotest.(check string) "method" "GET" req.Http.meth;
+  Alcotest.(check string) "path" "/diff" req.Http.path;
+  Alcotest.(check string) "raw target kept" "/diff?a=r%200001&b=&flag" req.Http.target;
+  Alcotest.(check (list (pair string string)))
+    "query decoded"
+    [ ("a", "r 0001"); ("b", ""); ("flag", "") ]
+    req.Http.query;
+  Alcotest.(check (option string)) "header lookup is case-insensitive" (Some "v")
+    (Http.header req "X-THING");
+  Alcotest.(check string) "no body" "" req.Http.body
+
+let test_parse_body_and_keepalive () =
+  let req =
+    parse_ok "POST /runs HTTP/1.1\r\nContent-Length: 5\r\nConnection: close\r\n\r\nab cd"
+  in
+  Alcotest.(check string) "body" "ab cd" req.Http.body;
+  Alcotest.(check (option string)) "connection header" (Some "close")
+    (Http.header req "connection");
+  (* two requests back to back on one reader: keep-alive framing works *)
+  let r = Http.Reader.of_string "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n" in
+  let first = Option.get (Http.parse_request r) in
+  let second = Option.get (Http.parse_request r) in
+  Alcotest.(check string) "first" "/a" first.Http.path;
+  Alcotest.(check string) "second" "/b" second.Http.path;
+  Alcotest.(check bool) "then EOF" true (Http.parse_request r = None)
+
+let test_parse_eof () =
+  Alcotest.(check bool) "empty input is a clean EOF" true (parse_str "" = None)
+
+let expect_bad_request s =
+  match parse_str s with
+  | exception Http.Bad_request _ -> ()
+  | exception e -> Alcotest.fail ("wrong exception: " ^ Printexc.to_string e)
+  | _ -> Alcotest.fail ("parser accepted: " ^ String.escaped s)
+
+let test_bad_request_line () =
+  expect_bad_request "FOO\r\n\r\n";
+  expect_bad_request "GET /x HTTP/2.0\r\n\r\n";
+  expect_bad_request "GET  /two-spaces HTTP/1.1\r\n\r\n";
+  expect_bad_request "G=T /x HTTP/1.1\r\n\r\n";
+  (* EOF mid-line and mid-headers are malformed, not clean closes *)
+  expect_bad_request "GET /x HTT";
+  expect_bad_request "GET /x HTTP/1.1\r\nHost: h\r\n";
+  (* a header line without a colon *)
+  expect_bad_request "GET /x HTTP/1.1\r\nnocolon\r\n\r\n"
+
+let test_oversized_header () =
+  let big = String.make (Http.max_header_line + 10) 'a' in
+  (match parse_str ("GET /x HTTP/1.1\r\nh: " ^ big ^ "\r\n\r\n") with
+  | exception Http.Too_large _ -> ()
+  | _ -> Alcotest.fail "oversized header accepted");
+  let many =
+    String.concat ""
+      (List.init (Http.max_headers + 10) (fun i -> Printf.sprintf "h%d: v\r\n" i))
+  in
+  match parse_str ("GET /x HTTP/1.1\r\n" ^ many ^ "\r\n") with
+  | exception Http.Too_large _ -> ()
+  | _ -> Alcotest.fail "header flood accepted"
+
+let test_truncated_body () =
+  expect_bad_request "POST /runs HTTP/1.1\r\ncontent-length: 100\r\n\r\nshort";
+  expect_bad_request "POST /runs HTTP/1.1\r\ncontent-length: nan\r\n\r\n";
+  expect_bad_request "POST /runs HTTP/1.1\r\ncontent-length: -4\r\n\r\n";
+  (* an over-limit claim is rejected before any body is read *)
+  match
+    parse_str
+      (Printf.sprintf "POST /runs HTTP/1.1\r\ncontent-length: %d\r\n\r\n" (Http.max_body + 1))
+  with
+  | exception Http.Payload_too_large _ -> ()
+  | _ -> Alcotest.fail "oversized body claim accepted"
+
+let test_percent_round_trip () =
+  let s = "a b/c?d&e=f%g\x00h" in
+  Alcotest.(check string) "decode inverts encode" s
+    (Http.percent_decode (Http.percent_encode s));
+  Alcotest.(check string) "plus decodes to space" "a b" (Http.percent_decode "a+b")
+
+(* ---------------- end-to-end ---------------- *)
+
+let with_server f =
+  let dir = fresh_dir "serve_db" in
+  ignore (Db.init dir);
+  let t = Serve.start ~port:0 ~threads:2 ~db_dir:dir () in
+  Fun.protect ~finally:(fun () -> Serve.stop t) (fun () -> f dir t)
+
+let url t path = Printf.sprintf "http://127.0.0.1:%d%s" (Serve.port t) path
+
+let push t ~seed counts =
+  let r =
+    Client.push_run ~url:(url t "") ~design:"d" ~backend:"test" ~workload:"unit" ~seed
+      ~cycles:10 counts
+  in
+  Alcotest.(check int) "push answered 201" 201 r.Client.status;
+  r
+
+let test_e2e_report_is_union_max () =
+  with_server @@ fun _dir t ->
+  let c1 = Counts.of_list [ ("a", 3); ("b", 0) ] in
+  let c2 = Counts.of_list [ ("a", 1); ("b", 2); ("c", 5) ] in
+  ignore (push t ~seed:0 c1);
+  ignore (push t ~seed:1 c2);
+  let r = Client.get (url t "/report") in
+  Alcotest.(check int) "report 200" 200 r.Client.status;
+  let j = Json.parse r.Client.body in
+  Alcotest.(check (option int)) "runs" (Some 2) (Json.int_member "runs" j);
+  let got =
+    match Json.member "counts" j with
+    | Some (Json.Obj kvs) ->
+        Counts.of_list
+          (List.map
+             (function name, Json.Int c -> (name, c) | _ -> Alcotest.fail "non-int count")
+             kvs)
+    | _ -> Alcotest.fail "no counts object in /report"
+  in
+  Alcotest.(check bool) "/report equals Counts.union_max" true
+    (Counts.equal got (Counts.union_max [ c1; c2 ]));
+  (* conditional revalidation: the second GET is answered 304, no body *)
+  let etag = Option.get (Client.header r "etag") in
+  let r2 = Client.get ~headers:[ ("if-none-match", etag) ] (url t "/report") in
+  Alcotest.(check int) "revalidation is 304" 304 r2.Client.status;
+  Alcotest.(check string) "304 has no body" "" r2.Client.body;
+  (* a new push changes the stamp: the same If-None-Match now misses *)
+  ignore (push t ~seed:2 (Counts.of_list [ ("d", 1) ]));
+  let r3 = Client.get ~headers:[ ("if-none-match", etag) ] (url t "/report") in
+  Alcotest.(check int) "stale etag re-fetches" 200 r3.Client.status;
+  Alcotest.(check bool) "etag moved" true (Client.header r3 "etag" <> Some etag)
+
+let test_e2e_endpoints () =
+  with_server @@ fun _dir t ->
+  ignore (push t ~seed:0 (Counts.of_list [ ("a", 1); ("b", 0) ]));
+  ignore (push t ~seed:1 (Counts.of_list [ ("a", 2); ("b", 3) ]));
+  let ok path =
+    let r = Client.get (url t path) in
+    Alcotest.(check int) (path ^ " 200") 200 r.Client.status;
+    r.Client.body
+  in
+  Alcotest.(check string) "healthz" "ok\n" (ok "/healthz");
+  ignore (ok "/");
+  ignore (ok "/rank");
+  ignore (ok "/timelines");
+  ignore (ok "/metrics");
+  (match Json.parse (ok "/runs") with
+  | Json.List rows -> Alcotest.(check int) "/runs rows" 2 (List.length rows)
+  | _ -> Alcotest.fail "/runs is not a JSON list");
+  let d = Json.parse (ok "/diff?a=r0001&b=r0002") in
+  Alcotest.(check (option string)) "diff before" (Some "r0001") (Json.string_member "before" d);
+  (match Json.member "newly_covered" d with
+  | Some (Json.List [ Json.String "b" ]) -> ()
+  | _ -> Alcotest.fail "diff newly_covered wrong");
+  let html = ok "/report.html" in
+  Alcotest.(check bool) "html page" true
+    (String.length html > 100 && String.sub html 0 9 = "<!doctype");
+  (* error mapping *)
+  Alcotest.(check int) "unknown path is 404" 404 (Client.get (url t "/nope")).Client.status;
+  Alcotest.(check int) "unknown run is 404" 404
+    (Client.get (url t "/diff?a=r0001&b=r9999")).Client.status;
+  Alcotest.(check int) "missing diff params is 400" 400
+    (Client.get (url t "/diff")).Client.status;
+  Alcotest.(check int) "bad counts body is 400" 400
+    (Client.post ~body:"not a counts file" (url t "/runs")).Client.status;
+  Alcotest.(check int) "bad method is 405" 405
+    (Client.call ~meth:"PUT" (url t "/report")).Client.status
+
+let test_e2e_keep_alive () =
+  with_server @@ fun _dir t ->
+  let c = Client.connect ~host:"127.0.0.1" ~port:(Serve.port t) in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      let r1 = Client.request c ~meth:"GET" ~target:"/healthz" () in
+      let r2 = Client.request c ~meth:"GET" ~target:"/healthz" () in
+      Alcotest.(check (pair int int)) "two requests, one connection" (200, 200)
+        (r1.Client.status, r2.Client.status))
+
+(* A client that vanishes mid-request must cost the server nothing but a
+   connection: the worker writes into a dead socket (EPIPE — fatal
+   process-wide if SIGPIPE were not ignored) and moves on. *)
+let test_e2e_client_vanishes () =
+  with_server @@ fun _dir t ->
+  let abrupt payload =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Serve.port t));
+    let b = Bytes.of_string payload in
+    ignore (Unix.write fd b 0 (Bytes.length b));
+    (* kill the connection without reading the response *)
+    Unix.close fd
+  in
+  (* half a request: the server's 400 goes to a closed socket *)
+  abrupt "POST /runs HTTP/1.1\r\ncontent-length: 10000\r\n\r\ntruncated";
+  (* a complete request whose response has nowhere to go *)
+  abrupt "GET /report HTTP/1.1\r\n\r\n";
+  (* give the workers a beat to hit the dead sockets *)
+  Unix.sleepf 0.05;
+  let r = Client.get (url t "/healthz") in
+  Alcotest.(check int) "server survives dead clients" 200 r.Client.status
+
+let test_e2e_push_is_idempotent_for_report () =
+  with_server @@ fun _dir t ->
+  let c = Counts.of_list [ ("a", 2); ("b", 1) ] in
+  ignore (push t ~seed:0 c);
+  let once = (Client.get (url t "/report")).Client.body in
+  (* an at-least-once delivery retry: same counts land as a second run *)
+  ignore (push t ~seed:0 c);
+  let twice = Client.get (url t "/report") in
+  let strip j = List.remove_assoc "runs" j |> List.remove_assoc "ok" in
+  match (Json.parse once, Json.parse twice.Client.body) with
+  | Json.Obj a, Json.Obj b ->
+      Alcotest.(check bool) "union-max merge unchanged by the duplicate" true
+        (Json.equal (Json.Obj (strip a)) (Json.Obj (strip b)))
+  | _ -> Alcotest.fail "/report is not a JSON object"
+
+let tests =
+  [
+    Alcotest.test_case "http: simple request" `Quick test_parse_simple;
+    Alcotest.test_case "http: body + keep-alive framing" `Quick test_parse_body_and_keepalive;
+    Alcotest.test_case "http: clean EOF" `Quick test_parse_eof;
+    Alcotest.test_case "http: bad request lines" `Quick test_bad_request_line;
+    Alcotest.test_case "http: oversized headers" `Quick test_oversized_header;
+    Alcotest.test_case "http: truncated/oversized bodies" `Quick test_truncated_body;
+    Alcotest.test_case "http: percent coding" `Quick test_percent_round_trip;
+    Alcotest.test_case "e2e: /report = union_max, etag/304" `Quick test_e2e_report_is_union_max;
+    Alcotest.test_case "e2e: every endpoint + error mapping" `Quick test_e2e_endpoints;
+    Alcotest.test_case "e2e: keep-alive connection reuse" `Quick test_e2e_keep_alive;
+    Alcotest.test_case "e2e: client vanishing mid-request" `Quick test_e2e_client_vanishes;
+    Alcotest.test_case "e2e: duplicate push is idempotent" `Quick
+      test_e2e_push_is_idempotent_for_report;
+  ]
