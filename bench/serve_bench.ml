@@ -66,6 +66,68 @@ let expect status (resp : Client.response) =
       (Printf.sprintf "serve bench: expected %d, got %d: %s" status resp.Client.status
          resp.Client.body)
 
+(* /watch fan-out: [n_subs] SSE subscribers attached while [n_events]
+   runs are pushed on [c]; the latency sample is ingest-to-arrival per
+   (event, subscriber) pair — the hub's broadcast cost as a consumer
+   sees it. Subscribers match deltas to pushes by order (one /watch
+   stream delivers in publish order). *)
+let bench_watch_fanout url c ~seed0 ~body ~n_subs ~n_events : result =
+  let h = Obs.Histogram.create () in
+  let hm = Mutex.create () in
+  let sent = Array.make n_events 0. in
+  let ready = ref 0 in
+  let subs =
+    List.init n_subs (fun _ ->
+        Thread.create
+          (fun () ->
+            let deltas = ref 0 in
+            Client.watch
+              ~on_event:(fun ~event ~data:_ ->
+                (match event with
+                | "hello" -> Mutex.protect hm (fun () -> incr ready)
+                | "delta" ->
+                    let now = Unix.gettimeofday () in
+                    if !deltas < n_events then
+                      Mutex.protect hm (fun () ->
+                          Obs.Histogram.add h ((now -. sent.(!deltas)) *. 1e6));
+                    incr deltas
+                | _ -> ());
+                !deltas < n_events)
+              url)
+          ())
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while Mutex.protect hm (fun () -> !ready) < n_subs && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  if Mutex.protect hm (fun () -> !ready) < n_subs then
+    failwith "serve bench: /watch subscribers never got their hello";
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n_events - 1 do
+    sent.(i) <- Unix.gettimeofday ();
+    expect 201
+      (Client.request c ~body ~meth:"POST"
+         ~target:
+           (Printf.sprintf "/runs?design=bench&backend=bench&workload=bench&seed=%d&cycles=1"
+              (seed0 + i))
+         ())
+  done;
+  List.iter Thread.join subs;
+  let dt = Unix.gettimeofday () -. t0 in
+  let delivered = Obs.Histogram.count h in
+  let r =
+    {
+      rname = Printf.sprintf "GET /watch fan-out (%d subs)" n_subs;
+      requests = delivered;
+      req_per_s = (if dt > 0. then float_of_int delivered /. dt else nan);
+      p50_us = Obs.Histogram.percentile h 50.;
+      p99_us = Obs.Histogram.percentile h 99.;
+    }
+  in
+  Timing.row "%-24s %8d evts %10.0f evt/s %9.0f us p50 %9.0f us p99\n" r.rname r.requests
+    r.req_per_s r.p50_us r.p99_us;
+  r
+
 let run () =
   let smoke = Sys.getenv_opt "SIC_BENCH_SMOKE" <> None in
   let points = if smoke then 50 else 500 in
@@ -119,7 +181,14 @@ let run () =
                   Serve.flush_cache t;
                   expect 200 (get "/report"))
             in
-            [ ingest; cached; conditional; uncached ]))
+            let fanout =
+              bench_watch_fanout
+                (Printf.sprintf "http://127.0.0.1:%d" (Serve.port t))
+                c ~seed0:100000 ~body
+                ~n_subs:(if smoke then 4 else 16)
+                ~n_events:(if smoke then 10 else 100)
+            in
+            [ ingest; cached; conditional; uncached; fanout ]))
   in
   let oc = open_out "BENCH_serve.json" in
   Printf.fprintf oc "{\n  \"smoke\": %b,\n  \"points\": %d,\n  \"runs_ingested\": %d,\n  \"results\": [\n"

@@ -22,7 +22,11 @@
                 any job exhausts its retries; [--push URL] forwards every
                 recorded run to a running coverage server)
     - [serve]   the coverage service: an HTTP server over a database that
-                ingests runs ([POST /runs]) and serves merged reports
+                ingests runs ([POST /runs]) and serves merged reports, a
+                live SSE stream ([GET /watch]), an HTML dashboard and
+                Prometheus metrics
+    - [watch]   subscribe to a server's [/watch] stream and render a live
+                terminal status line (runs, covered points, workers)
     - [tail]    pretty-print a telemetry NDJSON file, optionally following
                 it live ([-f]) while a campaign runs
 
@@ -694,7 +698,7 @@ let db_cmd =
    many local producers, one merged remote report. The push wire format
    is the counts v1 text itself, so this is just re-uploading the files
    the campaign wrote. *)
-let push_campaign_runs ~url ~db_dir ~already =
+let push_campaign_runs ~url ~worker ~db_dir ~already =
   let db = Db.load db_dir in
   let fresh = List.filteri (fun i _ -> i >= already) (Db.runs db) in
   let pushed = ref 0 in
@@ -705,7 +709,7 @@ let push_campaign_runs ~url ~db_dir ~already =
          | Db.Run_failed _ -> ()
          | Db.Run_ok ->
              let resp =
-               Serve.Client.push_run ~url ~design:r.Db.design ~backend:r.Db.backend
+               Serve.Client.push_run ~worker ~url ~design:r.Db.design ~backend:r.Db.backend
                  ~workload:r.Db.workload ~seed:r.Db.seed ~cycles:r.Db.cycles
                  (Db.load_counts db r)
              in
@@ -724,6 +728,54 @@ let push_campaign_runs ~url ~db_dir ~already =
       Printf.eprintf "push: %s\n" m;
       exit 1);
   Printf.printf "pushed %d of %d new runs to %s\n" !pushed (List.length fresh) url
+
+(* The worker id campaign telemetry travels under: one campaign process
+   = one producer on the server's dashboard. *)
+let campaign_worker_id () =
+  Printf.sprintf "%s-%d" (try Unix.gethostname () with _ -> "local") (Unix.getpid ())
+
+(* Forward the orchestrator's protocol-v2 worker heartbeats to a running
+   coverage server (POST /heartbeat) so its /watch subscribers see live
+   per-worker health while the campaign runs. Strictly best-effort and
+   wall-clock throttled: the first failure prints one warning and
+   disables forwarding — telemetry must never sink a campaign. *)
+let heartbeat_forwarder ~url ~worker : Fleet.job_event -> unit =
+  let host, port, _ = Serve.Client.parse_url url in
+  let conn = ref None in
+  let dead = ref false in
+  let last = ref 0. in
+  fun ev ->
+    match ev with
+    | Fleet.Job_heartbeat { job; hb_cycles; hb_covered } when not !dead ->
+        let now = Unix.gettimeofday () in
+        if now -. !last >= 0.5 then begin
+          last := now;
+          try
+            let c =
+              match !conn with
+              | Some c -> c
+              | None ->
+                  let c = Serve.Client.connect ~host ~port in
+                  conn := Some c;
+                  c
+            in
+            let target =
+              Printf.sprintf "/heartbeat?worker=%s&job=%d&design=%s&backend=%s&cycles=%d&covered=%d"
+                (Serve.Http.percent_encode worker)
+                job.Fleet.index
+                (Serve.Http.percent_encode job.Fleet.design)
+                (Fleet.backend_name job.Fleet.backend)
+                hb_cycles hb_covered
+            in
+            ignore (Serve.Client.request c ~meth:"POST" ~target ())
+          with _ ->
+            dead := true;
+            (match !conn with Some c -> Serve.Client.close c | None -> ());
+            conn := None;
+            Printf.eprintf "\npush: heartbeat forwarding to %s disabled (server unreachable)\n%!"
+              url
+        end
+    | _ -> ()
 
 let campaign_cmd =
   let db_arg =
@@ -838,7 +890,7 @@ let campaign_cmd =
   let run db_dir jobs designs metrics backends waves seeds cycles execs bound seed threshold
       timeout retries scan_width inject_crash timeline_every progress push profile trace =
     handle_errors (fun () ->
-        let summary, already =
+        let summary, already, worker =
           with_telemetry ~profile ~trace @@ fun () ->
         let parse_backend s =
           match Fleet.backend_of_string s with
@@ -892,15 +944,25 @@ let campaign_cmd =
           if progress then Some (Fleet.Progress.create ~total:(Fleet.spec_total_jobs spec) ())
           else None
         in
-        let on_event = Option.map (fun p ev -> Fleet.Progress.on_event p ev) prog in
+        let worker = campaign_worker_id () in
+        let forward =
+          match push with Some url -> Some (heartbeat_forwarder ~url ~worker) | None -> None
+        in
+        let consumers =
+          List.filter_map Fun.id
+            [ Option.map (fun p ev -> Fleet.Progress.on_event p ev) prog; forward ]
+        in
+        let on_event =
+          match consumers with [] -> None | cs -> Some (fun ev -> List.iter (fun f -> f ev) cs)
+        in
         let summary = Fleet.run_campaign ~inject_crash ?on_event ~db spec in
         (match prog with Some p -> Fleet.Progress.finish p | None -> ());
-        (summary, already)
+        (summary, already, worker)
         in
         print_string (Fleet.render_summary summary);
         (match push with
         | None -> ()
-        | Some url -> push_campaign_runs ~url ~db_dir ~already);
+        | Some url -> push_campaign_runs ~url ~worker ~db_dir ~already);
         (* nonzero exit so CI notices jobs that exhausted their retries;
            deferred past the telemetry finalizer, which exit would skip *)
         if summary.Fleet.failed > 0 then begin
@@ -960,9 +1022,86 @@ let serve_cmd =
        ~doc:
          "Serve a coverage database over HTTP: POST /runs ingests counts files from any \
           producer on any host, GET /report[.html] serves the merged (union-max) coverage, \
-          plus /runs, /rank, /diff, /timelines, /metrics, /healthz. Stops gracefully on \
-          SIGINT/SIGTERM.")
+          plus /runs, /rank, /diff, /timelines, /watch (live SSE), /dashboard, /metrics \
+          (JSON or Prometheus), /healthz. Stops gracefully on SIGINT/SIGTERM.")
     Term.(const run $ db_arg $ host_arg $ port_arg $ threads_arg $ profile_flag $ trace_flag)
+
+(* ------------------------------------------------------------------ *)
+(* Watching a live campaign                                             *)
+(* ------------------------------------------------------------------ *)
+
+let watch_cmd =
+  let url_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"URL" ~doc:"Coverage server root, e.g. http://127.0.0.1:8080.")
+  in
+  let runs_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "runs" ] ~docv:"N"
+          ~doc:"Exit after observing $(docv) accepted runs (0 = watch until the server drains).")
+  in
+  let run url max_runs =
+    handle_errors (fun () ->
+        let module Json = Sic_obs.Json in
+        let prog = Fleet.Progress.create ~label:"watch" ~total:0 () in
+        let runs = ref 0 and failed = ref 0 and workers = ref 0 in
+        let covered = ref 0 and total = ref 0 and units = ref 0 in
+        let repaint () =
+          Fleet.Progress.update prog ~done_:!runs ~failed:!failed ~running:!workers
+            ~covered:!covered ~points:!total ~units:!units
+        in
+        let intn k j d = match Json.int_member k j with Some n -> n | None -> d in
+        let absorb j =
+          runs := intn "runs" j !runs;
+          failed := intn "failed" j !failed;
+          workers := intn "workers" j !workers;
+          covered := intn "covered" j !covered;
+          total := intn "total" j !total;
+          units := intn "units" j !units
+        in
+        let seen = ref 0 in
+        let on_event ~event ~data =
+          (match try Some (Json.parse data) with Json.Parse_error _ -> None with
+          | None -> ()
+          | Some j -> (
+              match event with
+              | "hello" | "delta" ->
+                  absorb j;
+                  if event = "delta" then begin
+                    incr seen;
+                    (* deltas carry the run's own cycle count; the
+                       cumulative figure only arrives in "hello" *)
+                    units := !units + intn "cycles" j 0
+                  end;
+                  repaint ()
+              | "heartbeat" ->
+                  workers := intn "workers" j !workers;
+                  repaint ()
+              | _ -> ()));
+          not (max_runs > 0 && !seen >= max_runs)
+        in
+        (try Serve.Client.watch ~on_event url with
+        | Serve.Client.Error m ->
+            Fleet.Progress.finish prog;
+            Printf.eprintf "watch: %s\n" m;
+            exit 1
+        | Unix.Unix_error (e, _, _) ->
+            Fleet.Progress.finish prog;
+            Printf.eprintf "watch: cannot reach %s: %s\n" url (Unix.error_message e);
+            exit 1);
+        Fleet.Progress.finish prog)
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Subscribe to a coverage server's GET /watch SSE stream and render a live status \
+          line: accepted runs, covered points, active workers, throughput. Exits when the \
+          server drains, or after --runs N accepted runs.")
+    Term.(const run $ url_arg $ runs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry tailing                                                    *)
@@ -1031,7 +1170,7 @@ let main =
        ~doc:"Simulator-independent coverage for RTL hardware languages.")
     [
       emit_cmd; lower_cmd; cover_cmd; merge_cmd; diff_cmd; bmc_cmd; fuzz_cmd; scan_cmd;
-      stats_cmd; profile_cmd; db_cmd; campaign_cmd; serve_cmd; tail_cmd;
+      stats_cmd; profile_cmd; db_cmd; campaign_cmd; serve_cmd; watch_cmd; tail_cmd;
     ]
 
 let () =

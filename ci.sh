@@ -29,7 +29,17 @@ rm -rf ci_campaign.db
 SIC_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- sim
 
 # Coverage-service smoke: in-process server on an ephemeral port — ingest
-# rate plus cached / 304 / uncached GET /report latency. Writes
-# BENCH_serve.json (uploaded as a CI artifact) in the same layout as a
-# full run. (The sic serve CLI itself is smoked by test/cli/check_serve.)
+# rate plus cached / 304 / uncached GET /report latency and /watch SSE
+# fan-out broadcast latency. Writes BENCH_serve.json (uploaded as a CI
+# artifact) in the same layout as a full run. (The sic serve CLI itself
+# is smoked by test/cli/check_serve.)
 SIC_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- serve
+
+# Live-plane smoke against the real binary: attach a /watch subscriber,
+# push a run, require one SSE delta within the timeout, validate the
+# Prometheus exposition, and SIGTERM with the stream attached (must
+# drain to exit 0). The rendered dashboard is kept at the repo root so
+# CI can upload it as an artifact.
+rm -f ci_dashboard.html
+dune exec --no-build test/cli/check_watch.exe -- _build/default/bin/sic.exe ci_dashboard.html
+rm -rf watch_smoke_db_*

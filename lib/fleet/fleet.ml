@@ -637,6 +637,7 @@ type summary = {
 module Progress = struct
   type t = {
     out : out_channel;
+    label : string;  (** line prefix: "campaign", or "watch" for [sic watch] *)
     total : int;
     started : float;
     mutable done_ : int;  (** finished jobs, failed included *)
@@ -645,13 +646,17 @@ module Progress = struct
     mutable units_finished : int;  (** budget units from finished jobs *)
     hb : (int, int) Hashtbl.t;  (** job index -> latest heartbeat cycles *)
     mutable covered : Counts.t;  (** union-max over finished Ok runs *)
+    mutable ext : (int * int * int) option;
+        (** externally-fed (covered, total points, units): {!update}
+            replaces the locally-accumulated counters with a server's *)
     mutable last_render : float;
     mutable last_len : int;
   }
 
-  let create ?(out = stderr) ~total () =
+  let create ?(out = stderr) ?(label = "campaign") ~total () =
     {
       out;
+      label;
       total;
       started = Unix.gettimeofday ();
       done_ = 0;
@@ -660,30 +665,39 @@ module Progress = struct
       units_finished = 0;
       hb = Hashtbl.create 16;
       covered = Counts.create ();
+      ext = None;
       last_render = 0.;
       last_len = 0;
     }
 
   let line t =
     let elapsed = Unix.gettimeofday () -. t.started in
-    let in_flight = Hashtbl.fold (fun _ c acc -> acc + c) t.hb 0 in
-    let units = t.units_finished + in_flight in
+    let covered_pts, total_pts, units =
+      match t.ext with
+      | Some (c, tot, u) -> (c, tot, u)
+      | None ->
+          let in_flight = Hashtbl.fold (fun _ c acc -> acc + c) t.hb 0 in
+          ( Counts.covered_points t.covered,
+            Counts.total_points t.covered,
+            t.units_finished + in_flight )
+    in
     let throughput =
       if elapsed > 0. then float_of_int units /. elapsed else 0.
     in
     let eta =
-      if t.done_ > 0 && t.done_ < t.total then
+      if t.total > 0 && t.done_ > 0 && t.done_ < t.total then
         Printf.sprintf " | ETA %.0fs"
           (elapsed /. float_of_int t.done_ *. float_of_int (t.total - t.done_))
       else ""
     in
-    Printf.sprintf "campaign %d/%d done%s, %d running | %d/%d pts | %.0f cyc/s%s" t.done_
-      t.total
+    let progress =
+      (* total = 0: an open-ended stream (sic watch), no denominator *)
+      if t.total > 0 then Printf.sprintf "%d/%d done" t.done_ t.total
+      else Printf.sprintf "%d done" t.done_
+    in
+    Printf.sprintf "%s %s%s, %d running | %d/%d pts | %.0f cyc/s%s" t.label progress
       (if t.failed > 0 then Printf.sprintf " (%d failed)" t.failed else "")
-      t.running
-      (Counts.covered_points t.covered)
-      (Counts.total_points t.covered)
-      throughput eta
+      t.running covered_pts total_pts throughput eta
 
   let render ?(force = false) t =
     let now = Unix.gettimeofday () in
@@ -713,6 +727,16 @@ module Progress = struct
             t.units_finished <- t.units_finished + r.sim_cycles;
             t.covered <- Counts.union_max [ t.covered; r.counts ]
         | Error _ -> t.failed <- t.failed + 1));
+    render t
+
+  (** Drive the renderer from an external aggregate — the [sic watch]
+      client, which learns absolute counters from a server's SSE events
+      rather than from local job events. *)
+  let update t ~done_ ~failed ~running ~covered ~points ~units =
+    t.done_ <- done_;
+    t.failed <- failed;
+    t.running <- running;
+    t.ext <- Some (covered, points, units);
     render t
 
   let finish t =

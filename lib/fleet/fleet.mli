@@ -151,11 +151,28 @@ type summary = {
 module Progress : sig
   type t
 
-  val create : ?out:out_channel -> total:int -> unit -> t
+  val create : ?out:out_channel -> ?label:string -> total:int -> unit -> t
   (** [total] is the expected job count ({!spec_total_jobs}); output goes
-      to [out] (default [stderr]) as a [\r]-refreshed line. *)
+      to [out] (default [stderr]) as a [\r]-refreshed line. [label]
+      prefixes the line (default ["campaign"]); [total = 0] renders a
+      plain done-count with no ETA — an open-ended stream. *)
 
   val on_event : t -> job_event -> unit
+
+  val update :
+    t ->
+    done_:int ->
+    failed:int ->
+    running:int ->
+    covered:int ->
+    points:int ->
+    units:int ->
+    unit
+  (** External-feed path ([sic watch]): replace the locally-accumulated
+      counters with absolute values learned from a server and re-render.
+      [running] shows as the running-worker count, [units] drives the
+      throughput figure. *)
+
   val finish : t -> unit
   (** Force a final render and terminate the line. *)
 end

@@ -288,21 +288,178 @@ module Http = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Server-sent events                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** The SSE wire subset [GET /watch] speaks: [event:]/[data:] frames
+    terminated by a blank line, plus [:]-prefixed comment lines used as
+    keep-alive heartbeats. The encoder is total — newlines in event
+    names and comments are flattened, multi-line data becomes multiple
+    [data:] lines — and the matching line-fed {!Decoder} drives
+    {!Client.watch}, [sic watch], the bench fan-out and the tests. *)
+module Sse = struct
+  (* event names and comments are single-line by construction *)
+  let flatten s = String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+
+  let frame ?event (data : string) : string =
+    let b = Buffer.create (String.length data + 32) in
+    (match event with
+    | Some name -> Buffer.add_string b ("event: " ^ flatten name ^ "\n")
+    | None -> ());
+    let data = String.concat "" (String.split_on_char '\r' data) in
+    List.iter
+      (fun line -> Buffer.add_string b ("data: " ^ line ^ "\n"))
+      (String.split_on_char '\n' data);
+    Buffer.add_char b '\n';
+    Buffer.contents b
+
+  let comment s = ": " ^ flatten s ^ "\n\n"
+  let heartbeat n = comment (Printf.sprintf "hb %d" n)
+
+  (** Reassemble events from a line-split stream (line terminators
+      already stripped, as {!Http.read_line} yields them). *)
+  module Decoder = struct
+    type t = { mutable ev : string; data : Buffer.t; mutable have_data : bool }
+
+    let create () = { ev = ""; data = Buffer.create 256; have_data = false }
+
+    let reset d =
+      d.ev <- "";
+      Buffer.clear d.data;
+      d.have_data <- false
+
+    (* [Some (event, data)] when [s] is the blank line completing an
+       event; comments and fields we don't speak are skipped. An event
+       with no [data:] line is dropped, per the SSE dispatch rules. *)
+    let line d (s : string) : (string * string) option =
+      let s =
+        let n = String.length s in
+        if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+      in
+      if s = "" then
+        if d.have_data then begin
+          let ev = if d.ev = "" then "message" else d.ev in
+          let data = Buffer.contents d.data in
+          reset d;
+          Some (ev, data)
+        end
+        else begin
+          reset d;
+          None
+        end
+      else if s.[0] = ':' then None
+      else begin
+        let field, value =
+          match String.index_opt s ':' with
+          | None -> (s, "")
+          | Some i ->
+              let v = String.sub s (i + 1) (String.length s - i - 1) in
+              let v =
+                if String.length v > 0 && v.[0] = ' ' then
+                  String.sub v 1 (String.length v - 1)
+                else v
+              in
+              (String.sub s 0 i, v)
+        in
+        (match field with
+        | "event" -> d.ev <- value
+        | "data" ->
+            if d.have_data then Buffer.add_char d.data '\n';
+            Buffer.add_string d.data value;
+            d.have_data <- true
+        | _ -> ());
+        None
+      end
+  end
+end
+
+(* ------------------------------------------------------------------ *)
+(* The /watch hub                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type sse_event = { seq : int; ev_name : string; ev_data : string }
+
+(** Fan-out point between ingest and the SSE subscriber threads: a
+    publish appends to a bounded backlog and broadcasts; each subscriber
+    drains whatever is newer than its own cursor. Publishing never
+    blocks on a slow subscriber — a laggard that falls more than
+    [backlog_limit] events behind just misses the overwritten ones. *)
+type hub = {
+  hm : Mutex.t;
+  hc : Condition.t;
+  mutable seq : int;
+  mutable backlog : sse_event list;  (** newest first, at most [backlog_limit] *)
+  mutable hub_closed : bool;
+  mutable subscribers : int;
+  mutable sse_threads : Thread.t list;
+}
+
+let backlog_limit = 256
+
+let hub_create () =
+  {
+    hm = Mutex.create ();
+    hc = Condition.create ();
+    seq = 0;
+    backlog = [];
+    hub_closed = false;
+    subscribers = 0;
+    sse_threads = [];
+  }
+
+let rec take n l =
+  match l with [] -> [] | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let hub_publish h ~event ~data =
+  Mutex.protect h.hm (fun () ->
+      h.seq <- h.seq + 1;
+      h.backlog <-
+        { seq = h.seq; ev_name = event; ev_data = data } :: take (backlog_limit - 1) h.backlog;
+      Condition.broadcast h.hc)
+
+(* no more events will ever be published; subscribers say goodbye and
+   hang up (the graceful-drain path) *)
+let hub_close h =
+  Mutex.protect h.hm (fun () ->
+      h.hub_closed <- true;
+      Condition.broadcast h.hc)
+
+(* ------------------------------------------------------------------ *)
 (* Server state                                                         *)
 (* ------------------------------------------------------------------ *)
 
 type metrics = {
   mm : Mutex.t;
-  requests : (string, int) Hashtbl.t;  (** "GET /report" -> count *)
+  requests : (string, int) Hashtbl.t;  (** route label ("GET /report") -> count *)
   statuses : (int, int) Hashtbl.t;
-  latency : Obs.Histogram.t;  (** per-request wall time, microseconds *)
+  latency : (string, Obs.Histogram.t) Hashtbl.t;
+      (** route label -> per-request wall time, microseconds *)
   mutable connections : int;
   mutable ingested : int;  (** runs accepted by POST /runs *)
   mutable epipe : int;  (** peers that vanished mid-response *)
   mutable dropped_busy : int;  (** connections refused with 503 *)
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable sse_events : int;  (** events published to /watch subscribers *)
+  mutable sse_dropped : int;  (** /watch subscribers that vanished mid-stream *)
 }
+
+(** What the server knows about one producer, keyed by the worker id it
+    attaches to [POST /heartbeat] and [POST /runs?worker=]. Guarded by
+    [metrics.mm]. *)
+type wstate = {
+  mutable last_seen : float;  (** [Unix.gettimeofday] of the last signal *)
+  mutable w_job : int;
+  mutable w_design : string;
+  mutable w_backend : string;
+  mutable w_cycles : int;
+  mutable w_covered : int;
+  mutable w_runs : int;  (** runs ingested carrying this worker id *)
+}
+
+(** A worker counts as live while its last heartbeat or push is at most
+    this old — campaign heartbeats arrive every ~0.5 s when forwarding. *)
+let worker_active_s = 10.0
 
 type t = {
   db_dir : string;
@@ -323,6 +480,10 @@ type t = {
   cache : (string, string * string * string) Hashtbl.t;
       (** request target -> (etag, content type, body) *)
   metrics : metrics;
+  hub : hub;  (** ingest -> /watch fan-out *)
+  producers : (string, wstate) Hashtbl.t;  (** worker id -> state, under [metrics.mm] *)
+  sse_heartbeat_s : float;  (** idle gap before a keep-alive comment on /watch *)
+  mutable ticker : Thread.t option;  (** periodic hub broadcast (heartbeat clock) *)
 }
 
 let port t = t.port
@@ -342,6 +503,77 @@ let write_all fd (s : string) =
     | written -> off := !off + written
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
+
+let publish t ~event ~data =
+  Mutex.protect t.metrics.mm (fun () -> t.metrics.sse_events <- t.metrics.sse_events + 1);
+  hub_publish t.hub ~event ~data
+
+(* record a signal (heartbeat or tagged push) from [worker] and update
+   its table row; the empty id means an anonymous producer *)
+let touch_producer t worker (f : wstate -> unit) =
+  if worker <> "" then
+    Mutex.protect t.metrics.mm (fun () ->
+        let w =
+          match Hashtbl.find_opt t.producers worker with
+          | Some w -> w
+          | None ->
+              let w =
+                {
+                  last_seen = 0.;
+                  w_job = -1;
+                  w_design = "";
+                  w_backend = "";
+                  w_cycles = 0;
+                  w_covered = 0;
+                  w_runs = 0;
+                }
+              in
+              Hashtbl.add t.producers worker w;
+              w
+        in
+        w.last_seen <- Unix.gettimeofday ();
+        f w)
+
+let active_producers t =
+  let now = Unix.gettimeofday () in
+  Mutex.protect t.metrics.mm (fun () ->
+      Hashtbl.fold
+        (fun _ w acc -> if now -. w.last_seen <= worker_active_s then acc + 1 else acc)
+        t.producers 0)
+
+(* Per-kind coverage split for delta events and the dashboard tiles.
+   The instrumentation passes encode the kind in the point name: [l_*]
+   line, [t_*] toggle, [fsm_*] FSM states/arcs, [rv_*] ready-valid, and
+   the mux toggles end in [_T]/[_F]. *)
+let kind_of_point name =
+  let pre p =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
+  let suf s =
+    let n = String.length name and k = String.length s in
+    n >= k && String.sub name (n - k) k = s
+  in
+  if pre "l_" then "line"
+  else if pre "t_" then "toggle"
+  else if pre "fsm_" then "fsm"
+  else if pre "rv_" then "ready_valid"
+  else if suf "_T" || suf "_F" then "mux"
+  else "other"
+
+let kinds_json (agg : Counts.t) : Json.t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (name, c) ->
+      let k = kind_of_point name in
+      let cov, tot = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl k) in
+      Hashtbl.replace tbl k ((if c > 0 then cov + 1 else cov), tot + 1))
+    (Counts.to_sorted_list agg);
+  Json.Obj
+    (Hashtbl.fold
+       (fun k (c, tot) acc ->
+         (k, Json.Obj [ ("covered", Json.Int c); ("total", Json.Int tot) ]) :: acc)
+       tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b))
 
 (* ------------------------------------------------------------------ *)
 (* Handlers                                                             *)
@@ -423,20 +655,155 @@ let index_body =
     [
       "sic serve: simulator-independent coverage over HTTP";
       "";
-      "  POST /runs?design=&backend=&workload=&seed=&cycles=   ingest one counts file (v1 text)";
+      "  POST /runs?design=&backend=&workload=&seed=&cycles=&worker=   ingest one counts file (v1 text)";
+      "  POST /heartbeat?worker=&job=&design=&backend=&cycles=&covered=   producer liveness ping";
       "  GET  /report        merged coverage (union-max over runs) as JSON";
       "  GET  /report.html   merged coverage as a self-contained HTML page";
       "  GET  /runs          every recorded run, as JSON";
       "  GET  /rank          greedy set-cover run ranking (text)";
       "  GET  /timelines     per-run convergence sparklines (text)";
       "  GET  /diff?a=&b=    coverage diff between two runs, as JSON";
-      "  GET  /metrics       server request counters and latency, as JSON";
+      "  GET  /watch         live aggregate deltas as server-sent events";
+      "  GET  /dashboard     self-contained live dashboard over /watch";
+      "  GET  /metrics       request counters and per-endpoint latency, as JSON";
+      "  GET  /metrics.prom  the same as Prometheus text exposition";
       "  GET  /healthz       liveness probe";
       "";
       "GET responses that read the database carry an ETag; send If-None-Match";
       "to get 304 while the database is unchanged.";
       "";
     ]
+
+(* The live dashboard: one self-contained page (no external assets, same
+   house style as Html_report) whose inline script subscribes to /watch
+   and redraws the coverage curve, worker table and ingest sparkline on
+   every event. *)
+let dashboard_html =
+  {dash|<!doctype html>
+<meta charset="utf-8">
+<title>sic live dashboard</title>
+<style>
+body { font-family: ui-monospace, monospace; margin: 2em; background: #fafafa; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+.tiles { display: flex; gap: 1em; flex-wrap: wrap; }
+.tile { background: #fff; border: 1px solid #ddd; border-radius: 6px; padding: 0.8em 1.2em; }
+.tile b { display: block; font-size: 1.4em; }
+table { border-collapse: collapse; background: #fff; }
+td, th { border: 1px solid #ddd; padding: 0.2em 0.6em; text-align: left; }
+svg { background: #fff; border: 1px solid #ddd; }
+#status { color: #555; }
+td.stale { color: #b00; }
+.dot { display: inline-block; width: 0.6em; height: 0.6em; border-radius: 50%; background: #2a2; }
+.dot.off { background: #ccc; }
+</style>
+<h1>sic live dashboard</h1>
+<p id="status">connecting to /watch &#8230;</p>
+<div class="tiles">
+  <div class="tile"><b id="t_cov">&#8211;</b>points covered</div>
+  <div class="tile"><b id="t_runs">&#8211;</b>runs</div>
+  <div class="tile"><b id="t_workers">&#8211;</b>active workers</div>
+  <div class="tile"><b id="t_rate">&#8211;</b>runs/min</div>
+</div>
+<h2>total coverage</h2>
+<svg id="curve" width="640" height="160" viewBox="0 0 640 160"></svg>
+<h2>ingest rate (last 5 min, 5 s buckets)</h2>
+<svg id="rate" width="640" height="60" viewBox="0 0 640 60"></svg>
+<h2>workers</h2>
+<table>
+<thead><tr><th></th><th>worker</th><th>job</th><th>design</th><th>backend</th><th>cycles</th><th>covered</th><th>last seen</th></tr></thead>
+<tbody id="workers"></tbody>
+</table>
+<script>
+'use strict';
+var curve = [];
+var total = 0, covered = 0, runs = 0, failed = 0, workers = 0;
+var ingests = [];
+var workerRows = {};
+function $(id) { return document.getElementById(id); }
+function now() { return Date.now() / 1000; }
+function fmt(n) { return n.toLocaleString(); }
+function esc(s) { return String(s).replace(/&/g, '&amp;').replace(/</g, '&lt;'); }
+function setTiles() {
+  var pct = total > 0 ? (100 * covered / total).toFixed(1) + '%' : '';
+  $('t_cov').textContent = fmt(covered) + '/' + fmt(total) + (pct ? ' (' + pct + ')' : '');
+  $('t_runs').textContent = fmt(runs) + (failed > 0 ? ' (' + failed + ' failed)' : '');
+  $('t_workers').textContent = workers;
+  var cutoff = now() - 60;
+  $('t_rate').textContent = ingests.filter(function (t) { return t >= cutoff; }).length;
+}
+function drawCurve() {
+  var svg = $('curve'), w = 640, h = 160, pad = 4;
+  if (curve.length === 0) { svg.innerHTML = ''; return; }
+  var t0 = curve[0].t, t1 = curve[curve.length - 1].t;
+  var span = Math.max(t1 - t0, 1);
+  var max = Math.max(total, 1);
+  var pts = curve.map(function (p) {
+    var x = pad + (w - 2 * pad) * (p.t - t0) / span;
+    var y = h - pad - (h - 2 * pad) * p.covered / max;
+    return x.toFixed(1) + ',' + y.toFixed(1);
+  }).join(' ');
+  svg.innerHTML = '<polyline fill="none" stroke="#2a7" stroke-width="2" points="' + pts + '"/>';
+}
+function drawRate() {
+  var svg = $('rate'), w = 640, h = 60, buckets = 60, bucketS = 5;
+  var t = now(), counts = new Array(buckets).fill(0);
+  ingests.forEach(function (ts) {
+    var i = Math.floor((t - ts) / bucketS);
+    if (i >= 0 && i < buckets) counts[buckets - 1 - i]++;
+  });
+  var max = Math.max.apply(null, counts.concat([1]));
+  var bw = w / buckets, bars = '';
+  counts.forEach(function (c, i) {
+    var bh = (h - 2) * c / max;
+    bars += '<rect x="' + (i * bw + 1).toFixed(1) + '" y="' + (h - bh).toFixed(1) +
+      '" width="' + (bw - 2).toFixed(1) + '" height="' + bh.toFixed(1) + '" fill="#27a"/>';
+  });
+  svg.innerHTML = bars;
+}
+function drawWorkers() {
+  var t = now(), rows = '';
+  Object.keys(workerRows).sort().forEach(function (id) {
+    var w = workerRows[id], age = t - w.last, stale = age > 10;
+    rows += '<tr><td><span class="dot' + (stale ? ' off' : '') + '"></span></td><td>' + esc(id) +
+      '</td><td>' + (w.job >= 0 ? w.job : '') + '</td><td>' + esc(w.design) +
+      '</td><td>' + esc(w.backend) + '</td><td>' + fmt(w.cycles) +
+      '</td><td>' + fmt(w.covered) +
+      '</td><td' + (stale ? ' class="stale"' : '') + '>' + age.toFixed(0) + 's ago</td></tr>';
+  });
+  $('workers').innerHTML = rows;
+}
+function repaint() { setTiles(); drawCurve(); drawRate(); drawWorkers(); }
+var es = new EventSource('/watch');
+es.onopen = function () { $('status').textContent = 'live: streaming /watch'; };
+es.onerror = function () { $('status').textContent = 'disconnected, retrying'; };
+es.addEventListener('hello', function (e) {
+  var d = JSON.parse(e.data);
+  covered = d.covered; total = d.total; runs = d.runs; failed = d.failed; workers = d.workers;
+  curve.push({ t: now(), covered: covered });
+  repaint();
+});
+es.addEventListener('delta', function (e) {
+  var d = JSON.parse(e.data);
+  covered = d.covered; total = d.total; runs = d.runs; failed = d.failed; workers = d.workers;
+  ingests.push(now());
+  curve.push({ t: now(), covered: covered });
+  if (d.worker) {
+    var w = workerRows[d.worker] || { job: -1, design: '', backend: '', cycles: 0, covered: 0, last: 0 };
+    w.design = d.design; w.backend = d.backend; w.last = now();
+    workerRows[d.worker] = w;
+  }
+  repaint();
+});
+es.addEventListener('heartbeat', function (e) {
+  var d = JSON.parse(e.data);
+  workers = d.workers;
+  workerRows[d.worker] = { job: d.job, design: d.design, backend: d.backend,
+    cycles: d.cycles, covered: d.covered, last: now() };
+  repaint();
+});
+setInterval(repaint, 1000);
+</script>
+|dash}
 
 (** Serve a database-reading GET through the cache. The ETag is the
     manifest stamp, re-checked against the disk on {e every} request, so
@@ -469,6 +836,33 @@ let cached t (req : Http.request) ~content_type (render : Db.t -> string) : repl
     in
     { status = 200; content_type; extra = [ ("etag", etag) ]; body }
 
+(** The [hello] event greeting a new /watch subscriber: where the
+    database stands right now, so a dashboard renders before the first
+    delta arrives. *)
+let overview_json t : Json.t =
+  let db =
+    Mutex.protect t.db_m (fun () ->
+        let db = Db.load t.db_dir in
+        t.db <- db;
+        db)
+  in
+  let union = Db.union_counts db in
+  let all = Db.runs db in
+  let ok = Db.ok_runs db in
+  let units = List.fold_left (fun acc (r : Db.run) -> acc + r.Db.cycles) 0 ok in
+  Json.Obj
+    [
+      ("runs", Json.Int (List.length all));
+      ("ok", Json.Int (List.length ok));
+      ("failed", Json.Int (List.length all - List.length ok));
+      ("covered", Json.Int (Counts.covered_points union));
+      ("total", Json.Int (Counts.total_points union));
+      ("units", Json.Int units);
+      ("stamp", Json.Int (Db.manifest_stamp db));
+      ("workers", Json.Int (active_producers t));
+      ("kinds", kinds_json union);
+    ]
+
 let post_run t (req : Http.request) : reply =
   let str k default = Option.value ~default (List.assoc_opt k req.Http.query) in
   let int k default =
@@ -483,12 +877,16 @@ let post_run t (req : Http.request) : reply =
     try Counts.of_string req.Http.body
     with Counts.Bad_format m -> raise (Http.Bad_request ("bad counts payload: " ^ m))
   in
-  let run =
+  let worker = str "worker" "" in
+  let run, newly, agg, nruns, nok =
     Mutex.protect t.db_m (fun () ->
         Db.Lock.with_lock t.db_dir (fun () ->
             (* reload under the lock: another process may have appended
                runs since we last looked, and ids are assigned in order *)
             let db = Db.load t.db_dir in
+            (* the aggregate *before* this run decides which of its >0
+               points are news to the whole campaign *)
+            let before = Db.aggregate db in
             let run =
               Db.add db ~design:(str "design" "unknown")
                 ~backend:(str "backend" "external")
@@ -497,30 +895,107 @@ let post_run t (req : Http.request) : reply =
             in
             t.db <- db;
             Hashtbl.reset t.cache;
-            run))
+            let newly =
+              List.fold_left
+                (fun acc (name, c) ->
+                  if c > 0 && Counts.get before name = 0 then acc + 1 else acc)
+                0 (Counts.to_sorted_list counts)
+            in
+            ( run,
+              newly,
+              Db.aggregate db,
+              List.length (Db.runs db),
+              List.length (Db.ok_runs db) )))
   in
-  t.metrics.ingested <- t.metrics.ingested + 1;
+  touch_producer t worker (fun w ->
+      w.w_runs <- w.w_runs + 1;
+      w.w_design <- run.Db.design;
+      w.w_backend <- run.Db.backend);
+  Mutex.protect t.metrics.mm (fun () -> t.metrics.ingested <- t.metrics.ingested + 1);
+  publish t ~event:"delta"
+    ~data:
+      (Json.to_string
+         (Json.Obj
+            [
+              ("run", Json.String run.Db.id);
+              ("design", Json.String run.Db.design);
+              ("backend", Json.String run.Db.backend);
+              ("worker", Json.String worker);
+              ("seed", Json.Int run.Db.seed);
+              ("cycles", Json.Int run.Db.cycles);
+              ("newly_covered", Json.Int newly);
+              ("covered", Json.Int (Counts.covered_points agg));
+              ("total", Json.Int (Counts.total_points agg));
+              ("runs", Json.Int nruns);
+              ("ok", Json.Int nok);
+              ("failed", Json.Int (nruns - nok));
+              ("stamp", Json.Int (Db.manifest_stamp t.db));
+              ("workers", Json.Int (active_producers t));
+              ("kinds", kinds_json agg);
+            ]));
   json 201 (Db.json_of_run run)
+
+let post_heartbeat t (req : Http.request) : reply =
+  let str k default = Option.value ~default (List.assoc_opt k req.Http.query) in
+  let int k default =
+    match List.assoc_opt k req.Http.query with
+    | None -> default
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n -> n
+        | None -> raise (Http.Bad_request (Printf.sprintf "query parameter %s is not an integer: %s" k s)))
+  in
+  let worker = str "worker" "" in
+  if worker = "" then
+    raise (Http.Bad_request "missing query parameter worker (POST /heartbeat?worker=ID)");
+  let job = int "job" (-1) in
+  let design = str "design" "" and backend = str "backend" "" in
+  let cycles = int "cycles" 0 and covered = int "covered" 0 in
+  touch_producer t worker (fun w ->
+      w.w_job <- job;
+      if design <> "" then w.w_design <- design;
+      if backend <> "" then w.w_backend <- backend;
+      w.w_cycles <- cycles;
+      w.w_covered <- covered);
+  publish t ~event:"heartbeat"
+    ~data:
+      (Json.to_string
+         (Json.Obj
+            [
+              ("worker", Json.String worker);
+              ("job", Json.Int job);
+              ("design", Json.String design);
+              ("backend", Json.String backend);
+              ("cycles", Json.Int cycles);
+              ("covered", Json.Int covered);
+              ("workers", Json.Int (active_producers t));
+            ]));
+  json 200 (Json.Obj [ ("ok", Json.Bool true) ])
 
 let metrics_json t : reply =
   let m = t.metrics in
+  let subscribers = Mutex.protect t.hub.hm (fun () -> t.hub.subscribers) in
+  let workers_active = active_producers t in
   Mutex.protect m.mm (fun () ->
       let table to_key tbl =
         Hashtbl.fold (fun k v acc -> (to_key k, Json.Int v) :: acc) tbl []
         |> List.sort (fun (a, _) (b, _) -> String.compare a b)
       in
+      let summary h =
+        Json.Obj
+          [
+            ("count", Json.Int (Obs.Histogram.count h));
+            ("mean_us", Json.Float (Obs.Histogram.mean h));
+            ("p50_us", Json.Float (Obs.Histogram.percentile h 50.));
+            ("p90_us", Json.Float (Obs.Histogram.percentile h 90.));
+            ("p99_us", Json.Float (Obs.Histogram.percentile h 99.));
+            ("max_us", Json.Float (Obs.Histogram.max_value h));
+          ]
+      in
       let latency =
-        if Obs.Histogram.count m.latency = 0 then Json.Null
-        else
-          Json.Obj
-            [
-              ("count", Json.Int (Obs.Histogram.count m.latency));
-              ("mean_us", Json.Float (Obs.Histogram.mean m.latency));
-              ("p50_us", Json.Float (Obs.Histogram.percentile m.latency 50.));
-              ("p90_us", Json.Float (Obs.Histogram.percentile m.latency 90.));
-              ("p99_us", Json.Float (Obs.Histogram.percentile m.latency 99.));
-              ("max_us", Json.Float (Obs.Histogram.max_value m.latency));
-            ]
+        Json.Obj
+          (Hashtbl.fold (fun k h acc -> (k, summary h) :: acc) m.latency []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b))
       in
       json 200
         (Json.Obj
@@ -534,14 +1009,127 @@ let metrics_json t : reply =
              ("dropped_busy", Json.Int m.dropped_busy);
              ("cache_hits", Json.Int m.cache_hits);
              ("cache_misses", Json.Int m.cache_misses);
+             ( "sse",
+               Json.Obj
+                 [
+                   ("subscribers", Json.Int subscribers);
+                   ("events", Json.Int m.sse_events);
+                   ("dropped", Json.Int m.sse_dropped);
+                 ] );
+             ("workers_active", Json.Int workers_active);
              ("db_stamp", Json.Int (Db.manifest_stamp t.db));
            ]))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition (format 0.0.4)                            *)
+(* ------------------------------------------------------------------ *)
+
+let prom_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let metrics_prom t : reply =
+  let subscribers = Mutex.protect t.hub.hm (fun () -> t.hub.subscribers) in
+  let workers_active = active_producers t in
+  let m = t.metrics in
+  let b = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  Mutex.protect m.mm (fun () ->
+      line "# HELP sic_requests_total HTTP requests served, by route.\n";
+      line "# TYPE sic_requests_total counter\n";
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.requests []
+      |> List.sort compare
+      |> List.iter (fun (k, v) ->
+             line "sic_requests_total{endpoint=\"%s\"} %d\n" (prom_escape k) v);
+      line "# HELP sic_responses_total HTTP responses, by status code.\n";
+      line "# TYPE sic_responses_total counter\n";
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.statuses []
+      |> List.sort compare
+      |> List.iter (fun (k, v) -> line "sic_responses_total{code=\"%d\"} %d\n" k v);
+      line "# HELP sic_request_duration_microseconds Request wall time, by route.\n";
+      line "# TYPE sic_request_duration_microseconds summary\n";
+      Hashtbl.fold (fun k h acc -> (k, h) :: acc) m.latency []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.iter (fun (k, h) ->
+             let e = prom_escape k in
+             List.iter
+               (fun (q, label) ->
+                 line "sic_request_duration_microseconds{endpoint=\"%s\",quantile=\"%s\"} %.1f\n"
+                   e label
+                   (Obs.Histogram.percentile h q))
+               [ (50., "0.5"); (90., "0.9"); (99., "0.99") ];
+             line "sic_request_duration_microseconds_sum{endpoint=\"%s\"} %.1f\n" e
+               (Obs.Histogram.mean h *. float_of_int (Obs.Histogram.count h));
+             line "sic_request_duration_microseconds_count{endpoint=\"%s\"} %d\n" e
+               (Obs.Histogram.count h));
+      let counter name help v =
+        line "# HELP %s %s\n" name help;
+        line "# TYPE %s counter\n" name;
+        line "%s %d\n" name v
+      in
+      let gauge name help v =
+        line "# HELP %s %s\n" name help;
+        line "# TYPE %s gauge\n" name;
+        line "%s %d\n" name v
+      in
+      counter "sic_connections_total" "TCP connections accepted." m.connections;
+      counter "sic_ingested_runs_total" "Runs accepted by POST /runs." m.ingested;
+      counter "sic_epipe_total" "Peers that vanished mid-response." m.epipe;
+      counter "sic_dropped_busy_total" "Connections refused with 503 (accept queue full)."
+        m.dropped_busy;
+      counter "sic_cache_hits_total" "Rendered-response cache hits." m.cache_hits;
+      counter "sic_cache_misses_total" "Rendered-response cache misses." m.cache_misses;
+      counter "sic_sse_events_total" "Events published to /watch subscribers." m.sse_events;
+      counter "sic_sse_dropped_subscribers_total"
+        "/watch subscribers that vanished mid-stream." m.sse_dropped;
+      gauge "sic_sse_subscribers" "Currently connected /watch subscribers." subscribers;
+      gauge "sic_workers_active" "Producers heard from within the liveness window."
+        workers_active;
+      gauge "sic_db_manifest_stamp" "Database manifest stamp (manifest size in bytes)."
+        (Db.manifest_stamp t.db));
+  {
+    status = 200;
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    extra = [];
+    body = Buffer.contents b;
+  }
+
+let contains_sub hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* content negotiation for /metrics: Prometheus scrapers send
+   Accept: text/plain (with a version parameter); everyone else gets
+   the JSON. /metrics.prom forces the exposition format. *)
+let wants_prom (req : Http.request) =
+  match Http.header req "accept" with
+  | Some a -> contains_sub a "text/plain"
+  | None -> false
 
 let handle t (req : Http.request) : reply =
   match (req.Http.meth, req.Http.path) with
   | "GET", "/healthz" -> text 200 "ok\n"
   | "GET", "/" -> text 200 index_body
+  | "GET", "/dashboard" ->
+      {
+        status = 200;
+        content_type = "text/html; charset=utf-8";
+        extra = [];
+        body = dashboard_html;
+      }
+  | "GET", "/metrics" when wants_prom req -> metrics_prom t
   | "GET", "/metrics" -> metrics_json t
+  | "GET", "/metrics.prom" -> metrics_prom t
+  | "POST", "/heartbeat" -> post_heartbeat t req
   | "POST", "/runs" -> post_run t req
   | "GET", "/runs" -> cached t req ~content_type:"application/json" runs_json
   | "GET", "/report" -> cached t req ~content_type:"application/json" report_json
@@ -573,16 +1161,49 @@ let safe_handle t (req : Http.request) : reply =
 (* Connection handling                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* /metrics must not grow without bound when scanners probe random
+   paths: count only the routes we actually serve and bucket everything
+   else (404 noise) under "other" *)
+let known_routes =
+  [
+    "GET /";
+    "GET /healthz";
+    "GET /dashboard";
+    "GET /watch";
+    "GET /metrics";
+    "GET /metrics.prom";
+    "GET /report";
+    "GET /report.html";
+    "GET /runs";
+    "POST /runs";
+    "POST /heartbeat";
+    "GET /rank";
+    "GET /timelines";
+    "GET /diff";
+  ]
+
+let route_label (req : Http.request) =
+  let key = req.Http.meth ^ " " ^ req.Http.path in
+  if List.mem key known_routes then key else "other"
+
 let record_request t (req : Http.request) ~status ~start_us =
   let dur_us = Obs.now_us () -. start_us in
   let m = t.metrics in
   Mutex.protect m.mm (fun () ->
-      let key = req.Http.meth ^ " " ^ req.Http.path in
+      let key = route_label req in
       Hashtbl.replace m.requests key
         (1 + Option.value ~default:0 (Hashtbl.find_opt m.requests key));
       Hashtbl.replace m.statuses status
         (1 + Option.value ~default:0 (Hashtbl.find_opt m.statuses status));
-      Obs.Histogram.add m.latency dur_us);
+      let h =
+        match Hashtbl.find_opt m.latency key with
+        | Some h -> h
+        | None ->
+            let h = Obs.Histogram.create () in
+            Hashtbl.add m.latency key h;
+            h
+      in
+      Obs.Histogram.add h dur_us);
   if Obs.on () then
     Mutex.protect obs_m (fun () ->
         Obs.record_span ~name:"serve.request" ~start_us ~dur_us
@@ -613,10 +1234,81 @@ let wait_readable t fd (r : Http.Reader.t) : bool =
   done;
   Option.get !result
 
-let serve_connection t fd =
+(* One /watch subscriber: a dedicated thread that owns the socket. The
+   HTTP worker that parsed the request hands the fd over and returns to
+   the pool immediately, so streaming clients never starve the fixed
+   worker pool. The thread greets with a [hello] snapshot, then drains
+   the hub — writing keep-alive comments across idle gaps — until the
+   peer vanishes (EPIPE) or the hub closes (graceful drain). *)
+let sse_loop t fd =
+  let h = t.hub in
+  let m = t.metrics in
+  Mutex.protect h.hm (fun () -> h.subscribers <- h.subscribers + 1);
+  let alive = ref true in
+  let send s =
+    try write_all fd s
+    with Unix.Unix_error _ ->
+      Mutex.protect m.mm (fun () -> m.sse_dropped <- m.sse_dropped + 1);
+      alive := false
+  in
+  send
+    "HTTP/1.1 200 OK\r\n\
+     connection: close\r\n\
+     content-type: text/event-stream\r\n\
+     cache-control: no-cache\r\n\
+     \r\n";
+  if !alive then send (Sse.frame ~event:"hello" (Json.to_string (overview_json t)));
+  let last_seq = ref (Mutex.protect h.hm (fun () -> h.seq)) in
+  let last_write = ref (Unix.gettimeofday ()) in
+  let hb_n = ref 0 in
+  while !alive do
+    let fresh, closed =
+      Mutex.protect h.hm (fun () ->
+          if h.seq = !last_seq && not h.hub_closed then Condition.wait h.hc h.hm;
+          let fresh =
+            List.filter (fun (e : sse_event) -> e.seq > !last_seq) h.backlog |> List.rev
+          in
+          List.iter (fun (e : sse_event) -> last_seq := max !last_seq e.seq) fresh;
+          (fresh, h.hub_closed))
+    in
+    List.iter
+      (fun e ->
+        if !alive then begin
+          send (Sse.frame ~event:e.ev_name e.ev_data);
+          last_write := Unix.gettimeofday ()
+        end)
+      fresh;
+    if closed then begin
+      if !alive then send (Sse.comment "bye");
+      alive := false
+    end
+    else if !alive && Unix.gettimeofday () -. !last_write >= t.sse_heartbeat_s then begin
+      incr hb_n;
+      send (Sse.heartbeat !hb_n);
+      last_write := Unix.gettimeofday ()
+    end
+  done;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.protect h.hm (fun () -> h.subscribers <- h.subscribers - 1)
+
+(* Condition has no timed wait: a low-rate broadcast wakes idle
+   subscriber threads so they can emit keep-alive heartbeats and notice
+   shutdown promptly. Exits once the hub closes. *)
+let ticker_loop t =
+  let h = t.hub in
+  let stop = ref false in
+  while not !stop do
+    Thread.delay 0.25;
+    Mutex.protect h.hm (fun () ->
+        if h.hub_closed then stop := true;
+        Condition.broadcast h.hc)
+  done
+
+let serve_connection t fd : [ `Close | `Detached ] =
   t.metrics.connections <- t.metrics.connections + 1;
   let r = Http.Reader.of_fd fd in
   let closing = ref false in
+  let detached = ref false in
   (* a worker must not hang forever on a half-sent request *)
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0 with Unix.Unix_error _ -> ());
   while not !closing do
@@ -643,6 +1335,16 @@ let serve_connection t fd =
           (* peer reset / receive timeout mid-request *)
           t.metrics.epipe <- t.metrics.epipe + 1;
           closing := true
+      | Some req when req.Http.meth = "GET" && req.Http.path = "/watch" ->
+          (* detach: the streaming thread owns the socket from here on *)
+          let start_us = Obs.now_us () in
+          (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.0 with Unix.Unix_error _ -> ());
+          let th = Thread.create (fun () -> sse_loop t fd) () in
+          Mutex.protect t.hub.hm (fun () ->
+              t.hub.sse_threads <- th :: t.hub.sse_threads);
+          record_request t req ~status:200 ~start_us;
+          detached := true;
+          closing := true
       | Some req ->
           let start_us = Obs.now_us () in
           let reply = safe_handle t req in
@@ -658,7 +1360,8 @@ let serve_connection t fd =
           record_request t req ~status:reply.status ~start_us;
           if not keep_alive then closing := true
     end
-  done
+  done;
+  if !detached then `Detached else `Close
 
 (* ------------------------------------------------------------------ *)
 (* The accept loop and the worker pool                                  *)
@@ -675,8 +1378,10 @@ let worker t =
     match item with
     | None -> ()
     | Some fd ->
-        (try serve_connection t fd with _ -> ());
-        (try Unix.close fd with Unix.Unix_error _ -> ());
+        (match serve_connection t fd with
+        | `Detached -> () (* a /watch streaming thread owns the fd now *)
+        | `Close -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+        | exception _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()));
         loop ()
   in
   loop ()
@@ -727,8 +1432,8 @@ let resolve host =
     try (Unix.gethostbyname host).Unix.h_addr_list.(0)
     with Not_found -> raise (Db.Db_error ("cannot resolve host " ^ host)))
 
-let start ?(host = "127.0.0.1") ?(port = 0) ?(threads = 4) ?(queue_limit = 64) ~db_dir () : t
-    =
+let start ?(host = "127.0.0.1") ?(port = 0) ?(threads = 4) ?(queue_limit = 64)
+    ?(sse_heartbeat_s = 15.0) ~db_dir () : t =
   ignore_sigpipe ();
   let db = Db.load db_dir in
   (* fails loudly on a non-database before any socket exists *)
@@ -767,14 +1472,20 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(threads = 4) ?(queue_limit = 64) ~
             mm = Mutex.create ();
             requests = Hashtbl.create 16;
             statuses = Hashtbl.create 8;
-            latency = Obs.Histogram.create ();
+            latency = Hashtbl.create 16;
             connections = 0;
             ingested = 0;
             epipe = 0;
             dropped_busy = 0;
             cache_hits = 0;
             cache_misses = 0;
+            sse_events = 0;
+            sse_dropped = 0;
           };
+        hub = hub_create ();
+        producers = Hashtbl.create 8;
+        sse_heartbeat_s = max 0.5 sse_heartbeat_s;
+        ticker = None;
       }
     with e ->
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
@@ -782,6 +1493,7 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(threads = 4) ?(queue_limit = 64) ~
   in
   t.workers <- List.init (max 1 threads) (fun _ -> Thread.create worker t);
   t.acceptor <- Some (Thread.create accept_loop t);
+  t.ticker <- Some (Thread.create ticker_loop t);
   t
 
 (** Async-signal-safe shutdown request: one byte down the self-pipe. The
@@ -794,6 +1506,11 @@ let request_stop t =
 let join_and_cleanup t =
   (match t.acceptor with Some th -> Thread.join th | None -> ());
   List.iter Thread.join t.workers;
+  (* the workers are gone, so no new /watch subscriber can appear: close
+     the hub and wait for every streaming thread to say goodbye *)
+  hub_close t.hub;
+  (match t.ticker with Some th -> Thread.join th | None -> ());
+  List.iter Thread.join (Mutex.protect t.hub.hm (fun () -> t.hub.sse_threads));
   List.iter
     (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
     [ t.listen_fd; t.stop_rd; t.stop_wr ]
@@ -937,15 +1654,51 @@ module Client = struct
   (** Push one run's counts to a server's [/runs] — what
       [sic campaign --push URL] does for every run the campaign added.
       [url] is the server root (e.g. [http://host:8080]); metadata
-      travels as query parameters, the body is the counts v1 text. *)
-  let push_run ~url ~design ~backend ~workload ~seed ~cycles (counts : Counts.t) : response
-      =
+      travels as query parameters, the body is the counts v1 text.
+      [worker] tags the run with a producer id for the live dashboard. *)
+  let push_run ?(worker = "") ~url ~design ~backend ~workload ~seed ~cycles
+      (counts : Counts.t) : response =
     let url = if String.length url > 0 && url.[String.length url - 1] = '/'
       then String.sub url 0 (String.length url - 1) else url in
     let target =
-      Printf.sprintf "%s/runs?design=%s&backend=%s&workload=%s&seed=%d&cycles=%d" url
+      Printf.sprintf "%s/runs?design=%s&backend=%s&workload=%s&seed=%d&cycles=%d%s" url
         (Http.percent_encode design) (Http.percent_encode backend)
         (Http.percent_encode workload) seed cycles
+        (if worker = "" then "" else "&worker=" ^ Http.percent_encode worker)
     in
     post ~body:(Counts.to_string counts) target
+
+  (** Subscribe to the server's [GET /watch] SSE stream and feed every
+      decoded event to [on_event] until it returns [false] or the server
+      closes the stream (its graceful drain). Keep-alive comments are
+      consumed silently; [url] is the server root. *)
+  let watch ~(on_event : event:string -> data:string -> bool) url : unit =
+    let host, port, _ = parse_url url in
+    let c = connect ~host ~port in
+    Fun.protect
+      ~finally:(fun () -> close c)
+      (fun () ->
+        write_all c.fd
+          (Printf.sprintf
+             "GET /watch HTTP/1.1\r\nhost: %s:%d\r\naccept: text/event-stream\r\n\r\n" host
+             port);
+        (match Http.read_line ~limit:Http.max_request_line c.rd with
+        | None -> raise (Error "server closed the connection before responding")
+        | Some line -> (
+            match String.split_on_char ' ' line with
+            | _ :: "200" :: _ -> ()
+            | _ -> raise (Error ("watch: unexpected response: " ^ line))));
+        let _headers = Http.read_headers c.rd in
+        let d = Sse.Decoder.create () in
+        let continue_ = ref true in
+        while !continue_ do
+          match Http.read_line c.rd with
+          | None -> continue_ := false
+          | Some line -> (
+              match Sse.Decoder.line d line with
+              | Some (event, data) -> if not (on_event ~event ~data) then continue_ := false
+              | None -> ())
+          | exception Http.Bad_request _ -> continue_ := false
+          | exception Unix.Unix_error _ -> continue_ := false
+        done)
 end

@@ -11,9 +11,12 @@
     parser limits, ETag/[If-None-Match] caching keyed on the database's
     {!Sic_db.Db.manifest_stamp}, and graceful drain on SIGINT/SIGTERM.
 
-    Endpoints: [POST /runs], [GET /report], [GET /report.html],
-    [GET /runs], [GET /rank], [GET /timelines], [GET /diff?a=&b=],
-    [GET /metrics], [GET /healthz], [GET /]. *)
+    Endpoints: [POST /runs], [POST /heartbeat], [GET /report],
+    [GET /report.html], [GET /runs], [GET /rank], [GET /timelines],
+    [GET /diff?a=&b=], [GET /watch] (server-sent events),
+    [GET /dashboard], [GET /metrics] (JSON, or Prometheus text
+    exposition under [Accept: text/plain]), [GET /metrics.prom],
+    [GET /healthz], [GET /]. *)
 
 val ignore_sigpipe : unit -> unit
 (** Ignore SIGPIPE process-wide, turning writes to a vanished peer into
@@ -77,6 +80,38 @@ module Http : sig
   val percent_encode : string -> string
 end
 
+(** The SSE wire subset [GET /watch] speaks: [event:]/[data:] frames
+    terminated by a blank line, [:] comment lines as keep-alive
+    heartbeats. Exposed for the client, [sic watch] and the tests. *)
+module Sse : sig
+  val frame : ?event:string -> string -> string
+  (** [frame ?event data] is one complete SSE frame. Newlines in the
+      event name are flattened to spaces; each line of [data] becomes
+      its own [data:] line (CRs are dropped), and the frame ends with
+      the blank separator line. *)
+
+  val comment : string -> string
+  (** A [:]-prefixed comment frame (flattened to one line) — invisible
+      to [EventSource] consumers, keeps the connection alive. *)
+
+  val heartbeat : int -> string
+  (** [heartbeat n] is [comment ("hb " ^ n)]. *)
+
+  (** Reassemble events from a line-split SSE stream (line terminators
+      already stripped). *)
+  module Decoder : sig
+    type t
+
+    val create : unit -> t
+
+    val line : t -> string -> (string * string) option
+    (** Feed one line. [Some (event, data)] when the line completes an
+        event (the event name defaults to ["message"]); [None] while
+        accumulating, on comments, and on fields we don't speak. Events
+        without any [data:] line are dropped, per the SSE spec. *)
+  end
+end
+
 type t
 (** A running server: listening socket, acceptor thread, worker pool. *)
 
@@ -85,25 +120,30 @@ val start :
   ?port:int ->
   ?threads:int ->
   ?queue_limit:int ->
+  ?sse_heartbeat_s:float ->
   db_dir:string ->
   unit ->
   t
 (** Bind, listen and spin up the pool; returns once the server is
     accepting. Defaults: host ["127.0.0.1"], port [0] (ephemeral — read
     it back with {!port}), [4] worker threads, accept-queue limit [64]
-    (beyond it new connections are answered [503] and closed). Validates
-    [db_dir] up front (raises {!Sic_db.Db.Db_error} if it is not a
-    database). Writes to the database go through {!Sic_db.Db.Lock}, so
-    the server coexists with concurrent [sic db add] / campaigns on the
-    same directory. *)
+    (beyond it new connections are answered [503] and closed),
+    [sse_heartbeat_s] [15.] (idle gap before a [/watch] subscriber gets
+    a keep-alive comment; clamped to at least [0.5]). Validates [db_dir]
+    up front (raises {!Sic_db.Db.Db_error} if it is not a database).
+    Writes to the database go through {!Sic_db.Db.Lock}, so the server
+    coexists with concurrent [sic db add] / campaigns on the same
+    directory. [/watch] subscribers are served by dedicated streaming
+    threads, so they never occupy the request worker pool. *)
 
 val port : t -> int
 (** The actually-bound port (useful with [?port:0]). *)
 
 val stop : t -> unit
 (** Graceful shutdown: stop accepting, drain queued connections, join
-    every worker, close the sockets. Idempotent-ish: safe to call once
-    per {!start}. *)
+    every worker, close the hub so every [/watch] subscriber is sent a
+    goodbye and hung up, close the sockets. Idempotent-ish: safe to
+    call once per {!start}. *)
 
 val flush_cache : t -> unit
 (** Drop the rendered-response cache (bench harness: measures the
@@ -168,6 +208,7 @@ module Client : sig
   val post : ?headers:(string * string) list -> body:string -> string -> response
 
   val push_run :
+    ?worker:string ->
     url:string ->
     design:string ->
     backend:string ->
@@ -179,5 +220,12 @@ module Client : sig
   (** POST one run's counts to [url ^ "/runs"] with the metadata as query
       parameters — what [sic campaign --push URL] does for each run the
       campaign records. A [201] response carries the server-assigned run
-      record as JSON. *)
+      record as JSON. [worker] tags the run with a producer id so the
+      live dashboard can attribute it. *)
+
+  val watch : on_event:(event:string -> data:string -> bool) -> string -> unit
+  (** Subscribe to the server root's [GET /watch] SSE stream and feed
+      each decoded event to [on_event] until it returns [false] or the
+      server closes the stream (its graceful drain). Keep-alive comments
+      are consumed silently. Blocks the calling thread. *)
 end

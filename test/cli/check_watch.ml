@@ -1,0 +1,140 @@
+(* CLI smoke for the live observability plane: start the real [sic serve]
+   binary on an ephemeral port, attach a /watch subscriber, push a run and
+   assert one [delta] SSE event arrives; fetch /dashboard (written to the
+   path in argv for CI artifact upload) and /metrics.prom; then SIGTERM
+   the server with the subscriber still attached and require a graceful
+   exit 0 — the drain must hang live streams up, not hang on them.
+
+   Usage: check_watch.exe SIC.exe [DASHBOARD_OUT.html] *)
+
+module Counts = Sic_coverage.Counts
+module Serve = Sic_serve.Serve
+module Client = Serve.Client
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_watch: " ^ m); exit 1) fmt
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let () =
+  (* a stuck drain must fail the test, not wedge CI *)
+  ignore (Unix.alarm 60);
+  let sic, dash_out =
+    match Sys.argv with
+    | [| _; exe |] -> (exe, None)
+    | [| _; exe; out |] -> (exe, Some out)
+    | _ -> fail "usage: check_watch.exe SIC.exe [DASHBOARD_OUT.html]"
+  in
+  let db_dir = Printf.sprintf "watch_smoke_db_%d" (Unix.getpid ()) in
+  let out_rd, out_wr = Unix.pipe () in
+  let pid =
+    Unix.create_process sic
+      [| sic; "serve"; "--db"; db_dir; "--port"; "0"; "--threads"; "2" |]
+      Unix.stdin out_wr Unix.stderr
+  in
+  Unix.close out_wr;
+  let banner =
+    let buf = Buffer.create 128 in
+    let b = Bytes.create 1 in
+    let rec go () =
+      match Unix.read out_rd b 0 1 with
+      | 0 -> fail "server exited before printing its banner"
+      | _ ->
+          if Bytes.get b 0 = '\n' then Buffer.contents buf
+          else (Buffer.add_char buf (Bytes.get b 0); go ())
+    in
+    go ()
+  in
+  let port =
+    match String.split_on_char '/' banner with
+    | _ :: _ :: hostport :: _ -> (
+        match String.split_on_char ':' hostport with
+        | [ _; p ] -> (
+            match int_of_string_opt p with
+            | Some p -> p
+            | None -> fail "bad port in banner: %s" banner)
+        | _ -> fail "unparseable host:port in banner: %s" banner)
+    | _ -> fail "unparseable banner: %s" banner
+  in
+  let url = Printf.sprintf "http://127.0.0.1:%d" port in
+  let cleanup_kill () = try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> () in
+  let m = Mutex.create () in
+  let events = ref [] in
+  let watcher =
+    Thread.create
+      (fun () ->
+        try
+          Client.watch
+            ~on_event:(fun ~event ~data ->
+              Mutex.protect m (fun () -> events := (event, data) :: !events);
+              true)
+            url
+        with e ->
+          cleanup_kill ();
+          fail "watch stream failed: %s" (Printexc.to_string e))
+      ()
+  in
+  let wait_for what pred =
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let seen () = Mutex.protect m (fun () -> List.exists pred !events) in
+    while (not (seen ())) && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.02
+    done;
+    if not (seen ()) then begin
+      cleanup_kill ();
+      fail "timed out waiting for %s" what
+    end
+  in
+  (try
+     wait_for "the hello snapshot" (fun (ev, _) -> ev = "hello");
+     let r =
+       Client.push_run ~worker:"ci" ~url ~design:"smoke" ~backend:"cli" ~workload:"smoke"
+         ~seed:1 ~cycles:25
+         (Counts.of_list [ ("x", 2); ("y", 0) ])
+     in
+     if r.Client.status <> 201 then fail "push answered %d: %s" r.Client.status r.Client.body;
+     wait_for "a delta event" (fun (ev, data) ->
+         ev = "delta" && contains data "\"newly_covered\":1" && contains data "\"worker\":\"ci\"");
+     (* the dashboard: self-contained HTML, saved for artifact upload *)
+     let d = Client.get (url ^ "/dashboard") in
+     if d.Client.status <> 200 then fail "dashboard answered %d" d.Client.status;
+     if not (contains d.Client.body "EventSource") then fail "dashboard has no EventSource";
+     if not (contains d.Client.body "<!doctype") then fail "dashboard is not html";
+     (match dash_out with
+     | None -> ()
+     | Some path ->
+         let oc = open_out path in
+         output_string oc d.Client.body;
+         close_out oc);
+     (* Prometheus exposition, both by path and by content negotiation *)
+     let check_prom (p : Client.response) whence =
+       if p.Client.status <> 200 then fail "%s answered %d" whence p.Client.status;
+       if not (contains p.Client.body "sic_requests_total") then
+         fail "%s is missing sic_requests_total" whence;
+       String.split_on_char '\n' p.Client.body
+       |> List.iter (fun l ->
+              if not (l = "" || l.[0] = '#' || (String.contains l ' ' && contains l "sic_"))
+              then fail "%s has a malformed line: %s" whence l)
+     in
+     check_prom (Client.get (url ^ "/metrics.prom")) "/metrics.prom";
+     check_prom
+       (Client.get ~headers:[ ("accept", "text/plain") ] (url ^ "/metrics"))
+       "/metrics under Accept: text/plain"
+   with
+  | Failure _ as e -> raise e
+  | e ->
+      cleanup_kill ();
+      fail "client round trip failed: %s" (Printexc.to_string e));
+  (* SIGTERM with a live /watch subscriber: the drain must close the
+     stream (the watcher thread returns) and the server must exit 0 *)
+  Unix.kill pid Sys.sigterm;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> fail "server exited %d after SIGTERM" n
+  | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+      fail "server killed/stopped by signal %d instead of draining" s);
+  Thread.join watcher;
+  Unix.close out_rd;
+  print_endline "check_watch: ok"

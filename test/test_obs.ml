@@ -87,7 +87,24 @@ let test_histogram_percentiles () =
   Alcotest.(check (float 1e-9)) "p99" 99. (Obs.Histogram.percentile h 99.);
   Alcotest.(check (float 1e-9)) "p100" 100. (Obs.Histogram.percentile h 100.);
   Alcotest.(check bool) "empty histogram is nan" true
-    (Float.is_nan (Obs.Histogram.percentile (Obs.Histogram.create ()) 50.))
+    (Float.is_nan (Obs.Histogram.percentile (Obs.Histogram.create ()) 50.));
+  (* a single sample answers every percentile *)
+  let one = Obs.Histogram.create () in
+  Obs.Histogram.add one 7.;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "single sample p%g" q) 7.
+        (Obs.Histogram.percentile one q))
+    [ 0.; 50.; 100. ];
+  (* nearest-rank boundaries on a small population *)
+  let four = Obs.Histogram.create () in
+  List.iter (fun v -> Obs.Histogram.add four v) [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check (float 1e-9)) "4 samples p0" 1. (Obs.Histogram.percentile four 0.);
+  Alcotest.(check (float 1e-9)) "4 samples p25" 1. (Obs.Histogram.percentile four 25.);
+  Alcotest.(check (float 1e-9)) "4 samples p26" 2. (Obs.Histogram.percentile four 26.);
+  Alcotest.(check (float 1e-9)) "4 samples p75" 3. (Obs.Histogram.percentile four 75.);
+  Alcotest.(check (float 1e-9)) "4 samples p76" 4. (Obs.Histogram.percentile four 76.);
+  Alcotest.(check (float 1e-9)) "4 samples p100" 4. (Obs.Histogram.percentile four 100.)
 
 let test_counters () =
   with_fake_clock (fun () ->

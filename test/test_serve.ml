@@ -241,6 +241,204 @@ let test_e2e_push_is_idempotent_for_report () =
         (Json.equal (Json.Obj (strip a)) (Json.Obj (strip b)))
   | _ -> Alcotest.fail "/report is not a JSON object"
 
+(* ---------------- SSE units ---------------- *)
+
+let test_sse_frame () =
+  Alcotest.(check string) "plain data frame" "data: hi\n\n" (Serve.Sse.frame "hi");
+  Alcotest.(check string) "named event"
+    "event: delta\ndata: {\"x\":1}\n\n"
+    (Serve.Sse.frame ~event:"delta" "{\"x\":1}");
+  Alcotest.(check string) "multiline data splits into data: lines"
+    "data: a\ndata: b\n\n"
+    (Serve.Sse.frame "a\nb");
+  Alcotest.(check string) "CRs are dropped" "data: ab\n\n" (Serve.Sse.frame "a\rb");
+  Alcotest.(check string) "newline in event name flattened"
+    "event: a b\ndata: x\n\n"
+    (Serve.Sse.frame ~event:"a\nb" "x");
+  Alcotest.(check string) "comment" ": keep alive\n\n" (Serve.Sse.comment "keep alive");
+  Alcotest.(check string) "heartbeat" ": hb 3\n\n" (Serve.Sse.heartbeat 3)
+
+let test_sse_decoder () =
+  let d = Serve.Sse.Decoder.create () in
+  let feed = Serve.Sse.Decoder.line d in
+  (* comments and empty frames dispatch nothing *)
+  Alcotest.(check (option (pair string string))) "comment" None (feed ": hb 0");
+  Alcotest.(check (option (pair string string))) "separator alone" None (feed "");
+  (* a default-named event *)
+  Alcotest.(check (option (pair string string))) "accumulating" None (feed "data: hi");
+  Alcotest.(check (option (pair string string)))
+    "default event name" (Some ("message", "hi")) (feed "");
+  (* named, multi-line data joins with \n; unknown fields ignored *)
+  ignore (feed "event: delta");
+  ignore (feed "id: 42");
+  ignore (feed "data: a");
+  ignore (feed "data: b");
+  Alcotest.(check (option (pair string string))) "named event" (Some ("delta", "a\nb")) (feed "");
+  (* event: without data: is dropped per spec *)
+  ignore (feed "event: empty");
+  Alcotest.(check (option (pair string string))) "no data, no dispatch" None (feed "");
+  (* trailing CR (CRLF streams) is stripped *)
+  ignore (feed "data: x\r");
+  Alcotest.(check (option (pair string string))) "CRLF tolerated" (Some ("message", "x")) (feed "")
+
+let test_sse_roundtrip () =
+  let frames =
+    [ ("hello", "{\"runs\":0}"); ("delta", "line1\nline2"); ("message", "plain") ]
+  in
+  let wire =
+    String.concat ""
+      (List.map
+         (fun (ev, data) ->
+           let f =
+             if ev = "message" then Serve.Sse.frame data else Serve.Sse.frame ~event:ev data
+           in
+           f ^ Serve.Sse.heartbeat 1)
+         frames)
+  in
+  let d = Serve.Sse.Decoder.create () in
+  let got = ref [] in
+  String.split_on_char '\n' wire
+  |> List.iter (fun l ->
+         match Serve.Sse.Decoder.line d l with
+         | Some e -> got := e :: !got
+         | None -> ());
+  Alcotest.(check (list (pair string string))) "encode/decode round trip" frames (List.rev !got)
+
+(* ---------------- live plane e2e ---------------- *)
+
+(* One push while a /watch subscriber is connected: the subscriber gets a
+   [hello] snapshot then exactly one [delta], and a graceful [stop] with
+   the subscriber still attached hangs up cleanly (the drain test — the
+   watcher thread must come back on its own). *)
+let test_e2e_watch_one_delta () =
+  let dir = fresh_dir "serve_db" in
+  ignore (Db.init dir);
+  let t = Serve.start ~port:0 ~threads:2 ~db_dir:dir () in
+  let m = Mutex.create () in
+  let events = ref [] in
+  let record ~event ~data =
+    Mutex.protect m (fun () -> events := (event, data) :: !events);
+    true
+  in
+  let watcher = Thread.create (fun () -> Client.watch ~on_event:record (url t "")) () in
+  let wait_for what pred =
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    while
+      (not (Mutex.protect m (fun () -> List.exists pred !events)))
+      && Unix.gettimeofday () < deadline
+    do
+      Thread.yield ();
+      Unix.sleepf 0.01
+    done;
+    if not (Mutex.protect m (fun () -> List.exists pred !events)) then
+      Alcotest.fail ("timed out waiting for " ^ what)
+  in
+  wait_for "hello" (fun (ev, _) -> ev = "hello");
+  let accepted = push t ~seed:0 (Counts.of_list [ ("a", 2); ("b", 0) ]) in
+  wait_for "delta" (fun (ev, _) -> ev = "delta");
+  let deltas =
+    Mutex.protect m (fun () -> List.filter (fun (ev, _) -> ev = "delta") !events)
+  in
+  Alcotest.(check int) "exactly one delta for one push" 1 (List.length deltas);
+  let d = Json.parse (snd (List.hd deltas)) in
+  let run_id = Json.string_member "id" (Json.parse accepted.Client.body) in
+  Alcotest.(check (option string)) "delta names the accepted run" run_id
+    (Json.string_member "run" d);
+  Alcotest.(check (option int)) "one point newly covered" (Some 1)
+    (Json.int_member "newly_covered" d);
+  Alcotest.(check (option int)) "covered" (Some 1) (Json.int_member "covered" d);
+  Alcotest.(check (option int)) "total" (Some 2) (Json.int_member "total" d);
+  Alcotest.(check (option int)) "runs" (Some 1) (Json.int_member "runs" d);
+  (* graceful drain with a live subscriber: stop must hang the stream up
+     and the watcher thread must terminate *)
+  Serve.stop t;
+  Thread.join watcher
+
+(* A /watch subscriber that vanishes costs the server nothing: the next
+   broadcasts hit EPIPE, the subscriber is dropped, and ingest goes on. *)
+let test_e2e_dead_subscriber () =
+  with_server @@ fun _dir t ->
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Serve.port t));
+  let req = Bytes.of_string "GET /watch HTTP/1.1\r\nhost: h\r\n\r\n" in
+  ignore (Unix.write fd req 0 (Bytes.length req));
+  (* read a little of the stream so we know the subscriber is attached *)
+  ignore (Unix.read fd (Bytes.create 64) 0 64);
+  Unix.close fd;
+  (* two pushes: the first broadcast may land in the dead socket's kernel
+     buffer; the second must surface EPIPE and reap the subscriber *)
+  ignore (push t ~seed:0 (Counts.of_list [ ("a", 1) ]));
+  ignore (push t ~seed:1 (Counts.of_list [ ("b", 1) ]));
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let gone = ref false in
+  while (not !gone) && Unix.gettimeofday () < deadline do
+    let j = Json.parse (Client.get (url t "/metrics")).Client.body in
+    (match Json.member "sse" j with
+    | Some sse ->
+        if
+          Json.int_member "subscribers" sse = Some 0
+          && (match Json.int_member "dropped" sse with Some n -> n >= 1 | None -> false)
+        then gone := true
+    | None -> Alcotest.fail "/metrics has no sse section");
+    if not !gone then Unix.sleepf 0.02
+  done;
+  Alcotest.(check bool) "dead subscriber reaped (dropped>=1, subscribers=0)" true !gone;
+  Alcotest.(check int) "server still healthy" 200 (Client.get (url t "/healthz")).Client.status
+
+let test_e2e_observability_endpoints () =
+  with_server @@ fun _dir t ->
+  ignore (push t ~seed:0 (Counts.of_list [ ("a", 1) ]));
+  (* /dashboard: one self-contained HTML page that subscribes to /watch *)
+  let r = Client.get (url t "/dashboard") in
+  Alcotest.(check int) "/dashboard 200" 200 r.Client.status;
+  let html = r.Client.body in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "dashboard is html" true (String.sub html 0 9 = "<!doctype");
+  Alcotest.(check bool) "dashboard subscribes to /watch" true (contains html "EventSource");
+  Alcotest.(check bool) "dashboard is self-contained" false
+    (contains html "http://" || contains html "https://");
+  (* /metrics.prom: Prometheus text exposition *)
+  let p = Client.get (url t "/metrics.prom") in
+  Alcotest.(check int) "/metrics.prom 200" 200 p.Client.status;
+  Alcotest.(check bool) "prom content type" true
+    (match Client.header p "content-type" with
+    | Some ct -> contains ct "text/plain"
+    | None -> false);
+  Alcotest.(check bool) "starts with # HELP" true (String.sub p.Client.body 0 6 = "# HELP");
+  Alcotest.(check bool) "requests counter present" true
+    (contains p.Client.body "sic_requests_total");
+  Alcotest.(check bool) "every line is comment or sample" true
+    (String.split_on_char '\n' p.Client.body
+    |> List.for_all (fun l ->
+           l = "" || l.[0] = '#'
+           || String.contains l ' ' && String.sub l 0 4 = "sic_"));
+  (* content negotiation: Accept: text/plain flips /metrics to Prometheus *)
+  let neg = Client.get ~headers:[ ("accept", "text/plain") ] (url t "/metrics") in
+  Alcotest.(check bool) "Accept: text/plain negotiates prom" true
+    (String.sub neg.Client.body 0 6 = "# HELP");
+  let j = Json.parse (Client.get (url t "/metrics")).Client.body in
+  (* unknown paths land in the bounded "other" bucket, not as fresh keys *)
+  ignore (Client.get (url t "/nope-cardinality-bomb"));
+  let j2 = Json.parse (Client.get (url t "/metrics")).Client.body in
+  (match Json.member "requests" j2 with
+  | Some (Json.Obj kvs) ->
+      Alcotest.(check bool) "other bucket exists" true (List.mem_assoc "other" kvs);
+      Alcotest.(check bool) "unknown path is not its own key" false
+        (List.exists (fun (k, _) -> contains k "nope") kvs)
+  | _ -> Alcotest.fail "/metrics requests is not an object");
+  (* per-endpoint latency: a summary keyed by route label *)
+  match Json.member "latency" j with
+  | Some (Json.Obj kvs) ->
+      Alcotest.(check bool) "latency keyed per route" true
+        (List.exists (fun (k, _) -> contains k "POST /runs") kvs);
+      let _, sample = List.hd kvs in
+      Alcotest.(check bool) "summary has count" true (Json.member "count" sample <> None)
+  | _ -> Alcotest.fail "/metrics latency is not an object"
+
 let tests =
   [
     Alcotest.test_case "http: simple request" `Quick test_parse_simple;
@@ -256,4 +454,12 @@ let tests =
     Alcotest.test_case "e2e: client vanishing mid-request" `Quick test_e2e_client_vanishes;
     Alcotest.test_case "e2e: duplicate push is idempotent" `Quick
       test_e2e_push_is_idempotent_for_report;
+    Alcotest.test_case "sse: frame encoder" `Quick test_sse_frame;
+    Alcotest.test_case "sse: decoder" `Quick test_sse_decoder;
+    Alcotest.test_case "sse: encode/decode round trip" `Quick test_sse_roundtrip;
+    Alcotest.test_case "e2e: /watch one push, one delta, clean drain" `Quick
+      test_e2e_watch_one_delta;
+    Alcotest.test_case "e2e: dead /watch subscriber is reaped" `Quick test_e2e_dead_subscriber;
+    Alcotest.test_case "e2e: dashboard, prometheus, route buckets" `Quick
+      test_e2e_observability_endpoints;
   ]
