@@ -70,23 +70,34 @@ let designs : (string * (unit -> Sic_ir.Circuit.t)) list =
     ("boom-soc", fun () -> Sic_designs.Soc.circuit Sic_designs.Soc.boom_sim_config);
   ]
 
+(* a circuit file: Verilog by suffix, FIRRTL-style text otherwise *)
+let load_circuit_file path =
+  if Sic_verilog.Verilog.is_verilog_path path then Sic_verilog.Verilog.load_file path
+  else begin
+    let ic = open_in path in
+    let src =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Sic_ir.Parser.parse_circuit src
+  end
+
 let load_circuit ~file ~design =
   match (file, design) with
-  | Some path, None ->
-      let ic = open_in path in
-      let src =
-        Fun.protect
-          ~finally:(fun () -> close_in ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      in
-      Sic_ir.Parser.parse_circuit src
+  | Some path, None -> load_circuit_file path
   | None, Some name -> (
       match List.assoc_opt name designs with
       | Some build -> build ()
       | None ->
-          Printf.eprintf "unknown design %s; available: %s\n" name
-            (String.concat ", " (List.map fst designs));
-          exit 2)
+          (* names double as paths: [--design foo.v] (and campaign design
+             lists) accept any circuit file on disk *)
+          if Sys.file_exists name then load_circuit_file name
+          else begin
+            Printf.eprintf "unknown design %s; available: %s\n" name
+              (String.concat ", " (List.map fst designs));
+            exit 2
+          end)
   | Some _, Some _ ->
       prerr_endline "pass either a file or --design, not both";
       exit 2
@@ -177,11 +188,31 @@ let metric_conv =
     [ ("line", `Line); ("toggle", `Toggle); ("fsm", `Fsm); ("ready-valid", `Rv); ("mux", `Mux) ]
 
 let metrics_arg =
-  Arg.(
-    value
-    & opt_all metric_conv [ `Line ]
-    & info [ "m"; "metric" ] ~docv:"METRIC"
-        ~doc:"Coverage metric (repeatable): line, toggle, fsm, ready-valid, mux.")
+  let base =
+    Arg.(
+      value
+      & opt_all metric_conv []
+      & info [ "m"; "metric" ] ~docv:"METRIC"
+          ~doc:"Coverage metric (repeatable): line, toggle, fsm, ready-valid, mux.")
+  in
+  let flag name doc = Arg.(value & flag & info [ name ] ~doc) in
+  let combine ms line toggle fsm rv mux =
+    let add cond m acc = if cond && not (List.mem m acc) then acc @ [ m ] else acc in
+    let ms =
+      List.fold_left
+        (fun acc m -> if List.mem m acc then acc else acc @ [ m ])
+        [] ms
+      |> add line `Line |> add toggle `Toggle |> add fsm `Fsm |> add rv `Rv |> add mux `Mux
+    in
+    if ms = [] then [ `Line ] else ms
+  in
+  Term.(
+    const combine $ base
+    $ flag "line" "Shorthand for $(b,-m line) (the default metric)."
+    $ flag "toggle" "Shorthand for $(b,-m toggle)."
+    $ flag "fsm" "Shorthand for $(b,-m fsm)."
+    $ flag "ready-valid" "Shorthand for $(b,-m ready-valid)."
+    $ flag "mux" "Shorthand for $(b,-m mux).")
 
 (* instrument per metric at the right pipeline stage (§4) *)
 let instrument metrics circuit =
@@ -256,6 +287,9 @@ let handle_errors f =
   try f () with
   | Sic_ir.Parser.Parse_error { line; message } ->
       Printf.eprintf "parse error at line %d: %s\n" line message;
+      exit 1
+  | Sic_verilog.Verilog.Error { pos; message } ->
+      Printf.eprintf "%s:%d:%d: %s\n" pos.file pos.line pos.col message;
       exit 1
   | Sic_passes.Pass.Pass_error { pass; message } ->
       Printf.eprintf "pass %s failed: %s\n" pass message;
@@ -445,10 +479,10 @@ let scan_cmd =
       & info [ "threshold" ] ~docv:"N"
           ~doc:"Removal threshold: drop covers the database saw at least $(docv) times.")
   in
-  let run file design metrics width db threshold =
+  let run file design metrics width db threshold cycles seed =
     handle_errors (fun () ->
         let c = load_circuit ~file ~design in
-        let low, _ = instrument metrics c in
+        let low, dbs = instrument metrics c in
         let low =
           match db with
           | None -> low
@@ -469,14 +503,26 @@ let scan_cmd =
         Printf.printf "scan-out cost  : %d cycles\n" (n * width);
         Format.printf "resources      : %a@."
           Sic_firesim.Resource_model.pp_utilization u;
-        ignore chained)
+        ignore chained;
+        (* dry-run the instrumented design so the scan report also shows
+           what the workload would actually cover *)
+        if cycles > 0 then begin
+          let b = Compiled.create low in
+          Backend.reset_sequence b;
+          let rng = Sic_fuzz.Rng.create seed in
+          Backend.random_stimulus ~bits:(Sic_fuzz.Rng.bits30 rng) ~cycles b;
+          print_string (reports metrics dbs (b.Backend.counts ()))
+        end)
   in
   Cmd.v
     (Cmd.info "scan"
        ~doc:
-         "Insert the FPGA coverage scan chain and report modelled resources (optionally \
-          only for points a coverage database has not yet covered).")
-    Term.(const run $ file_arg $ design_arg $ metrics_arg $ width_arg $ db_arg $ threshold_arg)
+         "Insert the FPGA coverage scan chain, report modelled resources (optionally only \
+          for points a coverage database has not yet covered), and simulate the workload \
+          to preview coverage.")
+    Term.(
+      const run $ file_arg $ design_arg $ metrics_arg $ width_arg $ db_arg $ threshold_arg
+      $ cycles_arg $ seed_arg)
 
 let diff_cmd =
   let before = Arg.(required & pos 0 (some file) None & info [] ~docv:"BEFORE.cnt") in

@@ -28,6 +28,17 @@ rm -rf ci_campaign.db
 # (uploaded as a CI artifact) in the same layout as a full run.
 SIC_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- sim
 
+# Verilog frontend smoke, end to end on RTL this repo never generated:
+# lower the vendored RISC-V core, insert the scan chain, simulate its
+# t2a.hex program and preview line/toggle/FSM coverage; then render the
+# HTML coverage report (kept at the repo root so CI can upload it as an
+# artifact) and time the frontend (BENCH_verilog.json, also uploaded).
+rm -f ci_verilog.html
+dune exec --no-build bin/sic.exe -- scan examples/verilog/rv.v --line --toggle --fsm
+dune exec --no-build bin/sic.exe -- cover examples/verilog/rv.v \
+  --line --toggle --fsm --cycles 2000 --html ci_verilog.html
+SIC_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- verilog
+
 # Coverage-service smoke: in-process server on an ephemeral port — ingest
 # rate plus cached / 304 / uncached GET /report latency and /watch SSE
 # fan-out broadcast latency. Writes BENCH_serve.json (uploaded as a CI

@@ -1,0 +1,45 @@
+// Traffic-light controller: a localparam-encoded state machine in the
+// idiomatic Verilog style, picked up by FSM coverage inference.
+module fsm (
+  input        clk,
+  input        reset,
+  input        go,
+  output [1:0] light
+);
+
+  localparam GREEN  = 2'd0;
+  localparam YELLOW = 2'd1;
+  localparam RED    = 2'd2;
+
+  reg [1:0] state = GREEN;
+  reg [3:0] timer = 0;
+
+  always @(posedge clk) begin
+    if (reset) begin
+      state <= GREEN;
+      timer <= 0;
+    end else begin
+      case (state)
+        GREEN:
+          if (go) begin
+            state <= YELLOW;
+            timer <= 4'd3;
+          end
+        YELLOW:
+          if (timer == 0)
+            state <= RED;
+          else
+            timer <= timer - 1;
+        RED:
+          if (timer == 4'd15)
+            state <= GREEN;
+          else
+            timer <= timer + 1;
+        default: state <= GREEN;
+      endcase
+    end
+  end
+
+  assign light = state;
+
+endmodule

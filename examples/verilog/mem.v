@@ -1,0 +1,25 @@
+// Scratchpad with a registered read port and a $readmemh power-on image.
+module mem (
+  input        clk,
+  input        reset,
+  input        we,
+  input  [3:0] waddr,
+  input  [7:0] wdata,
+  input  [3:0] raddr,
+  output [7:0] rdata
+);
+
+  reg [7:0] store [0:15];
+  reg [7:0] rbuf = 0;
+
+  always @(posedge clk) begin
+    rbuf <= store[raddr];
+    if (we)
+      store[waddr] <= wdata;
+  end
+
+  initial $readmemh("mem_init.hex", store);
+
+  assign rdata = rbuf;
+
+endmodule

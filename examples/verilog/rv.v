@@ -1,0 +1,196 @@
+// Small multi-cycle RV32I subset SoC, cleaned to the synthesizable
+// subset the sic frontend accepts (after the verve core):
+//   - the vendor oscillator (SB_HFOSC) and the derived clock are gone;
+//     the top module takes a real clock input instead,
+//   - the internal power-on reset counter is kept but renamed to `rst`
+//     (`reset` is reserved for the harness reset port),
+//   - instruction and data memory live in the top module; imem is
+//     preloaded from t2a.hex via $readmemh.
+//
+// The core executes one instruction every 3-5 cycles: FETCH drives
+// iaddr, WAIT covers the registered imem read, EXEC decodes and
+// retires (loads take two more cycles for the registered dmem read).
+// A store with address bit 12 set lands on the LED register.
+
+module rv (
+  input            clk,
+  output reg [2:0] leds
+);
+
+  // power-on reset: hold the core in reset for 31 cycles
+  reg [4:0] int_rst_cnt = 0;
+  wire rst = int_rst_cnt != 5'b11111;
+
+  always @(posedge clk) begin
+    if (int_rst_cnt != 5'b11111)
+      int_rst_cnt <= int_rst_cnt + 1;
+  end
+
+  wire [31:0] daddr;
+  wire [31:0] dout;
+  reg  [31:0] din;
+  wire        drw;
+
+  reg  [31:0] iin;
+  wire [31:0] iaddr;
+
+  reg [31:0] imem [0:1023];
+  reg [31:0] dmem [0:1023];
+
+  rv_core cpu(clk, rst, daddr, dout, din, drw, iaddr, iin);
+
+  always @(posedge clk) begin
+    iin <= imem[iaddr[11:2]];
+  end
+
+  always @(posedge clk) begin
+    din <= dmem[daddr[11:2]];
+
+    if (drw) begin
+      dmem[daddr[11:2]] <= dout;
+      if (daddr[12] == 1'b1)
+        leds[2:0] <= dout[2:0];
+    end
+  end
+
+  initial begin
+    $readmemh("t2a.hex", imem);
+  end
+
+endmodule
+
+module rv_core (
+  input             clk,
+  input             reset,
+
+  output reg [31:0] daddr,
+  output reg [31:0] dout,
+  input      [31:0] din,
+  output reg        drw,
+
+  output reg [31:0] iaddr,
+  input      [31:0] iin
+);
+
+  // instruction state machine
+  localparam S_FETCH = 3'd0;
+  localparam S_WAIT  = 3'd1;
+  localparam S_EXEC  = 3'd2;
+  localparam S_MEM   = 3'd3;
+  localparam S_LOAD  = 3'd4;
+  localparam S_HALT  = 3'd5;
+
+  reg [2:0]  state = S_FETCH;
+
+  reg [31:0] pc = 0;
+  reg [31:0] regs [0:31];
+  reg [4:0]  ld_rd = 0;
+
+  // decode (valid during S_EXEC, when iin holds the fetched word)
+  wire [6:0] op     = iin[6:0];
+  wire [2:0] funct3 = iin[14:12];
+  wire [6:0] funct7 = iin[31:25];
+  wire [4:0] rd     = iin[11:7];
+  wire [4:0] rs1    = iin[19:15];
+  wire [4:0] rs2    = iin[24:20];
+
+  wire [31:0] u_imm = { iin[31:12], 12'b0 };
+  wire [31:0] i_imm = { {21{iin[31]}}, iin[30:20] };
+  wire [31:0] s_imm = { {21{iin[31]}}, iin[30:25], iin[11:7] };
+  wire [31:0] b_imm = { {20{iin[31]}}, iin[7], iin[30:25], iin[11:8], 1'b0 };
+  wire [31:0] j_imm = { {12{iin[31]}}, iin[19:12], iin[20], iin[30:21], 1'b0 };
+
+  wire [31:0] rs1val = (rs1 == 5'd0) ? 32'd0 : regs[rs1];
+  wire [31:0] rs2val = (rs2 == 5'd0) ? 32'd0 : regs[rs2];
+
+  // ALU shared by OP and OP-IMM (comparisons and shifts are unsigned)
+  wire is_imm = op == 7'b0010011;
+  wire [31:0] opb   = is_imm ? i_imm : rs2val;
+  wire [4:0]  shamt = is_imm ? iin[24:20] : rs2val[4:0];
+  wire is_sub = !is_imm && (funct7 == 7'b0100000);
+
+  wire [31:0] alures =
+      (funct3 == 3'b000) ? (is_sub ? rs1val - opb : rs1val + opb)
+    : (funct3 == 3'b100) ? (rs1val ^ opb)
+    : (funct3 == 3'b110) ? (rs1val | opb)
+    : (funct3 == 3'b111) ? (rs1val & opb)
+    : (funct3 == 3'b001) ? (rs1val << shamt)
+    : (funct3 == 3'b101) ? (rs1val >> shamt)
+    : (funct3 == 3'b011) ? ((rs1val < opb) ? 32'd1 : 32'd0)
+    : 32'd0;
+
+  wire brtaken =
+      (funct3 == 3'b000) ? (rs1val == rs2val)
+    : (funct3 == 3'b001) ? (rs1val != rs2val)
+    : (funct3 == 3'b110) ? (rs1val < rs2val)
+    : (funct3 == 3'b111) ? !(rs1val < rs2val)
+    : 1'b0;
+
+  always @(posedge clk) begin
+    if (reset) begin
+      state <= S_FETCH;
+      pc    <= 0;
+      drw   <= 0;
+      iaddr <= 0;
+      daddr <= 0;
+      dout  <= 0;
+      ld_rd <= 0;
+    end else begin
+      case (state)
+        S_FETCH: begin
+          drw   <= 0;
+          iaddr <= pc;
+          state <= S_WAIT;
+        end
+
+        S_WAIT: state <= S_EXEC;
+
+        S_EXEC: begin
+          state <= S_FETCH;
+          pc    <= pc + 4;
+          case (op)
+            7'b0110111:                          // LUI
+              if (rd != 0) regs[rd] <= u_imm;
+            7'b0010111:                          // AUIPC
+              if (rd != 0) regs[rd] <= pc + u_imm;
+            7'b1101111: begin                    // JAL
+              if (rd != 0) regs[rd] <= pc + 4;
+              pc <= pc + j_imm;
+            end
+            7'b1100111: begin                    // JALR
+              if (rd != 0) regs[rd] <= pc + 4;
+              pc <= rs1val + i_imm;
+            end
+            7'b1100011:                          // BEQ/BNE/BLTU/BGEU
+              if (brtaken) pc <= pc + b_imm;
+            7'b0000011: begin                    // LW
+              daddr <= rs1val + i_imm;
+              ld_rd <= rd;
+              state <= S_MEM;
+            end
+            7'b0100011: begin                    // SW
+              daddr <= rs1val + s_imm;
+              dout  <= rs2val;
+              drw   <= 1;
+            end
+            7'b0010011:                          // OP-IMM
+              if (rd != 0) regs[rd] <= alures;
+            7'b0110011:                          // OP
+              if (rd != 0) regs[rd] <= alures;
+            default: state <= S_HALT;            // unimplemented opcode
+          endcase
+        end
+
+        S_MEM: state <= S_LOAD;                  // registered dmem read
+
+        S_LOAD: begin
+          if (ld_rd != 0) regs[ld_rd] <= din;
+          state <= S_FETCH;
+        end
+
+        default: state <= S_HALT;
+      endcase
+    end
+  end
+
+endmodule

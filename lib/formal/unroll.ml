@@ -67,7 +67,10 @@ let unroll ?(reset_cycles = 1) ?(free_init = false) (circuit : Circuit.t) ~bound
              (Printf.sprintf "memory %s too deep (%d) for bit-blasting" mname
                 ms.Prep.mem.Stmt.mem_depth));
       Hashtbl.replace mem_state mname
-        (Array.init ms.Prep.mem.Stmt.mem_depth (fun _ -> init_bits w));
+        (Array.init ms.Prep.mem.Stmt.mem_depth (fun i ->
+             match ms.Prep.mem.Stmt.mem_init with
+             | Some _ -> Gate.const_bits ctx (Bv.extend_u ms.Prep.data.(i) w)
+             | None -> init_bits w));
       List.iter
         (fun (rp, _) ->
           Hashtbl.replace latched (mname ^ "." ^ rp)

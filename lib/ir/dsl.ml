@@ -298,6 +298,7 @@ let mem ?loc ?(sync_read = false) (m : m) name data_ty ~depth ~readers ~writers 
       mem_read_latency = (if sync_read then 1 else 0);
       mem_readers = List.map (fun rp_name -> { Stmt.rp_name }) readers;
       mem_writers = List.map (fun wp_name -> { Stmt.wp_name }) writers;
+      mem_init = None;
     }
   in
   if Namespace.mem m.ns name then error "duplicate name %s in module %s" name m.m_name;

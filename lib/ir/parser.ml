@@ -317,33 +317,59 @@ and parse_stmt (l : line) rest : Stmt.t list * line list =
         | f :: _ when f.indent > l.indent -> f.indent
         | _ -> fail l.num "mem %s has no fields" name
       in
-      let rec fields lines (data, depth, lat, readers, writers) =
+      let rec fields lines (data, depth, lat, readers, writers, inits) =
         match lines with
         | f :: more when f.indent = field_indent -> (
             let fst_ = { toks = tokenize f.num f.text; lnum = f.num } in
             match ident fst_ with
             | "data-type" ->
                 expect fst_ Tarrow "=>";
-                fields more (Some (parse_ty fst_), depth, lat, readers, writers)
+                fields more (Some (parse_ty fst_), depth, lat, readers, writers, inits)
             | "depth" ->
                 expect fst_ Tarrow "=>";
-                fields more (data, integer fst_, lat, readers, writers)
+                fields more (data, integer fst_, lat, readers, writers, inits)
             | "read-latency" ->
                 expect fst_ Tarrow "=>";
-                fields more (data, depth, integer fst_, readers, writers)
+                fields more (data, depth, integer fst_, readers, writers, inits)
             | "reader" ->
                 expect fst_ Tarrow "=>";
-                fields more (data, depth, lat, ident fst_ :: readers, writers)
+                fields more (data, depth, lat, ident fst_ :: readers, writers, inits)
             | "writer" ->
                 expect fst_ Tarrow "=>";
-                fields more (data, depth, lat, readers, ident fst_ :: writers)
+                fields more (data, depth, lat, readers, ident fst_ :: writers, inits)
+            | "init" ->
+                expect fst_ Tarrow "=>";
+                let idx = integer fst_ in
+                let word =
+                  match ident fst_ with
+                  | w when String.length w > 1 && w.[0] = 'h' ->
+                      String.sub w 1 (String.length w - 1)
+                  | _ -> fail f.num "expected hex word (h...) in mem init"
+                in
+                fields more (data, depth, lat, readers, writers, (f.num, idx, word) :: inits)
             | other -> fail f.num "unknown mem field %s" other)
-        | lines -> ((data, depth, lat, readers, writers), lines)
+        | lines -> ((data, depth, lat, readers, writers, inits), lines)
       in
-      let (data, depth, lat, readers, writers), rest =
-        fields rest (None, 0, 0, [], [])
+      let (data, depth, lat, readers, writers, inits), rest =
+        fields rest (None, 0, 0, [], [], [])
       in
       let mem_data = match data with Some t -> t | None -> fail l.num "mem %s missing data-type" name in
+      let mem_init =
+        match inits with
+        | [] -> None
+        | inits ->
+            let w = Ty.width mem_data in
+            let arr = Array.make depth (Sic_bv.Bv.zero w) in
+            List.iter
+              (fun (lnum, idx, word) ->
+                if idx < 0 || idx >= depth then
+                  fail lnum "mem init index %d out of range for depth %d" idx depth;
+                match Sic_bv.Bv.of_hex_string ~width:w word with
+                | v -> arr.(idx) <- v
+                | exception _ -> fail lnum "bad hex word h%s in mem init" word)
+              inits;
+            Some arr
+      in
       let mem =
         {
           Stmt.mem_name = name;
@@ -352,6 +378,7 @@ and parse_stmt (l : line) rest : Stmt.t list * line list =
           mem_read_latency = lat;
           mem_readers = List.rev_map (fun rp_name -> { Stmt.rp_name }) readers;
           mem_writers = List.rev_map (fun wp_name -> { Stmt.wp_name }) writers;
+          mem_init;
         }
       in
       ([ Stmt.Mem { mem; info } ], rest)

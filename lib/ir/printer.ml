@@ -42,7 +42,16 @@ let rec pp_stmt indent fmt (s : Stmt.t) =
       fprintf fmt "%sdepth => %d@," p2 mem.Stmt.mem_depth;
       fprintf fmt "%sread-latency => %d@," p2 mem.Stmt.mem_read_latency;
       List.iter (fun { Stmt.rp_name } -> fprintf fmt "%sreader => %s@," p2 rp_name) mem.Stmt.mem_readers;
-      List.iter (fun { Stmt.wp_name } -> fprintf fmt "%swriter => %s@," p2 wp_name) mem.Stmt.mem_writers
+      List.iter (fun { Stmt.wp_name } -> fprintf fmt "%swriter => %s@," p2 wp_name) mem.Stmt.mem_writers;
+      (match mem.Stmt.mem_init with
+      | None -> ()
+      | Some init ->
+          (* sparse canonical form: only non-zero words, in index order *)
+          Array.iteri
+            (fun i v ->
+              if not (Sic_bv.Bv.is_zero v) then
+                fprintf fmt "%sinit => %d h%s@," p2 i (Sic_bv.Bv.to_hex_string v))
+            init)
   | Stmt.Inst { name; module_name; info } ->
       fprintf fmt "%sinst %s of %s%a@," pad name module_name pp_info info
   | Stmt.Connect { loc; expr; info } ->

@@ -13,6 +13,8 @@ type mem = {
   mem_readers : mem_read_port list;
   mem_writers : mem_write_port list;
   mem_read_latency : int;  (** 0 = combinational, 1 = synchronous *)
+  mem_init : Sic_bv.Bv.t array option;
+      (** power-on contents ([$readmemh]); [None] means all zero *)
 }
 
 type t =

@@ -276,7 +276,12 @@ module Prep = struct
               ( mem.Stmt.mem_name,
                 {
                   mem;
-                  data = Array.make mem.Stmt.mem_depth (Bv.zero w);
+                  data =
+                    (match mem.Stmt.mem_init with
+                    | Some init ->
+                        Array.init mem.Stmt.mem_depth (fun i ->
+                            if i < Array.length init then Bv.extend_u init.(i) w else Bv.zero w)
+                    | None -> Array.make mem.Stmt.mem_depth (Bv.zero w));
                   latched_addrs =
                     (if mem.Stmt.mem_read_latency > 0 then
                        List.map

@@ -325,8 +325,10 @@ let build ?(builtin_line = false) ?(activity = false) (c : Circuit.t) : t =
            let md = ms.Prep.mem in
            let w = Ty.width md.Stmt.mem_data in
            let store =
-             if Eval.Int.fits w then M_int (Array.make md.Stmt.mem_depth 0)
-             else M_bv (Array.make md.Stmt.mem_depth (Bv.zero w))
+             (* ms.Prep.data already carries any power-on init ($readmemh) *)
+             if Eval.Int.fits w then
+               M_int (Array.init md.Stmt.mem_depth (fun i -> Bv.to_int_trunc ms.Prep.data.(i)))
+             else M_bv (Array.init md.Stmt.mem_depth (fun i -> ms.Prep.data.(i)))
            in
            let field port f = slot (mname ^ "." ^ port ^ "." ^ f) in
            let wps = md.Stmt.mem_writers in

@@ -1,0 +1,122 @@
+(** Abstract syntax for the synthesizable Verilog subset (see DESIGN.md,
+    "The Verilog frontend"). Every node carries a source position so that
+    the validator and the IR builder can report located diagnostics and so
+    that line coverage keys on real [.v] lines.
+
+    All frontend stages (lexer, parser, validator, lower) raise the single
+    typed exception {!Error} — malformed input must never escape as
+    [Assert_failure], [Stack_overflow] or a hang. *)
+
+type pos = { file : string; line : int; col : int }
+
+exception Error of { pos : pos; message : string }
+
+let error pos fmt = Printf.ksprintf (fun message -> raise (Error { pos; message })) fmt
+
+let info_of (p : pos) = Sic_ir.Info.pos ~file:p.file ~line:p.line ~col:p.col
+
+type unop =
+  | Lnot  (** [!] logical negation *)
+  | Bnot  (** [~] bitwise complement *)
+  | Rand  (** [&] reduction and *)
+  | Ror  (** [|] reduction or *)
+  | Rxor  (** [^] reduction xor *)
+  | Uminus  (** [-] two's-complement negation *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Land  (** [&&] *)
+  | Lor  (** [||] *)
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+
+type expr =
+  | Ident of string * pos
+  | Literal of { width : int option; value : Sic_bv.Bv.t; pos : pos }
+      (** [width = None] for unsized decimal literals (context-determined) *)
+  | Unop of unop * expr * pos
+  | Binop of binop * expr * expr * pos
+  | Ternary of expr * expr * expr * pos
+  | Concat of expr list * pos
+  | Repl of int * expr * pos
+  | Index of string * expr * pos  (** [x\[e\]] — bit-select or memory read *)
+  | Part of string * int * int * pos  (** [x\[hi:lo\]], constant bounds *)
+
+let expr_pos = function
+  | Ident (_, p)
+  | Literal { pos = p; _ }
+  | Unop (_, _, p)
+  | Binop (_, _, _, p)
+  | Ternary (_, _, _, p)
+  | Concat (_, p)
+  | Repl (_, _, p)
+  | Index (_, _, p)
+  | Part (_, _, _, p) -> p
+
+type lvalue =
+  | LvId of string * pos
+  | LvIndex of string * expr * pos  (** memory word (or constant bit) *)
+  | LvPart of string * int * int * pos
+
+let lvalue_pos = function LvId (_, p) | LvIndex (_, _, p) | LvPart (_, _, _, p) -> p
+let lvalue_base = function LvId (n, _) | LvIndex (n, _, _) | LvPart (n, _, _, _) -> n
+
+type stmt =
+  | Assign of lvalue * expr * pos  (** nonblocking [<=] inside always *)
+  | If of expr * stmt list * stmt list * pos
+  | Case of {
+      scrutinee : expr;
+      arms : (expr list * stmt list) list;
+      default : stmt list;
+      case_pos : pos;
+    }
+
+type range = { msb : int; lsb : int }
+
+let range_width r = r.msb - r.lsb + 1
+
+type port_dir = Dir_input | Dir_output
+
+type net_kind = Kwire | Kreg
+
+type item =
+  | Port of { dir : port_dir; is_reg : bool; range : range option; name : string; pos : pos }
+  | Net of {
+      kind : net_kind;
+      range : range option;
+      name : string;
+      array : (int * int) option;  (** memory: \[first:last\] *)
+      init : expr option;  (** [reg r = e;] power-on value / [wire w = e;] alias *)
+      pos : pos;
+    }
+  | Localparam of { name : string; value : expr; pos : pos }
+  | ContAssign of lvalue * expr * pos
+  | Always of { clock : string; clock_pos : pos; body : stmt list; pos : pos }
+  | Readmemh of { path : string; mem : string; pos : pos }
+  | Instance of { module_name : string; inst_name : string; conns : conn list; pos : pos }
+
+and conn =
+  | Named of string * expr option * pos  (** [.port(expr)]; [None] = unconnected *)
+  | Positional of expr
+
+type module_ = {
+  mod_name : string;
+  mod_ports : string list;  (** header order *)
+  mod_items : item list;
+  mod_pos : pos;
+}
+
+type design = { modules : module_ list; design_file : string }

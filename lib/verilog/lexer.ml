@@ -1,0 +1,190 @@
+(** Tokenizer for the Verilog subset. Follows the house recursive-descent
+    style of [lib/ir/parser.ml]: no lexer generator, one pass over the
+    source, every token tagged with its line and column. Handles [//] and
+    [/* */] comments (an unterminated block comment is a located error, not
+    a silent EOF) and sized literals like [3'b111] / [12'h0f0]. *)
+
+module Bv = Sic_bv.Bv
+
+type token =
+  | Id of string  (** identifiers, keywords and [$system] names *)
+  | Number of { width : int option; value : Bv.t }
+  | Str of string
+  | Sym of string  (** operators / punctuation, canonical spelling *)
+  | Eof
+
+type t = { tok : token; pos : Ast.pos }
+
+let describe = function
+  | Id s -> Printf.sprintf "identifier '%s'" s
+  | Number _ -> "number"
+  | Str _ -> "string"
+  | Sym s -> Printf.sprintf "'%s'" s
+  | Eof -> "end of file"
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+(* A sized literal's digits, validated against the base, underscores
+   dropped. *)
+let base_digits pos base s =
+  let ok c =
+    match base with
+    | 'b' -> c = '0' || c = '1'
+    | 'o' -> c >= '0' && c <= '7'
+    | 'd' -> is_digit c
+    | 'h' -> is_hex_digit c
+    | _ -> false
+  in
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c = '_' then ()
+      else if ok c then Buffer.add_char buf (Char.lowercase_ascii c)
+      else Ast.error pos "bad sized literal: digit '%c' is not valid in base '%c'" c base)
+    s;
+  if Buffer.length buf = 0 then Ast.error pos "bad sized literal: no digits after base '%c'" base;
+  if Buffer.length buf > 2048 then Ast.error pos "bad sized literal: too many digits";
+  Buffer.contents buf
+
+(* Octal via binary: each digit is three bits. *)
+let octal_to_binary s =
+  let buf = Buffer.create (3 * String.length s) in
+  String.iter
+    (fun c ->
+      let n = Char.code c - Char.code '0' in
+      Buffer.add_char buf (if n land 4 <> 0 then '1' else '0');
+      Buffer.add_char buf (if n land 2 <> 0 then '1' else '0');
+      Buffer.add_char buf (if n land 1 <> 0 then '1' else '0'))
+    s;
+  Buffer.contents buf
+
+let fit_width pos v width =
+  if width <= 0 then Ast.error pos "bad sized literal: width must be positive";
+  if Bv.width v >= width then Bv.extract ~hi:(width - 1) ~lo:0 v else Bv.extend_u v width
+
+let sized_value pos ~width base digits =
+  let v =
+    try
+      match base with
+      | 'b' -> Bv.of_binary_string digits
+      | 'o' -> Bv.of_binary_string (octal_to_binary digits)
+      | 'h' -> Bv.of_hex_string ~width:(4 * String.length digits) digits
+      | 'd' ->
+          (* wide enough for any decimal the subset needs *)
+          Bv.of_decimal_string ~width:(max width 62) digits
+      | _ -> Ast.error pos "bad sized literal: unknown base '%c'" base
+    with Invalid_argument _ | Failure _ ->
+      Ast.error pos "bad sized literal: value does not fit"
+  in
+  fit_width pos v width
+
+let min_width_of_int n =
+  let rec go w v = if v = 0 then max w 1 else go (w + 1) (v lsr 1) in
+  go 0 n
+
+let tokenize ~file (src : string) : t array =
+  let len = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let i = ref 0 in
+  let pos_at off = { Ast.file; line = !line; col = off - !bol + 1 } in
+  let newline off = line := !line + 1; bol := off + 1 in
+  let push tok pos = toks := { tok; pos } :: !toks in
+  while !i < len do
+    let c = src.[!i] in
+    let start = !i in
+    let pos = pos_at start in
+    if c = '\n' then begin newline !i; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < len && src.[!i + 1] = '/' then begin
+      while !i < len && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && !i + 1 < len && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while not !closed do
+        if !i + 1 >= len then Ast.error pos "unterminated block comment"
+        else if src.[!i] = '*' && src.[!i + 1] = '/' then begin i := !i + 2; closed := true end
+        else begin
+          if src.[!i] = '\n' then newline !i;
+          incr i
+        end
+      done
+    end
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        if !i >= len || src.[!i] = '\n' then Ast.error pos "unterminated string literal"
+        else if src.[!i] = '"' then begin incr i; closed := true end
+        else begin Buffer.add_char buf src.[!i]; incr i end
+      done;
+      push (Str (Buffer.contents buf)) pos
+    end
+    else if is_digit c || c = '\'' then begin
+      (* optional size digits, then 'b/'o/'d/'h, or a plain decimal *)
+      let num_start = !i in
+      while !i < len && (is_digit src.[!i] || src.[!i] = '_') do incr i done;
+      let size_str = String.sub src num_start (!i - num_start) in
+      if !i < len && src.[!i] = '\'' then begin
+        incr i;
+        (* optional signed marker 's' is not part of the subset *)
+        if !i < len && (src.[!i] = 's' || src.[!i] = 'S') then
+          Ast.error pos "bad sized literal: signed literals ('s) are not supported";
+        if !i >= len then Ast.error pos "bad sized literal: missing base after '";
+        let base = Char.lowercase_ascii src.[!i] in
+        if not (base = 'b' || base = 'o' || base = 'd' || base = 'h') then
+          Ast.error pos "bad sized literal: unknown base '%c' (expected b, o, d or h)" src.[!i];
+        incr i;
+        let dig_start = !i in
+        while !i < len && (is_hex_digit src.[!i] || src.[!i] = '_') do incr i done;
+        let raw = String.sub src dig_start (!i - dig_start) in
+        let digits = base_digits pos base raw in
+        let width =
+          let s = String.concat "" (String.split_on_char '_' size_str) in
+          if s = "" then Ast.error pos "bad sized literal: missing size before '";
+          match int_of_string_opt s with
+          | Some w when w >= 1 && w <= 4096 -> w
+          | Some _ -> Ast.error pos "bad sized literal: size %s out of range (1..4096)" s
+          | None -> Ast.error pos "bad sized literal: size %s" s
+        in
+        push (Number { width = Some width; value = sized_value pos ~width base digits }) pos
+      end
+      else begin
+        if size_str = "" then Ast.error pos "expected a number";
+        let s = String.concat "" (String.split_on_char '_' size_str) in
+        match int_of_string_opt s with
+        | Some n when n >= 0 ->
+            let w = max 32 (min_width_of_int n) in
+            push (Number { width = None; value = Bv.of_int ~width:w n }) pos
+        | _ -> Ast.error pos "decimal literal %s is too large" s
+      end
+    end
+    else if is_id_start c then begin
+      incr i;
+      while !i < len && is_id_char src.[!i] do incr i done;
+      push (Id (String.sub src start (!i - start))) pos
+    end
+    else begin
+      let two =
+        if !i + 1 < len then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some (("<=" | ">=" | "==" | "!=" | "&&" | "||" | "<<" | ">>") as s) ->
+          i := !i + 2;
+          push (Sym s) pos
+      | _ -> (
+          match c with
+          | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '!' | '~' | '&' | '|' | '^' | '='
+          | '(' | ')' | '[' | ']' | '{' | '}' | ':' | ';' | ',' | '.' | '?' | '@' ->
+              incr i;
+              push (Sym (String.make 1 c)) pos
+          | _ -> Ast.error pos "unexpected character '%s'" (Char.escaped c))
+    end
+  done;
+  push Eof (pos_at !i);
+  Array.of_list (List.rev !toks)

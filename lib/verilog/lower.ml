@@ -1,0 +1,754 @@
+(** IR builder: elaborates a validated Verilog design into a multi-module
+    {!Sic_ir.Circuit.t}. The existing pass pipeline (check, lower-whens,
+    inline, const-prop, dce), the coverage instrumentation and every
+    backend then work unchanged.
+
+    Lowering rules (documented in DESIGN.md):
+    - the posedge signal becomes the canonical [clock : Clock] input port;
+      every module also gets a [reset : UInt<1>] input (reusing a 1-bit
+      [reset] input when the design declares one);
+    - [reg r = k;] lowers to a register with [reset => (reset, k)]:
+      registers power on to zero and load their initializer during the
+      harness reset pulse;
+    - nonblocking assignments under [if]/[case] become [when] trees; a
+      register not assigned on some path holds its value (ExpandWhens);
+    - every Verilog operator result is truncated/padded back to its
+      Verilog-determined width ([Bits]/[pad]) on top of the growing
+      FIRRTL width rules;
+    - each syntactic memory read becomes a combinational read port, each
+      write site a write port (enable carries the branch predicate);
+      [$readmemh] becomes the memory's power-on [init] image;
+    - an [output reg] port is backed by an internal register ([<name>_r])
+      connected to the port. *)
+
+module Bv = Sic_bv.Bv
+module Ir = Sic_ir
+module V = Validator
+open Ast
+
+(* ------------------------------------------------------------------ *)
+(* $readmemh image loader                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Blank out [//] and [/* */] comments, preserving newlines so line
+   numbers in diagnostics stay right. *)
+let strip_comments (s : string) : string =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && Bytes.get b !i = '/' && Bytes.get b (!i + 1) = '/' then
+      while !i < n && Bytes.get b !i <> '\n' do
+        Bytes.set b !i ' ';
+        incr i
+      done
+    else if !i + 1 < n && Bytes.get b !i = '/' && Bytes.get b (!i + 1) = '*' then begin
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if !i + 1 < n && Bytes.get b !i = '*' && Bytes.get b (!i + 1) = '/' then begin
+          Bytes.set b !i ' ';
+          Bytes.set b (!i + 1) ' ';
+          i := !i + 2;
+          closed := true
+        end
+        else begin
+          if Bytes.get b !i <> '\n' then Bytes.set b !i ' ';
+          incr i
+        end
+      done
+    end
+    else incr i
+  done;
+  Bytes.to_string b
+
+let load_hex ~(pos : pos) ~path ~width ~depth : Bv.t array =
+  let text =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error _ -> error pos "$readmemh: cannot read '%s'" path
+  in
+  let text = strip_comments text in
+  let arr = Array.make depth (Bv.zero width) in
+  let addr = ref 0 and line = ref 1 in
+  let word = Buffer.create 16 in
+  let fail fmt =
+    Printf.ksprintf (fun m -> error pos "$readmemh %s:%d: %s" path !line m) fmt
+  in
+  let flush_word () =
+    if Buffer.length word > 0 then begin
+      let w = Buffer.contents word in
+      Buffer.clear word;
+      if w.[0] = '@' then begin
+        let a = String.sub w 1 (String.length w - 1) in
+        match int_of_string_opt ("0x" ^ a) with
+        | Some a when a >= 0 && a < depth -> addr := a
+        | Some a -> fail "address @%x out of range for depth %d" a depth
+        | None -> fail "bad address '%s'" w
+      end
+      else begin
+        if !addr >= depth then fail "more than %d words" depth;
+        (match Bv.of_hex_string ~width:(4 * String.length w) w with
+        | v -> arr.(!addr) <- if Bv.width v >= width then Bv.extract ~hi:(width - 1) ~lo:0 v else Bv.extend_u v width
+        | exception _ -> fail "bad word '%s'" w);
+        incr addr
+      end
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\r' -> flush_word ()
+      | '\n' -> flush_word (); incr line
+      | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' | '@' -> Buffer.add_char word c
+      | '_' -> ()
+      | c -> fail "unexpected character '%s'" (Char.escaped c))
+    text;
+  flush_word ();
+  arr
+
+(* ------------------------------------------------------------------ *)
+(* Per-module lowering context                                          *)
+(* ------------------------------------------------------------------ *)
+
+type mem_acc = {
+  ma_depth : int;
+  ma_width : int;
+  ma_pos : pos;
+  mutable ma_readers : (string * Ir.Expr.t) list;  (** reversed: port, address *)
+  mutable ma_writers : string list;  (** reversed *)
+  mutable ma_init : Bv.t array option;
+}
+
+type mctx = {
+  de : V.denv;
+  me : V.menv;
+  dir : string;
+  used : (string, unit) Hashtbl.t;
+  mems : (string, mem_acc) Hashtbl.t;
+  out_regs : (string, string) Hashtbl.t;  (** output-reg port -> backing register *)
+}
+
+let fresh ctx base =
+  let rec go i =
+    let n = Printf.sprintf "%s_%d" base i in
+    if Hashtbl.mem ctx.used n then go (i + 1) else n
+  in
+  let n = if Hashtbl.mem ctx.used base then go 1 else base in
+  Hashtbl.replace ctx.used n ();
+  n
+
+(* the name an expression reads / an assignment drives in the IR *)
+let ref_name ctx n =
+  match Hashtbl.find_opt ctx.out_regs n with Some r -> r | None -> n
+
+let signal ctx p n = V.find_signal ctx.me p n
+
+let clog2 = Ir.Ty.clog2
+
+(* ------------------------------------------------------------------ *)
+(* Expression lowering                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let resize (e : Ir.Expr.t) (w : int) (target : int) : Ir.Expr.t =
+  if w = target then e
+  else if w > target then Ir.Expr.Bits (e, target - 1, 0)
+  else Ir.Expr.Intop (Ir.Expr.Pad, target, e)
+
+let bool_of (e : Ir.Expr.t) (w : int) : Ir.Expr.t =
+  if w = 1 then e else Ir.Expr.Unop (Ir.Expr.Orr, e)
+
+let alloc_reader ctx mem addr =
+  let ma = Hashtbl.find ctx.mems mem in
+  let port = Printf.sprintf "r%d" (List.length ma.ma_readers) in
+  ma.ma_readers <- (port, addr) :: ma.ma_readers;
+  port
+
+let alloc_writer ctx mem =
+  let ma = Hashtbl.find ctx.mems mem in
+  let port = Printf.sprintf "w%d" (List.length ma.ma_writers) in
+  ma.ma_writers <- port :: ma.ma_writers;
+  port
+
+let rec lx ctx (e : expr) : Ir.Expr.t * int =
+  match e with
+  | Literal { value; _ } -> (Ir.Expr.UIntLit value, Bv.width value)
+  | Ident (n, p) -> (
+      let s = signal ctx p n in
+      match s.V.sg_kind with
+      | V.K_param (v, sized) ->
+          let w = if sized then Bv.width v else max 32 (Bv.width v) in
+          (Ir.Expr.UIntLit (Bv.extend_u v w), w)
+      | _ -> (Ir.Expr.Ref (ref_name ctx n), s.V.sg_width))
+  | Unop (op, a, _) -> (
+      let ea, wa = lx ctx a in
+      match op with
+      | Lnot -> (Ir.Expr.not_ (bool_of ea wa), 1)
+      | Bnot -> (Ir.Expr.Unop (Ir.Expr.Not, ea), wa)
+      | Rand -> (Ir.Expr.Unop (Ir.Expr.Andr, ea), 1)
+      | Ror -> (Ir.Expr.Unop (Ir.Expr.Orr, ea), 1)
+      | Rxor -> (Ir.Expr.Unop (Ir.Expr.Xorr, ea), 1)
+      | Uminus ->
+          (* two's complement at the operand width *)
+          (Ir.Expr.Bits (Ir.Expr.Unop (Ir.Expr.AsUInt, Ir.Expr.Unop (Ir.Expr.Neg, ea)), wa - 1, 0), wa))
+  | Binop (op, a, b, _) -> (
+      let ea, wa = lx ctx a in
+      let eb, wb = lx ctx b in
+      match op with
+      | Eq | Neq | Lt | Le | Gt | Ge ->
+          let w = max wa wb in
+          let ea = resize ea wa w and eb = resize eb wb w in
+          let ir_op =
+            match op with
+            | Eq -> Ir.Expr.Eq
+            | Neq -> Ir.Expr.Neq
+            | Lt -> Ir.Expr.Lt
+            | Le -> Ir.Expr.Leq
+            | Gt -> Ir.Expr.Gt
+            | Ge -> Ir.Expr.Geq
+            | _ -> Ir.Expr.Eq
+          in
+          (Ir.Expr.Binop (ir_op, ea, eb), 1)
+      | Land -> (Ir.Expr.and_ (bool_of ea wa) (bool_of eb wb), 1)
+      | Lor -> (Ir.Expr.or_ (bool_of ea wa) (bool_of eb wb), 1)
+      | Shl -> (
+          match eb with
+          | Ir.Expr.UIntLit v ->
+              let n = Bv.to_int_trunc v in
+              if n >= wa then (Ir.Expr.UIntLit (Bv.zero wa), wa)
+              else (Ir.Expr.Bits (Ir.Expr.Intop (Ir.Expr.Shl, n, ea), wa - 1, 0), wa)
+          | _ ->
+              (* dynamic shift: keep the amount narrow so the FIRRTL result
+                 width stays bounded; guard amounts >= wa (result is 0) *)
+              let need = clog2 (wa + 1) in
+              if wb <= need && wb <= 13 then
+                (Ir.Expr.Bits (Ir.Expr.Binop (Ir.Expr.Dshl, ea, eb), wa - 1, 0), wa)
+              else
+                let nb = min 13 need in
+                let amt = resize eb wb nb in
+                let too_big =
+                  Ir.Expr.Binop (Ir.Expr.Geq, eb, Ir.Expr.u_lit ~width:wb wa)
+                in
+                let shifted = Ir.Expr.Bits (Ir.Expr.Binop (Ir.Expr.Dshl, ea, amt), wa - 1, 0) in
+                (Ir.Expr.Mux (too_big, Ir.Expr.UIntLit (Bv.zero wa), shifted), wa))
+      | Shr -> (Ir.Expr.Binop (Ir.Expr.Dshr, ea, eb), wa)
+      | Add | Sub | Mul | Div | Mod | Band | Bor | Bxor ->
+          let w = V.width_of ctx.me e in
+          let ea = resize ea wa w and eb = resize eb wb w in
+          let trunc x = Ir.Expr.Bits (x, w - 1, 0) in
+          let r =
+            match op with
+            | Add -> trunc (Ir.Expr.Binop (Ir.Expr.Add, ea, eb))
+            | Sub -> trunc (Ir.Expr.Binop (Ir.Expr.Sub, ea, eb))
+            | Mul -> trunc (Ir.Expr.Binop (Ir.Expr.Mul, ea, eb))
+            | Div -> Ir.Expr.Binop (Ir.Expr.Div, ea, eb)
+            | Mod -> Ir.Expr.Binop (Ir.Expr.Rem, ea, eb)
+            | Band -> Ir.Expr.Binop (Ir.Expr.And, ea, eb)
+            | Bor -> Ir.Expr.Binop (Ir.Expr.Or, ea, eb)
+            | Bxor -> Ir.Expr.Binop (Ir.Expr.Xor, ea, eb)
+            | _ -> trunc ea
+          in
+          (r, w))
+  | Ternary (c, a, b, _) ->
+      let ec, wc = lx ctx c in
+      let ea, wa = lx ctx a in
+      let eb, wb = lx ctx b in
+      let w = V.width_of ctx.me e in
+      (Ir.Expr.Mux (bool_of ec wc, resize ea wa w, resize eb wb w), w)
+  | Concat (parts, _) ->
+      let lowered = List.map (lx ctx) parts in
+      let e, w =
+        match lowered with
+        | [] -> (Ir.Expr.UIntLit (Bv.zero 1), 1)
+        | first :: rest ->
+            List.fold_left
+              (fun (acc, aw) (e, w) -> (Ir.Expr.Binop (Ir.Expr.Cat, acc, e), aw + w))
+              first rest
+      in
+      (e, w)
+  | Repl (n, a, _) ->
+      let ea, wa = lx ctx a in
+      let rec go i acc aw =
+        if i = 0 then (acc, aw)
+        else go (i - 1) (Ir.Expr.Binop (Ir.Expr.Cat, acc, ea)) (aw + wa)
+      in
+      go (n - 1) ea wa
+  | Index (base, idx, p) -> (
+      let s = signal ctx p base in
+      match s.V.sg_kind with
+      | V.K_mem depth ->
+          let ei, wi = lx ctx idx in
+          let aw = clog2 depth in
+          let port = alloc_reader ctx base (resize ei wi aw) in
+          (Ir.Expr.Ref (base ^ "." ^ port ^ ".data"), s.V.sg_width)
+      | _ -> (
+          let b = Ir.Expr.Ref (ref_name ctx base) in
+          match V.const_value ctx.me idx with
+          | Some v ->
+              let i = Bv.to_int_trunc v in
+              (Ir.Expr.Bits (b, i, i), 1)
+          | None ->
+              let ei, _ = lx ctx idx in
+              (Ir.Expr.Bits (Ir.Expr.Binop (Ir.Expr.Dshr, b, ei), 0, 0), 1)))
+  | Part (base, hi, lo, _) -> (Ir.Expr.Bits (Ir.Expr.Ref (ref_name ctx base), hi, lo), hi - lo + 1)
+
+(* lower and fit to a target width *)
+let lx_to ctx e target =
+  let ir, w = lx ctx e in
+  resize ir w target
+
+(* ------------------------------------------------------------------ *)
+(* Statement lowering (always bodies)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* read-modify-write for part-selects on the left: the untouched bits come
+   from the register's previous value *)
+let rmw ctx sink width hi lo rhs info =
+  let parts =
+    (if hi < width - 1 then [ Ir.Expr.Bits (Ir.Expr.Ref sink, width - 1, hi + 1) ] else [])
+    @ [ rhs ]
+    @ (if lo > 0 then [ Ir.Expr.Bits (Ir.Expr.Ref sink, lo - 1, 0) ] else [])
+  in
+  let expr =
+    match parts with
+    | [] -> rhs
+    | first :: rest ->
+        List.fold_left (fun acc e -> Ir.Expr.Binop (Ir.Expr.Cat, acc, e)) first rest
+  in
+  ignore ctx;
+  Ir.Stmt.Connect { loc = sink; expr; info }
+
+let rec lstmt ctx (s : stmt) : Ir.Stmt.t list =
+  match s with
+  | Assign (lv, e, p) -> (
+      let info = info_of p in
+      match lv with
+      | LvId (n, lp) ->
+          let s = signal ctx lp n in
+          [ Ir.Stmt.Connect { loc = ref_name ctx n; expr = lx_to ctx e s.V.sg_width; info } ]
+      | LvIndex (n, idx, lp) -> (
+          let s = signal ctx lp n in
+          match s.V.sg_kind with
+          | V.K_mem depth ->
+              let port = alloc_writer ctx n in
+              let aw = clog2 depth in
+              let f field = n ^ "." ^ port ^ "." ^ field in
+              [
+                Ir.Stmt.Connect { loc = f "en"; expr = Ir.Expr.true_; info };
+                Ir.Stmt.Connect { loc = f "addr"; expr = lx_to ctx idx aw; info };
+                Ir.Stmt.Connect { loc = f "data"; expr = lx_to ctx e s.V.sg_width; info };
+              ]
+          | _ ->
+              (* validator guarantees a constant bit index here *)
+              let i =
+                match V.const_value ctx.me idx with
+                | Some v -> Bv.to_int_trunc v
+                | None -> error lp "dynamic bit-select on the left of an assignment"
+              in
+              let sink = ref_name ctx n in
+              [ rmw ctx sink s.V.sg_width i i (lx_to ctx e 1) info ])
+      | LvPart (n, hi, lo, lp) ->
+          let s = signal ctx lp n in
+          let sink = ref_name ctx n in
+          [ rmw ctx sink s.V.sg_width hi lo (lx_to ctx e (hi - lo + 1)) info ])
+  | If (c, t, f, p) ->
+      let ec, wc = lx ctx c in
+      [
+        Ir.Stmt.When
+          {
+            cond = bool_of ec wc;
+            then_ = List.concat_map (lstmt ctx) t;
+            else_ = List.concat_map (lstmt ctx) f;
+            info = info_of p;
+          };
+      ]
+  | Case { scrutinee; arms; default; case_pos } ->
+      let es, ws = lx ctx scrutinee in
+      let info = info_of case_pos in
+      let arm_cond items =
+        let conds =
+          List.map
+            (fun item ->
+              let ei, wi = lx ctx item in
+              let w = max ws wi in
+              Ir.Expr.eq_ (resize es ws w) (resize ei wi w))
+            items
+        in
+        match conds with
+        | [] -> Ir.Expr.false_
+        | first :: rest -> List.fold_left Ir.Expr.or_ first rest
+      in
+      let else_base = List.concat_map (lstmt ctx) default in
+      List.fold_right
+        (fun (items, body) acc ->
+          [
+            Ir.Stmt.When
+              {
+                cond = arm_cond items;
+                then_ = List.concat_map (lstmt ctx) body;
+                else_ = acc;
+                info;
+              };
+          ])
+        arms else_base
+
+(* ------------------------------------------------------------------ *)
+(* FSM inference                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A register is a state machine candidate when every assignment to it is
+   a constant and it scrutinizes a case statement. Localparam names give
+   the states their names (the idiomatic Verilog FSM encoding). *)
+let infer_fsms ctx : Ir.Annotation.t list =
+  let m = ctx.me.V.me_module in
+  let assigns : (string, Bv.t option list) Hashtbl.t = Hashtbl.create 8 in
+  let scrutinees : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let record n v =
+    Hashtbl.replace assigns n (v :: Option.value ~default:[] (Hashtbl.find_opt assigns n))
+  in
+  let rec walk (s : stmt) =
+    match s with
+    | Assign (LvId (n, _), e, _) -> record n (V.const_value ctx.me e)
+    | Assign (lv, _, _) -> record (lvalue_base lv) None
+    | If (_, t, f, _) ->
+        List.iter walk t;
+        List.iter walk f
+    | Case { scrutinee; arms; default; _ } ->
+        (match scrutinee with
+        | Ident (n, _) -> Hashtbl.replace scrutinees n ()
+        | _ -> ());
+        List.iter (fun (_, body) -> List.iter walk body) arms;
+        List.iter walk default
+  in
+  List.iter
+    (fun (item : item) -> match item with Always { body; _ } -> List.iter walk body | _ -> ())
+    m.mod_items;
+  let params =
+    Hashtbl.fold
+      (fun _ (s : V.signal) acc ->
+        match s.V.sg_kind with
+        | V.K_param (v, _) -> (Bv.to_int_trunc v, s.V.sg_name) :: acc
+        | _ -> acc)
+      ctx.me.V.me_signals []
+  in
+  Hashtbl.fold
+    (fun n values acc ->
+      match Hashtbl.find_opt ctx.me.V.me_signals n with
+      | Some ({ V.sg_kind = V.K_reg | V.K_output; sg_is_storage = true; sg_width; _ } as s)
+        when Hashtbl.mem scrutinees n && sg_width <= 8 ->
+          if List.exists (fun v -> v = None) values then acc
+          else
+            let consts = List.filter_map (fun v -> v) values in
+            let codes =
+              List.sort_uniq compare
+                (List.map Bv.to_int_trunc consts
+                @ match s.V.sg_init with Some v -> [ Bv.to_int_trunc v ] | None -> [])
+            in
+            if List.length codes < 2 || List.length codes > 64 then acc
+            else begin
+              let variants =
+                List.map
+                  (fun code ->
+                    match List.assoc_opt code params with
+                    | Some pname -> (pname, code)
+                    | None -> (Printf.sprintf "S%d" code, code))
+                  codes
+              in
+              let enum_name = Printf.sprintf "%s_%s_states" m.mod_name n in
+              let reg = ref_name ctx n in
+              Ir.Annotation.Enum_def { enum_name; variants }
+              :: Ir.Annotation.Enum_reg { module_name = m.mod_name; reg; enum = enum_name }
+              :: acc
+            end
+      | _ -> acc)
+    assigns []
+
+(* ------------------------------------------------------------------ *)
+(* Module lowering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* IR port list: verilog name, IR name, direction, type. The clock port is
+   canonicalized to "clock"; a synthetic 1-bit "reset" input is appended
+   unless the design already declares one. *)
+let ir_ports (me : V.menv) : (string * string * Ir.Circuit.direction * Ir.Ty.t) list =
+  let ports =
+    List.map
+      (fun n ->
+        let s = Hashtbl.find me.V.me_signals n in
+        let dir =
+          match s.V.sg_kind with K_input -> Ir.Circuit.Input | _ -> Ir.Circuit.Output
+        in
+        if me.V.me_clock = Some n then (n, "clock", Ir.Circuit.Input, Ir.Ty.Clock)
+        else (n, n, dir, Ir.Ty.UInt s.V.sg_width))
+      me.V.me_port_order
+  in
+  if List.exists (fun (n, _, _, _) -> n = "reset") ports then ports
+  else ports @ [ ("reset", "reset", Ir.Circuit.Input, Ir.Ty.UInt 1) ]
+
+let lower_module (de : V.denv) ~dir (me : V.menv) : Ir.Circuit.modul * Ir.Annotation.t list =
+  let m = me.V.me_module in
+  let ctx =
+    {
+      de;
+      me;
+      dir;
+      used = Hashtbl.create 32;
+      mems = Hashtbl.create 4;
+      out_regs = Hashtbl.create 4;
+    }
+  in
+  Hashtbl.iter (fun n _ -> Hashtbl.replace ctx.used n ()) me.V.me_signals;
+  Hashtbl.replace ctx.used "clock" ();
+  Hashtbl.replace ctx.used "reset" ();
+  List.iter
+    (fun (item : item) ->
+      match item with
+      | Instance { inst_name; _ } -> Hashtbl.replace ctx.used inst_name ()
+      | _ -> ())
+    m.mod_items;
+  (* backing registers for output-reg ports; memory accumulators *)
+  Hashtbl.iter
+    (fun n (s : V.signal) ->
+      match s.V.sg_kind with
+      | V.K_output when s.V.sg_is_storage ->
+          Hashtbl.replace ctx.out_regs n (fresh ctx (n ^ "_r"))
+      | V.K_mem depth ->
+          Hashtbl.replace ctx.mems n
+            {
+              ma_depth = depth;
+              ma_width = s.V.sg_width;
+              ma_pos = s.V.sg_pos;
+              ma_readers = [];
+              ma_writers = [];
+              ma_init = None;
+            }
+      | _ -> ())
+    me.V.me_signals;
+  let reset_ref = Ir.Expr.Ref "reset" in
+  (* declarations in source order *)
+  let decls = ref [] in
+  let emit_decl s = decls := s :: !decls in
+  List.iter
+    (fun (item : item) ->
+      match item with
+      | Port { name; pos; _ } -> (
+          match Hashtbl.find_opt ctx.out_regs name with
+          | Some r ->
+              let s = Hashtbl.find me.V.me_signals name in
+              let reset =
+                match s.V.sg_init with
+                | Some v -> Some (reset_ref, Ir.Expr.UIntLit (Bv.extend_u v s.V.sg_width))
+                | None -> None
+              in
+              emit_decl
+                (Ir.Stmt.Reg { name = r; ty = Ir.Ty.UInt s.V.sg_width; reset; info = info_of pos })
+          | None -> ())
+      | Net { kind; name; array = None; pos; _ } -> (
+          let s = Hashtbl.find me.V.me_signals name in
+          match s.V.sg_kind with
+          | V.K_input | V.K_output when not s.V.sg_is_storage -> ()
+          | V.K_output -> (
+              (* output reg declared in the body *)
+              match Hashtbl.find_opt ctx.out_regs name with
+              | Some r ->
+                  let reset =
+                    match s.V.sg_init with
+                    | Some v -> Some (reset_ref, Ir.Expr.UIntLit (Bv.extend_u v s.V.sg_width))
+                    | None -> None
+                  in
+                  emit_decl
+                    (Ir.Stmt.Reg
+                       { name = r; ty = Ir.Ty.UInt s.V.sg_width; reset; info = info_of pos })
+              | None -> ())
+          | V.K_reg ->
+              let reset =
+                match s.V.sg_init with
+                | Some v -> Some (reset_ref, Ir.Expr.UIntLit (Bv.extend_u v s.V.sg_width))
+                | None -> None
+              in
+              emit_decl
+                (Ir.Stmt.Reg { name; ty = Ir.Ty.UInt s.V.sg_width; reset; info = info_of pos })
+          | V.K_wire when kind = Kwire ->
+              emit_decl (Ir.Stmt.Wire { name; ty = Ir.Ty.UInt s.V.sg_width; info = info_of pos })
+          | _ -> ())
+      | Net { array = Some _; _ } -> ()  (* memories are declared after port discovery *)
+      | _ -> ())
+    m.mod_items;
+  (* body *)
+  let body = ref [] in
+  let emit s = body := s :: !body in
+  List.iter
+    (fun (item : item) ->
+      match item with
+      | Port _ | Localparam _ -> ()
+      | Net { kind = Kwire; init = Some e; name; pos; _ } ->
+          let s = Hashtbl.find me.V.me_signals name in
+          emit
+            (Ir.Stmt.Connect
+               { loc = name; expr = lx_to ctx e s.V.sg_width; info = info_of pos })
+      | Net _ -> ()
+      | ContAssign (lv, e, p) -> (
+          match lv with
+          | LvId (n, lp) ->
+              let s = signal ctx lp n in
+              emit
+                (Ir.Stmt.Connect
+                   { loc = ref_name ctx n; expr = lx_to ctx e s.V.sg_width; info = info_of p })
+          | LvIndex (n, _, lp) | LvPart (n, _, _, lp) ->
+              error lp "select on the left of a continuous assign to '%s'" n)
+      | Always { body = stmts; _ } -> List.iter (fun s -> List.iter emit (lstmt ctx s)) stmts
+      | Readmemh { path; mem; pos } ->
+          let ma = Hashtbl.find ctx.mems mem in
+          let full =
+            if Filename.is_relative path then Filename.concat ctx.dir path else path
+          in
+          ma.ma_init <-
+            Some
+              (load_hex ~pos ~path:full ~width:ma.ma_width ~depth:ma.ma_depth)
+      | Instance { module_name; inst_name; conns; pos } ->
+          let child = Hashtbl.find de.V.de_modules module_name in
+          let info = info_of pos in
+          emit (Ir.Stmt.Inst { name = inst_name; module_name; info });
+          let connected = Hashtbl.create 8 in
+          let bind port (e : expr option) =
+            Hashtbl.replace connected port ();
+            match e with
+            | None -> ()
+            | Some e -> (
+                let cs = Hashtbl.find child.V.me_signals port in
+                if child.V.me_clock = Some port then
+                  (* validated: e is this module's clock *)
+                  emit
+                    (Ir.Stmt.Connect
+                       { loc = inst_name ^ ".clock"; expr = Ir.Expr.Ref "clock"; info })
+                else
+                  match cs.V.sg_kind with
+                  | V.K_input ->
+                      emit
+                        (Ir.Stmt.Connect
+                           {
+                             loc = inst_name ^ "." ^ port;
+                             expr = lx_to ctx e cs.V.sg_width;
+                             info;
+                           })
+                  | _ -> (
+                      (* instance output into a local net *)
+                      match e with
+                      | Ident (n, lp) ->
+                          let s = signal ctx lp n in
+                          emit
+                            (Ir.Stmt.Connect
+                               {
+                                 loc = ref_name ctx n;
+                                 expr =
+                                   resize
+                                     (Ir.Expr.Ref (inst_name ^ "." ^ port))
+                                     cs.V.sg_width s.V.sg_width;
+                                 info;
+                               })
+                      | _ -> error (expr_pos e) "instance output must drive a plain net"))
+          in
+          let positional =
+            List.filter_map (function Positional e -> Some e | Named _ -> None) conns
+          in
+          if positional <> [] then
+            List.iteri
+              (fun i e -> bind (List.nth child.V.me_port_order i) (Some e))
+              positional
+          else
+            List.iter
+              (function Named (port, e, _) -> bind port e | Positional _ -> ())
+              conns;
+          (* propagate clock and reset when not explicitly wired *)
+          (match child.V.me_clock with
+          | Some cport when (not (Hashtbl.mem connected cport)) && me.V.me_clock <> None ->
+              emit
+                (Ir.Stmt.Connect
+                   { loc = inst_name ^ ".clock"; expr = Ir.Expr.Ref "clock"; info })
+          | _ -> ());
+          if not (Hashtbl.mem connected "reset") then
+            emit
+              (Ir.Stmt.Connect { loc = inst_name ^ ".reset"; expr = reset_ref; info }))
+    m.mod_items;
+  (* memory declarations, defaults and read-address hookups *)
+  let mem_stmts = ref [] in
+  Hashtbl.iter
+    (fun name ma ->
+      let info = info_of ma.ma_pos in
+      let readers = List.rev ma.ma_readers in
+      let writers = List.rev ma.ma_writers in
+      let aw = clog2 ma.ma_depth in
+      let init =
+        match ma.ma_init with
+        | Some arr when Array.exists (fun v -> not (Bv.is_zero v)) arr -> Some arr
+        | _ -> None
+      in
+      mem_stmts :=
+        Ir.Stmt.Mem
+          {
+            mem =
+              {
+                Ir.Stmt.mem_name = name;
+                mem_data = Ir.Ty.UInt ma.ma_width;
+                mem_depth = ma.ma_depth;
+                mem_readers = List.map (fun (rp_name, _) -> { Ir.Stmt.rp_name }) readers;
+                mem_writers = List.map (fun wp_name -> { Ir.Stmt.wp_name }) writers;
+                mem_read_latency = 0;
+                mem_init = init;
+              };
+            info;
+          }
+        :: !mem_stmts;
+      List.iter
+        (fun (rp, addr) ->
+          mem_stmts :=
+            Ir.Stmt.Connect { loc = name ^ "." ^ rp ^ ".addr"; expr = addr; info }
+            :: !mem_stmts)
+        readers;
+      List.iter
+        (fun wp ->
+          let f field = name ^ "." ^ wp ^ "." ^ field in
+          mem_stmts :=
+            Ir.Stmt.Connect { loc = f "data"; expr = Ir.Expr.u_lit ~width:ma.ma_width 0; info }
+            :: Ir.Stmt.Connect { loc = f "addr"; expr = Ir.Expr.u_lit ~width:aw 0; info }
+            :: Ir.Stmt.Connect { loc = f "en"; expr = Ir.Expr.false_; info }
+            :: !mem_stmts)
+        writers)
+    ctx.mems;
+  (* output-reg ports read their backing register *)
+  let out_conns =
+    Hashtbl.fold
+      (fun port r acc ->
+        Ir.Stmt.Connect { loc = port; expr = Ir.Expr.Ref r; info = Ir.Info.unknown } :: acc)
+      ctx.out_regs []
+  in
+  let ports =
+    List.map
+      (fun (_, ir, dir, ty) ->
+        { Ir.Circuit.port_name = ir; dir; port_ty = ty; port_info = Ir.Info.unknown })
+      (ir_ports me)
+  in
+  let annos = infer_fsms ctx in
+  ( {
+      Ir.Circuit.module_name = m.mod_name;
+      ports;
+      body = List.rev !decls @ List.rev !mem_stmts @ List.rev !body @ out_conns;
+    },
+    annos )
+
+(* ------------------------------------------------------------------ *)
+(* Design lowering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let lower ~dir (de : V.denv) (d : design) : Ir.Circuit.t =
+  let lowered =
+    List.map (fun (m : module_) -> lower_module de ~dir (Hashtbl.find de.V.de_modules m.mod_name)) d.modules
+  in
+  {
+    Ir.Circuit.circuit_name = de.V.de_top;
+    modules = List.map fst lowered;
+    annotations = List.concat_map snd lowered;
+  }

@@ -1,0 +1,590 @@
+(** Recursive-descent parser for the Verilog subset, in the house style of
+    [lib/ir/parser.ml]: a flat token array, one-symbol lookahead, explicit
+    [expect] helpers. Grammar (see DESIGN.md for the full subset):
+
+    {v
+    design   := { module }
+    module   := "module" id [ "(" ports ")" ] ";" { item } "endmodule"
+    item     := port-decl | net-decl | localparam | assign | always
+              | initial | instance
+    stmt     := lvalue "<=" expr ";" | if | case | "begin" { stmt } "end"
+    v}
+
+    Constructs outside the subset (negedge, blocking assigns in always,
+    generate, functions, parameters, delays, ...) are rejected with a
+    located "unsupported" diagnostic — never a crash. An expression
+    nesting limit guards against stack overflow on adversarial input. *)
+
+module Bv = Sic_bv.Bv
+open Ast
+
+type st = { toks : Lexer.t array; mutable i : int; mutable depth : int }
+
+let peek st = st.toks.(st.i)
+
+let next st =
+  let t = peek st in
+  (match t.Lexer.tok with Lexer.Eof -> () | _ -> st.i <- st.i + 1);
+  t
+
+let pos_of st = (peek st).Lexer.pos
+
+let fail_here st fmt = error (pos_of st) fmt
+
+let expect st s =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.Sym s' when s' = s -> t.Lexer.pos
+  | other -> error t.Lexer.pos "expected '%s' but found %s" s (Lexer.describe other)
+
+let at_sym st s = match (peek st).Lexer.tok with Lexer.Sym s' -> s' = s | _ -> false
+let at_id st name = match (peek st).Lexer.tok with Lexer.Id s -> s = name | _ -> false
+
+let eat_sym st s = if at_sym st s then (ignore (next st); true) else false
+
+let ident st =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.Id s when String.length s > 0 && s.[0] = '$' ->
+      error t.Lexer.pos "unsupported system task/function %s" s
+  | Lexer.Id s -> (s, t.Lexer.pos)
+  | other -> error t.Lexer.pos "expected identifier but found %s" (Lexer.describe other)
+
+let keywords =
+  [ "module"; "endmodule"; "input"; "output"; "inout"; "wire"; "reg"; "assign"; "always";
+    "posedge"; "negedge"; "if"; "else"; "begin"; "end"; "case"; "casez"; "casex"; "endcase";
+    "default"; "initial"; "localparam"; "parameter"; "function"; "endfunction"; "task";
+    "endtask"; "generate"; "endgenerate"; "for"; "while"; "repeat"; "forever"; "integer";
+    "genvar"; "signed" ]
+
+let is_keyword s = List.mem s keywords
+
+let name st =
+  let n, p = ident st in
+  if is_keyword n then error p "expected a name but found keyword '%s'" n;
+  (n, p)
+
+let integer st =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.Number { value; _ } -> (Bv.to_int_trunc value, t.Lexer.pos)
+  | other -> error t.Lexer.pos "expected integer but found %s" (Lexer.describe other)
+
+(* --------------------------------------------------------------------- *)
+(* Expressions                                                            *)
+(* --------------------------------------------------------------------- *)
+
+let max_depth = 200
+
+let enter st p =
+  st.depth <- st.depth + 1;
+  if st.depth > max_depth then error p "expression nests too deeply"
+
+let leave st = st.depth <- st.depth - 1
+
+(* precedence climbing; level 0 is the ternary *)
+let binop_levels : (string * binop) list list =
+  [
+    [ ("||", Lor) ];
+    [ ("&&", Land) ];
+    [ ("|", Bor) ];
+    [ ("^", Bxor) ];
+    [ ("&", Band) ];
+    [ ("==", Eq); ("!=", Neq) ];
+    [ ("<", Lt); ("<=", Le); (">", Gt); (">=", Ge) ];
+    [ ("<<", Shl); (">>", Shr) ];
+    [ ("+", Add); ("-", Sub) ];
+    [ ("*", Mul); ("/", Div); ("%", Mod) ];
+  ]
+
+let rec parse_expr st : expr =
+  let p = pos_of st in
+  enter st p;
+  let cond = parse_binary st 0 in
+  let e =
+    if eat_sym st "?" then begin
+      let a = parse_expr st in
+      ignore (expect st ":");
+      let b = parse_expr st in
+      Ternary (cond, a, b, p)
+    end
+    else cond
+  in
+  leave st;
+  e
+
+and parse_binary st level : expr =
+  if level >= List.length binop_levels then parse_unary st
+  else begin
+    let ops = List.nth binop_levels level in
+    let lhs = ref (parse_binary st (level + 1)) in
+    let continue_ = ref true in
+    while !continue_ do
+      match (peek st).Lexer.tok with
+      | Lexer.Sym s when List.mem_assoc s ops ->
+          let p = (next st).Lexer.pos in
+          let rhs = parse_binary st (level + 1) in
+          lhs := Binop (List.assoc s ops, !lhs, rhs, p)
+      | _ -> continue_ := false
+    done;
+    !lhs
+  end
+
+and parse_unary st : expr =
+  let t = peek st in
+  let p = t.Lexer.pos in
+  match t.Lexer.tok with
+  | Lexer.Sym "!" -> ignore (next st); enter st p; let e = Unop (Lnot, parse_unary st, p) in leave st; e
+  | Lexer.Sym "~" -> ignore (next st); enter st p; let e = Unop (Bnot, parse_unary st, p) in leave st; e
+  | Lexer.Sym "&" -> ignore (next st); enter st p; let e = Unop (Rand, parse_unary st, p) in leave st; e
+  | Lexer.Sym "|" -> ignore (next st); enter st p; let e = Unop (Ror, parse_unary st, p) in leave st; e
+  | Lexer.Sym "^" -> ignore (next st); enter st p; let e = Unop (Rxor, parse_unary st, p) in leave st; e
+  | Lexer.Sym "-" -> ignore (next st); enter st p; let e = Unop (Uminus, parse_unary st, p) in leave st; e
+  | _ -> parse_primary st
+
+and parse_primary st : expr =
+  let t = next st in
+  let p = t.Lexer.pos in
+  match t.Lexer.tok with
+  | Lexer.Number { width; value } -> Literal { width; value; pos = p }
+  | Lexer.Id s when String.length s > 0 && s.[0] = '$' ->
+      error p "unsupported system task/function %s in expression" s
+  | Lexer.Id s ->
+      if is_keyword s then error p "unexpected keyword '%s' in expression" s;
+      parse_select st s p
+  | Lexer.Sym "(" ->
+      enter st p;
+      let e = parse_expr st in
+      ignore (expect st ")");
+      leave st;
+      e
+  | Lexer.Sym "{" ->
+      enter st p;
+      let first = parse_expr st in
+      let e =
+        if at_sym st "{" then begin
+          (* replication {N{expr}} *)
+          let n =
+            match first with
+            | Literal { value; _ } -> Bv.to_int_trunc value
+            | _ -> error p "replication count must be a literal"
+          in
+          if n < 1 || n > 4096 then error p "replication count %d out of range" n;
+          ignore (expect st "{");
+          let inner = parse_expr st in
+          ignore (expect st "}");
+          ignore (expect st "}");
+          Repl (n, inner, p)
+        end
+        else begin
+          let parts = ref [ first ] in
+          while eat_sym st "," do
+            parts := parse_expr st :: !parts
+          done;
+          ignore (expect st "}");
+          Concat (List.rev !parts, p)
+        end
+      in
+      leave st;
+      e
+  | other -> error p "expected expression but found %s" (Lexer.describe other)
+
+(* [base] already consumed; parse optional [expr] / [hi:lo] suffix *)
+and parse_select st base p : expr =
+  if at_sym st "[" then begin
+    let bp = (next st).Lexer.pos in
+    enter st bp;
+    let first = parse_expr st in
+    let e =
+      if eat_sym st ":" then begin
+        let hi =
+          match first with
+          | Literal { value; _ } -> Bv.to_int_trunc value
+          | _ -> error bp "part-select bounds must be literals"
+        in
+        let lo, _ = integer st in
+        ignore (expect st "]");
+        Part (base, hi, lo, p)
+      end
+      else begin
+        ignore (expect st "]");
+        Index (base, first, p)
+      end
+    in
+    leave st;
+    (match (peek st).Lexer.tok with
+    | Lexer.Sym "[" -> error (pos_of st) "unsupported: multiple select suffixes on %s" base
+    | _ -> ());
+    e
+  end
+  else Ident (base, p)
+
+(* --------------------------------------------------------------------- *)
+(* Statements (inside always blocks)                                      *)
+(* --------------------------------------------------------------------- *)
+
+let parse_lvalue st : lvalue =
+  let base, p = name st in
+  match (peek st).Lexer.tok with
+  | Lexer.Sym "[" -> (
+      ignore (next st);
+      let first = parse_expr st in
+      if eat_sym st ":" then begin
+        let hi =
+          match first with
+          | Literal { value; _ } -> Bv.to_int_trunc value
+          | _ -> error p "part-select bounds must be literals"
+        in
+        let lo, _ = integer st in
+        ignore (expect st "]");
+        LvPart (base, hi, lo, p)
+      end
+      else begin
+        ignore (expect st "]");
+        LvIndex (base, first, p)
+      end)
+  | _ -> LvId (base, p)
+
+let rec parse_stmt st : stmt list =
+  let t = peek st in
+  let p = t.Lexer.pos in
+  enter st p;
+  let out =
+    match t.Lexer.tok with
+    | Lexer.Id "begin" ->
+        ignore (next st);
+        let out = ref [] in
+        while not (at_id st "end") do
+          (match (peek st).Lexer.tok with
+          | Lexer.Eof -> fail_here st "unexpected end of file: missing 'end'"
+          | _ -> ());
+          out := List.rev_append (parse_stmt st) !out
+        done;
+        ignore (next st);
+        List.rev !out
+    | Lexer.Id "if" ->
+        ignore (next st);
+        ignore (expect st "(");
+        let cond = parse_expr st in
+        ignore (expect st ")");
+        let then_ = parse_stmt st in
+        let else_ = if at_id st "else" then (ignore (next st); parse_stmt st) else [] in
+        [ If (cond, then_, else_, p) ]
+    | Lexer.Id "case" ->
+        ignore (next st);
+        ignore (expect st "(");
+        let scrutinee = parse_expr st in
+        ignore (expect st ")");
+        let arms = ref [] and default = ref None in
+        while not (at_id st "endcase") do
+          (match (peek st).Lexer.tok with
+          | Lexer.Eof -> fail_here st "unexpected end of file: missing 'endcase'"
+          | _ -> ());
+          if at_id st "default" then begin
+            let dp = (next st).Lexer.pos in
+            ignore (eat_sym st ":");
+            if !default <> None then error dp "duplicate default arm in case";
+            default := Some (parse_stmt st)
+          end
+          else begin
+            let items = ref [ parse_expr st ] in
+            while eat_sym st "," do
+              items := parse_expr st :: !items
+            done;
+            ignore (expect st ":");
+            let body = parse_stmt st in
+            arms := (List.rev !items, body) :: !arms
+          end
+        done;
+        ignore (next st);
+        [ Case { scrutinee; arms = List.rev !arms; default = Option.value ~default:[] !default;
+                 case_pos = p } ]
+    | Lexer.Id ("casez" | "casex") -> error p "unsupported: casez/casex (use case)"
+    | Lexer.Id ("for" | "while" | "repeat" | "forever") ->
+        error p "unsupported: loops are outside the synthesizable subset"
+    | Lexer.Id s when String.length s > 0 && s.[0] = '$' ->
+        error p "unsupported system task %s in always block" s
+    | Lexer.Sym ";" ->
+        ignore (next st);
+        []
+    | _ ->
+        let lv = parse_lvalue st in
+        let t = next st in
+        (match t.Lexer.tok with
+        | Lexer.Sym "<=" -> ()
+        | Lexer.Sym "=" ->
+            error t.Lexer.pos
+              "unsupported: blocking assignment (=) in always block; use nonblocking (<=)"
+        | other -> error t.Lexer.pos "expected '<=' but found %s" (Lexer.describe other));
+        let e = parse_expr st in
+        ignore (expect st ";");
+        [ Assign (lv, e, p) ]
+  in
+  leave st;
+  out
+
+(* --------------------------------------------------------------------- *)
+(* Module items                                                           *)
+(* --------------------------------------------------------------------- *)
+
+let parse_range st : range option =
+  if at_sym st "[" then begin
+    let p = (next st).Lexer.pos in
+    let msb, _ = integer st in
+    ignore (expect st ":");
+    let lsb, _ = integer st in
+    ignore (expect st "]");
+    if lsb <> 0 then error p "unsupported: range [%d:%d] must end at 0" msb lsb;
+    if msb < lsb then error p "range [%d:%d] is reversed" msb lsb;
+    if msb - lsb + 1 > 4096 then error p "range [%d:%d] is too wide" msb lsb;
+    Some { msb; lsb }
+  end
+  else None
+
+(* "input" / "output" consumed by the caller *)
+let parse_port_decl st dir dp : item list =
+  let is_reg = if at_id st "reg" then (ignore (next st); true) else false in
+  if at_id st "signed" then fail_here st "unsupported: signed ports";
+  let range = parse_range st in
+  let out = ref [] in
+  let one () =
+    let n, p = name st in
+    out := Port { dir; is_reg; range; name = n; pos = p } :: !out
+  in
+  one ();
+  while eat_sym st "," do one () done;
+  ignore dp;
+  !out
+
+let parse_net_decl st kind : item list =
+  if at_id st "signed" then fail_here st "unsupported: signed nets";
+  let range = parse_range st in
+  let out = ref [] in
+  let one () =
+    let n, p = name st in
+    let array =
+      if at_sym st "[" then begin
+        let bp = (next st).Lexer.pos in
+        if kind <> Kreg then error bp "only reg can be declared as a memory array";
+        let first, _ = integer st in
+        ignore (expect st ":");
+        let last, _ = integer st in
+        ignore (expect st "]");
+        if first <> 0 then error bp "unsupported: memory index must start at 0";
+        if last < first then error bp "memory range [%d:%d] is reversed" first last;
+        if last - first + 1 > (1 lsl 20) then error bp "memory is too deep (%d words)" (last + 1);
+        Some (first, last)
+      end
+      else None
+    in
+    let init = if eat_sym st "=" then Some (parse_expr st) else None in
+    (match (array, init) with
+    | Some _, Some _ -> error p "a memory cannot have an inline initializer (use $readmemh)"
+    | _ -> ());
+    out := Net { kind; range; name = n; array; init; pos = p } :: !out
+  in
+  one ();
+  while eat_sym st "," do one () done;
+  List.rev !out
+
+let parse_initial st ip : item list =
+  (* only $readmemh calls, optionally wrapped in begin/end *)
+  let out = ref [] in
+  let one () =
+    let t = next st in
+    match t.Lexer.tok with
+    | Lexer.Id "$readmemh" ->
+        ignore (expect st "(");
+        let path =
+          let t = next st in
+          match t.Lexer.tok with
+          | Lexer.Str s -> s
+          | other -> error t.Lexer.pos "expected file name string but found %s" (Lexer.describe other)
+        in
+        ignore (expect st ",");
+        let mem, _ = name st in
+        ignore (expect st ")");
+        ignore (expect st ";");
+        out := Readmemh { path; mem; pos = t.Lexer.pos } :: !out
+    | other ->
+        error t.Lexer.pos "unsupported: only $readmemh is allowed in initial blocks (found %s)"
+          (Lexer.describe other)
+  in
+  if at_id st "begin" then begin
+    ignore (next st);
+    while not (at_id st "end") do
+      (match (peek st).Lexer.tok with
+      | Lexer.Eof -> error ip "unexpected end of file: missing 'end' of initial block"
+      | _ -> ());
+      one ()
+    done;
+    ignore (next st)
+  end
+  else one ();
+  List.rev !out
+
+let parse_always st p : item =
+  ignore (expect st "@");
+  ignore (expect st "(");
+  let t = next st in
+  (match t.Lexer.tok with
+  | Lexer.Id "posedge" -> ()
+  | Lexer.Id "negedge" -> error t.Lexer.pos "unsupported: negedge-triggered always block"
+  | Lexer.Sym "*" -> error t.Lexer.pos "unsupported: always @* (use assign for combinational logic)"
+  | other ->
+      error t.Lexer.pos "unsupported sensitivity list: expected 'posedge' but found %s"
+        (Lexer.describe other));
+  let clock, clock_pos = name st in
+  (match (peek st).Lexer.tok with
+  | Lexer.Id "or" | Lexer.Sym "," ->
+      error (pos_of st) "unsupported: multiple events in sensitivity list (single posedge clock only)"
+  | _ -> ());
+  ignore (expect st ")");
+  let body = parse_stmt st in
+  Always { clock; clock_pos; body; pos = p }
+
+let parse_instance st module_name mp : item =
+  let inst_name, _ = name st in
+  ignore (expect st "(");
+  let conns = ref [] in
+  if not (at_sym st ")") then begin
+    let one () =
+      if at_sym st "." then begin
+        let p = (next st).Lexer.pos in
+        let port, _ = name st in
+        ignore (expect st "(");
+        let e = if at_sym st ")" then None else Some (parse_expr st) in
+        ignore (expect st ")");
+        conns := Named (port, e, p) :: !conns
+      end
+      else conns := Positional (parse_expr st) :: !conns
+    in
+    one ();
+    while eat_sym st "," do one () done
+  end;
+  ignore (expect st ")");
+  ignore (expect st ";");
+  Instance { module_name; inst_name; conns = List.rev !conns; pos = mp }
+
+let parse_item st : item list =
+  let t = next st in
+  let p = t.Lexer.pos in
+  match t.Lexer.tok with
+  | Lexer.Id "input" ->
+      let items = parse_port_decl st Dir_input p in
+      ignore (expect st ";");
+      items
+  | Lexer.Id "output" ->
+      let items = parse_port_decl st Dir_output p in
+      ignore (expect st ";");
+      items
+  | Lexer.Id "inout" -> error p "unsupported: inout ports"
+  | Lexer.Id "wire" ->
+      let items = parse_net_decl st Kwire in
+      ignore (expect st ";");
+      items
+  | Lexer.Id "reg" ->
+      let items = parse_net_decl st Kreg in
+      ignore (expect st ";");
+      items
+  | Lexer.Id ("integer" | "genvar" | "real" | "time") ->
+      error p "unsupported: variable declarations outside the synthesizable subset"
+  | Lexer.Id "localparam" ->
+      let out = ref [] in
+      let one () =
+        let n, np = name st in
+        ignore (expect st "=");
+        let v = parse_expr st in
+        out := Localparam { name = n; value = v; pos = np } :: !out
+      in
+      one ();
+      while eat_sym st "," do one () done;
+      ignore (expect st ";");
+      List.rev !out
+  | Lexer.Id "parameter" ->
+      error p "unsupported: module parameters (use localparam for named constants)"
+  | Lexer.Id "assign" ->
+      let lv = parse_lvalue st in
+      ignore (expect st "=");
+      let e = parse_expr st in
+      ignore (expect st ";");
+      [ ContAssign (lv, e, p) ]
+  | Lexer.Id "always" -> [ parse_always st p ]
+  | Lexer.Id "initial" -> parse_initial st p
+  | Lexer.Id (("function" | "task" | "generate" | "specify") as s) ->
+      error p "unsupported: %s blocks" s
+  | Lexer.Id s when String.length s > 0 && s.[0] = '$' ->
+      error p "unsupported system task %s at module level" s
+  | Lexer.Id s when not (is_keyword s) -> (
+      (* instantiation: <module> <inst> ( ... ); *)
+      match (peek st).Lexer.tok with
+      | Lexer.Id _ -> [ parse_instance st s p ]
+      | other ->
+          error p "expected instance name after '%s' but found %s" s (Lexer.describe other))
+  | other -> error p "expected a module item but found %s" (Lexer.describe other)
+
+(* --------------------------------------------------------------------- *)
+(* Modules and designs                                                    *)
+(* --------------------------------------------------------------------- *)
+
+let parse_module st : module_ =
+  let t = next st in
+  let mod_pos = t.Lexer.pos in
+  (match t.Lexer.tok with
+  | Lexer.Id "module" -> ()
+  | other -> error mod_pos "expected 'module' but found %s" (Lexer.describe other));
+  let mod_name, _ = name st in
+  let header_items = ref [] and mod_ports = ref [] in
+  if eat_sym st "(" then begin
+    if not (at_sym st ")") then begin
+      (* in ANSI headers the last direction/range distributes over
+         following bare names: [module m(input clk, rst, output [7:0] q)] *)
+      let last = ref None in
+      let one () =
+        match (peek st).Lexer.tok with
+        | Lexer.Id (("input" | "output") as d) ->
+            ignore (next st);
+            let dir = if d = "input" then Dir_input else Dir_output in
+            let is_reg = if at_id st "reg" then (ignore (next st); true) else false in
+            let range = parse_range st in
+            let n, p = name st in
+            last := Some (dir, is_reg, range);
+            mod_ports := n :: !mod_ports;
+            header_items := Port { dir; is_reg; range; name = n; pos = p } :: !header_items
+        | Lexer.Id "inout" -> fail_here st "unsupported: inout ports"
+        | _ -> (
+            let n, p = name st in
+            mod_ports := n :: !mod_ports;
+            match !last with
+            | Some (dir, is_reg, range) ->
+                header_items := Port { dir; is_reg; range; name = n; pos = p } :: !header_items
+            | None -> ())
+      in
+      one ();
+      while eat_sym st "," do one () done
+    end;
+    ignore (expect st ")")
+  end;
+  ignore (expect st ";");
+  let items = ref (List.rev !header_items) in
+  while not (at_id st "endmodule") do
+    (match (peek st).Lexer.tok with
+    | Lexer.Eof -> fail_here st "unexpected end of file: missing 'endmodule'"
+    | _ -> ());
+    items := !items @ parse_item st
+  done;
+  ignore (next st);
+  { mod_name; mod_ports = List.rev !mod_ports; mod_items = !items; mod_pos }
+
+let parse ~file (toks : Lexer.t array) : design =
+  let st = { toks; i = 0; depth = 0 } in
+  let modules = ref [] in
+  (match (peek st).Lexer.tok with
+  | Lexer.Eof -> fail_here st "empty source: expected a module"
+  | _ -> ());
+  while (peek st).Lexer.tok <> Lexer.Eof do
+    modules := parse_module st :: !modules
+  done;
+  { modules = List.rev !modules; design_file = file }
+
+let parse_string ~file (src : string) : design = parse ~file (Lexer.tokenize ~file src)

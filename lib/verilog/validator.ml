@@ -1,0 +1,644 @@
+(** Semantic checks over the Verilog AST: undeclared / duplicate names,
+    width inference with mismatch diagnostics, multi-driver and
+    combinational-loop detection, clock discipline and instance wiring.
+    Everything reports through {!Ast.Error} with a source position.
+
+    The validator also computes the per-module environment ({!menv}) the IR
+    builder consumes: signal table, resolved clock, instantiation order. *)
+
+module Bv = Sic_bv.Bv
+open Ast
+
+type kind =
+  | K_input
+  | K_output
+  | K_wire
+  | K_reg
+  | K_mem of int  (** depth *)
+  | K_param of Bv.t * bool  (** value, [true] when the literal was sized *)
+
+type signal = {
+  sg_name : string;
+  sg_width : int;
+  sg_kind : kind;
+  mutable sg_is_storage : bool;  (** lowers to an IR register *)
+  mutable sg_init : Bv.t option;  (** constant power-on value *)
+  sg_pos : pos;
+}
+
+type menv = {
+  me_module : Ast.module_;
+  me_signals : (string, signal) Hashtbl.t;
+  me_port_order : string list;  (** header order *)
+  mutable me_clock : string option;  (** the posedge signal, if any *)
+}
+
+type denv = {
+  de_modules : (string, menv) Hashtbl.t;
+  de_order : string list;  (** children before parents *)
+  de_top : string;
+}
+
+let find_signal (me : menv) pos n =
+  match Hashtbl.find_opt me.me_signals n with
+  | Some s -> s
+  | None -> error pos "undeclared identifier '%s' in module %s" n me.me_module.mod_name
+
+let is_clock (me : menv) n = me.me_clock = Some n
+
+(* ------------------------------------------------------------------ *)
+(* Constant evaluation (localparams, reg initializers, FSM states)      *)
+(* ------------------------------------------------------------------ *)
+
+let rec const_value (me : menv) (e : expr) : Bv.t option =
+  match e with
+  | Literal { value; _ } -> Some value
+  | Ident (n, _) -> (
+      match Hashtbl.find_opt me.me_signals n with
+      | Some { sg_kind = K_param (v, _); _ } -> Some v
+      | _ -> None)
+  | Binop (op, a, b, _) -> (
+      match (const_value me a, const_value me b) with
+      | Some va, Some vb -> (
+          let ia = Bv.to_int_trunc va and ib = Bv.to_int_trunc vb in
+          let w = max (Bv.width va) (Bv.width vb) in
+          let wrap n = Some (Bv.of_int ~width:(max w (min_bits n)) n) in
+          match op with
+          | Add -> wrap (ia + ib)
+          | Sub when ia >= ib -> wrap (ia - ib)
+          | Mul when ia < 1 lsl 20 && ib < 1 lsl 20 -> wrap (ia * ib)
+          | Shl when ib < 40 -> wrap (ia lsl ib)
+          | Shr -> wrap (ia lsr ib)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+and min_bits n =
+  let rec go w v = if v = 0 then max w 1 else go (w + 1) (v lsr 1) in
+  go 0 n
+
+(* ------------------------------------------------------------------ *)
+(* Width inference                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Verilog-style context rules, simplified and documented in DESIGN.md:
+   binary arithmetic/bitwise yields the max operand width; an unsized
+   literal (or unsized localparam) is flexible and adopts the width of the
+   other operand; comparisons, logical ops and reductions are 1 bit;
+   concatenation sums fixed widths; shifts keep the left operand width. *)
+let rec infer (me : menv) (e : expr) : int * bool =
+  match e with
+  | Literal { width = Some w; _ } -> (w, false)
+  | Literal { width = None; value; _ } -> (max 32 (Bv.width value), true)
+  | Ident (n, p) -> (
+      if is_clock me n then error p "clock '%s' cannot be used in an expression" n;
+      let s = find_signal me p n in
+      match s.sg_kind with
+      | K_mem _ -> error p "memory '%s' must be indexed (%s[addr])" n n
+      | K_param (v, sized) -> if sized then (Bv.width v, false) else (max 32 (Bv.width v), true)
+      | _ -> (s.sg_width, false))
+  | Unop ((Lnot | Rand | Ror | Rxor), a, _) ->
+      ignore (infer me a);
+      (1, false)
+  | Unop ((Bnot | Uminus), a, _) -> infer me a
+  | Binop ((Eq | Neq | Lt | Le | Gt | Ge | Land | Lor), a, b, _) ->
+      ignore (infer me a);
+      ignore (infer me b);
+      (1, false)
+  | Binop ((Shl | Shr), a, b, _) ->
+      ignore (infer me b);
+      infer me a
+  | Binop ((Add | Sub | Mul | Div | Mod | Band | Bor | Bxor), a, b, _) -> (
+      let wa, fa = infer me a and wb, fb = infer me b in
+      match (fa, fb) with
+      | false, false -> (max wa wb, false)
+      | true, false -> (wb, false)
+      | false, true -> (wa, false)
+      | true, true -> (max wa wb, true))
+  | Ternary (c, a, b, _) -> (
+      ignore (infer me c);
+      let wa, fa = infer me a and wb, fb = infer me b in
+      match (fa, fb) with
+      | false, false -> (max wa wb, false)
+      | true, false -> (wb, false)
+      | false, true -> (wa, false)
+      | true, true -> (max wa wb, true))
+  | Concat (parts, p) ->
+      let total =
+        List.fold_left
+          (fun acc part ->
+            match infer me part with
+            | _, true -> error p "unsized literal in concatenation"
+            | w, false -> acc + w)
+          0 parts
+      in
+      if total > 4096 then error p "concatenation is too wide (%d bits)" total;
+      (total, false)
+  | Repl (n, a, p) -> (
+      match infer me a with
+      | _, true -> error p "unsized literal in replication"
+      | w, false ->
+          if n * w > 4096 then error p "replication is too wide (%d bits)" (n * w);
+          (n * w, false))
+  | Index (base, idx, p) -> (
+      ignore (infer me idx);
+      let s = find_signal me p base in
+      if is_clock me base then error p "clock '%s' cannot be used in an expression" base;
+      match s.sg_kind with
+      | K_mem _ -> (s.sg_width, false)
+      | K_param _ -> error p "'%s' is a constant and cannot be indexed" base
+      | _ ->
+          (match idx with
+          | Literal { value; _ } ->
+              let i = Bv.to_int_trunc value in
+              if i >= s.sg_width then
+                error p "bit %d out of range for %d-bit '%s'" i s.sg_width base
+          | _ -> ());
+          (1, false))
+  | Part (base, hi, lo, p) ->
+      let s = find_signal me p base in
+      if is_clock me base then error p "clock '%s' cannot be used in an expression" base;
+      (match s.sg_kind with
+      | K_mem _ -> error p "unsupported: part-select on memory '%s'" base
+      | K_param _ -> error p "'%s' is a constant and cannot be part-selected" base
+      | _ -> ());
+      if hi < lo then error p "part-select [%d:%d] is reversed" hi lo;
+      if hi >= s.sg_width then
+        error p "part-select [%d:%d] out of range for %d-bit '%s'" hi lo s.sg_width base;
+      (hi - lo + 1, false)
+
+let width_of me e = fst (infer me e)
+
+(* Check an assignment of [e] into [lw] bits at [p], naming [what]. *)
+let check_assign_width (me : menv) p what lw (e : expr) =
+  let w, flexible = infer me e in
+  if flexible then begin
+    (* a bare unsized literal must still fit the sink *)
+    match e with
+    | Literal { value; _ } ->
+        let need = min_bits (Bv.to_int_trunc value) in
+        if (not (Bv.is_zero value)) && need > lw then
+          error p "width mismatch: literal needs %d bits but %s is %d bits wide" need what lw
+    | _ -> ()
+  end
+  else if w > lw then
+    error p "width mismatch: %d-bit expression assigned to %d-bit %s" w lw what
+
+(* ------------------------------------------------------------------ *)
+(* Declaration collection                                               *)
+(* ------------------------------------------------------------------ *)
+
+let reserved = [ "clock"; "reset" ]
+
+let range_w = function Some r -> range_width r | None -> 1
+
+let collect_signals (m : Ast.module_) : menv =
+  let signals = Hashtbl.create 32 in
+  let me = { me_module = m; me_signals = signals; me_port_order = m.mod_ports; me_clock = None } in
+  let header = Hashtbl.create 8 in
+  List.iter (fun n -> Hashtbl.replace header n ()) m.mod_ports;
+  let declare (s : signal) =
+    (match Hashtbl.find_opt signals s.sg_name with
+    | Some prev ->
+        error s.sg_pos "duplicate declaration of '%s' (first declared at line %d)" s.sg_name
+          prev.sg_pos.line
+    | None -> ());
+    Hashtbl.replace signals s.sg_name s
+  in
+  List.iter
+    (fun (item : item) ->
+      match item with
+      | Port { dir; is_reg; range; name; pos } ->
+          if not (Hashtbl.mem header name) then
+            error pos "port '%s' is not listed in the module header" name;
+          if name = "clock" && dir <> Dir_input then
+            error pos "the name 'clock' is reserved for the clock input";
+          if name = "reset" && (dir <> Dir_input || range <> None) then
+            error pos "the name 'reset' is reserved for a 1-bit reset input";
+          declare
+            {
+              sg_name = name;
+              sg_width = range_w range;
+              sg_kind = (if dir = Dir_input then K_input else K_output);
+              sg_is_storage = (dir = Dir_output && is_reg);
+              sg_init = None;
+              sg_pos = pos;
+            }
+      | Net { kind; range; name; array; init; pos } -> (
+          if List.mem name reserved then
+            error pos "the name '%s' is reserved for the implicit %s port (rename the signal)"
+              name name;
+          (* [wire w = e;] is sugar for an assign — any expression; a reg
+             initializer is a power-on value and must be constant *)
+          let init_value =
+            match (kind, init) with
+            | _, None | Kwire, Some _ -> None
+            | Kreg, Some e -> (
+                match const_value me e with
+                | Some v -> Some v
+                | None -> error (expr_pos e) "initializer of reg '%s' must be a constant" name)
+          in
+          match Hashtbl.find_opt signals name with
+          | Some prev ->
+              (* [output leds; reg leds;] / [input clk; wire clk;] — a net
+                 redeclaration of a port refines it in place *)
+              if prev.sg_kind = K_output && kind = Kreg && array = None then begin
+                if range_w range <> prev.sg_width then
+                  error pos "redeclaration of '%s' changes its width (%d vs %d)" name
+                    (range_w range) prev.sg_width;
+                if prev.sg_is_storage then error pos "duplicate declaration of '%s'" name;
+                prev.sg_is_storage <- true;
+                prev.sg_init <- init_value
+              end
+              else if (prev.sg_kind = K_input || prev.sg_kind = K_output) && kind = Kwire
+                      && array = None && init = None then begin
+                if range_w range <> prev.sg_width then
+                  error pos "redeclaration of '%s' changes its width (%d vs %d)" name
+                    (range_w range) prev.sg_width
+              end
+              else error pos "duplicate declaration of '%s'" name
+          | None ->
+              let kind' =
+                match (kind, array) with
+                | Kreg, Some (_, last) -> K_mem (last + 1)
+                | Kreg, None -> K_reg
+                | Kwire, _ -> K_wire
+              in
+              declare
+                {
+                  sg_name = name;
+                  sg_width = range_w range;
+                  sg_kind = kind';
+                  sg_is_storage = (kind = Kreg && array = None);
+                  sg_init = init_value;
+                  sg_pos = pos;
+                })
+      | Localparam { name; value; pos } -> (
+          if List.mem name reserved then error pos "the name '%s' is reserved" name;
+          match const_value me value with
+          | Some v ->
+              let sized = match value with Literal { width = Some _; _ } -> true | _ -> false in
+              declare
+                {
+                  sg_name = name;
+                  sg_width = Bv.width v;
+                  sg_kind = K_param (v, sized);
+                  sg_is_storage = false;
+                  sg_init = None;
+                  sg_pos = pos;
+                }
+          | None -> error pos "localparam %s must be a constant expression" name)
+      | ContAssign _ | Always _ | Readmemh _ | Instance _ -> ())
+    m.mod_items;
+  (* every header port must end up declared *)
+  List.iter
+    (fun n ->
+      match Hashtbl.find_opt signals n with
+      | Some { sg_kind = K_input | K_output; _ } -> ()
+      | Some { sg_pos; _ } -> error sg_pos "'%s' is listed as a port but declared as a net" n
+      | None -> error m.mod_pos "port '%s' has no input/output declaration" n)
+    m.mod_ports;
+  me
+
+(* ------------------------------------------------------------------ *)
+(* Per-module checks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let walk_expr (me : menv) (e : expr) = ignore (infer me e)
+
+let rec walk_stmts (me : menv) (stmts : stmt list) ~(on_assign : lvalue -> expr -> pos -> unit) =
+  List.iter
+    (fun (s : stmt) ->
+      match s with
+      | Assign (lv, e, p) -> on_assign lv e p
+      | If (c, t, f, _) ->
+          walk_expr me c;
+          walk_stmts me t ~on_assign;
+          walk_stmts me f ~on_assign
+      | Case { scrutinee; arms; default; _ } ->
+          walk_expr me scrutinee;
+          List.iter
+            (fun (items, body) ->
+              List.iter (walk_expr me) items;
+              walk_stmts me body ~on_assign)
+            arms;
+          walk_stmts me default ~on_assign)
+    stmts
+
+type driver_site = D_assign of pos | D_always of int * pos | D_inst of pos
+
+let site_pos = function D_assign p | D_always (_, p) | D_inst p -> p
+
+let check_module (de : denv) (me : menv) =
+  let m = me.me_module in
+  let drivers : (string, driver_site list) Hashtbl.t = Hashtbl.create 32 in
+  let mem_writes : (string, int * pos) Hashtbl.t = Hashtbl.create 4 in
+  let add_driver n site =
+    Hashtbl.replace drivers n (site :: Option.value ~default:[] (Hashtbl.find_opt drivers n))
+  in
+  (* clock: all always blocks must share one posedge signal, a 1-bit input *)
+  List.iter
+    (fun (item : item) ->
+      match item with
+      | Always { clock; clock_pos; _ } -> (
+          match me.me_clock with
+          | None ->
+              let s = find_signal me clock_pos clock in
+              (match s.sg_kind with
+              | K_input -> ()
+              | _ ->
+                  error clock_pos
+                    "unsupported: derived clock — '%s' must be a module input" clock);
+              if s.sg_width <> 1 then error clock_pos "clock '%s' must be 1 bit wide" clock;
+              me.me_clock <- Some clock
+          | Some c when c = clock -> ()
+          | Some c ->
+              error clock_pos "unsupported: multiple clocks ('%s' and '%s') in module %s" c
+                clock m.mod_name)
+      | _ -> ())
+    m.mod_items;
+  (* statement-level checks *)
+  let always_idx = ref (-1) in
+  List.iter
+    (fun (item : item) ->
+      match item with
+      | Net { kind = Kwire; init = Some e; name; pos; _ } ->
+          (* wire alias: behaves exactly like [assign name = e] *)
+          walk_expr me e;
+          let s = find_signal me pos name in
+          check_assign_width me pos (Printf.sprintf "'%s'" name) s.sg_width e;
+          add_driver name (D_assign pos)
+      | Port _ | Net _ | Localparam _ -> ()
+      | ContAssign (lv, e, p) -> (
+          walk_expr me e;
+          match lv with
+          | LvId (n, lp) -> (
+              let s = find_signal me lp n in
+              (match s.sg_kind with
+              | K_wire | K_output when not s.sg_is_storage -> ()
+              | K_output | K_reg ->
+                  error lp "'%s' is a reg; drive it from an always block, not assign" n
+              | K_input -> error lp "cannot assign to input port '%s'" n
+              | K_mem _ -> error lp "memory '%s' can only be written inside an always block" n
+              | K_param _ -> error lp "cannot assign to constant '%s'" n
+              | K_wire -> ());
+              check_assign_width me p (Printf.sprintf "'%s'" n) s.sg_width e;
+              add_driver n (D_assign p))
+          | LvIndex (n, _, lp) | LvPart (n, _, _, lp) ->
+              error lp
+                "unsupported: select on the left of a continuous assign (drive all of '%s')" n)
+      | Always { body; _ } ->
+          incr always_idx;
+          let idx = !always_idx in
+          walk_stmts me body ~on_assign:(fun lv e p ->
+              walk_expr me e;
+              let n = lvalue_base lv in
+              let lp = lvalue_pos lv in
+              let s = find_signal me lp n in
+              if is_clock me n then error lp "cannot assign to clock '%s'" n;
+              match (lv, s.sg_kind) with
+              | _, K_input -> error lp "cannot assign to input port '%s'" n
+              | _, K_param _ -> error lp "cannot assign to constant '%s'" n
+              | LvId _, K_mem _ -> error lp "memory '%s' must be written one word at a time" n
+              | LvIndex _, K_mem depth ->
+                  ignore depth;
+                  check_assign_width me p (Printf.sprintf "a word of '%s'" n) s.sg_width e;
+                  (match Hashtbl.find_opt mem_writes n with
+                  | Some (prev, _) when prev <> idx ->
+                      error lp "memory '%s' is written from multiple always blocks" n
+                  | _ -> Hashtbl.replace mem_writes n (idx, lp))
+              | LvPart _, K_mem _ ->
+                  error lp "unsupported: part-select on memory '%s'" n
+              | _, (K_wire | K_output) when not s.sg_is_storage ->
+                  error lp "'%s' must be declared reg to be assigned in an always block" n
+              | LvId _, _ ->
+                  check_assign_width me p (Printf.sprintf "'%s'" n) s.sg_width e;
+                  add_driver n (D_always (idx, p))
+              | LvPart (_, hi, lo, pp), _ ->
+                  if hi < lo then error pp "part-select [%d:%d] is reversed" hi lo;
+                  if hi >= s.sg_width then
+                    error pp "part-select [%d:%d] out of range for %d-bit '%s'" hi lo
+                      s.sg_width n;
+                  check_assign_width me p
+                    (Printf.sprintf "'%s[%d:%d]'" n hi lo)
+                    (hi - lo + 1) e;
+                  add_driver n (D_always (idx, p))
+              | LvIndex (_, ie, pp), _ -> (
+                  (* constant bit write is a 1-bit part select *)
+                  match const_value me ie with
+                  | Some v ->
+                      let i = Bv.to_int_trunc v in
+                      if i >= s.sg_width then
+                        error pp "bit %d out of range for %d-bit '%s'" i s.sg_width n;
+                      check_assign_width me p (Printf.sprintf "'%s[%d]'" n i) 1 e;
+                      add_driver n (D_always (idx, p))
+                  | None ->
+                      error pp "unsupported: dynamic bit-select on the left of an assignment"))
+      | Readmemh { mem; pos; _ } -> (
+          let s = find_signal me pos mem in
+          match s.sg_kind with
+          | K_mem _ -> ()
+          | _ -> error pos "$readmemh target '%s' is not a memory" mem)
+      | Instance { module_name; inst_name; conns; pos } -> (
+          if Hashtbl.mem me.me_signals inst_name then
+            error pos "instance name '%s' clashes with a signal" inst_name;
+          match Hashtbl.find_opt de.de_modules module_name with
+          | None ->
+              error pos "unsupported primitive '%s' (no module with that name in this file)"
+                module_name
+          | Some child ->
+              let child_ports = child.me_port_order in
+              let n_pos = List.length (List.filter (function Positional _ -> true | _ -> false) conns) in
+              let n_named = List.length conns - n_pos in
+              if n_pos > 0 && n_named > 0 then
+                error pos "mixing positional and named connections in instance '%s'" inst_name;
+              if n_pos > List.length child_ports then
+                error pos "instance '%s' has %d connections but %s has only %d ports" inst_name
+                  n_pos module_name (List.length child_ports);
+              let seen = Hashtbl.create 8 in
+              let bind port (e : expr option) cp =
+                (match Hashtbl.find_opt seen port with
+                | Some () -> error cp "port '%s' connected twice on instance '%s'" port inst_name
+                | None -> Hashtbl.replace seen port ());
+                let cs =
+                  match Hashtbl.find_opt child.me_signals port with
+                  | Some cs -> cs
+                  | None -> error cp "module %s has no port '%s'" module_name port
+                in
+                match e with
+                | None -> ()
+                | Some e -> (
+                    let is_child_clock = child.me_clock = Some port in
+                    if is_child_clock then begin
+                      (* the child's clock must be fed by this module's clock
+                         (or by a 1-bit input that becomes this module's clock) *)
+                      match e with
+                      | Ident (n, np) -> (
+                          let s = find_signal me np n in
+                          match (me.me_clock, s.sg_kind) with
+                          | Some c, _ when c = n -> ()
+                          | None, K_input when s.sg_width = 1 -> me.me_clock <- Some n
+                          | _ ->
+                              error np
+                                "unsupported: derived clock — instance '%s' clock port '%s' \
+                                 must be driven by this module's clock input"
+                                inst_name port)
+                      | _ ->
+                          error (expr_pos e)
+                            "unsupported: derived clock expression on clock port '%s'" port
+                    end
+                    else
+                      match cs.sg_kind with
+                      | K_output -> (
+                          (* instance output drives a net in this module *)
+                          match e with
+                          | Ident (n, np) -> (
+                              let s = find_signal me np n in
+                              (match s.sg_kind with
+                              | K_wire | K_output when not s.sg_is_storage -> ()
+                              | K_input -> error np "instance output cannot drive input '%s'" n
+                              | _ ->
+                                  error np
+                                    "instance output must drive a wire, not reg '%s'" n);
+                              if cs.sg_width > s.sg_width then
+                                error np
+                                  "width mismatch: port '%s' is %d bits but '%s' is %d bits"
+                                  port cs.sg_width n s.sg_width;
+                              add_driver n (D_inst cp))
+                          | _ ->
+                              error (expr_pos e)
+                                "instance output '%s' must be connected to a plain net" port)
+                      | K_input ->
+                          walk_expr me e;
+                          check_assign_width me (expr_pos e)
+                            (Printf.sprintf "port '%s' of %s" port module_name)
+                            cs.sg_width e
+                      | _ -> error cp "'%s' is not a port of module %s" port module_name)
+              in
+              if n_pos > 0 then
+                List.iteri
+                  (fun i conn ->
+                    match conn with
+                    | Positional e -> bind (List.nth child_ports i) (Some e) (expr_pos e)
+                    | Named _ -> ())
+                  conns
+              else
+                List.iter
+                  (function
+                    | Named (port, e, cp) -> bind port e cp
+                    | Positional _ -> ())
+                  conns)
+        )
+    m.mod_items;
+  (* multi-driver checks *)
+  Hashtbl.iter
+    (fun n sites ->
+      let combs = List.filter (function D_assign _ | D_inst _ -> true | _ -> false) sites in
+      let always_ids =
+        List.sort_uniq compare
+          (List.filter_map (function D_always (i, _) -> Some i | _ -> None) sites)
+      in
+      let p = site_pos (List.hd sites) in
+      if List.length combs > 1 then
+        error p "multiple drivers for '%s' (%d continuous drivers)" n (List.length combs)
+      else if combs <> [] && always_ids <> [] then
+        error p "multiple drivers for '%s' (driven by both assign and always)" n
+      else if List.length always_ids > 1 then
+        error p "multiple drivers for '%s' (assigned in %d always blocks)" n
+          (List.length always_ids))
+    drivers;
+  (* combinational loop detection over assign-driven nets *)
+  let comb_expr : (string, expr * pos) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (item : item) ->
+      match item with
+      | ContAssign (LvId (n, _), e, p) -> Hashtbl.replace comb_expr n (e, p)
+      | Net { kind = Kwire; init = Some e; name; pos; _ } ->
+          Hashtbl.replace comb_expr name (e, pos)
+      | _ -> ())
+    m.mod_items;
+  let rec expr_refs (e : expr) acc =
+    match e with
+    | Ident (n, _) -> n :: acc
+    | Literal _ -> acc
+    | Unop (_, a, _) | Repl (_, a, _) -> expr_refs a acc
+    | Binop (_, a, b, _) -> expr_refs a (expr_refs b acc)
+    | Ternary (a, b, c, _) -> expr_refs a (expr_refs b (expr_refs c acc))
+    | Concat (parts, _) -> List.fold_left (fun acc a -> expr_refs a acc) acc parts
+    | Index (_, i, _) -> expr_refs i acc  (* memory data arrives from a port, not combinationally *)
+    | Part (n, _, _, _) -> n :: acc
+  in
+  let state : (string, [ `Visiting | `Done ]) Hashtbl.t = Hashtbl.create 16 in
+  let rec dfs path n =
+    match Hashtbl.find_opt state n with
+    | Some `Done -> ()
+    | Some `Visiting ->
+        let e, p = Hashtbl.find comb_expr n in
+        ignore e;
+        error p "combinational loop through '%s' (%s)" n
+          (String.concat " -> " (List.rev (n :: path)))
+    | None -> (
+        match Hashtbl.find_opt comb_expr n with
+        | None -> Hashtbl.replace state n `Done
+        | Some (e, _) ->
+            Hashtbl.replace state n `Visiting;
+            List.iter (dfs (n :: path)) (expr_refs e []);
+            Hashtbl.replace state n `Done)
+  in
+  Hashtbl.iter (fun n _ -> dfs [] n) comb_expr
+
+(* ------------------------------------------------------------------ *)
+(* Design-level: module table, instantiation order, top detection       *)
+(* ------------------------------------------------------------------ *)
+
+let validate (d : design) : denv =
+  if d.modules = [] then
+    error { file = d.design_file; line = 1; col = 1 } "no modules in design";
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (m : module_) ->
+      if Hashtbl.mem table m.mod_name then
+        error m.mod_pos "duplicate module '%s'" m.mod_name;
+      Hashtbl.replace table m.mod_name (collect_signals m))
+    d.modules;
+  (* instantiation graph: order children before parents, reject recursion *)
+  let children (m : module_) =
+    List.filter_map
+      (function
+        | Instance { module_name; pos; _ } when Hashtbl.mem table module_name ->
+            Some (module_name, pos)
+        | _ -> None)
+      m.mod_items
+  in
+  let order = ref [] in
+  let state = Hashtbl.create 8 in
+  let rec visit (m : module_) =
+    match Hashtbl.find_opt state m.mod_name with
+    | Some `Done -> ()
+    | Some `Visiting -> error m.mod_pos "recursive instantiation of module '%s'" m.mod_name
+    | None ->
+        Hashtbl.replace state m.mod_name `Visiting;
+        List.iter
+          (fun (child, _) -> visit (Hashtbl.find table child).me_module)
+          (children m);
+        Hashtbl.replace state m.mod_name `Done;
+        order := m.mod_name :: !order
+  in
+  List.iter visit d.modules;
+  let order = List.rev !order in
+  (* top: a module nobody instantiates; prefer the last-defined candidate *)
+  let instantiated = Hashtbl.create 8 in
+  List.iter
+    (fun (m : module_) ->
+      List.iter (fun (c, _) -> Hashtbl.replace instantiated c ()) (children m))
+    d.modules;
+  let tops = List.filter (fun (m : module_) -> not (Hashtbl.mem instantiated m.mod_name)) d.modules in
+  let top =
+    match List.rev tops with
+    | t :: _ -> t.mod_name
+    | [] -> (List.hd (List.rev d.modules)).mod_name
+  in
+  let de = { de_modules = table; de_order = order; de_top = top } in
+  (* check children before parents so child clocks are known at instance sites *)
+  List.iter (fun n -> check_module de (Hashtbl.find table n)) order;
+  de

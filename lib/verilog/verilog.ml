@@ -1,0 +1,34 @@
+(** Facade for the Verilog frontend: tokenize → parse → validate → lower.
+
+    [load_file] is the one-call entry point used by the CLI: it reads a
+    [.v] file and returns a {!Sic_ir.Circuit.t} ready for the existing
+    pass pipeline, instrumentation and backends. All stages raise the
+    single typed exception {!Error} with a source position. *)
+
+type pos = Ast.pos = { file : string; line : int; col : int }
+
+exception Error = Ast.Error
+
+let is_verilog_path path = Filename.check_suffix path ".v"
+
+let parse_string ?(file = "<string>") src = Parser.parse_string ~file src
+
+(** Lower source text to a circuit. [dir] resolves relative [$readmemh]
+    paths. *)
+let load_string ?(file = "<string>") ?(dir = ".") src =
+  let d = parse_string ~file src in
+  let de = Validator.validate d in
+  Lower.lower ~dir de d
+
+let load_file path =
+  let src =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      Ast.error { file = path; line = 1; col = 1 } "cannot read file: %s" msg
+  in
+  load_string ~file:path ~dir:(Filename.dirname path) src

@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "sic"
-    [ ("smoke", Test_smoke.tests); ("designs", Test_designs.tests); ("coverage", Test_coverage.tests); ("formal", Test_formal.tests); ("firesim", Test_firesim.tests); ("fuzz", Test_fuzz.tests); ("bv", Test_bv.tests); ("ir", Test_ir.tests); ("sim", Test_sim.tests); ("passes", Test_passes.tests); ("riscv", Test_riscv.tests); ("qprops", Test_qprops.tests); ("reports", Test_reports.tests); ("timeline", Test_timeline.tests); ("obs", Test_obs.tests); ("db", Test_db.tests); ("fleet", Test_fleet.tests); ("serve", Test_serve.tests) ]
+    [ ("smoke", Test_smoke.tests); ("designs", Test_designs.tests); ("coverage", Test_coverage.tests); ("formal", Test_formal.tests); ("firesim", Test_firesim.tests); ("fuzz", Test_fuzz.tests); ("bv", Test_bv.tests); ("ir", Test_ir.tests); ("sim", Test_sim.tests); ("passes", Test_passes.tests); ("riscv", Test_riscv.tests); ("qprops", Test_qprops.tests); ("reports", Test_reports.tests); ("timeline", Test_timeline.tests); ("obs", Test_obs.tests); ("db", Test_db.tests); ("fleet", Test_fleet.tests); ("serve", Test_serve.tests); ("verilog", Test_verilog.tests) ]

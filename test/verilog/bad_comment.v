@@ -1,0 +1,8 @@
+// the block comment below never closes
+module bad_comment (
+  input  clk,
+  output y
+);
+  /* this comment runs off the end of the file
+  assign y = 1'b0;
+endmodule

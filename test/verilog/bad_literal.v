@@ -1,0 +1,7 @@
+// '2' is not a binary digit
+module bad_literal (
+  input        clk,
+  output [2:0] y
+);
+  assign y = 3'b102;    // line 6: bad sized literal
+endmodule

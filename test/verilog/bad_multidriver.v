@@ -1,0 +1,10 @@
+// the same net driven by two continuous assigns
+module bad_multidriver (
+  input  clk,
+  input  a,
+  input  b,
+  output y
+);
+  assign y = a;
+  assign y = b;         // line 9: second driver
+endmodule

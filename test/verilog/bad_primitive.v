@@ -1,0 +1,8 @@
+// vendor hard macro: not part of the synthesizable subset
+module bad_primitive (
+  output y
+);
+  wire int_osc;
+  SB_HFOSC u_osc(.CLKHFPU(1'b1), .CLKHFEN(1'b1), .CLKHF(int_osc));  // line 6
+  assign y = int_osc;
+endmodule

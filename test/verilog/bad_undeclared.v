@@ -1,0 +1,7 @@
+// references a wire that was never declared
+module bad_undeclared (
+  input  clk,
+  output y
+);
+  assign y = mystery;   // line 6: 'mystery' is undeclared
+endmodule

@@ -1,0 +1,9 @@
+// a 12-bit expression squeezed into a 4-bit net
+module bad_width (
+  input        clk,
+  output [3:0] y
+);
+  wire [11:0] wide;
+  assign wide = 12'hfff;
+  assign y = wide;      // line 8: 12 bits into 4
+endmodule
