@@ -42,6 +42,7 @@ let spec ~jobs =
     retries = 1;
     threshold = 1;
     timeline_every = 0;
+    profile = false;
   }
 
 let run () =

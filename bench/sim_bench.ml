@@ -85,6 +85,94 @@ let run () =
     Workloads.table2_set;
   let med = median !speedups in
   Timing.row "\nmedian word-level speedup over the Bv reference tape: %.2fx\n" med;
+  (* profiler overhead: the word-level engine on the largest workload with
+     the hotspot profiler off / counts-only / sampled. "off" must match the
+     plain engine within measurement noise — the profiler's entire off-path
+     cost is one branch per [run_tape] — and the sampled path is budgeted
+     at 10%. The profiled modes run the activity schedule, so their
+     reference is the activity engine measured back to back; each mode is
+     measured in several interleaved rounds and we keep the per-mode
+     minimum, because CPU frequency drifts far more across a long bench
+     run than any of these deltas. *)
+  let prof_results =
+    match Workloads.table2_set with
+    | [] -> []
+    | (name, _, _, build) :: _ ->
+        Timing.row "\nprofiler overhead (%s):\n" name;
+        let c, trace = build ~cycles in
+        let low = Sic_passes.Compile.lower c in
+        Timing.row "%-14s profiled tape: %s\n" name
+          (Compiled.stats (Compiled.build ~profile:Compiled.Counts_only low));
+        let modes =
+          [
+            ("profile-baseline", fun () -> Compiled.build ~activity:true low);
+            ("profile-off", fun () -> Compiled.build ~activity:true low);
+            ("profile-counts", fun () -> Compiled.build ~profile:Compiled.Counts_only low);
+            ( "profile-sampled",
+              fun () -> Compiled.build ~profile:(Compiled.Sampled 512) low );
+          ]
+        in
+        let built =
+          List.map
+            (fun (mname, mk) ->
+              let b = Compiled.to_backend ~name:mname (mk ()) in
+              Replay.replay b trace (* warm-up *);
+              (mname, b))
+            modes
+        in
+        let rounds = 3 in
+        let best = Hashtbl.create 8 in
+        for _ = 1 to rounds do
+          List.iter
+            (fun (mname, b) ->
+              let ns =
+                Timing.ns_per_run ~quota:(quota /. float_of_int rounds)
+                  (Printf.sprintf "%s/%s" name mname)
+                  (fun () -> Replay.replay b trace)
+              in
+              let ns_cycle = ns /. float_of_int (Replay.cycles trace) in
+              match Hashtbl.find_opt best mname with
+              | Some prev when prev <= ns_cycle -> ()
+              | _ -> Hashtbl.replace best mname ns_cycle)
+            built
+        done;
+        List.map
+          (fun (mname, _) ->
+            let ns_cycle = Hashtbl.find best mname in
+            Timing.row "%-14s %-18s %12.1f\n" name mname ns_cycle;
+            (mname, ns_cycle))
+          built
+  in
+  let prof_ratio m =
+    match (List.assoc_opt "profile-off" prof_results, List.assoc_opt m prof_results) with
+    | Some off, Some v when off > 0.0 -> v /. off
+    | _ -> nan
+  in
+  (match prof_results with
+  | [] -> ()
+  | _ ->
+      let off_vs_baseline =
+        match
+          ( List.assoc_opt "profile-off" prof_results,
+            List.assoc_opt "profile-baseline" prof_results )
+        with
+        | Some off, Some base when base > 0.0 -> off /. base
+        | _ -> nan
+      in
+      Timing.row
+        "profiler ratios: off-vs-baseline %.3fx, counts %.3fx, sampled %.3fx\n"
+        off_vs_baseline (prof_ratio "profile-counts") (prof_ratio "profile-sampled");
+      (* hard gates, generous to bechamel noise in smoke runs *)
+      let tol_off = if smoke then 1.50 else 1.05 in
+      let tol_sampled = if smoke then 3.0 else 1.10 in
+      if off_vs_baseline > tol_off then
+        failwith
+          (Printf.sprintf "sim bench: profiler-off overhead %.3fx exceeds baseline gate"
+             off_vs_baseline);
+      if prof_ratio "profile-sampled" > tol_sampled then
+        failwith
+          (Printf.sprintf "sim bench: sampled profiler overhead %.3fx exceeds gate"
+             (prof_ratio "profile-sampled")));
   (* BENCH_sim.json: flat record list plus the headline median *)
   let oc = open_out "BENCH_sim.json" in
   Printf.fprintf oc "{\n  \"cycles\": %d,\n  \"smoke\": %b,\n  \"results\": [\n" cycles smoke;
@@ -99,6 +187,19 @@ let run () =
       (List.rev !results)
   in
   output_string oc (String.concat ",\n" rows);
-  Printf.fprintf oc "\n  ],\n  \"median_speedup_vs_ref_tape\": %.3f\n}\n" med;
+  Printf.fprintf oc "\n  ],\n  \"median_speedup_vs_ref_tape\": %.3f" med;
+  (match prof_results with
+  | [] -> ()
+  | _ ->
+      Printf.fprintf oc ",\n  \"profiler\": {\n";
+      let prof_rows =
+        List.map
+          (fun (mname, ns) -> Printf.sprintf "    %S: %.3f" mname ns)
+          prof_results
+      in
+      output_string oc (String.concat ",\n" prof_rows);
+      Printf.fprintf oc ",\n    \"counts_overhead\": %.3f,\n    \"sampled_overhead\": %.3f\n  }"
+        (prof_ratio "profile-counts") (prof_ratio "profile-sampled"));
+  Printf.fprintf oc "\n}\n";
   close_out oc;
   Timing.row "wrote BENCH_sim.json\n"

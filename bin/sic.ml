@@ -14,6 +14,10 @@
                 (with [--db], only for points the database has not covered)
     - [profile] compile + simulate a design and print per-pass/per-phase
                 timings (the §5 overhead study as a subcommand)
+    - [hotspots] profile the word-level engine itself: per-instruction
+                hit counts and sampled self-times attributed back to IR
+                statements and RTL source lines, with collapsed-stack
+                ([--folded]) output for flamegraph tooling
     - [db]      the persistent coverage database: init, add, list, diff,
                 rank (greedy test-suite minimization), report
     - [campaign] run designs x backends x seeds in [-j N] forked workers
@@ -297,7 +301,7 @@ let handle_errors f =
   | Sic_ir.Circuit.Elaboration_error m | Backend.Sim_error m ->
       Printf.eprintf "error: %s\n" m;
       exit 1
-  | Db.Db_error m | Sic_coverage.Counts.Bad_format m ->
+  | Db.Db_error m | Sic_coverage.Counts.Bad_format m | Profile.Bad_format m ->
       Printf.eprintf "error: %s\n" m;
       exit 1
 
@@ -349,6 +353,43 @@ let vcd_arg =
     & opt (some string) None
     & info [ "vcd" ] ~docv:"PATH" ~doc:"Dump a waveform of the run to this VCD file.")
 
+let heat_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "heat" ] ~docv:"PROFILE"
+        ~doc:
+          "Tint the HTML report's annotated sources with per-line engine heat from this \
+           profile artifact (as written by $(b,sic hotspots --save) or $(b,sic campaign \
+           --profile-out)).")
+
+(* a profile artifact as per-line heat for the HTML report: the report
+   library takes plain data, so the [file:line] keys are split here *)
+let heat_of_profile (p : Profile.t) : Sic_coverage.Html_report.line_heat list =
+  List.concat_map
+    (fun dp ->
+      List.filter_map
+        (fun (l : Profile.line_agg) ->
+          match String.rindex_opt l.Profile.l_loc ':' with
+          | None -> None
+          | Some i -> (
+              let file = String.sub l.Profile.l_loc 0 i in
+              let rest =
+                String.sub l.Profile.l_loc (i + 1) (String.length l.Profile.l_loc - i - 1)
+              in
+              match int_of_string_opt rest with
+              | None -> None
+              | Some line ->
+                  Some
+                    {
+                      Sic_coverage.Html_report.heat_file = file;
+                      heat_line = line;
+                      heat_hits = l.Profile.l_hits;
+                      heat_time_ns = l.Profile.l_time_ns;
+                    }))
+        (Profile.by_line dp))
+    p
+
 let waivers_arg =
   Arg.(
     value
@@ -357,8 +398,8 @@ let waivers_arg =
         ~doc:"Coverage exclusion file: one name pattern per line, * wildcards, # comments.")
 
 let cover_cmd =
-  let run file design metrics backend cycles seed counts_out replay html vcd waivers profile
-      trace =
+  let run file design metrics backend cycles seed counts_out replay html vcd waivers heat
+      profile trace =
     handle_errors (fun () ->
         with_telemetry ~profile ~trace @@ fun () ->
         let c = load_circuit ~file ~design in
@@ -396,6 +437,7 @@ let cover_cmd =
               ?toggle:dbs.toggle
               ?fsm:(if List.mem `Fsm metrics then Some dbs.fsm else None)
               ?rv:(if List.mem `Rv metrics then Some dbs.rv else None)
+              ?profile:(Option.map (fun p -> heat_of_profile (Profile.load p)) heat)
               counts)
   in
   Cmd.v
@@ -403,8 +445,8 @@ let cover_cmd =
        ~doc:"Instrument, simulate, and print coverage reports (random stimulus or a VCD replay).")
     Term.(
       const run $ file_arg $ design_arg $ metrics_arg $ backend_arg $ cycles_arg $ seed_arg
-      $ counts_out_arg $ replay_arg $ html_arg $ vcd_arg $ waivers_arg $ profile_flag
-      $ trace_flag)
+      $ counts_out_arg $ replay_arg $ html_arg $ vcd_arg $ waivers_arg $ heat_arg
+      $ profile_flag $ trace_flag)
 
 let merge_cmd =
   let inputs =
@@ -595,6 +637,87 @@ let profile_cmd =
     Term.(
       const run $ file_arg $ design_arg $ metrics_arg $ backend_arg $ cycles_arg $ seed_arg
       $ profile_flag $ trace_flag)
+
+let hotspots_cmd =
+  let cycles_arg =
+    Arg.(value & opt int 10_000 & info [ "cycles" ] ~docv:"N" ~doc:"Cycles to simulate.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "top" ] ~docv:"K" ~doc:"Rows per ranked table (source lines, statements).")
+  in
+  let folded_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"PATH"
+          ~doc:
+            "Also write collapsed-stack lines here (one $(b,design;file:line;statement;op \
+             count) per tape instruction), ready for flamegraph tooling.")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"PATH"
+          ~doc:"Also save the raw profile artifact here (mergeable with campaign profiles).")
+  in
+  let sample_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "sample-every" ] ~docv:"N"
+          ~doc:
+            "Clock every instruction on every $(docv)th tape evaluation (0: hit counts \
+             only, no timing).")
+  in
+  let run file design cycles seed top folded save sample =
+    handle_errors (fun () ->
+        let c = load_circuit ~file ~design in
+        let low = Sic_passes.Compile.lower c in
+        let mode =
+          if sample <= 0 then Compiled.Counts_only else Compiled.Sampled sample
+        in
+        let sim = Compiled.build ~profile:mode low in
+        let b = Compiled.to_backend ~name:"compiled" sim in
+        Backend.reset_sequence b;
+        let rng = Sic_fuzz.Rng.create seed in
+        Backend.random_stimulus ~bits:(Sic_fuzz.Rng.bits30 rng) ~cycles b;
+        match Compiled.profile sim with
+        | None -> assert false
+        | Some dp ->
+            let p = [ dp ] in
+            Printf.printf "design   : %s\n" dp.Profile.design;
+            Printf.printf "cycles   : %d\n" dp.Profile.cycles;
+            Printf.printf "tape     : %s\n" (Compiled.stats sim);
+            (* how much of the tape the change-driven schedule actually
+               re-evaluates, on average *)
+            let execs = Compiled.exec_counts sim in
+            let n = Array.length execs in
+            if n > 0 && dp.Profile.runs > 0 then
+              Printf.printf "activity : %.1f%% of %d instructions per evaluation (%d runs)\n"
+                (100.0
+                *. float_of_int (Array.fold_left ( + ) 0 execs)
+                /. float_of_int (n * dp.Profile.runs))
+                n dp.Profile.runs;
+            print_newline ();
+            print_string (Profile.render ~top p);
+            (match folded with
+            | None -> ()
+            | Some path -> write_out ~output:(Some path) (Profile.folded p));
+            match save with
+            | None -> ()
+            | Some path -> Profile.save path p)
+  in
+  Cmd.v
+    (Cmd.info "hotspots"
+       ~doc:
+         "Profile the word-level engine on a design: per-instruction hit counts and \
+          sampled self-times, ranked per source line and per IR statement, with \
+          collapsed-stack output for flamegraphs.")
+    Term.(
+      const run $ file_arg $ design_arg $ cycles_arg $ seed_arg $ top_arg $ folded_arg
+      $ save_arg $ sample_arg)
 
 (* ------------------------------------------------------------------ *)
 (* The coverage database                                                *)
@@ -933,8 +1056,20 @@ let campaign_cmd =
              (sic serve) at $(docv), e.g. http://127.0.0.1:8080. The server's merge is \
              idempotent (union-max), so re-pushing is safe.")
   in
+  let profile_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:
+            "Engine hotspot profiling: compiled-engine workers count value-changing \
+             evaluations per tape instruction and ship the profile back with their \
+             result; the merged (deterministic, -j independent) artifact is written to \
+             $(docv). Feed it to sic cover --heat for per-line heat in the HTML report.")
+  in
   let run db_dir jobs designs metrics backends waves seeds cycles execs bound seed threshold
-      timeout retries scan_width inject_crash timeline_every progress push profile trace =
+      timeout retries scan_width inject_crash timeline_every progress push profile_out
+      profile trace =
     handle_errors (fun () ->
         let summary, already, worker =
           with_telemetry ~profile ~trace @@ fun () ->
@@ -981,6 +1116,7 @@ let campaign_cmd =
             retries;
             threshold;
             timeline_every;
+            profile = profile_out <> None;
           }
         in
         let inject_crash =
@@ -1006,6 +1142,13 @@ let campaign_cmd =
         (summary, already, worker)
         in
         print_string (Fleet.render_summary summary);
+        (match profile_out with
+        | None -> ()
+        | Some path ->
+            Profile.save path summary.Fleet.profile;
+            Printf.printf "engine profile: %s (%d tape section%s)\n" path
+              (List.length summary.Fleet.profile)
+              (if List.length summary.Fleet.profile = 1 then "" else "s"));
         (match push with
         | None -> ()
         | Some url -> push_campaign_runs ~url ~worker ~db_dir ~already);
@@ -1028,7 +1171,7 @@ let campaign_cmd =
       const run $ db_arg $ jobs_arg $ designs_arg $ metrics_arg $ backends_arg $ waves_arg
       $ seeds_arg $ cycles_arg $ execs_arg $ bound_arg $ seed_arg $ threshold_arg
       $ timeout_arg $ retries_arg $ scan_width_arg $ inject_crash_arg $ timeline_every_arg
-      $ progress_flag $ push_arg $ profile_flag $ trace_flag)
+      $ progress_flag $ push_arg $ profile_out_arg $ profile_flag $ trace_flag)
 
 (* ------------------------------------------------------------------ *)
 (* The coverage server                                                  *)
@@ -1216,7 +1359,8 @@ let main =
        ~doc:"Simulator-independent coverage for RTL hardware languages.")
     [
       emit_cmd; lower_cmd; cover_cmd; merge_cmd; diff_cmd; bmc_cmd; fuzz_cmd; scan_cmd;
-      stats_cmd; profile_cmd; db_cmd; campaign_cmd; serve_cmd; watch_cmd; tail_cmd;
+      stats_cmd; profile_cmd; hotspots_cmd; db_cmd; campaign_cmd; serve_cmd; watch_cmd;
+      tail_cmd;
     ]
 
 let () =

@@ -39,6 +39,17 @@ dune exec --no-build bin/sic.exe -- cover examples/verilog/rv.v \
   --line --toggle --fsm --cycles 2000 --html ci_verilog.html
 SIC_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- verilog
 
+# Engine-profiler smoke on the same core: ranked hotspot tables with real
+# source attribution, plus the collapsed-stack artifact (kept at the repo
+# root so CI can upload it for flamegraph tooling). The ranked output
+# must name actual rv.v lines, proving the tape -> statement -> source
+# provenance chain survived lowering.
+rm -f ci_hotspots.folded
+dune exec --no-build bin/sic.exe -- hotspots examples/verilog/rv.v \
+  --cycles 5000 --folded ci_hotspots.folded | tee /tmp/ci_hotspots.out
+grep -q 'rv\.v:[0-9]' /tmp/ci_hotspots.out
+grep -q 'rv\.v:[0-9]' ci_hotspots.folded
+
 # Coverage-service smoke: in-process server on an ephemeral port — ingest
 # rate plus cached / 304 / uncached GET /report latency and /watch SSE
 # fan-out broadcast latency. Writes BENCH_serve.json (uploaded as a CI

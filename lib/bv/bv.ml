@@ -225,6 +225,76 @@ let logxor_into ~dst a b =
   done;
   ignore (normalize dst)
 
+(* Fused change-detecting variants of the in-place kernels, for the
+   engine profiler's exact hit counts: same single pass as the base op,
+   accumulating a limb-difference word while storing, so detecting a
+   change costs almost nothing over just computing the value. Each
+   returns whether [dst]'s value changed. [dst] must hold a normalized
+   value on entry (the engine's slots always do). *)
+
+(* [dst] and [src] must have equal widths. *)
+let blit_into_changed ~dst src =
+  let n = Array.length dst.data in
+  let diff = ref 0 in
+  for i = 0 to n - 1 do
+    let v = Array.unsafe_get src.data i in
+    diff := !diff lor (v lxor Array.unsafe_get dst.data i);
+    Array.unsafe_set dst.data i v
+  done;
+  !diff <> 0
+
+let shr_into_changed ~dst src n =
+  let nd = Array.length dst.data in
+  let ns = Array.length src.data in
+  let ls = n / limb_bits and off = n mod limb_bits in
+  let limb j = if j >= 0 && j < ns then Array.unsafe_get src.data j else 0 in
+  let v_at i =
+    if off = 0 then limb (i + ls)
+    else
+      (limb (i + ls) lsr off) lor (limb (i + ls + 1) lsl (limb_bits - off))
+      land limb_mask
+  in
+  let diff = ref 0 in
+  for i = 0 to nd - 2 do
+    let v = v_at i in
+    diff := !diff lor (v lxor Array.unsafe_get dst.data i);
+    Array.unsafe_set dst.data i v
+  done;
+  if nd > 0 then begin
+    let v = v_at (nd - 1) land top_mask dst.width in
+    diff := !diff lor (v lxor Array.unsafe_get dst.data (nd - 1));
+    Array.unsafe_set dst.data (nd - 1) v
+  end;
+  !diff <> 0
+
+(* Shared skeleton of the fused logical kernels: one pass, top limb
+   masked outside the loop. *)
+let logop_into_changed op ~(dst : t) (a : t) (b : t) =
+  let la = a.data and lb = b.data in
+  let na = Array.length la and nb = Array.length lb in
+  let nd = Array.length dst.data in
+  let v_at i =
+    let x = if i < na then Array.unsafe_get la i else 0 in
+    let y = if i < nb then Array.unsafe_get lb i else 0 in
+    op x y
+  in
+  let diff = ref 0 in
+  for i = 0 to nd - 2 do
+    let v = v_at i in
+    diff := !diff lor (v lxor Array.unsafe_get dst.data i);
+    Array.unsafe_set dst.data i v
+  done;
+  if nd > 0 then begin
+    let v = v_at (nd - 1) land top_mask dst.width in
+    diff := !diff lor (v lxor Array.unsafe_get dst.data (nd - 1));
+    Array.unsafe_set dst.data (nd - 1) v
+  end;
+  !diff <> 0
+
+let logor_into_changed ~dst a b = logop_into_changed ( lor ) ~dst a b
+let logand_into_changed ~dst a b = logop_into_changed ( land ) ~dst a b
+let logxor_into_changed ~dst a b = logop_into_changed ( lxor ) ~dst a b
+
 let equal a b = a.width = b.width && a.data = b.data
 
 let equal_value a b =

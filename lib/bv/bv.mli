@@ -113,6 +113,17 @@ val logor_into : dst:t -> t -> t -> unit
 val logand_into : dst:t -> t -> t -> unit
 val logxor_into : dst:t -> t -> t -> unit
 
+(** Fused change-detecting variants for the engine profiler's exact hit
+    counts: the same single pass as the base operation, additionally
+    reporting whether [dst]'s value changed. [dst] must be normalized on
+    entry. *)
+
+val blit_into_changed : dst:t -> t -> bool
+val shr_into_changed : dst:t -> t -> int -> bool
+val logor_into_changed : dst:t -> t -> t -> bool
+val logand_into_changed : dst:t -> t -> t -> bool
+val logxor_into_changed : dst:t -> t -> t -> bool
+
 (** {1 Comparison} *)
 
 val equal : t -> t -> bool

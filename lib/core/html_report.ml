@@ -32,6 +32,16 @@ tr.hit td { background: #e8f6e8; } tr.miss td { background: #fbe9e9; }
 pre { background: #fff; border: 1px solid #ddd; padding: 0.6em; }
 </style>|}
 
+(* Engine-profiler heat for one source line, as plain data: this module
+   cannot depend on the simulator library, so callers (the CLI) convert
+   their profile artifacts into this shape. *)
+type line_heat = {
+  heat_file : string;
+  heat_line : int;
+  heat_hits : int;  (** value-changing evaluations attributed to the line *)
+  heat_time_ns : int;  (** sampled engine self-time; 0 when counts-only *)
+}
+
 let pct covered total =
   if total = 0 then 100.0 else 100.0 *. float_of_int covered /. float_of_int total
 
@@ -42,9 +52,39 @@ let tile label covered total =
 (* annotated source listing for one file; relative paths resolve against
    [source_root], so reports written from another directory (a coverage
    database, say) still find their sources *)
-let source_section buf ~source_root file (lines : (int * int) list) =
+let source_section buf ~source_root ?(heat : line_heat list = []) file
+    (lines : (int * int) list) =
   Buffer.add_string buf (Printf.sprintf "<h2>%s</h2>\n<table>\n" (esc file));
-  Buffer.add_string buf "<tr><th>line</th><th class=\"count\">count</th><th>source</th></tr>\n";
+  (* per-line engine heat: normalize against the hottest line of the file
+     so the tint reads as "share of this file's simulation cost". The
+     profile and the report may name the same source through different
+     prefixes (one recorded via a relative path, the other absolute), so
+     accept a component-aligned suffix match either way round. *)
+  let same_source a b =
+    String.equal a b
+    ||
+    let suffix_of short long =
+      let ls = String.length short and ll = String.length long in
+      ls < ll
+      && String.equal short (String.sub long (ll - ls) ls)
+      && long.[ll - ls - 1] = '/'
+    in
+    suffix_of a b || suffix_of b a
+  in
+  let heat_of = Hashtbl.create 16 in
+  List.iter
+    (fun h -> if same_source h.heat_file file then Hashtbl.replace heat_of h.heat_line h)
+    heat;
+  let heat_max =
+    Hashtbl.fold
+      (fun _ h acc -> max acc (if h.heat_time_ns > 0 then h.heat_time_ns else h.heat_hits))
+      heat_of 0
+  in
+  let with_heat = heat_max > 0 in
+  Buffer.add_string buf
+    (if with_heat then
+       "<tr><th>line</th><th class=\"count\">count</th><th class=\"count\">heat</th><th>source</th></tr>\n"
+     else "<tr><th>line</th><th class=\"count\">count</th><th>source</th></tr>\n");
   let path = if Filename.is_relative file then Filename.concat source_root file else file in
   let source =
     if Sys.file_exists path then begin
@@ -68,10 +108,32 @@ let source_section buf ~source_root file (lines : (int * int) list) =
         | Some arr when line - 1 >= 0 && line - 1 < Array.length arr -> arr.(line - 1)
         | Some _ | None -> ""
       in
-      Buffer.add_string buf
-        (Printf.sprintf "<tr class=\"%s\"><td>%d</td><td class=\"count\">%d</td><td><code>%s</code></td></tr>\n"
-           (if count > 0 then "hit" else "miss")
-           line count (esc text)))
+      if with_heat then begin
+        let cell =
+          match Hashtbl.find_opt heat_of line with
+          | None -> "<td class=\"count\"></td>"
+          | Some h ->
+              let v = if h.heat_time_ns > 0 then h.heat_time_ns else h.heat_hits in
+              let alpha = 0.85 *. float_of_int v /. float_of_int heat_max in
+              let label =
+                if h.heat_time_ns > 0 then Printf.sprintf "%dns" h.heat_time_ns
+                else Printf.sprintf "%d&times;" h.heat_hits
+              in
+              Printf.sprintf
+                "<td class=\"count\" style=\"background:rgba(255,140,0,%.2f)\" title=\"%d value changes\">%s</td>"
+                alpha h.heat_hits label
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<tr class=\"%s\"><td>%d</td><td class=\"count\">%d</td>%s<td><code>%s</code></td></tr>\n"
+             (if count > 0 then "hit" else "miss")
+             line count cell (esc text))
+      end
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "<tr class=\"%s\"><td>%d</td><td class=\"count\">%d</td><td><code>%s</code></td></tr>\n"
+             (if count > 0 then "hit" else "miss")
+             line count (esc text)))
     lines;
   Buffer.add_string buf "</table>\n"
 
@@ -148,7 +210,7 @@ let render ?(title = "SIC coverage report") ?(source_root = Filename.current_dir
     ?(line : Line_coverage.db option)
     ?(toggle : Toggle_coverage.db option) ?(fsm : Fsm_coverage.db option)
     ?(rv : Ready_valid_coverage.db option) ?(timelines : (string * Timeline.t) list = [])
-    (counts : Counts.t) : string =
+    ?(profile : line_heat list = []) (counts : Counts.t) : string =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf "<!doctype html>\n<html><head><meta charset=\"utf-8\"><title>%s</title>%s</head><body>\n<h1>%s</h1>\n"
@@ -194,7 +256,7 @@ let render ?(title = "SIC coverage report") ?(source_root = Filename.current_dir
               (fun ((f, l), c) -> if String.equal f file then Some (l, c) else None)
               r.Line_coverage.per_line
           in
-          source_section buf ~source_root file lines)
+          source_section buf ~source_root ~heat:profile file lines)
         files
   | None -> ());
   (* other metric details reuse the ASCII renderers inside <pre> *)
@@ -218,9 +280,10 @@ let render ?(title = "SIC coverage report") ?(source_root = Filename.current_dir
   Buffer.add_string buf "</body></html>\n";
   Buffer.contents buf
 
-let save path ?title ?source_root ?line ?toggle ?fsm ?rv ?timelines counts =
+let save path ?title ?source_root ?line ?toggle ?fsm ?rv ?timelines ?profile counts =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (render ?title ?source_root ?line ?toggle ?fsm ?rv ?timelines counts))
+      output_string oc
+        (render ?title ?source_root ?line ?toggle ?fsm ?rv ?timelines ?profile counts))

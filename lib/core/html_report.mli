@@ -9,6 +9,16 @@
 val esc : string -> string
 (** HTML-escape ampersands, angle brackets and quotes. *)
 
+type line_heat = {
+  heat_file : string;
+  heat_line : int;
+  heat_hits : int;  (** value-changing evaluations attributed to the line *)
+  heat_time_ns : int;  (** sampled engine self-time; 0 when counts-only *)
+}
+(** Engine-profiler heat for one source line, as plain data — this module
+    does not depend on the simulator library, so callers convert their
+    profile artifacts into this shape. *)
+
 val render :
   ?title:string ->
   ?source_root:string ->
@@ -17,13 +27,16 @@ val render :
   ?fsm:Fsm_coverage.db ->
   ?rv:Ready_valid_coverage.db ->
   ?timelines:(string * Timeline.t) list ->
+  ?profile:line_heat list ->
   Counts.t ->
   string
 (** The full page as one self-contained string (inline CSS, no external
     assets). Each metric section appears only when its database is
     passed; [source_root] anchors relative source paths for the annotated
     listings; [timelines] adds a convergence chart (label -> curve, e.g.
-    one per campaign run). *)
+    one per campaign run); [profile] tints the annotated listings with a
+    per-line heat column (engine self-time, or hit counts when the
+    profile carries no timing). *)
 
 val save :
   string ->
@@ -34,6 +47,7 @@ val save :
   ?fsm:Fsm_coverage.db ->
   ?rv:Ready_valid_coverage.db ->
   ?timelines:(string * Timeline.t) list ->
+  ?profile:line_heat list ->
   Counts.t ->
   unit
 (** [save path ... counts] writes {!render}'s output to [path]. *)

@@ -69,6 +69,10 @@ type job = {
   wave : int;
   scan_width : int;  (** FPGA counter width *)
   sample_every : int;  (** timeline sampling period in budget units; 0 = off *)
+  profile : bool;
+      (** ship an engine hotspot profile with the result; honoured by the
+          compiled-engine simulation backends ([Compiled], [Essent]) and
+          ignored by the rest *)
 }
 
 type job_result = {
@@ -76,6 +80,8 @@ type job_result = {
   sim_cycles : int;
   wall_us : float;
   timeline : Timeline.t option;  (** recorded when [sample_every > 0] *)
+  prof : Profile.design_profile option;
+      (** counts-only engine profile, when [job.profile] asked for one *)
 }
 
 (** Execute one job in the current process. Pure function of the job
@@ -84,8 +90,8 @@ type job_result = {
     deliberately outside the determinism contract. *)
 let run_job ?progress (job : job) : job_result =
   let t0 = Unix.gettimeofday () in
-  let finish ?timeline ~sim_cycles counts =
-    { counts; sim_cycles; wall_us = (Unix.gettimeofday () -. t0) *. 1e6; timeline }
+  let finish ?timeline ?prof ~sim_cycles counts =
+    { counts; sim_cycles; wall_us = (Unix.gettimeofday () -. t0) *. 1e6; timeline; prof }
   in
   let notify ~cycles ~covered =
     match progress with Some f -> f ~cycles ~covered | None -> ()
@@ -93,13 +99,22 @@ let run_job ?progress (job : job) : job_result =
   let rng = Rng.create job.seed in
   match job.backend with
   | Interp | Compiled | Essent ->
-      let create =
+      (* under [job.profile] the compiled-engine backends build in
+         counts-only profiling mode and keep the sim handle to read the
+         profile back; counts-only because fleet profiles must merge
+         byte-deterministically across workers, which sampled timings by
+         design do not *)
+      let profiled = ref None in
+      let b =
         match job.backend with
-        | Interp -> Interp.create
-        | Essent -> Essent.create
-        | _ -> fun c -> Compiled.create c
+        | Interp -> Interp.create job.circuit
+        | (Compiled | Essent) when job.profile ->
+            let sim = Compiled.build ~profile:Compiled.Counts_only job.circuit in
+            profiled := Some sim;
+            Compiled.to_backend ~name:(backend_name job.backend) sim
+        | Essent -> Essent.create job.circuit
+        | _ -> Compiled.create job.circuit
       in
-      let b = create job.circuit in
       let tlb = Timeline.builder () in
       let b =
         Backend.with_sampler ~every:job.sample_every
@@ -119,7 +134,8 @@ let run_job ?progress (job : job) : job_result =
           Some (Timeline.build ~total:(Counts.total_points counts) tlb)
         end
       in
-      finish ?timeline ~sim_cycles:(b.Backend.cycles ()) counts
+      let prof = Option.bind !profiled Compiled.profile in
+      finish ?timeline ?prof ~sim_cycles:(b.Backend.cycles ()) counts
   | Fpga ->
       let chained, chain = Sic_firesim.Scan_chain.insert ~width:job.scan_width job.circuit in
       let b = Compiled.create chained in
@@ -164,13 +180,17 @@ let run_job ?progress (job : job) : job_result =
 (* Worker -> parent protocol, version 2 (documented in DESIGN.md): while
    running, the worker writes heartbeat lines
    [{"type":"hb","job":i,"cycles":c,"covered":p}]; then exactly one result
-   header line whose [counts_bytes]/[timeline_bytes]/[telemetry_bytes]
-   fields frame the three sections that follow verbatim — the counts map
-   and timeline in their own interchange formats, and the worker's
-   telemetry as an {!Obs.export_events} payload. Reusing the existing text
-   formats means no new parser and human-debuggable pipes; the explicit
-   protocol version means a mixed-version parent/worker pair fails loudly
-   instead of misparsing. *)
+   header line whose [counts_bytes]/[timeline_bytes]/[telemetry_bytes]/
+   [profile_bytes] fields frame the sections that follow verbatim — the
+   counts map, timeline and engine profile in their own interchange
+   formats, and the worker's telemetry as an {!Obs.export_events} payload.
+   Reusing the existing text formats means no new parser and
+   human-debuggable pipes; the explicit protocol version means a
+   mixed-version parent/worker pair fails loudly instead of misparsing.
+   The profile section rode in on a length field rather than a version
+   bump: absent fields decode as zero-length sections, so a parent that
+   predates it skips the extra trailing bytes and one that postdates an
+   old worker sees no profile. *)
 
 let proto_version = 2
 
@@ -180,6 +200,7 @@ let encode_ok (r : job_result) : string =
     match r.timeline with Some tl -> Timeline.to_string tl | None -> ""
   in
   let telemetry = if Obs.on () then Obs.export_events () else "" in
+  let profile = match r.prof with Some d -> Profile.to_string [ d ] | None -> "" in
   Json.to_string
     (Json.Obj
        [
@@ -191,8 +212,9 @@ let encode_ok (r : job_result) : string =
          ("counts_bytes", Json.Int (String.length counts));
          ("timeline_bytes", Json.Int (String.length timeline));
          ("telemetry_bytes", Json.Int (String.length telemetry));
+         ("profile_bytes", Json.Int (String.length profile));
        ])
-  ^ "\n" ^ counts ^ timeline ^ telemetry
+  ^ "\n" ^ counts ^ timeline ^ telemetry ^ profile
 
 let encode_failed (why : string) : string =
   let telemetry = if Obs.on () then Obs.export_events () else "" in
@@ -232,21 +254,30 @@ let decode (payload : string) : (decoded, string) result =
               let counts_len = len "counts_bytes" in
               let timeline_len = len "timeline_bytes" in
               let telemetry_len = len "telemetry_bytes" in
-              let want = counts_len + timeline_len + telemetry_len in
+              let profile_len = len "profile_bytes" in
+              let want = counts_len + timeline_len + telemetry_len + profile_len in
               if String.length body < want then
                 fail "truncated worker body (%d of %d bytes)" (String.length body) want
               else
                 let counts_s = String.sub body 0 counts_len in
                 let timeline_s = String.sub body counts_len timeline_len in
                 let telemetry = String.sub body (counts_len + timeline_len) telemetry_len in
+                let profile_s =
+                  String.sub body (counts_len + timeline_len + telemetry_len) profile_len
+                in
                 match Json.string_member "status" h with
                 | Some "ok" -> (
                     match
                       ( Counts.of_string counts_s,
-                        if timeline_len = 0 then None
-                        else Some (Timeline.of_string timeline_s) )
+                        (if timeline_len = 0 then None
+                         else Some (Timeline.of_string timeline_s)),
+                        if profile_len = 0 then None
+                        else
+                          match Profile.of_string profile_s with
+                          | [ d ] -> Some d
+                          | _ -> None )
                     with
-                    | counts, timeline ->
+                    | counts, timeline, prof ->
                         Ok
                           {
                             outcome =
@@ -254,6 +285,7 @@ let decode (payload : string) : (decoded, string) result =
                                 {
                                   counts;
                                   timeline;
+                                  prof;
                                   sim_cycles =
                                     Option.value ~default:0 (Json.int_member "sim_cycles" h);
                                   wall_us =
@@ -262,7 +294,8 @@ let decode (payload : string) : (decoded, string) result =
                             telemetry;
                           }
                     | exception Counts.Bad_format m -> fail "bad worker counts: %s" m
-                    | exception Timeline.Bad_format m -> fail "bad worker timeline: %s" m)
+                    | exception Timeline.Bad_format m -> fail "bad worker timeline: %s" m
+                    | exception Profile.Bad_format m -> fail "bad worker profile: %s" m)
                 | Some "failed" ->
                     Ok
                       {
@@ -589,6 +622,9 @@ type spec = {
   threshold : int;  (** §5.3 removal threshold applied between waves *)
   timeline_every : int;
       (** convergence-timeline sampling period (budget units); 0 = off *)
+  profile : bool;
+      (** have compiled-engine workers ship per-instruction hit profiles;
+          merged into {!summary.profile} *)
 }
 
 let default_spec =
@@ -606,6 +642,7 @@ let default_spec =
     retries = 1;
     threshold = 1;
     timeline_every = 100;
+    profile = false;
   }
 
 (** How many jobs the spec will enumerate, before any of them run — what a
@@ -622,6 +659,11 @@ type summary = {
   removed_points : int;  (** cover points stripped by inter-wave removal *)
   points_total : int;
   points_covered : int;
+  profile : Profile.t;
+      (** the campaign's merged engine profile ([[]] unless
+          [spec.profile]); one section per distinct instrumented circuit,
+          so a multi-wave campaign whose removal pass rewrote a design
+          keeps that wave's tape separate instead of corrupting the sum *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -760,6 +802,24 @@ let run_campaign ?(inject_crash = fun _ -> false) ?on_event ~(db : Db.t) (spec :
   let master = Rng.create spec.master_seed in
   let job_counter = ref 0 in
   let ok = ref 0 and failed = ref 0 and removed_total = ref 0 in
+  (* per-circuit-hash profile accumulator, in job (hence deterministic)
+     order: profiles merge positionally, so only runs of the identical
+     instrumented circuit may fold together — the same design re-lowered
+     by a later wave's removal pass is a different tape *)
+  let prof_order : string list ref = ref [] in
+  let profs : (string, Profile.design_profile) Hashtbl.t = Hashtbl.create 8 in
+  let add_profile circuit_hash (d : Profile.design_profile) =
+    match Hashtbl.find_opt profs circuit_hash with
+    | None ->
+        prof_order := circuit_hash :: !prof_order;
+        Hashtbl.replace profs circuit_hash d
+    | Some prev -> (
+        match Profile.merge [ [ prev ]; [ d ] ] with
+        | [ m ] -> Hashtbl.replace profs circuit_hash m
+        (* a malformed worker profile must not kill the campaign *)
+        | _ -> Obs.count "fleet.profile_dropped"
+        | exception Profile.Bad_format _ -> Obs.count "fleet.profile_dropped")
+  in
   let hash c = Digest.to_hex (Digest.string (Sic_ir.Printer.circuit_to_string c)) in
   List.iteri
     (fun wave_idx backends ->
@@ -799,6 +859,7 @@ let run_campaign ?(inject_crash = fun _ -> false) ?on_event ~(db : Db.t) (spec :
                       wave = wave_idx;
                       scan_width = spec.scan_width;
                       sample_every = spec.timeline_every;
+                      profile = spec.profile;
                     }))
               backends)
           wave_designs
@@ -817,6 +878,7 @@ let run_campaign ?(inject_crash = fun _ -> false) ?on_event ~(db : Db.t) (spec :
                 match outcome with
                 | Ok (r : job_result) ->
                     incr ok;
+                    Option.iter (add_profile job.circuit_hash) r.prof;
                     (Ok r.counts, r.wall_us, r.timeline)
                 | Error why ->
                     incr failed;
@@ -841,6 +903,7 @@ let run_campaign ?(inject_crash = fun _ -> false) ?on_event ~(db : Db.t) (spec :
     removed_points = !removed_total;
     points_total = Counts.total_points agg;
     points_covered = Counts.covered_points agg;
+    profile = List.rev_map (Hashtbl.find profs) !prof_order;
   }
 
 let render_summary (s : summary) : string =

@@ -42,6 +42,10 @@ type job = {
   sample_every : int;
       (** coverage-timeline sampling period in budget units; 0 disables
           sampling entirely (no wrapper on the hot path) *)
+  profile : bool;
+      (** ship an engine hotspot profile with the result; honoured by the
+          compiled-engine simulation backends ([Compiled], [Essent]) and
+          ignored by the rest *)
 }
 
 type job_result = {
@@ -51,6 +55,10 @@ type job_result = {
   timeline : Sic_coverage.Timeline.t option;
       (** the run's convergence curve, when [sample_every > 0] (BMC jobs
           never record one) *)
+  prof : Sic_sim.Profile.design_profile option;
+      (** counts-only engine profile, when [job.profile] asked for one —
+          counts-only so the bytes merge deterministically across workers
+          (sampled timings never would) *)
 }
 
 val run_job : ?progress:(cycles:int -> covered:int -> unit) -> job -> job_result
@@ -63,9 +71,11 @@ val run_job : ?progress:(cycles:int -> covered:int -> unit) -> job -> job_result
 
     Workers talk to the orchestrator over a pipe in protocol version 2:
     heartbeat lines while running, then one result header line that
-    byte-length-frames the counts, timeline and telemetry sections
-    following it (see DESIGN.md, "Worker protocol"). [decode] rejects
-    payloads from a different protocol version. *)
+    byte-length-frames the counts, timeline, telemetry and engine-profile
+    sections following it (see DESIGN.md, "Worker protocol"). [decode]
+    rejects payloads from a different protocol version; a missing
+    [profile_bytes] field decodes as an empty section, so the profile
+    extension needed no version bump. *)
 
 val proto_version : int
 val encode_ok : job_result -> string
@@ -124,11 +134,15 @@ type spec = {
   threshold : int;  (** §5.3 removal threshold applied between waves *)
   timeline_every : int;
       (** convergence-timeline sampling period (budget units); 0 = off *)
+  profile : bool;
+      (** have compiled-engine workers ship per-instruction hit profiles;
+          merged (deterministically, in job order per instrumented
+          circuit) into {!summary.profile} *)
 }
 
 val default_spec : spec
 (** One [Compiled] wave, 1 seed, 1000 cycles, [-j 1], threshold 1,
-    timelines sampled every 100 budget units. *)
+    timelines sampled every 100 budget units, profiling off. *)
 
 val spec_total_jobs : spec -> int
 (** How many jobs the spec will enumerate, before running any. *)
@@ -141,6 +155,10 @@ type summary = {
   removed_points : int;
   points_total : int;
   points_covered : int;
+  profile : Sic_sim.Profile.t;
+      (** the campaign's merged engine profile ([[]] unless
+          [spec.profile]); one section per distinct instrumented circuit,
+          byte-for-byte independent of [-j] *)
 }
 
 (** {1 Live progress}

@@ -55,6 +55,19 @@ let info = function
   | Stop { info; _ }
   | Print { info; _ } -> info
 
+(** The name a statement defines or drives — the stable statement id that
+    ties a simulator tape position back to its originating statement. In the
+    flat low form every [Node]/[Connect] target is unique, so the defined
+    name identifies the statement. [None] for statements that define nothing
+    nameable ([When], [Print]) or a whole family of names ([Mem]). *)
+let def_name = function
+  | Node { name; _ } | Wire { name; _ } | Reg { name; _ } | Inst { name; _ }
+  | Cover { name; _ }
+  | CoverValues { name; _ }
+  | Stop { name; _ } -> Some name
+  | Connect { loc; _ } -> Some loc
+  | Mem _ | When _ | Print _ -> None
+
 (** Iterate over all statements, descending into [when] blocks. *)
 let rec iter f stmts =
   List.iter

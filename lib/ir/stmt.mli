@@ -39,6 +39,12 @@ type t =
 
 val info : t -> Info.t
 
+val def_name : t -> string option
+(** The name a statement defines or drives ([Connect]'s target, a
+    [Node]/[Reg]/[Cover]/... name) — unique in the flat low form, so it
+    serves as the stable statement id for tape↔statement provenance.
+    [None] for [Mem]/[When]/[Print]. *)
+
 val iter : (t -> unit) -> t list -> unit
 (** Descends into [when] blocks. *)
 

@@ -1,0 +1,18 @@
+/* CLOCK_MONOTONIC in nanoseconds as an OCaml immediate int.
+ *
+ * The profiler samples per-instruction timings, so the clock read must be
+ * allocation-free and immune to wall-clock steps; Unix.gettimeofday is
+ * neither precise enough (microseconds) nor monotonic. A 63-bit OCaml int
+ * holds ~146 years of nanoseconds, so Val_long never wraps in practice.
+ */
+#include <time.h>
+
+#include <caml/mlvalues.h>
+
+CAMLprim value sic_obs_monotonic_ns(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((long)ts.tv_sec * 1000000000L + ts.tv_nsec);
+}

@@ -26,6 +26,8 @@ let clock : (unit -> float) ref = ref Unix.gettimeofday
 let set_clock f = clock := f
 let now_us () = !clock () *. 1e6
 
+external now_ns : unit -> int = "sic_obs_monotonic_ns" [@@noalloc]
+
 let t0_us = ref 0.
 let depth = ref 0
 let recorded : event list ref = ref [] (* newest first *)

@@ -36,6 +36,12 @@ val set_clock : (unit -> float) -> unit
 val now_us : unit -> float
 (** Current clock reading in microseconds (absolute, not t0-relative). *)
 
+val now_ns : unit -> int
+(** [CLOCK_MONOTONIC] in nanoseconds, via a C stub: allocation-free and
+    step-immune, precise enough to time single tape instructions. Not
+    affected by {!set_clock} — this is the raw hardware clock, used by the
+    engine profiler's sampled timing path. *)
+
 (** {1 Events} *)
 
 type value = Bool of bool | Int of int | Float of float | Str of string

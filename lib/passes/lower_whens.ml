@@ -21,6 +21,9 @@ type ctx = {
   mutable env : Expr.t SMap.t;  (* sink -> current driving expression *)
   mutable order : string list;  (* sinks in first-assignment order, reversed *)
   seen : (string, unit) Hashtbl.t;  (* sinks already in [order] *)
+  sink_info : (string, Info.t) Hashtbl.t;
+      (* source position of the sink's first connect, carried onto the
+         final merged connect so lowering keeps statement provenance *)
   regs : (string, unit) Hashtbl.t;
   scoped_wires : (string, Ty.t) Hashtbl.t;
       (* wires declared inside a when: their value outside the declaring
@@ -68,7 +71,10 @@ let rec process ctx (pred : Expr.t) (stmts : Stmt.t list) =
       | Stmt.Reg { name; _ } ->
           Hashtbl.replace ctx.regs name ();
           emit ctx s
-      | Stmt.Connect { loc; expr; _ } -> assign ctx loc expr
+      | Stmt.Connect { loc; expr; info } ->
+          if info <> Info.unknown && not (Hashtbl.mem ctx.sink_info loc) then
+            Hashtbl.replace ctx.sink_info loc info;
+          assign ctx loc expr
       | Stmt.Cover { name; pred = p; info } ->
           emit ctx (Stmt.Cover { name; pred = Expr.and_ pred p; info })
       | Stmt.CoverValues { name; signal; en; info } ->
@@ -135,6 +141,7 @@ let lower_module (m : Circuit.modul) : Circuit.modul =
       env = SMap.empty;
       order = [];
       seen = Hashtbl.create 16;
+      sink_info = Hashtbl.create 16;
       regs = Hashtbl.create 16;
       scoped_wires = Hashtbl.create 16;
       ns = Namespace.of_module m;
@@ -145,7 +152,10 @@ let lower_module (m : Circuit.modul) : Circuit.modul =
   let final_connects =
     List.rev_map
       (fun sink ->
-        Stmt.Connect { loc = sink; expr = SMap.find sink ctx.env; info = Info.unknown })
+        let info =
+          Option.value ~default:Info.unknown (Hashtbl.find_opt ctx.sink_info sink)
+        in
+        Stmt.Connect { loc = sink; expr = SMap.find sink ctx.env; info })
       ctx.order
   in
   { m with Circuit.body = List.rev !(ctx.out) @ final_connects }

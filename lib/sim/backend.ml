@@ -185,6 +185,10 @@ module Prep = struct
     prints : (Expr.t * string * Expr.t list) list;
         (** condition, message with [%d] placeholders, arguments *)
     input_names : (string, int) Hashtbl.t;  (** name -> width *)
+    infos : (string, Info.t) Hashtbl.t;
+        (** defined name -> the defining statement's source info; the
+            provenance half of the engine profiler (tape index -> root
+            statement name -> [file:line]) *)
   }
 
   (** Substitute the argument values into a printf message ([%d] decimal,
@@ -263,8 +267,12 @@ module Prep = struct
     let cover_values = ref [] in
     let stops = ref [] in
     let prints = ref [] in
+    let infos = Hashtbl.create 256 in
     Stmt.iter
       (fun s ->
+        (match Stmt.def_name s with
+        | Some n -> Hashtbl.replace infos n (Stmt.info s)
+        | None -> ());
         match s with
         | Stmt.Node { name; expr; _ } -> Hashtbl.replace node_defs name expr
         | Stmt.Connect { loc; expr; _ } -> Hashtbl.replace drivers loc expr
@@ -318,5 +326,6 @@ module Prep = struct
       stops = List.rev !stops;
       prints = List.rev !prints;
       input_names;
+      infos;
     }
 end

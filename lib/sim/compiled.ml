@@ -31,6 +31,7 @@
 open Sic_ir
 module Bv = Sic_bv.Bv
 module Counts = Sic_coverage.Counts
+module Obs = Sic_obs.Obs
 module Prep = Backend.Prep
 
 (* Flat tape instructions, fully decoded at build time: slot indices are
@@ -100,6 +101,52 @@ type pins =
 
 type proto = { pdst : int; pdeps : int list; pins : pins }
 
+(* Mnemonic per decoded instruction, for profile rows. *)
+let op_name = function
+  | ICopy _ -> "copy" | IMux _ -> "mux" | INot _ -> "not" | IAndr _ -> "andr"
+  | IOrr _ -> "orr" | IXorr _ -> "xorr" | INeg _ -> "neg" | ISext _ -> "sext"
+  | IShrC _ -> "shr" | IShlC _ -> "shl" | IAdd _ -> "add" | ISub _ -> "sub"
+  | IMul _ -> "mul" | IDiv _ -> "div" | IRem _ -> "rem" | ILt _ -> "lt"
+  | ILeq _ -> "leq" | IGt _ -> "gt" | IGeq _ -> "geq" | IEq _ -> "eq"
+  | INeq _ -> "neq" | IAnd _ -> "and" | IOr _ -> "or" | IXor _ -> "xor"
+  | ICat _ -> "cat" | IDshl _ -> "dshl" | IDshr _ -> "dshr" | IBitsW _ -> "bitsw"
+  | IOrrW _ -> "orrw" | IAndrW _ -> "andrw" | IXorrW _ -> "xorrw"
+  | IMemRead _ -> "memread" | WMux _ -> "wmux" | WCat _ -> "wcat"
+  | WDshl _ -> "wdshl" | WDshr _ -> "wdshr" | WOr _ -> "wor" | WAnd _ -> "wand"
+  | WXor _ -> "wxor" | IBox _ -> "box"
+
+(* Engine profiler state (see {!Profile}): per-tape-index counters plus the
+   static provenance computed at build time. [ph_hits] counts
+   {e value-changing} evaluations — a property of the value stream, so it
+   is identical across the plain and activity schedulers (and matches
+   {!Ref_tape}'s), which is what makes the exported artifact
+   byte-deterministic. [ph_exec] counts actual executions — the dirty-flag
+   scheduler's re-evals (profiled builds always run the activity
+   schedule) — a live-only diagnostic excluded from the artifact, because
+   re-eval counts legitimately differ between engines: a linearized temp
+   can absorb an input change without the root instruction re-running,
+   while a whole-expression engine re-evaluates. *)
+type prof = {
+  ph_hits : int array;
+  ph_time : int array;  (** accumulated sampled self-time, ns *)
+  ph_exec : int array;  (** dirty-flag scheduler re-evaluation counts *)
+  ph_every : int;  (** sample timings every Nth [run_tape]; 0 = counts only *)
+  ph_cal : int;  (** calibrated fixed cost of one clock pair, ns *)
+  mutable ph_runs : int;
+  ph_roots : string array;  (** per tape index: originating statement name *)
+  ph_is_root : bool array;  (** produces the root statement's own value *)
+  ph_ops : string array;
+  ph_wscr : Bv.t array;
+      (** per tape index: pre-allocated old-value scratch for wide
+          in-place change detection (width-1 dummy elsewhere), so the
+          profiled loops stay allocation-free *)
+}
+
+(** [Sampled n] also samples per-instruction wall time every [n]th
+    [run_tape]; [Counts_only] (fleet workers, differential tests) keeps
+    only the deterministic hit counts. *)
+type profile_mode = Counts_only | Sampled of int
+
 type mem_store = M_int of int array | M_bv of Bv.t array
 
 type wmem = {
@@ -147,6 +194,7 @@ type t = {
   rb_scratch : Bv.t array;
   mems : wmem array;
   builtin_db : Sic_coverage.Line_coverage.db option;
+  prof : prof option;
   activity : bool;
   mutable tape_dirty : bool;
   mutable cycle : int;
@@ -173,7 +221,13 @@ let read_slot_bv_fresh (t : t) s =
   if t.wide.(s) then Bv.copy t.bvals.(s)
   else Bv.of_int62 ~width:t.widths.(s) t.ivals.(s)
 
-let build ?(builtin_line = false) ?(activity = false) (c : Circuit.t) : t =
+let build ?(builtin_line = false) ?(activity = false) ?profile (c : Circuit.t) : t =
+  (* Profiled builds always run the change-driven (activity) schedule:
+     change detection is what that scheduler does anyway, so exact hit
+     counts come at its marginal cost instead of adding a compare to the
+     throughput loop — and the two schedules produce identical values, so
+     forcing it is unobservable apart from timing. *)
+  let activity = activity || profile <> None in
   (* the built-in mode does its own (internal) line instrumentation before
      lowering, standing in for a simulator with line coverage hard-coded *)
   let c, builtin_db =
@@ -211,10 +265,22 @@ let build ?(builtin_line = false) ?(activity = false) (c : Circuit.t) : t =
         i
   in
   Hashtbl.iter (fun name _ -> ignore (slot name)) p.Prep.env;
+  (* Provenance for the profiler: every pushed proto is tagged with the
+     root statement currently being linearized ([cur_root]), and each root
+     records which slot carries its final value ([root_slot]) so the
+     producing instruction can be flagged [is_root]. Tracking is always on
+     (it is a couple of list conses per instruction at build time); the
+     arrays only materialize under [?profile]. *)
+  let cur_root = ref "$unattributed" in
+  let proots : string list ref = ref [] in
+  let root_slot : (string, int) Hashtbl.t = Hashtbl.create 256 in
   (* linearize expression trees into three-address proto-instructions *)
   let protos : proto list ref = ref [] in
   let presets : (int * Bv.t) list ref = ref [] in
-  let push pr = protos := pr :: !protos in
+  let push pr =
+    protos := pr :: !protos;
+    proots := !cur_root :: !proots
+  in
   let rec lin (e : Expr.t) : int =
     match e with
     | Expr.Ref n -> slot n
@@ -258,11 +324,17 @@ let build ?(builtin_line = false) ?(activity = false) (c : Circuit.t) : t =
      Registers and sync-read data ports are state, updated at the edge. *)
   let reg_names = Prep.reg_name_set p in
   let sync_data = Prep.sync_read_data_names p in
-  Hashtbl.iter (fun name e -> lin_into (slot name) e) p.Prep.node_defs;
+  let named_root name =
+    cur_root := name;
+    let s = slot name in
+    Hashtbl.replace root_slot name s;
+    s
+  in
+  Hashtbl.iter (fun name e -> lin_into (named_root name) e) p.Prep.node_defs;
   Hashtbl.iter
     (fun name e ->
       if not (Hashtbl.mem reg_names name || Hashtbl.mem sync_data name) then
-        lin_into (slot name) e)
+        lin_into (named_root name) e)
     p.Prep.drivers;
   List.iter
     (fun (mname, (ms : Prep.mem_state)) ->
@@ -270,23 +342,39 @@ let build ?(builtin_line = false) ?(activity = false) (c : Circuit.t) : t =
         List.iter
           (fun { Stmt.rp_name } ->
             let ai = slot (mname ^ "." ^ rp_name ^ ".addr") in
-            let di = slot (mname ^ "." ^ rp_name ^ ".data") in
+            let di = named_root (mname ^ "." ^ rp_name ^ ".data") in
             push { pdst = di; pdeps = [ ai ]; pins = PMemRead (mname, ai) })
           ms.Prep.mem.Stmt.mem_readers)
     p.Prep.mems;
   (* covers, cover-values, stops, prints and register next-values all read
      slots; their expressions join the tape like any other *)
+  let lin_root n e =
+    cur_root := n;
+    let s = lin e in
+    Hashtbl.replace root_slot n s;
+    s
+  in
   let cover_names = Array.of_list (List.map fst p.Prep.covers) in
-  let cover_slots = Array.of_list (List.map (fun (_, e) -> lin e) p.Prep.covers) in
+  let cover_slots = Array.of_list (List.map (fun (n, e) -> lin_root n e) p.Prep.covers) in
   let counters = Array.make (Array.length cover_names) 0 in
   let cv_names = Array.of_list (List.map (fun (n, _, _, _) -> n) p.Prep.cover_values) in
-  let cv_sig = Array.of_list (List.map (fun (_, s, _, _) -> lin s) p.Prep.cover_values) in
-  let cv_en = Array.of_list (List.map (fun (_, _, en, _) -> lin en) p.Prep.cover_values) in
+  let cv_sig =
+    Array.of_list (List.map (fun (n, s, _, _) -> lin_root n s) p.Prep.cover_values)
+  in
+  let cv_en =
+    Array.of_list
+      (List.map
+         (fun (n, _, en, _) ->
+           cur_root := n;
+           lin en)
+         p.Prep.cover_values)
+  in
   let cv_arr =
     Array.of_list
       (List.map (fun (_, _, _, w) -> Array.make (1 lsl min w 20) 0) p.Prep.cover_values)
   in
-  let stop_slots = Array.of_list (List.map (fun (_, e) -> lin e) p.Prep.stops) in
+  let stop_slots = Array.of_list (List.map (fun (n, e) -> lin_root n e) p.Prep.stops) in
+  cur_root := "$print";
   let print_conds = Array.of_list (List.map (fun (c, _, _) -> lin c) p.Prep.prints) in
   let print_msgs = Array.of_list (List.map (fun (_, m, _) -> m) p.Prep.prints) in
   let print_args =
@@ -297,6 +385,7 @@ let build ?(builtin_line = false) ?(activity = false) (c : Circuit.t) : t =
     List.map
       (fun (r : Prep.reg_info) ->
         let n = r.Prep.reg_name in
+        cur_root := n;
         let base =
           match Hashtbl.find_opt p.Prep.drivers n with
           | Some e -> lin e
@@ -313,6 +402,7 @@ let build ?(builtin_line = false) ?(activity = false) (c : Circuit.t) : t =
               sdst
           | None -> base
         in
+        Hashtbl.replace root_slot n src;
         (slot n, src, Ty.width r.Prep.reg_ty))
       p.Prep.regs
   in
@@ -357,11 +447,16 @@ let build ?(builtin_line = false) ?(activity = false) (c : Circuit.t) : t =
          p.Prep.mems)
   in
   let protos_arr = Array.of_list (List.rev !protos) in
+  let proots_arr = Array.of_list (List.rev !proots) in
   let nslots = !n_slots in
   (* copy elimination: a width-preserving [PCopy] aliases its destination
      slot to the source and disappears from the tape; every later slot
      reference (operands, covers, registers, memory ports, peeks) resolves
-     through the alias map. A cycle of copies is a combinational loop. *)
+     through the alias map. A cycle of copies is a combinational loop.
+     Profiled builds run the same elimination: a named statement whose
+     value is a pure copy has zero engine cost and the same value stream
+     (hence hit counts) as its producer, so it gets no row of its own —
+     the profile measures the tape that actually runs. *)
   let wof s =
     match Hashtbl.find_opt width_of_slot s with Some w -> w | None -> 1
   in
@@ -383,26 +478,27 @@ let build ?(builtin_line = false) ?(activity = false) (c : Circuit.t) : t =
     alias.(s0) <- !s;
     !s
   in
-  let protos_arr =
-    Array.of_list
-      (List.filter_map
-         (fun pr ->
-           if alias.(pr.pdst) <> pr.pdst then None
-           else
-             let pins =
-               match pr.pins with
-               | PCopy s -> PCopy (resolve s)
-               | PMux (ss, sa, sb) -> PMux (resolve ss, resolve sa, resolve sb)
-               | PUnop (op, ta, sa) -> PUnop (op, ta, resolve sa)
-               | PBinop (op, ta, tb, sa, sb) ->
-                   PBinop (op, ta, tb, resolve sa, resolve sb)
-               | PIntop (op, n, ta, sa) -> PIntop (op, n, ta, resolve sa)
-               | PBits (hi, lo, sa) -> PBits (hi, lo, resolve sa)
-               | PMemRead (m, sa) -> PMemRead (m, resolve sa)
-             in
-             Some { pr with pdeps = List.map resolve pr.pdeps; pins })
-         (Array.to_list protos_arr))
+  let kept =
+    List.filter_map
+      (fun (pr, root) ->
+        if alias.(pr.pdst) <> pr.pdst then None
+        else
+          let pins =
+            match pr.pins with
+            | PCopy s -> PCopy (resolve s)
+            | PMux (ss, sa, sb) -> PMux (resolve ss, resolve sa, resolve sb)
+            | PUnop (op, ta, sa) -> PUnop (op, ta, resolve sa)
+            | PBinop (op, ta, tb, sa, sb) ->
+                PBinop (op, ta, tb, resolve sa, resolve sb)
+            | PIntop (op, n, ta, sa) -> PIntop (op, n, ta, resolve sa)
+            | PBits (hi, lo, sa) -> PBits (hi, lo, resolve sa)
+            | PMemRead (m, sa) -> PMemRead (m, resolve sa)
+          in
+          Some ({ pr with pdeps = List.map resolve pr.pdeps; pins }, root))
+      (List.combine (Array.to_list protos_arr) (Array.to_list proots_arr))
   in
+  let protos_arr = Array.of_list (List.map fst kept) in
+  let proots_arr = Array.of_list (List.map snd kept) in
   let cover_slots = Array.map resolve cover_slots in
   let cv_sig = Array.map resolve cv_sig in
   let cv_en = Array.map resolve cv_en in
@@ -647,6 +743,56 @@ let build ?(builtin_line = false) ?(activity = false) (c : Circuit.t) : t =
   let slot_readers = Array.map (fun l -> Array.of_list (List.rev l)) readers_l in
   let ri = List.filter (fun (_, _, w) -> Eval.Int.fits w) reg_list in
   let rb = List.filter (fun (_, _, w) -> not (Eval.Int.fits w)) reg_list in
+  let prof =
+    match profile with
+    | None -> None
+    | Some mode ->
+        let ph_roots = Array.map (fun oi -> proots_arr.(oi)) order in
+        let ph_is_root =
+          Array.map
+            (fun oi ->
+              match Hashtbl.find_opt root_slot proots_arr.(oi) with
+              | Some s -> resolve s = protos_arr.(oi).pdst
+              | None -> false)
+            order
+        in
+        let ph_ops = Array.map op_name ins in
+        let ph_every = match mode with Counts_only -> 0 | Sampled n -> max 1 n in
+        (* calibrate out the cost of a clock-read pair so sampled
+           self-times measure the instruction, not the probe *)
+        let ph_cal =
+          if ph_every = 0 then 0
+          else begin
+            let m = ref max_int in
+            for _ = 1 to 256 do
+              let a = Obs.now_ns () in
+              let b = Obs.now_ns () in
+              if b - a >= 0 && b - a < !m then m := b - a
+            done;
+            if !m = max_int then 0 else !m
+          end
+        in
+        let ph_wscr =
+          Array.init np (fun k ->
+              match ins.(k) with
+              | WMux _ | WCat _ | WDshl _ | WDshr _ | WOr _ | WAnd _ | WXor _ ->
+                  Bv.zero widths.(dsts.(k))
+              | _ -> Bv.zero 1)
+        in
+        Some
+          {
+            ph_hits = Array.make np 0;
+            ph_time = Array.make np 0;
+            ph_exec = Array.make np 0;
+            ph_every;
+            ph_cal;
+            ph_runs = 0;
+            ph_roots;
+            ph_is_root;
+            ph_ops;
+            ph_wscr;
+          }
+  in
   {
     p;
     slot_of;
@@ -679,6 +825,7 @@ let build ?(builtin_line = false) ?(activity = false) (c : Circuit.t) : t =
     rb_scratch = Array.make (List.length rb) (Bv.zero 1);
     mems;
     builtin_db;
+    prof;
     activity;
     tape_dirty = true;
     cycle = 0;
@@ -805,7 +952,149 @@ let exec_wide (t : t) (d : int) (i : ins) : unit =
         (Array.unsafe_get bv sb)
   | _ -> assert false
 
-let run_tape (t : t) =
+(* Wide in-place execution with change detection, for the profiled paths.
+   Single-op instructions use {!Bv}'s fused [_changed] kernels (one pass,
+   same cost as the plain op); the two multi-call compositions (cat and
+   dynamic left shift build their result with several OR passes) execute
+   into the pre-allocated per-index scratch and commit on change. The
+   destination buffer's identity is preserved either way, and nothing
+   allocates. *)
+let exec_wide_changed (t : t) (scr : Bv.t) (d : int) (i : ins) : bool =
+  let bv = t.bvals in
+  match i with
+  | WMux (ss, sa, sb) ->
+      Bv.blit_into_changed
+        ~dst:(Array.unsafe_get bv d)
+        (Array.unsafe_get bv (if Array.unsafe_get t.ivals ss <> 0 then sa else sb))
+  | WDshr (sa, sb) ->
+      Bv.shr_into_changed ~dst:(Array.unsafe_get bv d) (Array.unsafe_get bv sa)
+        (Array.unsafe_get t.ivals sb)
+  | WOr (sa, sb) ->
+      Bv.logor_into_changed ~dst:(Array.unsafe_get bv d) (Array.unsafe_get bv sa)
+        (Array.unsafe_get bv sb)
+  | WAnd (sa, sb) ->
+      Bv.logand_into_changed ~dst:(Array.unsafe_get bv d) (Array.unsafe_get bv sa)
+        (Array.unsafe_get bv sb)
+  | WXor (sa, sb) ->
+      Bv.logxor_into_changed ~dst:(Array.unsafe_get bv d) (Array.unsafe_get bv sa)
+        (Array.unsafe_get bv sb)
+  | (WCat _ | WDshl _) as i ->
+      let old = bv.(d) in
+      bv.(d) <- scr;
+      exec_wide t d i;
+      bv.(d) <- old;
+      if Bv.equal scr old then false
+      else begin
+        Bv.blit_into ~dst:old scr;
+        true
+      end
+  | _ -> assert false
+
+(* Generic execute-compare-store used by the activity-counts and timed
+   loops; reports whether the destination's value changed. *)
+let exec_changed (t : t) (pf : prof) (k : int) (d : int) : bool =
+  match Array.unsafe_get t.ins k with
+  | IBox f ->
+      if t.wide.(d) then begin
+        let v = f () in
+        if Bv.equal v t.bvals.(d) then false
+        else begin
+          t.bvals.(d) <- v;
+          true
+        end
+      end
+      else begin
+        let v = Bv.to_int_trunc (f ()) land t.masks.(k) in
+        if v = t.ivals.(d) then false
+        else begin
+          t.ivals.(d) <- v;
+          true
+        end
+      end
+  | (WMux _ | WCat _ | WDshl _ | WDshr _ | WOr _ | WAnd _ | WXor _) as i ->
+      exec_wide_changed t (Array.unsafe_get pf.ph_wscr k) d i
+  | i ->
+      let v = exec_value t i land Array.unsafe_get t.masks k in
+      if v = Array.unsafe_get t.ivals d then false
+      else begin
+        Array.unsafe_set t.ivals d v;
+        true
+      end
+
+(* Counts profiling: the dirty-flag worklist (profiled builds always use
+   the activity schedule) with per-instruction execution counts
+   ([ph_exec], the scheduler diagnostic) alongside the change counts.
+   Wide in-place results are change-compared here, so readers re-dirty
+   only on real changes — strictly more precise than the unprofiled
+   conservative re-dirty and value-equivalent (re-running on unchanged
+   inputs cannot change outputs). *)
+let run_tape_counts (t : t) (pf : prof) =
+  let n = Array.length t.ins in
+  let execs = pf.ph_exec and hits = pf.ph_hits in
+  for k = 0 to n - 1 do
+    if Array.unsafe_get t.dirty k then begin
+      Array.unsafe_set t.dirty k false;
+      Array.unsafe_set execs k (Array.unsafe_get execs k + 1);
+      let d = Array.unsafe_get t.dsts k in
+      match Array.unsafe_get t.ins k with
+      | IBox f ->
+          if t.wide.(d) then begin
+            let v = f () in
+            if not (Bv.equal v t.bvals.(d)) then begin
+              t.bvals.(d) <- v;
+              Array.unsafe_set hits k (Array.unsafe_get hits k + 1);
+              mark_readers t d
+            end
+          end
+          else begin
+            let v = Bv.to_int_trunc (f ()) land t.masks.(k) in
+            if v <> t.ivals.(d) then begin
+              t.ivals.(d) <- v;
+              Array.unsafe_set hits k (Array.unsafe_get hits k + 1);
+              mark_readers t d
+            end
+          end
+      | (WMux _ | WCat _ | WDshl _ | WDshr _ | WOr _ | WAnd _ | WXor _) as i ->
+          if exec_wide_changed t (Array.unsafe_get pf.ph_wscr k) d i then begin
+            Array.unsafe_set hits k (Array.unsafe_get hits k + 1);
+            mark_readers t d
+          end
+      | i ->
+          let v = exec_value t i land Array.unsafe_get t.masks k in
+          if v <> Array.unsafe_get t.ivals d then begin
+            Array.unsafe_set t.ivals d v;
+            Array.unsafe_set hits k (Array.unsafe_get hits k + 1);
+            mark_readers t d
+          end
+    end
+  done
+
+(* The sampled run: every instruction is bracketed by a monotonic clock
+   pair, with the calibrated probe cost subtracted. Runs once every
+   [ph_every] [run_tape]s, so its generic-dispatch slowdown amortizes to
+   noise; hit and exec counts stay exact because it maintains them too. *)
+let run_tape_timed (t : t) (pf : prof) =
+  let n = Array.length t.ins in
+  for k = 0 to n - 1 do
+    if (not t.activity) || Array.unsafe_get t.dirty k then begin
+      if t.activity then begin
+        Array.unsafe_set t.dirty k false;
+        pf.ph_exec.(k) <- pf.ph_exec.(k) + 1
+      end;
+      let d = Array.unsafe_get t.dsts k in
+      let t0 = Obs.now_ns () in
+      let changed = exec_changed t pf k d in
+      let t1 = Obs.now_ns () in
+      let dt = t1 - t0 - pf.ph_cal in
+      if dt > 0 then pf.ph_time.(k) <- pf.ph_time.(k) + dt;
+      if changed then begin
+        pf.ph_hits.(k) <- pf.ph_hits.(k) + 1;
+        if t.activity then mark_readers t d
+      end
+    end
+  done
+
+let run_tape_off (t : t) =
   let n = Array.length t.ins in
   if t.activity then
     for k = 0 to n - 1 do
@@ -908,6 +1197,17 @@ let run_tape (t : t) =
     done
   end;
   t.tape_dirty <- false
+
+(* One branch on [t.prof] per call — the profiler-off cost. *)
+let run_tape (t : t) =
+  match t.prof with
+  | None -> run_tape_off t
+  | Some pf ->
+      pf.ph_runs <- pf.ph_runs + 1;
+      if pf.ph_every > 0 && pf.ph_runs mod pf.ph_every = 0 then
+        run_tape_timed t pf
+      else run_tape_counts t pf;
+      t.tape_dirty <- false
 
 let clock_edge (t : t) =
   if t.tape_dirty then run_tape t;
@@ -1112,3 +1412,41 @@ let to_backend ~name (t : t) : Backend.t =
     for why the overheads match). *)
 let create ?builtin_line (c : Circuit.t) : Backend.t =
   to_backend ~name:"compiled" (build ?builtin_line c)
+
+(* Source location of a tape root, through the statement-id -> Info map
+   captured at prepare time. *)
+let loc_of (t : t) root =
+  match Hashtbl.find_opt t.p.Prep.infos root with
+  | Some (Info.Pos { file; line; _ }) -> file ^ ":" ^ string_of_int line
+  | Some Info.Unknown | None -> "-"
+
+let profile (t : t) : Profile.design_profile option =
+  match t.prof with
+  | None -> None
+  | Some pf ->
+      let rows =
+        Array.init (Array.length pf.ph_hits) (fun k ->
+            {
+              Profile.idx = k;
+              hits = pf.ph_hits.(k);
+              time_ns = pf.ph_time.(k);
+              is_root = pf.ph_is_root.(k);
+              op = pf.ph_ops.(k);
+              root = pf.ph_roots.(k);
+              loc = loc_of t pf.ph_roots.(k);
+            })
+      in
+      Some
+        {
+          Profile.design = t.p.Prep.low.Circuit.circuit_name;
+          runs = pf.ph_runs;
+          cycles = t.cycle;
+          rows;
+        }
+
+(* Per-tape-position execution counts: the dirty-flag scheduler's exact
+   re-evaluation counts ([[||]] when not profiling). Live-only
+   diagnostic — excluded from the artifact because re-evaluation counts
+   are scheduler-shaped, not value-shaped. *)
+let exec_counts (t : t) : int array =
+  match t.prof with None -> [||] | Some pf -> Array.copy pf.ph_exec

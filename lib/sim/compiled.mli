@@ -10,13 +10,33 @@
 type t
 (** A built simulation (shared with {!Essent}). *)
 
-val build : ?builtin_line:bool -> ?activity:bool -> Sic_ir.Circuit.t -> t
+type profile_mode =
+  | Counts_only
+      (** Exact per-instruction hit (value-change) counts, no timing. *)
+  | Sampled of int
+      (** Counts plus per-instruction self-time sampled every [n]th
+          [run_tape] with a monotonic clock. *)
+
+val build :
+  ?builtin_line:bool ->
+  ?activity:bool ->
+  ?profile:profile_mode ->
+  Sic_ir.Circuit.t ->
+  t
 (** [~builtin_line:true] reproduces a simulator with {e hard-coded} line
     coverage (Verilator's native mode, the Figure 8 comparator): the same
     instrumentation is performed internally by the simulator rather than
     by an IR pass, so its counters keep the usual [l_*] names. Requires a
     high-form circuit. [~activity:true] enables ESSENT-style conditional
-    evaluation over per-instruction dirty flags. *)
+    evaluation over per-instruction dirty flags. [?profile] builds the
+    tape in profiling mode: each tape position carries provenance back to
+    its originating IR statement and source location (see {!profile}),
+    and the engine always runs the change-driven activity schedule —
+    change detection is what that scheduler does anyway, and both
+    schedules produce identical values. The tape itself is unchanged; in
+    particular a named statement that is a pure copy is still eliminated
+    and gets no row (its engine cost is zero and its hit counts equal its
+    producer's). *)
 
 val line_db : t -> Sic_coverage.Line_coverage.db option
 (** The database of the internal instrumentation performed by
@@ -30,3 +50,15 @@ val to_backend : name:string -> t -> Backend.t
 
 val create : ?builtin_line:bool -> Sic_ir.Circuit.t -> Backend.t
 (** [build] + [to_backend ~name:"compiled"]. *)
+
+val profile : t -> Profile.design_profile option
+(** The accumulated profile of a [?profile] build ([None] otherwise).
+    Hit counts are value-change counts, identical across the plain and
+    activity schedules and across worker splits; timings are present only
+    under {!Sampled}. *)
+
+val exec_counts : t -> int array
+(** Per-tape-position execution counts of a [?profile] build: the
+    dirty-flag scheduler's exact re-evaluation counts ([[||]] when not
+    profiling). Live-only diagnostic — deliberately not part of the
+    {!Profile} artifact, whose bytes must not depend on the scheduler. *)

@@ -35,6 +35,11 @@ type t = {
   vals : Bv.t array;
   changed : bool array;
   tape : instr array;
+  tape_names : string array;  (** statement name per tape position *)
+  hits : int array option;
+      (** [?profile] builds: value-change count per tape position — the
+          same quantity the word-level profiler reports, for the
+          differential hit-count suite *)
   covers : (string * (unit -> Bv.t)) array;
   counters : int array;
   cover_values : (string * (unit -> Bv.t) * (unit -> Bv.t) * int array) array;
@@ -51,7 +56,7 @@ type t = {
   mutable stopped : bool;
 }
 
-let build ?(activity = false) (c : Circuit.t) : t =
+let build ?(activity = false) ?(profile = false) (c : Circuit.t) : t =
   let p = Prep.prepare c in
   let ty_of = Circuit.lookup_of p.Prep.env in
   (* slot assignment: every named value lives in one slot *)
@@ -153,7 +158,7 @@ let build ?(activity = false) (c : Circuit.t) : t =
   let emitted = ref 0 in
   while not (Queue.is_empty queue) do
     let n = Queue.pop queue in
-    order := Hashtbl.find by_name n :: !order;
+    order := (n, Hashtbl.find by_name n) :: !order;
     incr emitted;
     List.iter
       (fun d ->
@@ -164,7 +169,9 @@ let build ?(activity = false) (c : Circuit.t) : t =
   done;
   if !emitted <> List.length !instrs then
     Backend.error "combinational loop in circuit %s" c.Circuit.circuit_name;
-  let tape = Array.of_list (List.rev !order) in
+  let ordered = Array.of_list (List.rev !order) in
+  let tape = Array.map snd ordered in
+  let tape_names = Array.map fst ordered in
   (* covers, cover-values, stops, register next-values *)
   let covers = Array.of_list (List.map (fun (n, e) -> (n, comp e)) p.Prep.covers) in
   let counters = Array.make (Array.length covers) 0 in
@@ -232,6 +239,8 @@ let build ?(activity = false) (c : Circuit.t) : t =
     vals;
     changed;
     tape;
+    tape_names;
+    hits = (if profile then Some (Array.make (Array.length tape) 0) else None);
     covers;
     counters;
     cover_values;
@@ -247,23 +256,44 @@ let build ?(activity = false) (c : Circuit.t) : t =
   }
 
 let run_tape (t : t) =
-  if t.activity then begin
-    (* conditional evaluation: skip instructions whose inputs are unchanged *)
-    let first = t.first_run in
-    t.first_run <- false;
-    Array.iter
-      (fun (i : instr) ->
-        if first || List.exists (fun d -> t.changed.(d)) i.deps then begin
-          let v = i.fn () in
-          if not (Bv.equal v t.vals.(i.dst)) then begin
-            t.vals.(i.dst) <- v;
-            t.changed.(i.dst) <- true
-          end
-        end)
-      t.tape
-  end
-  else
-    Array.iter (fun (i : instr) -> t.vals.(i.dst) <- i.fn ()) t.tape;
+  (match t.hits with
+  | None ->
+      if t.activity then begin
+        (* conditional evaluation: skip instructions whose inputs are
+           unchanged *)
+        let first = t.first_run in
+        t.first_run <- false;
+        Array.iter
+          (fun (i : instr) ->
+            if first || List.exists (fun d -> t.changed.(d)) i.deps then begin
+              let v = i.fn () in
+              if not (Bv.equal v t.vals.(i.dst)) then begin
+                t.vals.(i.dst) <- v;
+                t.changed.(i.dst) <- true
+              end
+            end)
+          t.tape
+      end
+      else Array.iter (fun (i : instr) -> t.vals.(i.dst) <- i.fn ()) t.tape
+  | Some hits ->
+      (* profiled: count value changes per tape position. Both schedules
+         compare-before-store, so the counts are a property of the value
+         stream — identical plain vs activity, and identical to the
+         word-level profiler's hit counts *)
+      let first = t.first_run in
+      t.first_run <- false;
+      Array.iteri
+        (fun k (i : instr) ->
+          if (not t.activity) || first || List.exists (fun d -> t.changed.(d)) i.deps
+          then begin
+            let v = i.fn () in
+            if not (Bv.equal v t.vals.(i.dst)) then begin
+              t.vals.(i.dst) <- v;
+              t.changed.(i.dst) <- true;
+              hits.(k) <- hits.(k) + 1
+            end
+          end)
+        t.tape);
   t.tape_dirty <- false
 
 let clock_edge (t : t) =
@@ -394,6 +424,12 @@ let to_backend ~name (t : t) : Backend.t =
       cycles = (fun () -> t.cycle);
       finished = (fun () -> t.stopped);
     }
+
+let hit_counts (t : t) : (string * int) list =
+  match t.hits with
+  | None -> []
+  | Some hits ->
+      Array.to_list (Array.mapi (fun k n -> (n, hits.(k))) t.tape_names)
 
 (** The baseline backend: closure tape over [Bv.t] values. *)
 let create ?(activity = false) (c : Circuit.t) : Backend.t =

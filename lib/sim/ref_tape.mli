@@ -8,10 +8,17 @@ open Sic_ir
 
 type t
 
-val build : ?activity:bool -> Circuit.t -> t
+val build : ?activity:bool -> ?profile:bool -> Circuit.t -> t
 (** Compile a circuit into a closure tape. [~activity:true] enables
     ESSENT-style conditional evaluation (skip instructions whose inputs
-    did not change). Lowers to low form first if needed. *)
+    did not change). [~profile:true] counts value changes per tape
+    instruction (no timing) — the oracle for the word-level profiler's
+    hit counts. Lowers to low form first if needed. *)
+
+val hit_counts : t -> (string * int) list
+(** Per-statement value-change counts of a [~profile:true] build, in tape
+    order ([[]] otherwise). Scheduler-independent: plain and activity
+    builds report identical counts. *)
 
 val to_backend : name:string -> t -> Backend.t
 

@@ -473,7 +473,8 @@ let infer_fsms ctx : Ir.Annotation.t list =
 (* IR port list: verilog name, IR name, direction, type. The clock port is
    canonicalized to "clock"; a synthetic 1-bit "reset" input is appended
    unless the design already declares one. *)
-let ir_ports (me : V.menv) : (string * string * Ir.Circuit.direction * Ir.Ty.t) list =
+let ir_ports (me : V.menv) :
+    (string * string * Ir.Circuit.direction * Ir.Ty.t * Ir.Info.t) list =
   let ports =
     List.map
       (fun n ->
@@ -481,12 +482,15 @@ let ir_ports (me : V.menv) : (string * string * Ir.Circuit.direction * Ir.Ty.t) 
         let dir =
           match s.V.sg_kind with K_input -> Ir.Circuit.Input | _ -> Ir.Circuit.Output
         in
-        if me.V.me_clock = Some n then (n, "clock", Ir.Circuit.Input, Ir.Ty.Clock)
-        else (n, n, dir, Ir.Ty.UInt s.V.sg_width))
+        let info = info_of s.V.sg_pos in
+        if me.V.me_clock = Some n then (n, "clock", Ir.Circuit.Input, Ir.Ty.Clock, info)
+        else (n, n, dir, Ir.Ty.UInt s.V.sg_width, info))
       me.V.me_port_order
   in
-  if List.exists (fun (n, _, _, _) -> n = "reset") ports then ports
-  else ports @ [ ("reset", "reset", Ir.Circuit.Input, Ir.Ty.UInt 1) ]
+  if List.exists (fun (n, _, _, _, _) -> n = "reset") ports then ports
+  else
+    (* the synthetic reset has no source line of its own *)
+    ports @ [ ("reset", "reset", Ir.Circuit.Input, Ir.Ty.UInt 1, Ir.Info.unknown) ]
 
 let lower_module (de : V.denv) ~dir (me : V.menv) : Ir.Circuit.modul * Ir.Annotation.t list =
   let m = me.V.me_module in
@@ -718,17 +722,23 @@ let lower_module (de : V.denv) ~dir (me : V.menv) : Ir.Circuit.modul * Ir.Annota
             :: !mem_stmts)
         writers)
     ctx.mems;
-  (* output-reg ports read their backing register *)
+  (* output-reg ports read their backing register; attribute the connect
+     to the port's declaration line *)
   let out_conns =
     Hashtbl.fold
       (fun port r acc ->
-        Ir.Stmt.Connect { loc = port; expr = Ir.Expr.Ref r; info = Ir.Info.unknown } :: acc)
+        let info =
+          match Hashtbl.find_opt me.V.me_signals port with
+          | Some s -> info_of s.V.sg_pos
+          | None -> Ir.Info.unknown
+        in
+        Ir.Stmt.Connect { loc = port; expr = Ir.Expr.Ref r; info } :: acc)
       ctx.out_regs []
   in
   let ports =
     List.map
-      (fun (_, ir, dir, ty) ->
-        { Ir.Circuit.port_name = ir; dir; port_ty = ty; port_info = Ir.Info.unknown })
+      (fun (_, ir, dir, ty, info) ->
+        { Ir.Circuit.port_name = ir; dir; port_ty = ty; port_info = info })
       (ir_ports me)
   in
   let annos = infer_fsms ctx in

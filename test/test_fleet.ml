@@ -6,6 +6,7 @@ module Counts = Sic_coverage.Counts
 module Line = Sic_coverage.Line_coverage
 module Db = Sic_db.Db
 module Fleet = Sic_fleet.Fleet
+module Profile = Sic_sim.Profile
 open Helpers
 
 let fresh_dir =
@@ -40,6 +41,7 @@ let mk_jobs ?(backend = Fleet.Compiled) ?(budget = 200) ?(sample_every = 0) seed
         wave = 1;
         scan_width = 8;
         sample_every;
+        profile = false;
       })
     seeds
 
@@ -141,6 +143,7 @@ let test_bmc_job () =
       wave = 1;
       scan_width = 8;
       sample_every = 0;
+      profile = false;
     }
   in
   let res = Fleet.run_job job in
@@ -168,6 +171,7 @@ let small_spec ~jobs =
     retries = 1;
     threshold = 1;
     timeline_every = 50;
+    profile = false;
   }
 
 let manifest_view db =
@@ -241,12 +245,65 @@ let test_campaign_crash_survival () =
   Alcotest.(check bool) "surviving runs still aggregated" true
     (Counts.covered (Db.aggregate db) <> [])
 
+(* a profiled job ships its engine profile through the byte-framed result
+   pipe without disturbing the coverage counts *)
+let test_profile_over_pipe () =
+  let job = { (List.hd (mk_jobs [ 5 ])) with Fleet.profile = true } in
+  let r = Fleet.run_job job in
+  let dp =
+    match r.Fleet.prof with
+    | Some d -> d
+    | None -> Alcotest.fail "profiled job returned no profile"
+  in
+  Alcotest.(check bool) "profile saw the run" true
+    (Array.exists (fun (row : Profile.row) -> row.Profile.hits > 0) dp.Profile.rows);
+  (match Fleet.decode (Fleet.encode_ok r) with
+  | Ok { Fleet.outcome = Ok r'; _ } -> (
+      match r'.Fleet.prof with
+      | Some d ->
+          Alcotest.(check string) "profile survives the pipe byte-exactly"
+            (Profile.to_string [ dp ])
+            (Profile.to_string [ d ])
+      | None -> Alcotest.fail "profile section lost in decode")
+  | Ok { Fleet.outcome = Error e; _ } | Error e -> Alcotest.fail e);
+  let plain = Fleet.run_job (List.hd (mk_jobs [ 5 ])) in
+  Alcotest.(check bool) "counts unaffected by profiling" true
+    (Counts.equal r.Fleet.counts plain.Fleet.counts)
+
+(* the campaign's merged profile is as -j independent as its database *)
+let test_campaign_profile_j_independent () =
+  let dir1 = fresh_dir "fleet_prof_j1" and dir3 = fresh_dir "fleet_prof_j3" in
+  let spec ~jobs =
+    {
+      (small_spec ~jobs) with
+      Fleet.waves = [ [ Fleet.Compiled; Fleet.Essent ] ];
+      profile = true;
+    }
+  in
+  let s1 = Fleet.run_campaign ~db:(Db.init dir1) (spec ~jobs:1) in
+  let s3 = Fleet.run_campaign ~db:(Db.init dir3) (spec ~jobs:3) in
+  Alcotest.(check bool) "campaign produced a profile" true (s1.Fleet.profile <> []);
+  Alcotest.(check string) "merged profile bytes independent of -j"
+    (Profile.to_string s1.Fleet.profile)
+    (Profile.to_string s3.Fleet.profile);
+  (* 2 designs x 2 backends x 2 seeds of the same instrumented circuit
+     fold together: each design's section accumulates all four runs *)
+  List.iter
+    (fun (d : Profile.design_profile) ->
+      Alcotest.(check bool)
+        (d.Profile.design ^ " folded several runs") true
+        (d.Profile.cycles >= 4 * (small_spec ~jobs:1).Fleet.cycles))
+    s1.Fleet.profile
+
 let tests =
   [
     Alcotest.test_case "run_jobs: parallel = serial" `Quick test_run_jobs_parallel_equals_serial;
     Alcotest.test_case "run_jobs: crash isolation + retry" `Quick test_run_jobs_crash_isolated;
     Alcotest.test_case "run_job: bmc 0/1 semantics" `Quick test_bmc_job;
     Alcotest.test_case "run_job: timeline sampling" `Quick test_run_job_timeline;
+    Alcotest.test_case "run_job: profile over the result pipe" `Quick test_profile_over_pipe;
     Alcotest.test_case "campaign: db independent of -j" `Quick test_campaign_j_independent;
+    Alcotest.test_case "campaign: profile independent of -j" `Quick
+      test_campaign_profile_j_independent;
     Alcotest.test_case "campaign: survives worker crash" `Quick test_campaign_crash_survival;
   ]

@@ -238,6 +238,34 @@ let test_rv_end_to_end () =
   in
   Alcotest.(check bool) "leds lit up" true (lit 50)
 
+(* --- provenance: lowering keeps source locations ----------------------- *)
+
+(* The hotspot profiler attributes tape instructions to statements via
+   [Stmt.def_name] + [Stmt.info]; if the frontend or a lowering pass drops
+   positions, hotspot reports degrade to "-". Guard the whole pipeline:
+   at least 90% of the named statements in lowered rv.v must carry a real
+   position. *)
+let test_rv_lowered_provenance () =
+  let c = Verilog.load_file (fixture "rv.v") in
+  let low = lower c in
+  let named = ref 0 and located = ref 0 in
+  List.iter
+    (fun m ->
+      Stmt.iter
+        (fun s ->
+          match Stmt.def_name s with
+          | None -> ()
+          | Some _ ->
+              incr named;
+              if not (Info.equal (Stmt.info s) Info.unknown) then incr located)
+        m.Circuit.body)
+    low.Circuit.modules;
+  Alcotest.(check bool) "named statements exist" true (!named > 0);
+  let frac = float_of_int !located /. float_of_int !named in
+  if frac < 0.9 then
+    Alcotest.failf "only %d/%d (%.0f%%) of named lowered statements carry a position"
+      !located !named (100. *. frac)
+
 (* --- qcheck: malformed input never escapes the typed error ------------- *)
 
 let only_typed_errors src =
@@ -304,6 +332,8 @@ let tests =
       test_printer_roundtrip;
     Alcotest.test_case "$readmemh image is simulated" `Quick test_readmemh_sim;
     Alcotest.test_case "rv.v end-to-end coverage" `Quick test_rv_end_to_end;
+    Alcotest.test_case "rv.v lowered statements keep positions" `Quick
+      test_rv_lowered_provenance;
     QCheck_alcotest.to_alcotest byte_soup_never_crashes;
     QCheck_alcotest.to_alcotest mutated_fixture_never_crashes;
   ]
