@@ -32,6 +32,7 @@ let spec ~jobs =
       ];
     waves = [ [ Fleet.Compiled; Fleet.Interp ]; [ Fleet.Fuzz ] ];
     seeds = 2;
+    lanes = 1;
     cycles = 20_000;
     execs = 1_000;
     bound = 10;

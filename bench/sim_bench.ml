@@ -22,6 +22,11 @@ let backends : (string * (Sic_ir.Circuit.t -> Backend.t)) list =
     ("ref-tape-activity", fun c -> Ref_tape.create ~activity:true c);
     ("compiled", fun c -> Compiled.create c);
     ("essent", Essent.create);
+    (* the bit-parallel engine driven in lockstep: all 62 lanes replay the
+       same trace, so its counts join the interp cross-check; its ns/cycle
+       row is the cost of one full-width pass (the number the dedicated
+       lane section divides by 62) *)
+    ("lanes-lockstep", fun c -> Lanes.create c);
   ]
 
 (* fresh backend, one full replay: the counts all backends must agree on *)
@@ -85,6 +90,81 @@ let run () =
     Workloads.table2_set;
   let med = median !speedups in
   Timing.row "\nmedian word-level speedup over the Bv reference tape: %.2fx\n" med;
+  (* --- the lane engine: 62 independent seeds per tape pass ------------- *)
+  (* Replay can't exercise independent lanes (a trace is one stimulus
+     stream), so this section measures the real workload both ways: random
+     stimulus on the sequential compiled engine vs 62 split-derived
+     streams advanced bit-parallel. Before any timing, a per-lane
+     differential gate: every lane's counts must equal a solo compiled
+     run over the same stream — a lane that disagrees is a correctness
+     bug, not a data point. *)
+  let lanes_k = 62 in
+  let lanes_rows =
+    let gate_cycles = if smoke then 20 else 100 in
+    let stream seed l = Sic_fuzz.Rng.bits30 (Sic_fuzz.Rng.split (Sic_fuzz.Rng.create seed) l) in
+    Timing.row "\nlane engine: %d seeds per pass (aggregate lane-cycles vs sequential compiled):\n"
+      lanes_k;
+    List.map
+      (fun (name, _, _, build) ->
+        let c, _ = build ~cycles in
+        let low = Sic_passes.Compile.lower c in
+        (* correctness gate *)
+        let lt = Lanes.build ~lanes:lanes_k low in
+        Backend.reset_sequence (Lanes.to_backend ~name:"lanes" lt);
+        Lanes.run_random lt
+          ~streams:(Array.init lanes_k (stream 1234))
+          ~cycles:gate_cycles;
+        for l = 0 to lanes_k - 1 do
+          let b = Compiled.create low in
+          Backend.reset_sequence b;
+          Backend.random_stimulus ~bits:(stream 1234 l) ~cycles:gate_cycles b;
+          if not (Counts.equal (b.Backend.counts ()) (Lanes.lane_counts lt l)) then
+            failwith
+              (Printf.sprintf "sim bench: lane %d disagrees with solo compiled on %s" l name)
+        done;
+        (* aggregate throughput: both sides draw their stimulus live, one
+           stream per simulated run, fresh seeds per measured iteration *)
+        let seedr = ref 0 in
+        let lt = Lanes.build ~lanes:lanes_k low in
+        Backend.reset_sequence (Lanes.to_backend ~name:"lanes" lt);
+        Lanes.run_random lt ~streams:(Array.init lanes_k (stream 0)) ~cycles:1 (* warm-up *);
+        let ns_lanes =
+          Timing.ns_per_run ~quota
+            (Printf.sprintf "%s/lanes%d" name lanes_k)
+            (fun () ->
+              incr seedr;
+              Lanes.run_random lt ~streams:(Array.init lanes_k (stream !seedr)) ~cycles)
+        in
+        let ns_lane_cycle = ns_lanes /. float_of_int (cycles * lanes_k) in
+        let bc = Compiled.create low in
+        Backend.reset_sequence bc;
+        Backend.random_stimulus ~bits:(stream 0 0) ~cycles:1 bc (* warm-up *);
+        let ns_comp =
+          Timing.ns_per_run ~quota
+            (Printf.sprintf "%s/compiled-random" name)
+            (fun () ->
+              incr seedr;
+              Backend.random_stimulus ~bits:(stream !seedr 0) ~cycles bc)
+        in
+        let ns_comp_cycle = ns_comp /. float_of_int cycles in
+        let speedup = if ns_lane_cycle > 0.0 then ns_comp_cycle /. ns_lane_cycle else nan in
+        let vf = Lanes.vectorized_fraction lt in
+        Timing.row "%-14s %5.1f ns/lane-cycle vs %7.1f sequential: %5.2fx (%.0f%% vectorized)\n"
+          name ns_lane_cycle ns_comp_cycle speedup (100. *. vf);
+        (name, ns_lane_cycle, ns_comp_cycle, speedup, vf))
+      Workloads.table2_set
+  in
+  (* acceptance gate: the 1-bit-dominated serv core is where lane packing
+     must pay — anything below this is a regression in the engine *)
+  (match List.find_opt (fun (n, _, _, _, _) -> n = "serv-chisel") lanes_rows with
+  | Some (_, _, _, speedup, _) ->
+      let floor_ = if smoke then 4.0 else 8.0 in
+      if speedup < floor_ then
+        failwith
+          (Printf.sprintf
+             "sim bench: lanes aggregate speedup %.2fx on serv-chisel is below the %.0fx gate"
+             speedup floor_)
+  | None -> ());
   (* profiler overhead: the word-level engine on the largest workload with
      the hotspot profiler off / counts-only / sampled. "off" must match the
      plain engine within measurement noise — the profiler's entire off-path
@@ -120,7 +200,7 @@ let run () =
               (mname, b))
             modes
         in
-        let rounds = 3 in
+        let rounds = 6 in
         let best = Hashtbl.create 8 in
         for _ = 1 to rounds do
           List.iter
@@ -200,6 +280,21 @@ let run () =
       output_string oc (String.concat ",\n" prof_rows);
       Printf.fprintf oc ",\n    \"counts_overhead\": %.3f,\n    \"sampled_overhead\": %.3f\n  }"
         (prof_ratio "profile-counts") (prof_ratio "profile-sampled"));
+  Printf.fprintf oc ",\n  \"lanes\": {\n    \"lanes\": %d,\n    \"results\": [\n" lanes_k;
+  let lane_rows =
+    List.map
+      (fun (design, ns_lane, ns_comp, speedup, vf) ->
+        Printf.sprintf
+          "      { \"design\": %S, \"ns_per_lane_cycle\": %.3f, \"ns_per_cycle_compiled\": \
+           %.3f, \"speedup_vs_compiled\": %.3f, \"vectorized_fraction\": %.3f }"
+          design ns_lane ns_comp speedup vf)
+      lanes_rows
+  in
+  output_string oc (String.concat ",\n" lane_rows);
+  (match List.find_opt (fun (n, _, _, _, _) -> n = "serv-chisel") lanes_rows with
+  | Some (_, _, _, speedup, _) ->
+      Printf.fprintf oc "\n    ],\n    \"serv_speedup_vs_compiled\": %.3f\n  }" speedup
+  | None -> Printf.fprintf oc "\n    ]\n  }");
   Printf.fprintf oc "\n}\n";
   close_out oc;
   Timing.row "wrote BENCH_sim.json\n"

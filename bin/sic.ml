@@ -270,18 +270,21 @@ let reports metrics dbs counts =
 (* ------------------------------------------------------------------ *)
 
 let backend_conv =
-  Arg.enum [ ("interp", `Interp); ("compiled", `Compiled); ("essent", `Essent) ]
+  Arg.enum
+    [ ("interp", `Interp); ("compiled", `Compiled); ("essent", `Essent); ("lanes", `Lanes) ]
 
 let backend_arg =
   Arg.(
     value
     & opt backend_conv `Compiled
-    & info [ "backend" ] ~docv:"NAME" ~doc:"Simulator backend: interp, compiled, essent.")
+    & info [ "backend" ] ~docv:"NAME"
+        ~doc:"Simulator backend: interp, compiled, essent, lanes.")
 
 let create_backend = function
   | `Interp -> Interp.create
   | `Compiled -> fun c -> Compiled.create c
   | `Essent -> Essent.create
+  | `Lanes -> fun c -> Lanes.create c
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                             *)
@@ -397,9 +400,21 @@ let waivers_arg =
     & info [ "waivers" ] ~docv:"FILE"
         ~doc:"Coverage exclusion file: one name pattern per line, * wildcards, # comments.")
 
+let lanes_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "lanes" ] ~docv:"K"
+        ~doc:
+          "With --backend lanes: simulate $(docv) independent stimulus seeds bit-parallel \
+           in one engine pass (1-62). Lane k's stream derives from --seed by \
+           deterministic splitting; the report merges all $(docv) runs' counts. With K=1 \
+           (the default) the lanes backend runs as an ordinary lockstep backend whose \
+           counts are byte-identical to compiled's.")
+
 let cover_cmd =
-  let run file design metrics backend cycles seed counts_out replay html vcd waivers heat
-      profile trace =
+  let run file design metrics backend cycles seed lanes_k counts_out replay html vcd
+      waivers heat profile trace =
     handle_errors (fun () ->
         with_telemetry ~profile ~trace @@ fun () ->
         let c = load_circuit ~file ~design in
@@ -413,20 +428,44 @@ let cover_cmd =
               Printf.printf "# %d cover points waived by %s\n" (List.length r.Sic_coverage.Removal.removed) path;
               r.Sic_coverage.Removal.circuit
         in
-        let b, close_trace =
-          let b = create_backend backend low in
-          match vcd with
-          | None -> (b, fun () -> ())
-          | Some path -> Tracer.attach ~regs:true ~path b
+        let counts =
+          match backend with
+          | `Lanes when lanes_k > 1 ->
+              (* the bit-parallel path: k seeds advance per tape pass; the
+                 counts below are the merge of k solo-run-exact per-lane
+                 maps. Replay and waveforms are single-stream concepts *)
+              if replay <> None || vcd <> None then begin
+                Printf.eprintf "cover: --lanes > 1 is incompatible with --replay/--vcd\n";
+                exit 2
+              end;
+              let k = max 1 (min 62 lanes_k) in
+              let lt = Lanes.build ~lanes:k low in
+              Backend.reset_sequence (Lanes.to_backend ~name:"lanes" lt);
+              let master = Sic_fuzz.Rng.create seed in
+              let streams =
+                Array.init k (fun l -> Sic_fuzz.Rng.bits30 (Sic_fuzz.Rng.split master l))
+              in
+              Lanes.run_random lt ~streams ~cycles;
+              Printf.printf "# lanes: %d seeds x %d cycles per pass, %.0f%% of tape vectorized\n"
+                k cycles
+                (100. *. Lanes.vectorized_fraction lt);
+              Counts.merge (List.init k (Lanes.lane_counts lt))
+          | _ ->
+              let b, close_trace =
+                let b = create_backend backend low in
+                match vcd with
+                | None -> (b, fun () -> ())
+                | Some path -> Tracer.attach ~regs:true ~path b
+              in
+              (match replay with
+              | Some path -> Replay.replay b (Replay.load_vcd path)
+              | None ->
+                  Backend.reset_sequence b;
+                  let rng = Sic_fuzz.Rng.create seed in
+                  Backend.random_stimulus ~bits:(Sic_fuzz.Rng.bits30 rng) ~cycles b);
+              close_trace ();
+              b.Backend.counts ()
         in
-        (match replay with
-        | Some path -> Replay.replay b (Replay.load_vcd path)
-        | None ->
-            Backend.reset_sequence b;
-            let rng = Sic_fuzz.Rng.create seed in
-            Backend.random_stimulus ~bits:(Sic_fuzz.Rng.bits30 rng) ~cycles b);
-        close_trace ();
-        let counts = b.Backend.counts () in
         print_string (reports metrics dbs counts);
         (match counts_out with None -> () | Some path -> Counts.save path counts);
         match html with
@@ -445,8 +484,8 @@ let cover_cmd =
        ~doc:"Instrument, simulate, and print coverage reports (random stimulus or a VCD replay).")
     Term.(
       const run $ file_arg $ design_arg $ metrics_arg $ backend_arg $ cycles_arg $ seed_arg
-      $ counts_out_arg $ replay_arg $ html_arg $ vcd_arg $ waivers_arg $ heat_arg
-      $ profile_flag $ trace_flag)
+      $ lanes_arg $ counts_out_arg $ replay_arg $ html_arg $ vcd_arg $ waivers_arg
+      $ heat_arg $ profile_flag $ trace_flag)
 
 let merge_cmd =
   let inputs =
@@ -483,12 +522,12 @@ let execs_arg =
   Arg.(value & opt int 500 & info [ "execs" ] ~docv:"N" ~doc:"Fuzzer executions.")
 
 let fuzz_cmd =
-  let run file design metrics execs seed profile trace =
+  let run file design metrics execs seed backend profile trace =
     handle_errors (fun () ->
         with_telemetry ~profile ~trace @@ fun () ->
         let c = load_circuit ~file ~design in
         let low, dbs = instrument metrics c in
-        let h = Sic_fuzz.Fuzzer.make_harness low in
+        let h = Sic_fuzz.Fuzzer.make_harness ~create:(create_backend backend) low in
         let r = Sic_fuzz.Fuzzer.run ~seed ~execs ~seed_cycles:32 ~max_cycles:128 h in
         Printf.printf "execs %d, corpus %d, feedback pairs %d\n" r.Sic_fuzz.Fuzzer.final.execs
           r.Sic_fuzz.Fuzzer.final.corpus_size r.Sic_fuzz.Fuzzer.final.seen_pairs;
@@ -497,8 +536,8 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Coverage-directed fuzzing; prints cumulative coverage reports.")
     Term.(
-      const run $ file_arg $ design_arg $ metrics_arg $ execs_arg $ seed_arg $ profile_flag
-      $ trace_flag)
+      const run $ file_arg $ design_arg $ metrics_arg $ execs_arg $ seed_arg $ backend_arg
+      $ profile_flag $ trace_flag)
 
 let width_arg =
   Arg.(value & opt int 16 & info [ "width" ] ~docv:"W" ~doc:"Coverage counter width in bits.")
@@ -1028,6 +1067,17 @@ let campaign_cmd =
             "Testing aid: the worker of the job with this global index kills itself \
              (SIGKILL) on every attempt, exercising failure isolation.")
   in
+  let lanes_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "lanes" ] ~docv:"K"
+          ~doc:
+            "Runs packed bit-parallel into each lanes-backend job (1-62): every worker \
+             process advances $(docv) independent stimulus streams per tape pass, so \
+             -j N --lanes K multiplies process by lane parallelism. Pure scheduling: \
+             the recorded runs, seeds and database bytes are identical at any $(docv).")
+  in
   let timeline_every_arg =
     Arg.(
       value
@@ -1067,9 +1117,9 @@ let campaign_cmd =
              result; the merged (deterministic, -j independent) artifact is written to \
              $(docv). Feed it to sic cover --heat for per-line heat in the HTML report.")
   in
-  let run db_dir jobs designs metrics backends waves seeds cycles execs bound seed threshold
-      timeout retries scan_width inject_crash timeline_every progress push profile_out
-      profile trace =
+  let run db_dir jobs designs metrics backends waves seeds lanes cycles execs bound seed
+      threshold timeout retries scan_width inject_crash timeline_every progress push
+      profile_out profile trace =
     handle_errors (fun () ->
         let summary, already, worker =
           with_telemetry ~profile ~trace @@ fun () ->
@@ -1077,8 +1127,8 @@ let campaign_cmd =
           match Fleet.backend_of_string s with
           | Some b -> b
           | None ->
-              Printf.eprintf "unknown backend %s; available: interp, compiled, essent, fpga, \
-                              fuzz, bmc\n"
+              Printf.eprintf "unknown backend %s; available: interp, compiled, essent, \
+                              lanes, fpga, fuzz, bmc\n"
                 s;
               exit 2
         in
@@ -1106,6 +1156,7 @@ let campaign_cmd =
             Fleet.designs;
             waves;
             seeds;
+            lanes;
             cycles;
             execs;
             bound;
@@ -1169,9 +1220,10 @@ let campaign_cmd =
           retries.")
     Term.(
       const run $ db_arg $ jobs_arg $ designs_arg $ metrics_arg $ backends_arg $ waves_arg
-      $ seeds_arg $ cycles_arg $ execs_arg $ bound_arg $ seed_arg $ threshold_arg
-      $ timeout_arg $ retries_arg $ scan_width_arg $ inject_crash_arg $ timeline_every_arg
-      $ progress_flag $ push_arg $ profile_out_arg $ profile_flag $ trace_flag)
+      $ seeds_arg $ lanes_arg $ cycles_arg $ execs_arg $ bound_arg $ seed_arg
+      $ threshold_arg $ timeout_arg $ retries_arg $ scan_width_arg $ inject_crash_arg
+      $ timeline_every_arg $ progress_flag $ push_arg $ profile_out_arg $ profile_flag
+      $ trace_flag)
 
 (* ------------------------------------------------------------------ *)
 (* The coverage server                                                  *)
@@ -1262,9 +1314,11 @@ let watch_cmd =
                   absorb j;
                   if event = "delta" then begin
                     incr seen;
-                    (* deltas carry the run's own cycle count; the
-                       cumulative figure only arrives in "hello" *)
-                    units := !units + intn "cycles" j 0
+                    (* newer servers ship the cumulative units figure in
+                       every delta (absorbed above); older ones only carry
+                       the run's own cycle count, so accumulate it *)
+                    if Json.int_member "units" j = None then
+                      units := !units + intn "cycles" j 0
                   end;
                   repaint ()
               | "heartbeat" ->

@@ -28,6 +28,21 @@ rm -rf ci_campaign.db
 # (uploaded as a CI artifact) in the same layout as a full run.
 SIC_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- sim
 
+# Lane-engine smoke: at --lanes 1 the bit-parallel engine runs lockstep,
+# so its saved counts must be byte-identical to compiled's under the same
+# seed; then a full-width 62-seed pass on the same design must complete.
+# (The per-lane exactness differential — lane k vs a solo compiled run on
+# stream k — gates every design inside the sim bench above.)
+rm -f ci_lanes_lockstep.bin ci_lanes_compiled.bin
+dune exec --no-build bin/sic.exe -- cover --design serv --backend lanes \
+  --cycles 2000 --save-counts ci_lanes_lockstep.bin > /dev/null
+dune exec --no-build bin/sic.exe -- cover --design serv --backend compiled \
+  --cycles 2000 --save-counts ci_lanes_compiled.bin > /dev/null
+cmp ci_lanes_lockstep.bin ci_lanes_compiled.bin
+dune exec --no-build bin/sic.exe -- cover --design serv --backend lanes \
+  --lanes 62 --cycles 2000 > /dev/null
+rm -f ci_lanes_lockstep.bin ci_lanes_compiled.bin
+
 # Verilog frontend smoke, end to end on RTL this repo never generated:
 # lower the vendored RISC-V core, insert the scan chain, simulate its
 # t2a.hex program and preview line/toggle/FSM coverage; then render the

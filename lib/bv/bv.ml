@@ -71,6 +71,10 @@ let popcount_int n =
   if n < 0 then invalid_arg "Bv.popcount_int: negative";
   popcount_limb (n land limb_mask) + popcount_limb (n lsr limb_bits)
 
+let ctz_int n =
+  if n <= 0 then invalid_arg "Bv.ctz_int: non-positive";
+  popcount_int ((n land -n) - 1)
+
 let to_int v =
   (* Fits iff all bits above 62 are zero. *)
   let rec value i acc shift =

@@ -84,6 +84,11 @@ val popcount_int : int -> int
 (** Number of set bits of a non-negative native int (constant time).
     Raises [Invalid_argument] on negative input. *)
 
+val ctz_int : int -> int
+(** Index of the lowest set bit of a positive native int (constant time) —
+    the lane-extraction primitive of the bit-parallel engine. Raises
+    [Invalid_argument] on non-positive input. *)
+
 (** {1 In-place operations}
 
     Mutable-buffer primitives for the word-level simulation engine's wide

@@ -33,7 +33,7 @@ open Sic_sim
 (* Jobs                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-type backend = Interp | Compiled | Essent | Fpga | Fuzz | Bmc
+type backend = Interp | Compiled | Essent | Fpga | Fuzz | Bmc | Lanes
 
 let backend_name = function
   | Interp -> "interp"
@@ -42,6 +42,7 @@ let backend_name = function
   | Fpga -> "fpga"
   | Fuzz -> "fuzz"
   | Bmc -> "bmc"
+  | Lanes -> "lanes"
 
 let backend_of_string = function
   | "interp" -> Some Interp
@@ -50,11 +51,12 @@ let backend_of_string = function
   | "fpga" -> Some Fpga
   | "fuzz" -> Some Fuzz
   | "bmc" -> Some Bmc
+  | "lanes" -> Some Lanes
   | _ -> None
 
 (** What a backend runs as a workload, for the run record. *)
 let workload_name = function
-  | Interp | Compiled | Essent | Fpga -> "random"
+  | Interp | Compiled | Essent | Fpga | Lanes -> "random"
   | Fuzz -> "fuzz"
   | Bmc -> "bmc"
 
@@ -64,7 +66,14 @@ type job = {
   circuit : Sic_ir.Circuit.t;  (** instrumented, lowered, removal applied *)
   circuit_hash : string;
   backend : backend;
-  seed : int;  (** derived deterministically from (master seed, index) *)
+  seed : int;  (** derived deterministically from (master seed, run index) *)
+  lane_seeds : int array;
+      (** the additional runs a [Lanes] job advances bit-parallel to the
+          [seed] run (lanes 1..): each entry is a full run with its own
+          stimulus stream and its own database record. [[||]] for every
+          other backend. Seeds derive from the campaign's global {e run}
+          counter, not the job counter, so packing runs into lane jobs
+          never changes which seeds exist *)
   budget : int;  (** cycles (sims/FPGA), execs (fuzz) or bound (BMC) *)
   wave : int;
   scan_width : int;  (** FPGA counter width *)
@@ -77,7 +86,11 @@ type job = {
 
 type job_result = {
   counts : Counts.t;
-  sim_cycles : int;
+  lane_extra : Counts.t list;
+      (** a [Lanes] job's per-lane counts beyond lane 0 (which is
+          [counts]), in lane order — one future database record each.
+          [[]] for every other backend *)
+  sim_cycles : int;  (** total simulated budget units: [budget x lanes] *)
   wall_us : float;
   timeline : Timeline.t option;  (** recorded when [sample_every > 0] *)
   prof : Profile.design_profile option;
@@ -90,8 +103,15 @@ type job_result = {
     deliberately outside the determinism contract. *)
 let run_job ?progress (job : job) : job_result =
   let t0 = Unix.gettimeofday () in
-  let finish ?timeline ?prof ~sim_cycles counts =
-    { counts; sim_cycles; wall_us = (Unix.gettimeofday () -. t0) *. 1e6; timeline; prof }
+  let finish ?timeline ?prof ?(lane_extra = []) ~sim_cycles counts =
+    {
+      counts;
+      lane_extra;
+      sim_cycles;
+      wall_us = (Unix.gettimeofday () -. t0) *. 1e6;
+      timeline;
+      prof;
+    }
   in
   let notify ~cycles ~covered =
     match progress with Some f -> f ~cycles ~covered | None -> ()
@@ -159,6 +179,24 @@ let run_job ?progress (job : job) : job_result =
       in
       finish ?timeline ~sim_cycles:r.Sic_fuzz.Fuzzer.final.Sic_fuzz.Fuzzer.execs
         r.Sic_fuzz.Fuzzer.final.Sic_fuzz.Fuzzer.cumulative
+  | Lanes ->
+      (* one tape pass advances every packed run at once; each lane's
+         stimulus stream is the same [Rng.bits30 (Rng.create seed)] a solo
+         job would draw, so each lane's counts are byte-identical to the
+         solo run's — packing is a scheduling decision, not a semantic
+         one. No timeline (there is no single convergence curve for k
+         interleaved runs) and no heartbeats (the pass is one call). *)
+      let seeds = Array.append [| job.seed |] job.lane_seeds in
+      let k = Array.length seeds in
+      let lt = Lanes.build ~lanes:k job.circuit in
+      Backend.reset_sequence (Lanes.to_backend ~name:"lanes" lt);
+      let streams = Array.map (fun s -> Rng.bits30 (Rng.create s)) seeds in
+      Lanes.run_random lt ~streams ~cycles:job.budget;
+      let per_lane = List.init k (Lanes.lane_counts lt) in
+      notify ~cycles:(job.budget * k)
+        ~covered:(Counts.covered_points (List.hd per_lane));
+      finish ~lane_extra:(List.tl per_lane) ~sim_cycles:(job.budget * k)
+        (List.hd per_lane)
   | Bmc ->
       let report = Sic_formal.Bmc.check_covers ~bound:job.budget job.circuit in
       (* a reachable cover counts once (the witness trace reaches it); an
@@ -190,7 +228,11 @@ let run_job ?progress (job : job) : job_result =
    The profile section rode in on a length field rather than a version
    bump: absent fields decode as zero-length sections, so a parent that
    predates it skips the extra trailing bytes and one that postdates an
-   old worker sees no profile. *)
+   old worker sees no profile. A lane job's extra per-lane counts ride in
+   the same way: [lane_counts_bytes] is a JSON array of section lengths,
+   one ordinary counts section per lane beyond lane 0, appended after the
+   profile — absent means a single-run job, and each section is the same
+   v1 counts text a solo worker would have shipped. *)
 
 let proto_version = 2
 
@@ -201,20 +243,32 @@ let encode_ok (r : job_result) : string =
   in
   let telemetry = if Obs.on () then Obs.export_events () else "" in
   let profile = match r.prof with Some d -> Profile.to_string [ d ] | None -> "" in
+  let lane_sections = List.map Counts.to_string r.lane_extra in
+  let lane_field =
+    match lane_sections with
+    | [] -> []
+    | ss ->
+        [
+          ( "lane_counts_bytes",
+            Json.List (List.map (fun s -> Json.Int (String.length s)) ss) );
+        ]
+  in
   Json.to_string
     (Json.Obj
-       [
-         ("type", Json.String "result");
-         ("proto", Json.Int proto_version);
-         ("status", Json.String "ok");
-         ("sim_cycles", Json.Int r.sim_cycles);
-         ("wall_us", Json.Float r.wall_us);
-         ("counts_bytes", Json.Int (String.length counts));
-         ("timeline_bytes", Json.Int (String.length timeline));
-         ("telemetry_bytes", Json.Int (String.length telemetry));
-         ("profile_bytes", Json.Int (String.length profile));
-       ])
+       ([
+          ("type", Json.String "result");
+          ("proto", Json.Int proto_version);
+          ("status", Json.String "ok");
+          ("sim_cycles", Json.Int r.sim_cycles);
+          ("wall_us", Json.Float r.wall_us);
+          ("counts_bytes", Json.Int (String.length counts));
+          ("timeline_bytes", Json.Int (String.length timeline));
+          ("telemetry_bytes", Json.Int (String.length telemetry));
+          ("profile_bytes", Json.Int (String.length profile));
+        ]
+       @ lane_field))
   ^ "\n" ^ counts ^ timeline ^ telemetry ^ profile
+  ^ String.concat "" lane_sections
 
 let encode_failed (why : string) : string =
   let telemetry = if Obs.on () then Obs.export_events () else "" in
@@ -255,7 +309,16 @@ let decode (payload : string) : (decoded, string) result =
               let timeline_len = len "timeline_bytes" in
               let telemetry_len = len "telemetry_bytes" in
               let profile_len = len "profile_bytes" in
-              let want = counts_len + timeline_len + telemetry_len + profile_len in
+              let lane_lens =
+                match Json.member "lane_counts_bytes" h with
+                | Some (Json.List l) ->
+                    List.map (function Json.Int n -> n | _ -> 0) l
+                | _ -> []
+              in
+              let want =
+                counts_len + timeline_len + telemetry_len + profile_len
+                + List.fold_left ( + ) 0 lane_lens
+              in
               if String.length body < want then
                 fail "truncated worker body (%d of %d bytes)" (String.length body) want
               else
@@ -265,25 +328,36 @@ let decode (payload : string) : (decoded, string) result =
                 let profile_s =
                   String.sub body (counts_len + timeline_len + telemetry_len) profile_len
                 in
+                let lane_sections =
+                  let off = ref (counts_len + timeline_len + telemetry_len + profile_len) in
+                  List.map
+                    (fun n ->
+                      let s = String.sub body !off n in
+                      off := !off + n;
+                      s)
+                    lane_lens
+                in
                 match Json.string_member "status" h with
                 | Some "ok" -> (
                     match
                       ( Counts.of_string counts_s,
                         (if timeline_len = 0 then None
                          else Some (Timeline.of_string timeline_s)),
-                        if profile_len = 0 then None
-                        else
-                          match Profile.of_string profile_s with
-                          | [ d ] -> Some d
-                          | _ -> None )
+                        (if profile_len = 0 then None
+                         else
+                           match Profile.of_string profile_s with
+                           | [ d ] -> Some d
+                           | _ -> None),
+                        List.map Counts.of_string lane_sections )
                     with
-                    | counts, timeline, prof ->
+                    | counts, timeline, prof, lane_extra ->
                         Ok
                           {
                             outcome =
                               Ok
                                 {
                                   counts;
+                                  lane_extra;
                                   timeline;
                                   prof;
                                   sim_cycles =
@@ -611,6 +685,11 @@ type spec = {
       (** instrumented and lowered; the orchestrator only applies removal *)
   waves : backend list list;  (** one entry per wave, cheap to expensive *)
   seeds : int;  (** runs per (design, backend) within a wave *)
+  lanes : int;
+      (** runs packed bit-parallel into each [Lanes] job (clamped to
+          [1, 62]); other backends ignore it. Pure scheduling: the runs
+          recorded — seeds, counts, database bytes — are identical at any
+          value, only the jobs-per-run ratio (and the wall clock) moves *)
   cycles : int;  (** budget of the simulation and FPGA backends *)
   execs : int;  (** budget of the fuzzing backend *)
   bound : int;  (** budget of the BMC backend *)
@@ -632,6 +711,7 @@ let default_spec =
     designs = [];
     waves = [ [ Compiled ] ];
     seeds = 1;
+    lanes = 1;
     cycles = 1000;
     execs = 300;
     bound = 10;
@@ -645,11 +725,22 @@ let default_spec =
     profile = false;
   }
 
+let lanes_per_job (spec : spec) = max 1 (min 62 spec.lanes)
+
 (** How many jobs the spec will enumerate, before any of them run — what a
-    progress display sizes itself against. *)
+    progress display sizes itself against. A [Lanes] entry packs
+    [spec.lanes] of its [spec.seeds] runs into each job. *)
 let spec_total_jobs (spec : spec) =
-  List.length spec.designs * spec.seeds
-  * List.fold_left (fun acc wave -> acc + List.length wave) 0 spec.waves
+  let jobs_of = function
+    | Lanes ->
+        let l = lanes_per_job spec in
+        (spec.seeds + l - 1) / l
+    | _ -> spec.seeds
+  in
+  List.length spec.designs
+  * List.fold_left
+      (fun acc wave -> acc + List.fold_left (fun a b -> a + jobs_of b) 0 wave)
+      0 spec.waves
 
 type summary = {
   total_jobs : int;
@@ -659,6 +750,11 @@ type summary = {
   removed_points : int;  (** cover points stripped by inter-wave removal *)
   points_total : int;
   points_covered : int;
+  sim_cycles : int;
+      (** total simulated budget units over successful jobs — a lane job
+          contributes [budget x lanes], so this is the waves x jobs x
+          lanes aggregate behind the summary's cycles/sec figure *)
+  elapsed_s : float;  (** campaign wall time *)
   profile : Profile.t;
       (** the campaign's merged engine profile ([[]] unless
           [spec.profile]); one section per distinct instrumented circuit,
@@ -788,7 +884,7 @@ module Progress = struct
 end
 
 let budget_of spec = function
-  | Interp | Compiled | Essent | Fpga -> spec.cycles
+  | Interp | Compiled | Essent | Fpga | Lanes -> spec.cycles
   | Fuzz -> spec.execs
   | Bmc -> spec.bound
 
@@ -799,9 +895,22 @@ let budget_of spec = function
     [on_event] feeds a progress display. *)
 let run_campaign ?(inject_crash = fun _ -> false) ?on_event ~(db : Db.t) (spec : spec) :
     summary =
+  let t0 = Unix.gettimeofday () in
   let master = Rng.create spec.master_seed in
+  (* two counters: runs get seeds, jobs get pipe-scheduling indices. For
+     every backend but [Lanes] they advance in lockstep (one run per job,
+     seeds unchanged from before lane packing existed); a [Lanes] job
+     consumes [spec.lanes] run indices at once, so the set of seeds — and
+     with it the database — is invariant under the packing factor *)
   let job_counter = ref 0 in
+  let run_counter = ref 0 in
+  let next_seed () =
+    let run_index = !run_counter in
+    incr run_counter;
+    Int64.to_int (Int64.logand (Rng.next64 (Rng.split master run_index)) 0x3FFFFFFFL)
+  in
   let ok = ref 0 and failed = ref 0 and removed_total = ref 0 in
+  let sim_cycles_total = ref 0 in
   (* per-circuit-hash profile accumulator, in job (hence deterministic)
      order: profiles merge positionally, so only runs of the identical
      instrumented circuit may fold together — the same design re-lowered
@@ -841,26 +950,46 @@ let run_campaign ?(inject_crash = fun _ -> false) ?on_event ~(db : Db.t) (spec :
           (fun (design, circuit, circuit_hash) ->
             List.concat_map
               (fun backend ->
-                List.init spec.seeds (fun _s ->
-                    let index = !job_counter in
-                    incr job_counter;
-                    let seed =
-                      Int64.to_int
-                        (Int64.logand (Rng.next64 (Rng.split master index)) 0x3FFFFFFFL)
+                let mk ~seed ~lane_seeds =
+                  let index = !job_counter in
+                  incr job_counter;
+                  {
+                    index;
+                    design;
+                    circuit;
+                    circuit_hash;
+                    backend;
+                    seed;
+                    lane_seeds;
+                    budget = budget_of spec backend;
+                    wave = wave_idx;
+                    scan_width = spec.scan_width;
+                    sample_every = spec.timeline_every;
+                    profile = spec.profile;
+                  }
+                in
+                match backend with
+                | Lanes ->
+                    (* pack this (design, backend)'s seeds runs into
+                       ceil(seeds/lanes) bit-parallel jobs *)
+                    let l = lanes_per_job spec in
+                    let rec pack remaining acc =
+                      if remaining = 0 then List.rev acc
+                      else begin
+                        let k = min l remaining in
+                        let seeds = Array.make k 0 in
+                        for i = 0 to k - 1 do
+                          seeds.(i) <- next_seed ()
+                        done;
+                        pack (remaining - k)
+                          (mk ~seed:seeds.(0) ~lane_seeds:(Array.sub seeds 1 (k - 1))
+                          :: acc)
+                      end
                     in
-                    {
-                      index;
-                      design;
-                      circuit;
-                      circuit_hash;
-                      backend;
-                      seed;
-                      budget = budget_of spec backend;
-                      wave = wave_idx;
-                      scan_width = spec.scan_width;
-                      sample_every = spec.timeline_every;
-                      profile = spec.profile;
-                    }))
+                    pack spec.seeds []
+                | _ ->
+                    List.init spec.seeds (fun _s ->
+                        mk ~seed:(next_seed ()) ~lane_seeds:[||]))
               backends)
           wave_designs
       in
@@ -869,26 +998,37 @@ let run_campaign ?(inject_crash = fun _ -> false) ?on_event ~(db : Db.t) (spec :
           ~inject_crash:(fun j -> inject_crash j.index)
           ?on_event wave_jobs
       in
-      (* wave barrier: commit in job order, so the manifest is as
-         deterministic as the aggregate *)
+      (* wave barrier: commit in (job, lane) order, so the manifest is as
+         deterministic as the aggregate — a lane job lands one run record
+         per lane, exactly the records its runs would have landed solo *)
       Obs.span "fleet.merge" ~args:[ ("wave", Obs.Int wave_idx) ] (fun () ->
           List.iter
             (fun (job, outcome) ->
-              let outcome, wall_us, timeline =
+              let seeds = Array.append [| job.seed |] job.lane_seeds in
+              let commits =
                 match outcome with
                 | Ok (r : job_result) ->
                     incr ok;
+                    sim_cycles_total := !sim_cycles_total + r.sim_cycles;
                     Option.iter (add_profile job.circuit_hash) r.prof;
-                    (Ok r.counts, r.wall_us, r.timeline)
+                    let share = r.wall_us /. float_of_int (Array.length seeds) in
+                    List.mapi
+                      (fun l c ->
+                        (seeds.(l), Ok c, share, if l = 0 then r.timeline else None))
+                      (r.counts :: r.lane_extra)
                 | Error why ->
                     incr failed;
-                    (Error why, 0., None)
+                    Array.to_list
+                      (Array.map (fun s -> (s, Error why, 0., None)) seeds)
               in
-              ignore
-                (Db.add db ~design:job.design ~circuit_hash:job.circuit_hash
-                   ~backend:(backend_name job.backend)
-                   ~workload:(workload_name job.backend) ~seed:job.seed ~cycles:job.budget
-                   ~wave:job.wave ~wall_us ?timeline outcome))
+              List.iter
+                (fun (seed, outcome, wall_us, timeline) ->
+                  ignore
+                    (Db.add db ~design:job.design ~circuit_hash:job.circuit_hash
+                       ~backend:(backend_name job.backend)
+                       ~workload:(workload_name job.backend) ~seed ~cycles:job.budget
+                       ~wave:job.wave ~wall_us ?timeline outcome))
+                commits)
             results);
       let agg = Db.aggregate db in
       Obs.gauge "fleet.points_remaining"
@@ -903,13 +1043,19 @@ let run_campaign ?(inject_crash = fun _ -> false) ?on_event ~(db : Db.t) (spec :
     removed_points = !removed_total;
     points_total = Counts.total_points agg;
     points_covered = Counts.covered_points agg;
+    sim_cycles = !sim_cycles_total;
+    elapsed_s = Unix.gettimeofday () -. t0;
     profile = List.rev_map (Hashtbl.find profs) !prof_order;
   }
 
 let render_summary (s : summary) : string =
   Printf.sprintf
     "campaign: %d jobs in %d waves (%d ok, %d failed), %d points removed pre-instrumentation\n\
-     coverage: %d/%d points (%.1f%%)\n"
+     coverage: %d/%d points (%.1f%%)\n\
+     throughput: %d simulated units in %.1fs (%.0f units/s aggregate over waves x jobs x \
+     lanes)\n"
     s.total_jobs s.waves_run s.ok s.failed s.removed_points s.points_covered s.points_total
     (if s.points_total = 0 then 100.
      else 100. *. float_of_int s.points_covered /. float_of_int s.points_total)
+    s.sim_cycles s.elapsed_s
+    (if s.elapsed_s > 0. then float_of_int s.sim_cycles /. s.elapsed_s else 0.)

@@ -9,21 +9,26 @@
     waves the §5.3 removal pass strips points the database already
     covers, so each successive (more expensive) wave instruments less.
 
-    The database contents are byte-for-byte independent of [-j]: job
-    seeds derive from (master seed, global job index) via
-    {!Sic_fuzz.Rng.split}, results are committed in job order at each
-    wave barrier, and the aggregate merge is commutative and
-    associative. *)
+    The database contents are byte-for-byte independent of [-j] {e and}
+    of lane packing: run seeds derive from (master seed, global run
+    index) via {!Sic_fuzz.Rng.split}, results are committed in (job,
+    lane) order at each wave barrier, and the aggregate merge is
+    commutative and associative. The [Lanes] backend packs up to 62 runs
+    into one bit-parallel job ({!Sic_sim.Lanes}), multiplying [-j]
+    process parallelism by per-process lane parallelism without moving a
+    byte of the database. *)
 
 module Counts = Sic_coverage.Counts
 
 (** {1 Jobs} *)
 
-type backend = Interp | Compiled | Essent | Fpga | Fuzz | Bmc
+type backend = Interp | Compiled | Essent | Fpga | Fuzz | Bmc | Lanes
 (** [Fpga] is the modelled FireSim path: scan-chain insertion plus the
     host driver ({!Sic_firesim.Driver.run_random}); [Bmc] reports each
     targeted cover at 1 (reachable, witness found) or 0 (unreachable
-    within the bound). *)
+    within the bound); [Lanes] is the bit-parallel engine
+    ({!Sic_sim.Lanes}) advancing up to 62 independent stimulus seeds per
+    tape pass — one job, one run record {e per lane}. *)
 
 val backend_name : backend -> string
 val backend_of_string : string -> backend option
@@ -36,6 +41,10 @@ type job = {
   circuit_hash : string;
   backend : backend;
   seed : int;
+  lane_seeds : int array;
+      (** a [Lanes] job's additional packed runs (lanes 1..), each a full
+          run with its own stimulus stream and database record; [[||]]
+          for every other backend *)
   budget : int;  (** cycles (sims/FPGA), execs (fuzz) or bound (BMC) *)
   wave : int;
   scan_width : int;
@@ -49,8 +58,12 @@ type job = {
 }
 
 type job_result = {
-  counts : Counts.t;
-  sim_cycles : int;
+  counts : Counts.t;  (** lane 0's counts; the whole result outside [Lanes] *)
+  lane_extra : Counts.t list;
+      (** per-lane counts beyond lane 0, in lane order — each
+          {!Counts.equal} to what a solo run over the same seed reports;
+          [[]] outside [Lanes] *)
+  sim_cycles : int;  (** total simulated budget units: [budget x lanes] *)
   wall_us : float;
   timeline : Sic_coverage.Timeline.t option;
       (** the run's convergence curve, when [sample_every > 0] (BMC jobs
@@ -75,7 +88,10 @@ val run_job : ?progress:(cycles:int -> covered:int -> unit) -> job -> job_result
     sections following it (see DESIGN.md, "Worker protocol"). [decode]
     rejects payloads from a different protocol version; a missing
     [profile_bytes] field decodes as an empty section, so the profile
-    extension needed no version bump. *)
+    extension needed no version bump — and neither did the lane
+    extension: [lane_counts_bytes] (a JSON array of section lengths)
+    frames one ordinary counts section per extra lane after the profile,
+    and its absence decodes as a single-run job. *)
 
 val proto_version : int
 val encode_ok : job_result -> string
@@ -123,6 +139,10 @@ type spec = {
       (** instrumented and lowered; the orchestrator only applies removal *)
   waves : backend list list;  (** one entry per wave, cheap to expensive *)
   seeds : int;  (** runs per (design, backend) within a wave *)
+  lanes : int;
+      (** runs packed bit-parallel into each [Lanes] job, clamped to
+          [1, 62]; pure scheduling — database bytes are identical at any
+          value. Other backends ignore it *)
   cycles : int;
   execs : int;
   bound : int;
@@ -144,8 +164,12 @@ val default_spec : spec
 (** One [Compiled] wave, 1 seed, 1000 cycles, [-j 1], threshold 1,
     timelines sampled every 100 budget units, profiling off. *)
 
+val lanes_per_job : spec -> int
+(** [spec.lanes] clamped to the engine's [1, 62] range. *)
+
 val spec_total_jobs : spec -> int
-(** How many jobs the spec will enumerate, before running any. *)
+(** How many jobs the spec will enumerate, before running any — a [Lanes]
+    wave entry contributes ceil(seeds/lanes) jobs. *)
 
 type summary = {
   total_jobs : int;
@@ -155,6 +179,10 @@ type summary = {
   removed_points : int;
   points_total : int;
   points_covered : int;
+  sim_cycles : int;
+      (** total simulated budget units over successful jobs (a lane job
+          counts [budget x lanes]) — the waves x jobs x lanes aggregate *)
+  elapsed_s : float;  (** campaign wall time *)
   profile : Sic_sim.Profile.t;
       (** the campaign's merged engine profile ([[]] unless
           [spec.profile]); one section per distinct instrumented circuit,

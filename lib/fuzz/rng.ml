@@ -1,16 +1,27 @@
-(** A small deterministic PRNG (xoshiro256**-style splitmix fallback) so
-    fuzzing runs are reproducible from a seed, independent of the global
-    [Random] state. *)
+(** A small deterministic PRNG (splitmix64) so fuzzing runs are
+    reproducible from a seed, independent of the global [Random] state.
 
-type t = { mutable s : int64 }
+    The hot path is {!bits30}: the stimulus closures the lane engine
+    calls hundreds of times per cycle pass. The 64-bit state lives in a
+    one-element [Int64] bigarray — bigarray loads and stores move raw
+    unboxed words — and the whole splitmix64 round is inlined into the
+    closure, so a draw is a handful of register ops with no allocation
+    and no division. *)
 
-let create seed = { s = Int64.of_int seed }
+type t = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let make_state (s : int64) : t =
+  let a = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout 1 in
+  Bigarray.Array1.unsafe_set a 0 s;
+  a
+
+let create seed = make_state (Int64.of_int seed)
 
 (* splitmix64 *)
 let next64 (t : t) : int64 =
-  t.s <- Int64.add t.s 0x9E3779B97F4A7C15L;
-  let z = t.s in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let s = Int64.add (Bigarray.Array1.unsafe_get t 0) 0x9E3779B97F4A7C15L in
+  Bigarray.Array1.unsafe_set t 0 s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
@@ -21,19 +32,34 @@ let next64 (t : t) : int64 =
     how many shards run or in which order they are scheduled. *)
 let split (t : t) i =
   let child =
-    { s = Int64.logxor t.s (Int64.mul (Int64.of_int (i + 1)) 0xBF58476D1CE4E5B9L) }
+    make_state
+      (Int64.logxor
+         (Bigarray.Array1.unsafe_get t 0)
+         (Int64.mul (Int64.of_int (i + 1)) 0xBF58476D1CE4E5B9L))
   in
-  child.s <- next64 child;
+  Bigarray.Array1.unsafe_set child 0 (next64 child);
   child
 
 (** Uniform int in [0, bound). *)
 let int (t : t) bound =
   if bound <= 0 then 0
-  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next64 t) 1) (Int64.of_int bound))
+  else if bound land (bound - 1) = 0 then
+    (* power of two: mask instead of the 64-bit division *)
+    Int64.to_int (Int64.shift_right_logical (next64 t) 1) land (bound - 1)
+  else
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (next64 t) 1) (Int64.of_int bound))
 
 let bool (t : t) = Int64.logand (next64 t) 1L = 1L
 
 let byte (t : t) = int t 256
 
-(** 30 fresh random bits, for {!Sic_bv.Bv.random}. *)
-let bits30 (t : t) () = int t (1 lsl 30)
+(** 30 fresh random bits, for {!Sic_bv.Bv.random}. The splitmix64 round
+    is spelled out here rather than calling {!next64} so every
+    intermediate stays unboxed in registers. *)
+let bits30 (t : t) () =
+  let s = Int64.add (Bigarray.Array1.unsafe_get t 0) 0x9E3779B97F4A7C15L in
+  Bigarray.Array1.unsafe_set t 0 s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.shift_right_logical z 1) land 0x3FFFFFFF

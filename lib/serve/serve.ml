@@ -878,7 +878,7 @@ let post_run t (req : Http.request) : reply =
     with Counts.Bad_format m -> raise (Http.Bad_request ("bad counts payload: " ^ m))
   in
   let worker = str "worker" "" in
-  let run, newly, agg, nruns, nok =
+  let run, newly, agg, nruns, nok, units =
     Mutex.protect t.db_m (fun () ->
         Db.Lock.with_lock t.db_dir (fun () ->
             (* reload under the lock: another process may have appended
@@ -901,11 +901,18 @@ let post_run t (req : Http.request) : reply =
                   if c > 0 && Counts.get before name = 0 then acc + 1 else acc)
                 0 (Counts.to_sorted_list counts)
             in
+            let ok = Db.ok_runs db in
+            (* cumulative simulated units over every successful run, so a
+               delta subscriber can render an absolute aggregate
+               cycles/sec figure (waves x jobs x lanes) without replaying
+               the stream *)
+            let units = List.fold_left (fun acc (r : Db.run) -> acc + r.Db.cycles) 0 ok in
             ( run,
               newly,
               Db.aggregate db,
               List.length (Db.runs db),
-              List.length (Db.ok_runs db) )))
+              List.length ok,
+              units )))
   in
   touch_producer t worker (fun w ->
       w.w_runs <- w.w_runs + 1;
@@ -924,6 +931,7 @@ let post_run t (req : Http.request) : reply =
               ("seed", Json.Int run.Db.seed);
               ("cycles", Json.Int run.Db.cycles);
               ("newly_covered", Json.Int newly);
+              ("units", Json.Int units);
               ("covered", Json.Int (Counts.covered_points agg));
               ("total", Json.Int (Counts.total_points agg));
               ("runs", Json.Int nruns);

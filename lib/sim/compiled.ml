@@ -1,6 +1,7 @@
 (** Compiled simulator — the Verilator analogue, built around a
-    {e word-level engine}. During [build] the lowered circuit is flattened
-    into slots and a topologically-sorted {e instruction tape}:
+    {e word-level engine}. {!Tape.build} flattens the lowered circuit
+    into slots and a topologically-sorted {e instruction tape} of
+    proto-instructions; this module decodes them for scalar execution:
 
     - every named signal (and every temporary produced by linearizing an
       expression tree into three-address form) gets a slot; slots of width
@@ -88,19 +89,6 @@ type ins =
   | WXor of int * int
   | IBox of (unit -> Bv.t)  (** boxed fallback (some slot is wide) *)
 
-(* Proto-instructions: the pure-data form produced by linearization, before
-   slot widths decide int vs boxed and closures can capture the arrays. *)
-type pins =
-  | PCopy of int
-  | PMux of int * int * int
-  | PUnop of Expr.unop * Ty.t * int
-  | PBinop of Expr.binop * Ty.t * Ty.t * int * int
-  | PIntop of Expr.intop * int * Ty.t * int
-  | PBits of int * int * int
-  | PMemRead of string * int
-
-type proto = { pdst : int; pdeps : int list; pins : pins }
-
 (* Mnemonic per decoded instruction, for profile rows. *)
 let op_name = function
   | ICopy _ -> "copy" | IMux _ -> "mux" | INot _ -> "not" | IAndr _ -> "andr"
@@ -158,7 +146,7 @@ type wmem = {
   wp_data : int array;
   sr_addr : int array;  (** sync read ports: addr slot *)
   sr_data : int array;  (** sync read ports: data slot (state) *)
-  mutable comb_readers : int array;
+  comb_readers : int array;
       (** tape indices of combinational reads, re-dirtied on write *)
 }
 
@@ -228,339 +216,13 @@ let build ?(builtin_line = false) ?(activity = false) ?profile (c : Circuit.t) :
      throughput loop — and the two schedules produce identical values, so
      forcing it is unobservable apart from timing. *)
   let activity = activity || profile <> None in
-  (* the built-in mode does its own (internal) line instrumentation before
-     lowering, standing in for a simulator with line coverage hard-coded *)
-  let c, builtin_db =
-    if builtin_line then begin
-      if Sic_passes.Compile.is_low_form c then
-        Backend.error "builtin_line requires a high-form circuit";
-      let c, db = Sic_coverage.Line_coverage.instrument c in
-      (c, Some db)
-    end
-    else (c, None)
-  in
-  let p = Prep.prepare c in
-  let ty_of = Circuit.lookup_of p.Prep.env in
-  (* slot assignment: every named signal and every linearization temp *)
-  let slot_of = Hashtbl.create 256 in
-  let width_of_slot : (int, int) Hashtbl.t = Hashtbl.create 256 in
-  let n_slots = ref 0 in
-  let fresh_slot w =
-    let i = !n_slots in
-    incr n_slots;
-    Hashtbl.replace width_of_slot i w;
-    i
-  in
-  let slot name =
-    match Hashtbl.find_opt slot_of name with
-    | Some i -> i
-    | None ->
-        let w =
-          match Hashtbl.find_opt p.Prep.env name with
-          | Some ty -> Ty.width ty
-          | None -> 1
-        in
-        let i = fresh_slot w in
-        Hashtbl.replace slot_of name i;
-        i
-  in
-  Hashtbl.iter (fun name _ -> ignore (slot name)) p.Prep.env;
-  (* Provenance for the profiler: every pushed proto is tagged with the
-     root statement currently being linearized ([cur_root]), and each root
-     records which slot carries its final value ([root_slot]) so the
-     producing instruction can be flagged [is_root]. Tracking is always on
-     (it is a couple of list conses per instruction at build time); the
-     arrays only materialize under [?profile]. *)
-  let cur_root = ref "$unattributed" in
-  let proots : string list ref = ref [] in
-  let root_slot : (string, int) Hashtbl.t = Hashtbl.create 256 in
-  (* linearize expression trees into three-address proto-instructions *)
-  let protos : proto list ref = ref [] in
-  let presets : (int * Bv.t) list ref = ref [] in
-  let push pr =
-    protos := pr :: !protos;
-    proots := !cur_root :: !proots
-  in
-  let rec lin (e : Expr.t) : int =
-    match e with
-    | Expr.Ref n -> slot n
-    | Expr.UIntLit v | Expr.SIntLit v ->
-        let s = fresh_slot (Bv.width v) in
-        presets := (s, v) :: !presets;
-        s
-    | _ ->
-        let s = fresh_slot (Ty.width (Expr.type_of ty_of e)) in
-        lin_into s e;
-        s
-  and lin_into (dst : int) (e : Expr.t) : unit =
-    match e with
-    | Expr.Ref n ->
-        let s = slot n in
-        push { pdst = dst; pdeps = [ s ]; pins = PCopy s }
-    | Expr.UIntLit v | Expr.SIntLit v -> presets := (dst, v) :: !presets
-    | Expr.Mux (sel, a, b) ->
-        let ss = lin sel in
-        let sa = lin a in
-        let sb = lin b in
-        push { pdst = dst; pdeps = [ ss; sa; sb ]; pins = PMux (ss, sa, sb) }
-    | Expr.Unop (op, a) ->
-        let ta = Expr.type_of ty_of a in
-        let sa = lin a in
-        push { pdst = dst; pdeps = [ sa ]; pins = PUnop (op, ta, sa) }
-    | Expr.Binop (op, a, b) ->
-        let ta = Expr.type_of ty_of a and tb = Expr.type_of ty_of b in
-        let sa = lin a in
-        let sb = lin b in
-        push { pdst = dst; pdeps = [ sa; sb ]; pins = PBinop (op, ta, tb, sa, sb) }
-    | Expr.Intop (op, n, a) ->
-        let ta = Expr.type_of ty_of a in
-        let sa = lin a in
-        push { pdst = dst; pdeps = [ sa ]; pins = PIntop (op, n, ta, sa) }
-    | Expr.Bits (a, hi, lo) ->
-        let sa = lin a in
-        push { pdst = dst; pdeps = [ sa ]; pins = PBits (hi, lo, sa) }
-  in
-  (* combinational producers: nodes, driven non-state sinks, comb mem reads.
-     Registers and sync-read data ports are state, updated at the edge. *)
-  let reg_names = Prep.reg_name_set p in
-  let sync_data = Prep.sync_read_data_names p in
-  let named_root name =
-    cur_root := name;
-    let s = slot name in
-    Hashtbl.replace root_slot name s;
-    s
-  in
-  Hashtbl.iter (fun name e -> lin_into (named_root name) e) p.Prep.node_defs;
-  Hashtbl.iter
-    (fun name e ->
-      if not (Hashtbl.mem reg_names name || Hashtbl.mem sync_data name) then
-        lin_into (named_root name) e)
-    p.Prep.drivers;
-  List.iter
-    (fun (mname, (ms : Prep.mem_state)) ->
-      if ms.Prep.mem.Stmt.mem_read_latency = 0 then
-        List.iter
-          (fun { Stmt.rp_name } ->
-            let ai = slot (mname ^ "." ^ rp_name ^ ".addr") in
-            let di = named_root (mname ^ "." ^ rp_name ^ ".data") in
-            push { pdst = di; pdeps = [ ai ]; pins = PMemRead (mname, ai) })
-          ms.Prep.mem.Stmt.mem_readers)
-    p.Prep.mems;
-  (* covers, cover-values, stops, prints and register next-values all read
-     slots; their expressions join the tape like any other *)
-  let lin_root n e =
-    cur_root := n;
-    let s = lin e in
-    Hashtbl.replace root_slot n s;
-    s
-  in
-  let cover_names = Array.of_list (List.map fst p.Prep.covers) in
-  let cover_slots = Array.of_list (List.map (fun (n, e) -> lin_root n e) p.Prep.covers) in
-  let counters = Array.make (Array.length cover_names) 0 in
-  let cv_names = Array.of_list (List.map (fun (n, _, _, _) -> n) p.Prep.cover_values) in
-  let cv_sig =
-    Array.of_list (List.map (fun (n, s, _, _) -> lin_root n s) p.Prep.cover_values)
-  in
-  let cv_en =
-    Array.of_list
-      (List.map
-         (fun (n, _, en, _) ->
-           cur_root := n;
-           lin en)
-         p.Prep.cover_values)
-  in
-  let cv_arr =
-    Array.of_list
-      (List.map (fun (_, _, _, w) -> Array.make (1 lsl min w 20) 0) p.Prep.cover_values)
-  in
-  let stop_slots = Array.of_list (List.map (fun (n, e) -> lin_root n e) p.Prep.stops) in
-  cur_root := "$print";
-  let print_conds = Array.of_list (List.map (fun (c, _, _) -> lin c) p.Prep.prints) in
-  let print_msgs = Array.of_list (List.map (fun (_, m, _) -> m) p.Prep.prints) in
-  let print_args =
-    Array.of_list
-      (List.map (fun (_, _, args) -> Array.of_list (List.map lin args)) p.Prep.prints)
-  in
-  let reg_list =
-    List.map
-      (fun (r : Prep.reg_info) ->
-        let n = r.Prep.reg_name in
-        cur_root := n;
-        let base =
-          match Hashtbl.find_opt p.Prep.drivers n with
-          | Some e -> lin e
-          | None -> slot n (* undriven register holds its value *)
-        in
-        let src =
-          match r.Prep.reset with
-          | Some (rst, init) ->
-              let srst = lin rst in
-              let sinit = lin init in
-              let sdst = fresh_slot (Ty.width r.Prep.reg_ty) in
-              push
-                { pdst = sdst; pdeps = [ srst; sinit; base ]; pins = PMux (srst, sinit, base) };
-              sdst
-          | None -> base
-        in
-        Hashtbl.replace root_slot n src;
-        (slot n, src, Ty.width r.Prep.reg_ty))
-      p.Prep.regs
-  in
-  (* memory runtime: narrow data lives in an int array *)
-  let mem_tbl : (string, wmem) Hashtbl.t = Hashtbl.create 8 in
-  let mems =
-    Array.of_list
-      (List.map
-         (fun (mname, (ms : Prep.mem_state)) ->
-           let md = ms.Prep.mem in
-           let w = Ty.width md.Stmt.mem_data in
-           let store =
-             (* ms.Prep.data already carries any power-on init ($readmemh) *)
-             if Eval.Int.fits w then
-               M_int (Array.init md.Stmt.mem_depth (fun i -> Bv.to_int_trunc ms.Prep.data.(i)))
-             else M_bv (Array.init md.Stmt.mem_depth (fun i -> ms.Prep.data.(i)))
-           in
-           let field port f = slot (mname ^ "." ^ port ^ "." ^ f) in
-           let wps = md.Stmt.mem_writers in
-           let srs =
-             if md.Stmt.mem_read_latency > 0 then md.Stmt.mem_readers else []
-           in
-           let m =
-             {
-               m_width = w;
-               m_zero = Bv.zero w;
-               store;
-               wp_en = Array.of_list (List.map (fun { Stmt.wp_name } -> field wp_name "en") wps);
-               wp_addr =
-                 Array.of_list (List.map (fun { Stmt.wp_name } -> field wp_name "addr") wps);
-               wp_data =
-                 Array.of_list (List.map (fun { Stmt.wp_name } -> field wp_name "data") wps);
-               sr_addr =
-                 Array.of_list (List.map (fun { Stmt.rp_name } -> field rp_name "addr") srs);
-               sr_data =
-                 Array.of_list (List.map (fun { Stmt.rp_name } -> field rp_name "data") srs);
-               comb_readers = [||];
-             }
-           in
-           Hashtbl.replace mem_tbl mname m;
-           m)
-         p.Prep.mems)
-  in
-  let protos_arr = Array.of_list (List.rev !protos) in
-  let proots_arr = Array.of_list (List.rev !proots) in
-  let nslots = !n_slots in
-  (* copy elimination: a width-preserving [PCopy] aliases its destination
-     slot to the source and disappears from the tape; every later slot
-     reference (operands, covers, registers, memory ports, peeks) resolves
-     through the alias map. A cycle of copies is a combinational loop.
-     Profiled builds run the same elimination: a named statement whose
-     value is a pure copy has zero engine cost and the same value stream
-     (hence hit counts) as its producer, so it gets no row of its own —
-     the profile measures the tape that actually runs. *)
-  let wof s =
-    match Hashtbl.find_opt width_of_slot s with Some w -> w | None -> 1
-  in
-  let alias = Array.init nslots (fun i -> i) in
-  Array.iter
-    (fun pr ->
-      match pr.pins with
-      | PCopy s when wof pr.pdst = wof s -> alias.(pr.pdst) <- s
-      | _ -> ())
-    protos_arr;
-  let resolve s0 =
-    let s = ref s0 and steps = ref 0 in
-    while alias.(!s) <> !s do
-      s := alias.(!s);
-      incr steps;
-      if !steps > nslots then
-        Backend.error "combinational loop in circuit %s" c.Circuit.circuit_name
-    done;
-    alias.(s0) <- !s;
-    !s
-  in
-  let kept =
-    List.filter_map
-      (fun (pr, root) ->
-        if alias.(pr.pdst) <> pr.pdst then None
-        else
-          let pins =
-            match pr.pins with
-            | PCopy s -> PCopy (resolve s)
-            | PMux (ss, sa, sb) -> PMux (resolve ss, resolve sa, resolve sb)
-            | PUnop (op, ta, sa) -> PUnop (op, ta, resolve sa)
-            | PBinop (op, ta, tb, sa, sb) ->
-                PBinop (op, ta, tb, resolve sa, resolve sb)
-            | PIntop (op, n, ta, sa) -> PIntop (op, n, ta, resolve sa)
-            | PBits (hi, lo, sa) -> PBits (hi, lo, resolve sa)
-            | PMemRead (m, sa) -> PMemRead (m, resolve sa)
-          in
-          Some ({ pr with pdeps = List.map resolve pr.pdeps; pins }, root))
-      (List.combine (Array.to_list protos_arr) (Array.to_list proots_arr))
-  in
-  let protos_arr = Array.of_list (List.map fst kept) in
-  let proots_arr = Array.of_list (List.map snd kept) in
-  let cover_slots = Array.map resolve cover_slots in
-  let cv_sig = Array.map resolve cv_sig in
-  let cv_en = Array.map resolve cv_en in
-  let stop_slots = Array.map resolve stop_slots in
-  let print_conds = Array.map resolve print_conds in
-  let print_args = Array.map (Array.map resolve) print_args in
-  let reg_list = List.map (fun (d, s, w) -> (d, resolve s, w)) reg_list in
-  Array.iter
-    (fun m ->
-      let ip a = Array.iteri (fun i s -> a.(i) <- resolve s) a in
-      ip m.wp_en;
-      ip m.wp_addr;
-      ip m.wp_data;
-      ip m.sr_addr)
-    mems;
-  (* fully compress so runtime reads are single-level *)
-  for s = 0 to nslots - 1 do
-    alias.(s) <- resolve s
-  done;
-  (* topological sort (Kahn) over proto-instructions *)
+  let tp = Tape.build ~builtin_line c in
+  let p = tp.Tape.p in
+  let widths = tp.Tape.widths in
+  let nslots = Array.length widths in
+  let protos_arr = tp.Tape.protos in
   let np = Array.length protos_arr in
-  let producer = Array.make nslots (-1) in
-  Array.iteri
-    (fun i pr ->
-      if producer.(pr.pdst) >= 0 then
-        Backend.error "combinational loop in circuit %s" c.Circuit.circuit_name;
-      producer.(pr.pdst) <- i)
-    protos_arr;
-  let indeg = Array.make np 0 in
-  let dependents = Array.make np [] in
-  Array.iteri
-    (fun i pr ->
-      List.iter
-        (fun s ->
-          let d = producer.(s) in
-          if d >= 0 then begin
-            indeg.(i) <- indeg.(i) + 1;
-            dependents.(d) <- i :: dependents.(d)
-          end)
-        pr.pdeps)
-    protos_arr;
-  let queue = Queue.create () in
-  for i = 0 to np - 1 do
-    if indeg.(i) = 0 then Queue.add i queue
-  done;
-  let order = Array.make np (-1) in
-  let emitted = ref 0 in
-  while not (Queue.is_empty queue) do
-    let i = Queue.pop queue in
-    order.(!emitted) <- i;
-    incr emitted;
-    List.iter
-      (fun d ->
-        indeg.(d) <- indeg.(d) - 1;
-        if indeg.(d) = 0 then Queue.add d queue)
-      dependents.(i)
-  done;
-  if !emitted <> np then
-    Backend.error "combinational loop in circuit %s" c.Circuit.circuit_name;
   (* slot metadata and value arrays *)
-  let widths = Array.make nslots 0 in
-  Hashtbl.iter (fun s w -> widths.(s) <- w) width_of_slot;
   let wide = Array.map (fun w -> not (Eval.Int.fits w)) widths in
   let ivals = Array.make nslots 0 in
   let bvals = Array.make nslots (Bv.zero 1) in
@@ -571,7 +233,31 @@ let build ?(builtin_line = false) ?(activity = false) ?profile (c : Circuit.t) :
     (fun (s, v) ->
       if wide.(s) then bvals.(s) <- Bv.extend_u v widths.(s)
       else ivals.(s) <- Bv.to_int_trunc v land Eval.Int.mask widths.(s))
-    !presets;
+    tp.Tape.presets;
+  (* memory runtime: narrow data lives in an int array *)
+  let mems =
+    Array.map
+      (fun (m : Tape.mem) ->
+        let store =
+          (* the tape's init image already carries any power-on data *)
+          if Eval.Int.fits m.Tape.m_width then
+            M_int
+              (Array.init m.Tape.m_depth (fun i -> Bv.to_int_trunc m.Tape.m_init.(i)))
+          else M_bv (Array.init m.Tape.m_depth (fun i -> m.Tape.m_init.(i)))
+        in
+        {
+          m_width = m.Tape.m_width;
+          m_zero = Bv.zero m.Tape.m_width;
+          store;
+          wp_en = m.Tape.wp_en;
+          wp_addr = m.Tape.wp_addr;
+          wp_data = m.Tape.wp_data;
+          sr_addr = m.Tape.sr_addr;
+          sr_data = m.Tape.sr_data;
+          comb_readers = m.Tape.comb_readers;
+        })
+      tp.Tape.mems
+  in
   (* finalize the tape: decide int vs boxed per instruction, build the
      boxed closures now that the value arrays exist *)
   let narrow s = not wide.(s) in
@@ -592,33 +278,33 @@ let build ?(builtin_line = false) ?(activity = false) ?profile (c : Circuit.t) :
      activity-mode change detection. A copy keeps every boxed wide result
      privately owned. SIC_DEBUG_TAPE=1 prints what failed to decode. *)
   let dbg_tape = Sys.getenv_opt "SIC_DEBUG_TAPE" <> None in
-  let boxed kind pr f =
+  let boxed kind (pr : Tape.proto) f =
     if dbg_tape then
-      Printf.eprintf "BOX %-8s dst_w=%d deps_w=[%s]\n" kind widths.(pr.pdst)
-        (String.concat ";" (List.map (fun s -> string_of_int widths.(s)) pr.pdeps));
-    if wide.(pr.pdst) then IBox (fun () -> Bv.copy (f ())) else IBox f
+      Printf.eprintf "BOX %-8s dst_w=%d deps_w=[%s]\n" kind widths.(pr.Tape.pdst)
+        (String.concat ";"
+           (List.map (fun s -> string_of_int widths.(s)) pr.Tape.pdeps));
+    if wide.(pr.Tape.pdst) then IBox (fun () -> Bv.copy (f ())) else IBox f
   in
   Array.iteri
-    (fun k oi ->
-      let pr = protos_arr.(oi) in
-      dsts.(k) <- pr.pdst;
-      masks.(k) <- Eval.Int.mask widths.(pr.pdst);
+    (fun k (pr : Tape.proto) ->
+      dsts.(k) <- pr.Tape.pdst;
+      masks.(k) <- Eval.Int.mask widths.(pr.Tape.pdst);
       ins.(k) <-
-        (match pr.pins with
-        | PCopy s ->
-            if narrow pr.pdst && narrow s then ICopy s
+        (match pr.Tape.pins with
+        | Tape.PCopy s ->
+            if narrow pr.Tape.pdst && narrow s then ICopy s
             else boxed "copy" pr (fun () -> rd s)
-        | PMux (ss, sa, sb) ->
-            if narrow pr.pdst && narrow ss && narrow sa && narrow sb then
+        | Tape.PMux (ss, sa, sb) ->
+            if narrow pr.Tape.pdst && narrow ss && narrow sa && narrow sb then
               IMux (ss, sa, sb)
             else if
               narrow ss && wide.(sa) && wide.(sb)
-              && widths.(sa) = widths.(pr.pdst)
-              && widths.(sb) = widths.(pr.pdst)
+              && widths.(sa) = widths.(pr.Tape.pdst)
+              && widths.(sb) = widths.(pr.Tape.pdst)
             then WMux (ss, sa, sb)
             else boxed "mux" pr (fun () -> if rdb ss then rd sa else rd sb)
-        | PUnop (op, ta, sa) ->
-            if narrow pr.pdst && narrow sa then begin
+        | Tape.PUnop (op, ta, sa) ->
+            if narrow pr.Tape.pdst && narrow sa then begin
               let w = Ty.width ta in
               match op with
               | Expr.Not -> INot sa
@@ -630,7 +316,7 @@ let build ?(builtin_line = false) ?(activity = false) ?profile (c : Circuit.t) :
               | Expr.Neg -> INeg (sx ta, sa)
               | Expr.Cvt | Expr.AsUInt | Expr.AsSInt -> ICopy sa
             end
-            else if narrow pr.pdst && wide.(sa) then begin
+            else if narrow pr.Tape.pdst && wide.(sa) then begin
               match op with
               | Expr.Orr -> IOrrW sa
               | Expr.Andr -> IAndrW (Ty.width ta, sa)
@@ -638,8 +324,8 @@ let build ?(builtin_line = false) ?(activity = false) ?profile (c : Circuit.t) :
               | _ -> boxed "unop" pr (fun () -> Eval.unop op ~ta (rd sa))
             end
             else boxed "unop" pr (fun () -> Eval.unop op ~ta (rd sa))
-        | PBinop (op, ta, tb, sa, sb) ->
-            if narrow pr.pdst && narrow sa && narrow sb then begin
+        | Tape.PBinop (op, ta, tb, sa, sb) ->
+            if narrow pr.Tape.pdst && narrow sa && narrow sb then begin
               let sha = sx ta and shb = sx tb in
               match op with
               | Expr.Add -> IAdd (sha, sa, shb, sb)
@@ -662,25 +348,26 @@ let build ?(builtin_line = false) ?(activity = false) ?profile (c : Circuit.t) :
               | Expr.Dshr -> IDshr (sha, sa, sb)
             end
             else begin
-              let wd = widths.(pr.pdst) in
+              let wd = widths.(pr.Tape.pdst) in
               let same_width = Ty.width ta = wd && Ty.width tb = wd in
               match op with
-              | Expr.Cat when wide.(pr.pdst) -> WCat (sa, sb, Ty.width tb)
+              | Expr.Cat when wide.(pr.Tape.pdst) -> WCat (sa, sb, Ty.width tb)
               | Expr.Or
-                when wide.(pr.pdst) && wide.(sa) && wide.(sb)
+                when wide.(pr.Tape.pdst) && wide.(sa) && wide.(sb)
                      && ((not (Ty.is_signed ta)) || same_width) -> WOr (sa, sb)
               | Expr.And
-                when wide.(pr.pdst) && wide.(sa) && wide.(sb)
+                when wide.(pr.Tape.pdst) && wide.(sa) && wide.(sb)
                      && ((not (Ty.is_signed ta)) || same_width) -> WAnd (sa, sb)
               | Expr.Xor
-                when wide.(pr.pdst) && wide.(sa) && wide.(sb)
+                when wide.(pr.Tape.pdst) && wide.(sa) && wide.(sb)
                      && ((not (Ty.is_signed ta)) || same_width) -> WXor (sa, sb)
               | Expr.Dshl
-                when wide.(pr.pdst) && narrow sa && narrow sb && not (Ty.is_signed ta)
-                -> WDshl (sa, sb)
+                when wide.(pr.Tape.pdst) && narrow sa && narrow sb
+                     && not (Ty.is_signed ta) -> WDshl (sa, sb)
               | Expr.Dshr
-                when wide.(pr.pdst) && wide.(sa) && narrow sb
-                     && (not (Ty.is_signed ta)) && widths.(sa) = wd -> WDshr (sa, sb)
+                when wide.(pr.Tape.pdst) && wide.(sa) && narrow sb
+                     && (not (Ty.is_signed ta)) && widths.(sa) = wd ->
+                  WDshr (sa, sb)
               | _ ->
                   boxed
                     (match op with
@@ -693,8 +380,8 @@ let build ?(builtin_line = false) ?(activity = false) ?profile (c : Circuit.t) :
                     pr
                     (fun () -> Eval.binop op ~ta ~tb (rd sa) (rd sb))
             end
-        | PIntop (op, n, ta, sa) ->
-            if narrow pr.pdst && narrow sa then begin
+        | Tape.PIntop (op, n, ta, sa) ->
+            if narrow pr.Tape.pdst && narrow sa then begin
               let w = Ty.width ta in
               match op with
               | Expr.Pad ->
@@ -706,12 +393,12 @@ let build ?(builtin_line = false) ?(activity = false) ?profile (c : Circuit.t) :
               | Expr.Tail -> ICopy sa (* destination mask truncates *)
             end
             else boxed "intop" pr (fun () -> Eval.intop op n ~ta (rd sa))
-        | PBits (hi, lo, sa) ->
-            if narrow pr.pdst && narrow sa then IShrC (lo, sa)
-            else if narrow pr.pdst then IBitsW (lo, hi - lo + 1, sa)
+        | Tape.PBits (hi, lo, sa) ->
+            if narrow pr.Tape.pdst && narrow sa then IShrC (lo, sa)
+            else if narrow pr.Tape.pdst then IBitsW (lo, hi - lo + 1, sa)
             else boxed "bits" pr (fun () -> Eval.bits ~hi ~lo (rd sa))
-        | PMemRead (mname, ai) -> (
-            let m = Hashtbl.find mem_tbl mname in
+        | Tape.PMemRead (mi, ai) -> (
+            let m = mems.(mi) in
             match m.store with
             | M_int data when narrow ai -> IMemRead (data, ai)
             | M_int data ->
@@ -727,34 +414,28 @@ let build ?(builtin_line = false) ?(activity = false) ?profile (c : Circuit.t) :
                       if wide.(ai) then Bv.to_int_trunc bvals.(ai) else ivals.(ai)
                     in
                     if a < Array.length data then data.(a) else m.m_zero))))
-    order;
-  (* reverse edges for the activity worklist; memory writes re-dirty the
-     memory's combinational reads *)
+    protos_arr;
+  (* reverse edges for the activity worklist; the tape precomputed which
+     positions are a memory's combinational reads (re-dirtied on write) *)
   let readers_l = Array.make nslots [] in
   Array.iteri
-    (fun k oi ->
-      List.iter (fun s -> readers_l.(s) <- k :: readers_l.(s)) protos_arr.(oi).pdeps;
-      match protos_arr.(oi).pins with
-      | PMemRead (mname, _) ->
-          let m = Hashtbl.find mem_tbl mname in
-          m.comb_readers <- Array.append m.comb_readers [| k |]
-      | _ -> ())
-    order;
+    (fun k (pr : Tape.proto) ->
+      List.iter (fun s -> readers_l.(s) <- k :: readers_l.(s)) pr.Tape.pdeps)
+    protos_arr;
   let slot_readers = Array.map (fun l -> Array.of_list (List.rev l)) readers_l in
+  let reg_list = Array.to_list tp.Tape.regs in
   let ri = List.filter (fun (_, _, w) -> Eval.Int.fits w) reg_list in
   let rb = List.filter (fun (_, _, w) -> not (Eval.Int.fits w)) reg_list in
   let prof =
     match profile with
     | None -> None
     | Some mode ->
-        let ph_roots = Array.map (fun oi -> proots_arr.(oi)) order in
+        let ph_roots = Array.copy tp.Tape.roots in
         let ph_is_root =
-          Array.map
-            (fun oi ->
-              match Hashtbl.find_opt root_slot proots_arr.(oi) with
-              | Some s -> resolve s = protos_arr.(oi).pdst
+          Array.init np (fun k ->
+              match Hashtbl.find_opt tp.Tape.root_slot tp.Tape.roots.(k) with
+              | Some s -> s = protos_arr.(k).Tape.pdst
               | None -> false)
-            order
         in
         let ph_ops = Array.map op_name ins in
         let ph_every = match mode with Counts_only -> 0 | Sampled n -> max 1 n in
@@ -795,8 +476,8 @@ let build ?(builtin_line = false) ?(activity = false) ?profile (c : Circuit.t) :
   in
   {
     p;
-    slot_of;
-    alias;
+    slot_of = tp.Tape.slot_of;
+    alias = tp.Tape.alias;
     widths;
     wide;
     ivals;
@@ -806,17 +487,17 @@ let build ?(builtin_line = false) ?(activity = false) ?profile (c : Circuit.t) :
     masks;
     slot_readers;
     dirty = Array.make np true;
-    cover_names;
-    cover_slots;
-    counters;
-    cv_names;
-    cv_sig;
-    cv_en;
-    cv_arr;
-    stop_slots;
-    print_conds;
-    print_msgs;
-    print_args;
+    cover_names = tp.Tape.cover_names;
+    cover_slots = tp.Tape.cover_slots;
+    counters = Array.make (Array.length tp.Tape.cover_names) 0;
+    cv_names = tp.Tape.cv_names;
+    cv_sig = tp.Tape.cv_sig;
+    cv_en = tp.Tape.cv_en;
+    cv_arr = Array.map (fun w -> Array.make (1 lsl min w 20) 0) tp.Tape.cv_widths;
+    stop_slots = tp.Tape.stop_slots;
+    print_conds = tp.Tape.print_conds;
+    print_msgs = tp.Tape.print_msgs;
+    print_args = tp.Tape.print_args;
     ri_dst = Array.of_list (List.map (fun (d, _, _) -> d) ri);
     ri_src = Array.of_list (List.map (fun (_, s, _) -> s) ri);
     ri_scratch = Array.make (List.length ri) 0;
@@ -824,7 +505,7 @@ let build ?(builtin_line = false) ?(activity = false) ?profile (c : Circuit.t) :
     rb_src = Array.of_list (List.map (fun (_, s, _) -> s) rb);
     rb_scratch = Array.make (List.length rb) (Bv.zero 1);
     mems;
-    builtin_db;
+    builtin_db = tp.Tape.builtin_db;
     prof;
     activity;
     tape_dirty = true;

@@ -1,0 +1,434 @@
+(** The shared flat tape (see the interface). This is the pure-data
+    front half of what used to live inside {!Compiled.build}: slot
+    assignment, linearization into three-address proto-instructions,
+    copy elimination through the alias map, and the Kahn topological
+    sort. Engines ({!Compiled}'s scalar decoder, {!Lanes}' bit-parallel
+    one) consume the ordered [protos] array and decide value
+    representation per slot width. *)
+
+open Sic_ir
+module Bv = Sic_bv.Bv
+module Prep = Backend.Prep
+
+type pins =
+  | PCopy of int
+  | PMux of int * int * int
+  | PUnop of Expr.unop * Ty.t * int
+  | PBinop of Expr.binop * Ty.t * Ty.t * int * int
+  | PIntop of Expr.intop * int * Ty.t * int
+  | PBits of int * int * int
+  | PMemRead of int * int
+
+type proto = { pdst : int; pdeps : int list; pins : pins }
+
+type mem = {
+  mem_name : string;
+  m_width : int;
+  m_depth : int;
+  m_init : Bv.t array;
+  wp_en : int array;
+  wp_addr : int array;
+  wp_data : int array;
+  sr_addr : int array;
+  sr_data : int array;
+  comb_readers : int array;
+}
+
+type t = {
+  p : Prep.prepared;
+  slot_of : (string, int) Hashtbl.t;
+  alias : int array;
+  widths : int array;
+  presets : (int * Bv.t) list;
+  protos : proto array;
+  roots : string array;
+  root_slot : (string, int) Hashtbl.t;
+  cover_names : string array;
+  cover_slots : int array;
+  cv_names : string array;
+  cv_sig : int array;
+  cv_en : int array;
+  cv_widths : int array;
+  stop_slots : int array;
+  print_conds : int array;
+  print_msgs : string array;
+  print_args : int array array;
+  regs : (int * int * int) array;
+  mems : mem array;
+  builtin_db : Sic_coverage.Line_coverage.db option;
+}
+
+(* Proto-instructions are linearized with memory reads referring to
+   memories by name; the name -> index translation happens once the
+   memory table is final. *)
+type ppins =
+  | QIns of pins
+  | QMemRead of string * int
+
+let build ?(builtin_line = false) (c : Circuit.t) : t =
+  (* the built-in mode does its own (internal) line instrumentation before
+     lowering, standing in for a simulator with line coverage hard-coded *)
+  let c, builtin_db =
+    if builtin_line then begin
+      if Sic_passes.Compile.is_low_form c then
+        Backend.error "builtin_line requires a high-form circuit";
+      let c, db = Sic_coverage.Line_coverage.instrument c in
+      (c, Some db)
+    end
+    else (c, None)
+  in
+  let p = Prep.prepare c in
+  let ty_of = Circuit.lookup_of p.Prep.env in
+  (* slot assignment: every named signal and every linearization temp *)
+  let slot_of = Hashtbl.create 256 in
+  let width_of_slot : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let n_slots = ref 0 in
+  let fresh_slot w =
+    let i = !n_slots in
+    incr n_slots;
+    Hashtbl.replace width_of_slot i w;
+    i
+  in
+  let slot name =
+    match Hashtbl.find_opt slot_of name with
+    | Some i -> i
+    | None ->
+        let w =
+          match Hashtbl.find_opt p.Prep.env name with
+          | Some ty -> Ty.width ty
+          | None -> 1
+        in
+        let i = fresh_slot w in
+        Hashtbl.replace slot_of name i;
+        i
+  in
+  Hashtbl.iter (fun name _ -> ignore (slot name)) p.Prep.env;
+  (* Provenance: every pushed proto is tagged with the root statement
+     currently being linearized ([cur_root]), and each root records which
+     slot carries its final value ([root_slot]). *)
+  let cur_root = ref "$unattributed" in
+  let proots : string list ref = ref [] in
+  let root_slot : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  (* linearize expression trees into three-address proto-instructions *)
+  let protos : (int * int list * ppins) list ref = ref [] in
+  let presets : (int * Bv.t) list ref = ref [] in
+  let push pdst pdeps pp =
+    protos := (pdst, pdeps, pp) :: !protos;
+    proots := !cur_root :: !proots
+  in
+  let rec lin (e : Expr.t) : int =
+    match e with
+    | Expr.Ref n -> slot n
+    | Expr.UIntLit v | Expr.SIntLit v ->
+        let s = fresh_slot (Bv.width v) in
+        presets := (s, v) :: !presets;
+        s
+    | _ ->
+        let s = fresh_slot (Ty.width (Expr.type_of ty_of e)) in
+        lin_into s e;
+        s
+  and lin_into (dst : int) (e : Expr.t) : unit =
+    match e with
+    | Expr.Ref n ->
+        let s = slot n in
+        push dst [ s ] (QIns (PCopy s))
+    | Expr.UIntLit v | Expr.SIntLit v -> presets := (dst, v) :: !presets
+    | Expr.Mux (sel, a, b) ->
+        let ss = lin sel in
+        let sa = lin a in
+        let sb = lin b in
+        push dst [ ss; sa; sb ] (QIns (PMux (ss, sa, sb)))
+    | Expr.Unop (op, a) ->
+        let ta = Expr.type_of ty_of a in
+        let sa = lin a in
+        push dst [ sa ] (QIns (PUnop (op, ta, sa)))
+    | Expr.Binop (op, a, b) ->
+        let ta = Expr.type_of ty_of a and tb = Expr.type_of ty_of b in
+        let sa = lin a in
+        let sb = lin b in
+        push dst [ sa; sb ] (QIns (PBinop (op, ta, tb, sa, sb)))
+    | Expr.Intop (op, n, a) ->
+        let ta = Expr.type_of ty_of a in
+        let sa = lin a in
+        push dst [ sa ] (QIns (PIntop (op, n, ta, sa)))
+    | Expr.Bits (a, hi, lo) ->
+        let sa = lin a in
+        push dst [ sa ] (QIns (PBits (hi, lo, sa)))
+  in
+  (* combinational producers: nodes, driven non-state sinks, comb mem reads.
+     Registers and sync-read data ports are state, updated at the edge. *)
+  let reg_names = Prep.reg_name_set p in
+  let sync_data = Prep.sync_read_data_names p in
+  let named_root name =
+    cur_root := name;
+    let s = slot name in
+    Hashtbl.replace root_slot name s;
+    s
+  in
+  Hashtbl.iter (fun name e -> lin_into (named_root name) e) p.Prep.node_defs;
+  Hashtbl.iter
+    (fun name e ->
+      if not (Hashtbl.mem reg_names name || Hashtbl.mem sync_data name) then
+        lin_into (named_root name) e)
+    p.Prep.drivers;
+  List.iter
+    (fun (mname, (ms : Prep.mem_state)) ->
+      if ms.Prep.mem.Stmt.mem_read_latency = 0 then
+        List.iter
+          (fun { Stmt.rp_name } ->
+            let ai = slot (mname ^ "." ^ rp_name ^ ".addr") in
+            let di = named_root (mname ^ "." ^ rp_name ^ ".data") in
+            push di [ ai ] (QMemRead (mname, ai)))
+          ms.Prep.mem.Stmt.mem_readers)
+    p.Prep.mems;
+  (* covers, cover-values, stops, prints and register next-values all read
+     slots; their expressions join the tape like any other *)
+  let lin_root n e =
+    cur_root := n;
+    let s = lin e in
+    Hashtbl.replace root_slot n s;
+    s
+  in
+  let cover_names = Array.of_list (List.map fst p.Prep.covers) in
+  let cover_slots = Array.of_list (List.map (fun (n, e) -> lin_root n e) p.Prep.covers) in
+  let cv_names = Array.of_list (List.map (fun (n, _, _, _) -> n) p.Prep.cover_values) in
+  let cv_sig =
+    Array.of_list (List.map (fun (n, s, _, _) -> lin_root n s) p.Prep.cover_values)
+  in
+  let cv_en =
+    Array.of_list
+      (List.map
+         (fun (n, _, en, _) ->
+           cur_root := n;
+           lin en)
+         p.Prep.cover_values)
+  in
+  let cv_widths =
+    Array.of_list (List.map (fun (_, _, _, w) -> w) p.Prep.cover_values)
+  in
+  let stop_slots = Array.of_list (List.map (fun (n, e) -> lin_root n e) p.Prep.stops) in
+  cur_root := "$print";
+  let print_conds = Array.of_list (List.map (fun (c, _, _) -> lin c) p.Prep.prints) in
+  let print_msgs = Array.of_list (List.map (fun (_, m, _) -> m) p.Prep.prints) in
+  let print_args =
+    Array.of_list
+      (List.map (fun (_, _, args) -> Array.of_list (List.map lin args)) p.Prep.prints)
+  in
+  let reg_list =
+    List.map
+      (fun (r : Prep.reg_info) ->
+        let n = r.Prep.reg_name in
+        cur_root := n;
+        let base =
+          match Hashtbl.find_opt p.Prep.drivers n with
+          | Some e -> lin e
+          | None -> slot n (* undriven register holds its value *)
+        in
+        let src =
+          match r.Prep.reset with
+          | Some (rst, init) ->
+              let srst = lin rst in
+              let sinit = lin init in
+              let sdst = fresh_slot (Ty.width r.Prep.reg_ty) in
+              push sdst [ srst; sinit; base ] (QIns (PMux (srst, sinit, base)));
+              sdst
+          | None -> base
+        in
+        Hashtbl.replace root_slot n src;
+        (slot n, src, Ty.width r.Prep.reg_ty))
+      p.Prep.regs
+  in
+  (* memory metadata: port slots and the power-on image ($readmemh) *)
+  let mem_index : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let mems =
+    Array.of_list
+      (List.mapi
+         (fun mi (mname, (ms : Prep.mem_state)) ->
+           let md = ms.Prep.mem in
+           let field port f = slot (mname ^ "." ^ port ^ "." ^ f) in
+           let wps = md.Stmt.mem_writers in
+           let srs =
+             if md.Stmt.mem_read_latency > 0 then md.Stmt.mem_readers else []
+           in
+           Hashtbl.replace mem_index mname mi;
+           {
+             mem_name = mname;
+             m_width = Ty.width md.Stmt.mem_data;
+             m_depth = md.Stmt.mem_depth;
+             m_init = ms.Prep.data;
+             wp_en = Array.of_list (List.map (fun { Stmt.wp_name } -> field wp_name "en") wps);
+             wp_addr =
+               Array.of_list (List.map (fun { Stmt.wp_name } -> field wp_name "addr") wps);
+             wp_data =
+               Array.of_list (List.map (fun { Stmt.wp_name } -> field wp_name "data") wps);
+             sr_addr =
+               Array.of_list (List.map (fun { Stmt.rp_name } -> field rp_name "addr") srs);
+             sr_data =
+               Array.of_list (List.map (fun { Stmt.rp_name } -> field rp_name "data") srs);
+             comb_readers = [||];
+           })
+         p.Prep.mems)
+  in
+  let protos_arr =
+    Array.of_list
+      (List.rev_map
+         (fun (pdst, pdeps, pp) ->
+           let pins =
+             match pp with
+             | QIns i -> i
+             | QMemRead (mname, ai) -> PMemRead (Hashtbl.find mem_index mname, ai)
+           in
+           { pdst; pdeps; pins })
+         !protos)
+  in
+  let proots_arr = Array.of_list (List.rev !proots) in
+  let nslots = !n_slots in
+  (* copy elimination: a width-preserving [PCopy] aliases its destination
+     slot to the source and disappears from the tape; every later slot
+     reference (operands, covers, registers, memory ports, peeks) resolves
+     through the alias map. A cycle of copies is a combinational loop. *)
+  let wof s =
+    match Hashtbl.find_opt width_of_slot s with Some w -> w | None -> 1
+  in
+  let alias = Array.init nslots (fun i -> i) in
+  Array.iter
+    (fun pr ->
+      match pr.pins with
+      | PCopy s when wof pr.pdst = wof s -> alias.(pr.pdst) <- s
+      | _ -> ())
+    protos_arr;
+  let resolve s0 =
+    let s = ref s0 and steps = ref 0 in
+    while alias.(!s) <> !s do
+      s := alias.(!s);
+      incr steps;
+      if !steps > nslots then
+        Backend.error "combinational loop in circuit %s" c.Circuit.circuit_name
+    done;
+    alias.(s0) <- !s;
+    !s
+  in
+  let kept =
+    List.filter_map
+      (fun (pr, root) ->
+        if alias.(pr.pdst) <> pr.pdst then None
+        else
+          let pins =
+            match pr.pins with
+            | PCopy s -> PCopy (resolve s)
+            | PMux (ss, sa, sb) -> PMux (resolve ss, resolve sa, resolve sb)
+            | PUnop (op, ta, sa) -> PUnop (op, ta, resolve sa)
+            | PBinop (op, ta, tb, sa, sb) ->
+                PBinop (op, ta, tb, resolve sa, resolve sb)
+            | PIntop (op, n, ta, sa) -> PIntop (op, n, ta, resolve sa)
+            | PBits (hi, lo, sa) -> PBits (hi, lo, resolve sa)
+            | PMemRead (m, sa) -> PMemRead (m, resolve sa)
+          in
+          Some ({ pr with pdeps = List.map resolve pr.pdeps; pins }, root))
+      (List.combine (Array.to_list protos_arr) (Array.to_list proots_arr))
+  in
+  let protos_arr = Array.of_list (List.map fst kept) in
+  let proots_arr = Array.of_list (List.map snd kept) in
+  let cover_slots = Array.map resolve cover_slots in
+  let cv_sig = Array.map resolve cv_sig in
+  let cv_en = Array.map resolve cv_en in
+  let stop_slots = Array.map resolve stop_slots in
+  let print_conds = Array.map resolve print_conds in
+  let print_args = Array.map (Array.map resolve) print_args in
+  let reg_list = List.map (fun (d, s, w) -> (d, resolve s, w)) reg_list in
+  Array.iter
+    (fun m ->
+      let ip a = Array.iteri (fun i s -> a.(i) <- resolve s) a in
+      ip m.wp_en;
+      ip m.wp_addr;
+      ip m.wp_data;
+      ip m.sr_addr)
+    mems;
+  Hashtbl.fold (fun n s acc -> (n, s) :: acc) root_slot []
+  |> List.iter (fun (n, s) -> Hashtbl.replace root_slot n (resolve s));
+  (* fully compress so runtime reads are single-level *)
+  for s = 0 to nslots - 1 do
+    alias.(s) <- resolve s
+  done;
+  (* topological sort (Kahn) over proto-instructions *)
+  let np = Array.length protos_arr in
+  let producer = Array.make nslots (-1) in
+  Array.iteri
+    (fun i pr ->
+      if producer.(pr.pdst) >= 0 then
+        Backend.error "combinational loop in circuit %s" c.Circuit.circuit_name;
+      producer.(pr.pdst) <- i)
+    protos_arr;
+  let indeg = Array.make np 0 in
+  let dependents = Array.make np [] in
+  Array.iteri
+    (fun i pr ->
+      List.iter
+        (fun s ->
+          let d = producer.(s) in
+          if d >= 0 then begin
+            indeg.(i) <- indeg.(i) + 1;
+            dependents.(d) <- i :: dependents.(d)
+          end)
+        pr.pdeps)
+    protos_arr;
+  let queue = Queue.create () in
+  for i = 0 to np - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  let order = Array.make np (-1) in
+  let emitted = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order.(!emitted) <- i;
+    incr emitted;
+    List.iter
+      (fun d ->
+        indeg.(d) <- indeg.(d) - 1;
+        if indeg.(d) = 0 then Queue.add d queue)
+      dependents.(i)
+  done;
+  if !emitted <> np then
+    Backend.error "combinational loop in circuit %s" c.Circuit.circuit_name;
+  let widths = Array.make nslots 0 in
+  Hashtbl.iter (fun s w -> widths.(s) <- w) width_of_slot;
+  (* emit in topological order; memory comb-reader indices are positions
+     in the final tape *)
+  let protos_topo = Array.map (fun oi -> protos_arr.(oi)) order in
+  let roots_topo = Array.map (fun oi -> proots_arr.(oi)) order in
+  let mems =
+    Array.mapi
+      (fun mi0 m ->
+        let readers = ref [] in
+        Array.iteri
+          (fun k pr ->
+            match pr.pins with
+            | PMemRead (mi, _) when mi = mi0 -> readers := k :: !readers
+            | _ -> ())
+          protos_topo;
+        { m with comb_readers = Array.of_list (List.rev !readers) })
+      mems
+  in
+  {
+    p;
+    slot_of;
+    alias;
+    widths;
+    presets = !presets;
+    protos = protos_topo;
+    roots = roots_topo;
+    root_slot;
+    cover_names;
+    cover_slots;
+    cv_names;
+    cv_sig;
+    cv_en;
+    cv_widths;
+    stop_slots;
+    print_conds;
+    print_msgs;
+    print_args;
+    regs = Array.of_list reg_list;
+    mems;
+    builtin_db;
+  }

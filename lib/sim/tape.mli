@@ -1,0 +1,74 @@
+(** The shared flat tape: the pure-data front half of building a
+    word-level simulator. A lowered circuit is flattened into slots and a
+    topologically-sorted array of {e proto-instructions} — three-address
+    code with resolved slot indices, operand types, and provenance, but
+    no decision yet about value representation. {!Compiled} decodes it
+    into the scalar int/Bv engine; {!Lanes} decodes the very same tape
+    into the bit-parallel multi-seed engine. Copy elimination, the alias
+    map, cover/stop/print/register/memory metadata and the Kahn sort all
+    live here so every consumer agrees on the tape, which is what makes
+    the engines' value streams (and hence coverage counts) comparable
+    instruction by instruction. *)
+
+module Prep = Backend.Prep
+
+(** Proto-instructions: pure data produced by linearization. Slot widths
+    (and each engine's storage classes) decide the execution strategy. *)
+type pins =
+  | PCopy of int
+  | PMux of int * int * int  (** sel, then, else *)
+  | PUnop of Sic_ir.Expr.unop * Sic_ir.Ty.t * int
+  | PBinop of Sic_ir.Expr.binop * Sic_ir.Ty.t * Sic_ir.Ty.t * int * int
+  | PIntop of Sic_ir.Expr.intop * int * Sic_ir.Ty.t * int
+  | PBits of int * int * int  (** hi, lo, src *)
+  | PMemRead of int * int  (** memory index (into {!t.mems}), addr slot *)
+
+type proto = { pdst : int; pdeps : int list; pins : pins }
+
+(** Per-memory metadata: port slots plus the power-on image. Consumers
+    build their own runtime store from [m_init]. *)
+type mem = {
+  mem_name : string;
+  m_width : int;
+  m_depth : int;
+  m_init : Sic_bv.Bv.t array;
+  wp_en : int array;
+  wp_addr : int array;
+  wp_data : int array;
+  sr_addr : int array;  (** sync read ports: addr slot *)
+  sr_data : int array;  (** sync read ports: data slot (state) *)
+  comb_readers : int array;
+      (** tape indices of combinational reads (latency-0 ports) *)
+}
+
+type t = {
+  p : Prep.prepared;
+  slot_of : (string, int) Hashtbl.t;
+  alias : int array;  (** copy-eliminated slot -> representative (compressed) *)
+  widths : int array;  (** per slot *)
+  presets : (int * Sic_bv.Bv.t) list;  (** literal slots and their values *)
+  protos : proto array;  (** the tape, already topologically ordered *)
+  roots : string array;  (** per tape index: originating statement name *)
+  root_slot : (string, int) Hashtbl.t;
+      (** statement name -> (resolved) slot carrying its final value *)
+  cover_names : string array;
+  cover_slots : int array;
+  cv_names : string array;
+  cv_sig : int array;
+  cv_en : int array;
+  cv_widths : int array;
+  stop_slots : int array;
+  print_conds : int array;
+  print_msgs : string array;
+  print_args : int array array;
+  regs : (int * int * int) array;  (** dst slot, next-value slot, width *)
+  mems : mem array;
+  builtin_db : Sic_coverage.Line_coverage.db option;
+}
+
+val build : ?builtin_line:bool -> Sic_ir.Circuit.t -> t
+(** Flatten, linearize, copy-eliminate and topologically sort a lowered
+    circuit. [~builtin_line:true] runs the internal line instrumentation
+    first (requires a high-form circuit); the resulting database is
+    exposed as [builtin_db]. Raises {!Backend.Sim_error} on
+    combinational loops. *)

@@ -37,6 +37,7 @@ let mk_jobs ?(backend = Fleet.Compiled) ?(budget = 200) ?(sample_every = 0) seed
         circuit_hash = "-";
         backend;
         seed;
+        lane_seeds = [||];
         budget;
         wave = 1;
         scan_width = 8;
@@ -139,6 +140,7 @@ let test_bmc_job () =
       circuit_hash = "-";
       backend = Fleet.Bmc;
       seed = 0;
+      lane_seeds = [||];
       budget = 4;
       wave = 1;
       scan_width = 8;
@@ -161,6 +163,7 @@ let small_spec ~jobs =
       [ instrumented "gcd" (gcd_circuit ()); instrumented "fsm" (fst (fsm_circuit ())) ];
     waves = [ [ Fleet.Compiled ]; [ Fleet.Fuzz ] ];
     seeds = 2;
+    lanes = 1;
     cycles = 150;
     execs = 40;
     bound = 5;
@@ -295,6 +298,72 @@ let test_campaign_profile_j_independent () =
         (d.Profile.cycles >= 4 * (small_spec ~jobs:1).Fleet.cycles))
     s1.Fleet.profile
 
+(* a lane job is k solo runs advanced bit-parallel: each lane's counts
+   equal the solo compiled run's over the same seed, and the extra lanes
+   survive the byte-framed result pipe *)
+let test_lanes_job_over_pipe () =
+  let seeds = [ 11; 22; 33 ] in
+  let lane_job =
+    match mk_jobs ~backend:Fleet.Lanes [ List.hd seeds ] with
+    | [ j ] -> { j with Fleet.lane_seeds = Array.of_list (List.tl seeds) }
+    | _ -> assert false
+  in
+  let r = Fleet.run_job lane_job in
+  Alcotest.(check int) "one extra counts map per extra lane" 2
+    (List.length r.Fleet.lane_extra);
+  Alcotest.(check int) "sim_cycles = budget x lanes" (3 * lane_job.Fleet.budget)
+    r.Fleet.sim_cycles;
+  List.iteri
+    (fun l (seed, lane_counts) ->
+      let solo = Fleet.run_job (List.hd (mk_jobs [ seed ])) in
+      Alcotest.(check bool) (Printf.sprintf "lane %d equals the solo compiled run" l) true
+        (Counts.equal solo.Fleet.counts lane_counts))
+    (List.combine seeds (r.Fleet.counts :: r.Fleet.lane_extra));
+  match Fleet.decode (Fleet.encode_ok r) with
+  | Ok { Fleet.outcome = Ok r'; _ } ->
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool) "lane section survives the pipe" true (Counts.equal a b))
+        (r.Fleet.counts :: r.Fleet.lane_extra)
+        (r'.Fleet.counts :: r'.Fleet.lane_extra)
+  | Ok { Fleet.outcome = Error e; _ } | Error e -> Alcotest.fail e
+
+(* the database is a function of (designs, seeds, master seed) only:
+   packing runs into lane jobs — at any -j — moves no byte of it, and the
+   lane runs are byte-identical to a solo compiled campaign's *)
+let test_campaign_lanes_independent () =
+  let spec ~jobs ~lanes ~waves = { (small_spec ~jobs) with Fleet.waves; seeds = 5; lanes } in
+  let dir_l1 = fresh_dir "fleet_lanes1" and dir_l3 = fresh_dir "fleet_lanes3" in
+  let dir_solo = fresh_dir "fleet_lanes_solo" in
+  let db_l1 = Db.init dir_l1 and db_l3 = Db.init dir_l3 and db_solo = Db.init dir_solo in
+  let s1 = Fleet.run_campaign ~db:db_l1 (spec ~jobs:1 ~lanes:1 ~waves:[ [ Fleet.Lanes ] ]) in
+  let s3 = Fleet.run_campaign ~db:db_l3 (spec ~jobs:3 ~lanes:3 ~waves:[ [ Fleet.Lanes ] ]) in
+  let _ =
+    Fleet.run_campaign ~db:db_solo (spec ~jobs:2 ~lanes:1 ~waves:[ [ Fleet.Compiled ] ])
+  in
+  (* 5 runs per design pack into ceil(5/3) = 2 jobs at 3 lanes, 5 at 1 *)
+  Alcotest.(check int) "lane packing shrinks the job list" (2 * 2) s3.Fleet.total_jobs;
+  Alcotest.(check int) "one job per run unpacked" (2 * 5) s1.Fleet.total_jobs;
+  Alcotest.(check int) "aggregate simulated cycles independent of packing"
+    s1.Fleet.sim_cycles s3.Fleet.sim_cycles;
+  Alcotest.(check bool) "same runs recorded" true (manifest_view db_l1 = manifest_view db_l3);
+  Alcotest.(check string) "aggregate.cnt byte-identical"
+    (read_file (Filename.concat dir_l1 "aggregate.cnt"))
+    (read_file (Filename.concat dir_l3 "aggregate.cnt"));
+  List.iter
+    (fun (r : Db.run) ->
+      Alcotest.(check string) (r.Db.id ^ ".cnt byte-identical")
+        (read_file (Filename.concat dir_l1 (r.Db.id ^ ".cnt")))
+        (read_file (Filename.concat dir_l3 (r.Db.id ^ ".cnt"))))
+    (Db.ok_runs db_l1);
+  List.iter2
+    (fun (a : Db.run) (b : Db.run) ->
+      Alcotest.(check int) "same seed enumerated" b.Db.seed a.Db.seed;
+      Alcotest.(check string) (a.Db.id ^ " equals the solo compiled run")
+        (read_file (Filename.concat dir_solo (b.Db.id ^ ".cnt")))
+        (read_file (Filename.concat dir_l3 (a.Db.id ^ ".cnt"))))
+    (Db.ok_runs db_l3) (Db.ok_runs db_solo)
+
 let tests =
   [
     Alcotest.test_case "run_jobs: parallel = serial" `Quick test_run_jobs_parallel_equals_serial;
@@ -302,7 +371,11 @@ let tests =
     Alcotest.test_case "run_job: bmc 0/1 semantics" `Quick test_bmc_job;
     Alcotest.test_case "run_job: timeline sampling" `Quick test_run_job_timeline;
     Alcotest.test_case "run_job: profile over the result pipe" `Quick test_profile_over_pipe;
+    Alcotest.test_case "run_job: lane job = k solo runs, over the pipe" `Quick
+      test_lanes_job_over_pipe;
     Alcotest.test_case "campaign: db independent of -j" `Quick test_campaign_j_independent;
+    Alcotest.test_case "campaign: db independent of --lanes" `Quick
+      test_campaign_lanes_independent;
     Alcotest.test_case "campaign: profile independent of -j" `Quick
       test_campaign_profile_j_independent;
     Alcotest.test_case "campaign: survives worker crash" `Quick test_campaign_crash_survival;

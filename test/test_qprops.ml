@@ -319,6 +319,57 @@ let random_circuit_differential =
           let o3, c3 = run Essent.create in
           String.equal o1 o2 && String.equal o2 o3 && Counts.equal c1 c2 && Counts.equal c2 c3)
 
+(* --- lane engine: per-lane counts vs solo scalar runs ------------------- *)
+
+(* A width-parametrized design exercising every lane storage class at the
+   boundary widths: packed planes (w = 1 signals and covers), strided
+   narrow slots (w <= 62) and per-lane Bv rows (w > 62). *)
+let lane_width_circuit w =
+  let cb = Dsl.create_circuit "LaneW" in
+  Dsl.module_ cb "LaneW" (fun m ->
+      let open Dsl in
+      let a = input m "in_a" (Ty.UInt w) in
+      let b = input m "in_b" (Ty.UInt w) in
+      let c = input m "in_c" (Ty.UInt 1) in
+      let r = reg_init m "acc" (lit w 0) in
+      connect m r (resize (mux_s c (a +: b) (a ^: r)) w);
+      let out = output m "out" (Ty.UInt w) in
+      connect m out r;
+      cover m "gt" (a >: b);
+      cover m "eq" (a ==: b);
+      cover m "bit" c;
+      cover m "parity" (xorr_s r));
+  Dsl.finalize cb
+
+(* The exactness oracle of the bit-parallel engine: counts are a property
+   of the value stream, so lane [l] driven by stream [l] must be
+   [Counts.equal] to a solo scalar run over the very same stream — checked
+   against both scheduler modes (compiled = plain, essent = activity). *)
+let lanes_per_lane_differential =
+  QCheck.Test.make ~count:25 ~name:"lanes: per-lane counts equal solo runs"
+    QCheck.(pair (oneofa [| 1; 31; 62; 63; 64 |]) small_int)
+    (fun (w, seed) ->
+      let low = lower (lane_width_circuit w) in
+      let k = 5 and cycles = 30 in
+      let stream l = Sic_fuzz.Rng.bits30 (Sic_fuzz.Rng.split (Sic_fuzz.Rng.create seed) l) in
+      let lt = Sic_sim.Lanes.build ~lanes:k low in
+      Backend.reset_sequence (Sic_sim.Lanes.to_backend ~name:"lanes" lt);
+      Sic_sim.Lanes.run_random lt ~streams:(Array.init k stream) ~cycles;
+      let solo create l =
+        let b = create low in
+        Backend.reset_sequence b;
+        Backend.random_stimulus ~bits:(stream l) ~cycles b;
+        b.Backend.counts ()
+      in
+      let ok = ref true in
+      for l = 0 to k - 1 do
+        let lc = Sic_sim.Lanes.lane_counts lt l in
+        if not (Counts.equal lc (solo (fun c -> Compiled.create c) l)) then
+          ok := false;
+        if not (Counts.equal lc (solo Essent.create l)) then ok := false
+      done;
+      !ok)
+
 (* the parser also round-trips random circuits *)
 let random_circuit_roundtrip =
   QCheck.Test.make ~count:60 ~name:"random circuits: print/parse round-trip"
@@ -519,5 +570,6 @@ let tests =
     QCheck_alcotest.to_alcotest serv_model_test;
     QCheck_alcotest.to_alcotest memsys_model_test;
     QCheck_alcotest.to_alcotest random_circuit_differential;
+    QCheck_alcotest.to_alcotest lanes_per_lane_differential;
     QCheck_alcotest.to_alcotest random_circuit_roundtrip;
   ]
