@@ -1,0 +1,94 @@
+(** Coverage-closure throughput: [sic close] on the closure fixture at
+    -j 1 and -j 2, reporting waves-to-fixpoint, points resolved (covered
+    or excluded) per second and wall time, written to BENCH_close.json
+    for CI tracking. Also re-checks the loop's determinism promise: the
+    final database (manifest, counts, exclusion artifact) is
+    byte-identical across -j. SIC_BENCH_SMOKE=1 shrinks the fuzz budget
+    so CI can afford the run. *)
+
+module Close = Sic_close.Close
+module Db = Sic_db.Db
+module Line = Sic_coverage.Line_coverage
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run () =
+  let smoke = Sys.getenv_opt "SIC_BENCH_SMOKE" <> None in
+  Timing.header
+    (Printf.sprintf "close: formal <-> fuzz closure loop on closefix%s"
+       (if smoke then " (smoke)" else ""));
+  let low = Sic_passes.Compile.lower (fst (Line.instrument (Sic_designs.Closefix.circuit ()))) in
+  let results =
+    List.map
+      (fun jobs ->
+        let dir = Printf.sprintf "bench_close_j%d.db" jobs in
+        if Sys.file_exists dir then rm_rf dir;
+        let db = Db.init dir in
+        let config =
+          {
+            (Close.default_config ~design:"closefix" ~circuit:low) with
+            bound = 8;
+            execs = (if smoke then 100 else 300);
+            jobs;
+          }
+        in
+        let (o : Close.outcome), dt = Timing.wall (fun () -> Close.close ~db config) in
+        if o.Close.points_open > 0 then
+          failwith (Printf.sprintf "close left %d points open" o.Close.points_open);
+        let resolved = o.Close.points_covered + o.Close.points_excluded in
+        Timing.row
+          "  -j %d: %d waves to fixpoint, %d covered + %d excluded in %6.2fs  (%5.1f points/s)\n"
+          jobs (List.length o.Close.waves) o.Close.points_covered o.Close.points_excluded dt
+          (float_of_int resolved /. dt);
+        (jobs, dir, o, dt))
+      [ 1; 2 ]
+  in
+  (* determinism: every database file byte-identical across -j *)
+  let _, dir1, _, _ = List.hd results in
+  let files dir =
+    List.sort compare
+      (List.filter (fun f -> f <> "lock") (Array.to_list (Sys.readdir dir)))
+  in
+  List.iter
+    (fun (jobs, dir, _, _) ->
+      if jobs <> 1 then begin
+        if files dir <> files dir1 then
+          failwith (Printf.sprintf "close db layout differs at -j %d" jobs);
+        List.iter
+          (fun f ->
+            if read_file (Filename.concat dir f) <> read_file (Filename.concat dir1 f) then
+              failwith (Printf.sprintf "close db file %s differs at -j %d" f jobs))
+          (files dir);
+        Timing.row "  -j %d database byte-identical to -j 1 (incl. exclusions.ndjson)\n" jobs
+      end)
+    results;
+  let oc = open_out "BENCH_close.json" in
+  Printf.fprintf oc "{\n  \"design\": \"closefix\",\n  \"smoke\": %b,\n  \"results\": [\n" smoke;
+  output_string oc
+    (String.concat ",\n"
+       (List.map
+          (fun (jobs, _, (o : Close.outcome), dt) ->
+            let resolved = o.Close.points_covered + o.Close.points_excluded in
+            Printf.sprintf
+              "    { \"jobs\": %d, \"waves\": %d, \"covered\": %d, \"excluded\": %d, \
+               \"wall_s\": %.3f, \"points_per_s\": %.1f }"
+              jobs (List.length o.Close.waves) o.Close.points_covered o.Close.points_excluded
+              dt
+              (float_of_int resolved /. dt))
+          results));
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  Timing.row "wrote BENCH_close.json\n";
+  List.iter (fun (_, dir, _, _) -> rm_rf dir) results

@@ -1,8 +1,8 @@
 (** The benchmark harness: one experiment per table and figure of the
     paper's evaluation. Run with no argument to regenerate everything, or
     pass experiment ids (table1, table2, fig8, fig9, fig10, fig11, fig12,
-    sec3, sec52, sec53, sec55, ablation, campaign, timeline, sim, serve,
-    verilog) to run a subset. *)
+    sec3, sec52, sec53, sec55, ablation, campaign, close, timeline, sim,
+    serve, verilog) to run a subset. *)
 
 let experiments =
   [
@@ -19,6 +19,7 @@ let experiments =
     ("fig12", Fig12.run);
     ("ablation", Ablation.run);
     ("campaign", Campaign.run);
+    ("close", Close_bench.run);
     ("timeline", Timeline_bench.run);
     ("sim", Sim_bench.run);
     ("serve", Serve_bench.run);
@@ -27,7 +28,7 @@ let experiments =
 
 (* fig9 and fig10 share one runner; avoid running it twice in "all" mode *)
 let all_order =
-  [ "sec3"; "table1"; "table2"; "fig8"; "fig9"; "sec52"; "sec53"; "fig11"; "sec55"; "fig12"; "ablation"; "campaign"; "timeline"; "sim"; "serve"; "verilog" ]
+  [ "sec3"; "table1"; "table2"; "fig8"; "fig9"; "sec52"; "sec53"; "fig11"; "sec55"; "fig12"; "ablation"; "campaign"; "close"; "timeline"; "sim"; "serve"; "verilog" ]
 
 (* SIC_PROFILE=FILE records telemetry for the whole bench run and writes
    NDJSON there at exit (FILE.trace gets the Chrome trace) — the bench

@@ -64,6 +64,7 @@ let designs : (string * (unit -> Sic_ir.Circuit.t)) list =
     ("tlram", fun () -> Sic_designs.Tlram.circuit ());
     ("arbiter", fun () -> Sic_designs.Arbiter.circuit ());
     ("matmul", fun () -> Sic_designs.Matmul.circuit ());
+    ("closefix", fun () -> Sic_designs.Closefix.circuit ());
     ("memsys", fun () -> Sic_designs.Memsys.circuit ());
     ("serv", fun () -> Sic_designs.Serv.circuit ());
     ("neuroproc", fun () -> Sic_designs.Neuroproc.circuit ());
@@ -521,14 +522,38 @@ let bmc_cmd =
 let execs_arg =
   Arg.(value & opt int 500 & info [ "execs" ] ~docv:"N" ~doc:"Fuzzer executions.")
 
+let corpus_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:
+          "Corpus directory: existing $(docv)/*.bin seeds are loaded as extra initial \
+           inputs (e.g. sic close's witness seeds), and the final corpus is saved back \
+           when the run ends.")
+
 let fuzz_cmd =
-  let run file design metrics execs seed backend profile trace =
+  let run file design metrics execs seed backend corpus profile trace =
     handle_errors (fun () ->
         with_telemetry ~profile ~trace @@ fun () ->
         let c = load_circuit ~file ~design in
         let low, dbs = instrument metrics c in
         let h = Sic_fuzz.Fuzzer.make_harness ~create:(create_backend backend) low in
-        let r = Sic_fuzz.Fuzzer.run ~seed ~execs ~seed_cycles:32 ~max_cycles:128 h in
+        let seeds =
+          match corpus with None -> [] | Some dir -> Sic_fuzz.Fuzzer.load_corpus dir
+        in
+        if seeds <> [] then
+          Printf.printf "# corpus: %d seed(s) loaded from %s\n" (List.length seeds)
+            (Option.get corpus);
+        let r =
+          Sic_fuzz.Fuzzer.run ~seed ~execs ~seed_cycles:32 ~max_cycles:128 ~corpus:seeds h
+        in
+        (match corpus with
+        | None -> ()
+        | Some dir ->
+            Sic_fuzz.Fuzzer.save_corpus dir r.Sic_fuzz.Fuzzer.corpus;
+            Printf.printf "# corpus: %d testcase(s) saved to %s\n"
+              (List.length r.Sic_fuzz.Fuzzer.corpus) dir);
         Printf.printf "execs %d, corpus %d, feedback pairs %d\n" r.Sic_fuzz.Fuzzer.final.execs
           r.Sic_fuzz.Fuzzer.final.corpus_size r.Sic_fuzz.Fuzzer.final.seen_pairs;
         print_string (reports metrics dbs r.Sic_fuzz.Fuzzer.final.cumulative))
@@ -537,7 +562,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Coverage-directed fuzzing; prints cumulative coverage reports.")
     Term.(
       const run $ file_arg $ design_arg $ metrics_arg $ execs_arg $ seed_arg $ backend_arg
-      $ profile_flag $ trace_flag)
+      $ corpus_arg $ profile_flag $ trace_flag)
 
 let width_arg =
   Arg.(value & opt int 16 & info [ "width" ] ~docv:"W" ~doc:"Coverage counter width in bits.")
@@ -851,7 +876,9 @@ let db_report_cmd =
             in
             Sic_coverage.Html_report.save path
               ~title:("coverage database " ^ dir)
-              ~timelines (Db.aggregate db));
+              ~timelines
+              ~excluded:(Db.excluded_names db)
+              (Db.aggregate db));
         match counts_out with
         | None -> ()
         | Some path -> Counts.save path (Db.removal_counts db))
@@ -882,15 +909,27 @@ let db_rank_cmd =
       & opt int 1
       & info [ "threshold" ] ~docv:"N" ~doc:"A point counts as covered at $(docv) hits.")
   in
-  let run dir threshold =
-    handle_errors (fun () -> print_string (Db.render_rank ~threshold (Db.load dir)))
+  let json_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable output: threshold, non-excluded points total/covered, the \
+             uncovered and excluded point lists, and the pick with per-run marginal gain.")
+  in
+  let run dir threshold json =
+    handle_errors (fun () ->
+        let db = Db.load dir in
+        if json then print_endline (Sic_obs.Json.to_string (Db.rank_json ~threshold db))
+        else print_string (Db.render_rank ~threshold db))
   in
   Cmd.v
     (Cmd.info "rank"
        ~doc:
          "Greedy set cover over the runs: the (approximately) minimal subset whose merged \
           coverage equals the whole database's — test-suite minimization.")
-    Term.(const run $ db_dir_arg $ threshold)
+    Term.(const run $ db_dir_arg $ threshold $ json_flag)
 
 let db_cmd =
   Cmd.group
@@ -1226,6 +1265,152 @@ let campaign_cmd =
       $ trace_flag)
 
 (* ------------------------------------------------------------------ *)
+(* Coverage closure                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let close_cmd =
+  let db_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "db" ] ~docv:"DIR" ~doc:"Coverage database to close into (created if missing).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Parallel worker processes.")
+  in
+  let bound_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "bound" ] ~docv:"K"
+          ~doc:
+            "BMC unrolling depth per point; a point unreachable within $(docv) cycles is \
+             excluded as formally dead.")
+  in
+  let execs_arg =
+    Arg.(
+      value
+      & opt int 300
+      & info [ "execs" ] ~docv:"N"
+          ~doc:"Budget of each witness-seeded fuzz wave; 0 disables the fuzz phase.")
+  in
+  let max_waves_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "max-waves" ] ~docv:"W"
+          ~doc:"Stop after $(docv) waves even without a fixpoint (safety valve).")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "threshold" ] ~docv:"N"
+          ~doc:"A point whose aggregate count is below $(docv) is still open.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SEC" ~doc:"Kill any job running longer than $(docv) seconds.")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "retries" ] ~docv:"R"
+          ~doc:
+            "Extra attempts for a crashed or timed-out job; a point whose BMC job \
+             exhausts them stays open and is retried next wave.")
+  in
+  let corpus_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Save every witness-derived fuzz seed here when the loop stops — sic fuzz \
+             --corpus $(docv) resumes mutation from the hard-to-reach states.")
+  in
+  let push_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "push" ] ~docv:"URL"
+          ~doc:
+            "After closure, POST every run the loop recorded to a running coverage server \
+             (sic serve) at $(docv).")
+  in
+  let run db_dir jobs file design metrics bound execs max_waves seed threshold timeout
+      retries corpus_out push profile trace =
+    handle_errors (fun () ->
+        let outcome, already, worker =
+          with_telemetry ~profile ~trace @@ fun () ->
+          let c = load_circuit ~file ~design in
+          let low, _dbs = instrument metrics c in
+          let design_name =
+            match (design, file) with
+            | Some d, _ -> d
+            | None, Some f -> Filename.remove_extension (Filename.basename f)
+            | None, None -> low.Sic_ir.Circuit.circuit_name
+          in
+          let db = Db.open_or_init db_dir in
+          let already = List.length (Db.runs db) in
+          let config =
+            {
+              Sic_close.Close.design = design_name;
+              circuit = low;
+              bound;
+              execs;
+              jobs;
+              timeout_s = timeout;
+              retries;
+              max_waves;
+              master_seed = seed;
+              threshold;
+            }
+          in
+          let worker = campaign_worker_id () in
+          let on_event =
+            match push with Some url -> Some (heartbeat_forwarder ~url ~worker) | None -> None
+          in
+          let outcome =
+            Sic_close.Close.close ~log:(fun line -> Printf.printf "%s\n%!" line) ?on_event
+              ~db config
+          in
+          (outcome, already, worker)
+        in
+        print_string (Sic_close.Close.render_outcome outcome);
+        (match corpus_out with
+        | None -> ()
+        | Some dir ->
+            Sic_fuzz.Fuzzer.save_corpus dir outcome.Sic_close.Close.corpus;
+            Printf.printf "corpus : saved to %s\n" dir);
+        (match push with
+        | None -> ()
+        | Some url -> push_campaign_runs ~url ~worker ~db_dir ~already);
+        (* nonzero exit when points stay open: closure did not close *)
+        if outcome.Sic_close.Close.points_open > 0 then begin
+          Printf.eprintf "close: %d point(s) still open (sic db report %s)\n"
+            outcome.Sic_close.Close.points_open db_dir;
+          exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "close"
+       ~doc:
+         "Automatic coverage closure: per wave, BMC every uncovered point in parallel, \
+          harvest the witnesses into the database, recycle them as fuzzer corpus seeds, \
+          and exclude points proven unreachable within the bound — iterating to a \
+          fixpoint. Database bytes are independent of -j. Exits nonzero if points remain \
+          neither covered nor excluded.")
+    Term.(
+      const run $ db_arg $ jobs_arg $ file_arg $ design_arg $ metrics_arg $ bound_arg
+      $ execs_arg $ max_waves_arg $ seed_arg $ threshold_arg $ timeout_arg $ retries_arg
+      $ corpus_out_arg $ push_arg $ profile_flag $ trace_flag)
+
+(* ------------------------------------------------------------------ *)
 (* The coverage server                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -1413,7 +1598,8 @@ let main =
        ~doc:"Simulator-independent coverage for RTL hardware languages.")
     [
       emit_cmd; lower_cmd; cover_cmd; merge_cmd; diff_cmd; bmc_cmd; fuzz_cmd; scan_cmd;
-      stats_cmd; profile_cmd; hotspots_cmd; db_cmd; campaign_cmd; serve_cmd; watch_cmd;
+      stats_cmd; profile_cmd; hotspots_cmd; db_cmd; campaign_cmd; close_cmd; serve_cmd;
+      watch_cmd;
       tail_cmd;
     ]
 

@@ -22,6 +22,20 @@ dune exec --no-build bin/sic.exe -- campaign --db ci_campaign.db -j 2 \
 dune exec --no-build test/cli/check_trace.exe -- ci_trace.json 3
 rm -rf ci_campaign.db
 
+# Coverage-closure smoke: the formal <-> fuzz loop on the closure fixture
+# must reach a fixpoint with every point covered or formally excluded
+# (exit 0 = nothing open), the closed database's report must carry the
+# exclusion section, and rank --json must see an empty uncovered list.
+# The bench (BENCH_close.json, uploaded as a CI artifact) re-runs the
+# loop at -j 1 / -j 2 and fails if the database bytes differ.
+rm -rf ci_close.db
+dune exec --no-build bin/sic.exe -- close --db ci_close.db --design closefix \
+  --bound 8 -j 2
+dune exec --no-build bin/sic.exe -- db report ci_close.db | grep -q 'proven unreachable'
+dune exec --no-build bin/sic.exe -- db rank ci_close.db --json | grep -q '"uncovered":\[\]'
+SIC_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- close
+rm -rf ci_close.db
+
 # Simulation throughput smoke: tiny traces and measurement quota, but the
 # full pipeline — every backend replays every Table 2 workload and must
 # produce identical coverage counts before timing. Writes BENCH_sim.json

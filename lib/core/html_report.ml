@@ -28,7 +28,9 @@ h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
 table { border-collapse: collapse; background: #fff; }
 td, th { border: 1px solid #ddd; padding: 0.2em 0.6em; text-align: left; }
 tr.hit td { background: #e8f6e8; } tr.miss td { background: #fbe9e9; }
+tr.excluded td { background: #f0f0f0; color: #888; text-decoration: line-through; }
 .count { text-align: right; color: #555; }
+.foot { color: #666; font-size: 0.9em; margin-top: 1.2em; }
 pre { background: #fff; border: 1px solid #ddd; padding: 0.6em; }
 </style>|}
 
@@ -205,18 +207,27 @@ let timeline_section buf (timelines : (string * Timeline.t) list) =
     listings are resolved against [source_root] (default: the process
     CWD), not wherever the report happens to be generated from.
     [timelines] adds a coverage-convergence chart (label -> curve, e.g.
-    one per campaign run). *)
+    one per campaign run). [excluded] names points formally proven
+    unreachable: they render greyed out in their own table rather than
+    tinting as uncovered, are subtracted from the cover-point summary
+    tile's denominator, and get an exclusion footnote. *)
 let render ?(title = "SIC coverage report") ?(source_root = Filename.current_dir_name)
     ?(line : Line_coverage.db option)
     ?(toggle : Toggle_coverage.db option) ?(fsm : Fsm_coverage.db option)
     ?(rv : Ready_valid_coverage.db option) ?(timelines : (string * Timeline.t) list = [])
-    ?(profile : line_heat list = []) (counts : Counts.t) : string =
+    ?(profile : line_heat list = []) ?(excluded : string list = []) (counts : Counts.t) :
+    string =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf "<!doctype html>\n<html><head><meta charset=\"utf-8\"><title>%s</title>%s</head><body>\n<h1>%s</h1>\n"
        (esc title) style (esc title));
+  let is_excluded n = List.mem n excluded in
   (* summary tiles *)
   Buffer.add_string buf "<div class=\"tiles\">\n";
+  (if excluded <> [] then
+     let live = List.filter (fun n -> not (is_excluded n)) (Counts.names counts) in
+     let cov = List.length (List.filter (fun n -> Counts.get counts n > 0) live) in
+     Buffer.add_string buf (tile " cover points" cov (List.length live)));
   (match line with
   | Some db ->
       let r = Line_coverage.report db counts in
@@ -277,13 +288,43 @@ let render ?(title = "SIC coverage report") ?(source_root = Filename.current_dir
         (Printf.sprintf "<h2>ready/valid detail</h2><pre>%s</pre>\n"
            (esc (Ready_valid_coverage.render db counts)))
   | None -> ());
+  (* with exclusions in play, show the raw cover-point table so excluded
+     points are visibly off the books instead of tinting as uncovered *)
+  if excluded <> [] then begin
+    Buffer.add_string buf "<h2>cover points</h2>\n<table>\n";
+    Buffer.add_string buf
+      "<tr><th>point</th><th class=\"count\">count</th><th>status</th></tr>\n";
+    List.iter
+      (fun n ->
+        let c = Counts.get counts n in
+        let cls, status =
+          if is_excluded n then ("excluded", "excluded (proven unreachable)")
+          else if c > 0 then ("hit", "covered")
+          else ("miss", "uncovered")
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<tr class=\"%s\"><td><code>%s</code></td><td class=\"count\">%d</td><td>%s</td></tr>\n"
+             cls (esc n) c status))
+      (List.sort_uniq String.compare (Counts.names counts @ excluded));
+    Buffer.add_string buf "</table>\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<p class=\"foot\">%d point%s proven unreachable (bounded model check) %s excluded \
+          from the coverage totals above.</p>\n"
+         (List.length excluded)
+         (if List.length excluded = 1 then "" else "s")
+         (if List.length excluded = 1 then "is" else "are"))
+  end;
   Buffer.add_string buf "</body></html>\n";
   Buffer.contents buf
 
-let save path ?title ?source_root ?line ?toggle ?fsm ?rv ?timelines ?profile counts =
+let save path ?title ?source_root ?line ?toggle ?fsm ?rv ?timelines ?profile ?excluded
+    counts =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc
-        (render ?title ?source_root ?line ?toggle ?fsm ?rv ?timelines ?profile counts))
+        (render ?title ?source_root ?line ?toggle ?fsm ?rv ?timelines ?profile ?excluded
+           counts))

@@ -28,6 +28,7 @@ val render :
   ?rv:Ready_valid_coverage.db ->
   ?timelines:(string * Timeline.t) list ->
   ?profile:line_heat list ->
+  ?excluded:string list ->
   Counts.t ->
   string
 (** The full page as one self-contained string (inline CSS, no external
@@ -36,7 +37,10 @@ val render :
     listings; [timelines] adds a convergence chart (label -> curve, e.g.
     one per campaign run); [profile] tints the annotated listings with a
     per-line heat column (engine self-time, or hit counts when the
-    profile carries no timing). *)
+    profile carries no timing); [excluded] names formally-proven-
+    unreachable points, which render greyed out in a dedicated
+    cover-point table (instead of tinting as uncovered), are dropped
+    from the summary denominator, and get an exclusion footnote. *)
 
 val save :
   string ->
@@ -48,6 +52,7 @@ val save :
   ?rv:Ready_valid_coverage.db ->
   ?timelines:(string * Timeline.t) list ->
   ?profile:line_heat list ->
+  ?excluded:string list ->
   Counts.t ->
   unit
 (** [save path ... counts] writes {!render}'s output to [path]. *)

@@ -49,14 +49,26 @@ type run = {
   points_covered : int;
 }
 
+type exclusion = {
+  ex_name : string;  (** the cover point *)
+  ex_reason : string;  (** e.g. "unreachable within bound 10" *)
+  ex_design : string;
+  ex_wave : int;  (** the closure wave that proved it *)
+}
+
 type t = {
   dir : string;
   mutable runs_rev : run list;  (** newest first; manifest order is the reverse *)
+  mutable exclusions_rev : exclusion list;  (** newest first, like [runs_rev] *)
 }
 
 let version = 1
 
+let exclusions_version = 1
+
 let manifest_path dir = Filename.concat dir "manifest.ndjson"
+
+let exclusions_path dir = Filename.concat dir "exclusions.ndjson"
 
 let aggregate_path dir = Filename.concat dir "aggregate.cnt"
 
@@ -208,15 +220,82 @@ let header_json () =
       ("version", Json.Int version);
     ]
 
-let append_line dir (j : Json.t) =
-  let oc =
-    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 (manifest_path dir)
-  in
+let append_to path (j : Json.t) =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc (Json.to_string j);
       output_char oc '\n')
+
+let append_line dir (j : Json.t) = append_to (manifest_path dir) j
+
+(* ------------------------------------------------------------------ *)
+(* The exclusion artifact                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* [exclusions.ndjson]: the same shape as the manifest — a versioned meta
+   header, then one record per point formally proven unreachable (the
+   closure loop's UNSAT-within-bound verdicts). A separate artifact
+   rather than manifest records because it describes the *design*, not a
+   run: deleting runs or re-running a campaign leaves it valid, and
+   report/rank/HTML consult it to stop counting dead points as coverage
+   debt. *)
+
+let exclusions_header_json () =
+  Json.Obj
+    [
+      ("type", Json.String "meta");
+      ("format", Json.String "sic-exclusions");
+      ("version", Json.Int exclusions_version);
+    ]
+
+let json_of_exclusion (e : exclusion) : Json.t =
+  Json.Obj
+    [
+      ("type", Json.String "exclusion");
+      ("name", Json.String e.ex_name);
+      ("reason", Json.String e.ex_reason);
+      ("design", Json.String e.ex_design);
+      ("wave", Json.Int e.ex_wave);
+    ]
+
+let exclusion_of_json lineno (j : Json.t) : exclusion =
+  let str k =
+    match Json.string_member k j with
+    | Some s -> s
+    | None -> error "exclusions line %d: missing field %s" lineno k
+  in
+  {
+    ex_name = str "name";
+    ex_reason = str "reason";
+    ex_design = str "design";
+    ex_wave = Option.value ~default:0 (Json.int_member "wave" j);
+  }
+
+let load_exclusions dir : exclusion list =
+  let path = exclusions_path dir in
+  if not (Sys.file_exists path) then []
+  else
+    let lines =
+      read_file path |> String.split_on_char '\n'
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    let parse lineno l =
+      try Json.parse l
+      with Json.Parse_error m -> error "exclusions line %d: %s" lineno m
+    in
+    match lines with
+    | [] -> []
+    | header :: rest ->
+        let h = parse 1 header in
+        (match (Json.string_member "format" h, Json.int_member "version" h) with
+        | Some "sic-exclusions", Some v when v = exclusions_version -> ()
+        | Some "sic-exclusions", Some v ->
+            error "%s: exclusions version %d, this build reads version %d" dir v
+              exclusions_version
+        | _ -> error "%s: exclusions file does not start with a sic-exclusions meta record" dir);
+        List.mapi (fun i l -> exclusion_of_json (i + 2) (parse (i + 2) l)) rest
 
 (* ------------------------------------------------------------------ *)
 (* Open / create                                                        *)
@@ -226,11 +305,12 @@ let init dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
   else if not (Sys.is_directory dir) then error "%s exists and is not a directory" dir;
   if Sys.file_exists (manifest_path dir) then error "%s is already a coverage database" dir;
-  (* a stale cache from a hand-deleted manifest must not leak into the
-     fresh database's incremental aggregate *)
+  (* stale artifacts from a hand-deleted manifest must not leak into the
+     fresh database *)
   if Sys.file_exists (aggregate_path dir) then Sys.remove (aggregate_path dir);
+  if Sys.file_exists (exclusions_path dir) then Sys.remove (exclusions_path dir);
   append_line dir (header_json ());
-  { dir; runs_rev = [] }
+  { dir; runs_rev = []; exclusions_rev = [] }
 
 let load dir =
   if not (Sys.file_exists (manifest_path dir)) then
@@ -256,7 +336,7 @@ let load dir =
       let runs =
         List.mapi (fun i l -> run_of_json (i + 2) (parse (i + 2) l)) rest
       in
-      { dir; runs_rev = List.rev runs }
+      { dir; runs_rev = List.rev runs; exclusions_rev = List.rev (load_exclusions dir) }
 
 let open_or_init dir = if Sys.file_exists (manifest_path dir) then load dir else init dir
 
@@ -360,6 +440,43 @@ let add t ~design ?(circuit_hash = "-") ~backend ~workload ~seed ~cycles ?(wave 
   run
 
 (* ------------------------------------------------------------------ *)
+(* Exclusions                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let exclusions t = List.rev t.exclusions_rev
+
+let excluded_names t : string list =
+  List.sort_uniq String.compare (List.map (fun e -> e.ex_name) t.exclusions_rev)
+
+(** Append proven-unreachable points to the exclusion artifact.
+    Idempotent per point: a name already excluded is skipped, so replayed
+    closure waves never duplicate records. *)
+let add_exclusions t (exs : exclusion list) : unit =
+  Obs.span "db.add_exclusions" @@ fun () ->
+  Lock.with_lock t.dir @@ fun () ->
+  let already = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace already e.ex_name ()) t.exclusions_rev;
+  let fresh =
+    List.filter
+      (fun e ->
+        if Hashtbl.mem already e.ex_name then false
+        else begin
+          Hashtbl.replace already e.ex_name ();
+          true
+        end)
+      exs
+  in
+  if fresh <> [] then begin
+    let path = exclusions_path t.dir in
+    if not (Sys.file_exists path) then append_to path (exclusions_header_json ());
+    List.iter
+      (fun e ->
+        append_to path (json_of_exclusion e);
+        t.exclusions_rev <- e :: t.exclusions_rev)
+      fresh
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Queries                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -379,9 +496,11 @@ let rank ?(threshold = 1) t : run list =
   let with_counts =
     List.map (fun r -> (r, load_counts t r)) (ok_runs t)
   in
+  let excluded = excluded_names t in
   let target =
     List.sort_uniq String.compare
       (List.concat_map (fun (_, c) -> Counts.covered ~threshold c) with_counts)
+    |> List.filter (fun n -> not (List.mem n excluded))
   in
   let uncovered = Hashtbl.create 256 in
   List.iter (fun p -> Hashtbl.replace uncovered p ()) target;
@@ -434,7 +553,15 @@ let render_list t =
 let render_report t =
   let buf = Buffer.create 512 in
   let agg = aggregate t in
-  let total = Counts.total_points agg and cov = Counts.covered_points agg in
+  (* formally excluded points are off the books entirely: the denominator,
+     per-backend tallies and the uncovered list all range over the
+     non-excluded points only (with no exclusions this is byte-identical
+     to the exclusion-free report) *)
+  let excluded = excluded_names t in
+  let is_excluded n = List.mem n excluded in
+  let live = List.filter (fun n -> not (is_excluded n)) (Counts.names agg) in
+  let total = List.length live in
+  let cov = List.length (List.filter (fun n -> Counts.get agg n > 0) live) in
   Buffer.add_string buf
     (Printf.sprintf "runs        : %d ok, %d failed\n"
        (List.length (ok_runs t))
@@ -442,6 +569,9 @@ let render_report t =
   Buffer.add_string buf
     (Printf.sprintf "cover points: %d/%d covered (%.1f%%)\n" cov total
        (if total = 0 then 100. else 100. *. float_of_int cov /. float_of_int total));
+  if excluded <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "excluded    : %d points proven unreachable\n" (List.length excluded));
   (* contribution per backend: points each backend covered on its own *)
   let backends =
     List.sort_uniq String.compare (List.map (fun r -> r.backend) (ok_runs t))
@@ -454,15 +584,24 @@ let render_report t =
              (fun r -> if r.backend = backend then Some (load_counts t r) else None)
              (ok_runs t))
       in
+      let bcov =
+        List.length (List.filter (fun n -> (not (is_excluded n)) && Counts.get c n > 0) (Counts.names c))
+      in
       Buffer.add_string buf
-        (Printf.sprintf "  %-9s : %d/%d points, %d runs\n" backend (Counts.covered_points c)
-           total
+        (Printf.sprintf "  %-9s : %d/%d points, %d runs\n" backend bcov total
            (List.length (List.filter (fun r -> r.backend = backend) (ok_runs t)))))
     backends;
-  let uncovered = List.filter (fun n -> Counts.get agg n = 0) (Counts.names agg) in
+  let uncovered = List.filter (fun n -> Counts.get agg n = 0) live in
   if uncovered <> [] then begin
     Buffer.add_string buf "still uncovered:\n";
     List.iter (fun n -> Buffer.add_string buf ("  " ^ n ^ "\n")) uncovered
+  end;
+  if excluded <> [] then begin
+    Buffer.add_string buf "excluded (proven unreachable):\n";
+    List.iter
+      (fun (e : exclusion) ->
+        Buffer.add_string buf (Printf.sprintf "  %s  (%s)\n" e.ex_name e.ex_reason))
+      (exclusions t)
   end;
   Buffer.contents buf
 
@@ -535,3 +674,46 @@ let render_rank ?threshold t =
            r.design r.backend r.seed))
     picked;
   Buffer.contents buf
+
+(** The machine-readable rank view ([sic db rank --json]) — what the
+    closure loop and external tooling consume: the aggregate's coverage
+    state split into covered / uncovered / excluded (exclusions are off
+    the books, as in {!render_report}), plus the greedy set-cover pick
+    with each run's marginal gain. *)
+let rank_json ?(threshold = 1) t : Json.t =
+  let agg = aggregate t in
+  let excluded = excluded_names t in
+  let is_excluded n = List.mem n excluded in
+  let live = List.filter (fun n -> not (is_excluded n)) (Counts.names agg) in
+  let uncovered = List.filter (fun n -> Counts.get agg n < threshold) live in
+  let covered_n = List.length live - List.length uncovered in
+  let picked = rank ~threshold t in
+  let seen = Hashtbl.create 256 in
+  let picked_json =
+    List.map
+      (fun r ->
+        let c = load_counts t r in
+        let fresh =
+          List.filter (fun p -> not (Hashtbl.mem seen p)) (Counts.covered ~threshold c)
+        in
+        List.iter (fun p -> Hashtbl.replace seen p ()) fresh;
+        Json.Obj
+          [
+            ("id", Json.String r.id);
+            ("design", Json.String r.design);
+            ("backend", Json.String r.backend);
+            ("seed", Json.Int r.seed);
+            ("gain", Json.Int (List.length fresh));
+          ])
+      picked
+  in
+  let strings l = Json.List (List.map (fun s -> Json.String s) l) in
+  Json.Obj
+    [
+      ("threshold", Json.Int threshold);
+      ("points_total", Json.Int (List.length live));
+      ("points_covered", Json.Int covered_n);
+      ("uncovered", strings uncovered);
+      ("excluded", strings excluded);
+      ("picked", Json.List picked_json);
+    ]

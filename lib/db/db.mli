@@ -32,6 +32,20 @@ type run = {
   points_covered : int;
 }
 
+type exclusion = {
+  ex_name : string;  (** the cover point *)
+  ex_reason : string;  (** e.g. ["unreachable within bound 10"] *)
+  ex_design : string;
+  ex_wave : int;  (** the closure wave that proved it; 0 outside closure *)
+}
+(** A point formally proven unreachable (the closure loop's
+    UNSAT-within-bound verdict), persisted in the versioned
+    [exclusions.ndjson] artifact — same shape as the manifest (meta
+    header, then one record per point). A design property, not a run
+    property: it survives re-running campaigns, and {!render_report} /
+    {!rank} / the HTML report stop counting excluded points as coverage
+    debt. *)
+
 type t
 
 (** Cross-process mutual exclusion over a database directory, so
@@ -123,7 +137,27 @@ val rank : ?threshold:int -> t -> run list
 (** Greedy set cover: an approximately minimal subset of runs whose merged
     coverage (at [threshold], default 1) equals the whole database's —
     test-suite minimization over the run store. Deterministic; runs are
-    returned in pick order (largest marginal gain first). *)
+    returned in pick order (largest marginal gain first). Excluded points
+    are not part of the target. *)
+
+val rank_json : ?threshold:int -> t -> Sic_obs.Json.t
+(** The machine-readable rank view ([sic db rank --json]): threshold,
+    non-excluded points total/covered, the uncovered and excluded name
+    lists, and the {!rank} pick with per-run marginal [gain]. *)
+
+(** {1 Exclusions} *)
+
+val exclusions : t -> exclusion list
+(** Artifact (arrival) order. *)
+
+val excluded_names : t -> string list
+(** Sorted, deduplicated. *)
+
+val add_exclusions : t -> exclusion list -> unit
+(** Append to [exclusions.ndjson] (creating it, header first, on first
+    use) under the database lock. Idempotent per point name: already
+    excluded names are skipped, so replayed closure waves never duplicate
+    records. *)
 
 val json_of_run : run -> Sic_obs.Json.t
 (** The run's manifest record (the coverage server's [/runs] rows). *)

@@ -1,0 +1,49 @@
+(** The closure-loop fixture (see [sic close]): a key-sequence lock whose
+    cover points split exactly into the three classes the loop must
+    handle. Random stimulus covers the shallow points; the [deep] point
+    needs three exact 8-bit keys in a row (p ~ 2^-24 per window, so
+    random fuzzing essentially never finds it while a bounded model check
+    reaches it at depth 4); and the [dead] point sits behind a state the
+    machine never assigns, so it is provably unreachable — the exclusion
+    path. *)
+
+open Sic_ir
+
+let key1 = 0xA5
+let key2 = 0x5A
+let key3 = 0xC3
+
+let circuit () : Circuit.t =
+  let cb = Dsl.create_circuit "Closefix" in
+  Dsl.module_ cb "Closefix" (fun m ->
+      let open Dsl in
+      let key = input ~loc:__POS__ m "key" (Ty.UInt 8) in
+      let unlocked = output ~loc:__POS__ m "unlocked" (Ty.UInt 1) in
+      (* st: 0 -> 1 -> 2 -> 0; the encoding has a fourth value (3) that no
+         assignment ever produces *)
+      let st = reg_init ~loc:__POS__ m "st" (lit 2 0) in
+      connect m unlocked false_;
+      when_ ~loc:__POS__ m
+        ((st ==: lit 2 0) &: (key ==: lit 8 key1))
+        (fun () -> connect m st (lit 2 1));
+      when_ ~loc:__POS__ m
+        ((st ==: lit 2 1) &: (key ==: lit 8 key2))
+        (fun () -> connect m st (lit 2 2));
+      (* wrong key at any armed state resets the sequence *)
+      when_ ~loc:__POS__ m
+        ((st <>: lit 2 0) &: (key <>: lit 8 key1) &: (key <>: lit 8 key2)
+        &: (key <>: lit 8 key3))
+        (fun () -> connect m st (lit 2 0));
+      when_ ~loc:__POS__ m
+        ((st ==: lit 2 2) &: (key ==: lit 8 key3))
+        (fun () ->
+          connect m st (lit 2 0);
+          connect m unlocked true_;
+          cover ~loc:__POS__ m "deep" true_);
+      (* st = 3 is never assigned: everything in here is formally dead *)
+      when_ ~loc:__POS__ m
+        (st ==: lit 2 3)
+        (fun () ->
+          connect m st (lit 2 0);
+          cover ~loc:__POS__ m "dead" true_));
+  Dsl.finalize cb

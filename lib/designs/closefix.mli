@@ -1,0 +1,13 @@
+(** Closure-loop fixture: a key-sequence lock with shallow points (random
+    reaches them), one deep point ([deep]: three exact keys in a row —
+    BMC depth 4, random p ~ 2^-24) and one provably-unreachable point
+    ([dead]: behind a state value the machine never assigns). *)
+
+val key1 : int
+val key2 : int
+val key3 : int
+(** The three 8-bit keys, in sequence order. *)
+
+val circuit : unit -> Sic_ir.Circuit.t
+(** Ports: [key] in (8 bits), [unlocked] out (pulses after the full
+    sequence). *)

@@ -33,7 +33,7 @@ open Sic_sim
 (* Jobs                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-type backend = Interp | Compiled | Essent | Fpga | Fuzz | Bmc | Lanes
+type backend = Interp | Compiled | Essent | Fpga | Fuzz | Bmc | Bmc_witness | Lanes
 
 let backend_name = function
   | Interp -> "interp"
@@ -42,6 +42,7 @@ let backend_name = function
   | Fpga -> "fpga"
   | Fuzz -> "fuzz"
   | Bmc -> "bmc"
+  | Bmc_witness -> "bmc-witness"
   | Lanes -> "lanes"
 
 let backend_of_string = function
@@ -51,6 +52,7 @@ let backend_of_string = function
   | "fpga" -> Some Fpga
   | "fuzz" -> Some Fuzz
   | "bmc" -> Some Bmc
+  | "bmc-witness" -> Some Bmc_witness
   | "lanes" -> Some Lanes
   | _ -> None
 
@@ -58,7 +60,7 @@ let backend_of_string = function
 let workload_name = function
   | Interp | Compiled | Essent | Fpga | Lanes -> "random"
   | Fuzz -> "fuzz"
-  | Bmc -> "bmc"
+  | Bmc | Bmc_witness -> "bmc"
 
 type job = {
   index : int;  (** global position in the campaign's job list *)
@@ -82,6 +84,14 @@ type job = {
       (** ship an engine hotspot profile with the result; honoured by the
           compiled-engine simulation backends ([Compiled], [Essent]) and
           ignored by the rest *)
+  covers : string list;
+      (** restrict the BMC backends to these cover points; [[]] = all.
+          The closure loop dispatches one single-point job per uncovered
+          point this way. Other backends ignore it *)
+  corpus : bytes list;
+      (** extra initial fuzz seeds (witness-derived inputs); inherited by
+          the forked worker through the job record, so nothing crosses
+          the pipe. [[]] for every backend but [Fuzz] *)
 }
 
 type job_result = {
@@ -95,6 +105,9 @@ type job_result = {
   timeline : Timeline.t option;  (** recorded when [sample_every > 0] *)
   prof : Profile.design_profile option;
       (** counts-only engine profile, when [job.profile] asked for one *)
+  witnesses : (string * Replay.trace) list;
+      (** a [Bmc_witness] job's replay-confirmed witness traces, one per
+          reachable targeted cover; [[]] for every other backend *)
 }
 
 (** Execute one job in the current process. Pure function of the job
@@ -103,7 +116,7 @@ type job_result = {
     deliberately outside the determinism contract. *)
 let run_job ?progress (job : job) : job_result =
   let t0 = Unix.gettimeofday () in
-  let finish ?timeline ?prof ?(lane_extra = []) ~sim_cycles counts =
+  let finish ?timeline ?prof ?(lane_extra = []) ?(witnesses = []) ~sim_cycles counts =
     {
       counts;
       lane_extra;
@@ -111,6 +124,7 @@ let run_job ?progress (job : job) : job_result =
       wall_us = (Unix.gettimeofday () -. t0) *. 1e6;
       timeline;
       prof;
+      witnesses;
     }
   in
   let notify ~cycles ~covered =
@@ -170,6 +184,7 @@ let run_job ?progress (job : job) : job_result =
       let h = Sic_fuzz.Fuzzer.make_harness job.circuit in
       let r =
         Sic_fuzz.Fuzzer.run ~seed:job.seed ~execs:job.budget ~seed_cycles:32 ~max_cycles:128
+          ~corpus:job.corpus
           ?snapshot_every:(if job.sample_every > 0 then Some job.sample_every else None)
           ~on_snapshot:(fun ~execs ~covered -> notify ~cycles:execs ~covered)
           h
@@ -198,7 +213,8 @@ let run_job ?progress (job : job) : job_result =
       finish ~lane_extra:(List.tl per_lane) ~sim_cycles:(job.budget * k)
         (List.hd per_lane)
   | Bmc ->
-      let report = Sic_formal.Bmc.check_covers ~bound:job.budget job.circuit in
+      let covers = match job.covers with [] -> None | l -> Some l in
+      let report = Sic_formal.Bmc.check_covers ~bound:job.budget ?covers job.circuit in
       (* a reachable cover counts once (the witness trace reaches it); an
          unreachable-within-bound cover is reported at zero so the
          aggregate still knows the point exists *)
@@ -210,6 +226,37 @@ let run_job ?progress (job : job) : job_result =
           | Sic_formal.Bmc.Unreachable_within_bound -> Counts.set counts name 0)
         report.Sic_formal.Bmc.results;
       finish ~sim_cycles:job.budget counts
+  | Bmc_witness ->
+      (* the closure loop's job kind: prove reachability, then {e replay}
+         each witness through the fast compiled backend in-worker — the
+         replay both confirms the witness actually fires its target
+         (differential check of BMC against the simulator, for free) and
+         harvests the trace's full coverage, which is far richer than the
+         1-hit BMC verdict. Unreachable-within-bound targets report 0 so
+         the orchestrator can tell "proven absent" from "not targeted". *)
+      let covers = match job.covers with [] -> None | l -> Some l in
+      let report = Sic_formal.Bmc.check_covers ~bound:job.budget ?covers job.circuit in
+      let counts = ref (Counts.create ()) in
+      let witnesses = ref [] in
+      List.iter
+        (fun (name, verdict) ->
+          match verdict with
+          | Sic_formal.Bmc.Unreachable_within_bound -> Counts.set !counts name 0
+          | Sic_formal.Bmc.Reachable trace ->
+              let b = Compiled.create job.circuit in
+              Replay.replay b trace;
+              let harvest = b.Backend.counts () in
+              if Counts.get harvest name > 0 then begin
+                witnesses := (name, trace) :: !witnesses;
+                counts := Counts.merge [ !counts; harvest ]
+              end
+              else
+                (* a witness the simulator disagrees with is a real bug
+                   somewhere; surface it as a failed job, not silence *)
+                failwith
+                  (Printf.sprintf "witness for %s does not fire under replay" name))
+        report.Sic_formal.Bmc.results;
+      finish ~witnesses:(List.rev !witnesses) ~sim_cycles:job.budget !counts
 
 (* ------------------------------------------------------------------ *)
 (* The worker pool                                                      *)
@@ -232,7 +279,10 @@ let run_job ?progress (job : job) : job_result =
    the same way: [lane_counts_bytes] is a JSON array of section lengths,
    one ordinary counts section per lane beyond lane 0, appended after the
    profile — absent means a single-run job, and each section is the same
-   v1 counts text a solo worker would have shipped. *)
+   v1 counts text a solo worker would have shipped. A [Bmc_witness] job's
+   confirmed traces ride in once more by the same trick: [witness_bytes]
+   frames one section per witness after the lane sections, each a cover
+   name line followed by the trace in the {!Replay.to_string} text. *)
 
 let proto_version = 2
 
@@ -253,6 +303,18 @@ let encode_ok (r : job_result) : string =
             Json.List (List.map (fun s -> Json.Int (String.length s)) ss) );
         ]
   in
+  let witness_sections =
+    List.map (fun (name, tr) -> name ^ "\n" ^ Replay.to_string tr) r.witnesses
+  in
+  let witness_field =
+    match witness_sections with
+    | [] -> []
+    | ss ->
+        [
+          ( "witness_bytes",
+            Json.List (List.map (fun s -> Json.Int (String.length s)) ss) );
+        ]
+  in
   Json.to_string
     (Json.Obj
        ([
@@ -266,9 +328,10 @@ let encode_ok (r : job_result) : string =
           ("telemetry_bytes", Json.Int (String.length telemetry));
           ("profile_bytes", Json.Int (String.length profile));
         ]
-       @ lane_field))
+       @ lane_field @ witness_field))
   ^ "\n" ^ counts ^ timeline ^ telemetry ^ profile
   ^ String.concat "" lane_sections
+  ^ String.concat "" witness_sections
 
 let encode_failed (why : string) : string =
   let telemetry = if Obs.on () then Obs.export_events () else "" in
@@ -315,9 +378,16 @@ let decode (payload : string) : (decoded, string) result =
                     List.map (function Json.Int n -> n | _ -> 0) l
                 | _ -> []
               in
+              let witness_lens =
+                match Json.member "witness_bytes" h with
+                | Some (Json.List l) ->
+                    List.map (function Json.Int n -> n | _ -> 0) l
+                | _ -> []
+              in
               let want =
                 counts_len + timeline_len + telemetry_len + profile_len
                 + List.fold_left ( + ) 0 lane_lens
+                + List.fold_left ( + ) 0 witness_lens
               in
               if String.length body < want then
                 fail "truncated worker body (%d of %d bytes)" (String.length body) want
@@ -328,14 +398,20 @@ let decode (payload : string) : (decoded, string) result =
                 let profile_s =
                   String.sub body (counts_len + timeline_len + telemetry_len) profile_len
                 in
-                let lane_sections =
-                  let off = ref (counts_len + timeline_len + telemetry_len + profile_len) in
-                  List.map
-                    (fun n ->
-                      let s = String.sub body !off n in
-                      off := !off + n;
-                      s)
-                    lane_lens
+                let off = ref (counts_len + timeline_len + telemetry_len + profile_len) in
+                let take n =
+                  let s = String.sub body !off n in
+                  off := !off + n;
+                  s
+                in
+                let lane_sections = List.map take lane_lens in
+                let witness_sections = List.map take witness_lens in
+                let witness_of_section s =
+                  match String.index_opt s '\n' with
+                  | None -> raise (Replay.Bad_format "witness section lacks a name line")
+                  | Some i ->
+                      ( String.sub s 0 i,
+                        Replay.of_string (String.sub s (i + 1) (String.length s - i - 1)) )
                 in
                 match Json.string_member "status" h with
                 | Some "ok" -> (
@@ -348,9 +424,10 @@ let decode (payload : string) : (decoded, string) result =
                            match Profile.of_string profile_s with
                            | [ d ] -> Some d
                            | _ -> None),
-                        List.map Counts.of_string lane_sections )
+                        List.map Counts.of_string lane_sections,
+                        List.map witness_of_section witness_sections )
                     with
-                    | counts, timeline, prof, lane_extra ->
+                    | counts, timeline, prof, lane_extra, witnesses ->
                         Ok
                           {
                             outcome =
@@ -360,6 +437,7 @@ let decode (payload : string) : (decoded, string) result =
                                   lane_extra;
                                   timeline;
                                   prof;
+                                  witnesses;
                                   sim_cycles =
                                     Option.value ~default:0 (Json.int_member "sim_cycles" h);
                                   wall_us =
@@ -369,7 +447,8 @@ let decode (payload : string) : (decoded, string) result =
                           }
                     | exception Counts.Bad_format m -> fail "bad worker counts: %s" m
                     | exception Timeline.Bad_format m -> fail "bad worker timeline: %s" m
-                    | exception Profile.Bad_format m -> fail "bad worker profile: %s" m)
+                    | exception Profile.Bad_format m -> fail "bad worker profile: %s" m
+                    | exception Replay.Bad_format m -> fail "bad worker witness: %s" m)
                 | Some "failed" ->
                     Ok
                       {
@@ -886,7 +965,7 @@ end
 let budget_of spec = function
   | Interp | Compiled | Essent | Fpga | Lanes -> spec.cycles
   | Fuzz -> spec.execs
-  | Bmc -> spec.bound
+  | Bmc | Bmc_witness -> spec.bound
 
 (** Run a whole campaign into [db]. Jobs are enumerated wave by wave,
     design-major then backend then seed index, so the job list — and with
@@ -966,6 +1045,8 @@ let run_campaign ?(inject_crash = fun _ -> false) ?on_event ~(db : Db.t) (spec :
                     scan_width = spec.scan_width;
                     sample_every = spec.timeline_every;
                     profile = spec.profile;
+                    covers = [];
+                    corpus = [];
                   }
                 in
                 match backend with

@@ -22,13 +22,17 @@ module Counts = Sic_coverage.Counts
 
 (** {1 Jobs} *)
 
-type backend = Interp | Compiled | Essent | Fpga | Fuzz | Bmc | Lanes
+type backend = Interp | Compiled | Essent | Fpga | Fuzz | Bmc | Bmc_witness | Lanes
 (** [Fpga] is the modelled FireSim path: scan-chain insertion plus the
     host driver ({!Sic_firesim.Driver.run_random}); [Bmc] reports each
     targeted cover at 1 (reachable, witness found) or 0 (unreachable
-    within the bound); [Lanes] is the bit-parallel engine
-    ({!Sic_sim.Lanes}) advancing up to 62 independent stimulus seeds per
-    tape pass — one job, one run record {e per lane}. *)
+    within the bound); [Bmc_witness] is the closure loop's job kind —
+    like [Bmc] but each witness trace is replayed through the compiled
+    backend in-worker to confirm it fires and harvest its full coverage,
+    and the confirmed traces ship back in {!job_result.witnesses};
+    [Lanes] is the bit-parallel engine ({!Sic_sim.Lanes}) advancing up
+    to 62 independent stimulus seeds per tape pass — one job, one run
+    record {e per lane}. *)
 
 val backend_name : backend -> string
 val backend_of_string : string -> backend option
@@ -55,6 +59,14 @@ type job = {
       (** ship an engine hotspot profile with the result; honoured by the
           compiled-engine simulation backends ([Compiled], [Essent]) and
           ignored by the rest *)
+  covers : string list;
+      (** restrict the BMC backends to these cover points ([[]] = all);
+          the closure loop dispatches one single-point job per uncovered
+          point. Ignored elsewhere *)
+  corpus : bytes list;
+      (** extra initial fuzz seeds (e.g. witness-derived inputs); the
+          forked worker inherits them with the job record, so nothing
+          crosses the pipe. Ignored outside [Fuzz] *)
 }
 
 type job_result = {
@@ -72,6 +84,9 @@ type job_result = {
       (** counts-only engine profile, when [job.profile] asked for one —
           counts-only so the bytes merge deterministically across workers
           (sampled timings never would) *)
+  witnesses : (string * Sic_sim.Replay.trace) list;
+      (** a [Bmc_witness] job's replay-confirmed traces, one per reachable
+          targeted cover; [[]] for every other backend *)
 }
 
 val run_job : ?progress:(cycles:int -> covered:int -> unit) -> job -> job_result
@@ -91,7 +106,10 @@ val run_job : ?progress:(cycles:int -> covered:int -> unit) -> job -> job_result
     extension needed no version bump — and neither did the lane
     extension: [lane_counts_bytes] (a JSON array of section lengths)
     frames one ordinary counts section per extra lane after the profile,
-    and its absence decodes as a single-run job. *)
+    and its absence decodes as a single-run job. Witness traces ride in
+    the same way: [witness_bytes] frames one section per confirmed
+    witness after the lane sections (a cover-name line, then the trace in
+    the {!Sic_sim.Replay.to_string} text). *)
 
 val proto_version : int
 val encode_ok : job_result -> string

@@ -80,6 +80,85 @@ let execute (h : harness) (input : bytes) : Counts.t =
     counts
   end
 
+(** Re-encode a replay trace (e.g. a BMC witness) as a fuzzer input: the
+    byte string whose per-cycle unpacking pokes the same data-input values
+    the trace's post-reset frames carry. Values are matched to harness
+    inputs {e by name} — a trace's channels are in its own order (BMC
+    sorts them alphabetically), not port order. The first
+    [h.reset_cycles] frames are dropped because [execute] replays the
+    reset sequence itself. *)
+let input_of_trace (h : harness) (t : Sic_sim.Replay.trace) : bytes =
+  let names = Array.of_list t.Sic_sim.Replay.input_names in
+  let idx_of name =
+    let found = ref (-1) in
+    Array.iteri (fun i n -> if n = name then found := i) names;
+    !found
+  in
+  let total = Array.length t.Sic_sim.Replay.frames in
+  let n_cycles = max 0 (total - h.reset_cycles) in
+  let out = Bytes.make (n_cycles * h.bytes_per_cycle) '\000' in
+  for cycle = 0 to n_cycles - 1 do
+    let frame = t.Sic_sim.Replay.frames.(h.reset_cycles + cycle) in
+    let base = cycle * h.bytes_per_cycle in
+    let set_bit i =
+      let byte = base + (i / 8) in
+      Bytes.set out byte
+        (Char.chr (Char.code (Bytes.get out byte) lor (1 lsl (i mod 8))))
+    in
+    let offset = ref 0 in
+    List.iter
+      (fun (name, w) ->
+        (match idx_of name with
+        | -1 -> ()
+        | i ->
+            for bit = 0 to w - 1 do
+              if Bv.bit frame.(i) bit then set_bit (!offset + bit)
+            done);
+        offset := !offset + w)
+      h.inputs
+  done;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* On-disk corpora                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Persist a corpus as one [seedNNNN.bin] file per input. The directory
+    is created if missing; existing seed files are overwritten in index
+    order (stale higher-numbered files from a larger previous corpus are
+    removed first, so the directory always mirrors exactly this list). *)
+let save_corpus (dir : string) (seeds : bytes list) : unit =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".bin" then
+        try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  List.iteri
+    (fun i s ->
+      let path = Filename.concat dir (Printf.sprintf "seed%04d.bin" i) in
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc s))
+    seeds
+
+(** Load every [*.bin] file of [dir] in name order; [[]] when the
+    directory does not exist. *)
+let load_corpus (dir : string) : bytes list =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".bin")
+    |> List.sort compare
+    |> List.map (fun f ->
+           let ic = open_in_bin (Filename.concat dir f) in
+           Fun.protect
+             ~finally:(fun () -> close_in ic)
+             (fun () ->
+               let n = in_channel_length ic in
+               let b = Bytes.create n in
+               really_input ic b 0 n;
+               b))
+
 (* ------------------------------------------------------------------ *)
 (* AFL-style feedback signature                                         *)
 (* ------------------------------------------------------------------ *)
@@ -225,6 +304,9 @@ type result = {
   history : (int * Counts.t) list;  (** snapshots: execs -> merged counts *)
   timeline : Sic_coverage.Timeline.t;
       (** the same snapshots as a convergence curve (execs -> points hit) *)
+  corpus : bytes list;
+      (** the final corpus, seeds first then discoveries in find order —
+          ready for {!save_corpus} *)
 }
 
 (** Run the fuzzer for [execs] executions, seeded deterministically.
@@ -234,11 +316,14 @@ type result = {
     name prefix to switch feedback metrics, or pass [(fun _ -> false)] for
     feedback-free random fuzzing (the paper's baseline). *)
 let run ?(seed = 0) ?(execs = 200) ?(snapshot_every = 10) ?(max_cycles = 16)
-    ?(seed_cycles = 4) ?(feedback = fun (_ : string) -> true) ?on_snapshot (h : harness) :
-    result =
+    ?(seed_cycles = 4) ?(corpus = []) ?(feedback = fun (_ : string) -> true) ?on_snapshot
+    (h : harness) : result =
   let rng = Rng.create seed in
   let seen : (string * int, unit) Hashtbl.t = Hashtbl.create 256 in
-  let corpus = ref [ Bytes.make (h.bytes_per_cycle * seed_cycles) '\000' ] in
+  (* the all-zeroes seed first, then any caller-supplied seeds (witness
+     traces, a loaded on-disk corpus); each is executed below so its
+     coverage lands in [cumulative] even if mutation never revisits it *)
+  let corpus = ref (Bytes.make (h.bytes_per_cycle * seed_cycles) '\000' :: corpus) in
   let cumulative = ref (Counts.create ()) in
   let history = ref [] in
   let n_execs = ref 0 in
@@ -328,4 +413,4 @@ let run ?(seed = 0) ?(execs = 200) ?(snapshot_every = 10) ?(max_cycles = 16)
     (List.rev !history);
   Timeline.record tlb ~at:final.execs ~covered:(Counts.covered_points final.cumulative);
   let timeline = Timeline.build ~total:(Counts.total_points final.cumulative) tlb in
-  { final; history = List.rev !history; timeline }
+  { final; history = List.rev !history; timeline; corpus = List.rev !corpus }

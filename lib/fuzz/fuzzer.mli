@@ -25,6 +25,22 @@ val make_harness :
 val execute : harness -> bytes -> Counts.t
 (** Run one input from reset; returns its coverage counts. *)
 
+val input_of_trace : harness -> Sic_sim.Replay.trace -> bytes
+(** Re-encode a replay trace (e.g. a BMC witness) as the fuzzer input
+    whose per-cycle unpacking pokes the same data-input values. Channels
+    are matched by name (a witness's channels are alphabetical, not port
+    order); the first [reset_cycles] frames are dropped because
+    {!execute} replays the reset sequence itself. *)
+
+val save_corpus : string -> bytes list -> unit
+(** Persist a corpus as one [seedNNNN.bin] per input, creating the
+    directory if needed; the directory ends up mirroring exactly the
+    given list. *)
+
+val load_corpus : string -> bytes list
+(** Every [*.bin] of the directory in name order; [[]] if it doesn't
+    exist. *)
+
 val bucket : int -> int
 (** AFL count bucketing (1, 2, 3, 4-7, 8-15, ...). *)
 
@@ -55,6 +71,7 @@ type result = {
   timeline : Sic_coverage.Timeline.t;
       (** the same snapshots as a convergence curve (execs -> points hit),
           ready to persist in the coverage database *)
+  corpus : bytes list;  (** the final corpus, ready for {!save_corpus} *)
 }
 
 val run :
@@ -63,11 +80,15 @@ val run :
   ?snapshot_every:int ->
   ?max_cycles:int ->
   ?seed_cycles:int ->
+  ?corpus:bytes list ->
   ?feedback:(string -> bool) ->
   ?on_snapshot:(execs:int -> covered:int -> unit) ->
   harness ->
   result
-(** [feedback] filters which cover names feed the signature; pass
+(** [corpus] supplies extra initial seeds beyond the all-zeroes default —
+    witness-derived inputs or a {!load_corpus} result; each is executed
+    up front so its coverage counts even if mutation never revisits it.
+    [feedback] filters which cover names feed the signature; pass
     [(fun _ -> false)] for feedback-free random fuzzing. [on_snapshot]
     fires at every [snapshot_every] boundary with the cumulative points
     covered — the fleet's heartbeat hook. *)

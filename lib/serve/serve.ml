@@ -597,14 +597,24 @@ let json_of_string_list l = Json.List (List.map (fun s -> Json.String s) l)
 let report_json (db : Db.t) : string =
   let union = Db.union_counts db in
   let ok = List.length (Db.ok_runs db) and all = List.length (Db.runs db) in
+  (* formally excluded points are off the books, as in the text report:
+     totals range over non-excluded points only (identical to before when
+     the database has no exclusion artifact) *)
+  let excluded = Db.excluded_names db in
+  let live =
+    List.filter (fun n -> not (List.mem n excluded)) (Counts.names union)
+  in
   Json.to_string
     (Json.Obj
        [
          ("runs", Json.Int all);
          ("ok", Json.Int ok);
          ("failed", Json.Int (all - ok));
-         ("points_total", Json.Int (Counts.total_points union));
-         ("points_covered", Json.Int (Counts.covered_points union));
+         ("points_total", Json.Int (List.length live));
+         ( "points_covered",
+           Json.Int (List.length (List.filter (fun n -> Counts.get union n > 0) live)) );
+         ("points_excluded", Json.Int (List.length excluded));
+         ("excluded", json_of_string_list excluded);
          ( "counts",
            Json.Obj (List.map (fun (n, c) -> (n, Json.Int c)) (Counts.to_sorted_list union))
          );
@@ -622,7 +632,9 @@ let report_html (db : Db.t) : string =
   in
   Sic_coverage.Html_report.render
     ~title:("coverage database " ^ Db.dir db)
-    ~timelines (Db.union_counts db)
+    ~timelines
+    ~excluded:(Db.excluded_names db)
+    (Db.union_counts db)
 
 let runs_json (db : Db.t) : string =
   Json.to_string (Json.List (List.map Db.json_of_run (Db.runs db))) ^ "\n"

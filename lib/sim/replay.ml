@@ -46,6 +46,81 @@ let replay (b : Backend.t) (t : trace) =
       b.Backend.step 1)
     t.frames
 
+(* ------------------------------------------------------------------ *)
+(* Text interchange                                                     *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad_format of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_format m)) fmt
+
+let format_header = "# sic replay trace v1"
+
+(** The pipe/artifact serialization: a versioned header, the input-channel
+    names, then one line per cycle of space-separated binary values (the
+    string length {e is} each value's width). Line-oriented and fully
+    self-describing, in the same house style as the counts and timeline
+    formats — fleet workers ship BMC witnesses back over their result
+    pipes in exactly this text. *)
+let to_string (t : trace) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf format_header;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf ("inputs " ^ String.concat " " t.input_names);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "frames %d\n" (Array.length t.frames));
+  Array.iter
+    (fun frame ->
+      Array.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ' ';
+          Buffer.add_string buf (Bv.to_binary_string v))
+        frame;
+      Buffer.add_char buf '\n')
+    t.frames;
+  Buffer.contents buf
+
+let of_string (s : string) : trace =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | header :: inputs_line :: frames_line :: rest ->
+      if String.trim header <> format_header then
+        bad "line 1: expected %S, got %S" format_header header;
+      let input_names =
+        match String.split_on_char ' ' (String.trim inputs_line) with
+        | "inputs" :: names when names <> [] -> names
+        | _ -> bad "line 2: expected `inputs <name>...'"
+      in
+      let n_frames =
+        match String.split_on_char ' ' (String.trim frames_line) with
+        | [ "frames"; n ] -> (
+            match int_of_string_opt n with
+            | Some n when n >= 0 -> n
+            | _ -> bad "line 3: bad frame count %S" n)
+        | _ -> bad "line 3: expected `frames <n>'"
+      in
+      let width = List.length input_names in
+      let frame_lines = Array.of_list rest in
+      if Array.length frame_lines < n_frames then
+        bad "truncated trace: %d of %d frames" (Array.length frame_lines) n_frames;
+      let frames =
+        Array.init n_frames (fun f ->
+            let cells =
+              String.split_on_char ' ' (String.trim frame_lines.(f))
+              |> List.filter (fun c -> c <> "")
+            in
+            if List.length cells <> width then
+              bad "line %d: %d values for %d inputs" (f + 4) (List.length cells) width;
+            Array.of_list
+              (List.map
+                 (fun c ->
+                   try Bv.of_binary_string c
+                   with Invalid_argument _ -> bad "line %d: bad value %S" (f + 4) c)
+                 cells))
+      in
+      { input_names; frames }
+  | _ -> bad "truncated trace header"
+
 (** Save / load a trace as a VCD file, so recorded workloads are ordinary
     waveform artifacts. *)
 let save_vcd path (b : Backend.t) (t : trace) =

@@ -43,6 +43,8 @@ let mk_jobs ?(backend = Fleet.Compiled) ?(budget = 200) ?(sample_every = 0) seed
         scan_width = 8;
         sample_every;
         profile = false;
+        covers = [];
+        corpus = [];
       })
     seeds
 
@@ -146,6 +148,8 @@ let test_bmc_job () =
       scan_width = 8;
       sample_every = 0;
       profile = false;
+      covers = [];
+      corpus = [];
     }
   in
   let res = Fleet.run_job job in
